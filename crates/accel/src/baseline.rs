@@ -1,0 +1,349 @@
+use sm_buffer::BufferStats;
+use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
+use sm_model::{Layer, LayerKind, Network};
+
+use crate::cycles::{
+    conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
+};
+use crate::tiling::{plan_conv, ConvDims, TileCaps};
+use crate::{AccelConfig, LayerReport, RunStats};
+
+/// The conventional fixed-buffer accelerator — the paper's comparison point.
+///
+/// Every layer streams its inputs from DRAM and its output back to DRAM;
+/// nothing survives a layer boundary on chip. Two junction behaviours are
+/// modeled:
+///
+/// * **Unfused junctions** (default — the paper's comparison point): an
+///   accelerator without shortcut support runs each element-wise addition
+///   or concatenation as a separate pass, reading every operand from DRAM
+///   and writing the result back.
+/// * **Fused junctions** ([`BaselineAccelerator::with_fused_junctions`]): a
+///   stronger hypothetical baseline that folds the addition into the
+///   preceding convolution's output streaming (costing only the shortcut
+///   operand re-read) and concatenates by address aliasing. Used as an
+///   ablation, and as the exact equivalence anchor for the
+///   `reuse-disabled` logical-buffer policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineAccelerator {
+    config: AccelConfig,
+    fused_junctions: bool,
+}
+
+impl BaselineAccelerator {
+    /// Creates the baseline with unfused junctions (the paper's comparison
+    /// point).
+    pub fn new(config: AccelConfig) -> Self {
+        BaselineAccelerator {
+            config,
+            fused_junctions: false,
+        }
+    }
+
+    /// Switches to the stronger fused-junction variant (ablation).
+    pub fn with_fused_junctions(mut self) -> Self {
+        self.fused_junctions = true;
+        self
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> AccelConfig {
+        self.config
+    }
+
+    /// Tile capacities the baseline's fixed buffers offer a layer.
+    pub fn tile_caps(&self) -> TileCaps {
+        let fixed = self.config.sram.as_fixed();
+        TileCaps {
+            ifm_bytes: fixed.ifm_half(),
+            ofm_bytes: fixed.ofm_half(),
+            weight_tile_bytes: fixed.weight_half(),
+            weight_total_bytes: fixed.weight_bytes,
+        }
+    }
+
+    /// Simulates a full network, producing traffic and cycle statistics.
+    pub fn simulate(&self, net: &Network) -> RunStats {
+        let cfg = self.config;
+        let fm_dram = DramModel::new(cfg.fm_dram);
+        let w_dram = DramModel::new(cfg.weight_dram);
+        let mut ledger = Ledger::new();
+        let mut layers = Vec::with_capacity(net.len());
+        let mut buffer_stats = BufferStats::default();
+        let mut total_cycles = 0u64;
+        let mut total_macs = 0u64;
+
+        for layer in &net.layers()[1..] {
+            let step = self.simulate_layer(net, layer);
+            for (class, bytes) in &step.traffic {
+                ledger.record(layer.id.index(), *class, *bytes);
+            }
+            let mut traffic = ClassTotals::new();
+            let (mut fm_bytes, mut w_bytes) = (0u64, 0u64);
+            for (class, bytes) in &step.traffic {
+                traffic.record(*class, *bytes);
+                if class.is_feature_map() {
+                    fm_bytes += bytes;
+                } else {
+                    w_bytes += bytes;
+                }
+            }
+            // Boundary SRAM activity: everything entering or leaving DRAM
+            // passes through an on-chip buffer once in each direction.
+            buffer_stats.sram_bytes_written += traffic.reads();
+            buffer_stats.sram_bytes_read += traffic.writes();
+
+            let cycles = LayerCycles::combine(
+                step.compute_cycles,
+                dram_cycles(&fm_dram, fm_bytes),
+                dram_cycles(&w_dram, w_bytes),
+                cfg.layer_overhead,
+            );
+            total_cycles += cycles.total;
+            let macs = layer.macs(&net.in_shapes(layer.id));
+            total_macs += macs;
+            layers.push(LayerReport {
+                id: layer.id.index(),
+                name: layer.name.clone(),
+                kind: layer.kind.mnemonic(),
+                cycles,
+                traffic,
+                macs,
+            });
+        }
+
+        RunStats {
+            network: net.name().to_string(),
+            batch: net.input().out_shape.n,
+            architecture: if self.fused_junctions {
+                "baseline-fused".to_string()
+            } else {
+                "baseline".to_string()
+            },
+            total_cycles,
+            macs: total_macs,
+            ledger,
+            layers,
+            buffer_stats,
+            clock_hz: cfg.clock_hz,
+        }
+    }
+
+    /// Traffic and compute of one layer under baseline rules.
+    fn simulate_layer(&self, net: &Network, layer: &Layer) -> LayerStep {
+        let cfg = self.config;
+        let elem = cfg.elem_bytes;
+        let lanes = cfg.pe_rows * cfg.pe_cols;
+        let operand_bytes = |operand: usize| -> u64 {
+            net.layer(layer.inputs[operand]).out_elems() as u64 * elem
+        };
+        // Class of an operand read: non-adjacent producers are shortcut
+        // re-reads; adjacent ones are ordinary input fetches.
+        let read_class = |operand: usize| -> TrafficClass {
+            if layer.inputs[operand].index() + 1 < layer.id.index() {
+                TrafficClass::ShortcutRead
+            } else {
+                TrafficClass::IfmRead
+            }
+        };
+        let mut traffic: Vec<(TrafficClass, u64)> = Vec::new();
+        let out_bytes = layer.out_elems() as u64 * elem;
+
+        let compute_cycles = match layer.kind {
+            LayerKind::Input => 0,
+            LayerKind::Conv(_) => {
+                let dims = ConvDims::from_layer(net, layer).expect("conv layer");
+                let plan = plan_conv(dims, self.tile_caps(), cfg.pe_rows, cfg.pe_cols, elem);
+                traffic.push((read_class(0), plan.ifm_dram_bytes));
+                traffic.push((TrafficClass::WeightRead, plan.weight_dram_bytes));
+                traffic.push((TrafficClass::OfmWrite, plan.ofm_dram_bytes));
+                conv_compute_cycles(dims, plan.tm, plan.tn)
+            }
+            LayerKind::DepthwiseConv(spec) => {
+                // One filter per channel: only the PE rows parallelize
+                // (channels); the column dimension idles — the well-known
+                // poor utilization of depthwise layers on MAC arrays.
+                let in_shape = net.in_shapes(layer.id)[0];
+                let w_bytes = (in_shape.c * spec.kernel * spec.kernel) as u64 * elem;
+                traffic.push((read_class(0), operand_bytes(0)));
+                traffic.push((TrafficClass::WeightRead, w_bytes));
+                traffic.push((TrafficClass::OfmWrite, out_bytes));
+                in_shape.n as u64
+                    * in_shape.c.div_ceil(cfg.pe_rows) as u64
+                    * (layer.out_shape.h * layer.out_shape.w) as u64
+                    * (spec.kernel * spec.kernel) as u64
+            }
+            LayerKind::Pool(spec) => {
+                traffic.push((read_class(0), operand_bytes(0)));
+                traffic.push((TrafficClass::OfmWrite, out_bytes));
+                vector_compute_cycles(
+                    layer.out_elems() as u64 * (spec.kernel * spec.kernel) as u64,
+                    lanes,
+                )
+            }
+            LayerKind::GlobalAvgPool => {
+                traffic.push((read_class(0), operand_bytes(0)));
+                traffic.push((TrafficClass::OfmWrite, out_bytes));
+                vector_compute_cycles(operand_bytes(0) / elem, lanes)
+            }
+            LayerKind::Fc { out_features } => {
+                let in_shape = net.in_shapes(layer.id)[0];
+                let in_features = in_shape.per_image();
+                let batch = in_shape.n;
+                let w_bytes = (out_features * in_features) as u64 * elem;
+                let passes = if w_bytes <= cfg.sram.weight_bytes {
+                    1
+                } else {
+                    batch as u64
+                };
+                traffic.push((read_class(0), operand_bytes(0)));
+                traffic.push((TrafficClass::WeightRead, w_bytes * passes));
+                traffic.push((TrafficClass::OfmWrite, out_bytes));
+                fc_compute_cycles(batch, in_features, out_features, cfg.pe_rows, cfg.pe_cols)
+            }
+            LayerKind::EltwiseAdd { .. } => {
+                if self.fused_junctions {
+                    // Folded into the producing conv's output streaming: only
+                    // non-adjacent operands cross the chip boundary again.
+                    for op in 0..layer.inputs.len() {
+                        if layer.inputs[op].index() + 1 < layer.id.index() {
+                            traffic.push((TrafficClass::ShortcutRead, operand_bytes(op)));
+                        }
+                    }
+                } else {
+                    for op in 0..layer.inputs.len() {
+                        traffic.push((read_class(op), operand_bytes(op)));
+                    }
+                    traffic.push((TrafficClass::OfmWrite, out_bytes));
+                }
+                vector_compute_cycles(layer.out_elems() as u64, lanes)
+            }
+            LayerKind::ConcatChannels => {
+                if self.fused_junctions {
+                    // Concatenation by address aliasing: free.
+                } else {
+                    for op in 0..layer.inputs.len() {
+                        traffic.push((read_class(op), operand_bytes(op)));
+                    }
+                    traffic.push((TrafficClass::OfmWrite, out_bytes));
+                }
+                0
+            }
+        };
+
+        LayerStep {
+            traffic,
+            compute_cycles,
+        }
+    }
+}
+
+struct LayerStep {
+    traffic: Vec<(TrafficClass, u64)>,
+    compute_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_model::zoo;
+
+    fn accel() -> BaselineAccelerator {
+        BaselineAccelerator::new(AccelConfig::default())
+    }
+
+    #[test]
+    fn every_layer_output_round_trips_through_dram() {
+        let net = zoo::toy_residual(1);
+        let stats = accel().simulate(&net);
+        // Unfused baseline: every layer (convs and the junction) writes its
+        // full output to DRAM.
+        let out_bytes: u64 = net.layers()[1..]
+            .iter()
+            .map(|l| l.out_elems() as u64 * 2)
+            .sum();
+        assert_eq!(stats.ledger.class_bytes(TrafficClass::OfmWrite), out_bytes);
+
+        // The fused ablation folds the junction into its producer.
+        let fused = accel().with_fused_junctions().simulate(&net);
+        let add_bytes = net.layer_by_name("add").unwrap().out_elems() as u64 * 2;
+        assert_eq!(
+            fused.ledger.class_bytes(TrafficClass::OfmWrite),
+            out_bytes - add_bytes
+        );
+    }
+
+    #[test]
+    fn shortcut_operand_is_re_read_at_the_junction() {
+        let net = zoo::toy_residual(1);
+        let stats = accel().simulate(&net);
+        let c1_bytes = net.layer_by_name("c1").unwrap().out_elems() as u64 * 2;
+        assert_eq!(stats.ledger.class_bytes(TrafficClass::ShortcutRead), c1_bytes);
+    }
+
+    #[test]
+    fn unfused_junctions_cost_more() {
+        let net = zoo::resnet34(1);
+        let unfused = accel().simulate(&net);
+        let fused = accel().with_fused_junctions().simulate(&net);
+        assert!(unfused.fm_traffic_bytes() > fused.fm_traffic_bytes());
+        assert_eq!(unfused.architecture, "baseline");
+        assert_eq!(fused.architecture, "baseline-fused");
+    }
+
+    #[test]
+    fn concat_is_free_only_under_fusion() {
+        let net = zoo::squeezenet_v10(1);
+        let fused = accel().with_fused_junctions().simulate(&net);
+        for report in fused.layers.iter().filter(|l| l.kind == "concat") {
+            assert_eq!(report.traffic.total(), 0, "{}", report.name);
+        }
+        let unfused = accel().simulate(&net);
+        let costly = unfused
+            .layers
+            .iter()
+            .filter(|l| l.kind == "concat" && l.traffic.total() > 0)
+            .count();
+        assert_eq!(costly, 8, "all eight fire concats pay in the unfused baseline");
+    }
+
+    #[test]
+    fn plain_network_has_no_shortcut_traffic() {
+        let net = zoo::plain34(1);
+        let stats = accel().simulate(&net);
+        assert_eq!(stats.ledger.class_bytes(TrafficClass::ShortcutRead), 0);
+        assert_eq!(stats.ledger.class_bytes(TrafficClass::SpillWrite), 0);
+    }
+
+    #[test]
+    fn cycles_and_macs_accumulate() {
+        let net = zoo::resnet18(1);
+        let stats = accel().simulate(&net);
+        assert_eq!(stats.macs, net.total_macs());
+        let sum: u64 = stats.layers.iter().map(|l| l.cycles.total).sum();
+        assert_eq!(stats.total_cycles, sum);
+        assert!(stats.throughput_gops() > 0.0);
+    }
+
+    #[test]
+    fn batch_scales_fm_traffic_linearly_for_fm_classes() {
+        let s1 = accel().simulate(&zoo::resnet18(1));
+        let s4 = accel().simulate(&zoo::resnet18(4));
+        assert_eq!(s4.fm_traffic_bytes(), 4 * s1.fm_traffic_bytes());
+        // Weights are amortized across the batch wherever they are resident,
+        // so weight traffic grows sublinearly.
+        let w1 = s1.ledger.class_bytes(TrafficClass::WeightRead);
+        let w4 = s4.ledger.class_bytes(TrafficClass::WeightRead);
+        assert!(w4 < 4 * w1);
+        assert!(w4 >= w1);
+    }
+
+    #[test]
+    fn resnet34_fm_traffic_magnitude_is_sane() {
+        // Per-image FM data of ResNet-34 is a few tens of MB once every
+        // layer round-trips; the exact value depends on halo overheads.
+        let stats = accel().simulate(&zoo::resnet34(1));
+        let mb = stats.fm_traffic_bytes() as f64 / 1e6;
+        assert!((10.0..80.0).contains(&mb), "got {mb} MB");
+    }
+}

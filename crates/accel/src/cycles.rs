@@ -1,0 +1,160 @@
+//! The double-buffered cycle model.
+//!
+//! Tile-based accelerators overlap DRAM streaming with compute through
+//! double buffering, so a layer's latency is the *maximum* of its compute
+//! time and each DRAM channel's streaming time, plus a fixed pipeline
+//! overhead — not their sum. The experiments' throughput comparisons rest on
+//! this model: reducing feature-map traffic only helps once a layer is
+//! feature-map-bound, which is exactly the crossover behaviour the paper
+//! reports.
+
+use serde::Serialize;
+
+use sm_mem::DramModel;
+
+use crate::tiling::ConvDims;
+
+/// Cycle breakdown of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct LayerCycles {
+    /// Pure arithmetic cycles on the PE array.
+    pub compute: u64,
+    /// Cycles the feature-map DRAM channel is busy.
+    pub fm_dram: u64,
+    /// Cycles the weight DRAM channel is busy.
+    pub weight_dram: u64,
+    /// Resulting layer latency (max of the above plus overhead).
+    pub total: u64,
+}
+
+impl LayerCycles {
+    /// Combines the three busy times under double buffering.
+    pub fn combine(compute: u64, fm_dram: u64, weight_dram: u64, overhead: u64) -> LayerCycles {
+        LayerCycles {
+            compute,
+            fm_dram,
+            weight_dram,
+            total: compute.max(fm_dram).max(weight_dram) + overhead,
+        }
+    }
+
+    /// The component that bounds this layer.
+    pub fn bound_by(&self) -> Bound {
+        if self.compute >= self.fm_dram && self.compute >= self.weight_dram {
+            Bound::Compute
+        } else if self.fm_dram >= self.weight_dram {
+            Bound::FeatureMapTraffic
+        } else {
+            Bound::WeightTraffic
+        }
+    }
+}
+
+/// Which resource bounds a layer's latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Bound {
+    /// PE-array arithmetic.
+    Compute,
+    /// Feature-map DRAM channel.
+    FeatureMapTraffic,
+    /// Weight DRAM channel.
+    WeightTraffic,
+}
+
+/// Compute cycles of a tiled convolution: the PE array produces `tm × tn`
+/// MACs per cycle, iterating `K²` cycles per output position per
+/// channel-group pair.
+pub fn conv_compute_cycles(dims: ConvDims, tm: usize, tn: usize) -> u64 {
+    let m_groups = dims.out_c.div_ceil(tm.max(1)) as u64;
+    let n_groups = dims.in_c.div_ceil(tn.max(1)) as u64;
+    dims.batch as u64
+        * m_groups
+        * n_groups
+        * (dims.out_h * dims.out_w) as u64
+        * (dims.kernel * dims.kernel) as u64
+}
+
+/// Compute cycles of a fully-connected layer on the same array (treated as a
+/// 1×1 convolution over a 1×1 spatial extent).
+pub fn fc_compute_cycles(batch: usize, in_features: usize, out_features: usize, tm: usize, tn: usize) -> u64 {
+    batch as u64 * out_features.div_ceil(tm.max(1)) as u64 * in_features.div_ceil(tn.max(1)) as u64
+}
+
+/// Compute cycles of element-wise / pooling work: `ops` scalar operations on
+/// `lanes` parallel lanes.
+pub fn vector_compute_cycles(ops: u64, lanes: usize) -> u64 {
+    ops.div_ceil(lanes.max(1) as u64)
+}
+
+/// DRAM busy cycles for a byte count on a channel.
+pub fn dram_cycles(model: &DramModel, bytes: u64) -> u64 {
+    model.cycles_for_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_mem::DramConfig;
+
+    fn dims() -> ConvDims {
+        ConvDims {
+            batch: 2,
+            in_c: 64,
+            in_h: 56,
+            in_w: 56,
+            out_c: 128,
+            out_h: 56,
+            out_w: 56,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn conv_cycles_match_mac_count_at_full_utilization() {
+        let d = dims();
+        // tm and tn divide the channel counts: utilization is 100%, so
+        // cycles * pe_count == MACs.
+        let cycles = conv_compute_cycles(d, 64, 64);
+        assert_eq!(cycles * 64 * 64, d.macs());
+    }
+
+    #[test]
+    fn ragged_channel_groups_round_up() {
+        let d = ConvDims { out_c: 65, ..dims() };
+        let cycles = conv_compute_cycles(d, 64, 64);
+        // 65 channels need two m-groups.
+        assert_eq!(cycles, 2 * 2 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn combine_is_max_plus_overhead() {
+        let lc = LayerCycles::combine(100, 250, 80, 10);
+        assert_eq!(lc.total, 260);
+        assert_eq!(lc.bound_by(), Bound::FeatureMapTraffic);
+        let lc = LayerCycles::combine(300, 250, 80, 10);
+        assert_eq!(lc.bound_by(), Bound::Compute);
+        let lc = LayerCycles::combine(10, 20, 90, 0);
+        assert_eq!(lc.bound_by(), Bound::WeightTraffic);
+        assert_eq!(lc.total, 90);
+    }
+
+    #[test]
+    fn fc_and_vector_cycles() {
+        assert_eq!(fc_compute_cycles(1, 512, 1000, 64, 64), 16 * 8);
+        assert_eq!(vector_compute_cycles(100, 32), 4);
+        assert_eq!(vector_compute_cycles(0, 32), 0);
+    }
+
+    #[test]
+    fn dram_cycles_delegate_to_model() {
+        let m = DramModel::new(DramConfig {
+            bytes_per_cycle: 64.0,
+            burst_bytes: 64,
+            transfer_latency: 0,
+            clock_hz: 2e8,
+        });
+        assert_eq!(dram_cycles(&m, 6400), 100);
+    }
+}

@@ -1,0 +1,193 @@
+//! Tiled functional execution.
+//!
+//! [`tiled_conv2d`] executes a convolution by explicitly iterating the tile
+//! schedule a [`crate::tiling::TilePlan`] describes — spatial tiles,
+//! output-channel groups, input-channel groups — accumulating partial sums
+//! exactly as the modeled hardware would. Its output must be bit-identical
+//! to the golden [`sm_tensor::ops::conv2d`]; the tests (and the
+//! property-test suite at the workspace root) pin this down, which validates
+//! that the tile schedule the cycle model charges for covers every output
+//! element exactly once.
+
+use sm_tensor::ops::Conv2dParams;
+use sm_tensor::{Shape4, Tensor, TensorError};
+
+use crate::tiling::{ConvDims, TilePlan};
+
+/// Executes a convolution tile by tile according to `plan`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `input`/`weights` disagree
+/// with `dims`, mirroring the golden operator's validation.
+pub fn tiled_conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    dims: ConvDims,
+    plan: &TilePlan,
+) -> Result<Tensor, TensorError> {
+    let is = input.shape();
+    let ws = weights.shape();
+    if is.c != dims.in_c || ws.n != dims.out_c || ws.c != dims.in_c {
+        return Err(TensorError::ShapeMismatch {
+            op: "tiled_conv2d",
+            lhs: is,
+            rhs: ws,
+        });
+    }
+    let params = Conv2dParams::new(dims.kernel, dims.stride, dims.pad);
+    let out_shape = Shape4::new(is.n, dims.out_c, dims.out_h, dims.out_w);
+    let mut out = Tensor::zeros(out_shape);
+
+    // The modeled loop nest: batch, spatial tiles, output-channel groups,
+    // input-channel groups, then the intra-tile loops.
+    for n in 0..is.n {
+        for r0 in (0..dims.out_h).step_by(plan.tr) {
+            let r1 = (r0 + plan.tr).min(dims.out_h);
+            for c0 in (0..dims.out_w).step_by(plan.tc) {
+                let c1 = (c0 + plan.tc).min(dims.out_w);
+                for m0 in (0..dims.out_c).step_by(plan.tm) {
+                    let m1 = (m0 + plan.tm).min(dims.out_c);
+                    for ci0 in (0..dims.in_c).step_by(plan.tn) {
+                        let ci1 = (ci0 + plan.tn).min(dims.in_c);
+                        accumulate_tile(
+                            input, weights, &mut out, params, n,
+                            (r0, r1), (c0, c1), (m0, m1), (ci0, ci1),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accumulate_tile(
+    input: &Tensor,
+    weights: &Tensor,
+    out: &mut Tensor,
+    params: Conv2dParams,
+    n: usize,
+    (r0, r1): (usize, usize),
+    (c0, c1): (usize, usize),
+    (m0, m1): (usize, usize),
+    (ci0, ci1): (usize, usize),
+) {
+    let is = input.shape();
+    for m in m0..m1 {
+        for oy in r0..r1 {
+            for ox in c0..c1 {
+                let mut acc = 0.0f32;
+                for c in ci0..ci1 {
+                    for ky in 0..params.kernel {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= is.h {
+                            continue;
+                        }
+                        for kx in 0..params.kernel {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= is.w {
+                                continue;
+                            }
+                            acc += input.at(n, c, iy as usize, ix as usize)
+                                * weights.at(m, c, ky, kx);
+                        }
+                    }
+                }
+                *out.at_mut(n, m, oy, ox) += acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::{plan_conv, TileCaps};
+    use sm_tensor::ops::{conv2d, conv_out_dim};
+
+    fn check(dims: ConvDims, caps: TileCaps, seed: u64) {
+        let input = Tensor::random(Shape4::new(dims.batch, dims.in_c, dims.in_h, dims.in_w), seed);
+        let weights = Tensor::random(
+            Shape4::new(dims.out_c, dims.in_c, dims.kernel, dims.kernel),
+            seed + 1,
+        );
+        let plan = plan_conv(dims, caps, 8, 8, 2);
+        let params = Conv2dParams::new(dims.kernel, dims.stride, dims.pad);
+        let golden = conv2d(&input, &weights, None, params).unwrap();
+        let tiled = tiled_conv2d(&input, &weights, dims, &plan).unwrap();
+        // Accumulation orders differ (channel groups), so allow float slack.
+        assert!(
+            tiled.all_close(&golden, 1e-4),
+            "tiled != golden for plan {plan:?}"
+        );
+    }
+
+    fn dims(in_c: usize, hw: usize, out_c: usize, k: usize, s: usize, p: usize) -> ConvDims {
+        let out = conv_out_dim(hw, k, s, p).unwrap();
+        ConvDims {
+            batch: 1,
+            in_c,
+            in_h: hw,
+            in_w: hw,
+            out_c,
+            out_h: out,
+            out_w: out,
+            kernel: k,
+            stride: s,
+            pad: p,
+        }
+    }
+
+    fn tiny_caps() -> TileCaps {
+        TileCaps {
+            ifm_bytes: 600,
+            ofm_bytes: 600,
+            weight_tile_bytes: 4096,
+            weight_total_bytes: 8192,
+        }
+    }
+
+    fn big_caps() -> TileCaps {
+        TileCaps {
+            ifm_bytes: 1 << 20,
+            ofm_bytes: 1 << 20,
+            weight_tile_bytes: 1 << 20,
+            weight_total_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn matches_golden_with_single_tile() {
+        check(dims(4, 12, 8, 3, 1, 1), big_caps(), 11);
+    }
+
+    #[test]
+    fn matches_golden_when_heavily_tiled() {
+        check(dims(16, 14, 24, 3, 1, 1), tiny_caps(), 22);
+    }
+
+    #[test]
+    fn matches_golden_for_strided_and_1x1_kernels() {
+        check(dims(8, 13, 8, 3, 2, 1), tiny_caps(), 33);
+        check(dims(12, 9, 16, 1, 1, 0), tiny_caps(), 44);
+        check(dims(3, 17, 6, 7, 2, 3), tiny_caps(), 55);
+    }
+
+    #[test]
+    fn batched_inputs_tile_correctly() {
+        let mut d = dims(6, 10, 10, 3, 1, 1);
+        d.batch = 3;
+        check(d, tiny_caps(), 66);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let d = dims(4, 8, 8, 3, 1, 1);
+        let input = Tensor::zeros(Shape4::new(1, 5, 8, 8)); // wrong channels
+        let weights = Tensor::zeros(Shape4::new(8, 4, 3, 3));
+        let plan = plan_conv(d, big_caps(), 8, 8, 2);
+        assert!(tiled_conv2d(&input, &weights, d, &plan).is_err());
+    }
+}

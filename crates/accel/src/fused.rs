@@ -1,0 +1,320 @@
+//! Fused-layer accelerator — the related-work alternative baseline.
+//!
+//! Layer-fusion accelerators (Alwani et al., MICRO 2016 lineage) evaluate
+//! *chains* of adjacent layers in one pass: the intermediate feature map is
+//! held in on-chip line buffers and never visits DRAM. This is the other
+//! published answer to feature-map traffic — and the instructive contrast
+//! with Shortcut Mining: fusion reuses **adjacent** maps only. A feature
+//! map with a second, non-adjacent consumer (every shortcut source) ends a
+//! fusion chain and still round-trips through DRAM, so residual and bypass
+//! networks keep paying for their shortcut data.
+//!
+//! The model here is the line-buffer (recompute-free) variant, which is the
+//! *optimistic* fusion design point: each fused boundary needs
+//! `K_next × W × C` elements of line buffering for the producer's map, and
+//! chains grow greedily while the line buffers fit in half the feature-map
+//! SRAM (the other half streams the chain's external input/output). Being
+//! optimistic for fusion makes the comparison conservative for Shortcut
+//! Mining.
+
+use sm_buffer::BufferStats;
+use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
+use sm_model::{Layer, LayerId, LayerKind, Network};
+
+use crate::cycles::{
+    conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
+};
+use crate::tiling::{plan_conv, ConvDims};
+use crate::{AccelConfig, BaselineAccelerator, LayerReport, RunStats};
+
+/// The fused-layer accelerator simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedLayerAccelerator {
+    config: AccelConfig,
+}
+
+impl FusedLayerAccelerator {
+    /// Creates the simulator.
+    pub fn new(config: AccelConfig) -> Self {
+        FusedLayerAccelerator { config }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> AccelConfig {
+        self.config
+    }
+
+    /// Whether `layer` can sit in the *interior* of a fusion chain: a
+    /// single-input conv/pool/depthwise whose output has exactly one
+    /// consumer, scheduled immediately after it.
+    fn fusible_interior(net: &Network, layer: &Layer) -> bool {
+        let kind_ok = matches!(
+            layer.kind,
+            LayerKind::Conv(_) | LayerKind::Pool(_) | LayerKind::DepthwiseConv(_)
+        );
+        let consumers = net.consumers(layer.id);
+        kind_ok
+            && layer.inputs.len() == 1
+            && consumers.len() == 1
+            && consumers[0].index() == layer.id.index() + 1
+    }
+
+    /// Line-buffer bytes needed to fuse across `producer → consumer`: the
+    /// consumer's kernel height worth of the producer's rows.
+    fn line_buffer_bytes(net: &Network, producer: LayerId, consumer: &Layer, elem: u64) -> u64 {
+        let p = net.layer(producer).out_shape;
+        let k = match consumer.kind {
+            LayerKind::Conv(s) => s.kernel,
+            LayerKind::DepthwiseConv(s) => s.kernel,
+            LayerKind::Pool(s) => s.kernel,
+            _ => 1,
+        };
+        (k * p.w * p.c) as u64 * elem
+    }
+
+    /// Partitions the network into fusion chains (each a run of layer ids).
+    pub fn fusion_chains(&self, net: &Network) -> Vec<Vec<LayerId>> {
+        let elem = self.config.elem_bytes;
+        let budget = self.config.sram.fm_bytes() / 2;
+        let mut chains: Vec<Vec<LayerId>> = Vec::new();
+        let mut current: Vec<LayerId> = Vec::new();
+        let mut lines: u64 = 0;
+        for layer in &net.layers()[1..] {
+            if let Some(&last) = current.last() {
+                let extra = Self::line_buffer_bytes(net, last, layer, elem);
+                let extendable = Self::fusible_interior(net, net.layer(last))
+                    && layer.inputs.len() == 1
+                    && layer.inputs[0] == last
+                    && matches!(
+                        layer.kind,
+                        LayerKind::Conv(_) | LayerKind::Pool(_) | LayerKind::DepthwiseConv(_)
+                    )
+                    && lines + extra <= budget;
+                if extendable {
+                    lines += extra;
+                    current.push(layer.id);
+                    continue;
+                }
+                chains.push(std::mem::take(&mut current));
+                lines = 0;
+            }
+            current.push(layer.id);
+        }
+        if !current.is_empty() {
+            chains.push(current);
+        }
+        chains
+    }
+
+    /// Simulates a full network.
+    pub fn simulate(&self, net: &Network) -> RunStats {
+        let cfg = self.config;
+        let fm_dram = DramModel::new(cfg.fm_dram);
+        let w_dram = DramModel::new(cfg.weight_dram);
+        let baseline = BaselineAccelerator::new(cfg);
+        let caps = baseline.tile_caps();
+        let mut ledger = Ledger::new();
+        let mut layers = Vec::with_capacity(net.len());
+        let mut buffer_stats = BufferStats::default();
+        let (mut total_cycles, mut total_macs) = (0u64, 0u64);
+
+        for chain in self.fusion_chains(net) {
+            let head = *chain.first().expect("non-empty chain");
+            let tail = *chain.last().expect("non-empty chain");
+            for &lid in &chain {
+                let layer = net.layer(lid);
+                let elem = cfg.elem_bytes;
+                let lanes = cfg.pe_rows * cfg.pe_cols;
+                let mut traffic = ClassTotals::new();
+                let mut compute = 0u64;
+                let mut w_bytes = 0u64;
+
+                // Operand reads: only the chain head reads from DRAM;
+                // interior layers consume line buffers. Non-chain operands
+                // (junction shortcut inputs) always come from DRAM.
+                for (op, &pid) in layer.inputs.iter().enumerate() {
+                    let from_chain = op == 0 && lid != head;
+                    if from_chain {
+                        continue;
+                    }
+                    let class = if pid.index() + 1 < lid.index() {
+                        TrafficClass::ShortcutRead
+                    } else {
+                        TrafficClass::IfmRead
+                    };
+                    let bytes = match (layer.kind, op) {
+                        (LayerKind::Conv(_), 0) => {
+                            let dims = ConvDims::from_layer(net, layer).expect("conv");
+                            plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, elem).ifm_dram_bytes
+                        }
+                        _ => net.layer(pid).out_elems() as u64 * elem,
+                    };
+                    traffic.record(class, bytes);
+                }
+                // Output write: only the chain tail reaches DRAM.
+                if lid == tail {
+                    traffic.record(TrafficClass::OfmWrite, layer.out_elems() as u64 * elem);
+                }
+                // Weights and compute, per layer kind.
+                match layer.kind {
+                    LayerKind::Conv(_) => {
+                        let dims = ConvDims::from_layer(net, layer).expect("conv");
+                        let plan = plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, elem);
+                        w_bytes = plan.weight_dram_bytes;
+                        compute = conv_compute_cycles(dims, plan.tm, plan.tn);
+                    }
+                    LayerKind::DepthwiseConv(spec) => {
+                        let in_shape = net.in_shapes(lid)[0];
+                        w_bytes = (in_shape.c * spec.kernel * spec.kernel) as u64 * elem;
+                        compute = in_shape.n as u64
+                            * in_shape.c.div_ceil(cfg.pe_rows) as u64
+                            * (layer.out_shape.h * layer.out_shape.w) as u64
+                            * (spec.kernel * spec.kernel) as u64;
+                    }
+                    LayerKind::Fc { out_features } => {
+                        let in_shape = net.in_shapes(lid)[0];
+                        let in_features = in_shape.per_image();
+                        w_bytes = (out_features * in_features) as u64 * elem;
+                        compute = fc_compute_cycles(
+                            in_shape.n,
+                            in_features,
+                            out_features,
+                            cfg.pe_rows,
+                            cfg.pe_cols,
+                        );
+                    }
+                    LayerKind::Pool(spec) => {
+                        compute = vector_compute_cycles(
+                            layer.out_elems() as u64 * (spec.kernel * spec.kernel) as u64,
+                            lanes,
+                        );
+                    }
+                    LayerKind::GlobalAvgPool => {
+                        compute = vector_compute_cycles(
+                            net.layer(layer.inputs[0]).out_elems() as u64,
+                            lanes,
+                        );
+                    }
+                    LayerKind::EltwiseAdd { .. } => {
+                        compute = vector_compute_cycles(layer.out_elems() as u64, lanes);
+                    }
+                    LayerKind::ConcatChannels | LayerKind::Input => {}
+                }
+                traffic.record(TrafficClass::WeightRead, w_bytes);
+
+                for class in TrafficClass::ALL {
+                    ledger.record(lid.index(), class, traffic.class(class));
+                }
+                buffer_stats.sram_bytes_written += traffic.reads();
+                buffer_stats.sram_bytes_read += traffic.writes();
+                let cycles = LayerCycles::combine(
+                    compute,
+                    dram_cycles(&fm_dram, traffic.feature_map()),
+                    dram_cycles(&w_dram, w_bytes),
+                    cfg.layer_overhead,
+                );
+                total_cycles += cycles.total;
+                let macs = layer.macs(&net.in_shapes(lid));
+                total_macs += macs;
+                layers.push(LayerReport {
+                    id: lid.index(),
+                    name: layer.name.clone(),
+                    kind: layer.kind.mnemonic(),
+                    cycles,
+                    traffic,
+                    macs,
+                });
+            }
+        }
+
+        RunStats {
+            network: net.name().to_string(),
+            batch: net.input().out_shape.n,
+            architecture: "fused-layer".to_string(),
+            total_cycles,
+            macs: total_macs,
+            ledger,
+            layers,
+            buffer_stats,
+            clock_hz: cfg.clock_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_model::zoo;
+
+    fn accel() -> FusedLayerAccelerator {
+        FusedLayerAccelerator::new(AccelConfig::default())
+    }
+
+    #[test]
+    fn chains_cover_every_layer_exactly_once() {
+        for net in [zoo::resnet34(1), zoo::vgg16(1), zoo::squeezenet_v10_simple_bypass(1)] {
+            let chains = accel().fusion_chains(&net);
+            let mut ids: Vec<usize> = chains
+                .iter()
+                .flat_map(|c| c.iter().map(|l| l.index()))
+                .collect();
+            ids.sort_unstable();
+            let expect: Vec<usize> = (1..net.len()).collect();
+            assert_eq!(ids, expect, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn shortcut_sources_terminate_chains() {
+        // A shortcut source has two consumers, so no chain may contain a
+        // shortcut source in its interior.
+        let net = zoo::resnet34(1);
+        let chains = accel().fusion_chains(&net);
+        let sources = net.shortcut_sources();
+        for chain in &chains {
+            for &lid in &chain[..chain.len() - 1] {
+                assert!(
+                    !sources.contains(&lid),
+                    "shortcut source {} fused past its fork",
+                    net.layer(lid).name
+                );
+            }
+        }
+        // VGG (no shortcuts) fuses long chains; ResNet's chains are short.
+        let vgg_max = accel()
+            .fusion_chains(&zoo::vgg16(1))
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap();
+        assert!(vgg_max >= 3, "vgg should fuse multi-layer chains: {vgg_max}");
+    }
+
+    #[test]
+    fn fusion_beats_baseline_but_not_shortcut_mining_on_resnet() {
+        let cfg = AccelConfig::default();
+        let net = zoo::resnet34(1);
+        let base = BaselineAccelerator::new(cfg).simulate(&net);
+        let fused = accel().simulate(&net);
+        assert!(fused.fm_traffic_bytes() < base.fm_traffic_bytes());
+        // Shortcut re-reads remain: fusion cannot keep shortcut data.
+        assert!(fused.ledger.class_bytes(TrafficClass::ShortcutRead) > 0);
+        assert_eq!(
+            fused.ledger.class_bytes(TrafficClass::WeightRead),
+            base.ledger.class_bytes(TrafficClass::WeightRead)
+        );
+    }
+
+    #[test]
+    fn fused_output_writes_only_at_chain_tails() {
+        let net = zoo::vgg16(1);
+        let fused = accel().simulate(&net);
+        let chains = accel().fusion_chains(&net);
+        let writes = fused
+            .layers
+            .iter()
+            .filter(|l| l.traffic.class(TrafficClass::OfmWrite) > 0)
+            .count();
+        assert_eq!(writes, chains.len());
+    }
+}

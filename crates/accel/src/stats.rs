@@ -1,0 +1,133 @@
+use serde::Serialize;
+
+use sm_buffer::BufferStats;
+use sm_mem::{ClassTotals, EnergyBreakdown, EnergyModel, Ledger};
+
+use crate::cycles::LayerCycles;
+
+/// Per-layer outcome of a simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LayerReport {
+    /// Schedule index of the layer.
+    pub id: usize,
+    /// Layer name.
+    pub name: String,
+    /// Operator mnemonic (`conv`, `add`, …).
+    pub kind: &'static str,
+    /// Cycle breakdown.
+    pub cycles: LayerCycles,
+    /// DRAM traffic attributed to this layer.
+    pub traffic: ClassTotals,
+    /// Multiply-accumulates performed.
+    pub macs: u64,
+}
+
+/// Outcome of simulating one network on one architecture.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunStats {
+    /// Network name.
+    pub network: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Architecture label (`"baseline"`, `"shortcut-mining"`, …).
+    pub architecture: String,
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// Total multiply-accumulates.
+    pub macs: u64,
+    /// Off-chip traffic ledger.
+    pub ledger: Ledger,
+    /// Per-layer reports in schedule order.
+    pub layers: Vec<LayerReport>,
+    /// On-chip buffer activity.
+    pub buffer_stats: BufferStats,
+    /// Fabric clock used for time-domain conversions.
+    pub clock_hz: f64,
+}
+
+impl RunStats {
+    /// Off-chip feature-map bytes — the paper's primary metric.
+    pub fn fm_traffic_bytes(&self) -> u64 {
+        self.ledger.fm_bytes()
+    }
+
+    /// All off-chip bytes including weights.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.ledger.total_bytes()
+    }
+
+    /// Wall-clock seconds of the run.
+    pub fn runtime_seconds(&self) -> f64 {
+        self.total_cycles as f64 / self.clock_hz
+    }
+
+    /// Sustained arithmetic throughput in GOP/s (2 ops per MAC, the
+    /// convention FPGA accelerator papers report).
+    pub fn throughput_gops(&self) -> f64 {
+        2.0 * self.macs as f64 / self.runtime_seconds() / 1e9
+    }
+
+    /// Inference throughput in images per second.
+    pub fn images_per_second(&self) -> f64 {
+        self.batch as f64 / self.runtime_seconds()
+    }
+
+    /// Energy estimate under the given model.
+    pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
+        model.estimate(&self.ledger, self.buffer_stats.sram_bytes(), self.macs)
+    }
+
+    /// Ratio of this run's feature-map traffic to a reference run's
+    /// (`self / reference`); the paper reports `1 - ratio` as "traffic
+    /// reduction".
+    pub fn fm_traffic_ratio(&self, reference: &RunStats) -> f64 {
+        self.fm_traffic_bytes() as f64 / reference.fm_traffic_bytes().max(1) as f64
+    }
+
+    /// Speedup of this run over a reference run (`reference_cycles /
+    /// self_cycles`).
+    pub fn speedup_over(&self, reference: &RunStats) -> f64 {
+        reference.total_cycles as f64 / self.total_cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_mem::TrafficClass;
+
+    fn stats(cycles: u64, fm: u64) -> RunStats {
+        let mut ledger = Ledger::new();
+        ledger.record(1, TrafficClass::IfmRead, fm);
+        ledger.record(1, TrafficClass::WeightRead, 500);
+        RunStats {
+            network: "toy".into(),
+            batch: 2,
+            architecture: "baseline".into(),
+            total_cycles: cycles,
+            macs: 1_000_000,
+            ledger,
+            layers: Vec::new(),
+            buffer_stats: BufferStats::default(),
+            clock_hz: 1e6,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = stats(1_000_000, 4000);
+        assert_eq!(s.fm_traffic_bytes(), 4000);
+        assert_eq!(s.total_traffic_bytes(), 4500);
+        assert!((s.runtime_seconds() - 1.0).abs() < 1e-12);
+        assert!((s.throughput_gops() - 0.002).abs() < 1e-9);
+        assert!((s.images_per_second() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparisons() {
+        let base = stats(1_000_000, 4000);
+        let sm = stats(500_000, 1000);
+        assert!((sm.fm_traffic_ratio(&base) - 0.25).abs() < 1e-12);
+        assert!((sm.speedup_over(&base) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,527 @@
+//! Per-layer tiling design-space exploration and the DRAM traffic formulas
+//! that follow from a chosen tiling.
+//!
+//! The modeled loop nest is the classic output-stationary tiled convolution
+//! (Zhang et al., FPGA'15 lineage): output channels unroll across PE rows
+//! (`Tm`), input channels across PE columns (`Tn`), and the spatial output is
+//! processed in `Tr × Tc` tiles sized to the buffers. Two loop orders trade
+//! input re-reads against weight re-reads:
+//!
+//! * **Input-stationary** — spatial tiles outermost: each (halo-expanded)
+//!   input tile is fetched once; the layer's weights are re-streamed once per
+//!   spatial tile (unless they fit in the weight buffer entirely).
+//! * **Weight-stationary** — output-channel groups outermost: weights are
+//!   fetched once; the input is re-streamed once per `Tm`-group (unless the
+//!   whole input feature map fits on chip).
+//!
+//! [`plan_conv`] picks the tile size and loop order minimizing total DRAM
+//! traffic for the available capacities. The same planner serves the baseline
+//! and Shortcut Mining — the paper's gain comes from *cross-layer* reuse, so
+//! the per-layer schedule is held identical to isolate it.
+
+use serde::Serialize;
+
+use sm_model::{ConvSpec, Layer, LayerKind, Network};
+use sm_tensor::Shape4;
+
+/// Convolution dimensions flattened out of the layer IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ConvDims {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Kernel extent.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub pad: usize,
+}
+
+impl ConvDims {
+    /// Extracts dimensions from a convolution layer of `net`.
+    ///
+    /// Returns `None` for non-convolution layers.
+    pub fn from_layer(net: &Network, layer: &Layer) -> Option<ConvDims> {
+        let LayerKind::Conv(spec) = layer.kind else {
+            return None;
+        };
+        let in_shape = net.in_shapes(layer.id)[0];
+        Some(ConvDims::new(in_shape, spec, layer.out_shape))
+    }
+
+    /// Builds dimensions from explicit shapes.
+    pub fn new(input: Shape4, spec: ConvSpec, output: Shape4) -> ConvDims {
+        ConvDims {
+            batch: input.n,
+            in_c: input.c,
+            in_h: input.h,
+            in_w: input.w,
+            out_c: output.c,
+            out_h: output.h,
+            out_w: output.w,
+            kernel: spec.kernel,
+            stride: spec.stride,
+            pad: spec.pad,
+        }
+    }
+
+    /// Input feature-map elements per image.
+    pub fn ifm_elems(&self) -> u64 {
+        (self.in_c * self.in_h * self.in_w) as u64
+    }
+
+    /// Output feature-map elements per image.
+    pub fn ofm_elems(&self) -> u64 {
+        (self.out_c * self.out_h * self.out_w) as u64
+    }
+
+    /// Weight elements of the layer.
+    pub fn weight_elems(&self) -> u64 {
+        (self.out_c * self.in_c * self.kernel * self.kernel) as u64
+    }
+
+    /// Multiply-accumulates for the full batch.
+    pub fn macs(&self) -> u64 {
+        self.batch as u64
+            * self.ofm_elems()
+            * (self.in_c * self.kernel * self.kernel) as u64
+    }
+
+    /// Input rows actually touched by output rows `[o0, o1)`, clipped to
+    /// the real input extent. When the kernel covers the stride the touched
+    /// set is one contiguous span; a kernel smaller than its stride skips
+    /// rows, leaving disjoint pieces (the DMA fetches them with a strided
+    /// 2-D descriptor, so skipped rows are never transferred).
+    fn in_span(&self, o0: usize, o1: usize, in_extent: usize) -> u64 {
+        debug_assert!(o0 < o1);
+        let clip = |a0: usize, a1: usize| -> u64 {
+            let lo = (a0 * self.stride) as isize - self.pad as isize;
+            let hi = ((a1 - 1) * self.stride + self.kernel) as isize - self.pad as isize;
+            let lo = lo.max(0) as usize;
+            let hi = (hi.max(0) as usize).min(in_extent);
+            (hi - lo) as u64
+        };
+        if self.kernel >= self.stride {
+            clip(o0, o1)
+        } else {
+            (o0..o1).map(|o| clip(o, o + 1)).sum()
+        }
+    }
+
+    /// Total input elements fetched when the output is processed in
+    /// `tr × tc` spatial tiles: halo rows/columns are re-fetched at tile
+    /// boundaries. Separable in rows × columns.
+    pub fn halo_expanded_ifm_elems(&self, tr: usize, tc: usize) -> u64 {
+        let rows: u64 = (0..self.out_h)
+            .step_by(tr.max(1))
+            .map(|o0| self.in_span(o0, (o0 + tr).min(self.out_h), self.in_h))
+            .sum();
+        let cols: u64 = (0..self.out_w)
+            .step_by(tc.max(1))
+            .map(|o0| self.in_span(o0, (o0 + tc).min(self.out_w), self.in_w))
+            .sum();
+        rows * cols * self.in_c as u64
+    }
+}
+
+/// Loop-order choice of the tiled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum LoopOrder {
+    /// Spatial tiles outermost; inputs fetched once, weights re-streamed.
+    InputStationary,
+    /// Output-channel groups outermost; weights fetched once, inputs
+    /// re-streamed.
+    WeightStationary,
+}
+
+/// Buffer capacities available to the per-layer schedule, in bytes.
+///
+/// For the baseline these are the halves of the fixed double buffers; for
+/// Shortcut Mining they are whatever the controller granted the streaming
+/// logical buffers for this layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TileCaps {
+    /// Capacity for streaming input tiles.
+    pub ifm_bytes: u64,
+    /// Capacity for collecting output tiles.
+    pub ofm_bytes: u64,
+    /// Capacity for one weight tile (half the weight buffer).
+    pub weight_tile_bytes: u64,
+    /// Full weight-buffer capacity (for whole-layer weight residency).
+    pub weight_total_bytes: u64,
+}
+
+/// A chosen tiling plus the DRAM traffic it implies for the whole batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TilePlan {
+    /// Output channels in parallel.
+    pub tm: usize,
+    /// Input channels in parallel.
+    pub tn: usize,
+    /// Output tile rows.
+    pub tr: usize,
+    /// Output tile columns.
+    pub tc: usize,
+    /// Loop order.
+    pub order: LoopOrder,
+    /// Spatial tiles per image.
+    pub spatial_tiles: u64,
+    /// Input bytes fetched from DRAM for the whole batch.
+    pub ifm_dram_bytes: u64,
+    /// Weight bytes fetched from DRAM for the whole batch.
+    pub weight_dram_bytes: u64,
+    /// Output bytes written to DRAM for the whole batch.
+    pub ofm_dram_bytes: u64,
+    /// Whether the whole input feature map fits in the input capacity.
+    pub ifm_resident: bool,
+    /// Whether the whole layer's weights fit in the weight buffer.
+    pub weights_resident: bool,
+}
+
+impl TilePlan {
+    /// Total DRAM traffic of the plan.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.ifm_dram_bytes + self.weight_dram_bytes + self.ofm_dram_bytes
+    }
+}
+
+fn tiles(total: usize, tile: usize) -> u64 {
+    (total.div_ceil(tile.max(1))) as u64
+}
+
+/// Plans a convolution: largest feasible square-ish spatial tile, then the
+/// loop order with less DRAM traffic.
+///
+/// `pe_rows`/`pe_cols` bound the channel unrolls; `elem_bytes` is the
+/// datatype width. The returned plan always satisfies the capacity
+/// constraints (the spatial tile degenerates to 1×1 in the worst case; the
+/// channel unrolls shrink only if even a 1×1 tile cannot fit).
+///
+/// # Example
+///
+/// ```
+/// use sm_accel::tiling::{plan_conv, ConvDims, TileCaps};
+///
+/// let dims = ConvDims {
+///     batch: 1, in_c: 64, in_h: 56, in_w: 56,
+///     out_c: 64, out_h: 56, out_w: 56,
+///     kernel: 3, stride: 1, pad: 1,
+/// };
+/// let caps = TileCaps {
+///     ifm_bytes: 64 << 10, ofm_bytes: 64 << 10,
+///     weight_tile_bytes: 128 << 10, weight_total_bytes: 256 << 10,
+/// };
+/// let plan = plan_conv(dims, caps, 64, 64, 2);
+/// // The output is always written exactly once.
+/// assert_eq!(plan.ofm_dram_bytes, 64 * 56 * 56 * 2);
+/// ```
+pub fn plan_conv(
+    dims: ConvDims,
+    caps: TileCaps,
+    pe_rows: usize,
+    pe_cols: usize,
+    elem_bytes: u64,
+) -> TilePlan {
+    let mut tm = pe_rows.min(dims.out_c).max(1);
+    let mut tn = pe_cols.min(dims.in_c).max(1);
+
+    // Shrink channel unrolls until a 1x1 output tile fits at all.
+    loop {
+        let ifm_min = (tn * dims.kernel * dims.kernel) as u64 * elem_bytes;
+        let ofm_min = tm as u64 * elem_bytes;
+        let w_min = (tm * tn * dims.kernel * dims.kernel) as u64 * elem_bytes;
+        if (ifm_min <= caps.ifm_bytes && ofm_min <= caps.ofm_bytes && w_min <= caps.weight_tile_bytes)
+            || (tm == 1 && tn == 1)
+        {
+            break;
+        }
+        if tm >= tn && tm > 1 {
+            tm /= 2;
+        } else if tn > 1 {
+            tn /= 2;
+        }
+    }
+
+    // Choose the spatial tile shape by searching halving candidates of the
+    // tile width, taking for each the tallest feasible tile, and keeping the
+    // shape with the least halo-expanded input traffic (tie-break: more
+    // outputs per tile, fewer weight re-streams). The candidate set depends
+    // only on the output extent, so growing the buffers can only improve
+    // the chosen plan.
+    let fits = |tr: usize, tc: usize| -> bool {
+        let in_rows = ((tr - 1) * dims.stride + dims.kernel) as u64;
+        let in_cols = ((tc - 1) * dims.stride + dims.kernel) as u64;
+        let ifm_tile = tn as u64 * in_rows * in_cols * elem_bytes;
+        let ofm_tile = (tm * tr * tc) as u64 * elem_bytes;
+        ifm_tile <= caps.ifm_bytes && ofm_tile <= caps.ofm_bytes
+    };
+    let mut best: Option<(usize, usize, u64)> = None;
+    let mut tc_cand = dims.out_w;
+    loop {
+        let mut tr_cand = dims.out_h;
+        while tr_cand > 1 && !fits(tr_cand, tc_cand) {
+            tr_cand = tr_cand.div_ceil(2);
+        }
+        if fits(tr_cand, tc_cand) {
+            let halo = dims.halo_expanded_ifm_elems(tr_cand, tc_cand);
+            let better = match best {
+                None => true,
+                Some((br, bc, bh)) => {
+                    halo < bh || (halo == bh && tr_cand * tc_cand > br * bc)
+                }
+            };
+            if better {
+                best = Some((tr_cand, tc_cand, halo));
+            }
+        }
+        if tc_cand == 1 {
+            break;
+        }
+        tc_cand = tc_cand.div_ceil(2);
+    }
+    let (tr, tc) = best.map_or((1, 1), |(r, c, _)| (r, c));
+
+    let spatial_tiles = tiles(dims.out_h, tr) * tiles(dims.out_w, tc);
+    let m_groups = tiles(dims.out_c, tm);
+    let batch = dims.batch as u64;
+
+    let ifm_bytes_full = dims.ifm_elems() * elem_bytes;
+    let w_bytes = dims.weight_elems() * elem_bytes;
+    let ofm_bytes = dims.ofm_elems() * elem_bytes * batch;
+    let halo_bytes = dims.halo_expanded_ifm_elems(tr, tc) * elem_bytes;
+    // A single pass fetches only the *touched* input elements (a strided
+    // kernel smaller than its stride skips rows/columns entirely); this is
+    // the single-tile halo, and per-tile halos only add to it.
+    let touched_bytes = dims.halo_expanded_ifm_elems(dims.out_h, dims.out_w) * elem_bytes;
+
+    let ifm_resident = ifm_bytes_full <= caps.ifm_bytes;
+    let weights_resident = w_bytes <= caps.weight_total_bytes;
+
+    // Input-stationary: inputs once (touched set when resident, halo-expanded
+    // tiles otherwise), weights once if resident, else once per spatial tile.
+    let is_ifm = if ifm_resident { touched_bytes } else { halo_bytes } * batch;
+    let is_w = if weights_resident {
+        w_bytes
+    } else {
+        w_bytes * spatial_tiles * batch
+    };
+
+    // Weight-stationary: weights once (per image if they must be
+    // re-streamed), inputs once per output-channel group unless resident.
+    let ws_ifm = if ifm_resident {
+        touched_bytes * batch
+    } else {
+        halo_bytes * m_groups * batch
+    };
+    let ws_w = if weights_resident { w_bytes } else { w_bytes * batch };
+
+    let (order, ifm_dram_bytes, weight_dram_bytes) = if is_ifm + is_w <= ws_ifm + ws_w {
+        (LoopOrder::InputStationary, is_ifm, is_w)
+    } else {
+        (LoopOrder::WeightStationary, ws_ifm, ws_w)
+    };
+
+    TilePlan {
+        tm,
+        tn,
+        tr,
+        tc,
+        order,
+        spatial_tiles,
+        ifm_dram_bytes,
+        weight_dram_bytes,
+        ofm_dram_bytes: ofm_bytes,
+        ifm_resident,
+        weights_resident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims_56x56() -> ConvDims {
+        // A ResNet-34 conv2_x layer: 64 -> 64 channels, 56x56, 3x3 s1 p1.
+        ConvDims {
+            batch: 1,
+            in_c: 64,
+            in_h: 56,
+            in_w: 56,
+            out_c: 64,
+            out_h: 56,
+            out_w: 56,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    fn big_caps() -> TileCaps {
+        TileCaps {
+            ifm_bytes: 1 << 20,
+            ofm_bytes: 1 << 20,
+            weight_tile_bytes: 256 << 10,
+            weight_total_bytes: 512 << 10,
+        }
+    }
+
+    #[test]
+    fn resident_input_is_read_once() {
+        let plan = plan_conv(dims_56x56(), big_caps(), 64, 64, 2);
+        assert!(plan.ifm_resident);
+        assert_eq!(plan.ifm_dram_bytes, 64 * 56 * 56 * 2);
+        assert!(plan.weights_resident);
+        assert_eq!(plan.weight_dram_bytes, 64 * 64 * 9 * 2);
+        assert_eq!(plan.ofm_dram_bytes, 64 * 56 * 56 * 2);
+    }
+
+    #[test]
+    fn tiny_buffers_force_tiling_with_halo_overhead() {
+        let caps = TileCaps {
+            ifm_bytes: 16 << 10,
+            ofm_bytes: 16 << 10,
+            weight_tile_bytes: 16 << 10,
+            weight_total_bytes: 32 << 10,
+        };
+        let plan = plan_conv(dims_56x56(), caps, 64, 64, 2);
+        assert!(!plan.ifm_resident);
+        assert!(plan.spatial_tiles > 1);
+        // Halo makes the streamed input strictly exceed the raw input.
+        assert!(plan.ifm_dram_bytes > 64 * 56 * 56 * 2);
+        // The constraints hold for the chosen tile.
+        let in_rows = ((plan.tr - 1) + 3) as u64;
+        let in_cols = ((plan.tc - 1) + 3) as u64;
+        assert!(plan.tn as u64 * in_rows * in_cols * 2 <= caps.ifm_bytes);
+        assert!((plan.tm * plan.tr * plan.tc) as u64 * 2 <= caps.ofm_bytes);
+    }
+
+    #[test]
+    fn halo_expansion_is_exact_for_whole_fm_tile() {
+        let d = dims_56x56();
+        // One tile covering everything: the halo-expanded fetch equals the
+        // full input feature map (padding contributes nothing).
+        assert_eq!(d.halo_expanded_ifm_elems(56, 56), d.ifm_elems());
+        // 28x28 tiles: each of the 2x2 tiles reads (28+2)-ish rows/cols with
+        // clipping at the borders: rows = (0..28 -> 29) + (28..56 -> 29).
+        assert_eq!(d.halo_expanded_ifm_elems(28, 28), 58 * 58 * 64);
+    }
+
+    #[test]
+    fn strided_conv_halo() {
+        let d = ConvDims {
+            batch: 1,
+            in_c: 3,
+            in_h: 224,
+            in_w: 224,
+            out_c: 64,
+            out_h: 112,
+            out_w: 112,
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+        };
+        // Full-FM tile reads exactly the input once.
+        assert_eq!(d.halo_expanded_ifm_elems(112, 112), d.ifm_elems());
+        assert_eq!(d.macs(), 64 * 112 * 112 * 3 * 49);
+    }
+
+    #[test]
+    fn loop_order_tracks_traffic_balance() {
+        // FM-heavy layer with weights that fit: input-stationary or
+        // weight-stationary are equal-cost on inputs; the planner must not
+        // multiply weight traffic.
+        let plan = plan_conv(dims_56x56(), big_caps(), 16, 16, 2);
+        assert_eq!(plan.weight_dram_bytes, 64 * 64 * 9 * 2);
+
+        // Weight-heavy layer (non-resident weights, several spatial tiles,
+        // small input): re-streaming weights per spatial tile would be far
+        // worse than re-streaming the input per channel group, so
+        // weight-stationary wins.
+        let d = ConvDims {
+            batch: 1,
+            in_c: 512,
+            in_h: 14,
+            in_w: 14,
+            out_c: 512,
+            out_h: 14,
+            out_w: 14,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let caps = TileCaps {
+            ifm_bytes: 8 << 10,
+            ofm_bytes: 8 << 10,
+            weight_tile_bytes: 64 << 10,
+            weight_total_bytes: 128 << 10,
+        };
+        let plan = plan_conv(d, caps, 64, 64, 2);
+        assert!(plan.spatial_tiles > 1);
+        assert!(!plan.weights_resident);
+        assert_eq!(plan.order, LoopOrder::WeightStationary);
+        assert_eq!(plan.weight_dram_bytes, d.weight_elems() * 2);
+        // The input is re-streamed once per output-channel group.
+        assert!(plan.ifm_dram_bytes >= d.ifm_elems() * 2 * (512 / 64));
+    }
+
+    #[test]
+    fn batch_scales_fm_traffic_not_resident_weights() {
+        let mut d = dims_56x56();
+        d.batch = 4;
+        let plan = plan_conv(d, big_caps(), 64, 64, 2);
+        assert_eq!(plan.ofm_dram_bytes, 4 * 64 * 56 * 56 * 2);
+        assert_eq!(plan.ifm_dram_bytes, 4 * 64 * 56 * 56 * 2);
+        assert_eq!(plan.weight_dram_bytes, 64 * 64 * 9 * 2);
+    }
+
+    #[test]
+    fn degenerate_capacity_still_produces_a_legal_plan() {
+        let caps = TileCaps {
+            ifm_bytes: 64,
+            ofm_bytes: 64,
+            weight_tile_bytes: 64,
+            weight_total_bytes: 64,
+        };
+        let plan = plan_conv(dims_56x56(), caps, 64, 64, 2);
+        assert!(plan.tm >= 1 && plan.tn >= 1);
+        assert!(plan.tr >= 1 && plan.tc >= 1);
+        let w_tile = (plan.tm * plan.tn * 9) as u64 * 2;
+        assert!(w_tile <= 64 || (plan.tm == 1 && plan.tn == 1));
+    }
+
+    #[test]
+    fn conv_dims_macs_agree_with_layer_macs() {
+        // Two independent MAC counters (layer IR vs conv dims) must agree
+        // on every convolution of a real network.
+        let net = sm_model::zoo::resnet50(2);
+        for layer in net.layers() {
+            if let Some(d) = ConvDims::from_layer(&net, layer) {
+                assert_eq!(d.macs(), layer.macs(&net.in_shapes(layer.id)), "{}", layer.name);
+            }
+        }
+    }
+
+    #[test]
+    fn from_layer_extracts_conv_dims() {
+        let net = sm_model::zoo::resnet34(1);
+        let layer = net.layer_by_name("conv1").unwrap();
+        let d = ConvDims::from_layer(&net, layer).unwrap();
+        assert_eq!(d.in_c, 3);
+        assert_eq!(d.out_c, 64);
+        assert_eq!(d.out_h, 112);
+        let pool = net.layer_by_name("pool1").unwrap();
+        assert!(ConvDims::from_layer(&net, pool).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the tiling planner: every plan must satisfy its
+//! capacity constraints, never under-count traffic below physical lower
+//! bounds, and respond monotonically to capacity.
+
+use proptest::prelude::*;
+
+use sm_accel::tiling::{plan_conv, ConvDims, TileCaps};
+use sm_tensor::ops::conv_out_dim;
+
+fn dims_strategy() -> impl Strategy<Value = ConvDims> {
+    (
+        1usize..3,            // batch
+        1usize..96,           // in_c
+        4usize..64,           // in extent
+        1usize..128,          // out_c
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+        1usize..3,            // stride
+    )
+        .prop_filter_map("valid conv geometry", |(batch, in_c, hw, out_c, k, s)| {
+            let pad = k / 2;
+            let out = conv_out_dim(hw, k, s, pad)?;
+            Some(ConvDims {
+                batch,
+                in_c,
+                in_h: hw,
+                in_w: hw,
+                out_c,
+                out_h: out,
+                out_w: out,
+                kernel: k,
+                stride: s,
+                pad,
+            })
+        })
+}
+
+fn caps_strategy() -> impl Strategy<Value = TileCaps> {
+    (9u64..18, 9u64..18, 11u64..18).prop_map(|(i, o, w)| TileCaps {
+        ifm_bytes: 1 << i,
+        ofm_bytes: 1 << o,
+        weight_tile_bytes: 1 << w,
+        weight_total_bytes: 1 << (w + 1),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The chosen tile always fits the declared capacities.
+    #[test]
+    fn plans_respect_capacity_constraints(dims in dims_strategy(), caps in caps_strategy()) {
+        let elem = 2u64;
+        let plan = plan_conv(dims, caps, 32, 32, elem);
+        prop_assert!(plan.tr >= 1 && plan.tc >= 1 && plan.tm >= 1 && plan.tn >= 1);
+        prop_assert!(plan.tr <= dims.out_h && plan.tc <= dims.out_w);
+        let in_rows = ((plan.tr - 1) * dims.stride + dims.kernel) as u64;
+        let in_cols = ((plan.tc - 1) * dims.stride + dims.kernel) as u64;
+        let ifm_tile = plan.tn as u64 * in_rows * in_cols * elem;
+        let ofm_tile = (plan.tm * plan.tr * plan.tc) as u64 * elem;
+        // Degenerate capacities may force the minimum 1x1x1x1 tile; any
+        // larger tile must fit.
+        if plan.tm > 1 || plan.tn > 1 || plan.tr > 1 || plan.tc > 1 {
+            prop_assert!(ifm_tile <= caps.ifm_bytes || (plan.tn == 1 && plan.tr == 1 && plan.tc == 1));
+            prop_assert!(ofm_tile <= caps.ofm_bytes || (plan.tm == 1 && plan.tr == 1 && plan.tc == 1));
+        }
+    }
+
+    /// Traffic never drops below the physical lower bounds: the input and
+    /// weights are read at least once, the output written exactly once.
+    #[test]
+    fn traffic_respects_lower_bounds(dims in dims_strategy(), caps in caps_strategy()) {
+        let elem = 2u64;
+        let plan = plan_conv(dims, caps, 32, 32, elem);
+        let touched = dims.halo_expanded_ifm_elems(dims.out_h, dims.out_w);
+        prop_assert!(plan.ifm_dram_bytes >= touched * elem * dims.batch as u64);
+        prop_assert!(plan.weight_dram_bytes >= dims.weight_elems() * elem);
+        prop_assert_eq!(plan.ofm_dram_bytes, dims.ofm_elems() * elem * dims.batch as u64);
+        prop_assert!(plan.total_dram_bytes() >= plan.ifm_dram_bytes + plan.ofm_dram_bytes);
+    }
+
+    /// The planner is throughput-first: channel unrolls never shrink when
+    /// capacity grows, and whenever the unrolls match (the common case),
+    /// more capacity never means more planned traffic. (Unconditional
+    /// traffic monotonicity does not hold by design: extra capacity can buy
+    /// a larger channel unroll — fewer compute groups — at the price of a
+    /// smaller spatial tile and more halo.)
+    #[test]
+    fn capacity_growth_helps_compute_and_matched_plans(dims in dims_strategy(), caps in caps_strategy()) {
+        let elem = 2u64;
+        let small = plan_conv(dims, caps, 32, 32, elem);
+        let big_caps = TileCaps {
+            ifm_bytes: caps.ifm_bytes * 2,
+            ofm_bytes: caps.ofm_bytes * 2,
+            weight_tile_bytes: caps.weight_tile_bytes * 2,
+            weight_total_bytes: caps.weight_total_bytes * 2,
+        };
+        let big = plan_conv(dims, big_caps, 32, 32, elem);
+        prop_assert!(big.tm >= small.tm, "tm shrank: {} < {}", big.tm, small.tm);
+        prop_assert!(big.tn >= small.tn, "tn shrank: {} < {}", big.tn, small.tn);
+        if big.tm == small.tm && big.tn == small.tn {
+            prop_assert!(
+                big.total_dram_bytes() <= small.total_dram_bytes(),
+                "{} > {}", big.total_dram_bytes(), small.total_dram_bytes()
+            );
+        }
+    }
+
+    /// The separable halo formula equals a brute-force count of fetched
+    /// input positions.
+    #[test]
+    fn halo_formula_matches_brute_force(dims in dims_strategy(), tr in 1usize..16, tc in 1usize..16) {
+        let tr = tr.min(dims.out_h);
+        let tc = tc.min(dims.out_w);
+        // Independent brute force: mark every input position each tile
+        // touches and sum the per-tile mark counts.
+        let mut brute: u64 = 0;
+        for r0 in (0..dims.out_h).step_by(tr) {
+            let r1 = (r0 + tr).min(dims.out_h);
+            for c0 in (0..dims.out_w).step_by(tc) {
+                let c1 = (c0 + tc).min(dims.out_w);
+                let mut rows = vec![false; dims.in_h];
+                let mut cols = vec![false; dims.in_w];
+                for o in r0..r1 {
+                    for k in 0..dims.kernel {
+                        let i = (o * dims.stride + k) as isize - dims.pad as isize;
+                        if i >= 0 && (i as usize) < dims.in_h {
+                            rows[i as usize] = true;
+                        }
+                    }
+                }
+                for o in c0..c1 {
+                    for k in 0..dims.kernel {
+                        let i = (o * dims.stride + k) as isize - dims.pad as isize;
+                        if i >= 0 && (i as usize) < dims.in_w {
+                            cols[i as usize] = true;
+                        }
+                    }
+                }
+                let r = rows.iter().filter(|&&x| x).count() as u64;
+                let c = cols.iter().filter(|&&x| x).count() as u64;
+                brute += r * c;
+            }
+        }
+        brute *= dims.in_c as u64;
+        prop_assert_eq!(dims.halo_expanded_ifm_elems(tr, tc), brute);
+    }
+}

@@ -1,0 +1,57 @@
+//! Micro-benchmarks for the logical-buffer substrate: the O(1) relabel is
+//! the mechanism the whole proposal rides on, so its cost (and the cost of
+//! allocation and spilling) is worth pinning down.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sm_buffer::{BankPoolConfig, BufferRole, LogicalBuffers};
+
+fn bench_buffer_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logical_buffers");
+
+    g.bench_function("alloc_free_4_banks", |b| {
+        let mut bufs = LogicalBuffers::new(BankPoolConfig::new(64, 16 << 10));
+        b.iter(|| {
+            let id = bufs.alloc(BufferRole::Output, 4).unwrap();
+            bufs.free(black_box(id)).unwrap();
+        });
+    });
+
+    g.bench_function("relabel", |b| {
+        let mut bufs = LogicalBuffers::new(BankPoolConfig::new(64, 16 << 10));
+        let id = bufs.alloc(BufferRole::Output, 8).unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let role = if flip { BufferRole::Input } else { BufferRole::Output };
+            bufs.relabel(black_box(id), role).unwrap();
+        });
+    });
+
+    g.bench_function("spill_grow_cycle", |b| {
+        let mut bufs = LogicalBuffers::new(BankPoolConfig::new(64, 16 << 10));
+        let id = bufs.alloc(BufferRole::Shortcut, 8).unwrap();
+        bufs.write(id, 8 * (16 << 10)).unwrap();
+        b.iter(|| {
+            let (_, evicted) = bufs.spill_bank(id).unwrap();
+            black_box(evicted);
+            bufs.grow(id, 1).unwrap();
+            bufs.write(id, 16 << 10).unwrap();
+        });
+    });
+
+    g.bench_function("pin_unpin", |b| {
+        let mut bufs = LogicalBuffers::new(BankPoolConfig::new(64, 16 << 10));
+        let id = bufs.alloc(BufferRole::Shortcut, 4).unwrap();
+        b.iter(|| {
+            bufs.pin(black_box(id)).unwrap();
+            bufs.unpin(id).unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_buffer_ops);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Golden-model operator throughput: the reference convolution and the
+//! tile-schedule-faithful convolution it validates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sm_accel::functional::tiled_conv2d;
+use sm_accel::tiling::{plan_conv, ConvDims, TileCaps};
+use sm_tensor::ops::{conv2d, Conv2dParams};
+use sm_tensor::{Shape4, Tensor};
+
+fn bench_conv(c: &mut Criterion) {
+    let dims = ConvDims {
+        batch: 1,
+        in_c: 32,
+        in_h: 28,
+        in_w: 28,
+        out_c: 32,
+        out_h: 28,
+        out_w: 28,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let input = Tensor::random(Shape4::new(1, 32, 28, 28), 1);
+    let weights = Tensor::random(Shape4::new(32, 32, 3, 3), 2);
+    let params = Conv2dParams::new(3, 1, 1);
+    let caps = TileCaps {
+        ifm_bytes: 16 << 10,
+        ofm_bytes: 16 << 10,
+        weight_tile_bytes: 16 << 10,
+        weight_total_bytes: 32 << 10,
+    };
+    let plan = plan_conv(dims, caps, 16, 16, 2);
+
+    let mut g = c.benchmark_group("golden_conv");
+    g.throughput(Throughput::Elements(dims.macs()));
+    g.bench_function("reference_conv2d_32x28x28", |b| {
+        b.iter(|| black_box(conv2d(&input, &weights, None, params).unwrap()));
+    });
+    g.bench_function("tiled_conv2d_32x28x28", |b| {
+        b.iter(|| black_box(tiled_conv2d(&input, &weights, dims, &plan).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end simulator throughput: full-network simulation latency for the
+//! baseline and Shortcut Mining on the evaluated networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sm_accel::{AccelConfig, BaselineAccelerator};
+use sm_core::{Policy, ShortcutMiner};
+use sm_model::zoo;
+
+fn bench_simulators(c: &mut Criterion) {
+    let cfg = AccelConfig::default();
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(20);
+
+    for (name, net) in [
+        ("squeezenet_bypass", zoo::squeezenet_v10_simple_bypass(1)),
+        ("resnet34", zoo::resnet34(1)),
+        ("resnet152", zoo::resnet152(1)),
+    ] {
+        g.bench_function(format!("baseline_{name}"), |b| {
+            let accel = BaselineAccelerator::new(cfg);
+            b.iter(|| black_box(accel.simulate(&net)));
+        });
+        g.bench_function(format!("shortcut_mining_{name}"), |b| {
+            let miner = ShortcutMiner::new(cfg, Policy::shortcut_mining());
+            b.iter(|| black_box(miner.simulate(&net)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the evaluation in one run.
+//!
+//! Usage: `all_experiments [--csv <dir>]`
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::*;
+use sm_bench::report::Table;
+
+fn main() {
+    let cfg = AccelConfig::default();
+    let tables: Vec<Table> = vec![
+        fig2_shortcut_share(1).table,
+        table1_networks(1),
+        table2_config(cfg),
+        fig10_traffic_reduction(cfg, 1).table,
+        fig11_traffic_breakdown(cfg, 1).table,
+        fig12_per_block(cfg, 1).table,
+        fig13_throughput(cfg, 1).table,
+        fig14_capacity_sweep(cfg, 1).table,
+        fig15_batch_sweep(cfg).table,
+        fig16_energy(cfg, 1).table,
+        table3_ablation(cfg, 1).table,
+        fig17_intermediate_layers(cfg, 1).table,
+    ];
+    for t in &tables {
+        println!("{}", t.render());
+        sm_bench::report::maybe_csv(t);
+    }
+}

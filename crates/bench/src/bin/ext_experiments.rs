@@ -1,0 +1,29 @@
+//! Regenerates the extension experiments (beyond the paper's evaluation).
+//!
+//! Usage: `ext_experiments [--csv <dir>]`
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::*;
+use sm_bench::report::Table;
+
+fn main() {
+    let cfg = AccelConfig::default();
+    let tables: Vec<Table> = vec![
+        ext_new_workloads(cfg, 1).table,
+        ext_bandwidth_sweep(cfg, 1).table,
+        ext_capacity_requirements(cfg, 1),
+        ext_spill_order(cfg, 1).table,
+        ext_datatype(cfg, 1).table,
+        ext_pipeline_validation(cfg, 1),
+        ext_share_vs_benefit(cfg, 1).table,
+        ext_batch_schedule(cfg).table,
+        ext_bound_breakdown(cfg, 1).table,
+        ext_ddr_bandwidth(cfg, 1).table,
+        ext_bcu_overhead(cfg),
+        ext_architecture_comparison(cfg, 1).table,
+    ];
+    for t in &tables {
+        println!("{}", t.render());
+        sm_bench::report::maybe_csv(t);
+    }
+}

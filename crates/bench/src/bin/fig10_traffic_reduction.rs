@@ -1,0 +1,11 @@
+//! Regenerates Fig. 10: the headline feature-map traffic reduction
+//! (paper: 53.3% SqueezeNet, 58% ResNet-34, 43% ResNet-152).
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig10_traffic_reduction;
+
+fn main() {
+    let r = fig10_traffic_reduction(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

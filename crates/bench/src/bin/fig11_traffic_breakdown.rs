@@ -1,0 +1,10 @@
+//! Regenerates Fig. 11: per-category off-chip traffic breakdown.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig11_traffic_breakdown;
+
+fn main() {
+    let r = fig11_traffic_breakdown(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

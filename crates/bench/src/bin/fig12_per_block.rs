@@ -1,0 +1,10 @@
+//! Regenerates Fig. 12: per-block feature-map traffic for ResNet-34.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig12_per_block;
+
+fn main() {
+    let r = fig12_per_block(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 13: throughput gain over the baseline
+//! (paper: 1.93x).
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig13_throughput;
+
+fn main() {
+    let r = fig13_throughput(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

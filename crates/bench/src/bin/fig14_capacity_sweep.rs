@@ -1,0 +1,10 @@
+//! Regenerates Fig. 14: traffic reduction vs on-chip capacity.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig14_capacity_sweep;
+
+fn main() {
+    let r = fig14_capacity_sweep(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 15: traffic reduction vs batch size.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig15_batch_sweep;
+
+fn main() {
+    let r = fig15_batch_sweep(AccelConfig::default());
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 16: DRAM and total energy reduction.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig16_energy;
+
+fn main() {
+    let r = fig16_energy(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 17: shortcut retention across intermediate layers.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::fig17_intermediate_layers;
+
+fn main() {
+    let r = fig17_intermediate_layers(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

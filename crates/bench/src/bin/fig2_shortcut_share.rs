@@ -1,0 +1,11 @@
+//! Regenerates Fig. 2: shortcut share of total feature-map data.
+//!
+//! Usage: `fig2_shortcut_share [--csv <dir>]`
+
+use sm_bench::experiments::fig2_shortcut_share;
+
+fn main() {
+    let r = fig2_shortcut_share(1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

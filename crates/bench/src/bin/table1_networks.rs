@@ -1,0 +1,9 @@
+//! Regenerates Table 1: network characteristics.
+
+use sm_bench::experiments::table1_networks;
+
+fn main() {
+    let t = table1_networks(1);
+    print!("{}", t.render());
+    sm_bench::report::maybe_csv(&t);
+}

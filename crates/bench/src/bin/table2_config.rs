@@ -1,0 +1,10 @@
+//! Regenerates Table 2: accelerator configuration.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::table2_config;
+
+fn main() {
+    let t = table2_config(AccelConfig::default());
+    print!("{}", t.render());
+    sm_bench::report::maybe_csv(&t);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 3: procedure ablation.
+
+use sm_accel::AccelConfig;
+use sm_bench::experiments::table3_ablation;
+
+fn main() {
+    let r = table3_ablation(AccelConfig::default(), 1);
+    print!("{}", r.table.render());
+    sm_bench::report::maybe_csv(&r.table);
+}

@@ -1,0 +1,90 @@
+//! Table 3: procedure ablation — how much each half of Shortcut Mining
+//! contributes, plus the copy-based-swap design alternative.
+
+use sm_accel::AccelConfig;
+use sm_core::{AllocPriority, Experiment, Policy};
+use sm_model::zoo;
+
+use crate::report::{pct, Table};
+
+/// Ablation rows: traffic reduction per (network, policy).
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// `(network, policy_label, traffic_reduction, speedup)` rows.
+    pub rows: Vec<(String, String, f64, f64)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Regenerates the ablation table on the evaluated networks.
+pub fn table3_ablation(config: AccelConfig, batch: usize) -> AblationResult {
+    let exp = Experiment::new(config);
+    let policies = [
+        Policy::reuse_disabled(),
+        Policy::swap_only(),
+        Policy::mining_only(),
+        Policy::shortcut_mining(),
+        Policy::shortcut_mining().with_swap_by_copy(),
+        Policy::shortcut_mining().with_alloc_priority(AllocPriority::OutputFirst),
+        Policy::shortcut_mining().with_adaptive_tiling(),
+    ];
+    let mut table = Table::new(
+        "Table 3 - procedure ablation (feature-map traffic reduction vs baseline)",
+        &["network", "policy", "reduction", "speedup"],
+    );
+    let mut rows = Vec::new();
+    for net in zoo::evaluated_networks(batch) {
+        let base = exp.run(&net, Policy::baseline());
+        for policy in policies {
+            let run = exp.run(&net, policy);
+            let red = 1.0 - run.fm_traffic_ratio(&base);
+            let sp = run.speedup_over(&base);
+            table.row(&[
+                net.name().to_string(),
+                run.architecture.clone(),
+                pct(red),
+                format!("{sp:.2}x"),
+            ]);
+            rows.push((net.name().to_string(), run.architecture, red, sp));
+        }
+    }
+    AblationResult { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_compose_into_the_full_proposal() {
+        let r = table3_ablation(AccelConfig::default(), 1);
+        let get = |net: &str, pol: &str| -> f64 {
+            r.rows
+                .iter()
+                .find(|(n, p, ..)| n == net && p == pol)
+                .unwrap_or_else(|| panic!("{net}/{pol} missing"))
+                .2
+        };
+        for net in ["squeezenet_v10_simple_bypass", "resnet34", "resnet152"] {
+            let full = get(net, "shortcut-mining");
+            assert!(full >= get(net, "swap-only"), "{net}");
+            assert!(full >= get(net, "mining-only"), "{net}");
+            assert!(get(net, "swap-only") > 0.0, "{net}");
+            assert!(get(net, "mining-only") > 0.0, "{net}");
+            // Copy-based swap keeps the traffic but not the speedup.
+            let copy = r
+                .rows
+                .iter()
+                .find(|(n, p, ..)| n == net && p == "shortcut-mining-copy-swap")
+                .unwrap();
+            assert!((copy.2 - full).abs() < 1e-9, "{net}");
+            let relabel_speed = r
+                .rows
+                .iter()
+                .find(|(n, p, ..)| n == net && p == "shortcut-mining")
+                .unwrap()
+                .3;
+            assert!(copy.3 <= relabel_speed + 1e-9, "{net}");
+        }
+    }
+}

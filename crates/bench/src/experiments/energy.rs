@@ -1,0 +1,68 @@
+//! Fig. 16: energy reduction under the DRAM/SRAM/compute energy model.
+
+use sm_accel::AccelConfig;
+use sm_core::Experiment;
+use sm_mem::EnergyModel;
+use sm_model::zoo;
+
+use crate::report::{pct, Table};
+
+/// Energy comparison rows.
+#[derive(Debug, Clone)]
+pub struct EnergyResult {
+    /// `(network, baseline_mj, mined_mj, dram_reduction, total_reduction)`.
+    pub rows: Vec<(String, f64, f64, f64, f64)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Regenerates the energy figure on the evaluated networks.
+pub fn fig16_energy(config: AccelConfig, batch: usize) -> EnergyResult {
+    let exp = Experiment::new(config);
+    let model = EnergyModel::default();
+    let mut table = Table::new(
+        "Fig 16 - energy (baseline vs shortcut mining)",
+        &[
+            "network",
+            "baseline (mJ)",
+            "mined (mJ)",
+            "DRAM energy reduction",
+            "total energy reduction",
+        ],
+    );
+    let mut rows = Vec::new();
+    for net in zoo::evaluated_networks(batch) {
+        let cmp = exp.compare(&net);
+        let base_mj = cmp.baseline.energy(&model).total_mj();
+        let mined_mj = cmp.mined.energy(&model).total_mj();
+        let dram_red = cmp.dram_energy_reduction(&model);
+        let total_red = cmp.energy_reduction(&model);
+        table.row(&[
+            net.name().to_string(),
+            format!("{base_mj:.2}"),
+            format!("{mined_mj:.2}"),
+            pct(dram_red),
+            pct(total_red),
+        ]);
+        rows.push((net.name().to_string(), base_mj, mined_mj, dram_red, total_red));
+    }
+    EnergyResult { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_drops_with_traffic() {
+        let r = fig16_energy(AccelConfig::default(), 1);
+        assert_eq!(r.rows.len(), 3);
+        for (name, base, mined, dram_red, total_red) in &r.rows {
+            assert!(mined < base, "{name}");
+            assert!(*dram_red > 0.1, "{name}: dram reduction {dram_red}");
+            assert!(*total_red > 0.0, "{name}");
+            // Total reduction is diluted by compute/SRAM energy.
+            assert!(total_red <= dram_red, "{name}");
+        }
+    }
+}

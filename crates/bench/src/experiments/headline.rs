@@ -1,0 +1,205 @@
+//! The headline comparisons: Fig. 10 (feature-map traffic reduction),
+//! Fig. 11 (traffic breakdown by category) and Fig. 13 (throughput).
+
+use sm_accel::AccelConfig;
+use sm_core::{Experiment, Policy};
+use sm_mem::TrafficClass;
+use sm_model::zoo;
+
+use crate::paper;
+use crate::report::{geomean, mb, pct, Table};
+
+/// Fig. 10 data: feature-map traffic, baseline vs Shortcut Mining.
+#[derive(Debug, Clone)]
+pub struct TrafficResult {
+    /// `(network, baseline_bytes, sm_bytes, reduction)` rows.
+    pub rows: Vec<(String, u64, u64, f64)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Regenerates the headline traffic figure on the evaluated networks.
+pub fn fig10_traffic_reduction(config: AccelConfig, batch: usize) -> TrafficResult {
+    let exp = Experiment::new(config);
+    let mut table = Table::new(
+        "Fig 10 - off-chip feature-map traffic (baseline vs shortcut mining)",
+        &["network", "baseline (MiB)", "mined (MiB)", "reduction", "paper"],
+    );
+    let mut rows = Vec::new();
+    for net in zoo::evaluated_networks(batch) {
+        let cmp = exp.compare(&net);
+        let reduction = cmp.traffic_reduction();
+        let paper_red = paper::TRAFFIC_REDUCTION
+            .iter()
+            .find(|(n, _)| *n == net.name())
+            .map(|(_, r)| pct(*r))
+            .unwrap_or_default();
+        table.row(&[
+            net.name().to_string(),
+            mb(cmp.baseline.fm_traffic_bytes()),
+            mb(cmp.mined.fm_traffic_bytes()),
+            pct(reduction),
+            paper_red,
+        ]);
+        rows.push((
+            net.name().to_string(),
+            cmp.baseline.fm_traffic_bytes(),
+            cmp.mined.fm_traffic_bytes(),
+            reduction,
+        ));
+    }
+    TrafficResult { rows, table }
+}
+
+/// Fig. 11 data: per-category feature-map traffic for both architectures.
+#[derive(Debug, Clone)]
+pub struct BreakdownResult {
+    /// `(network, architecture, class, bytes)` rows.
+    pub rows: Vec<(String, String, TrafficClass, u64)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Regenerates the traffic-breakdown figure.
+pub fn fig11_traffic_breakdown(config: AccelConfig, batch: usize) -> BreakdownResult {
+    let exp = Experiment::new(config);
+    let mut table = Table::new(
+        "Fig 11 - traffic breakdown by category (MiB)",
+        &[
+            "network",
+            "architecture",
+            "ifm_read",
+            "ofm_write",
+            "shortcut_read",
+            "spill_write",
+            "spill_read",
+            "weight_read",
+        ],
+    );
+    let mut rows = Vec::new();
+    for net in zoo::evaluated_networks(batch) {
+        for policy in [Policy::baseline(), Policy::shortcut_mining()] {
+            let stats = exp.run(&net, policy);
+            let mut cells = vec![net.name().to_string(), stats.architecture.clone()];
+            for class in TrafficClass::ALL {
+                let bytes = stats.ledger.class_bytes(class);
+                cells.push(mb(bytes));
+                rows.push((net.name().to_string(), stats.architecture.clone(), class, bytes));
+            }
+            table.row(&cells);
+        }
+    }
+    BreakdownResult { rows, table }
+}
+
+/// Fig. 13 data: throughput comparison.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// `(network, baseline_gops, sm_gops, speedup)` rows.
+    pub rows: Vec<(String, f64, f64, f64)>,
+    /// Geometric-mean speedup (the abstract's 1.93×).
+    pub geomean_speedup: f64,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Regenerates the throughput figure.
+pub fn fig13_throughput(config: AccelConfig, batch: usize) -> ThroughputResult {
+    let exp = Experiment::new(config);
+    let mut table = Table::new(
+        "Fig 13 - throughput (baseline vs shortcut mining)",
+        &["network", "baseline GOP/s", "mined GOP/s", "speedup", "img/s mined"],
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for net in zoo::evaluated_networks(batch) {
+        let cmp = exp.compare(&net);
+        let speedup = cmp.speedup();
+        table.row(&[
+            net.name().to_string(),
+            format!("{:.1}", cmp.baseline.throughput_gops()),
+            format!("{:.1}", cmp.mined.throughput_gops()),
+            format!("{speedup:.2}x"),
+            format!("{:.1}", cmp.mined.images_per_second()),
+        ]);
+        rows.push((
+            net.name().to_string(),
+            cmp.baseline.throughput_gops(),
+            cmp.mined.throughput_gops(),
+            speedup,
+        ));
+        speedups.push(speedup);
+    }
+    let geomean_speedup = geomean(&speedups);
+    table.row(&[
+        "geomean".to_string(),
+        String::new(),
+        String::new(),
+        format!("{geomean_speedup:.2}x (paper: {:.2}x)", paper::THROUGHPUT_GAIN),
+        String::new(),
+    ]);
+    ThroughputResult {
+        rows,
+        geomean_speedup,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_reductions_track_the_paper() {
+        let r = fig10_traffic_reduction(AccelConfig::default(), 1);
+        assert_eq!(r.rows.len(), 3);
+        for (name, _, _, reduction) in &r.rows {
+            let paper_val = paper::TRAFFIC_REDUCTION
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap();
+            // Same winner, same ballpark: within 15 percentage points.
+            assert!(
+                (reduction - paper_val).abs() < 0.15,
+                "{name}: measured {reduction:.3} vs paper {paper_val}"
+            );
+        }
+        // Ordering: ResNet-34 > SqueezeNet > ResNet-152, as in the paper.
+        let get = |n: &str| r.rows.iter().find(|(name, ..)| name == n).unwrap().3;
+        assert!(get("resnet34") > get("squeezenet_v10_simple_bypass"));
+        assert!(get("squeezenet_v10_simple_bypass") > get("resnet152"));
+    }
+
+    #[test]
+    fn breakdown_shows_shortcut_reads_only_in_baseline_heavy_form() {
+        let r = fig11_traffic_breakdown(AccelConfig::default(), 1);
+        let sum = |arch: &str, class: TrafficClass| -> u64 {
+            r.rows
+                .iter()
+                .filter(|(_, a, c, _)| a == arch && *c == class)
+                .map(|(_, _, _, b)| b)
+                .sum()
+        };
+        assert!(sum("baseline", TrafficClass::ShortcutRead) > 0);
+        assert!(
+            sum("shortcut-mining", TrafficClass::ShortcutRead)
+                < sum("baseline", TrafficClass::ShortcutRead)
+        );
+        assert_eq!(sum("baseline", TrafficClass::SpillWrite), 0);
+    }
+
+    #[test]
+    fn throughput_gain_is_near_the_paper() {
+        let r = fig13_throughput(AccelConfig::default(), 1);
+        assert!(
+            (r.geomean_speedup - paper::THROUGHPUT_GAIN).abs() < 0.35,
+            "geomean {}",
+            r.geomean_speedup
+        );
+        for (_, base, mined, speedup) in &r.rows {
+            assert!(mined > base);
+            assert!(*speedup > 1.0);
+        }
+    }
+}

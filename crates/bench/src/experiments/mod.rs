@@ -1,0 +1,47 @@
+//! Experiment implementations, one per paper table/figure.
+//!
+//! | Experiment | Function | Regenerates |
+//! |---|---|---|
+//! | Fig. 2 | [`fig2_shortcut_share`] | shortcut share of FM data (~40%) |
+//! | Table 1 | [`table1_networks`] | network characteristics |
+//! | Table 2 | [`table2_config`] | accelerator configuration |
+//! | Fig. 10 | [`fig10_traffic_reduction`] | headline FM traffic reduction |
+//! | Fig. 11 | [`fig11_traffic_breakdown`] | per-category traffic breakdown |
+//! | Fig. 12 | [`fig12_per_block`] | per-block traffic (ResNet-34) |
+//! | Fig. 13 | [`fig13_throughput`] | throughput gain (1.93×) |
+//! | Fig. 14 | [`fig14_capacity_sweep`] | sensitivity to on-chip capacity |
+//! | Fig. 15 | [`fig15_batch_sweep`] | sensitivity to batch size |
+//! | Fig. 16 | [`fig16_energy`] | DRAM / total energy reduction |
+//! | Table 3 | [`table3_ablation`] | procedure ablation |
+//! | Fig. 17 | [`fig17_intermediate_layers`] | retention across N layers |
+//! | Ext. 1 | [`ext_new_workloads`] | GoogLeNet / DenseNet (beyond the paper) |
+//! | Ext. 2 | [`ext_bandwidth_sweep`] | speedup vs FM bandwidth |
+//! | Ext. 3 | [`ext_capacity_requirements`] | capacity planning bounds |
+//! | Ext. 4 | [`ext_spill_order`] | spill-victim order ablation |
+//! | Ext. 5 | [`ext_datatype`] | 8/16/32-bit datatype sensitivity |
+
+mod ablation;
+mod energy;
+mod extensions;
+mod headline;
+mod motivation;
+mod per_block;
+mod retention;
+mod sensitivity;
+
+pub use ablation::{table3_ablation, AblationResult};
+pub use extensions::{
+    ext_architecture_comparison, ext_bandwidth_sweep, ext_batch_schedule, ext_bcu_overhead,
+    ext_bound_breakdown, ext_capacity_requirements, ext_datatype, ext_ddr_bandwidth,
+    ext_new_workloads, ext_pipeline_validation, ext_share_vs_benefit, ext_spill_order,
+    ExtSweepResult,
+};
+pub use energy::{fig16_energy, EnergyResult};
+pub use headline::{
+    fig10_traffic_reduction, fig11_traffic_breakdown, fig13_throughput, BreakdownResult,
+    ThroughputResult, TrafficResult,
+};
+pub use motivation::{fig2_shortcut_share, table1_networks, table2_config, ShareResult};
+pub use per_block::{fig12_per_block, PerBlockResult};
+pub use retention::{fig17_intermediate_layers, RetentionResult};
+pub use sensitivity::{fig14_capacity_sweep, fig15_batch_sweep, SweepResult};

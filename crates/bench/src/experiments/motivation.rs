@@ -1,0 +1,154 @@
+//! Fig. 2 (shortcut share of feature-map data) and the configuration tables.
+
+use sm_accel::AccelConfig;
+use sm_model::stats::NetworkStats;
+use sm_model::zoo;
+
+use crate::report::{pct, Table};
+
+/// Fig. 2 data: per network, the shortcut share of total feature-map data.
+#[derive(Debug, Clone)]
+pub struct ShareResult {
+    /// `(network, shortcut_share)` pairs.
+    pub shares: Vec<(String, f64)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Computes the motivation figure: how much of each network's feature-map
+/// data is shortcut data (the abstract's "nearly 40%").
+pub fn fig2_shortcut_share(batch: usize) -> ShareResult {
+    let mut table = Table::new(
+        "Fig 2 - shortcut data share of total feature-map data",
+        &["network", "total FM (Melem)", "shortcut FM (Melem)", "share", "paper"],
+    );
+    let mut shares = Vec::new();
+    for net in zoo::extended_networks(batch) {
+        let s = NetworkStats::of(&net);
+        let share = s.shortcut_share();
+        let paper = if net.name().starts_with("resnet") && !net.name().starts_with("resnet_") {
+            "~40%"
+        } else {
+            ""
+        };
+        table.row(&[
+            net.name().to_string(),
+            format!("{:.2}", s.total_fm_elems as f64 / 1e6),
+            format!("{:.2}", s.shortcut_fm_elems as f64 / 1e6),
+            pct(share),
+            paper.to_string(),
+        ]);
+        shares.push((net.name().to_string(), share));
+    }
+    ShareResult { shares, table }
+}
+
+/// Table 1: network characteristics of the evaluated set.
+pub fn table1_networks(batch: usize) -> Table {
+    let mut table = Table::new(
+        "Table 1 - network characteristics",
+        &[
+            "network",
+            "layers",
+            "convs",
+            "junctions",
+            "shortcut edges",
+            "params (M)",
+            "GMACs",
+            "FM data (MB, 16-bit)",
+        ],
+    );
+    for net in zoo::extended_networks(batch) {
+        let s = NetworkStats::of(&net);
+        table.row(&[
+            net.name().to_string(),
+            s.layer_count.to_string(),
+            s.conv_count.to_string(),
+            s.junction_count.to_string(),
+            s.shortcut_edge_count.to_string(),
+            format!("{:.1}", s.weight_elems as f64 / 1e6),
+            format!("{:.2}", s.macs as f64 / 1e9),
+            format!("{:.1}", s.total_fm_elems as f64 * 2.0 / 1e6),
+        ]);
+    }
+    table
+}
+
+/// Table 2: the simulated accelerator configuration.
+pub fn table2_config(config: AccelConfig) -> Table {
+    let mut table = Table::new("Table 2 - accelerator configuration", &["parameter", "value"]);
+    table.row(&[
+        "PE array".to_string(),
+        format!("{} x {} MACs", config.pe_rows, config.pe_cols),
+    ]);
+    table.row(&[
+        "clock".to_string(),
+        format!("{:.0} MHz", config.clock_hz / 1e6),
+    ]);
+    table.row(&[
+        "peak throughput".to_string(),
+        format!("{:.1} GOP/s", 2.0 * config.peak_gmacs()),
+    ]);
+    table.row(&[
+        "datatype".to_string(),
+        format!("{}-bit fixed", 8 * config.elem_bytes),
+    ]);
+    table.row(&[
+        "feature-map SRAM".to_string(),
+        format!(
+            "{} KiB in {} banks of {} KiB",
+            config.sram.fm_bytes() / 1024,
+            config.sram.fm_pool.bank_count,
+            config.sram.fm_pool.bank_bytes / 1024
+        ),
+    ]);
+    table.row(&[
+        "weight buffer".to_string(),
+        format!("{} KiB (double-buffered)", config.sram.weight_bytes / 1024),
+    ]);
+    table.row(&[
+        "FM DRAM channel".to_string(),
+        format!(
+            "{:.1} GB/s effective",
+            config.fm_dram.bytes_per_cycle * config.clock_hz / 1e9
+        ),
+    ]);
+    table.row(&[
+        "weight DRAM channel".to_string(),
+        format!(
+            "{:.1} GB/s sequential",
+            config.weight_dram.bytes_per_cycle * config.clock_hz / 1e9
+        ),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_networks_sit_near_forty_percent() {
+        let r = fig2_shortcut_share(1);
+        for (name, share) in &r.shares {
+            if name == "resnet34" || name == "resnet152" {
+                assert!(
+                    (0.28..0.48).contains(share),
+                    "{name} share {share} far from the paper's ~40%"
+                );
+            }
+            if name.starts_with("plain") || name == "vgg16" || name == "alexnet" {
+                assert_eq!(*share, 0.0, "{name} should have no shortcut data");
+            }
+        }
+        assert!(!r.table.is_empty());
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(table1_networks(1).render().contains("resnet152"));
+        let t2 = table2_config(AccelConfig::default()).render();
+        assert!(t2.contains("64 x 64"));
+        assert!(t2.contains("320 KiB"));
+    }
+}

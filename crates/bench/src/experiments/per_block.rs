@@ -1,0 +1,95 @@
+//! Fig. 12: per-block feature-map traffic for ResNet-34 — where the reuse
+//! succeeds and where capacity pressure bites.
+
+use std::collections::BTreeMap;
+
+use sm_accel::AccelConfig;
+use sm_core::{Experiment, Policy};
+use sm_model::zoo;
+
+use crate::report::{mb, pct, Table};
+
+/// Per-block traffic rows.
+#[derive(Debug, Clone)]
+pub struct PerBlockResult {
+    /// `(block, baseline_bytes, mined_bytes)` in schedule order.
+    pub rows: Vec<(String, u64, u64)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Group a layer name into its block: `conv3_2/b` → `conv3_2`, stem layers
+/// stay as themselves.
+fn block_of(name: &str) -> String {
+    name.split('/').next().unwrap_or(name).to_string()
+}
+
+/// Regenerates the per-block traffic figure for ResNet-34.
+pub fn fig12_per_block(config: AccelConfig, batch: usize) -> PerBlockResult {
+    let net = zoo::resnet34(batch);
+    let exp = Experiment::new(config);
+    let base = exp.run(&net, Policy::baseline());
+    let mined = exp.run(&net, Policy::shortcut_mining());
+
+    // BTreeMap on first-appearance index keeps schedule order.
+    let mut order: Vec<String> = Vec::new();
+    let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (b, m) in base.layers.iter().zip(&mined.layers) {
+        let block = block_of(&b.name);
+        if !agg.contains_key(&block) {
+            order.push(block.clone());
+        }
+        let entry = agg.entry(block).or_insert((0, 0));
+        entry.0 += b.traffic.feature_map();
+        entry.1 += m.traffic.feature_map();
+    }
+
+    let mut table = Table::new(
+        "Fig 12 - per-block feature-map traffic, ResNet-34 (MiB)",
+        &["block", "baseline", "mined", "reduction"],
+    );
+    let mut rows = Vec::new();
+    for block in order {
+        let (b, m) = agg[&block];
+        let red = if b == 0 { 0.0 } else { 1.0 - m as f64 / b as f64 };
+        table.row(&[block.clone(), mb(b), mb(m), pct(red)]);
+        rows.push((block, b, m));
+    }
+    PerBlockResult { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_block_is_never_worse_and_most_blocks_improve() {
+        let r = fig12_per_block(AccelConfig::default(), 1);
+        assert!(r.rows.len() > 16, "stem + 16 blocks + head");
+        let improved = r
+            .rows
+            .iter()
+            .filter(|(_, b, m)| m < b)
+            .count();
+        for (block, b, m) in &r.rows {
+            assert!(m <= b, "{block}: {m} > {b}");
+        }
+        assert!(improved * 2 > r.rows.len(), "most blocks should improve");
+    }
+
+    #[test]
+    fn deeper_stages_reuse_more() {
+        // Later stages have smaller feature maps, so a larger fraction fits:
+        // conv5 blocks should reduce at least as much as conv2 blocks.
+        let r = fig12_per_block(AccelConfig::default(), 1);
+        let stage_red = |prefix: &str| -> f64 {
+            let (b, m) = r
+                .rows
+                .iter()
+                .filter(|(name, ..)| name.starts_with(prefix))
+                .fold((0u64, 0u64), |acc, (_, b, m)| (acc.0 + b, acc.1 + m));
+            1.0 - m as f64 / b as f64
+        };
+        assert!(stage_red("conv5") > stage_red("conv2") - 0.05);
+    }
+}

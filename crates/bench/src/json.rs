@@ -1,0 +1,488 @@
+//! Minimal JSON serialization for the workspace's `serde::Serialize` types.
+//!
+//! The dependency allowlist includes `serde` but no format crate, so this
+//! module implements a compact, self-contained `serde::Serializer` producing
+//! standard JSON. It supports everything the report types use — structs,
+//! enums, sequences, maps, options, numbers, strings — and escapes strings
+//! per RFC 8259. Non-finite floats serialize as `null` (the JSON standard
+//! has no representation for them).
+//!
+//! # Example
+//!
+//! ```
+//! use sm_bench::json::to_json;
+//!
+//! #[derive(serde::Serialize)]
+//! struct Point { x: i32, label: String }
+//!
+//! let p = Point { x: 3, label: "a\"b".into() };
+//! assert_eq!(to_json(&p).unwrap(), r#"{"x":3,"label":"a\"b"}"#);
+//! ```
+
+use std::fmt;
+
+use serde::ser::{self, Serialize};
+
+/// Error produced by JSON serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// Serializes any `Serialize` value to a compact JSON string.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the value's `Serialize` impl reports one
+/// (the workspace's derived impls never do).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    value.serialize(Json { out: &mut out })?;
+    Ok(out)
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Json<'a> {
+    out: &'a mut String,
+}
+
+/// Compound serializer: tracks whether a separator is needed.
+struct Compound<'a> {
+    out: &'a mut String,
+    first: bool,
+    close: char,
+}
+
+impl Compound<'_> {
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($name:ident: $ty:ty),*) => {
+        $(fn $name(self, v: $ty) -> Result<(), JsonError> {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        })*
+    };
+}
+
+impl<'a> ser::Serializer for Json<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    int_impls!(
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64
+    );
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.serialize_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        if v.is_finite() {
+            self.out.push_str(&v.to_string());
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        push_escaped(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        push_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
+        let mut seq = ser::Serializer::serialize_seq(self, Some(v.len()))?;
+        for b in v {
+            ser::SerializeSeq::serialize_element(&mut seq, b)?;
+        }
+        ser::SerializeSeq::end(seq)
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        push_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(Json { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('[');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: ']',
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: ']', // the struct-variant close appends the brace
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.serialize_map(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            close: '}', // the struct-variant close appends the brace
+        })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push(']');
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.sep();
+        // JSON keys must be strings; serialize the key and quote it if the
+        // serializer produced a bare scalar.
+        let mut raw = String::new();
+        key.serialize(Json { out: &mut raw })?;
+        if raw.starts_with('"') {
+            self.out.push_str(&raw);
+        } else {
+            push_escaped(self.out, &raw);
+        }
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.out.push(':');
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.sep();
+        push_escaped(self.out, key);
+        self.out.push(':');
+        value.serialize(Json { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push('}');
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Nested {
+        id: u64,
+        name: String,
+        values: Vec<f64>,
+        flag: bool,
+        missing: Option<i32>,
+    }
+
+    #[test]
+    fn scalars_and_structs() {
+        let n = Nested {
+            id: 7,
+            name: "x".into(),
+            values: vec![1.5, 2.0],
+            flag: true,
+            missing: None,
+        };
+        assert_eq!(
+            to_json(&n).unwrap(),
+            r#"{"id":7,"name":"x","values":[1.5,2],"flag":true,"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "quote\" slash\\ nl\n tab\t ctl\u{1}";
+        assert_eq!(
+            to_json(&s).unwrap(),
+            r#""quote\" slash\\ nl\n tab\t ctl\u0001""#
+        );
+    }
+
+    #[test]
+    fn enums_serialize_by_shape() {
+        #[derive(Serialize)]
+        enum E {
+            Unit,
+            Newtype(u32),
+            Tuple(u32, u32),
+            Struct { a: u32 },
+        }
+        assert_eq!(to_json(&E::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_json(&E::Newtype(3)).unwrap(), r#"{"Newtype":3}"#);
+        assert_eq!(to_json(&E::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
+        assert_eq!(to_json(&E::Struct { a: 5 }).unwrap(), r#"{"Struct":{"a":5}}"#);
+    }
+
+    #[test]
+    fn maps_quote_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(2u32, "two");
+        m.insert(1u32, "one");
+        assert_eq!(to_json(&m).unwrap(), r#"{"1":"one","2":"two"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_json(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_json(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_json(&1.25f32).unwrap(), "1.25");
+    }
+
+    #[test]
+    fn run_stats_serialize_end_to_end() {
+        use sm_core::{Experiment, Policy};
+        use sm_model::zoo;
+        let stats = Experiment::default_config().run(&zoo::toy_residual(1), Policy::shortcut_mining());
+        let json = to_json(&stats).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""architecture":"shortcut-mining""#));
+        assert!(json.contains(r#""layers":["#));
+        // Balanced braces/brackets (cheap structural sanity).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

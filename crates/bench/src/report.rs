@@ -1,0 +1,188 @@
+//! Plain-text table rendering and CSV emission for experiment reports.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table with an optional CSV mirror.
+///
+/// # Example
+///
+/// ```
+/// use sm_bench::report::Table;
+///
+/// let mut t = Table::new("demo", &["network", "reduction"]);
+/// t.row(&["resnet34", "58%"]);
+/// let text = t.render();
+/// assert!(text.contains("resnet34"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> = cells.iter().map(|c| c.as_ref().to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/<title>.csv` (title sanitized to
+    /// `[a-z0-9_]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let name: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let mut csv = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                csv,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        fs::write(dir.join(format!("{name}.csv")), csv)
+    }
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Geometric mean of a slice (1.0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Mirrors `table` to CSV when `--csv <dir>` appears on the command line —
+/// shared by every experiment binary.
+pub fn maybe_csv(table: &Table) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            let dir = std::path::PathBuf::from(args.next().unwrap_or_else(|| "results".into()));
+            if let Err(e) = table.write_csv(&dir) {
+                eprintln!("csv write failed: {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", &["a", "long-header"]);
+        t.row(&["xxxx", "1"]);
+        t.row(&["y"]);
+        let s = t.render();
+        assert!(s.contains("== t =="));
+        assert!(s.contains("a     long-header"));
+        assert!(s.contains("xxxx  1"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_and_writes() {
+        let dir = std::env::temp_dir().join("sm_bench_csv_test");
+        let mut t = Table::new("My Table", &["a", "b"]);
+        t.row(&["has,comma", "has\"quote"]);
+        t.write_csv(&dir).unwrap();
+        let written = std::fs::read_to_string(dir.join("my_table.csv")).unwrap();
+        assert!(written.contains("\"has,comma\""));
+        assert!(written.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mb(1024 * 1024), "1.00");
+        assert_eq!(pct(0.533), "53.3%");
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+}
+

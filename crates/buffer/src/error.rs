@@ -1,0 +1,42 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::LogicalBufferId;
+
+/// Error produced by bank-pool and logical-buffer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BufferError {
+    /// The pool cannot satisfy a bank request.
+    OutOfBanks {
+        /// Banks requested.
+        requested: usize,
+        /// Banks currently free.
+        available: usize,
+    },
+    /// The logical buffer id is stale (already freed) or never existed.
+    UnknownBuffer(LogicalBufferId),
+    /// The operation is not allowed on a pinned buffer (e.g. freeing it).
+    Pinned(LogicalBufferId),
+    /// Spilling was requested on a buffer with no banks left.
+    EmptyBuffer(LogicalBufferId),
+    /// A zero-bank allocation was requested.
+    ZeroAllocation,
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::OutOfBanks {
+                requested,
+                available,
+            } => write!(f, "requested {requested} banks but only {available} free"),
+            BufferError::UnknownBuffer(id) => write!(f, "unknown or freed logical buffer {id:?}"),
+            BufferError::Pinned(id) => write!(f, "logical buffer {id:?} is pinned"),
+            BufferError::EmptyBuffer(id) => write!(f, "logical buffer {id:?} has no banks"),
+            BufferError::ZeroAllocation => write!(f, "cannot allocate zero banks"),
+        }
+    }
+}
+
+impl Error for BufferError {}

@@ -1,0 +1,87 @@
+use serde::Serialize;
+
+/// The conventional (baseline) buffer architecture: SRAM capacity statically
+/// partitioned between an input feature-map buffer, an output feature-map
+/// buffer and a weight buffer, each internally double-buffered so DRAM
+/// transfers overlap compute.
+///
+/// The inflexibility this struct encodes is exactly what the paper's logical
+/// buffers remove: at a layer boundary the OFM buffer's contents cannot be
+/// handed to the IFM buffer without a copy, so baseline accelerators write
+/// every output to DRAM and read it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FixedBufferConfig {
+    /// Input feature-map buffer capacity in bytes (total across both halves
+    /// of the double buffer).
+    pub ifm_bytes: u64,
+    /// Output feature-map buffer capacity in bytes.
+    pub ofm_bytes: u64,
+    /// Weight buffer capacity in bytes.
+    pub weight_bytes: u64,
+}
+
+impl FixedBufferConfig {
+    /// Creates a configuration.
+    pub const fn new(ifm_bytes: u64, ofm_bytes: u64, weight_bytes: u64) -> Self {
+        FixedBufferConfig {
+            ifm_bytes,
+            ofm_bytes,
+            weight_bytes,
+        }
+    }
+
+    /// Splits a total SRAM budget the way the baseline accelerator does:
+    /// 40% IFM, 40% OFM, 20% weights.
+    pub fn from_total(total_bytes: u64) -> Self {
+        let ifm = total_bytes * 2 / 5;
+        let ofm = total_bytes * 2 / 5;
+        FixedBufferConfig {
+            ifm_bytes: ifm,
+            ofm_bytes: ofm,
+            weight_bytes: total_bytes - ifm - ofm,
+        }
+    }
+
+    /// Total SRAM capacity.
+    pub const fn total_bytes(&self) -> u64 {
+        self.ifm_bytes + self.ofm_bytes + self.weight_bytes
+    }
+
+    /// Usable capacity of one half of the IFM double buffer.
+    pub const fn ifm_half(&self) -> u64 {
+        self.ifm_bytes / 2
+    }
+
+    /// Usable capacity of one half of the OFM double buffer.
+    pub const fn ofm_half(&self) -> u64 {
+        self.ofm_bytes / 2
+    }
+
+    /// Usable capacity of one half of the weight double buffer.
+    pub const fn weight_half(&self) -> u64 {
+        self.weight_bytes / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_total_partitions_exactly() {
+        let c = FixedBufferConfig::from_total(1_000_000);
+        assert_eq!(c.total_bytes(), 1_000_000);
+        assert_eq!(c.ifm_bytes, 400_000);
+        assert_eq!(c.ofm_bytes, 400_000);
+        assert_eq!(c.weight_bytes, 200_000);
+    }
+
+    #[test]
+    fn halves_are_half() {
+        let c = FixedBufferConfig::new(1024, 2048, 512);
+        assert_eq!(c.ifm_half(), 512);
+        assert_eq!(c.ofm_half(), 1024);
+        assert_eq!(c.weight_half(), 256);
+        assert_eq!(c.total_bytes(), 3584);
+    }
+}

@@ -1,0 +1,56 @@
+//! On-chip buffer substrate: physical banks, a bank pool, and **logical
+//! buffers**.
+//!
+//! The paper's enabling observation is that conventional accelerators bind
+//! SRAM banks *statically* to an input buffer and an output buffer, so data
+//! sitting in the output buffer at the end of a layer cannot simply *become*
+//! the next layer's input — it must round-trip through DRAM. `sm-buffer`
+//! models both worlds:
+//!
+//! * [`FixedBufferConfig`] — the conventional architecture: capacities
+//!   statically split between an IFM buffer, an OFM buffer and a weight
+//!   buffer, each internally double-buffered.
+//! * [`LogicalBuffers`] — the paper's architecture: a [`BankPool`] of
+//!   physical banks onto which logical buffers (input / output / shortcut)
+//!   are mapped dynamically. Role changes are O(1) relabels
+//!   ([`LogicalBuffers::relabel`]), shortcut buffers can be **pinned** across
+//!   intermediate layers, and capacity pressure is relieved by spilling one
+//!   bank at a time ([`LogicalBuffers::spill_bank`]).
+//!
+//! Contents are tracked as [`FmRegion`] descriptors (which feature map, how
+//! many elements resident) rather than raw data: the traffic and cycle
+//! results depend only on *where* data is, and the functional engines in
+//! `sm-core` reconstruct values from the region descriptors.
+//!
+//! # Example
+//!
+//! ```
+//! use sm_buffer::{BankPoolConfig, BufferRole, LogicalBuffers};
+//!
+//! # fn main() -> Result<(), sm_buffer::BufferError> {
+//! let mut bufs = LogicalBuffers::new(BankPoolConfig::new(8, 1024));
+//! let ob = bufs.alloc_bytes(BufferRole::Output, 3000)?; // 3 banks
+//! // The layer finished: its output buffer becomes the next input buffer.
+//! bufs.relabel(ob, BufferRole::Input);
+//! assert_eq!(bufs.buffer(ob)?.role(), BufferRole::Input);
+//! assert_eq!(bufs.free_banks(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod error;
+mod fixed;
+mod logical;
+mod stats;
+
+pub mod bcu;
+
+pub use bank::{BankId, BankPool, BankPoolConfig};
+pub use error::BufferError;
+pub use fixed::FixedBufferConfig;
+pub use logical::{BufferRole, FmRegion, LogicalBuffer, LogicalBufferId, LogicalBuffers};
+pub use stats::BufferStats;

@@ -1,0 +1,535 @@
+use serde::Serialize;
+
+use crate::{BankId, BankPool, BankPoolConfig, BufferError, BufferStats};
+
+/// Handle to a logical buffer. Handles are generation-free but never reused
+/// within one [`LogicalBuffers`] instance, so a freed handle stays invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct LogicalBufferId(pub usize);
+
+/// Role a logical buffer currently plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum BufferRole {
+    /// Holds the feature map the current layer reads.
+    Input,
+    /// Collects the feature map the current layer produces.
+    Output,
+    /// Holds pinned shortcut data awaiting its junction.
+    Shortcut,
+    /// Holds weights streamed for the current layer.
+    Weight,
+}
+
+/// Which feature map (or fraction of one) a logical buffer holds.
+///
+/// Residency is a *prefix* in element order: elements `[0, resident_elems)`
+/// are on chip; the rest, if any, live in DRAM. The prefix convention
+/// mirrors how the simulated accelerator streams output tiles: the portion
+/// that no longer fits is the tail, which is written out as it is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FmRegion {
+    /// Schedule index of the producing layer.
+    pub producer: usize,
+    /// Total elements of the feature map.
+    pub total_elems: usize,
+    /// Elements resident on chip (prefix).
+    pub resident_elems: usize,
+}
+
+impl FmRegion {
+    /// A fully resident feature map.
+    pub const fn full(producer: usize, total_elems: usize) -> Self {
+        FmRegion {
+            producer,
+            total_elems,
+            resident_elems: total_elems,
+        }
+    }
+
+    /// Whether the whole feature map is on chip.
+    pub const fn is_full(&self) -> bool {
+        self.resident_elems == self.total_elems
+    }
+
+    /// Elements that live only in DRAM.
+    pub const fn missing_elems(&self) -> usize {
+        self.total_elems - self.resident_elems
+    }
+}
+
+/// One logical buffer: a role, a set of physical banks, byte occupancy and
+/// an optional content descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LogicalBuffer {
+    id: LogicalBufferId,
+    role: BufferRole,
+    banks: Vec<BankId>,
+    used_bytes: u64,
+    pinned: bool,
+    contents: Option<FmRegion>,
+}
+
+impl LogicalBuffer {
+    /// Handle of this buffer.
+    pub fn id(&self) -> LogicalBufferId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> BufferRole {
+        self.role
+    }
+
+    /// Physical banks backing the buffer.
+    pub fn banks(&self) -> &[BankId] {
+        &self.banks
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Whether the buffer is pinned (survives layer transitions).
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Content descriptor, when set.
+    pub fn contents(&self) -> Option<FmRegion> {
+        self.contents
+    }
+}
+
+/// The paper's logical-buffer architecture: dynamic mapping from logical
+/// input/output/shortcut buffers onto a pool of physical banks.
+///
+/// All state-changing operations update [`BufferStats`], which the
+/// simulators fold into their run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalBuffers {
+    pool: BankPool,
+    buffers: Vec<Option<LogicalBuffer>>,
+    stats: BufferStats,
+}
+
+impl LogicalBuffers {
+    /// Creates the manager over a fresh bank pool.
+    pub fn new(config: BankPoolConfig) -> Self {
+        LogicalBuffers {
+            pool: BankPool::new(config),
+            buffers: Vec::new(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Pool geometry.
+    pub fn config(&self) -> BankPoolConfig {
+        self.pool.config()
+    }
+
+    /// Number of free banks in the pool.
+    pub fn free_banks(&self) -> usize {
+        self.pool.free_banks()
+    }
+
+    /// Free pool capacity in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.pool.free_bytes()
+    }
+
+    /// Accumulated operation statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Live logical buffers, in handle order.
+    pub fn iter(&self) -> impl Iterator<Item = &LogicalBuffer> {
+        self.buffers.iter().flatten()
+    }
+
+    /// The buffer behind a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale or foreign handles.
+    pub fn buffer(&self, id: LogicalBufferId) -> Result<&LogicalBuffer, BufferError> {
+        self.buffers
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or(BufferError::UnknownBuffer(id))
+    }
+
+    fn buffer_mut(&mut self, id: LogicalBufferId) -> Result<&mut LogicalBuffer, BufferError> {
+        self.buffers
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(BufferError::UnknownBuffer(id))
+    }
+
+    /// Allocates a logical buffer backed by `banks` physical banks.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::ZeroAllocation`] for zero banks,
+    /// [`BufferError::OutOfBanks`] when the pool cannot satisfy the request.
+    pub fn alloc(&mut self, role: BufferRole, banks: usize) -> Result<LogicalBufferId, BufferError> {
+        if banks == 0 {
+            return Err(BufferError::ZeroAllocation);
+        }
+        let id = LogicalBufferId(self.buffers.len());
+        let taken = self.pool.take(banks, id)?;
+        self.buffers.push(Some(LogicalBuffer {
+            id,
+            role,
+            banks: taken,
+            used_bytes: 0,
+            pinned: false,
+            contents: None,
+        }));
+        self.stats.allocations += 1;
+        Ok(id)
+    }
+
+    /// Allocates a logical buffer sized for `bytes` (rounded up to banks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogicalBuffers::alloc`].
+    pub fn alloc_bytes(&mut self, role: BufferRole, bytes: u64) -> Result<LogicalBufferId, BufferError> {
+        let banks = self.config().banks_for_bytes(bytes).max(1);
+        self.alloc(role, banks)
+    }
+
+    /// Frees a logical buffer, returning its banks to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::Pinned`] when the buffer is still pinned,
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn free(&mut self, id: LogicalBufferId) -> Result<(), BufferError> {
+        let buf = self.buffer(id)?;
+        if buf.pinned {
+            return Err(BufferError::Pinned(id));
+        }
+        let buf = self.buffers[id.0].take().expect("checked above");
+        self.pool.give_back(&buf.banks);
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Changes a buffer's role in place — the out–in swap primitive. No
+    /// data moves; only the role tag changes.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn relabel(&mut self, id: LogicalBufferId, role: BufferRole) -> Result<(), BufferError> {
+        let buf = self.buffer_mut(id)?;
+        buf.role = role;
+        self.stats.relabels += 1;
+        Ok(())
+    }
+
+    /// Pins a buffer so layer transitions cannot free it (shortcut storing).
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn pin(&mut self, id: LogicalBufferId) -> Result<(), BufferError> {
+        let stats = &mut self.stats;
+        let buf = self
+            .buffers
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(BufferError::UnknownBuffer(id))?;
+        if !buf.pinned {
+            buf.pinned = true;
+            stats.pins += 1;
+        }
+        Ok(())
+    }
+
+    /// Unpins a buffer (shortcut consumed at its junction).
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn unpin(&mut self, id: LogicalBufferId) -> Result<(), BufferError> {
+        self.buffer_mut(id)?.pinned = false;
+        Ok(())
+    }
+
+    /// Records `bytes` written into the buffer (clamped to capacity) and
+    /// counts the SRAM activity.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn write(&mut self, id: LogicalBufferId, bytes: u64) -> Result<(), BufferError> {
+        let cap = self.capacity_bytes(id)?;
+        let buf = self.buffer_mut(id)?;
+        buf.used_bytes = (buf.used_bytes + bytes).min(cap);
+        self.stats.sram_bytes_written += bytes;
+        Ok(())
+    }
+
+    /// Records `bytes` read from the buffer (SRAM activity only).
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn read(&mut self, id: LogicalBufferId, bytes: u64) -> Result<(), BufferError> {
+        self.buffer(id)?;
+        self.stats.sram_bytes_read += bytes;
+        Ok(())
+    }
+
+    /// Sets the content descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn set_contents(&mut self, id: LogicalBufferId, region: Option<FmRegion>) -> Result<(), BufferError> {
+        self.buffer_mut(id)?.contents = region;
+        Ok(())
+    }
+
+    /// Capacity of a buffer in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn capacity_bytes(&self, id: LogicalBufferId) -> Result<u64, BufferError> {
+        Ok(self.buffer(id)?.banks.len() as u64 * self.config().bank_bytes)
+    }
+
+    /// Releases one bank from the tail of a buffer back to the pool,
+    /// returning the bank and how many stored bytes were evicted with it.
+    ///
+    /// This is the capacity-pressure relief valve: a pinned shortcut buffer
+    /// shrinks bank by bank, and only the evicted bytes ever travel to DRAM.
+    /// The buffer's content descriptor, if any, loses the corresponding
+    /// tail elements via the caller (which knows the element size).
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::EmptyBuffer`] when no banks remain,
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn spill_bank(&mut self, id: LogicalBufferId) -> Result<(BankId, u64), BufferError> {
+        let bank_bytes = self.config().bank_bytes;
+        let buf = self.buffer_mut(id)?;
+        let bank = buf.banks.pop().ok_or(BufferError::EmptyBuffer(id))?;
+        let new_cap = buf.banks.len() as u64 * bank_bytes;
+        let evicted = buf.used_bytes.saturating_sub(new_cap);
+        buf.used_bytes -= evicted;
+        self.pool.give_back(&[bank]);
+        self.stats.spills += 1;
+        Ok((bank, evicted))
+    }
+
+    /// Moves every bank of `src` into `dst` and frees the `src` handle,
+    /// without touching data — the concatenation take-over primitive: the
+    /// junction's output buffer absorbs its operands' banks in place.
+    ///
+    /// `dst`'s occupancy grows by `src`'s occupancy (clamped to the merged
+    /// capacity); `src`'s pin state is discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBuffer`] when either handle is stale, and the
+    /// handles must differ ([`BufferError::UnknownBuffer`] on `src` is
+    /// returned for a self-merge).
+    pub fn absorb(&mut self, dst: LogicalBufferId, src: LogicalBufferId) -> Result<(), BufferError> {
+        if dst == src {
+            return Err(BufferError::UnknownBuffer(src));
+        }
+        self.buffer(dst)?;
+        self.buffer(src)?;
+        let src_buf = self.buffers[src.0].take().expect("checked above");
+        self.pool.retag(&src_buf.banks, dst);
+        let dst_buf = self.buffers[dst.0].as_mut().expect("checked above");
+        dst_buf.banks.extend(src_buf.banks);
+        let cap = dst_buf.banks.len() as u64 * self.pool.config().bank_bytes;
+        dst_buf.used_bytes = (dst_buf.used_bytes + src_buf.used_bytes).min(cap);
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Grows a buffer by `banks` additional banks from the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::OutOfBanks`] when the pool cannot satisfy the request,
+    /// [`BufferError::UnknownBuffer`] for stale handles.
+    pub fn grow(&mut self, id: LogicalBufferId, banks: usize) -> Result<(), BufferError> {
+        self.buffer(id)?;
+        let taken = self.pool.take(banks, id)?;
+        self.buffer_mut(id)
+            .expect("existence checked")
+            .banks
+            .extend(taken);
+        Ok(())
+    }
+
+    /// Verifies pool conservation plus buffer/pool ownership agreement.
+    pub fn check_invariants(&self) -> bool {
+        if !self.pool.check_conservation() {
+            return false;
+        }
+        for buf in self.iter() {
+            for &bank in &buf.banks {
+                if self.pool.owner(bank) != Some(buf.id) {
+                    return false;
+                }
+            }
+            if buf.used_bytes > buf.banks.len() as u64 * self.config().bank_bytes {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> LogicalBuffers {
+        LogicalBuffers::new(BankPoolConfig::new(8, 1024))
+    }
+
+    #[test]
+    fn alloc_bytes_rounds_to_banks() {
+        let mut b = mk();
+        let id = b.alloc_bytes(BufferRole::Input, 2500).unwrap();
+        assert_eq!(b.buffer(id).unwrap().banks().len(), 3);
+        assert_eq!(b.capacity_bytes(id).unwrap(), 3072);
+        assert_eq!(b.free_banks(), 5);
+        assert!(b.check_invariants());
+    }
+
+    #[test]
+    fn zero_alloc_is_rejected_but_zero_bytes_gets_one_bank() {
+        let mut b = mk();
+        assert_eq!(b.alloc(BufferRole::Input, 0), Err(BufferError::ZeroAllocation));
+        let id = b.alloc_bytes(BufferRole::Input, 0).unwrap();
+        assert_eq!(b.buffer(id).unwrap().banks().len(), 1);
+    }
+
+    #[test]
+    fn relabel_keeps_banks_and_contents() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Output, 2).unwrap();
+        b.write(id, 1500).unwrap();
+        b.set_contents(id, Some(FmRegion::full(3, 750))).unwrap();
+        let banks_before = b.buffer(id).unwrap().banks().to_vec();
+        b.relabel(id, BufferRole::Input).unwrap();
+        let buf = b.buffer(id).unwrap();
+        assert_eq!(buf.role(), BufferRole::Input);
+        assert_eq!(buf.banks(), banks_before.as_slice());
+        assert_eq!(buf.used_bytes(), 1500);
+        assert_eq!(buf.contents(), Some(FmRegion::full(3, 750)));
+        assert_eq!(b.stats().relabels, 1);
+    }
+
+    #[test]
+    fn freed_handles_stay_invalid() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Input, 1).unwrap();
+        b.free(id).unwrap();
+        assert_eq!(b.free(id), Err(BufferError::UnknownBuffer(id)));
+        assert_eq!(b.relabel(id, BufferRole::Output), Err(BufferError::UnknownBuffer(id)));
+        // New allocations never reuse the freed handle.
+        let id2 = b.alloc(BufferRole::Input, 1).unwrap();
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn pinned_buffers_cannot_be_freed() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Shortcut, 2).unwrap();
+        b.pin(id).unwrap();
+        assert_eq!(b.free(id), Err(BufferError::Pinned(id)));
+        b.unpin(id).unwrap();
+        b.free(id).unwrap();
+        assert_eq!(b.free_banks(), 8);
+        assert_eq!(b.stats().pins, 1);
+    }
+
+    #[test]
+    fn spill_evicts_only_overflowing_bytes() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Shortcut, 3).unwrap();
+        b.write(id, 2100).unwrap();
+        // Capacity 3072 -> 2048 after one spill: 52 bytes evicted.
+        let (_, evicted) = b.spill_bank(id).unwrap();
+        assert_eq!(evicted, 52);
+        assert_eq!(b.buffer(id).unwrap().used_bytes(), 2048);
+        // Next spill evicts a full bank's worth.
+        let (_, evicted) = b.spill_bank(id).unwrap();
+        assert_eq!(evicted, 1024);
+        // Last bank: remaining 1024 bytes.
+        let (_, evicted) = b.spill_bank(id).unwrap();
+        assert_eq!(evicted, 1024);
+        assert_eq!(b.spill_bank(id), Err(BufferError::EmptyBuffer(id)));
+        assert_eq!(b.free_banks(), 8);
+        assert!(b.check_invariants());
+        assert_eq!(b.stats().spills, 3);
+    }
+
+    #[test]
+    fn grow_takes_from_pool() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Output, 2).unwrap();
+        b.grow(id, 3).unwrap();
+        assert_eq!(b.buffer(id).unwrap().banks().len(), 5);
+        assert_eq!(b.free_banks(), 3);
+        assert!(matches!(b.grow(id, 4), Err(BufferError::OutOfBanks { .. })));
+        assert!(b.check_invariants());
+    }
+
+    #[test]
+    fn absorb_merges_banks_and_occupancy() {
+        let mut b = mk();
+        let dst = b.alloc(BufferRole::Output, 2).unwrap();
+        let src = b.alloc(BufferRole::Shortcut, 3).unwrap();
+        b.write(dst, 1000).unwrap();
+        b.write(src, 2000).unwrap();
+        b.pin(src).unwrap();
+        b.absorb(dst, src).unwrap();
+        let buf = b.buffer(dst).unwrap();
+        assert_eq!(buf.banks().len(), 5);
+        assert_eq!(buf.used_bytes(), 3000);
+        assert_eq!(b.buffer(src).unwrap_err(), BufferError::UnknownBuffer(src));
+        assert_eq!(b.free_banks(), 3);
+        assert!(b.check_invariants());
+        // Self-merge is rejected.
+        assert!(b.absorb(dst, dst).is_err());
+    }
+
+    #[test]
+    fn write_clamps_to_capacity_and_counts_sram() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Output, 1).unwrap();
+        b.write(id, 5000).unwrap();
+        assert_eq!(b.buffer(id).unwrap().used_bytes(), 1024);
+        b.read(id, 512).unwrap();
+        assert_eq!(b.stats().sram_bytes_written, 5000);
+        assert_eq!(b.stats().sram_bytes_read, 512);
+    }
+
+    #[test]
+    fn fm_region_accounting() {
+        let full = FmRegion::full(2, 100);
+        assert!(full.is_full());
+        assert_eq!(full.missing_elems(), 0);
+        let partial = FmRegion {
+            producer: 2,
+            total_elems: 100,
+            resident_elems: 40,
+        };
+        assert!(!partial.is_full());
+        assert_eq!(partial.missing_elems(), 60);
+    }
+}

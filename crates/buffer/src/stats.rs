@@ -1,0 +1,47 @@
+use serde::Serialize;
+
+/// Operation counters accumulated by [`crate::LogicalBuffers`].
+///
+/// `relabels` is the count of O(1) role swaps — each one stands in for a
+/// whole feature map that did *not* round-trip through DRAM. `spills` counts
+/// capacity-pressure bank evictions. SRAM byte counters feed the energy
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct BufferStats {
+    /// Logical buffers allocated.
+    pub allocations: u64,
+    /// Logical buffers freed.
+    pub frees: u64,
+    /// Role relabels (out–in swaps and shortcut conversions).
+    pub relabels: u64,
+    /// Pin operations (shortcut storing).
+    pub pins: u64,
+    /// Banks spilled under capacity pressure.
+    pub spills: u64,
+    /// Bytes written into on-chip buffers.
+    pub sram_bytes_written: u64,
+    /// Bytes read from on-chip buffers.
+    pub sram_bytes_read: u64,
+}
+
+impl BufferStats {
+    /// Total SRAM bytes moved (reads + writes), for the energy model.
+    pub fn sram_bytes(&self) -> u64 {
+        self.sram_bytes_read + self.sram_bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_bytes_sums_directions() {
+        let s = BufferStats {
+            sram_bytes_read: 10,
+            sram_bytes_written: 32,
+            ..BufferStats::default()
+        };
+        assert_eq!(s.sram_bytes(), 42);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the bank pool and logical buffer invariants.
+//!
+//! The DESIGN.md invariant under test: *every bank is in exactly one state;
+//! allocate/release round-trips restore the pool; relabelling never changes
+//! bank sets or occupancy*, under arbitrary interleavings of operations.
+
+use proptest::prelude::*;
+
+use sm_buffer::{BankPoolConfig, BufferError, BufferRole, LogicalBufferId, LogicalBuffers};
+
+/// One step of the randomized workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { role: u8, banks: usize },
+    Free { victim: usize },
+    Relabel { victim: usize, role: u8 },
+    PinUnpin { victim: usize, pin: bool },
+    Write { victim: usize, bytes: u64 },
+    Spill { victim: usize },
+    Grow { victim: usize, banks: usize },
+}
+
+fn role(tag: u8) -> BufferRole {
+    match tag % 4 {
+        0 => BufferRole::Input,
+        1 => BufferRole::Output,
+        2 => BufferRole::Shortcut,
+        _ => BufferRole::Weight,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 1usize..5).prop_map(|(role, banks)| Op::Alloc { role, banks }),
+        (0usize..64).prop_map(|victim| Op::Free { victim }),
+        (0usize..64, 0u8..4).prop_map(|(victim, role)| Op::Relabel { victim, role }),
+        (0usize..64, any::<bool>()).prop_map(|(victim, pin)| Op::PinUnpin { victim, pin }),
+        (0usize..64, 0u64..5000).prop_map(|(victim, bytes)| Op::Write { victim, bytes }),
+        (0usize..64).prop_map(|victim| Op::Spill { victim }),
+        (0usize..64, 1usize..3).prop_map(|(victim, banks)| Op::Grow { victim, banks }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Conservation holds after every step of an arbitrary op sequence, and
+    /// errors never corrupt state.
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut bufs = LogicalBuffers::new(BankPoolConfig::new(16, 1024));
+        let mut live: Vec<LogicalBufferId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { role: r, banks } => {
+                    if let Ok(id) = bufs.alloc(role(r), banks) {
+                        live.push(id);
+                    }
+                }
+                Op::Free { victim } => {
+                    if !live.is_empty() {
+                        let idx = victim % live.len();
+                        let id = live[idx];
+                        match bufs.free(id) {
+                            Ok(()) => { live.swap_remove(idx); }
+                            Err(BufferError::Pinned(_)) => {}
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                }
+                Op::Relabel { victim, role: r } => {
+                    if !live.is_empty() {
+                        let id = live[victim % live.len()];
+                        let before = bufs.buffer(id).unwrap().clone();
+                        bufs.relabel(id, role(r)).unwrap();
+                        let after = bufs.buffer(id).unwrap();
+                        // Relabel changes only the role.
+                        prop_assert_eq!(before.banks(), after.banks());
+                        prop_assert_eq!(before.used_bytes(), after.used_bytes());
+                        prop_assert_eq!(before.contents(), after.contents());
+                    }
+                }
+                Op::PinUnpin { victim, pin } => {
+                    if !live.is_empty() {
+                        let id = live[victim % live.len()];
+                        if pin { bufs.pin(id).unwrap() } else { bufs.unpin(id).unwrap() }
+                    }
+                }
+                Op::Write { victim, bytes } => {
+                    if !live.is_empty() {
+                        let id = live[victim % live.len()];
+                        bufs.write(id, bytes).unwrap();
+                        let buf = bufs.buffer(id).unwrap();
+                        prop_assert!(buf.used_bytes() <= bufs.capacity_bytes(id).unwrap());
+                    }
+                }
+                Op::Spill { victim } => {
+                    if !live.is_empty() {
+                        let idx = victim % live.len();
+                        let id = live[idx];
+                        let before_used = bufs.buffer(id).unwrap().used_bytes();
+                        match bufs.spill_bank(id) {
+                            Ok((_, evicted)) => {
+                                let after = bufs.buffer(id).unwrap();
+                                prop_assert_eq!(after.used_bytes() + evicted, before_used);
+                            }
+                            Err(BufferError::EmptyBuffer(_)) => {}
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                }
+                Op::Grow { victim, banks } => {
+                    if !live.is_empty() {
+                        let id = live[victim % live.len()];
+                        match bufs.grow(id, banks) {
+                            Ok(()) | Err(BufferError::OutOfBanks { .. }) => {}
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                }
+            }
+            prop_assert!(bufs.check_invariants(), "invariant broken after {:?}", bufs.stats());
+        }
+
+        // Drain everything: pool must return to pristine.
+        for id in live {
+            bufs.unpin(id).unwrap();
+            bufs.free(id).unwrap();
+        }
+        prop_assert_eq!(bufs.free_banks(), 16);
+        prop_assert!(bufs.check_invariants());
+    }
+
+    /// Bank accounting: the sum of owned and free banks is constant.
+    #[test]
+    fn bank_totals_are_conserved(sizes in prop::collection::vec(1usize..6, 0..8)) {
+        let mut bufs = LogicalBuffers::new(BankPoolConfig::new(24, 512));
+        let mut ids = Vec::new();
+        for s in sizes {
+            if let Ok(id) = bufs.alloc(BufferRole::Input, s) {
+                ids.push(id);
+            }
+        }
+        let owned: usize = ids.iter().map(|&id| bufs.buffer(id).unwrap().banks().len()).sum();
+        prop_assert_eq!(owned + bufs.free_banks(), 24);
+    }
+
+    /// alloc_bytes never allocates less capacity than requested.
+    #[test]
+    fn alloc_bytes_capacity_covers_request(bytes in 0u64..20_000) {
+        let mut bufs = LogicalBuffers::new(BankPoolConfig::new(64, 1024));
+        let id = bufs.alloc_bytes(BufferRole::Output, bytes).unwrap();
+        prop_assert!(bufs.capacity_bytes(id).unwrap() >= bytes);
+        // And never over-allocates by a full bank (minimum one bank).
+        let cap = bufs.capacity_bytes(id).unwrap();
+        prop_assert!(cap < bytes + 1024 || cap == 1024);
+    }
+}

@@ -1,0 +1,144 @@
+use serde::Serialize;
+
+use sm_accel::{AccelConfig, BaselineAccelerator, RunStats};
+use sm_mem::EnergyModel;
+use sm_model::Network;
+
+use crate::{Policy, ShortcutMiner, SmRun};
+
+/// One-call comparison harness: runs a network under any [`Policy`] on a
+/// shared hardware configuration, dispatching to the baseline accelerator or
+/// the Shortcut Mining simulator as appropriate.
+///
+/// # Example
+///
+/// ```
+/// use sm_core::Experiment;
+/// use sm_model::zoo;
+///
+/// let cmp = Experiment::default_config().compare(&zoo::resnet34(1));
+/// assert!(cmp.traffic_reduction() > 0.0);
+/// assert!(cmp.speedup() >= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Experiment {
+    config: AccelConfig,
+}
+
+impl Experiment {
+    /// Creates a harness over an explicit hardware configuration.
+    pub fn new(config: AccelConfig) -> Self {
+        Experiment { config }
+    }
+
+    /// Creates a harness over [`AccelConfig::default`] — the paper-like
+    /// FPGA-class configuration.
+    pub fn default_config() -> Self {
+        Experiment::new(AccelConfig::default())
+    }
+
+    /// The hardware configuration in use.
+    pub fn config(&self) -> AccelConfig {
+        self.config
+    }
+
+    /// Runs `net` under `policy`.
+    pub fn run(&self, net: &Network, policy: Policy) -> RunStats {
+        if policy.logical_buffers {
+            ShortcutMiner::new(self.config, policy).simulate(net).stats
+        } else {
+            BaselineAccelerator::new(self.config).simulate(net)
+        }
+    }
+
+    /// Runs `net` under a logical-buffer policy, returning the trace and
+    /// retention records as well.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `policy` is the baseline (no trace exists for it).
+    pub fn run_traced(&self, net: &Network, policy: Policy) -> SmRun {
+        ShortcutMiner::new(self.config, policy).simulate(net)
+    }
+
+    /// Runs the paper's headline comparison: baseline vs full Shortcut
+    /// Mining.
+    pub fn compare(&self, net: &Network) -> Comparison {
+        Comparison {
+            baseline: self.run(net, Policy::baseline()),
+            mined: self.run(net, Policy::shortcut_mining()),
+        }
+    }
+}
+
+/// Baseline-vs-Shortcut-Mining outcome for one network.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Comparison {
+    /// Conventional accelerator run.
+    pub baseline: RunStats,
+    /// Shortcut Mining run.
+    pub mined: RunStats,
+}
+
+impl Comparison {
+    /// Off-chip feature-map traffic reduction in `[0, 1]` — the metric the
+    /// abstract reports as 53.3% / 58% / 43%.
+    pub fn traffic_reduction(&self) -> f64 {
+        1.0 - self.mined.fm_traffic_ratio(&self.baseline)
+    }
+
+    /// Throughput gain of Shortcut Mining over the baseline (the abstract's
+    /// 1.93×).
+    pub fn speedup(&self) -> f64 {
+        self.mined.speedup_over(&self.baseline)
+    }
+
+    /// Total-energy reduction in `[0, 1]` under an energy model.
+    pub fn energy_reduction(&self, model: &EnergyModel) -> f64 {
+        let base = self.baseline.energy(model).total_pj();
+        let mined = self.mined.energy(model).total_pj();
+        1.0 - mined / base.max(f64::MIN_POSITIVE)
+    }
+
+    /// DRAM-only energy reduction in `[0, 1]`.
+    pub fn dram_energy_reduction(&self, model: &EnergyModel) -> f64 {
+        let base = model.dram_energy_pj(self.baseline.total_traffic_bytes());
+        let mined = model.dram_energy_pj(self.mined.total_traffic_bytes());
+        1.0 - mined / base.max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_model::zoo;
+
+    #[test]
+    fn compare_produces_consistent_labels() {
+        let cmp = Experiment::default_config().compare(&zoo::toy_residual(1));
+        assert_eq!(cmp.baseline.architecture, "baseline");
+        assert_eq!(cmp.mined.architecture, "shortcut-mining");
+        assert!(cmp.traffic_reduction() > 0.0);
+    }
+
+    #[test]
+    fn energy_reduction_follows_traffic() {
+        let cmp = Experiment::default_config().compare(&zoo::resnet_tiny(2, 1));
+        let model = EnergyModel::default();
+        assert!(cmp.dram_energy_reduction(&model) > 0.0);
+        assert!(cmp.energy_reduction(&model) > 0.0);
+    }
+
+    #[test]
+    fn run_dispatches_on_policy() {
+        let exp = Experiment::default_config();
+        let net = zoo::toy_residual(1);
+        assert_eq!(exp.run(&net, Policy::baseline()).architecture, "baseline");
+        assert_eq!(
+            exp.run(&net, Policy::swap_only()).architecture,
+            "swap-only"
+        );
+        let traced = exp.run_traced(&net, Policy::shortcut_mining());
+        assert!(!traced.trace.events.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Value-preservation verification.
+//!
+//! [`verify_value_preservation`] proves, for a concrete network / policy /
+//! configuration, that the Shortcut Mining schedule never loses data: it
+//! replays the simulator's residency [`crate::Trace`] at *value* level,
+//! holding an actual copy of every on-chip prefix and DRAM suffix, and
+//! re-executes each layer from operands reconstructed **only** from those
+//! copies. Any accounting bug — a read of never-written DRAM, a spill that
+//! drops bytes, a resident prefix longer than what was produced — surfaces
+//! as a [`CheckError`] rather than a silently wrong figure.
+//!
+//! Because the golden executor is the single source of arithmetic, the final
+//! outputs are bit-identical to a plain golden run whenever the replay
+//! succeeds; the checker asserts that too.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use sm_accel::AccelConfig;
+use sm_model::exec::GoldenExecutor;
+use sm_model::{LayerId, Network};
+use sm_tensor::Tensor;
+
+use crate::{Policy, ShortcutMiner, TraceEvent};
+
+/// Violation found while replaying a trace at value level.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// `resident + dram_suffix < total`: some elements live nowhere.
+    CoverageHole {
+        /// Feature map with the hole.
+        fm: usize,
+        /// Elements reachable.
+        covered: u64,
+        /// Elements required.
+        total: u64,
+    },
+    /// A consumer fetched more from DRAM than the DRAM suffix holds.
+    FetchBeyondDram {
+        /// Feature map read.
+        fm: usize,
+        /// Elements requested.
+        requested: u64,
+        /// Elements available in DRAM.
+        available: u64,
+    },
+    /// A reconstructed operand or output differs from the golden value.
+    ValueMismatch {
+        /// Feature map that differs.
+        fm: usize,
+        /// Maximum absolute difference observed.
+        max_diff: f32,
+    },
+    /// The trace referenced a feature map that was never produced.
+    UnknownFm(usize),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::CoverageHole { fm, covered, total } => {
+                write!(f, "fm {fm}: only {covered} of {total} elements reachable")
+            }
+            CheckError::FetchBeyondDram {
+                fm,
+                requested,
+                available,
+            } => write!(
+                f,
+                "fm {fm}: fetched {requested} elements but DRAM holds {available}"
+            ),
+            CheckError::ValueMismatch { fm, max_diff } => {
+                write!(f, "fm {fm}: reconstructed values differ by {max_diff}")
+            }
+            CheckError::UnknownFm(fm) => write!(f, "trace references unproduced fm {fm}"),
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+/// Value-level state of one feature map during replay.
+struct FmState {
+    total: u64,
+    /// On-chip prefix values.
+    resident: Vec<f32>,
+    /// DRAM suffix values (`total - dram.len()` is the suffix start).
+    dram: Vec<f32>,
+}
+
+impl FmState {
+    fn covered(&self) -> u64 {
+        let suffix_start = self.total as usize - self.dram.len();
+        if self.resident.len() >= suffix_start {
+            self.total
+        } else {
+            (self.resident.len() + self.dram.len()) as u64
+        }
+    }
+
+    /// Rebuilds the full feature map strictly from the stored copies.
+    fn reconstruct(&self, fm: usize) -> Result<Vec<f32>, CheckError> {
+        if self.covered() < self.total {
+            return Err(CheckError::CoverageHole {
+                fm,
+                covered: self.covered(),
+                total: self.total,
+            });
+        }
+        let total = self.total as usize;
+        let suffix_start = total - self.dram.len();
+        let mut full = Vec::with_capacity(total);
+        full.extend_from_slice(&self.resident);
+        full.extend_from_slice(&self.dram[full.len() - suffix_start..]);
+        debug_assert_eq!(full.len(), total);
+        Ok(full)
+    }
+}
+
+/// Replays a Shortcut Mining run of `net` at value level.
+///
+/// Runs the golden executor with `seed`, simulates the network under
+/// (`config`, `policy`), then replays the trace with real values and
+/// re-evaluates every layer from reconstructed operands.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered; `Ok(())` means the schedule
+/// is value-preserving for this input.
+///
+/// # Panics
+///
+/// Panics when `policy` is the baseline (no trace to check).
+///
+/// # Example
+///
+/// ```
+/// use sm_accel::AccelConfig;
+/// use sm_core::functional::verify_value_preservation;
+/// use sm_core::Policy;
+/// use sm_model::zoo;
+///
+/// let net = zoo::toy_residual(1);
+/// verify_value_preservation(&net, AccelConfig::default(), Policy::shortcut_mining(), 42)
+///     .expect("the schedule must be value-preserving");
+/// ```
+pub fn verify_value_preservation(
+    net: &Network,
+    config: AccelConfig,
+    policy: Policy,
+    seed: u64,
+) -> Result<(), CheckError> {
+    let exec = GoldenExecutor::new(net, seed);
+    let golden = exec.run().expect("golden execution of a built network");
+    let run = ShortcutMiner::new(config, policy).simulate(net);
+
+    let mut states: HashMap<usize, FmState> = HashMap::new();
+    // The network input starts fully in DRAM.
+    states.insert(
+        0,
+        FmState {
+            total: golden[0].shape().len() as u64,
+            resident: Vec::new(),
+            dram: golden[0].as_slice().to_vec(),
+        },
+    );
+
+    for event in &run.trace.events {
+        match *event {
+            TraceEvent::Produce {
+                fm,
+                total_elems,
+                resident_elems,
+                dram_elems,
+            } => {
+                // Re-evaluate the layer from reconstructed operands only.
+                let layer = &net.layers()[fm];
+                let mut operands: Vec<Tensor> = Vec::new();
+                for &input in &layer.inputs {
+                    let st = states
+                        .get(&input.index())
+                        .ok_or(CheckError::UnknownFm(input.index()))?;
+                    let data = st.reconstruct(input.index())?;
+                    let t = Tensor::from_vec(net.layer(input).out_shape, data)
+                        .expect("reconstruction has full length");
+                    let diff = t
+                        .max_abs_diff(&golden[input.index()])
+                        .expect("same shapes");
+                    if diff != 0.0 {
+                        return Err(CheckError::ValueMismatch {
+                            fm: input.index(),
+                            max_diff: diff,
+                        });
+                    }
+                    operands.push(t);
+                }
+                let refs: Vec<&Tensor> = operands.iter().collect();
+                let out = exec
+                    .eval(LayerId(fm), &refs)
+                    .expect("evaluation of a built layer");
+                let diff = out.max_abs_diff(&golden[fm]).expect("same shapes");
+                if diff != 0.0 {
+                    return Err(CheckError::ValueMismatch { fm, max_diff: diff });
+                }
+
+                let values = golden[fm].as_slice();
+                debug_assert_eq!(values.len() as u64, total_elems);
+                let st = FmState {
+                    total: total_elems,
+                    resident: values[..resident_elems as usize].to_vec(),
+                    dram: values[(total_elems - dram_elems) as usize..].to_vec(),
+                };
+                if st.covered() < st.total {
+                    return Err(CheckError::CoverageHole {
+                        fm,
+                        covered: st.covered(),
+                        total: st.total,
+                    });
+                }
+                states.insert(fm, st);
+            }
+            TraceEvent::Spill {
+                fm,
+                new_resident_elems,
+            } => {
+                let st = states.get_mut(&fm).ok_or(CheckError::UnknownFm(fm))?;
+                let full = st.reconstruct(fm)?;
+                let new_cov = st.dram.len().max(st.total as usize - new_resident_elems as usize);
+                st.dram = full[st.total as usize - new_cov..].to_vec();
+                st.resident.truncate(new_resident_elems as usize);
+            }
+            TraceEvent::FetchMissing { fm, elems, .. } => {
+                let st = states.get(&fm).ok_or(CheckError::UnknownFm(fm))?;
+                if (st.dram.len() as u64) < elems {
+                    return Err(CheckError::FetchBeyondDram {
+                        fm,
+                        requested: elems,
+                        available: st.dram.len() as u64,
+                    });
+                }
+            }
+            // Values are retained after Free so junction take-overs (which
+            // free the operand entry before producing the output) can still
+            // reconstruct; the accounting checks above remain strict.
+            TraceEvent::Free { .. } => {}
+        }
+    }
+
+    // Every produced feature map must be reconstructible at the end of the
+    // events affecting it (terminal outputs in particular).
+    let last = net.layers().last().expect("non-empty network");
+    let st = states
+        .get(&last.id.index())
+        .ok_or(CheckError::UnknownFm(last.id.index()))?;
+    let data = st.reconstruct(last.id.index())?;
+    let out = Tensor::from_vec(last.out_shape, data).expect("full length");
+    let diff = out
+        .max_abs_diff(golden.last().expect("non-empty"))
+        .expect("same shapes");
+    if diff != 0.0 {
+        return Err(CheckError::ValueMismatch {
+            fm: last.id.index(),
+            max_diff: diff,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_model::zoo;
+
+    #[test]
+    fn full_policy_preserves_values_on_tiny_networks() {
+        let cfg = AccelConfig::default();
+        for net in [
+            zoo::toy_residual(1),
+            zoo::resnet_tiny(2, 1),
+            zoo::squeezenet_tiny(1),
+            zoo::chain_tiny(4, 1),
+            zoo::mobilenet_tiny(1),
+            zoo::densenet_tiny(3, 1),
+        ] {
+            verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 7)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        }
+    }
+
+    #[test]
+    fn every_ablation_policy_preserves_values() {
+        let cfg = AccelConfig::default();
+        let net = zoo::resnet_tiny(2, 1);
+        for policy in [
+            Policy::shortcut_mining(),
+            Policy::swap_only(),
+            Policy::mining_only(),
+            Policy::reuse_disabled(),
+            Policy::shortcut_mining().with_swap_by_copy(),
+            Policy::shortcut_mining().with_adaptive_tiling(),
+        ] {
+            verify_value_preservation(&net, cfg, policy, 3)
+                .unwrap_or_else(|e| panic!("{}: {e}", policy.label()));
+        }
+    }
+
+    #[test]
+    fn preservation_holds_under_heavy_capacity_pressure() {
+        // A pool so small that spills are forced throughout.
+        let cfg = AccelConfig::default().with_fm_capacity(8 << 10);
+        for net in [zoo::toy_residual(1), zoo::resnet_tiny(2, 1), zoo::squeezenet_tiny(1)] {
+            verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 11)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        }
+    }
+
+    #[test]
+    fn preservation_holds_at_batch_two() {
+        let cfg = AccelConfig::default();
+        verify_value_preservation(&cfg_net(2), cfg, Policy::shortcut_mining(), 5).unwrap();
+    }
+
+    fn cfg_net(batch: usize) -> sm_model::Network {
+        zoo::squeezenet_tiny(batch)
+    }
+}

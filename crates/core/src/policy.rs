@@ -1,0 +1,213 @@
+use serde::Serialize;
+
+/// Who wins when a new output buffer competes with pinned shortcut banks.
+///
+/// Spilling a pinned shortcut costs one write now plus one read at the
+/// junction; granting those banks to the output instead saves one write plus
+/// one read of the output. The two nearly cancel, and measurement (Table 3)
+/// shows retaining pinned data wins slightly on every evaluated network —
+/// junction re-reads are cheap (no halo), while the freed output capacity
+/// saves conv re-reads at a small multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum AllocPriority {
+    /// Pinned shortcut banks are retained; the output buffer takes whatever
+    /// the free pool offers (default — the better design point).
+    #[default]
+    RetainPinned,
+    /// The output buffer is sized first, spilling pinned banks to make room
+    /// (ablation).
+    OutputFirst,
+}
+
+/// Order in which pinned shortcut buffers are victimized under capacity
+/// pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum SpillOrder {
+    /// Spill the shortcut whose junction is farthest in the schedule first —
+    /// it will occupy banks the longest (default; the design-point choice
+    /// called out in DESIGN.md).
+    #[default]
+    FarthestJunctionFirst,
+    /// Spill the shortcut whose junction is nearest first (ablation).
+    NearestJunctionFirst,
+}
+
+/// Which reuse procedures are active.
+///
+/// The policy space covers the paper's proposal, its ablations and the
+/// baseline, so every experiment goes through one code path:
+///
+/// * [`Policy::baseline`] — the conventional fixed-buffer accelerator.
+/// * [`Policy::swap_only`] — out–in buffer swapping without shortcut
+///   pinning (adjacent reuse only).
+/// * [`Policy::mining_only`] — shortcut pinning without adjacent swapping.
+/// * [`Policy::shortcut_mining`] — the full proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Policy {
+    /// `false` selects the conventional baseline accelerator.
+    pub logical_buffers: bool,
+    /// Out–in buffer swapping (non-shortcut / adjacent reuse).
+    pub out_in_swap: bool,
+    /// Shortcut storing + reusing (pinning across intermediate layers).
+    pub shortcut_mining: bool,
+    /// Ablation: perform the out–in swap by copying between buffers instead
+    /// of relabelling, charging SRAM energy and cycles for the copy.
+    pub swap_by_copy: bool,
+    /// Spill victim order.
+    pub spill_order: SpillOrder,
+    /// Output-buffer vs pinned-bank priority under capacity pressure.
+    pub alloc_priority: AllocPriority,
+    /// Plan per-layer tiles with the capacities the controller actually
+    /// granted (larger output tiles when the pool is generous) instead of
+    /// mirroring the baseline's fixed buffer halves. Breaks the
+    /// iso-schedule guarantee — an ablation on that methodology choice.
+    pub adaptive_tiling: bool,
+}
+
+impl Policy {
+    /// The conventional accelerator (no logical buffers, no reuse).
+    pub const fn baseline() -> Policy {
+        Policy {
+            logical_buffers: false,
+            out_in_swap: false,
+            shortcut_mining: false,
+            swap_by_copy: false,
+            spill_order: SpillOrder::FarthestJunctionFirst,
+            alloc_priority: AllocPriority::RetainPinned,
+            adaptive_tiling: false,
+        }
+    }
+
+    /// The full Shortcut Mining proposal.
+    pub const fn shortcut_mining() -> Policy {
+        Policy {
+            logical_buffers: true,
+            out_in_swap: true,
+            shortcut_mining: true,
+            swap_by_copy: false,
+            spill_order: SpillOrder::FarthestJunctionFirst,
+            alloc_priority: AllocPriority::RetainPinned,
+            adaptive_tiling: false,
+        }
+    }
+
+    /// Out–in swapping only (the non-shortcut half of the proposal).
+    pub const fn swap_only() -> Policy {
+        Policy {
+            out_in_swap: true,
+            shortcut_mining: false,
+            ..Policy::shortcut_mining()
+        }
+    }
+
+    /// Shortcut pinning only (the shortcut half of the proposal).
+    pub const fn mining_only() -> Policy {
+        Policy {
+            out_in_swap: false,
+            shortcut_mining: true,
+            ..Policy::shortcut_mining()
+        }
+    }
+
+    /// Logical buffers present but every reuse procedure disabled — must
+    /// reproduce baseline traffic exactly (the consistency anchor the tests
+    /// pin down).
+    pub const fn reuse_disabled() -> Policy {
+        Policy {
+            out_in_swap: false,
+            shortcut_mining: false,
+            ..Policy::shortcut_mining()
+        }
+    }
+
+    /// Returns this policy with the copy-based swap ablation enabled.
+    pub const fn with_swap_by_copy(mut self) -> Policy {
+        self.swap_by_copy = true;
+        self
+    }
+
+    /// Returns this policy with a different spill order.
+    pub const fn with_spill_order(mut self, order: SpillOrder) -> Policy {
+        self.spill_order = order;
+        self
+    }
+
+    /// Returns this policy with a different allocation priority.
+    pub const fn with_alloc_priority(mut self, priority: AllocPriority) -> Policy {
+        self.alloc_priority = priority;
+        self
+    }
+
+    /// Returns this policy with adaptive tiling enabled.
+    pub const fn with_adaptive_tiling(mut self) -> Policy {
+        self.adaptive_tiling = true;
+        self
+    }
+
+    /// Architecture label used in reports.
+    pub fn label(&self) -> &'static str {
+        if !self.logical_buffers {
+            return "baseline";
+        }
+        if self.alloc_priority == AllocPriority::OutputFirst {
+            return "shortcut-mining-ob-first";
+        }
+        if self.adaptive_tiling {
+            return "shortcut-mining-adaptive";
+        }
+        match (self.out_in_swap, self.shortcut_mining, self.swap_by_copy) {
+            (true, true, false) => "shortcut-mining",
+            (true, true, true) => "shortcut-mining-copy-swap",
+            (true, false, _) => "swap-only",
+            (false, true, _) => "mining-only",
+            (false, false, _) => "reuse-disabled",
+        }
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::shortcut_mining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_the_policy_space() {
+        assert_eq!(Policy::baseline().label(), "baseline");
+        assert_eq!(Policy::shortcut_mining().label(), "shortcut-mining");
+        assert_eq!(Policy::swap_only().label(), "swap-only");
+        assert_eq!(Policy::mining_only().label(), "mining-only");
+        assert_eq!(Policy::reuse_disabled().label(), "reuse-disabled");
+        assert_eq!(
+            Policy::shortcut_mining().with_swap_by_copy().label(),
+            "shortcut-mining-copy-swap"
+        );
+        assert_eq!(
+            Policy::shortcut_mining().with_adaptive_tiling().label(),
+            "shortcut-mining-adaptive"
+        );
+        assert_eq!(
+            Policy::shortcut_mining()
+                .with_alloc_priority(AllocPriority::OutputFirst)
+                .label(),
+            "shortcut-mining-ob-first"
+        );
+    }
+
+    #[test]
+    fn default_is_the_full_proposal() {
+        assert_eq!(Policy::default(), Policy::shortcut_mining());
+        assert_eq!(SpillOrder::default(), SpillOrder::FarthestJunctionFirst);
+    }
+
+    #[test]
+    fn spill_order_override() {
+        let p = Policy::shortcut_mining().with_spill_order(SpillOrder::NearestJunctionFirst);
+        assert_eq!(p.spill_order, SpillOrder::NearestJunctionFirst);
+        assert_eq!(p.label(), "shortcut-mining");
+    }
+}

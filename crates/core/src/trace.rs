@@ -1,0 +1,250 @@
+use serde::Serialize;
+
+/// One residency event of a simulated Shortcut Mining run.
+///
+/// The trace is the simulator's externally checkable account of *where every
+/// feature-map element lived*: the functional checker replays it at value
+/// level to prove no element is ever read from a place it was never stored.
+/// All quantities are in elements of the feature map identified by its
+/// producing layer's schedule index (`fm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceEvent {
+    /// Layer `fm` produced its feature map: `resident_elems` stayed on chip
+    /// (prefix), `dram_elems` were written to DRAM (suffix; may overlap the
+    /// resident prefix when a full write-back is forced).
+    Produce {
+        /// Producing layer index.
+        fm: usize,
+        /// Total elements.
+        total_elems: u64,
+        /// On-chip prefix length.
+        resident_elems: u64,
+        /// Elements written to DRAM as a suffix.
+        dram_elems: u64,
+    },
+    /// `fm`'s resident prefix shrank to `new_resident_elems` — either a
+    /// capacity-pressure eviction (the evicted range is written to DRAM as
+    /// spill traffic) or a policy drop of residency whose DRAM copy already
+    /// exists (no traffic). Either way the evicted range is in DRAM after
+    /// this event.
+    Spill {
+        /// Feature map being evicted from.
+        fm: usize,
+        /// New (smaller) resident prefix.
+        new_resident_elems: u64,
+    },
+    /// Layer `consumer` fetched the non-resident suffix of `fm` from DRAM.
+    FetchMissing {
+        /// Feature map read.
+        fm: usize,
+        /// Consuming layer index.
+        consumer: usize,
+        /// Elements fetched (the suffix `[resident, total)`).
+        elems: u64,
+    },
+    /// `fm`'s last consumer finished; its banks returned to the pool.
+    Free {
+        /// Feature map released.
+        fm: usize,
+    },
+}
+
+/// Full event trace of one run, in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Trace {
+    /// Events in the order the simulator performed them.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Structural well-formedness: every feature map is produced exactly
+    /// once before any other event touches it, freed at most once and never
+    /// touched after its free, spills only shrink residency, and fetches
+    /// never exceed the missing suffix. Returns the first violation as a
+    /// human-readable message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed event.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        #[derive(Clone, Copy)]
+        struct St {
+            resident: u64,
+            total: u64,
+            freed: bool,
+        }
+        let mut fms: HashMap<usize, St> = HashMap::new();
+        // The network input (fm 0) pre-exists fully in DRAM.
+        fms.insert(0, St { resident: 0, total: u64::MAX, freed: false });
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                TraceEvent::Produce { fm, total_elems, resident_elems, dram_elems } => {
+                    if fms.contains_key(&fm) {
+                        return Err(format!("event {i}: fm {fm} produced twice"));
+                    }
+                    if resident_elems > total_elems || dram_elems > total_elems {
+                        return Err(format!("event {i}: fm {fm} over-produced"));
+                    }
+                    if resident_elems + dram_elems < total_elems {
+                        return Err(format!("event {i}: fm {fm} has a coverage hole"));
+                    }
+                    fms.insert(fm, St { resident: resident_elems, total: total_elems, freed: false });
+                }
+                TraceEvent::Spill { fm, new_resident_elems } => {
+                    let st = fms.get_mut(&fm).ok_or(format!("event {i}: spill of unproduced fm {fm}"))?;
+                    if st.freed {
+                        return Err(format!("event {i}: spill after free of fm {fm}"));
+                    }
+                    if new_resident_elems > st.resident {
+                        return Err(format!("event {i}: spill grew fm {fm}"));
+                    }
+                    st.resident = new_resident_elems;
+                }
+                TraceEvent::FetchMissing { fm, elems, .. } => {
+                    let st = fms.get(&fm).ok_or(format!("event {i}: fetch of unproduced fm {fm}"))?;
+                    if st.total != u64::MAX && elems != st.total - st.resident {
+                        return Err(format!(
+                            "event {i}: fm {fm} fetched {elems}, missing {}",
+                            st.total - st.resident
+                        ));
+                    }
+                }
+                TraceEvent::Free { fm } => {
+                    let st = fms.get_mut(&fm).ok_or(format!("event {i}: free of unproduced fm {fm}"))?;
+                    if st.freed {
+                        return Err(format!("event {i}: double free of fm {fm}"));
+                    }
+                    st.freed = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Events touching feature map `fm`.
+    pub fn for_fm(&self, fm: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| match e {
+            TraceEvent::Produce { fm: f, .. }
+            | TraceEvent::Spill { fm: f, .. }
+            | TraceEvent::FetchMissing { fm: f, .. }
+            | TraceEvent::Free { fm: f } => *f == fm,
+        })
+    }
+}
+
+/// How much of a pinned shortcut survived to its junction.
+///
+/// One record is emitted per shortcut edge consumed at a junction; the
+/// intermediate-layer experiment (Fig. 17 in DESIGN.md's index) aggregates
+/// survival by `skip` distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RetentionRecord {
+    /// Producing layer of the shortcut data.
+    pub producer: usize,
+    /// Junction layer that consumed it.
+    pub junction: usize,
+    /// Intermediate layers crossed.
+    pub skip: usize,
+    /// Fraction of the feature map still resident at the junction.
+    pub resident_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn produce(fm: usize, total: u64, resident: u64, dram: u64) -> TraceEvent {
+        TraceEvent::Produce {
+            fm,
+            total_elems: total,
+            resident_elems: resident,
+            dram_elems: dram,
+        }
+    }
+
+    #[test]
+    fn well_formed_accepts_a_valid_history() {
+        let t = Trace {
+            events: vec![
+                produce(1, 100, 60, 40),
+                TraceEvent::Spill { fm: 1, new_resident_elems: 30 },
+                TraceEvent::FetchMissing { fm: 1, consumer: 2, elems: 70 },
+                TraceEvent::Free { fm: 1 },
+            ],
+        };
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn well_formed_rejects_double_produce() {
+        let t = Trace { events: vec![produce(1, 10, 10, 0), produce(1, 10, 10, 0)] };
+        assert!(t.check_well_formed().unwrap_err().contains("produced twice"));
+    }
+
+    #[test]
+    fn well_formed_rejects_coverage_holes() {
+        let t = Trace { events: vec![produce(1, 100, 30, 40)] };
+        assert!(t.check_well_formed().unwrap_err().contains("coverage hole"));
+    }
+
+    #[test]
+    fn well_formed_rejects_growing_spills_and_double_frees() {
+        let t = Trace {
+            events: vec![
+                produce(1, 10, 5, 5),
+                TraceEvent::Spill { fm: 1, new_resident_elems: 9 },
+            ],
+        };
+        assert!(t.check_well_formed().unwrap_err().contains("grew"));
+        let t = Trace {
+            events: vec![produce(1, 10, 10, 0), TraceEvent::Free { fm: 1 }, TraceEvent::Free { fm: 1 }],
+        };
+        assert!(t.check_well_formed().unwrap_err().contains("double free"));
+    }
+
+    #[test]
+    fn well_formed_rejects_mismatched_fetches_and_unknown_fms() {
+        let t = Trace {
+            events: vec![
+                produce(1, 100, 60, 40),
+                TraceEvent::FetchMissing { fm: 1, consumer: 2, elems: 99 },
+            ],
+        };
+        assert!(t.check_well_formed().unwrap_err().contains("fetched"));
+        let t = Trace { events: vec![TraceEvent::Free { fm: 7 }] };
+        assert!(t.check_well_formed().unwrap_err().contains("unproduced"));
+        // fm 0 (the network input) pre-exists and may be fetched freely.
+        let t = Trace {
+            events: vec![TraceEvent::FetchMissing { fm: 0, consumer: 1, elems: 123 }],
+        };
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn for_fm_filters_all_variants() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::Produce {
+                    fm: 1,
+                    total_elems: 10,
+                    resident_elems: 10,
+                    dram_elems: 0,
+                },
+                TraceEvent::Spill {
+                    fm: 2,
+                    new_resident_elems: 0,
+                },
+                TraceEvent::FetchMissing {
+                    fm: 1,
+                    consumer: 3,
+                    elems: 0,
+                },
+                TraceEvent::Free { fm: 1 },
+            ],
+        };
+        assert_eq!(t.for_fm(1).count(), 3);
+        assert_eq!(t.for_fm(2).count(), 1);
+        assert_eq!(t.for_fm(9).count(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+use serde::Serialize;
+
+/// Parameters of the off-chip channel, expressed in accelerator clock cycles.
+///
+/// The defaults model the FPGA-class platform of the paper's prototype: a
+/// 100 MHz accelerator clock fed by a DDR3 interface sustaining
+/// ~12.8 GB/s, i.e. 128 bytes per accelerator cycle, with 64-byte bursts and
+/// a fixed per-transfer initiation latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DramConfig {
+    /// Sustained bandwidth in bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+    /// Burst granularity in bytes; transfers are rounded up to whole bursts.
+    pub burst_bytes: u64,
+    /// Fixed cycles to initiate a transfer (row activation, command
+    /// queueing), paid once per contiguous transfer.
+    pub transfer_latency: u64,
+    /// Accelerator clock in Hz (used only to convert cycles to seconds in
+    /// reports).
+    pub clock_hz: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            bytes_per_cycle: 128.0,
+            burst_bytes: 64,
+            transfer_latency: 30,
+            clock_hz: 100.0e6,
+        }
+    }
+}
+
+/// Cycle-cost model of the off-chip channel.
+///
+/// Two granularities are exposed: [`DramModel::cycles_for_bytes`] for bulk
+/// streaming (amortized, no per-transfer latency — the accelerator's tile
+/// prefetches are long contiguous streams) and
+/// [`DramModel::cycles_for_transfer`] for a discrete transfer including the
+/// initiation latency. Both are monotonically non-decreasing in the byte
+/// count, a property the tests pin down because the throughput comparisons
+/// rely on it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct DramModel {
+    config: DramConfig,
+}
+
+impl DramModel {
+    /// Creates a model from an explicit configuration.
+    pub fn new(config: DramConfig) -> Self {
+        DramModel { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DramConfig {
+        self.config
+    }
+
+    /// Bytes after rounding up to whole bursts.
+    pub fn burst_padded(&self, bytes: u64) -> u64 {
+        let b = self.config.burst_bytes.max(1);
+        bytes.div_ceil(b) * b
+    }
+
+    /// Cycles to stream `bytes` at sustained bandwidth (burst-padded, no
+    /// initiation latency).
+    pub fn cycles_for_bytes(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let padded = self.burst_padded(bytes) as f64;
+        (padded / self.config.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Cycles for one discrete transfer of `bytes`, including the initiation
+    /// latency. Zero-byte transfers are free.
+    pub fn cycles_for_transfer(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.config.transfer_latency + self.cycles_for_bytes(bytes)
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.config.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let m = DramModel::default();
+        assert_eq!(m.cycles_for_bytes(0), 0);
+        assert_eq!(m.cycles_for_transfer(0), 0);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_streams() {
+        let m = DramModel::default();
+        // 1 MiB at 128 B/cycle = 8192 cycles.
+        assert_eq!(m.cycles_for_bytes(1 << 20), 8192);
+        assert_eq!(m.cycles_for_transfer(1 << 20), 8192 + 30);
+    }
+
+    #[test]
+    fn bursts_round_up() {
+        let m = DramModel::default();
+        assert_eq!(m.burst_padded(1), 64);
+        assert_eq!(m.burst_padded(64), 64);
+        assert_eq!(m.burst_padded(65), 128);
+        // A single byte still costs a whole burst of bandwidth.
+        assert_eq!(m.cycles_for_bytes(1), m.cycles_for_bytes(64));
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_bytes() {
+        let m = DramModel::default();
+        let mut last = 0;
+        for bytes in (0..10_000).step_by(37) {
+            let c = m.cycles_for_bytes(bytes);
+            assert!(c >= last, "non-monotonic at {bytes}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn custom_config_scales_cost() {
+        let slow = DramModel::new(DramConfig {
+            bytes_per_cycle: 16.0,
+            ..DramConfig::default()
+        });
+        let fast = DramModel::default();
+        assert!(slow.cycles_for_bytes(1 << 20) > fast.cycles_for_bytes(1 << 20));
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let m = DramModel::default();
+        let s = m.cycles_to_seconds(100_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+use serde::Serialize;
+
+use crate::Ledger;
+
+/// Per-access energy constants in picojoules per byte.
+///
+/// The defaults follow the published order-of-magnitude ratios for a
+/// DDR3-class interface versus large on-chip SRAM at a 28 nm-class node
+/// (Horowitz, ISSCC'14 keynote numbers scaled per byte): DRAM access is
+/// roughly two orders of magnitude more expensive than SRAM. The evaluation
+/// only uses energy *ratios* between baseline and Shortcut Mining, so the
+/// absolute scale is uncritical; what matters is DRAM ≫ SRAM, which makes
+/// traffic reduction translate to energy reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EnergyModel {
+    /// DRAM energy per byte transferred (pJ/B).
+    pub dram_pj_per_byte: f64,
+    /// On-chip SRAM energy per byte accessed (pJ/B).
+    pub sram_pj_per_byte: f64,
+    /// Energy per multiply-accumulate (pJ/MAC), for whole-accelerator
+    /// estimates.
+    pub mac_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            dram_pj_per_byte: 160.0,
+            sram_pj_per_byte: 1.25,
+            mac_pj: 0.2,
+        }
+    }
+}
+
+/// Energy totals (picojoules) attributed to each component.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct EnergyBreakdown {
+    /// Off-chip transfer energy.
+    pub dram_pj: f64,
+    /// On-chip buffer access energy.
+    pub sram_pj: f64,
+    /// Arithmetic energy.
+    pub compute_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.sram_pj + self.compute_pj
+    }
+
+    /// Total energy in millijoules (convenience for report tables).
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+}
+
+impl EnergyModel {
+    /// Estimates energy from a traffic ledger plus on-chip activity counts.
+    ///
+    /// `sram_bytes` is the number of bytes moved through on-chip buffers
+    /// (reads + writes); `macs` the multiply-accumulate count.
+    pub fn estimate(&self, ledger: &Ledger, sram_bytes: u64, macs: u64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dram_pj: ledger.total_bytes() as f64 * self.dram_pj_per_byte,
+            sram_pj: sram_bytes as f64 * self.sram_pj_per_byte,
+            compute_pj: macs as f64 * self.mac_pj,
+        }
+    }
+
+    /// DRAM-only energy for a byte count (used when comparing traffic
+    /// scenarios without a full ledger).
+    pub fn dram_energy_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.dram_pj_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrafficClass;
+
+    #[test]
+    fn estimate_separates_components() {
+        let mut ledger = Ledger::new();
+        ledger.record(0, TrafficClass::IfmRead, 1000);
+        let m = EnergyModel::default();
+        let e = m.estimate(&ledger, 4000, 10_000);
+        assert!((e.dram_pj - 160_000.0).abs() < 1e-9);
+        assert!((e.sram_pj - 5_000.0).abs() < 1e-9);
+        assert!((e.compute_pj - 2_000.0).abs() < 1e-9);
+        assert!((e.total_pj() - 167_000.0).abs() < 1e-9);
+        assert!(e.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn dram_dominates_sram_per_byte() {
+        let m = EnergyModel::default();
+        assert!(m.dram_pj_per_byte > 50.0 * m.sram_pj_per_byte);
+        assert_eq!(m.dram_energy_pj(2), 2.0 * m.dram_pj_per_byte);
+    }
+
+    #[test]
+    fn less_traffic_means_less_energy() {
+        let m = EnergyModel::default();
+        let mut a = Ledger::new();
+        a.record(0, TrafficClass::IfmRead, 10_000);
+        let mut b = Ledger::new();
+        b.record(0, TrafficClass::IfmRead, 4_000);
+        // Same compute and (more) SRAM activity: traffic still decides.
+        let ea = m.estimate(&a, 1_000, 100);
+        let eb = m.estimate(&b, 13_000, 100);
+        assert!(eb.total_pj() < ea.total_pj());
+    }
+}

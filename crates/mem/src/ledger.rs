@@ -1,0 +1,302 @@
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::Serialize;
+
+/// Category of an off-chip transfer.
+///
+/// Feature-map classes are separated the way the paper's breakdown figures
+/// need them: baseline accelerators only produce `IfmRead` / `OfmWrite` /
+/// `ShortcutRead`, while Shortcut Mining may additionally `SpillWrite` /
+/// `SpillRead` when capacity pressure evicts pinned shortcut banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[non_exhaustive]
+pub enum TrafficClass {
+    /// Input feature map fetched from DRAM.
+    IfmRead,
+    /// Output feature map written to DRAM.
+    OfmWrite,
+    /// Shortcut operand (re-)read from DRAM at a junction.
+    ShortcutRead,
+    /// Pinned shortcut data evicted to DRAM under capacity pressure.
+    SpillWrite,
+    /// Previously spilled shortcut data read back at its junction.
+    SpillRead,
+    /// Convolution / fully-connected weights fetched from DRAM.
+    WeightRead,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 6] = [
+        TrafficClass::IfmRead,
+        TrafficClass::OfmWrite,
+        TrafficClass::ShortcutRead,
+        TrafficClass::SpillWrite,
+        TrafficClass::SpillRead,
+        TrafficClass::WeightRead,
+    ];
+
+    /// Whether the class carries feature-map data (everything but weights).
+    pub fn is_feature_map(&self) -> bool {
+        !matches!(self, TrafficClass::WeightRead)
+    }
+
+    /// Whether the transfer direction is DRAM → chip.
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            TrafficClass::IfmRead
+                | TrafficClass::ShortcutRead
+                | TrafficClass::SpillRead
+                | TrafficClass::WeightRead
+        )
+    }
+
+    const fn slot(self) -> usize {
+        match self {
+            TrafficClass::IfmRead => 0,
+            TrafficClass::OfmWrite => 1,
+            TrafficClass::ShortcutRead => 2,
+            TrafficClass::SpillWrite => 3,
+            TrafficClass::SpillRead => 4,
+            TrafficClass::WeightRead => 5,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::IfmRead => "ifm_read",
+            TrafficClass::OfmWrite => "ofm_write",
+            TrafficClass::ShortcutRead => "shortcut_read",
+            TrafficClass::SpillWrite => "spill_write",
+            TrafficClass::SpillRead => "spill_read",
+            TrafficClass::WeightRead => "weight_read",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Byte totals per [`TrafficClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct ClassTotals {
+    bytes: [u64; 6],
+}
+
+impl ClassTotals {
+    /// Zeroed totals.
+    pub fn new() -> Self {
+        ClassTotals::default()
+    }
+
+    /// Bytes recorded under `class`.
+    pub fn class(&self, class: TrafficClass) -> u64 {
+        self.bytes[class.slot()]
+    }
+
+    /// Adds `bytes` to `class`.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
+        self.bytes[class.slot()] += bytes;
+    }
+
+    /// Bytes across all classes.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Feature-map bytes (all classes except weights).
+    pub fn feature_map(&self) -> u64 {
+        TrafficClass::ALL
+            .iter()
+            .filter(|c| c.is_feature_map())
+            .map(|&c| self.class(c))
+            .sum()
+    }
+
+    /// Bytes read from DRAM.
+    pub fn reads(&self) -> u64 {
+        TrafficClass::ALL
+            .iter()
+            .filter(|c| c.is_read())
+            .map(|&c| self.class(c))
+            .sum()
+    }
+
+    /// Bytes written to DRAM.
+    pub fn writes(&self) -> u64 {
+        self.total() - self.reads()
+    }
+}
+
+impl Add for ClassTotals {
+    type Output = ClassTotals;
+
+    fn add(mut self, rhs: ClassTotals) -> ClassTotals {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ClassTotals {
+    fn add_assign(&mut self, rhs: ClassTotals) {
+        for (a, b) in self.bytes.iter_mut().zip(rhs.bytes) {
+            *a += b;
+        }
+    }
+}
+
+/// Off-chip traffic ledger: totals plus a per-layer breakdown.
+///
+/// Layers are identified by their schedule index (matching
+/// `sm_model::LayerId`); recording to a layer index grows the ledger as
+/// needed, so one ledger serves any network.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct Ledger {
+    totals: ClassTotals,
+    per_layer: Vec<ClassTotals>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records `bytes` of `class` traffic caused by layer `layer`.
+    pub fn record(&mut self, layer: usize, class: TrafficClass, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        if self.per_layer.len() <= layer {
+            self.per_layer.resize(layer + 1, ClassTotals::new());
+        }
+        self.per_layer[layer].record(class, bytes);
+        self.totals.record(class, bytes);
+    }
+
+    /// Aggregate totals.
+    pub fn totals(&self) -> ClassTotals {
+        self.totals
+    }
+
+    /// Totals for one layer (zero totals for layers never recorded).
+    pub fn layer(&self, layer: usize) -> ClassTotals {
+        self.per_layer.get(layer).copied().unwrap_or_default()
+    }
+
+    /// Number of layer slots with recorded traffic.
+    pub fn layer_count(&self) -> usize {
+        self.per_layer.len()
+    }
+
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.totals.total()
+    }
+
+    /// Feature-map bytes — the paper's primary metric.
+    pub fn fm_bytes(&self) -> u64 {
+        self.totals.feature_map()
+    }
+
+    /// Bytes recorded under one class.
+    pub fn class_bytes(&self, class: TrafficClass) -> u64 {
+        self.totals.class(class)
+    }
+
+    /// Merges another ledger into this one, layer by layer.
+    pub fn merge(&mut self, other: &Ledger) {
+        if self.per_layer.len() < other.per_layer.len() {
+            self.per_layer.resize(other.per_layer.len(), ClassTotals::new());
+        }
+        for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
+            *a += *b;
+        }
+        self.totals += other.totals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_class_and_layer() {
+        let mut l = Ledger::new();
+        l.record(0, TrafficClass::IfmRead, 100);
+        l.record(0, TrafficClass::IfmRead, 50);
+        l.record(2, TrafficClass::OfmWrite, 200);
+        l.record(2, TrafficClass::WeightRead, 70);
+        assert_eq!(l.class_bytes(TrafficClass::IfmRead), 150);
+        assert_eq!(l.layer(0).class(TrafficClass::IfmRead), 150);
+        assert_eq!(l.layer(1).total(), 0);
+        assert_eq!(l.layer(2).total(), 270);
+        assert_eq!(l.total_bytes(), 420);
+        assert_eq!(l.fm_bytes(), 350);
+        assert_eq!(l.layer_count(), 3);
+    }
+
+    #[test]
+    fn zero_byte_records_are_ignored() {
+        let mut l = Ledger::new();
+        l.record(5, TrafficClass::SpillRead, 0);
+        assert_eq!(l.layer_count(), 0);
+        assert_eq!(l.total_bytes(), 0);
+    }
+
+    #[test]
+    fn totals_equal_sum_of_layers() {
+        let mut l = Ledger::new();
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            l.record(i, *class, (i as u64 + 1) * 10);
+        }
+        let mut sum = ClassTotals::new();
+        for i in 0..l.layer_count() {
+            sum += l.layer(i);
+        }
+        assert_eq!(sum, l.totals());
+    }
+
+    #[test]
+    fn reads_and_writes_partition_total() {
+        let mut t = ClassTotals::new();
+        t.record(TrafficClass::IfmRead, 5);
+        t.record(TrafficClass::OfmWrite, 7);
+        t.record(TrafficClass::SpillWrite, 11);
+        t.record(TrafficClass::SpillRead, 13);
+        assert_eq!(t.reads() + t.writes(), t.total());
+        assert_eq!(t.reads(), 18);
+        assert_eq!(t.writes(), 18);
+    }
+
+    #[test]
+    fn feature_map_excludes_weights() {
+        let mut t = ClassTotals::new();
+        t.record(TrafficClass::WeightRead, 1000);
+        t.record(TrafficClass::ShortcutRead, 1);
+        assert_eq!(t.feature_map(), 1);
+        assert!(TrafficClass::ShortcutRead.is_feature_map());
+        assert!(!TrafficClass::WeightRead.is_feature_map());
+    }
+
+    #[test]
+    fn merge_adds_layerwise() {
+        let mut a = Ledger::new();
+        a.record(0, TrafficClass::IfmRead, 10);
+        let mut b = Ledger::new();
+        b.record(0, TrafficClass::IfmRead, 5);
+        b.record(3, TrafficClass::OfmWrite, 7);
+        a.merge(&b);
+        assert_eq!(a.layer(0).class(TrafficClass::IfmRead), 15);
+        assert_eq!(a.layer(3).class(TrafficClass::OfmWrite), 7);
+        assert_eq!(a.total_bytes(), 22);
+    }
+
+    #[test]
+    fn display_names_are_snake_case() {
+        assert_eq!(TrafficClass::IfmRead.to_string(), "ifm_read");
+        assert_eq!(TrafficClass::SpillWrite.to_string(), "spill_write");
+    }
+}

@@ -1,0 +1,40 @@
+//! Off-chip memory substrate: traffic accounting, a DRAM channel model and
+//! an energy model.
+//!
+//! The headline claim of Shortcut Mining is a *traffic* claim — how many
+//! bytes of feature-map data cross the chip boundary. [`Ledger`] is therefore
+//! the central type: every simulated DRAM transfer is recorded under a
+//! [`TrafficClass`] and attributed to the layer that caused it, so the
+//! per-network, per-layer and per-category figures of the evaluation all fall
+//! out of one bookkeeping structure.
+//!
+//! [`DramModel`] converts transfer sizes into cycles (bandwidth plus
+//! per-burst overhead) for the throughput experiments, and [`EnergyModel`]
+//! converts the ledger into picojoules for the energy experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use sm_mem::{DramModel, Ledger, TrafficClass};
+//!
+//! let mut ledger = Ledger::new();
+//! ledger.record(0, TrafficClass::IfmRead, 1024);
+//! ledger.record(0, TrafficClass::OfmWrite, 2048);
+//! assert_eq!(ledger.fm_bytes(), 3072);
+//!
+//! let dram = DramModel::default();
+//! assert!(dram.cycles_for_bytes(3072) > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dram;
+mod energy;
+mod ledger;
+
+pub mod ddr;
+
+pub use dram::{DramConfig, DramModel};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use ledger::{ClassTotals, Ledger, TrafficClass};

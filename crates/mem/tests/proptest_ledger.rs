@@ -1,0 +1,93 @@
+//! Property tests for the traffic ledger and DRAM model: accounting is
+//! associative/commutative, totals always equal their decompositions, and
+//! the cycle model is monotone.
+
+use proptest::prelude::*;
+
+use sm_mem::{DramConfig, DramModel, Ledger, TrafficClass};
+
+fn class_strategy() -> impl Strategy<Value = TrafficClass> {
+    prop_oneof![
+        Just(TrafficClass::IfmRead),
+        Just(TrafficClass::OfmWrite),
+        Just(TrafficClass::ShortcutRead),
+        Just(TrafficClass::SpillWrite),
+        Just(TrafficClass::SpillRead),
+        Just(TrafficClass::WeightRead),
+    ]
+}
+
+fn records() -> impl Strategy<Value = Vec<(usize, TrafficClass, u64)>> {
+    prop::collection::vec((0usize..32, class_strategy(), 0u64..1_000_000), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totals equal the sum over layers, and fm + weights = total.
+    #[test]
+    fn totals_decompose(records in records()) {
+        let mut ledger = Ledger::new();
+        for (layer, class, bytes) in &records {
+            ledger.record(*layer, *class, *bytes);
+        }
+        let layer_sum: u64 = (0..ledger.layer_count()).map(|i| ledger.layer(i).total()).sum();
+        prop_assert_eq!(layer_sum, ledger.total_bytes());
+        prop_assert_eq!(
+            ledger.fm_bytes() + ledger.class_bytes(TrafficClass::WeightRead),
+            ledger.total_bytes()
+        );
+        let class_sum: u64 = TrafficClass::ALL.iter().map(|&c| ledger.class_bytes(c)).sum();
+        prop_assert_eq!(class_sum, ledger.total_bytes());
+        let t = ledger.totals();
+        prop_assert_eq!(t.reads() + t.writes(), t.total());
+    }
+
+    /// Merging ledgers commutes and matches recording everything into one.
+    #[test]
+    fn merge_is_commutative_and_faithful(a in records(), b in records()) {
+        let build = |rs: &[(usize, TrafficClass, u64)]| {
+            let mut l = Ledger::new();
+            for (layer, class, bytes) in rs {
+                l.record(*layer, *class, *bytes);
+            }
+            l
+        };
+        let mut ab = build(&a);
+        ab.merge(&build(&b));
+        let mut ba = build(&b);
+        ba.merge(&build(&a));
+        prop_assert_eq!(ab.totals(), ba.totals());
+        for i in 0..ab.layer_count().max(ba.layer_count()) {
+            prop_assert_eq!(ab.layer(i), ba.layer(i));
+        }
+        let mut combined: Vec<_> = a.clone();
+        combined.extend(b);
+        let direct = build(&combined);
+        prop_assert_eq!(direct.totals(), ab.totals());
+    }
+
+    /// DRAM cycles are monotone in bytes, burst padding never shrinks a
+    /// transfer, and padding is idempotent.
+    #[test]
+    fn dram_model_properties(
+        bytes_a in 0u64..10_000_000,
+        bytes_b in 0u64..10_000_000,
+        bw in 1u64..256,
+        burst in 1u64..512,
+    ) {
+        let m = DramModel::new(DramConfig {
+            bytes_per_cycle: bw as f64,
+            burst_bytes: burst,
+            transfer_latency: 20,
+            clock_hz: 2e8,
+        });
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(m.cycles_for_bytes(lo) <= m.cycles_for_bytes(hi));
+        prop_assert!(m.burst_padded(bytes_a) >= bytes_a);
+        prop_assert_eq!(m.burst_padded(m.burst_padded(bytes_a)), m.burst_padded(bytes_a));
+        if bytes_a > 0 {
+            prop_assert!(m.cycles_for_transfer(bytes_a) > m.cycles_for_bytes(bytes_a));
+        }
+    }
+}

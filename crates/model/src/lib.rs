@@ -1,0 +1,46 @@
+//! CNN layer IR, network DAGs with shortcut edges, and network builders.
+//!
+//! `sm-model` describes *what* the accelerator executes. A [`Network`] is a
+//! directed acyclic graph of [`Layer`]s in a fixed topological schedule — the
+//! layer-by-layer processing order a tile-based accelerator follows. Edges
+//! carry feature maps; an edge whose consumer is not the next scheduled layer
+//! is a **shortcut edge** (residual connections in ResNet, bypasses in
+//! SqueezeNet), the reuse target of Shortcut Mining.
+//!
+//! The crate also provides:
+//!
+//! * [`zoo`] — builders for the evaluated networks (ResNet-18/34/50/101/152,
+//!   plain variants, SqueezeNet v1.0/v1.1 with and without bypass, VGG-16,
+//!   AlexNet, plus small CIFAR-scale networks for functional verification).
+//! * [`liveness`] — feature-map lifetime analysis.
+//! * [`stats`] — feature-map data accounting, including the shortcut share of
+//!   total feature-map data (the paper's ~40% motivation figure).
+//! * [`exec`] — a golden-model executor running the reference operators from
+//!   `sm-tensor` over a network, used to verify the cycle simulators are
+//!   value-preserving.
+//!
+//! # Example
+//!
+//! ```
+//! use sm_model::zoo;
+//! use sm_model::stats::NetworkStats;
+//!
+//! let net = zoo::resnet34(1);
+//! let stats = NetworkStats::of(&net);
+//! // Roughly a third to 40% of ResNet's feature-map data is shortcut data.
+//! assert!(stats.shortcut_share() > 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod network;
+
+pub mod exec;
+pub mod liveness;
+pub mod stats;
+pub mod zoo;
+
+pub use layer::{ConvSpec, DwConvSpec, Layer, LayerId, LayerKind, PoolKind, PoolSpec};
+pub use network::{BuildError, Edge, Network, NetworkBuilder};

@@ -1,0 +1,167 @@
+//! Feature-map lifetime analysis.
+//!
+//! A feature map is *live* from the step that produces it through the step
+//! that last consumes it. The Shortcut Mining controller uses lifetimes to
+//! decide which banks to pin (shortcut sources live across intermediate
+//! layers) and the capacity sweeps use the peak live set as a lower bound on
+//! the buffering an all-on-chip schedule would need.
+
+use serde::Serialize;
+
+use crate::{LayerId, Network};
+
+/// Lifetime of one layer's output feature map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Lifetime {
+    /// Producing layer.
+    pub producer: LayerId,
+    /// Schedule position of the last consumer; equals `producer` when the
+    /// output is never consumed (network output).
+    pub last_use: LayerId,
+    /// Feature-map size in elements.
+    pub elems: usize,
+}
+
+impl Lifetime {
+    /// Whether the feature map is live while layer `at` executes, i.e. it
+    /// was produced strictly before `at` and is consumed at or after `at`.
+    pub fn live_at(&self, at: LayerId) -> bool {
+        self.producer < at && at <= self.last_use
+    }
+
+    /// Number of layers the feature map must survive after its producer
+    /// finishes (0 when consumed by the next layer).
+    pub fn span(&self) -> usize {
+        self.last_use.index().saturating_sub(self.producer.index() + 1)
+    }
+}
+
+/// Liveness analysis result over a whole network.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Liveness {
+    lifetimes: Vec<Lifetime>,
+}
+
+impl Liveness {
+    /// Computes lifetimes for every layer output of `net`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sm_model::liveness::Liveness;
+    /// use sm_model::zoo;
+    ///
+    /// let net = zoo::toy_residual(1);
+    /// let lv = Liveness::of(&net);
+    /// let c1 = net.layer_by_name("c1").unwrap().id;
+    /// // The shortcut source survives across the residual branch.
+    /// assert_eq!(lv.lifetime(c1).span(), 2);
+    /// ```
+    pub fn of(net: &Network) -> Self {
+        let lifetimes = net
+            .layers()
+            .iter()
+            .map(|l| Lifetime {
+                producer: l.id,
+                last_use: net.last_use(l.id).unwrap_or(l.id),
+                elems: l.out_elems(),
+            })
+            .collect();
+        Liveness { lifetimes }
+    }
+
+    /// Lifetime of `id`'s output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not a layer of the analyzed network.
+    pub fn lifetime(&self, id: LayerId) -> Lifetime {
+        self.lifetimes[id.index()]
+    }
+
+    /// All lifetimes in schedule order.
+    pub fn lifetimes(&self) -> &[Lifetime] {
+        &self.lifetimes
+    }
+
+    /// Total elements live while layer `at` executes (its inputs and every
+    /// other feature map still awaiting a later consumer; excludes the
+    /// output being produced).
+    pub fn live_elems_at(&self, at: LayerId) -> usize {
+        self.lifetimes
+            .iter()
+            .filter(|lt| lt.live_at(at))
+            .map(|lt| lt.elems)
+            .sum()
+    }
+
+    /// Peak of [`Liveness::live_elems_at`] over the schedule, with the layer
+    /// where the peak occurs.
+    pub fn peak_live_elems(&self) -> (usize, LayerId) {
+        let mut best = (0, LayerId(0));
+        for lt in &self.lifetimes {
+            let at = lt.producer;
+            let live = self.live_elems_at(at);
+            if live > best.0 {
+                best = (live, at);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConvSpec, NetworkBuilder};
+    use sm_tensor::Shape4;
+
+    fn toy() -> Network {
+        let mut b = NetworkBuilder::new("toy", Shape4::new(1, 2, 4, 4));
+        let x = b.input_id();
+        let c1 = b.conv("c1", x, ConvSpec::relu(2, 3, 1, 1)).unwrap();
+        let c2 = b.conv("c2", c1, ConvSpec::relu(2, 3, 1, 1)).unwrap();
+        let c3 = b.conv("c3", c2, ConvSpec::linear(2, 3, 1, 1)).unwrap();
+        let _a = b.eltwise_add("add", c1, c3, true).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn shortcut_source_lives_across_intermediates() {
+        let net = toy();
+        let lv = Liveness::of(&net);
+        let c1 = net.layer_by_name("c1").unwrap().id;
+        let lt = lv.lifetime(c1);
+        assert_eq!(net.layer(lt.last_use).name, "add");
+        assert_eq!(lt.span(), 2);
+        // c1 is live at c2, c3 and add but not at c1 itself.
+        let c2 = net.layer_by_name("c2").unwrap().id;
+        let add = net.layer_by_name("add").unwrap().id;
+        assert!(lt.live_at(c2));
+        assert!(lt.live_at(add));
+        assert!(!lt.live_at(c1));
+    }
+
+    #[test]
+    fn mainline_feature_maps_have_zero_span() {
+        let net = toy();
+        let lv = Liveness::of(&net);
+        let c2 = net.layer_by_name("c2").unwrap().id;
+        assert_eq!(lv.lifetime(c2).span(), 0);
+        // Network output is never consumed.
+        let add = net.layer_by_name("add").unwrap().id;
+        assert_eq!(lv.lifetime(add).last_use, add);
+        assert_eq!(lv.lifetime(add).span(), 0);
+    }
+
+    #[test]
+    fn live_set_counts_pinned_shortcut() {
+        let net = toy();
+        let lv = Liveness::of(&net);
+        let c3 = net.layer_by_name("c3").unwrap().id;
+        // While c3 executes: c1 (shortcut, 32 elems) and c2 (c3's input, 32).
+        assert_eq!(lv.live_elems_at(c3), 64);
+        let (peak, _) = lv.peak_live_elems();
+        assert!(peak >= 64);
+    }
+}

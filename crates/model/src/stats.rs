@@ -1,0 +1,120 @@
+//! Feature-map data accounting.
+//!
+//! Reproduces the paper's motivation numbers: how much of a network's
+//! feature-map data is shortcut data. The paper reports "nearly 40%" for
+//! residual networks; this module makes the definition precise and
+//! re-derivable.
+//!
+//! **Definition used.** *Total feature-map data* is the sum, over the network
+//! input and every layer output, of the feature-map size. *Shortcut data* is
+//! the subset produced by layers with at least one outgoing shortcut edge
+//! (an edge skipping one or more scheduled layers — see
+//! [`crate::Edge::is_shortcut`]). For a ResNet bottleneck block this counts
+//! the block input (4C channels) against the block's three internal maps
+//! (C, C, 4C), giving 40%; basic blocks give 1/3, and the stem and head
+//! dilute both slightly — matching the paper's "nearly 40%".
+
+use serde::Serialize;
+
+use crate::{LayerKind, Network};
+
+/// Aggregate feature-map statistics of one network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct NetworkStats {
+    /// Layers excluding the input pseudo-layer.
+    pub layer_count: usize,
+    /// Convolution layers.
+    pub conv_count: usize,
+    /// Junction layers (element-wise add / concat).
+    pub junction_count: usize,
+    /// Shortcut edges in the DAG.
+    pub shortcut_edge_count: usize,
+    /// Elements across the network input and all layer outputs.
+    pub total_fm_elems: usize,
+    /// Elements produced by shortcut sources (incl. the input if it feeds a
+    /// shortcut edge).
+    pub shortcut_fm_elems: usize,
+    /// Weight elements across all layers.
+    pub weight_elems: usize,
+    /// Multiply-accumulates for the built batch size.
+    pub macs: u64,
+}
+
+impl NetworkStats {
+    /// Computes statistics for `net`.
+    pub fn of(net: &Network) -> Self {
+        let shortcut_sources = net.shortcut_sources();
+        let total_fm_elems = net.layers().iter().map(|l| l.out_elems()).sum();
+        let shortcut_fm_elems = shortcut_sources
+            .iter()
+            .map(|&id| net.layer(id).out_elems())
+            .sum();
+        NetworkStats {
+            layer_count: net.len() - 1,
+            conv_count: net
+                .layers()
+                .iter()
+                .filter(|l| matches!(l.kind, LayerKind::Conv(_)))
+                .count(),
+            junction_count: net.layers().iter().filter(|l| l.kind.is_junction()).count(),
+            shortcut_edge_count: net.shortcut_edges().len(),
+            total_fm_elems,
+            shortcut_fm_elems,
+            weight_elems: net.total_weight_elems(),
+            macs: net.total_macs(),
+        }
+    }
+
+    /// Fraction of total feature-map data that is shortcut data (the
+    /// paper's ~40% motivation number for residual networks).
+    pub fn shortcut_share(&self) -> f64 {
+        if self.total_fm_elems == 0 {
+            return 0.0;
+        }
+        self.shortcut_fm_elems as f64 / self.total_fm_elems as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConvSpec, NetworkBuilder};
+    use sm_tensor::Shape4;
+
+    /// A single bottleneck-style block: 4C input, C/C/4C branch, add.
+    fn bottleneck_toy() -> Network {
+        let mut b = NetworkBuilder::new("bn", Shape4::new(1, 16, 8, 8));
+        let x = b.input_id();
+        let c1 = b.conv("c1", x, ConvSpec::relu(4, 1, 1, 0)).unwrap();
+        let c2 = b.conv("c2", c1, ConvSpec::relu(4, 3, 1, 1)).unwrap();
+        let c3 = b.conv("c3", c2, ConvSpec::linear(16, 1, 1, 0)).unwrap();
+        let _a = b.eltwise_add("add", x, c3, true).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn bottleneck_shortcut_share_is_forty_percent_of_internals() {
+        let net = bottleneck_toy();
+        let s = NetworkStats::of(&net);
+        // Feature maps: input 16c (shortcut source), c1 4c, c2 4c, c3 16c,
+        // add 16c -> shortcut share = 16 / (16+4+4+16+16) = 16/56.
+        assert_eq!(s.shortcut_fm_elems * 56, s.total_fm_elems * 16);
+        assert!(s.shortcut_share() > 0.28 && s.shortcut_share() < 0.29);
+        assert_eq!(s.shortcut_edge_count, 1);
+        assert_eq!(s.junction_count, 1);
+        assert_eq!(s.conv_count, 3);
+    }
+
+    #[test]
+    fn plain_chain_has_no_shortcut_data() {
+        let mut b = NetworkBuilder::new("plain", Shape4::new(1, 3, 8, 8));
+        let x = b.input_id();
+        let c1 = b.conv("c1", x, ConvSpec::relu(8, 3, 1, 1)).unwrap();
+        let _c2 = b.conv("c2", c1, ConvSpec::relu(8, 3, 1, 1)).unwrap();
+        let net = b.finish().unwrap();
+        let s = NetworkStats::of(&net);
+        assert_eq!(s.shortcut_fm_elems, 0);
+        assert_eq!(s.shortcut_share(), 0.0);
+        assert_eq!(s.shortcut_edge_count, 0);
+    }
+}

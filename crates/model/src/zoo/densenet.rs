@@ -1,0 +1,171 @@
+//! DenseNet builders (Huang et al., CVPR 2017) — the extension stressor.
+//!
+//! Dense connectivity is the extreme case of cross-layer reuse: inside a
+//! dense block, every layer's input is the channel concatenation of *all*
+//! previous layers' outputs, so feature maps must survive across the entire
+//! remainder of their block. The Shortcut Mining paper evaluates residual
+//! and bypass networks; DenseNet is the natural "future work" workload and
+//! is included here to probe where the prefix-residency discipline and the
+//! bank pool saturate (see the `ext_densenet` experiment).
+
+use sm_tensor::Shape4;
+
+use crate::{ConvSpec, LayerId, Network, NetworkBuilder, PoolSpec};
+
+struct DenseSpec {
+    name: &'static str,
+    /// Layers per dense block.
+    blocks: [usize; 4],
+    /// Channels added by each dense layer.
+    growth: usize,
+}
+
+fn dense_layer(
+    b: &mut NetworkBuilder,
+    tag: &str,
+    input: LayerId,
+    growth: usize,
+) -> LayerId {
+    // BN-ReLU-1x1 (bottleneck to 4*growth) then BN-ReLU-3x3 (growth).
+    let bottleneck = b
+        .conv(format!("{tag}/1x1"), input, ConvSpec::relu(4 * growth, 1, 1, 0))
+        .expect("dense 1x1");
+    let new = b
+        .conv(format!("{tag}/3x3"), bottleneck, ConvSpec::relu(growth, 3, 1, 1))
+        .expect("dense 3x3");
+    // Dense connectivity: the running concatenation grows by `growth`.
+    b.concat(format!("{tag}/concat"), &[input, new])
+        .expect("dense concat")
+}
+
+fn build(spec: &DenseSpec, batch: usize) -> Network {
+    let mut b = NetworkBuilder::new(spec.name, Shape4::new(batch, 3, 224, 224));
+    let x = b.input_id();
+    let stem = b
+        .conv("conv1", x, ConvSpec::relu(2 * spec.growth, 7, 2, 3))
+        .expect("stem");
+    let mut cur = b.pool("pool1", stem, PoolSpec::max(3, 2, 1)).expect("stem pool");
+
+    for (block, &layers) in spec.blocks.iter().enumerate() {
+        for layer in 0..layers {
+            cur = dense_layer(
+                &mut b,
+                &format!("dense{}_{}", block + 1, layer + 1),
+                cur,
+                spec.growth,
+            );
+        }
+        if block + 1 < spec.blocks.len() {
+            // Transition: 1x1 conv halving channels, then 2x2 average pool.
+            let channels = b.shape_of(cur).expect("live layer").c / 2;
+            let t = b
+                .conv(
+                    format!("transition{}/1x1", block + 1),
+                    cur,
+                    ConvSpec::relu(channels, 1, 1, 0),
+                )
+                .expect("transition conv");
+            cur = b
+                .pool(
+                    format!("transition{}/pool", block + 1),
+                    t,
+                    PoolSpec::avg(2, 2, 0),
+                )
+                .expect("transition pool");
+        }
+    }
+
+    let gap = b.global_avg_pool("gap", cur).expect("gap");
+    b.fc("fc1000", gap, 1000).expect("fc");
+    b.finish().expect("densenet builds")
+}
+
+/// DenseNet-121 (`[6, 12, 24, 16]`, growth 32).
+pub fn densenet121(batch: usize) -> Network {
+    build(
+        &DenseSpec {
+            name: "densenet121",
+            blocks: [6, 12, 24, 16],
+            growth: 32,
+        },
+        batch,
+    )
+}
+
+/// DenseNet-169 (`[6, 12, 32, 32]`, growth 32).
+pub fn densenet169(batch: usize) -> Network {
+    build(
+        &DenseSpec {
+            name: "densenet169",
+            blocks: [6, 12, 32, 32],
+            growth: 32,
+        },
+        batch,
+    )
+}
+
+/// A CIFAR-scale dense network for functional verification: one dense block
+/// of `layers` dense layers at growth 8 on 16×16 input.
+pub fn densenet_tiny(layers: usize, batch: usize) -> Network {
+    assert!(layers >= 1);
+    let mut b = NetworkBuilder::new(
+        format!("densenet_tiny{layers}"),
+        Shape4::new(batch, 3, 16, 16),
+    );
+    let x = b.input_id();
+    let mut cur = b.conv("stem", x, ConvSpec::relu(16, 3, 1, 1)).expect("stem");
+    for i in 0..layers {
+        cur = dense_layer(&mut b, &format!("dense{i}"), cur, 8);
+    }
+    let gap = b.global_avg_pool("gap", cur).expect("gap");
+    b.fc("fc", gap, 10).expect("fc");
+    b.finish().expect("tiny densenet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GoldenExecutor;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn densenet121_channel_plan_matches_published() {
+        let net = densenet121(1);
+        // Block outputs: 64+6*32=256, halved to 128; 128+12*32=512 -> 256;
+        // 256+24*32=1024 -> 512; 512+16*32=1024.
+        assert_eq!(net.layer_by_name("dense1_6/concat").unwrap().out_shape.c, 256);
+        assert_eq!(net.layer_by_name("transition1/1x1").unwrap().out_shape.c, 128);
+        assert_eq!(net.layer_by_name("dense2_12/concat").unwrap().out_shape.c, 512);
+        assert_eq!(net.layer_by_name("dense3_24/concat").unwrap().out_shape.c, 1024);
+        let last = net.layer_by_name("dense4_16/concat").unwrap().out_shape;
+        assert_eq!((last.c, last.h, last.w), (1024, 7, 7));
+        // ~8 M params, ~2.8-3 GMACs.
+        let p = net.total_weight_elems() as f64 / 1e6;
+        assert!((6.5..9.0).contains(&p), "got {p}M params");
+    }
+
+    #[test]
+    fn dense_connectivity_maximizes_shortcut_share() {
+        let s121 = NetworkStats::of(&densenet121(1));
+        // The running concatenation feeds both the next 1x1 and the next
+        // concat: well over half of all feature-map data is shortcut data.
+        assert!(s121.shortcut_share() > 0.45, "{}", s121.shortcut_share());
+        assert_eq!(s121.junction_count, 6 + 12 + 24 + 16);
+    }
+
+    #[test]
+    fn densenet169_is_deeper() {
+        let n121 = densenet121(1);
+        let n169 = densenet169(1);
+        assert!(n169.len() > n121.len());
+        assert!(n169.total_macs() > n121.total_macs());
+    }
+
+    #[test]
+    fn tiny_densenet_executes_functionally() {
+        let net = densenet_tiny(3, 1);
+        let outs = GoldenExecutor::new(&net, 9).run().unwrap();
+        assert!(outs.last().unwrap().as_slice().iter().all(|x| x.is_finite()));
+        assert_eq!(net.layer_by_name("dense2/concat").unwrap().out_shape.c, 16 + 3 * 8);
+    }
+}

@@ -1,0 +1,123 @@
+//! GoogLeNet / Inception-v1 builder (Szegedy et al., CVPR 2015).
+//!
+//! Inception modules are four-way fork-joins: 1×1, 1×1→3×3, 1×1→5×5 and
+//! pool→1×1 branches concatenated along channels. Every branch output must
+//! survive on chip until the concatenation, so the module is a dense source
+//! of short-range shortcut edges — a different reuse pattern from ResNet's
+//! long residual skips. The auxiliary classifiers are omitted: they exist
+//! for training only and carry no inference traffic.
+
+use sm_tensor::Shape4;
+
+use crate::{ConvSpec, LayerId, Network, NetworkBuilder, PoolSpec};
+
+/// Channel plan of one inception module:
+/// `(b1, b3_reduce, b3, b5_reduce, b5, pool_proj)`.
+type Inception = (usize, usize, usize, usize, usize, usize);
+
+/// The published module table (3a..5b).
+const MODULES: [(&str, Inception); 9] = [
+    ("3a", (64, 96, 128, 16, 32, 32)),
+    ("3b", (128, 128, 192, 32, 96, 64)),
+    ("4a", (192, 96, 208, 16, 48, 64)),
+    ("4b", (160, 112, 224, 24, 64, 64)),
+    ("4c", (128, 128, 256, 24, 64, 64)),
+    ("4d", (112, 144, 288, 32, 64, 64)),
+    ("4e", (256, 160, 320, 32, 128, 128)),
+    ("5a", (256, 160, 320, 32, 128, 128)),
+    ("5b", (384, 192, 384, 48, 128, 128)),
+];
+
+fn inception(b: &mut NetworkBuilder, tag: &str, input: LayerId, plan: Inception) -> LayerId {
+    let (b1, b3r, b3, b5r, b5, pp) = plan;
+    let br1 = b
+        .conv(format!("inception_{tag}/1x1"), input, ConvSpec::relu(b1, 1, 1, 0))
+        .expect("1x1 branch");
+    let r3 = b
+        .conv(format!("inception_{tag}/3x3_reduce"), input, ConvSpec::relu(b3r, 1, 1, 0))
+        .expect("3x3 reduce");
+    let br3 = b
+        .conv(format!("inception_{tag}/3x3"), r3, ConvSpec::relu(b3, 3, 1, 1))
+        .expect("3x3 branch");
+    let r5 = b
+        .conv(format!("inception_{tag}/5x5_reduce"), input, ConvSpec::relu(b5r, 1, 1, 0))
+        .expect("5x5 reduce");
+    let br5 = b
+        .conv(format!("inception_{tag}/5x5"), r5, ConvSpec::relu(b5, 5, 1, 2))
+        .expect("5x5 branch");
+    let pool = b
+        .pool(format!("inception_{tag}/pool"), input, PoolSpec::max(3, 1, 1))
+        .expect("pool branch");
+    let brp = b
+        .conv(format!("inception_{tag}/pool_proj"), pool, ConvSpec::relu(pp, 1, 1, 0))
+        .expect("pool projection");
+    b.concat(format!("inception_{tag}/concat"), &[br1, br3, br5, brp])
+        .expect("inception concat")
+}
+
+/// GoogLeNet (Inception-v1), inference graph without auxiliary classifiers.
+pub fn googlenet(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("googlenet", Shape4::new(batch, 3, 224, 224));
+    let x = b.input_id();
+    let c1 = b.conv("conv1", x, ConvSpec::relu(64, 7, 2, 3)).expect("conv1");
+    let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 1)).expect("pool1");
+    let c2r = b.conv("conv2_reduce", p1, ConvSpec::relu(64, 1, 1, 0)).expect("conv2 reduce");
+    let c2 = b.conv("conv2", c2r, ConvSpec::relu(192, 3, 1, 1)).expect("conv2");
+    let mut cur = b.pool("pool2", c2, PoolSpec::max(3, 2, 1)).expect("pool2");
+
+    for (tag, plan) in MODULES {
+        cur = inception(&mut b, tag, cur, plan);
+        // Max-poolings after 3b and 4e.
+        if tag == "3b" || tag == "4e" {
+            cur = b
+                .pool(format!("pool_{tag}"), cur, PoolSpec::max(3, 2, 1))
+                .expect("stage pool");
+        }
+    }
+
+    let gap = b.global_avg_pool("gap", cur).expect("gap");
+    b.fc("fc1000", gap, 1000).expect("fc");
+    b.finish().expect("googlenet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn module_output_channels_match_the_published_table() {
+        let net = googlenet(1);
+        for (tag, (b1, _, b3, _, b5, pp)) in MODULES {
+            let out = net
+                .layer_by_name(&format!("inception_{tag}/concat"))
+                .unwrap()
+                .out_shape;
+            assert_eq!(out.c, b1 + b3 + b5 + pp, "{tag}");
+        }
+        // 5b output: 1024 channels at 7x7.
+        let last = net.layer_by_name("inception_5b/concat").unwrap().out_shape;
+        assert_eq!((last.c, last.h, last.w), (1024, 7, 7));
+    }
+
+    #[test]
+    fn cost_matches_published_flops_and_params() {
+        let net = googlenet(1);
+        // ~1.5 GMACs, ~6-7 M params (no aux heads).
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.3..1.8).contains(&g), "got {g} GMACs");
+        let p = net.total_weight_elems() as f64 / 1e6;
+        assert!((5.5..7.5).contains(&p), "got {p}M params");
+    }
+
+    #[test]
+    fn inception_forks_create_shortcut_edges() {
+        let net = googlenet(1);
+        let s = NetworkStats::of(&net);
+        // Four-way fork-joins: at least 3 non-adjacent edges per module
+        // (input to the later branches, early branches to the concat).
+        assert!(s.shortcut_edge_count >= 9 * 3, "{}", s.shortcut_edge_count);
+        assert_eq!(s.junction_count, 9);
+        assert!(s.shortcut_share() > 0.3);
+    }
+}

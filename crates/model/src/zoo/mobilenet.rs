@@ -1,0 +1,179 @@
+//! MobileNet builders (Howard et al. 2017; Sandler et al., CVPR 2018).
+//!
+//! MobileNetV1 is a pure depthwise-separable chain (no shortcuts — a
+//! control for the depthwise substrate); MobileNetV2's inverted-residual
+//! blocks add residual connections around the narrow bottlenecks, so its
+//! shortcut data is *small* relative to the expanded intermediate maps —
+//! the opposite regime from ResNet, and a useful probe of the retention
+//! policy.
+
+use sm_tensor::Shape4;
+
+use crate::{ConvSpec, DwConvSpec, LayerId, Network, NetworkBuilder};
+
+/// MobileNetV1 (width 1.0): stem plus 13 depthwise-separable blocks.
+pub fn mobilenet_v1(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("mobilenet_v1", Shape4::new(batch, 3, 224, 224));
+    let x = b.input_id();
+    let mut cur = b.conv("conv1", x, ConvSpec::relu(32, 3, 2, 1)).expect("stem");
+    // (output channels, stride) of each separable block.
+    let plan: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (channels, stride)) in plan.into_iter().enumerate() {
+        let tag = format!("sep{}", i + 1);
+        let dw = b
+            .depthwise_conv(format!("{tag}/dw"), cur, DwConvSpec::relu(3, stride, 1))
+            .expect("depthwise");
+        cur = b
+            .conv(format!("{tag}/pw"), dw, ConvSpec::relu(channels, 1, 1, 0))
+            .expect("pointwise");
+    }
+    let gap = b.global_avg_pool("gap", cur).expect("gap");
+    b.fc("fc1000", gap, 1000).expect("fc");
+    b.finish().expect("mobilenet v1 builds")
+}
+
+/// One MobileNetV2 inverted-residual block: 1×1 expand (`expand ×` input
+/// channels), 3×3 depthwise (stride `stride`), 1×1 linear projection to
+/// `out_c`, with a residual add when the shape is preserved.
+fn inverted_residual(
+    b: &mut NetworkBuilder,
+    tag: &str,
+    input: LayerId,
+    expand: usize,
+    out_c: usize,
+    stride: usize,
+) -> LayerId {
+    let in_c = b.shape_of(input).expect("live layer").c;
+    let mut cur = input;
+    if expand != 1 {
+        cur = b
+            .conv(format!("{tag}/expand"), cur, ConvSpec::relu(in_c * expand, 1, 1, 0))
+            .expect("expand");
+    }
+    let dw = b
+        .depthwise_conv(format!("{tag}/dw"), cur, DwConvSpec::relu(3, stride, 1))
+        .expect("depthwise");
+    let proj = b
+        .conv(format!("{tag}/project"), dw, ConvSpec::linear(out_c, 1, 1, 0))
+        .expect("project");
+    if stride == 1 && in_c == out_c {
+        b.eltwise_add(format!("{tag}/add"), input, proj, false)
+            .expect("inverted residual add")
+    } else {
+        proj
+    }
+}
+
+/// MobileNetV2 (width 1.0): the published `(t, c, n, s)` bottleneck table.
+pub fn mobilenet_v2(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("mobilenet_v2", Shape4::new(batch, 3, 224, 224));
+    let x = b.input_id();
+    let mut cur = b.conv("conv1", x, ConvSpec::relu(32, 3, 2, 1)).expect("stem");
+    let table: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (stage, (t, c, n, s)) in table.into_iter().enumerate() {
+        for block in 0..n {
+            let stride = if block == 0 { s } else { 1 };
+            cur = inverted_residual(
+                &mut b,
+                &format!("ir{}_{}", stage + 1, block + 1),
+                cur,
+                t,
+                c,
+                stride,
+            );
+        }
+    }
+    let head = b.conv("conv_head", cur, ConvSpec::relu(1280, 1, 1, 0)).expect("head");
+    let gap = b.global_avg_pool("gap", head).expect("gap");
+    b.fc("fc1000", gap, 1000).expect("fc");
+    b.finish().expect("mobilenet v2 builds")
+}
+
+/// CIFAR-scale MobileNetV2-style network for functional verification: two
+/// inverted-residual blocks on 32×32 input.
+pub fn mobilenet_tiny(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("mobilenet_tiny", Shape4::new(batch, 3, 32, 32));
+    let x = b.input_id();
+    let stem = b.conv("conv1", x, ConvSpec::relu(8, 3, 2, 1)).expect("stem");
+    let b1 = inverted_residual(&mut b, "ir1", stem, 1, 8, 1);
+    let b2 = inverted_residual(&mut b, "ir2", b1, 6, 8, 1);
+    let gap = b.global_avg_pool("gap", b2).expect("gap");
+    b.fc("fc", gap, 10).expect("fc");
+    b.finish().expect("tiny mobilenet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GoldenExecutor;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn v1_cost_matches_published() {
+        let net = mobilenet_v1(1);
+        // ~0.57 GMACs, ~4.2 M params.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((0.5..0.65).contains(&g), "got {g} GMACs");
+        let p = net.total_weight_elems() as f64 / 1e6;
+        assert!((3.9..4.5).contains(&p), "got {p}M params");
+        assert!(net.shortcut_edges().is_empty(), "V1 has no shortcuts");
+        let last = net.layer_by_name("sep13/pw").unwrap().out_shape;
+        assert_eq!((last.c, last.h, last.w), (1024, 7, 7));
+    }
+
+    #[test]
+    fn v2_structure_matches_published() {
+        let net = mobilenet_v2(1);
+        // ~0.3 GMACs, ~3.4 M params.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((0.28..0.40).contains(&g), "got {g} GMACs");
+        let p = net.total_weight_elems() as f64 / 1e6;
+        assert!((3.0..3.8).contains(&p), "got {p}M params");
+        // Residual adds exist only in the stride-1 repeat blocks:
+        // 1+2+3+2+2+0 = 10.
+        let adds = net.layers().iter().filter(|l| l.kind.is_junction()).count();
+        assert_eq!(adds, 10);
+        // The shortcut sources are the *narrow* bottleneck maps while the
+        // expanded 6x intermediates dominate the data — the opposite regime
+        // from ResNet's ~40%.
+        let s = NetworkStats::of(&net);
+        assert!(s.shortcut_share() > 0.02 && s.shortcut_share() < 0.10, "{}", s.shortcut_share());
+    }
+
+    #[test]
+    fn first_block_has_no_expansion_layer() {
+        let net = mobilenet_v2(1);
+        assert!(net.layer_by_name("ir1_1/expand").is_none());
+        assert!(net.layer_by_name("ir2_1/expand").is_some());
+    }
+
+    #[test]
+    fn tiny_mobilenet_executes_functionally() {
+        let net = mobilenet_tiny(1);
+        let outs = GoldenExecutor::new(&net, 21).run().unwrap();
+        assert!(outs.last().unwrap().as_slice().iter().all(|x| x.is_finite()));
+        assert!(net.layer_by_name("ir2/add").is_some());
+    }
+}

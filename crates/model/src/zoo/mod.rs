@@ -1,0 +1,88 @@
+//! Builders for the networks the paper evaluates, plus controls.
+//!
+//! The paper's evaluation set is SqueezeNet (with bypass), ResNet-34 and
+//! ResNet-152; the rest of the family (ResNet-18/50/101, SqueezeNet v1.0/v1.1
+//! without bypass, plain ResNets, VGG-16, AlexNet) is provided both for the
+//! sensitivity studies and as no-shortcut controls.
+//!
+//! Every builder takes the batch size; shapes use ImageNet resolutions
+//! (224×224 for ResNet/VGG, 227×227 for SqueezeNet/AlexNet, per the original
+//! model definitions). The `*_tiny` builders produce CIFAR-scale graphs for
+//! functional (value-level) verification, where the naive golden operators
+//! are fast enough.
+
+mod densenet;
+mod googlenet;
+mod mobilenet;
+mod resnet;
+mod small;
+mod squeezenet;
+mod vgg;
+
+pub use densenet::{densenet121, densenet169, densenet_tiny};
+pub use googlenet::googlenet;
+pub use mobilenet::{mobilenet_tiny, mobilenet_v1, mobilenet_v2};
+pub use resnet::{plain18, plain34, resnet, resnet101, resnet152, resnet18, resnet34, resnet50};
+pub use small::{chain_tiny, resnet_tiny, squeezenet_tiny, toy_residual};
+pub use squeezenet::{
+    squeezenet_v10, squeezenet_v10_complex_bypass, squeezenet_v10_simple_bypass, squeezenet_v11,
+};
+pub use vgg::{alexnet, vgg16};
+
+use crate::Network;
+
+/// The three networks of the paper's headline evaluation (abstract):
+/// SqueezeNet (simple bypass), ResNet-34 and ResNet-152.
+pub fn evaluated_networks(batch: usize) -> Vec<Network> {
+    vec![
+        squeezenet_v10_simple_bypass(batch),
+        resnet34(batch),
+        resnet152(batch),
+    ]
+}
+
+/// The extended set used in sensitivity studies: the evaluated networks plus
+/// the rest of the ResNet family and the no-shortcut controls.
+pub fn extended_networks(batch: usize) -> Vec<Network> {
+    vec![
+        squeezenet_v10(batch),
+        squeezenet_v10_simple_bypass(batch),
+        squeezenet_v10_complex_bypass(batch),
+        squeezenet_v11(batch),
+        resnet18(batch),
+        resnet34(batch),
+        resnet50(batch),
+        resnet101(batch),
+        resnet152(batch),
+        plain34(batch),
+        vgg16(batch),
+        alexnet(batch),
+        googlenet(batch),
+        densenet121(batch),
+        mobilenet_v1(batch),
+        mobilenet_v2(batch),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluated_set_matches_abstract() {
+        let nets = evaluated_networks(1);
+        let names: Vec<_> = nets.iter().map(|n| n.name().to_string()).collect();
+        assert_eq!(
+            names,
+            ["squeezenet_v10_simple_bypass", "resnet34", "resnet152"]
+        );
+    }
+
+    #[test]
+    fn extended_set_builds_at_batch_4() {
+        for net in extended_networks(4) {
+            assert_eq!(net.input().out_shape.n, 4, "{}", net.name());
+            assert!(net.len() > 10, "{}", net.name());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! CIFAR-scale and toy networks for functional (value-level) verification.
+//!
+//! The golden-model operators in `sm-tensor` are naive loops, so functional
+//! cross-checks between the baseline and Shortcut Mining simulators run on
+//! these small graphs; the traffic/cycle experiments use the full ImageNet
+//! graphs from the rest of the zoo, where only shapes matter.
+
+use sm_tensor::Shape4;
+
+use crate::{ConvSpec, Network, NetworkBuilder, PoolSpec};
+
+/// CIFAR-style residual network (He et al. §4.2): a 3×3 stem, then three
+/// stages of `n` basic blocks at 16/32/64 channels on 32×32 input.
+/// `resnet_tiny(3)` is the classic ResNet-20.
+pub fn resnet_tiny(n: usize, batch: usize) -> Network {
+    assert!(n >= 1, "need at least one block per stage");
+    let mut b = NetworkBuilder::new(
+        format!("resnet_tiny{}", 6 * n + 2),
+        Shape4::new(batch, 3, 32, 32),
+    );
+    let x = b.input_id();
+    let mut cur = b.conv("stem", x, ConvSpec::relu(16, 3, 1, 1)).expect("stem");
+    for (stage, width) in [16usize, 32, 64].into_iter().enumerate() {
+        for block in 0..n {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let tag = format!("s{stage}b{block}");
+            let c1 = b
+                .conv(format!("{tag}/a"), cur, ConvSpec::relu(width, 3, stride, 1))
+                .expect("a");
+            let c2 = b
+                .conv(format!("{tag}/b"), c1, ConvSpec::linear(width, 3, 1, 1))
+                .expect("b");
+            let shortcut = if stride != 1 || b.shape_of(cur).expect("known").c != width {
+                b.conv(format!("{tag}/proj"), cur, ConvSpec::linear(width, 1, stride, 0))
+                    .expect("proj")
+            } else {
+                cur
+            };
+            cur = b
+                .eltwise_add(format!("{tag}/add"), shortcut, c2, true)
+                .expect("add");
+        }
+    }
+    let gap = b.global_avg_pool("gap", cur).expect("gap");
+    b.fc("fc", gap, 10).expect("fc");
+    b.finish().expect("tiny resnet builds")
+}
+
+/// A miniature SqueezeNet: stem, two fire modules (the second bypassed),
+/// pooling and a classifier, on 32×32 input.
+pub fn squeezenet_tiny(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("squeezenet_tiny", Shape4::new(batch, 3, 32, 32));
+    let x = b.input_id();
+    let c1 = b.conv("conv1", x, ConvSpec::relu(16, 3, 2, 1)).expect("conv1");
+    let mut cur = b.pool("pool1", c1, PoolSpec::max(3, 2, 0)).expect("pool1");
+    for idx in 2..=3 {
+        let tag = format!("fire{idx}");
+        let s = b
+            .conv(format!("{tag}/squeeze1x1"), cur, ConvSpec::relu(8, 1, 1, 0))
+            .expect("squeeze");
+        let e1 = b
+            .conv(format!("{tag}/expand1x1"), s, ConvSpec::relu(16, 1, 1, 0))
+            .expect("e1");
+        let e3 = b
+            .conv(format!("{tag}/expand3x3"), s, ConvSpec::relu(16, 3, 1, 1))
+            .expect("e3");
+        let cat = b.concat(format!("{tag}/concat"), &[e1, e3]).expect("cat");
+        cur = if idx == 3 {
+            b.eltwise_add(format!("{tag}/bypass"), cur, cat, false)
+                .expect("bypass")
+        } else {
+            cat
+        };
+    }
+    let conv4 = b.conv("conv4", cur, ConvSpec::relu(10, 1, 1, 0)).expect("conv4");
+    b.global_avg_pool("gap", conv4).expect("gap");
+    b.finish().expect("tiny squeezenet builds")
+}
+
+/// The smallest interesting residual graph: two convolutions bridged by a
+/// shortcut into an element-wise addition.
+pub fn toy_residual(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("toy_residual", Shape4::new(batch, 4, 8, 8));
+    let x = b.input_id();
+    let c1 = b.conv("c1", x, ConvSpec::relu(8, 3, 1, 1)).expect("c1");
+    let c2 = b.conv("c2", c1, ConvSpec::relu(8, 3, 1, 1)).expect("c2");
+    let c3 = b.conv("c3", c2, ConvSpec::linear(8, 3, 1, 1)).expect("c3");
+    let add = b.eltwise_add("add", c1, c3, true).expect("add");
+    let _ = b.conv("c4", add, ConvSpec::relu(8, 3, 1, 1)).expect("c4");
+    b.finish().expect("toy builds")
+}
+
+/// A shortcut-free convolution chain (control for the toy graphs).
+pub fn chain_tiny(depth: usize, batch: usize) -> Network {
+    assert!(depth >= 1);
+    let mut b = NetworkBuilder::new(format!("chain{depth}"), Shape4::new(batch, 4, 8, 8));
+    let mut cur = b.input_id();
+    for i in 0..depth {
+        cur = b
+            .conv(format!("c{i}"), cur, ConvSpec::relu(8, 3, 1, 1))
+            .expect("chain conv");
+    }
+    b.finish().expect("chain builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GoldenExecutor;
+
+    #[test]
+    fn resnet20_structure() {
+        let net = resnet_tiny(3, 1);
+        assert_eq!(net.name(), "resnet_tiny20");
+        let adds = net.layers().iter().filter(|l| l.kind.is_junction()).count();
+        assert_eq!(adds, 9);
+        assert_eq!(
+            net.layer_by_name("gap").unwrap().out_shape,
+            Shape4::new(1, 64, 1, 1)
+        );
+    }
+
+    #[test]
+    fn tiny_networks_execute_functionally() {
+        for net in [resnet_tiny(1, 1), squeezenet_tiny(1), toy_residual(1), chain_tiny(3, 1)] {
+            let outs = GoldenExecutor::new(&net, 5).run().unwrap();
+            let last = outs.last().unwrap();
+            assert!(
+                last.as_slice().iter().all(|x| x.is_finite()),
+                "{} produced non-finite output",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn toy_residual_has_exactly_one_residual_shortcut() {
+        let net = toy_residual(1);
+        let shortcut = net
+            .shortcut_edges()
+            .into_iter()
+            .find(|e| net.layer(e.to).kind.is_junction())
+            .unwrap();
+        assert_eq!(net.layer(shortcut.from).name, "c1");
+        assert_eq!(shortcut.skip_distance(), 2);
+    }
+
+    #[test]
+    fn chain_has_no_shortcuts() {
+        assert!(chain_tiny(5, 1).shortcut_edges().is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! SqueezeNet builders (Iandola et al., 2016), including the bypass variants
+//! the Shortcut Mining paper evaluates.
+//!
+//! A *fire module* squeezes with a 1×1 convolution, then expands with
+//! parallel 1×1 and 3×3 convolutions whose outputs are concatenated. The
+//! *simple bypass* variant adds residual connections around fire modules
+//! whose input and output channel counts match (fire 3, 5, 7, 9); the
+//! *complex bypass* variant additionally inserts 1×1 projection shortcuts
+//! around the remaining fire modules.
+
+use sm_tensor::Shape4;
+
+use crate::{ConvSpec, LayerId, Network, NetworkBuilder, PoolSpec};
+
+/// Squeeze / expand channel plan of one fire module.
+#[derive(Debug, Clone, Copy)]
+struct Fire {
+    squeeze: usize,
+    expand: usize,
+}
+
+impl Fire {
+    const fn out_channels(&self) -> usize {
+        2 * self.expand
+    }
+}
+
+/// v1.0 fire plan (fire2..fire9).
+const FIRES_V10: [Fire; 8] = [
+    Fire { squeeze: 16, expand: 64 },
+    Fire { squeeze: 16, expand: 64 },
+    Fire { squeeze: 32, expand: 128 },
+    Fire { squeeze: 32, expand: 128 },
+    Fire { squeeze: 48, expand: 192 },
+    Fire { squeeze: 48, expand: 192 },
+    Fire { squeeze: 64, expand: 256 },
+    Fire { squeeze: 64, expand: 256 },
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bypass {
+    None,
+    /// Residual adds around fire modules with matching channel counts.
+    Simple,
+    /// Simple bypasses plus 1×1 projection bypasses around the rest.
+    Complex,
+}
+
+fn fire_module(b: &mut NetworkBuilder, tag: &str, input: LayerId, fire: Fire) -> LayerId {
+    let s = b
+        .conv(format!("{tag}/squeeze1x1"), input, ConvSpec::relu(fire.squeeze, 1, 1, 0))
+        .expect("squeeze");
+    let e1 = b
+        .conv(format!("{tag}/expand1x1"), s, ConvSpec::relu(fire.expand, 1, 1, 0))
+        .expect("expand 1x1");
+    let e3 = b
+        .conv(format!("{tag}/expand3x3"), s, ConvSpec::relu(fire.expand, 3, 1, 1))
+        .expect("expand 3x3");
+    b.concat(format!("{tag}/concat"), &[e1, e3]).expect("fire concat")
+}
+
+/// Applies one fire module plus its (optional) bypass junction.
+fn fire_with_bypass(
+    b: &mut NetworkBuilder,
+    idx: usize,
+    input: LayerId,
+    fire: Fire,
+    bypass: Bypass,
+) -> LayerId {
+    let tag = format!("fire{idx}");
+    let out = fire_module(b, &tag, input, fire);
+    let in_c = b.shape_of(input).expect("known").c;
+    let matching = in_c == fire.out_channels();
+    match (bypass, matching) {
+        (Bypass::None, _) | (Bypass::Simple, false) => out,
+        (Bypass::Simple, true) | (Bypass::Complex, true) => b
+            .eltwise_add(format!("{tag}/bypass"), input, out, false)
+            .expect("simple bypass"),
+        (Bypass::Complex, false) => {
+            let proj = b
+                .conv(
+                    format!("{tag}/bypass_conv"),
+                    input,
+                    ConvSpec::linear(fire.out_channels(), 1, 1, 0),
+                )
+                .expect("bypass projection");
+            b.eltwise_add(format!("{tag}/bypass"), proj, out, false)
+                .expect("complex bypass")
+        }
+    }
+}
+
+fn build_v10(name: &'static str, bypass: Bypass, batch: usize) -> Network {
+    let mut b = NetworkBuilder::new(name, Shape4::new(batch, 3, 227, 227));
+    let x = b.input_id();
+    let conv1 = b.conv("conv1", x, ConvSpec::relu(96, 7, 2, 0)).expect("conv1");
+    let mut cur = b.pool("pool1", conv1, PoolSpec::max(3, 2, 0)).expect("pool1");
+    for (i, fire) in FIRES_V10.iter().enumerate() {
+        let idx = i + 2;
+        cur = fire_with_bypass(&mut b, idx, cur, *fire, bypass);
+        // v1.0 pools after fire4 and fire8.
+        if idx == 4 || idx == 8 {
+            cur = b
+                .pool(format!("pool{idx}"), cur, PoolSpec::max(3, 2, 0))
+                .expect("pool");
+        }
+    }
+    let conv10 = b.conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0)).expect("conv10");
+    b.global_avg_pool("gap", conv10).expect("gap");
+    b.finish().expect("squeezenet builds")
+}
+
+/// SqueezeNet v1.0 without bypass connections.
+pub fn squeezenet_v10(batch: usize) -> Network {
+    build_v10("squeezenet_v10", Bypass::None, batch)
+}
+
+/// SqueezeNet v1.0 with simple bypass (residual adds around fire 3/5/7/9) —
+/// the SqueezeNet variant of the paper's headline evaluation (53.3%
+/// feature-map traffic reduction).
+pub fn squeezenet_v10_simple_bypass(batch: usize) -> Network {
+    build_v10("squeezenet_v10_simple_bypass", Bypass::Simple, batch)
+}
+
+/// SqueezeNet v1.0 with complex bypass (projection shortcuts on the
+/// channel-changing fire modules as well).
+pub fn squeezenet_v10_complex_bypass(batch: usize) -> Network {
+    build_v10("squeezenet_v10_complex_bypass", Bypass::Complex, batch)
+}
+
+/// SqueezeNet v1.1 (3×3 stem, earlier pooling; ~2.4× cheaper than v1.0).
+pub fn squeezenet_v11(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("squeezenet_v11", Shape4::new(batch, 3, 227, 227));
+    let x = b.input_id();
+    let conv1 = b.conv("conv1", x, ConvSpec::relu(64, 3, 2, 0)).expect("conv1");
+    let mut cur = b.pool("pool1", conv1, PoolSpec::max(3, 2, 0)).expect("pool1");
+    for (i, fire) in FIRES_V10.iter().enumerate() {
+        let idx = i + 2;
+        cur = fire_with_bypass(&mut b, idx, cur, *fire, Bypass::None);
+        // v1.1 pools after fire3 and fire5.
+        if idx == 3 || idx == 5 {
+            cur = b
+                .pool(format!("pool{idx}"), cur, PoolSpec::max(3, 2, 0))
+                .expect("pool");
+        }
+    }
+    let conv10 = b.conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0)).expect("conv10");
+    b.global_avg_pool("gap", conv10).expect("gap");
+    b.finish().expect("squeezenet v1.1 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn v10_spatial_plan_matches_published_model() {
+        let net = squeezenet_v10(1);
+        let conv1 = net.layer_by_name("conv1").unwrap();
+        assert_eq!(conv1.out_shape, Shape4::new(1, 96, 111, 111));
+        let f2 = net.layer_by_name("fire2/concat").unwrap();
+        assert_eq!(f2.out_shape, Shape4::new(1, 128, 55, 55));
+        let f9 = net.layer_by_name("fire9/concat").unwrap();
+        assert_eq!(f9.out_shape, Shape4::new(1, 512, 13, 13));
+        let gap = net.layer_by_name("gap").unwrap();
+        assert_eq!(gap.out_shape, Shape4::new(1, 1000, 1, 1));
+    }
+
+    #[test]
+    fn simple_bypass_adds_around_matching_fires_only() {
+        let net = squeezenet_v10_simple_bypass(1);
+        for idx in [3, 5, 7, 9] {
+            assert!(net.layer_by_name(&format!("fire{idx}/bypass")).is_some());
+        }
+        for idx in [2, 4, 6, 8] {
+            assert!(net.layer_by_name(&format!("fire{idx}/bypass")).is_none());
+        }
+        let adds = net.layers().iter().filter(|l| matches!(l.kind, LayerKind::EltwiseAdd { .. })).count();
+        assert_eq!(adds, 4);
+    }
+
+    #[test]
+    fn complex_bypass_projects_the_rest() {
+        let net = squeezenet_v10_complex_bypass(1);
+        let adds = net.layers().iter().filter(|l| matches!(l.kind, LayerKind::EltwiseAdd { .. })).count();
+        assert_eq!(adds, 8);
+        for idx in [2, 4, 6, 8] {
+            assert!(net.layer_by_name(&format!("fire{idx}/bypass_conv")).is_some());
+        }
+        for idx in [3, 5, 7, 9] {
+            assert!(net.layer_by_name(&format!("fire{idx}/bypass_conv")).is_none());
+        }
+    }
+
+    #[test]
+    fn fire_fork_join_produces_shortcut_edges_even_without_bypass() {
+        // The squeeze output feeds expand3x3 across expand1x1, and expand1x1
+        // feeds the concat across expand3x3: both must survive on chip.
+        let net = squeezenet_v10(1);
+        assert!(net.shortcut_edges().len() >= 16);
+    }
+
+    #[test]
+    fn v11_is_cheaper_than_v10() {
+        let v10 = squeezenet_v10(1);
+        let v11 = squeezenet_v11(1);
+        assert!(v11.total_macs() * 2 < v10.total_macs());
+        let f9 = v11.layer_by_name("fire9/concat").unwrap();
+        assert_eq!(f9.out_shape, Shape4::new(1, 512, 13, 13));
+    }
+
+    #[test]
+    fn bypass_preserves_shapes() {
+        let plain = squeezenet_v10(1);
+        let simple = squeezenet_v10_simple_bypass(1);
+        for idx in 2..=9 {
+            let name = format!("fire{idx}/concat");
+            assert_eq!(
+                plain.layer_by_name(&name).unwrap().out_shape,
+                simple.layer_by_name(&name).unwrap().out_shape
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! VGG-16 and AlexNet builders — shortcut-free controls.
+//!
+//! Neither network has bypass connections, so Shortcut Mining's benefit on
+//! them comes solely from out–in buffer swapping (adjacent-layer reuse);
+//! they bound the contribution of the shortcut-specific procedures.
+
+use sm_tensor::Shape4;
+
+use crate::{ConvSpec, Network, NetworkBuilder, PoolSpec};
+
+/// VGG-16 (configuration D): thirteen 3×3 convolutions in five pooled
+/// stages, then three fully-connected layers.
+pub fn vgg16(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("vgg16", Shape4::new(batch, 3, 224, 224));
+    let mut cur = b.input_id();
+    let stages: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (stage, &(convs, width)) in stages.iter().enumerate() {
+        for conv in 0..convs {
+            cur = b
+                .conv(
+                    format!("conv{}_{}", stage + 1, conv + 1),
+                    cur,
+                    ConvSpec::relu(width, 3, 1, 1),
+                )
+                .expect("vgg conv");
+        }
+        cur = b
+            .pool(format!("pool{}", stage + 1), cur, PoolSpec::max(2, 2, 0))
+            .expect("vgg pool");
+    }
+    let fc6 = b.fc("fc6", cur, 4096).expect("fc6");
+    let fc7 = b.fc("fc7", fc6, 4096).expect("fc7");
+    b.fc("fc8", fc7, 1000).expect("fc8");
+    b.finish().expect("vgg16 builds")
+}
+
+/// AlexNet (single-tower variant): five convolutions, three poolings, three
+/// fully-connected layers.
+pub fn alexnet(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("alexnet", Shape4::new(batch, 3, 227, 227));
+    let x = b.input_id();
+    let c1 = b.conv("conv1", x, ConvSpec::relu(96, 11, 4, 0)).expect("conv1");
+    let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 0)).expect("pool1");
+    let c2 = b.conv("conv2", p1, ConvSpec::relu(256, 5, 1, 2)).expect("conv2");
+    let p2 = b.pool("pool2", c2, PoolSpec::max(3, 2, 0)).expect("pool2");
+    let c3 = b.conv("conv3", p2, ConvSpec::relu(384, 3, 1, 1)).expect("conv3");
+    let c4 = b.conv("conv4", c3, ConvSpec::relu(384, 3, 1, 1)).expect("conv4");
+    let c5 = b.conv("conv5", c4, ConvSpec::relu(256, 3, 1, 1)).expect("conv5");
+    let p5 = b.pool("pool5", c5, PoolSpec::max(3, 2, 0)).expect("pool5");
+    let fc6 = b.fc("fc6", p5, 4096).expect("fc6");
+    let fc7 = b.fc("fc7", fc6, 4096).expect("fc7");
+    b.fc("fc8", fc7, 1000).expect("fc8");
+    b.finish().expect("alexnet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_shapes_and_cost_match_published() {
+        let net = vgg16(1);
+        assert_eq!(
+            net.layer_by_name("pool5").unwrap().out_shape,
+            Shape4::new(1, 512, 7, 7)
+        );
+        // ~15.5 GMACs at 224x224.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((15.0..16.0).contains(&g), "got {g}");
+        assert!(net.shortcut_edges().is_empty());
+        // 138M parameters.
+        let p = net.total_weight_elems() as f64 / 1e6;
+        assert!((135.0..140.0).contains(&p), "got {p}M params");
+    }
+
+    #[test]
+    fn alexnet_spatial_plan() {
+        let net = alexnet(1);
+        assert_eq!(
+            net.layer_by_name("conv1").unwrap().out_shape,
+            Shape4::new(1, 96, 55, 55)
+        );
+        assert_eq!(
+            net.layer_by_name("pool5").unwrap().out_shape,
+            Shape4::new(1, 256, 6, 6)
+        );
+        assert!(net.shortcut_edges().is_empty());
+    }
+}

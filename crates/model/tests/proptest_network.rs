@@ -1,0 +1,157 @@
+//! Property tests over the network builder: the consumer index is the exact
+//! inverse of the input lists, shortcut classification is consistent with
+//! liveness, and the statistics decompose.
+
+use proptest::prelude::*;
+
+use sm_model::liveness::Liveness;
+use sm_model::stats::NetworkStats;
+use sm_model::{ConvSpec, Network, NetworkBuilder, PoolSpec};
+use sm_tensor::Shape4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Conv { c: u8, k: bool },
+    Pool,
+    Add { pick: u8 },
+    Fork { c: u8 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (1u8..5, any::<bool>()).prop_map(|(c, k)| Op::Conv { c, k }),
+            1 => Just(Op::Pool),
+            2 => (0u8..8).prop_map(|pick| Op::Add { pick }),
+            1 => (1u8..3).prop_map(|c| Op::Fork { c }),
+        ],
+        1..16,
+    )
+}
+
+fn build(steps: &[Op]) -> Network {
+    let mut b = NetworkBuilder::new("prop", Shape4::new(1, 4, 16, 16));
+    let mut cur = b.input_id();
+    let mut history = vec![cur];
+    for (n, step) in steps.iter().enumerate() {
+        let shape = b.shape_of(cur).expect("live");
+        match step {
+            Op::Conv { c, k } => {
+                let (k, pad) = if *k { (3, 1) } else { (1, 0) };
+                cur = b
+                    .conv(format!("c{n}"), cur, ConvSpec::relu(*c as usize * 2, k, 1, pad))
+                    .expect("conv");
+            }
+            Op::Pool => {
+                if shape.h < 4 {
+                    continue;
+                }
+                cur = b.pool(format!("p{n}"), cur, PoolSpec::max(2, 2, 0)).expect("pool");
+            }
+            Op::Add { pick } => {
+                let candidates: Vec<_> = history
+                    .iter()
+                    .copied()
+                    .filter(|&id| id != cur && b.shape_of(id).expect("live") == shape)
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let other = candidates[*pick as usize % candidates.len()];
+                cur = b.eltwise_add(format!("a{n}"), other, cur, true).expect("add");
+            }
+            Op::Fork { c } => {
+                let e1 = b
+                    .conv(format!("f{n}e1"), cur, ConvSpec::relu(*c as usize * 2, 1, 1, 0))
+                    .expect("e1");
+                let e3 = b
+                    .conv(format!("f{n}e3"), cur, ConvSpec::relu(*c as usize * 2, 3, 1, 1))
+                    .expect("e3");
+                cur = b.concat(format!("f{n}cat"), &[e1, e3]).expect("cat");
+            }
+        }
+        history.push(cur);
+    }
+    if history.len() == 1 {
+        b.conv("fallback", cur, ConvSpec::relu(4, 3, 1, 1)).expect("conv");
+    }
+    b.finish().expect("builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// consumers() is exactly the inverse relation of inputs().
+    #[test]
+    fn consumers_invert_inputs(steps in ops()) {
+        let net = build(&steps);
+        for layer in net.layers() {
+            for &input in &layer.inputs {
+                prop_assert!(net.consumers(input).contains(&layer.id));
+            }
+            for &consumer in net.consumers(layer.id) {
+                prop_assert!(net.layer(consumer).inputs.contains(&layer.id));
+                prop_assert!(consumer > layer.id, "schedule is topological");
+            }
+        }
+    }
+
+    /// Edge count equals the sum of input arities; shortcut edges are
+    /// exactly the non-adjacent ones.
+    #[test]
+    fn edges_decompose(steps in ops()) {
+        let net = build(&steps);
+        let arity_sum: usize = net.layers().iter().map(|l| l.inputs.len()).sum();
+        let edges = net.edges();
+        prop_assert_eq!(edges.len(), arity_sum);
+        let shortcut = net.shortcut_edges().len();
+        let adjacent = edges.iter().filter(|e| e.to.index() == e.from.index() + 1).count();
+        prop_assert_eq!(shortcut + adjacent, edges.len());
+        for e in net.shortcut_edges() {
+            prop_assert!(e.skip_distance() >= 1);
+        }
+    }
+
+    /// Liveness: a feature map is live precisely between producer and last
+    /// consumer; peak live set is at least the largest single operand.
+    #[test]
+    fn liveness_brackets_consumption(steps in ops()) {
+        let net = build(&steps);
+        let lv = Liveness::of(&net);
+        for layer in net.layers() {
+            let lt = lv.lifetime(layer.id);
+            prop_assert_eq!(lt.producer, layer.id);
+            match net.consumers(layer.id).last() {
+                Some(&last) => prop_assert_eq!(lt.last_use, last),
+                None => prop_assert_eq!(lt.last_use, layer.id),
+            }
+            for &c in net.consumers(layer.id) {
+                prop_assert!(lt.live_at(c), "live at every consumer");
+            }
+        }
+        let (peak, _) = lv.peak_live_elems();
+        let max_operand = net
+            .layers()
+            .iter()
+            .flat_map(|l| l.inputs.iter().map(|&p| net.layer(p).out_elems()))
+            .max()
+            .unwrap_or(0);
+        prop_assert!(peak >= max_operand);
+    }
+
+    /// Stats decompose: shortcut share in [0,1], shortcut bytes bounded by
+    /// total bytes, MACs positive when convs exist.
+    #[test]
+    fn stats_are_consistent(steps in ops()) {
+        let net = build(&steps);
+        let s = NetworkStats::of(&net);
+        prop_assert!(s.shortcut_fm_elems <= s.total_fm_elems);
+        prop_assert!((0.0..=1.0).contains(&s.shortcut_share()));
+        prop_assert_eq!(s.layer_count, net.len() - 1);
+        if s.conv_count > 0 {
+            prop_assert!(s.macs > 0);
+            prop_assert!(s.weight_elems > 0);
+        }
+        prop_assert_eq!(s.shortcut_edge_count, net.shortcut_edges().len());
+    }
+}

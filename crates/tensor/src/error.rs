@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape4;
+
+/// Error produced by tensor constructors and reference operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided element buffer does not match the shape's element count.
+    LengthMismatch {
+        /// Declared shape.
+        shape: Shape4,
+        /// Number of elements actually provided.
+        len: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operator.
+    ShapeMismatch {
+        /// Human-readable operator name (e.g. `"eltwise_add"`).
+        op: &'static str,
+        /// Left/first operand shape.
+        lhs: Shape4,
+        /// Right/second operand shape.
+        rhs: Shape4,
+    },
+    /// An operator parameter is invalid (zero stride, kernel larger than
+    /// padded input, and similar).
+    InvalidParams {
+        /// Human-readable operator name.
+        op: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { shape, len } => write!(
+                f,
+                "buffer of {len} elements does not match shape {shape} ({} elements)",
+                shape.len()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::InvalidParams { op, reason } => {
+                write!(f, "{op}: invalid parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}

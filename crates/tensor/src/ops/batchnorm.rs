@@ -1,0 +1,206 @@
+use crate::{Tensor, TensorError};
+
+/// Per-channel batch-normalization parameters (inference form).
+///
+/// At inference, batch norm is the affine map
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta` applied per channel.
+/// Accelerators never execute it as a separate layer: it is folded into the
+/// preceding convolution's weights and bias ([`fold_batch_norm`]), which is
+/// why the layer IR in `sm-model` has no BatchNorm kind — the golden model
+/// provides the op and the folding identity so that fidelity is testable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNormParams {
+    /// Per-channel running mean.
+    pub mean: Vec<f32>,
+    /// Per-channel running variance.
+    pub var: Vec<f32>,
+    /// Per-channel scale.
+    pub gamma: Vec<f32>,
+    /// Per-channel shift.
+    pub beta: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl BatchNormParams {
+    /// Identity normalization for `channels` channels (useful in tests).
+    pub fn identity(channels: usize) -> Self {
+        BatchNormParams {
+            mean: vec![0.0; channels],
+            var: vec![1.0; channels],
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            eps: 0.0,
+        }
+    }
+
+    /// Number of channels the parameters describe.
+    pub fn channels(&self) -> usize {
+        self.mean.len()
+    }
+
+    fn validate(&self, op: &'static str, channels: usize) -> Result<(), TensorError> {
+        let lens = [self.mean.len(), self.var.len(), self.gamma.len(), self.beta.len()];
+        if lens.iter().any(|&l| l != channels) {
+            return Err(TensorError::InvalidParams {
+                op,
+                reason: format!("parameter lengths {lens:?} do not all equal {channels}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-channel multiplicative factor `gamma / sqrt(var + eps)`.
+    fn scale(&self, c: usize) -> f32 {
+        self.gamma[c] / (self.var[c] + self.eps).sqrt()
+    }
+}
+
+/// Applies inference batch normalization per channel.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParams`] when any parameter vector's length
+/// differs from the input's channel count.
+pub fn batch_norm(input: &Tensor, params: &BatchNormParams) -> Result<Tensor, TensorError> {
+    let shape = input.shape();
+    params.validate("batch_norm", shape.c)?;
+    let mut out = input.clone();
+    for n in 0..shape.n {
+        for c in 0..shape.c {
+            let scale = params.scale(c);
+            let shift = params.beta[c] - params.mean[c] * scale;
+            for h in 0..shape.h {
+                for w in 0..shape.w {
+                    let v = out.at_mut(n, c, h, w);
+                    *v = *v * scale + shift;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds batch normalization into convolution weights and bias:
+/// `bn(conv(x, W, b)) == conv(x, W', b')` with
+/// `W'[m] = scale[m] * W[m]` and `b'[m] = scale[m] * (b[m] - mean[m]) + beta[m]`.
+///
+/// Returns the folded `(weights, bias)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParams`] when the parameter channel count
+/// differs from the weight tensor's output-channel count, or the bias length
+/// is wrong.
+pub fn fold_batch_norm(
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    params: &BatchNormParams,
+) -> Result<(Tensor, Vec<f32>), TensorError> {
+    let ws = weights.shape();
+    params.validate("fold_batch_norm", ws.n)?;
+    if let Some(b) = bias {
+        if b.len() != ws.n {
+            return Err(TensorError::InvalidParams {
+                op: "fold_batch_norm",
+                reason: format!("bias has {} elements, expected {}", b.len(), ws.n),
+            });
+        }
+    }
+    let mut folded = weights.clone();
+    let per_filter = ws.c * ws.h * ws.w;
+    let data = folded.as_mut_slice();
+    let mut folded_bias = Vec::with_capacity(ws.n);
+    for m in 0..ws.n {
+        let scale = params.scale(m);
+        for x in &mut data[m * per_filter..(m + 1) * per_filter] {
+            *x *= scale;
+        }
+        let b = bias.map_or(0.0, |b| b[m]);
+        folded_bias.push(scale * (b - params.mean[m]) + params.beta[m]);
+    }
+    Ok((folded, folded_bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{conv2d, Conv2dParams};
+    use crate::Shape4;
+
+    fn params(channels: usize, seed: u64) -> BatchNormParams {
+        let t = Tensor::random(Shape4::new(4, channels, 1, 1), seed);
+        let v = t.as_slice();
+        BatchNormParams {
+            mean: v[..channels].to_vec(),
+            var: v[channels..2 * channels].iter().map(|x| x.abs() + 0.5).collect(),
+            gamma: v[2 * channels..3 * channels].to_vec(),
+            beta: v[3 * channels..].to_vec(),
+            eps: 1e-5,
+        }
+    }
+
+    #[test]
+    fn identity_params_do_nothing() {
+        let x = Tensor::random(Shape4::new(1, 3, 4, 4), 1);
+        let y = batch_norm(&x, &BatchNormParams::identity(3)).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(BatchNormParams::identity(3).channels(), 3);
+    }
+
+    #[test]
+    fn normalizes_per_channel() {
+        let x = Tensor::full(Shape4::new(1, 2, 2, 2), 3.0);
+        let p = BatchNormParams {
+            mean: vec![1.0, 3.0],
+            var: vec![1.0, 4.0],
+            gamma: vec![2.0, 1.0],
+            beta: vec![0.5, -1.0],
+            eps: 0.0,
+        };
+        let y = batch_norm(&x, &p).unwrap();
+        // c0: 2*(3-1)/1 + 0.5 = 4.5 ; c1: 1*(3-3)/2 - 1 = -1.
+        assert!(y.as_slice()[..4].iter().all(|&v| (v - 4.5).abs() < 1e-6));
+        assert!(y.as_slice()[4..].iter().all(|&v| (v + 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn folding_is_equivalent_to_conv_then_bn() {
+        let input = Tensor::random(Shape4::new(2, 3, 6, 6), 10);
+        let weights = Tensor::random(Shape4::new(5, 3, 3, 3), 11);
+        let bias: Vec<f32> = Tensor::random(Shape4::new(1, 5, 1, 1), 12).into_vec();
+        let p = params(5, 13);
+        let conv_params = Conv2dParams::new(3, 1, 1);
+
+        let unfolded = batch_norm(
+            &conv2d(&input, &weights, Some(&bias), conv_params).unwrap(),
+            &p,
+        )
+        .unwrap();
+        let (fw, fb) = fold_batch_norm(&weights, Some(&bias), &p).unwrap();
+        let folded = conv2d(&input, &fw, Some(&fb), conv_params).unwrap();
+        assert!(
+            folded.all_close(&unfolded, 1e-4),
+            "max diff {}",
+            folded.max_abs_diff(&unfolded).unwrap()
+        );
+    }
+
+    #[test]
+    fn folding_without_bias_injects_one() {
+        let weights = Tensor::random(Shape4::new(4, 2, 1, 1), 3);
+        let p = params(4, 4);
+        let (_, fb) = fold_batch_norm(&weights, None, &p).unwrap();
+        assert_eq!(fb.len(), 4);
+        assert!(fb.iter().any(|&b| b != 0.0));
+    }
+
+    #[test]
+    fn mismatched_channels_are_rejected() {
+        let x = Tensor::zeros(Shape4::new(1, 3, 2, 2));
+        assert!(batch_norm(&x, &BatchNormParams::identity(4)).is_err());
+        let w = Tensor::zeros(Shape4::new(3, 2, 1, 1));
+        assert!(fold_batch_norm(&w, None, &BatchNormParams::identity(4)).is_err());
+        assert!(fold_batch_norm(&w, Some(&[0.0; 2]), &BatchNormParams::identity(3)).is_err());
+    }
+}

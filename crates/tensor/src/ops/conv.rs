@@ -1,0 +1,212 @@
+use crate::ops::conv_out_dim;
+use crate::{Shape4, Tensor, TensorError};
+
+/// Parameters of a 2-D convolution: square kernel, symmetric stride/padding.
+///
+/// All networks in the reproduction (ResNet family, SqueezeNet, VGG) use
+/// square kernels with symmetric padding, so a compact parameter set
+/// suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Kernel extent (same in both spatial dimensions).
+    pub kernel: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding added on each spatial border.
+    pub pad: usize,
+}
+
+impl Conv2dParams {
+    /// Creates convolution parameters.
+    pub const fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        Conv2dParams {
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Spatial output extent for an input extent, or `None` when degenerate.
+    pub fn out_dim(&self, input: usize) -> Option<usize> {
+        conv_out_dim(input, self.kernel, self.stride, self.pad)
+    }
+}
+
+/// Direct 2-D convolution, NCHW, `weights` shaped `(M, C, K, K)`.
+///
+/// `bias`, when provided, must have `M` elements and is added to every output
+/// position of the corresponding output channel.
+///
+/// # Errors
+///
+/// * [`TensorError::ShapeMismatch`] when input channels differ from weight
+///   input channels, or the bias length differs from `M`.
+/// * [`TensorError::InvalidParams`] when the stride is zero, the kernel is
+///   empty, the weight kernel dims disagree with `params.kernel`, or the
+///   padded input is smaller than the kernel.
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let is = input.shape();
+    let ws = weights.shape();
+    if ws.c != is.c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: is,
+            rhs: ws,
+        });
+    }
+    if params.kernel == 0 || ws.h != params.kernel || ws.w != params.kernel {
+        return Err(TensorError::InvalidParams {
+            op: "conv2d",
+            reason: format!(
+                "weight kernel {}x{} disagrees with params.kernel {}",
+                ws.h, ws.w, params.kernel
+            ),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != ws.n {
+            return Err(TensorError::InvalidParams {
+                op: "conv2d",
+                reason: format!("bias has {} elements, expected {}", b.len(), ws.n),
+            });
+        }
+    }
+    let (oh, ow) = match (params.out_dim(is.h), params.out_dim(is.w)) {
+        (Some(oh), Some(ow)) => (oh, ow),
+        _ => {
+            return Err(TensorError::InvalidParams {
+                op: "conv2d",
+                reason: format!(
+                    "input {}x{} with kernel {} stride {} pad {} has no output",
+                    is.h, is.w, params.kernel, params.stride, params.pad
+                ),
+            })
+        }
+    };
+
+    let out_shape = Shape4::new(is.n, ws.n, oh, ow);
+    let mut out = Tensor::zeros(out_shape);
+    for n in 0..is.n {
+        for m in 0..ws.n {
+            let b = bias.map_or(0.0, |b| b[m]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for c in 0..is.c {
+                        for ky in 0..params.kernel {
+                            let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                            if iy < 0 || iy as usize >= is.h {
+                                continue;
+                            }
+                            for kx in 0..params.kernel {
+                                let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                                if ix < 0 || ix as usize >= is.w {
+                                    continue;
+                                }
+                                acc += input.at(n, c, iy as usize, ix as usize)
+                                    * weights.at(m, c, ky, kx);
+                            }
+                        }
+                    }
+                    *out.at_mut(n, m, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_1x1_kernel_passes_input_through() {
+        let input = Tensor::random(Shape4::new(1, 1, 4, 4), 7);
+        let weights = Tensor::full(Shape4::new(1, 1, 1, 1), 1.0);
+        let out = conv2d(&input, &weights, None, Conv2dParams::new(1, 1, 0)).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn box_filter_sums_window() {
+        // 3x3 all-ones kernel over an all-ones 5x5 input with same padding:
+        // interior outputs are 9, corners 4, edges 6.
+        let input = Tensor::full(Shape4::new(1, 1, 5, 5), 1.0);
+        let weights = Tensor::full(Shape4::new(1, 1, 3, 3), 1.0);
+        let out = conv2d(&input, &weights, None, Conv2dParams::new(3, 1, 1)).unwrap();
+        assert_eq!(out.at(0, 0, 2, 2), 9.0);
+        assert_eq!(out.at(0, 0, 0, 0), 4.0);
+        assert_eq!(out.at(0, 0, 0, 2), 6.0);
+    }
+
+    #[test]
+    fn multi_channel_accumulates_over_input_channels() {
+        let input = Tensor::full(Shape4::new(1, 3, 2, 2), 1.0);
+        let weights = Tensor::full(Shape4::new(2, 3, 1, 1), 2.0);
+        let out = conv2d(&input, &weights, None, Conv2dParams::new(1, 1, 0)).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 2, 2, 2));
+        assert!(out.as_slice().iter().all(|&x| x == 6.0));
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let input = Tensor::from_fn(Shape4::new(1, 1, 4, 4), |i| i as f32);
+        let weights = Tensor::full(Shape4::new(1, 1, 1, 1), 1.0);
+        let out = conv2d(&input, &weights, None, Conv2dParams::new(1, 2, 0)).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn bias_adds_per_output_channel() {
+        let input = Tensor::full(Shape4::new(1, 1, 2, 2), 0.0);
+        let weights = Tensor::full(Shape4::new(2, 1, 1, 1), 1.0);
+        let out = conv2d(
+            &input,
+            &weights,
+            Some(&[1.5, -2.0]),
+            Conv2dParams::new(1, 1, 0),
+        )
+        .unwrap();
+        assert!(out.as_slice()[..4].iter().all(|&x| x == 1.5));
+        assert!(out.as_slice()[4..].iter().all(|&x| x == -2.0));
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_params() {
+        let input = Tensor::zeros(Shape4::new(1, 3, 4, 4));
+        let wrong_c = Tensor::zeros(Shape4::new(2, 4, 3, 3));
+        assert!(conv2d(&input, &wrong_c, None, Conv2dParams::new(3, 1, 1)).is_err());
+
+        let w = Tensor::zeros(Shape4::new(2, 3, 3, 3));
+        assert!(conv2d(&input, &w, None, Conv2dParams::new(5, 1, 1)).is_err());
+        assert!(conv2d(&input, &w, None, Conv2dParams::new(3, 0, 1)).is_err());
+        assert!(conv2d(&input, &w, Some(&[0.0]), Conv2dParams::new(3, 1, 1)).is_err());
+
+        let tiny = Tensor::zeros(Shape4::new(1, 3, 2, 2));
+        assert!(conv2d(&tiny, &w, None, Conv2dParams::new(3, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn batch_elements_are_independent() {
+        let a = Tensor::random(Shape4::new(1, 2, 5, 5), 1);
+        let b = Tensor::random(Shape4::new(1, 2, 5, 5), 2);
+        let mut batched = Tensor::zeros(Shape4::new(2, 2, 5, 5));
+        batched.as_mut_slice()[..50].copy_from_slice(a.as_slice());
+        batched.as_mut_slice()[50..].copy_from_slice(b.as_slice());
+
+        let w = Tensor::random(Shape4::new(3, 2, 3, 3), 3);
+        let p = Conv2dParams::new(3, 1, 1);
+        let out = conv2d(&batched, &w, None, p).unwrap();
+        let oa = conv2d(&a, &w, None, p).unwrap();
+        let ob = conv2d(&b, &w, None, p).unwrap();
+        assert_eq!(&out.as_slice()[..oa.shape().len()], oa.as_slice());
+        assert_eq!(&out.as_slice()[oa.shape().len()..], ob.as_slice());
+    }
+}

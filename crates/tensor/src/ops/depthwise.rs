@@ -1,0 +1,155 @@
+use crate::ops::Conv2dParams;
+use crate::{Shape4, Tensor, TensorError};
+
+/// Depthwise 2-D convolution: each input channel is convolved with its own
+/// single-channel filter; `weights` is shaped `(C, 1, K, K)`.
+///
+/// This is the core operator of the MobileNet family; MobileNetV2's
+/// inverted-residual blocks combine it with 1×1 expansions and residual
+/// additions, making it a relevant workload for shortcut reuse.
+///
+/// # Errors
+///
+/// * [`TensorError::ShapeMismatch`] when the weight tensor's leading
+///   dimension differs from the input channel count or its second dimension
+///   is not 1.
+/// * [`TensorError::InvalidParams`] when the kernel disagrees with
+///   `params.kernel` or the padded input is smaller than the kernel.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let is = input.shape();
+    let ws = weights.shape();
+    if ws.n != is.c || ws.c != 1 {
+        return Err(TensorError::ShapeMismatch {
+            op: "depthwise_conv2d",
+            lhs: is,
+            rhs: ws,
+        });
+    }
+    if params.kernel == 0 || ws.h != params.kernel || ws.w != params.kernel {
+        return Err(TensorError::InvalidParams {
+            op: "depthwise_conv2d",
+            reason: format!(
+                "weight kernel {}x{} disagrees with params.kernel {}",
+                ws.h, ws.w, params.kernel
+            ),
+        });
+    }
+    let (oh, ow) = match (params.out_dim(is.h), params.out_dim(is.w)) {
+        (Some(oh), Some(ow)) => (oh, ow),
+        _ => {
+            return Err(TensorError::InvalidParams {
+                op: "depthwise_conv2d",
+                reason: format!(
+                    "input {}x{} with kernel {} stride {} pad {} has no output",
+                    is.h, is.w, params.kernel, params.stride, params.pad
+                ),
+            })
+        }
+    };
+
+    let mut out = Tensor::zeros(Shape4::new(is.n, is.c, oh, ow));
+    for n in 0..is.n {
+        for c in 0..is.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..params.kernel {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= is.h {
+                            continue;
+                        }
+                        for kx in 0..params.kernel {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= is.w {
+                                continue;
+                            }
+                            acc += input.at(n, c, iy as usize, ix as usize)
+                                * weights.at(c, 0, ky, kx);
+                        }
+                    }
+                    *out.at_mut(n, c, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv2d;
+
+    #[test]
+    fn channels_do_not_mix() {
+        // Channel 1 of the input must not influence channel 0 of the output.
+        let mut input = Tensor::zeros(Shape4::new(1, 2, 4, 4));
+        for h in 0..4 {
+            for w in 0..4 {
+                *input.at_mut(0, 1, h, w) = 100.0;
+            }
+        }
+        let weights = Tensor::full(Shape4::new(2, 1, 3, 3), 1.0);
+        let out = depthwise_conv2d(&input, &weights, Conv2dParams::new(3, 1, 1)).unwrap();
+        for h in 0..4 {
+            for w in 0..4 {
+                assert_eq!(out.at(0, 0, h, w), 0.0);
+                assert!(out.at(0, 1, h, w) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_channel_matches_regular_conv() {
+        let input = Tensor::random(Shape4::new(1, 1, 7, 7), 5);
+        let weights = Tensor::random(Shape4::new(1, 1, 3, 3), 6);
+        let p = Conv2dParams::new(3, 1, 1);
+        let dw = depthwise_conv2d(&input, &weights, p).unwrap();
+        let full = conv2d(&input, &weights, None, p).unwrap();
+        assert_eq!(dw, full);
+    }
+
+    #[test]
+    fn equals_regular_conv_with_diagonal_filters() {
+        // Depthwise == full conv whose cross-channel taps are zero.
+        let c = 3;
+        let input = Tensor::random(Shape4::new(1, c, 6, 6), 7);
+        let dw_weights = Tensor::random(Shape4::new(c, 1, 3, 3), 8);
+        let mut full_weights = Tensor::zeros(Shape4::new(c, c, 3, 3));
+        for m in 0..c {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    *full_weights.at_mut(m, m, ky, kx) = dw_weights.at(m, 0, ky, kx);
+                }
+            }
+        }
+        let p = Conv2dParams::new(3, 1, 1);
+        let dw = depthwise_conv2d(&input, &dw_weights, p).unwrap();
+        let full = conv2d(&input, &full_weights, None, p).unwrap();
+        assert!(dw.all_close(&full, 1e-6));
+    }
+
+    #[test]
+    fn strided_depthwise_downsamples() {
+        let input = Tensor::random(Shape4::new(2, 4, 8, 8), 9);
+        let weights = Tensor::random(Shape4::new(4, 1, 3, 3), 10);
+        let out = depthwise_conv2d(&input, &weights, Conv2dParams::new(3, 2, 1)).unwrap();
+        assert_eq!(out.shape(), Shape4::new(2, 4, 4, 4));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let input = Tensor::zeros(Shape4::new(1, 3, 4, 4));
+        let wrong_c = Tensor::zeros(Shape4::new(4, 1, 3, 3));
+        assert!(depthwise_conv2d(&input, &wrong_c, Conv2dParams::new(3, 1, 1)).is_err());
+        let multi_in = Tensor::zeros(Shape4::new(3, 2, 3, 3));
+        assert!(depthwise_conv2d(&input, &multi_in, Conv2dParams::new(3, 1, 1)).is_err());
+        let ok = Tensor::zeros(Shape4::new(3, 1, 3, 3));
+        assert!(depthwise_conv2d(&input, &ok, Conv2dParams::new(5, 1, 1)).is_err());
+        assert!(depthwise_conv2d(&input, &ok, Conv2dParams::new(3, 1, 1)).is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+use crate::ops::conv::Conv2dParams;
+use crate::{Shape4, Tensor, TensorError};
+
+/// Lowers a convolution input to a patch matrix (im2col).
+///
+/// Row `i` of the result holds the flattened receptive field of output
+/// position `i` (batch-major, then row-major over output positions); the
+/// row length is `C*K*K`. Together with [`conv2d_im2col`] this is a second,
+/// structurally different convolution implementation used to cross-validate
+/// the direct golden [`crate::ops::conv2d`] — two independent
+/// implementations agreeing is much stronger evidence than either alone.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParams`] when the window is degenerate for
+/// the input extent.
+pub fn im2col(input: &Tensor, params: Conv2dParams) -> Result<(Vec<f32>, usize, usize), TensorError> {
+    let is = input.shape();
+    let (oh, ow) = match (params.out_dim(is.h), params.out_dim(is.w)) {
+        (Some(oh), Some(ow)) => (oh, ow),
+        _ => {
+            return Err(TensorError::InvalidParams {
+                op: "im2col",
+                reason: format!(
+                    "input {}x{} with kernel {} stride {} pad {} has no output",
+                    is.h, is.w, params.kernel, params.stride, params.pad
+                ),
+            })
+        }
+    };
+    let rows = is.n * oh * ow;
+    let cols = is.c * params.kernel * params.kernel;
+    let mut m = vec![0.0f32; rows * cols];
+    for n in 0..is.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (n * oh + oy) * ow + ox;
+                let mut col = 0usize;
+                for c in 0..is.c {
+                    for ky in 0..params.kernel {
+                        for kx in 0..params.kernel {
+                            let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if iy >= 0 && (iy as usize) < is.h && ix >= 0 && (ix as usize) < is.w {
+                                m[row * cols + col] = input.at(n, c, iy as usize, ix as usize);
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((m, rows, cols))
+}
+
+/// Convolution by lowering: `im2col` followed by a matrix multiplication
+/// against the flattened filters.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::ops::conv2d`].
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let is = input.shape();
+    let ws = weights.shape();
+    if ws.c != is.c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_im2col",
+            lhs: is,
+            rhs: ws,
+        });
+    }
+    if params.kernel == 0 || ws.h != params.kernel || ws.w != params.kernel {
+        return Err(TensorError::InvalidParams {
+            op: "conv2d_im2col",
+            reason: "weight kernel disagrees with params".into(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != ws.n {
+            return Err(TensorError::InvalidParams {
+                op: "conv2d_im2col",
+                reason: format!("bias has {} elements, expected {}", b.len(), ws.n),
+            });
+        }
+    }
+    let (patches, rows, cols) = im2col(input, params)?;
+    let oh = params.out_dim(is.h).expect("validated");
+    let ow = params.out_dim(is.w).expect("validated");
+    let w = weights.as_slice(); // (M, cols) row-major
+
+    let mut out = Tensor::zeros(Shape4::new(is.n, ws.n, oh, ow));
+    let o = out.as_mut_slice();
+    let plane = oh * ow;
+    for row in 0..rows {
+        let n = row / plane;
+        let pos = row % plane;
+        let patch = &patches[row * cols..(row + 1) * cols];
+        for m in 0..ws.n {
+            let filter = &w[m * cols..(m + 1) * cols];
+            let mut acc = bias.map_or(0.0, |b| b[m]);
+            for (p, f) in patch.iter().zip(filter) {
+                acc += p * f;
+            }
+            o[(n * ws.n + m) * plane + pos] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv2d;
+
+    #[test]
+    fn im2col_matrix_shape_and_padding_zeros() {
+        let input = Tensor::full(Shape4::new(1, 2, 3, 3), 1.0);
+        let (m, rows, cols) = im2col(&input, Conv2dParams::new(3, 1, 1)).unwrap();
+        assert_eq!(rows, 9);
+        assert_eq!(cols, 18);
+        assert_eq!(m.len(), rows * cols);
+        // The corner output's patch has 5 padded zeros per channel.
+        let corner = &m[..cols];
+        let zeros = corner.iter().filter(|&&x| x == 0.0).count();
+        assert_eq!(zeros, 2 * 5);
+    }
+
+    #[test]
+    fn lowered_conv_matches_direct_conv() {
+        for (c, hw, mch, k, s, p, seed) in [
+            (3usize, 8usize, 4usize, 3usize, 1usize, 1usize, 1u64),
+            (5, 9, 7, 3, 2, 1, 2),
+            (2, 6, 3, 1, 1, 0, 3),
+            (4, 11, 2, 5, 2, 2, 4),
+            (1, 7, 1, 7, 1, 3, 5),
+        ] {
+            let input = Tensor::random(Shape4::new(2, c, hw, hw), seed);
+            let weights = Tensor::random(Shape4::new(mch, c, k, k), seed + 100);
+            let bias: Vec<f32> = Tensor::random(Shape4::new(1, mch, 1, 1), seed + 200).into_vec();
+            let params = Conv2dParams::new(k, s, p);
+            let direct = conv2d(&input, &weights, Some(&bias), params).unwrap();
+            let lowered = conv2d_im2col(&input, &weights, Some(&bias), params).unwrap();
+            assert!(
+                lowered.all_close(&direct, 1e-4),
+                "k{k} s{s} p{p}: diff {}",
+                lowered.max_abs_diff(&direct).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_the_same_inputs_direct_conv_rejects() {
+        let input = Tensor::zeros(Shape4::new(1, 3, 4, 4));
+        let wrong_c = Tensor::zeros(Shape4::new(2, 4, 3, 3));
+        let p = Conv2dParams::new(3, 1, 1);
+        assert!(conv2d_im2col(&input, &wrong_c, None, p).is_err());
+        let w = Tensor::zeros(Shape4::new(2, 3, 3, 3));
+        assert!(conv2d_im2col(&input, &w, Some(&[0.0]), p).is_err());
+        assert!(conv2d_im2col(&input, &w, None, Conv2dParams::new(5, 1, 1)).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+use crate::{Shape4, Tensor, TensorError};
+
+/// Fully-connected (inner-product) layer.
+///
+/// The input `(N, C, H, W)` is flattened per batch element into a vector of
+/// `C*H*W` features; `weights` is shaped `(out_features, in_features, 1, 1)`.
+/// The output is `(N, out_features, 1, 1)`.
+///
+/// # Errors
+///
+/// * [`TensorError::ShapeMismatch`] when `weights.c` differs from the input's
+///   per-image element count, or the weight spatial dims are not `1x1`.
+/// * [`TensorError::InvalidParams`] when the bias length differs from the
+///   output feature count.
+pub fn fully_connected(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+) -> Result<Tensor, TensorError> {
+    let is = input.shape();
+    let ws = weights.shape();
+    let in_features = is.per_image();
+    if ws.c != in_features || ws.h != 1 || ws.w != 1 {
+        return Err(TensorError::ShapeMismatch {
+            op: "fully_connected",
+            lhs: is,
+            rhs: ws,
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != ws.n {
+            return Err(TensorError::InvalidParams {
+                op: "fully_connected",
+                reason: format!("bias has {} elements, expected {}", b.len(), ws.n),
+            });
+        }
+    }
+    let mut out = Tensor::zeros(Shape4::new(is.n, ws.n, 1, 1));
+    let x = input.as_slice();
+    let w = weights.as_slice();
+    for n in 0..is.n {
+        let xrow = &x[n * in_features..(n + 1) * in_features];
+        for m in 0..ws.n {
+            let wrow = &w[m * in_features..(m + 1) * in_features];
+            let mut acc = bias.map_or(0.0, |b| b[m]);
+            for (xi, wi) in xrow.iter().zip(wrow) {
+                acc += xi * wi;
+            }
+            *out.at_mut(n, m, 0, 0) = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_dot_products() {
+        let input = Tensor::from_fn(Shape4::new(1, 1, 1, 3), |i| i as f32 + 1.0); // [1,2,3]
+        let weights = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let out = fully_connected(&input, &weights, None).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 6.0]);
+    }
+
+    #[test]
+    fn flattens_chw_features() {
+        let input = Tensor::full(Shape4::new(2, 2, 2, 2), 1.0);
+        let weights = Tensor::full(Shape4::new(3, 8, 1, 1), 0.5);
+        let out = fully_connected(&input, &weights, Some(&[1.0, 2.0, 3.0])).unwrap();
+        assert_eq!(out.shape(), Shape4::new(2, 3, 1, 1));
+        assert_eq!(out.as_slice(), &[5.0, 6.0, 7.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn rejects_mismatched_features_and_bias() {
+        let input = Tensor::zeros(Shape4::new(1, 2, 2, 2));
+        let wrong = Tensor::zeros(Shape4::new(3, 7, 1, 1));
+        assert!(fully_connected(&input, &wrong, None).is_err());
+        let spatial = Tensor::zeros(Shape4::new(3, 8, 2, 1));
+        assert!(fully_connected(&input, &spatial, None).is_err());
+        let ok = Tensor::zeros(Shape4::new(3, 8, 1, 1));
+        assert!(fully_connected(&input, &ok, Some(&[0.0; 2])).is_err());
+        assert!(fully_connected(&input, &ok, Some(&[0.0; 3])).is_ok());
+    }
+}

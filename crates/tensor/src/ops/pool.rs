@@ -1,0 +1,183 @@
+use crate::ops::conv_out_dim;
+use crate::{Shape4, Tensor, TensorError};
+
+/// Parameters of a 2-D pooling window: square window, symmetric stride/pad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dParams {
+    /// Window extent.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each border (max pooling pads with `-inf` instead).
+    pub pad: usize,
+}
+
+impl Pool2dParams {
+    /// Creates pooling parameters.
+    pub const fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        Pool2dParams {
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Spatial output extent for an input extent, or `None` when degenerate.
+    pub fn out_dim(&self, input: usize) -> Option<usize> {
+        conv_out_dim(input, self.kernel, self.stride, self.pad)
+    }
+
+    fn validate(&self, op: &'static str, shape: Shape4) -> Result<(usize, usize), TensorError> {
+        match (self.out_dim(shape.h), self.out_dim(shape.w)) {
+            (Some(oh), Some(ow)) => Ok((oh, ow)),
+            _ => Err(TensorError::InvalidParams {
+                op,
+                reason: format!(
+                    "input {}x{} with window {} stride {} pad {} has no output",
+                    shape.h, shape.w, self.kernel, self.stride, self.pad
+                ),
+            }),
+        }
+    }
+}
+
+/// Max pooling. Padded positions never win (they behave as `-inf`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParams`] when the window is degenerate for
+/// the input extent or the stride is zero.
+pub fn max_pool2d(input: &Tensor, params: Pool2dParams) -> Result<Tensor, TensorError> {
+    let is = input.shape();
+    let (oh, ow) = params.validate("max_pool2d", is)?;
+    let mut out = Tensor::zeros(Shape4::new(is.n, is.c, oh, ow));
+    for n in 0..is.n {
+        for c in 0..is.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..params.kernel {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= is.h {
+                            continue;
+                        }
+                        for kx in 0..params.kernel {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= is.w {
+                                continue;
+                            }
+                            best = best.max(input.at(n, c, iy as usize, ix as usize));
+                        }
+                    }
+                    *out.at_mut(n, c, oy, ox) = best;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average pooling. Padded positions count as zeros with a fixed divisor of
+/// `kernel * kernel` (the convention of the original Caffe models the
+/// reproduced networks descend from).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParams`] when the window is degenerate for
+/// the input extent or the stride is zero.
+pub fn avg_pool2d(input: &Tensor, params: Pool2dParams) -> Result<Tensor, TensorError> {
+    let is = input.shape();
+    let (oh, ow) = params.validate("avg_pool2d", is)?;
+    let div = (params.kernel * params.kernel) as f32;
+    let mut out = Tensor::zeros(Shape4::new(is.n, is.c, oh, ow));
+    for n in 0..is.n {
+        for c in 0..is.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..params.kernel {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= is.h {
+                            continue;
+                        }
+                        for kx in 0..params.kernel {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= is.w {
+                                continue;
+                            }
+                            acc += input.at(n, c, iy as usize, ix as usize);
+                        }
+                    }
+                    *out.at_mut(n, c, oy, ox) = acc / div;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: reduces each channel's spatial plane to a single
+/// value, producing an `(N, C, 1, 1)` tensor.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let is = input.shape();
+    let div = (is.h * is.w).max(1) as f32;
+    let mut out = Tensor::zeros(Shape4::new(is.n, is.c, 1, 1));
+    for n in 0..is.n {
+        for c in 0..is.c {
+            let mut acc = 0.0;
+            for h in 0..is.h {
+                for w in 0..is.w {
+                    acc += input.at(n, c, h, w);
+                }
+            }
+            *out.at_mut(n, c, 0, 0) = acc / div;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maximum() {
+        let input = Tensor::from_fn(Shape4::new(1, 1, 4, 4), |i| i as f32);
+        let out = max_pool2d(&input, Pool2dParams::new(2, 2, 0)).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn max_pool_padding_never_wins() {
+        let input = Tensor::full(Shape4::new(1, 1, 2, 2), -3.0);
+        let out = max_pool2d(&input, Pool2dParams::new(3, 1, 1)).unwrap();
+        // Every window overlaps padding, but the answer is the real -3.0.
+        assert!(out.as_slice().iter().all(|&x| x == -3.0));
+    }
+
+    #[test]
+    fn avg_pool_uses_fixed_divisor() {
+        let input = Tensor::full(Shape4::new(1, 1, 2, 2), 4.0);
+        let out = avg_pool2d(&input, Pool2dParams::new(2, 2, 0)).unwrap();
+        assert_eq!(out.as_slice(), &[4.0]);
+        // With pad 1 the corner window holds one real element out of 4.
+        let padded = avg_pool2d(&input, Pool2dParams::new(2, 2, 1)).unwrap();
+        assert_eq!(padded.at(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_planes() {
+        let input = Tensor::from_fn(Shape4::new(1, 2, 2, 2), |i| i as f32);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.shape(), Shape4::new(1, 2, 1, 1));
+        assert_eq!(out.as_slice(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn pooling_rejects_degenerate_windows() {
+        let input = Tensor::zeros(Shape4::new(1, 1, 2, 2));
+        assert!(max_pool2d(&input, Pool2dParams::new(3, 2, 0)).is_err());
+        assert!(avg_pool2d(&input, Pool2dParams::new(2, 0, 0)).is_err());
+    }
+}

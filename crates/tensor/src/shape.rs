@@ -1,0 +1,131 @@
+use std::fmt;
+
+use serde::Serialize;
+
+/// Shape of a 4-dimensional tensor in NCHW layout.
+///
+/// `n` is the batch dimension, `c` the channel dimension, `h`/`w` the spatial
+/// dimensions. Convolution weights use the same type with the convention
+/// `(out_channels, in_channels, kernel_h, kernel_w)`.
+///
+/// # Example
+///
+/// ```
+/// use sm_tensor::Shape4;
+///
+/// let s = Shape4::new(1, 64, 56, 56);
+/// assert_eq!(s.len(), 64 * 56 * 56);
+/// assert_eq!(s.per_image(), 64 * 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize)]
+pub struct Shape4 {
+    /// Batch size (or output channels for weight tensors).
+    pub n: usize,
+    /// Channels (or input channels for weight tensors).
+    pub c: usize,
+    /// Height (or kernel height).
+    pub h: usize,
+    /// Width (or kernel width).
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape4 { n, c, h, w }
+    }
+
+    /// Total number of elements (`n * c * h * w`).
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Returns `true` when the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of elements in a single image of the batch (`c * h * w`).
+    pub const fn per_image(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Linear offset of element `(n, c, h, w)` in row-major NCHW order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when an index is out of bounds; in release
+    /// builds out-of-bounds indices produce an offset past the buffer and the
+    /// subsequent slice access panics.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Shape of one batch element (`n = 1`, same `c`, `h`, `w`).
+    pub const fn single(&self) -> Shape4 {
+        Shape4::new(1, self.c, self.h, self.w)
+    }
+
+    /// Returns this shape with the batch dimension replaced by `n`.
+    pub const fn with_batch(&self, n: usize) -> Shape4 {
+        Shape4::new(n, self.c, self.h, self.w)
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl From<(usize, usize, usize, usize)> for Shape4 {
+    fn from((n, c, h, w): (usize, usize, usize, usize)) -> Self {
+        Shape4::new(n, c, h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_per_image() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.per_image(), 60);
+        assert!(!s.is_empty());
+        assert!(Shape4::new(0, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn offsets_are_row_major_and_dense() {
+        let s = Shape4::new(2, 3, 4, 5);
+        let mut expected = 0usize;
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        assert_eq!(s.offset(n, c, h, w), expected);
+                        expected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(expected, s.len());
+    }
+
+    #[test]
+    fn single_and_with_batch() {
+        let s = Shape4::new(8, 3, 4, 5);
+        assert_eq!(s.single(), Shape4::new(1, 3, 4, 5));
+        assert_eq!(s.with_batch(4), Shape4::new(4, 3, 4, 5));
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let s: Shape4 = (1, 2, 3, 4).into();
+        assert_eq!(format!("{s}"), "[1, 2, 3, 4]");
+    }
+}

@@ -1,0 +1,223 @@
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Shape4, TensorError};
+
+/// Dense `f32` tensor in NCHW layout.
+///
+/// This is the golden-model data container: simple, row-major, always
+/// heap-allocated. The cycle simulators never operate on `Tensor` directly —
+/// they operate on shapes and tile descriptors — but functional-mode
+/// verification uses `Tensor` to prove value preservation.
+///
+/// # Example
+///
+/// ```
+/// use sm_tensor::{Shape4, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape4::new(1, 2, 2, 2));
+/// *t.at_mut(0, 1, 0, 1) = 3.5;
+/// assert_eq!(t.at(0, 1, 0, 1), 3.5);
+/// assert_eq!(t.as_slice().iter().filter(|&&x| x != 0.0).count(), 1);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape4,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: Shape4) -> Self {
+        Tensor {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Shape4, value: f32) -> Self {
+        Tensor {
+            shape,
+            data: vec![value; shape.len()],
+        }
+    }
+
+    /// Creates a tensor from an existing element buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
+    /// `shape.len()`.
+    pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                shape,
+                len: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor with deterministic pseudo-random contents in
+    /// `[-1, 1)`, seeded by `seed`.
+    ///
+    /// The same `(shape, seed)` pair always yields the same tensor, which is
+    /// what makes functional cross-checks between the baseline and the
+    /// Shortcut Mining simulators reproducible.
+    pub fn random(shape: Shape4, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.len())
+            .map(|_| rng.random_range(-1.0f32..1.0))
+            .collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor whose element at linear index `i` is `f(i)`.
+    ///
+    /// Useful in tests for constructing tensors whose values encode their own
+    /// position, so that any mis-addressed tile copy is detected.
+    pub fn from_fn(shape: Shape4, f: impl FnMut(usize) -> f32) -> Self {
+        let data = (0..shape.len()).map(f).collect();
+        Tensor { shape, data }
+    }
+
+    /// Shape of the tensor.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Immutable view of the underlying row-major element buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major element buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying element buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.offset(n, c, h, w)]
+    }
+
+    /// Mutable element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let off = self.shape.offset(n, c, h, w);
+        &mut self.data[off]
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape,
+                rhs: other.shape,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Returns `true` when `other` is element-wise within `tol` of `self`.
+    ///
+    /// Shapes that differ compare as not-close rather than erroring, so this
+    /// is convenient in assertions.
+    pub fn all_close(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other).is_ok_and(|d| d <= tol)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().copied().take(8).collect();
+        f.debug_struct("Tensor")
+            .field("shape", &self.shape)
+            .field("preview", &preview)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_full_and_from_vec() {
+        let shape = Shape4::new(1, 2, 2, 2);
+        assert!(Tensor::zeros(shape).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Tensor::full(shape, 2.0).as_slice().iter().all(|&x| x == 2.0));
+        let t = Tensor::from_vec(shape, vec![1.0; 8]).unwrap();
+        assert_eq!(t.shape(), shape);
+        let err = Tensor::from_vec(shape, vec![1.0; 7]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { len: 7, .. }));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let shape = Shape4::new(2, 3, 4, 4);
+        let a = Tensor::random(shape, 42);
+        let b = Tensor::random(shape, 42);
+        let c = Tensor::random(shape, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let shape = Shape4::new(2, 2, 3, 3);
+        let mut t = Tensor::zeros(shape);
+        *t.at_mut(1, 0, 2, 1) = 7.0;
+        assert_eq!(t.at(1, 0, 2, 1), 7.0);
+        assert_eq!(t.as_slice()[shape.offset(1, 0, 2, 1)], 7.0);
+    }
+
+    #[test]
+    fn from_fn_encodes_positions() {
+        let shape = Shape4::new(1, 1, 2, 2);
+        let t = Tensor::from_fn(shape, |i| i as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_and_all_close() {
+        let shape = Shape4::new(1, 1, 2, 2);
+        let a = Tensor::from_fn(shape, |i| i as f32);
+        let mut b = a.clone();
+        *b.at_mut(0, 0, 1, 1) += 0.5;
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.all_close(&b, 0.5));
+        assert!(!a.all_close(&b, 0.49));
+        let c = Tensor::zeros(Shape4::new(1, 1, 1, 4));
+        assert!(a.max_abs_diff(&c).is_err());
+        assert!(!a.all_close(&c, 100.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests cross-validating the golden operators: the direct
+//! convolution and its im2col/GEMM lowering are independent implementations
+//! that must agree on arbitrary geometries, and algebraic identities
+//! (linearity, ReLU idempotence, pooling bounds) must hold.
+
+use proptest::prelude::*;
+
+use sm_tensor::ops::{
+    avg_pool2d, conv2d, conv2d_im2col, conv_out_dim, eltwise_add, max_pool2d, relu,
+    Conv2dParams, Pool2dParams,
+};
+use sm_tensor::{Shape4, Tensor};
+
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    batch: usize,
+    in_c: usize,
+    hw: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+}
+
+fn geometry() -> impl Strategy<Value = Geometry> {
+    (
+        1usize..3,
+        1usize..6,
+        3usize..12,
+        1usize..6,
+        prop_oneof![Just(1usize), Just(3), Just(5)],
+        1usize..3,
+    )
+        .prop_filter_map("valid", |(batch, in_c, hw, out_c, kernel, stride)| {
+            let pad = kernel / 2;
+            conv_out_dim(hw, kernel, stride, pad)?;
+            Some(Geometry {
+                batch,
+                in_c,
+                hw,
+                out_c,
+                kernel,
+                stride,
+                pad,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two independent convolution implementations agree everywhere.
+    #[test]
+    fn direct_and_lowered_convolutions_agree(g in geometry(), seed in 0u64..500) {
+        let input = Tensor::random(Shape4::new(g.batch, g.in_c, g.hw, g.hw), seed);
+        let weights = Tensor::random(Shape4::new(g.out_c, g.in_c, g.kernel, g.kernel), seed + 1);
+        let params = Conv2dParams::new(g.kernel, g.stride, g.pad);
+        let a = conv2d(&input, &weights, None, params).unwrap();
+        let b = conv2d_im2col(&input, &weights, None, params).unwrap();
+        prop_assert!(a.all_close(&b, 1e-4), "diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    /// Convolution is linear: conv(x + y) == conv(x) + conv(y).
+    #[test]
+    fn convolution_is_linear(g in geometry(), seed in 0u64..500) {
+        let x = Tensor::random(Shape4::new(g.batch, g.in_c, g.hw, g.hw), seed);
+        let y = Tensor::random(Shape4::new(g.batch, g.in_c, g.hw, g.hw), seed + 7);
+        let w = Tensor::random(Shape4::new(g.out_c, g.in_c, g.kernel, g.kernel), seed + 13);
+        let params = Conv2dParams::new(g.kernel, g.stride, g.pad);
+        let sum_then_conv = conv2d(&eltwise_add(&x, &y).unwrap(), &w, None, params).unwrap();
+        let conv_then_sum = eltwise_add(
+            &conv2d(&x, &w, None, params).unwrap(),
+            &conv2d(&y, &w, None, params).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(sum_then_conv.all_close(&conv_then_sum, 1e-3));
+    }
+
+    /// Max pooling dominates average pooling on the same window, and both
+    /// are bounded by the input range.
+    #[test]
+    fn pooling_bounds(c in 1usize..4, hw in 4usize..12, seed in 0u64..500) {
+        let input = Tensor::random(Shape4::new(1, c, hw, hw), seed);
+        let p = Pool2dParams::new(2, 2, 0);
+        let mx = max_pool2d(&input, p).unwrap();
+        let av = avg_pool2d(&input, p).unwrap();
+        for (m, a) in mx.as_slice().iter().zip(av.as_slice()) {
+            prop_assert!(m >= a);
+            prop_assert!(*m <= 1.0 && *a >= -1.0);
+        }
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_properties(c in 1usize..4, hw in 1usize..8, seed in 0u64..500) {
+        let input = Tensor::random(Shape4::new(1, c, hw, hw), seed);
+        let once = relu(&input);
+        let twice = relu(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.as_slice().iter().all(|&x| x >= 0.0));
+    }
+}

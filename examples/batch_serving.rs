@@ -1,0 +1,60 @@
+//! Batch-size selection for an inference-serving deployment.
+//!
+//! Larger batches amortize weight streaming but inflate the feature-map
+//! working set, eroding Shortcut Mining's on-chip reuse — a real capacity
+//! planning trade-off. This example sweeps the batch size for each headline
+//! network and reports where images/second peaks and what a latency SLO
+//! permits.
+//!
+//! ```text
+//! cargo run --release --example batch_serving
+//! ```
+
+use shortcut_mining::core::{Experiment, Policy};
+use shortcut_mining::model::zoo;
+
+const SLO_MS: f64 = 50.0;
+
+fn main() {
+    let exp = Experiment::default_config();
+    println!("batch-size sweep under Shortcut Mining (latency SLO {SLO_MS} ms)\n");
+
+    for build in [
+        zoo::squeezenet_v10_simple_bypass as fn(usize) -> _,
+        zoo::resnet34,
+        zoo::resnet152,
+    ] {
+        let name = build(1).name().to_string();
+        println!("{name}");
+        println!(
+            "  {:>5}  {:>10}  {:>12}  {:>11}  {:>9}",
+            "batch", "img/s", "latency(ms)", "fm MiB/img", "reduction"
+        );
+        let mut best: Option<(usize, f64)> = None;
+        for batch in [1usize, 2, 4, 8] {
+            let net = build(batch);
+            let base = exp.run(&net, Policy::baseline());
+            let mined = exp.run(&net, Policy::shortcut_mining());
+            let latency_ms = mined.runtime_seconds() * 1e3;
+            let ips = mined.images_per_second();
+            let reduction = 1.0 - mined.fm_traffic_ratio(&base);
+            println!(
+                "  {:>5}  {:>10.1}  {:>12.1}  {:>11.2}  {:>8.1}%",
+                batch,
+                ips,
+                latency_ms,
+                mined.fm_traffic_bytes() as f64 / batch as f64 / (1 << 20) as f64,
+                100.0 * reduction
+            );
+            if latency_ms <= SLO_MS && best.is_none_or(|(_, b)| ips > b) {
+                best = Some((batch, ips));
+            }
+        }
+        match best {
+            Some((batch, ips)) => {
+                println!("  -> best batch within SLO: {batch} ({ips:.1} img/s)\n")
+            }
+            None => println!("  -> no batch meets the SLO on this configuration\n"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Design-space exploration: how much feature-map SRAM does Shortcut Mining
+//! need to pay off on a given deployment?
+//!
+//! A realistic accelerator-architect workflow: fix the network you must
+//! serve (here ResNet-50) and sweep the on-chip feature-map capacity and
+//! the effective DRAM bandwidth, looking for the cheapest configuration
+//! that meets a latency target.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use shortcut_mining::core::{Experiment, Policy};
+use shortcut_mining::model::zoo;
+
+const LATENCY_TARGET_MS: f64 = 40.0;
+
+fn main() {
+    let net = zoo::resnet50(1);
+    println!(
+        "design-space exploration for {} (latency target {LATENCY_TARGET_MS} ms)\n",
+        net.name()
+    );
+    println!(
+        "{:>10}  {:>8}  {:>12}  {:>12}  {:>9}  {:>7}",
+        "SRAM(KiB)", "BW(GB/s)", "base(ms)", "mined(ms)", "reduction", "meets?"
+    );
+
+    let mut cheapest: Option<(u64, f64)> = None;
+    for kib in [128u64, 256, 320, 512, 1024, 2048] {
+        for bw_bytes_per_cycle in [4.0f64, 6.0, 12.0] {
+            let mut cfg = shortcut_mining::accel::AccelConfig::default()
+                .with_fm_capacity(kib * 1024);
+            cfg.fm_dram.bytes_per_cycle = bw_bytes_per_cycle;
+            let exp = Experiment::new(cfg);
+            let base = exp.run(&net, Policy::baseline());
+            let mined = exp.run(&net, Policy::shortcut_mining());
+            let base_ms = base.runtime_seconds() * 1e3;
+            let mined_ms = mined.runtime_seconds() * 1e3;
+            let reduction = 1.0 - mined.fm_traffic_ratio(&base);
+            let meets = mined_ms <= LATENCY_TARGET_MS;
+            println!(
+                "{:>10}  {:>8.1}  {:>12.2}  {:>12.2}  {:>8.1}%  {:>7}",
+                kib,
+                bw_bytes_per_cycle * cfg.clock_hz / 1e9,
+                base_ms,
+                mined_ms,
+                100.0 * reduction,
+                if meets { "yes" } else { "no" }
+            );
+            if meets && cheapest.is_none_or(|(k, _)| kib < k) {
+                cheapest = Some((kib, mined_ms));
+            }
+        }
+    }
+
+    match cheapest {
+        Some((kib, ms)) => println!(
+            "\nsmallest feature-map SRAM meeting the target: {kib} KiB ({ms:.2} ms with Shortcut Mining)"
+        ),
+        None => println!("\nno swept configuration meets the target — raise capacity or bandwidth"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: reproduce the paper's headline result on ResNet-34.
+//!
+//! Runs the conventional baseline accelerator and the Shortcut Mining
+//! accelerator on the same hardware configuration and prints the feature-map
+//! traffic reduction and throughput gain.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shortcut_mining::core::{Experiment, Policy};
+use shortcut_mining::mem::TrafficClass;
+use shortcut_mining::model::zoo;
+
+fn main() {
+    let net = zoo::resnet34(1);
+    let exp = Experiment::default_config();
+
+    let baseline = exp.run(&net, Policy::baseline());
+    let mined = exp.run(&net, Policy::shortcut_mining());
+
+    println!("network: {} (batch {})", net.name(), baseline.batch);
+    println!(
+        "peak compute: {:.1} GOP/s\n",
+        2.0 * exp.config().peak_gmacs()
+    );
+
+    for stats in [&baseline, &mined] {
+        println!(
+            "{:16} fm traffic {:7.2} MiB   total {:7.2} MiB   {:6.1} GOP/s   {:5.1} img/s",
+            stats.architecture,
+            stats.fm_traffic_bytes() as f64 / (1 << 20) as f64,
+            stats.total_traffic_bytes() as f64 / (1 << 20) as f64,
+            stats.throughput_gops(),
+            stats.images_per_second(),
+        );
+    }
+
+    let reduction = 1.0 - mined.fm_traffic_ratio(&baseline);
+    println!(
+        "\nfeature-map traffic reduction: {:.1}%  (paper: 58% for ResNet-34)",
+        100.0 * reduction
+    );
+    println!(
+        "throughput gain: {:.2}x  (paper: 1.93x average)",
+        mined.speedup_over(&baseline)
+    );
+    println!(
+        "shortcut re-reads eliminated: {:.2} MiB -> {:.2} MiB",
+        baseline.ledger.class_bytes(TrafficClass::ShortcutRead) as f64 / (1 << 20) as f64,
+        mined.ledger.class_bytes(TrafficClass::ShortcutRead) as f64 / (1 << 20) as f64,
+    );
+}

@@ -1,0 +1,90 @@
+//! Inspect the Shortcut Mining procedures at work: run a small residual
+//! network, then narrate the residency trace — which feature maps stayed on
+//! chip, which were pinned as shortcuts, what was spilled, and what each
+//! junction found when it executed.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer [capacity_kib]
+//! ```
+//!
+//! Pass a small capacity (e.g. `8`) to watch the spill procedure engage.
+
+use shortcut_mining::accel::AccelConfig;
+use shortcut_mining::core::{Experiment, Policy, TraceEvent};
+use shortcut_mining::model::zoo;
+
+fn main() {
+    let capacity_kib: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(320);
+    let cfg = AccelConfig::default().with_fm_capacity(capacity_kib * 1024);
+    let net = zoo::squeezenet_tiny(1);
+    let run = Experiment::new(cfg).run_traced(&net, Policy::shortcut_mining());
+
+    println!(
+        "{} under shortcut mining, {} KiB feature-map pool\n",
+        net.name(),
+        capacity_kib
+    );
+    let name = |fm: usize| net.layers()[fm].name.clone();
+
+    for event in &run.trace.events {
+        match *event {
+            TraceEvent::Produce {
+                fm,
+                total_elems,
+                resident_elems,
+                dram_elems,
+            } => {
+                let pct = 100.0 * resident_elems as f64 / total_elems.max(1) as f64;
+                println!(
+                    "produce  {:20} {:>7} elems | kept on chip {:>5.1}% | wrote {:>6} elems to DRAM",
+                    name(fm),
+                    total_elems,
+                    pct,
+                    dram_elems
+                );
+            }
+            TraceEvent::Spill {
+                fm,
+                new_resident_elems,
+            } => {
+                println!(
+                    "spill    {:20} shrunk to {} resident elems (bank reclaimed)",
+                    name(fm),
+                    new_resident_elems
+                );
+            }
+            TraceEvent::FetchMissing { fm, consumer, elems } => {
+                println!(
+                    "fetch    {:20} -> {:20} {:>6} elems from DRAM",
+                    name(fm),
+                    name(consumer),
+                    elems
+                );
+            }
+            TraceEvent::Free { fm } => {
+                println!("free     {:20} banks returned to the pool", name(fm));
+            }
+        }
+    }
+
+    println!("\nshortcut retention at junctions:");
+    for r in &run.retention {
+        println!(
+            "  {:20} -> {:20} skip {:>2}: {:>5.1}% resident",
+            name(r.producer),
+            name(r.junction),
+            r.skip,
+            100.0 * r.resident_fraction
+        );
+    }
+    println!(
+        "\ntotals: {} relabels, {} pins, {} bank spills, fm traffic {:.3} MiB",
+        run.stats.buffer_stats.relabels,
+        run.stats.buffer_stats.pins,
+        run.stats.buffer_stats.spills,
+        run.stats.fm_traffic_bytes() as f64 / (1 << 20) as f64
+    );
+}

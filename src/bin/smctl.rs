@@ -1,0 +1,22 @@
+//! `smctl` — command-line front end for the Shortcut Mining simulator.
+//!
+//! See `shortcut_mining::cli::USAGE` (printed on error) for the grammar.
+
+use std::process::ExitCode;
+
+use shortcut_mining::cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = cli::parse(args.iter().map(String::as_str));
+    match parsed.and_then(|cmd| cli::execute(&cmd)) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Command-line interface logic for the `smctl` binary.
+//!
+//! Parsing and command execution live here (unit-testable); `src/bin/smctl.rs`
+//! is a thin `main`. No argument-parsing dependency: the grammar is four
+//! subcommands with a handful of `--key value` options.
+//!
+//! ```text
+//! smctl networks
+//! smctl compare <network> [--capacity <KiB>] [--batch <n>] [--policy <name>]
+//! smctl analyze <network> [--batch <n>]
+//! smctl verify  <network> [--seed <n>]
+//! ```
+
+use std::fmt;
+
+use sm_accel::AccelConfig;
+use sm_core::functional::verify_value_preservation;
+use sm_core::{analysis, Experiment, Policy, SpillOrder};
+use sm_model::stats::NetworkStats;
+use sm_model::{zoo, Network};
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List available networks with their statistics.
+    Networks,
+    /// Baseline-vs-policy comparison on one network.
+    Compare {
+        /// Network name (see [`network_by_name`]).
+        network: String,
+        /// Feature-map SRAM capacity override in KiB.
+        capacity_kib: Option<u64>,
+        /// Batch size (default 1).
+        batch: usize,
+        /// Policy name (default `shortcut-mining`).
+        policy: Policy,
+        /// Emit the two `RunStats` as a JSON document instead of text.
+        json: bool,
+    },
+    /// Reuse bounds and capacity planning for one network.
+    Analyze {
+        /// Network name.
+        network: String,
+        /// Batch size (default 1).
+        batch: usize,
+    },
+    /// Value-preservation check (tiny networks only — golden execution).
+    Verify {
+        /// Network name.
+        network: String,
+        /// Input/weight seed (default 42).
+        seed: u64,
+    },
+    /// Capacity sweep: traffic reduction and speedup from 64 KiB to 4 MiB.
+    Sweep {
+        /// Network name.
+        network: String,
+        /// Batch size (default 1).
+        batch: usize,
+    },
+    /// Per-layer traffic/cycle report under both architectures.
+    Layers {
+        /// Network name.
+        network: String,
+        /// Batch size (default 1).
+        batch: usize,
+    },
+}
+
+/// CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+smctl — Shortcut Mining simulator CLI
+
+USAGE:
+  smctl networks
+  smctl compare <network> [--capacity <KiB>] [--batch <n>] [--policy <name>] [--json]
+  smctl analyze <network> [--batch <n>]
+  smctl verify  <network> [--seed <n>]
+  smctl sweep   <network> [--batch <n>]
+  smctl layers  <network> [--batch <n>]
+
+POLICIES:
+  baseline | reuse-disabled | swap-only | mining-only | shortcut-mining
+  shortcut-mining-copy-swap | shortcut-mining-nearest-spill
+
+NETWORKS:
+  run `smctl networks` for the list (resnet18/34/50/101/152, plain18/34,
+  squeezenet_v10[_simple_bypass|_complex_bypass], squeezenet_v11, vgg16,
+  alexnet, googlenet, densenet121/169, mobilenet_v1/v2, toy_residual,
+  resnet_tiny20, squeezenet_tiny, densenet_tiny4, mobilenet_tiny)";
+
+/// Resolves a network by CLI name.
+pub fn network_by_name(name: &str, batch: usize) -> Option<Network> {
+    Some(match name {
+        "resnet18" => zoo::resnet18(batch),
+        "resnet34" => zoo::resnet34(batch),
+        "resnet50" => zoo::resnet50(batch),
+        "resnet101" => zoo::resnet101(batch),
+        "resnet152" => zoo::resnet152(batch),
+        "plain18" => zoo::plain18(batch),
+        "plain34" => zoo::plain34(batch),
+        "squeezenet_v10" => zoo::squeezenet_v10(batch),
+        "squeezenet_v10_simple_bypass" | "squeezenet" => {
+            zoo::squeezenet_v10_simple_bypass(batch)
+        }
+        "squeezenet_v10_complex_bypass" => zoo::squeezenet_v10_complex_bypass(batch),
+        "squeezenet_v11" => zoo::squeezenet_v11(batch),
+        "vgg16" => zoo::vgg16(batch),
+        "alexnet" => zoo::alexnet(batch),
+        "googlenet" => zoo::googlenet(batch),
+        "mobilenet_v1" => zoo::mobilenet_v1(batch),
+        "mobilenet_v2" => zoo::mobilenet_v2(batch),
+        "mobilenet_tiny" => zoo::mobilenet_tiny(batch),
+        "densenet121" => zoo::densenet121(batch),
+        "densenet169" => zoo::densenet169(batch),
+        "toy_residual" => zoo::toy_residual(batch),
+        "resnet_tiny20" => zoo::resnet_tiny(3, batch),
+        "squeezenet_tiny" => zoo::squeezenet_tiny(batch),
+        "densenet_tiny4" => zoo::densenet_tiny(4, batch),
+        _ => return None,
+    })
+}
+
+/// Resolves a policy by CLI name.
+pub fn policy_by_name(name: &str) -> Option<Policy> {
+    Some(match name {
+        "baseline" => Policy::baseline(),
+        "reuse-disabled" => Policy::reuse_disabled(),
+        "swap-only" => Policy::swap_only(),
+        "mining-only" => Policy::mining_only(),
+        "shortcut-mining" => Policy::shortcut_mining(),
+        "shortcut-mining-copy-swap" => Policy::shortcut_mining().with_swap_by_copy(),
+        "shortcut-mining-nearest-spill" => {
+            Policy::shortcut_mining().with_spill_order(SpillOrder::NearestJunctionFirst)
+        }
+        _ => return None,
+    })
+}
+
+fn take_value<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, CliError> {
+    args.next()
+        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing [`CliError`] on unknown commands, flags, networks
+/// or malformed numbers.
+pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, CliError> {
+    let mut it = args.into_iter();
+    let cmd = it.next().ok_or_else(|| CliError(USAGE.to_string()))?;
+    match cmd {
+        "networks" => Ok(Command::Networks),
+        "compare" | "analyze" | "verify" | "sweep" | "layers" => {
+            let network = it
+                .next()
+                .ok_or_else(|| CliError(format!("{cmd} requires a network name")))?
+                .to_string();
+            let mut capacity_kib = None;
+            let mut batch = 1usize;
+            let mut policy = Policy::shortcut_mining();
+            let mut seed = 42u64;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--json" => json = true,
+                    "--capacity" => {
+                        let v = take_value(&mut it, flag)?;
+                        capacity_kib = Some(v.parse().map_err(|_| {
+                            CliError(format!("invalid capacity {v:?} (KiB expected)"))
+                        })?);
+                    }
+                    "--batch" => {
+                        let v = take_value(&mut it, flag)?;
+                        batch = v
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid batch {v:?}")))?;
+                    }
+                    "--policy" => {
+                        let v = take_value(&mut it, flag)?;
+                        policy = policy_by_name(v)
+                            .ok_or_else(|| CliError(format!("unknown policy {v:?}")))?;
+                    }
+                    "--seed" => {
+                        let v = take_value(&mut it, flag)?;
+                        seed = v
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid seed {v:?}")))?;
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            if network_by_name(&network, 1).is_none() {
+                return Err(CliError(format!(
+                    "unknown network {network:?} — run `smctl networks`"
+                )));
+            }
+            Ok(match cmd {
+                "compare" => Command::Compare {
+                    network,
+                    capacity_kib,
+                    batch,
+                    policy,
+                    json,
+                },
+                "analyze" => Command::Analyze { network, batch },
+                "sweep" => Command::Sweep { network, batch },
+                "layers" => Command::Layers { network, batch },
+                _ => Command::Verify { network, seed },
+            })
+        }
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Executes a command, returning the report text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when a verification fails or a network cannot be
+/// built at the requested batch.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match cmd {
+        Command::Networks => {
+            let _ = writeln!(
+                out,
+                "{:30} {:>7} {:>9} {:>10} {:>15}",
+                "network", "layers", "GMACs", "params(M)", "shortcut share"
+            );
+            for net in zoo::extended_networks(1) {
+                let s = NetworkStats::of(&net);
+                let _ = writeln!(
+                    out,
+                    "{:30} {:>7} {:>9.2} {:>10.1} {:>14.1}%",
+                    net.name(),
+                    s.layer_count,
+                    s.macs as f64 / 1e9,
+                    s.weight_elems as f64 / 1e6,
+                    100.0 * s.shortcut_share()
+                );
+            }
+        }
+        Command::Compare {
+            network,
+            capacity_kib,
+            batch,
+            policy,
+            json,
+        } => {
+            let net = network_by_name(network, *batch)
+                .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+            let mut cfg = AccelConfig::default();
+            if let Some(kib) = capacity_kib {
+                cfg = cfg.with_fm_capacity(kib * 1024);
+            }
+            let exp = Experiment::new(cfg);
+            let base = exp.run(&net, Policy::baseline());
+            let run = exp.run(&net, *policy);
+            if *json {
+                let doc = (&base, &run);
+                let body = sm_bench::json::to_json(&doc)
+                    .map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(out, "{body}");
+                return Ok(out);
+            }
+            let _ = writeln!(
+                out,
+                "{} batch {} | fm SRAM {} KiB",
+                net.name(),
+                batch,
+                cfg.sram.fm_bytes() / 1024
+            );
+            for s in [&base, &run] {
+                let _ = writeln!(
+                    out,
+                    "{:28} fm {:9.2} MiB  total {:9.2} MiB  {:7.1} GOP/s  {:7.1} img/s",
+                    s.architecture,
+                    s.fm_traffic_bytes() as f64 / (1 << 20) as f64,
+                    s.total_traffic_bytes() as f64 / (1 << 20) as f64,
+                    s.throughput_gops(),
+                    s.images_per_second()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "reduction {:.1}%  speedup {:.2}x",
+                100.0 * (1.0 - run.fm_traffic_ratio(&base)),
+                run.speedup_over(&base)
+            );
+        }
+        Command::Analyze { network, batch } => {
+            let net = network_by_name(network, *batch)
+                .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+            let cfg = AccelConfig::default();
+            let bounds = analysis::ReuseBounds::of(&net, cfg, Policy::shortcut_mining());
+            let cap95 =
+                analysis::capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95);
+            let _ = writeln!(out, "{} batch {batch}", net.name());
+            let _ = writeln!(out, "peak live set:        {} KiB", bounds.peak_live_bytes / 1024);
+            let _ = writeln!(
+                out,
+                "ideal reduction:      {:.1}%",
+                100.0 * bounds.ideal_reduction
+            );
+            let _ = writeln!(
+                out,
+                "configured reduction: {:.1}% at {} KiB",
+                100.0 * bounds.configured_reduction,
+                cfg.sram.fm_bytes() / 1024
+            );
+            match cap95 {
+                Some(c) => {
+                    let _ = writeln!(out, "capacity for 95% of ideal: {} KiB", c / 1024);
+                }
+                None => {
+                    let _ = writeln!(out, "capacity for 95% of ideal: unreachable");
+                }
+            }
+        }
+        Command::Sweep { network, batch } => {
+            let _ = writeln!(
+                out,
+                "{:>10}  {:>10}  {:>8}  {:>12}",
+                "KiB", "reduction", "speedup", "fm MiB mined"
+            );
+            for kib in [64u64, 128, 256, 320, 512, 1024, 2048, 4096] {
+                let net = network_by_name(network, *batch)
+                    .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+                let exp = Experiment::new(AccelConfig::default().with_fm_capacity(kib * 1024));
+                let base = exp.run(&net, Policy::baseline());
+                let mined = exp.run(&net, Policy::shortcut_mining());
+                let _ = writeln!(
+                    out,
+                    "{:>10}  {:>9.1}%  {:>7.2}x  {:>12.2}",
+                    kib,
+                    100.0 * (1.0 - mined.fm_traffic_ratio(&base)),
+                    mined.speedup_over(&base),
+                    mined.fm_traffic_bytes() as f64 / (1 << 20) as f64
+                );
+            }
+        }
+        Command::Layers { network, batch } => {
+            let net = network_by_name(network, *batch)
+                .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+            let exp = Experiment::new(AccelConfig::default());
+            let base = exp.run(&net, Policy::baseline());
+            let mined = exp.run(&net, Policy::shortcut_mining());
+            let _ = writeln!(
+                out,
+                "{:24} {:>7} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6}",
+                "layer", "kind", "base KiB", "base kcyc", "bound", "mined KiB", "mined kcyc", "bound"
+            );
+            let bound_tag = |c: &sm_accel::cycles::LayerCycles| match c.bound_by() {
+                sm_accel::cycles::Bound::Compute => "comp",
+                sm_accel::cycles::Bound::FeatureMapTraffic => "fm",
+                sm_accel::cycles::Bound::WeightTraffic => "wgt",
+            };
+            for (b, m) in base.layers.iter().zip(&mined.layers) {
+                let _ = writeln!(
+                    out,
+                    "{:24} {:>7} | {:>10.1} {:>10.1} {:>6} | {:>10.1} {:>10.1} {:>6}",
+                    b.name,
+                    b.kind,
+                    b.traffic.feature_map() as f64 / 1024.0,
+                    b.cycles.total as f64 / 1e3,
+                    bound_tag(&b.cycles),
+                    m.traffic.feature_map() as f64 / 1024.0,
+                    m.cycles.total as f64 / 1e3,
+                    bound_tag(&m.cycles),
+                );
+            }
+        }
+        Command::Verify { network, seed } => {
+            let net = network_by_name(network, 1)
+                .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+            if net.total_macs() > 200_000_000 {
+                return Err(CliError(format!(
+                    "{network} is too large for golden execution; use a *_tiny or toy network"
+                )));
+            }
+            verify_value_preservation(&net, AccelConfig::default(), Policy::shortcut_mining(), *seed)
+                .map_err(|e| CliError(format!("value preservation FAILED: {e}")))?;
+            let _ = writeln!(
+                out,
+                "{}: value preservation OK (seed {seed}) — outputs bit-identical to the golden model",
+                net.name()
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_compare_with_flags() {
+        let cmd = parse([
+            "compare",
+            "resnet34",
+            "--capacity",
+            "512",
+            "--batch",
+            "2",
+            "--policy",
+            "swap-only",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compare {
+                network: "resnet34".into(),
+                capacity_kib: Some(512),
+                batch: 2,
+                policy: Policy::swap_only(),
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_things() {
+        assert!(parse(["frobnicate"]).is_err());
+        assert!(parse(["compare"]).is_err());
+        assert!(parse(["compare", "notanet"]).is_err());
+        assert!(parse(["compare", "resnet34", "--policy", "nope"]).is_err());
+        assert!(parse(["compare", "resnet34", "--capacity", "abc"]).is_err());
+        assert!(parse(["compare", "resnet34", "--capacity"]).is_err());
+        assert!(parse(["compare", "resnet34", "--wat", "1"]).is_err());
+        assert!(parse([]).is_err());
+    }
+
+    #[test]
+    fn networks_command_lists_the_zoo() {
+        let out = execute(&Command::Networks).unwrap();
+        for name in ["resnet152", "densenet121", "googlenet", "vgg16"] {
+            assert!(out.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn compare_runs_end_to_end() {
+        let out = execute(&parse(["compare", "toy_residual"]).unwrap()).unwrap();
+        assert!(out.contains("baseline"));
+        assert!(out.contains("shortcut-mining"));
+        assert!(out.contains("reduction"));
+    }
+
+    #[test]
+    fn analyze_reports_bounds() {
+        let out = execute(&parse(["analyze", "resnet_tiny20"]).unwrap()).unwrap();
+        assert!(out.contains("peak live set"));
+        assert!(out.contains("ideal reduction"));
+    }
+
+    #[test]
+    fn verify_accepts_tiny_rejects_huge() {
+        let ok = execute(&parse(["verify", "squeezenet_tiny"]).unwrap()).unwrap();
+        assert!(ok.contains("value preservation OK"));
+        let err = execute(&parse(["verify", "resnet152"]).unwrap()).unwrap_err();
+        assert!(err.0.contains("too large"));
+    }
+
+    #[test]
+    fn sweep_runs_and_is_monotone() {
+        let out = execute(&parse(["sweep", "resnet_tiny20"]).unwrap()).unwrap();
+        assert!(out.contains("4096"));
+        assert!(out.lines().count() >= 9);
+    }
+
+    #[test]
+    fn layers_report_covers_every_layer() {
+        let out = execute(&parse(["layers", "toy_residual"]).unwrap()).unwrap();
+        assert!(out.contains("c1"));
+        assert!(out.contains("add"));
+        // Header + 5 layers.
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn every_advertised_policy_resolves() {
+        for p in [
+            "baseline",
+            "reuse-disabled",
+            "swap-only",
+            "mining-only",
+            "shortcut-mining",
+            "shortcut-mining-copy-swap",
+            "shortcut-mining-nearest-spill",
+        ] {
+            assert!(policy_by_name(p).is_some(), "{p}");
+        }
+    }
+}

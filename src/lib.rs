@@ -1,0 +1,41 @@
+//! # Shortcut Mining
+//!
+//! A full reproduction of *Shortcut Mining: Exploiting Cross-Layer Shortcut
+//! Reuse in DCNN Accelerators* (AziziMazreah & Chen, HPCA 2019) as a Rust
+//! workspace: a cycle-approximate tile-based DCNN accelerator simulator, a
+//! conventional (baseline) buffer architecture, and the paper's contribution
+//! — logical buffers plus the Shortcut Mining procedure sequence that reuses
+//! shortcut and non-shortcut feature maps across layers to cut off-chip
+//! traffic.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`tensor`] — golden-model tensors and reference CNN operators.
+//! * [`model`] — layer IR, network DAGs, ResNet/SqueezeNet/VGG builders.
+//! * [`mem`] — off-chip traffic ledger, DRAM channel and energy models.
+//! * [`buffer`] — physical banks, bank pool, logical buffers.
+//! * [`accel`] — tiling design-space exploration, cycle model, baseline
+//!   accelerator.
+//! * [`core`] — the Shortcut Mining controller and top-level experiment API.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shortcut_mining::core::{Experiment, Policy};
+//! use shortcut_mining::model::zoo;
+//!
+//! let net = zoo::resnet34(1);
+//! let report = Experiment::default_config().run(&net, Policy::shortcut_mining());
+//! let baseline = Experiment::default_config().run(&net, Policy::baseline());
+//! assert!(report.fm_traffic_bytes() < baseline.fm_traffic_bytes());
+//! ```
+
+pub mod cli;
+
+pub use sm_accel as accel;
+pub use sm_bench as bench;
+pub use sm_buffer as buffer;
+pub use sm_core as core;
+pub use sm_mem as mem;
+pub use sm_model as model;
+pub use sm_tensor as tensor;

@@ -1,0 +1,87 @@
+//! The reproduction contract: the paper's headline numbers, re-derived
+//! through the public API, must keep their shape — same winners, same
+//! ordering, comparable magnitudes. Exact values are recorded in
+//! EXPERIMENTS.md.
+
+use shortcut_mining::core::Experiment;
+use shortcut_mining::model::zoo;
+
+/// Abstract: 53.3% / 58% / 43% feature-map traffic reduction.
+#[test]
+fn traffic_reductions_keep_the_papers_shape() {
+    let exp = Experiment::default_config();
+    let squeeze = exp
+        .compare(&zoo::squeezenet_v10_simple_bypass(1))
+        .traffic_reduction();
+    let r34 = exp.compare(&zoo::resnet34(1)).traffic_reduction();
+    let r152 = exp.compare(&zoo::resnet152(1)).traffic_reduction();
+
+    // Magnitudes: within 15 percentage points of the abstract.
+    assert!((squeeze - 0.533).abs() < 0.15, "squeezenet {squeeze}");
+    assert!((r34 - 0.58).abs() < 0.15, "resnet34 {r34}");
+    assert!((r152 - 0.43).abs() < 0.15, "resnet152 {r152}");
+
+    // Ordering: ResNet-34 reduces most, ResNet-152 least.
+    assert!(r34 > squeeze && squeeze > r152, "{r34} / {squeeze} / {r152}");
+}
+
+/// Abstract: 1.93× throughput over the state-of-the-art accelerator.
+#[test]
+fn throughput_gain_keeps_the_papers_magnitude() {
+    let exp = Experiment::default_config();
+    let mut product = 1.0f64;
+    let mut n = 0u32;
+    for net in zoo::evaluated_networks(1) {
+        let cmp = exp.compare(&net);
+        assert!(cmp.speedup() > 1.0, "{}", net.name());
+        product *= cmp.speedup();
+        n += 1;
+    }
+    let geomean = product.powf(1.0 / n as f64);
+    assert!(
+        (1.5..2.4).contains(&geomean),
+        "geomean speedup {geomean} far from the paper's 1.93x"
+    );
+}
+
+/// Abstract: shortcut data is "nearly 40%" of feature-map data.
+#[test]
+fn shortcut_share_is_nearly_forty_percent() {
+    use shortcut_mining::model::stats::NetworkStats;
+    let share = NetworkStats::of(&zoo::resnet152(1)).shortcut_share();
+    assert!((0.30..0.50).contains(&share), "{share}");
+}
+
+/// Abstract: reuse works "across any number of intermediate layers without
+/// using additional buffer resources".
+#[test]
+fn retention_survives_deep_skips_without_extra_banks() {
+    use shortcut_mining::accel::AccelConfig;
+    use shortcut_mining::core::{Experiment, Policy};
+    // The claim is architectural: once the block working set fits, a pinned
+    // shortcut survives ANY number of intermediate layers — no dedicated
+    // buffer is consumed per skipped layer. With an 8 MiB pool every
+    // ResNet-152 shortcut (up to 36 consecutive bottlenecks in conv4) must
+    // arrive fully resident at its junction.
+    let exp = Experiment::new(AccelConfig::default().with_fm_capacity(8 << 20));
+    let run = exp.run_traced(&zoo::resnet152(1), Policy::shortcut_mining());
+    assert!(!run.retention.is_empty());
+    for r in &run.retention {
+        assert!(
+            (r.resident_fraction - 1.0).abs() < 1e-9,
+            "shortcut L{} -> L{} (skip {}) retained only {:.2}",
+            r.producer,
+            r.junction,
+            r.skip,
+            r.resident_fraction
+        );
+    }
+
+    // Under the default (tight) capacity retention is graceful, not binary:
+    // partial survivals dominate and nothing errors.
+    let tight = Experiment::default_config()
+        .run_traced(&zoo::resnet152(1), Policy::shortcut_mining());
+    let mean: f64 = tight.retention.iter().map(|r| r.resident_fraction).sum::<f64>()
+        / tight.retention.len() as f64;
+    assert!((0.0..1.0).contains(&mean));
+}
