@@ -38,7 +38,10 @@ pub fn fm_tile_spans(
     let clip = |o0: usize, o1: usize, extent: usize| -> (usize, usize) {
         let lo = (o0 * dims.stride) as isize - dims.pad as isize;
         let hi = ((o1 - 1) * dims.stride + dims.kernel) as isize - dims.pad as isize;
-        ((lo.max(0) as usize).min(extent), (hi.max(0) as usize).min(extent))
+        (
+            (lo.max(0) as usize).min(extent),
+            (hi.max(0) as usize).min(extent),
+        )
     };
     let (y0, y1) = clip(r0, r1, dims.in_h);
     let (x0, x1) = clip(c0, c1, dims.in_w);
@@ -46,8 +49,7 @@ pub fn fm_tile_spans(
     let mut spans = Vec::with_capacity(dims.in_c * (y1.saturating_sub(y0)));
     for c in 0..dims.in_c {
         for y in y0..y1 {
-            let addr = base
-                + (((c * dims.in_h + y) * dims.in_w + x0) as u64) * elem_bytes;
+            let addr = base + (((c * dims.in_h + y) * dims.in_w + x0) as u64) * elem_bytes;
             if row_bytes > 0 {
                 spans.push((addr, row_bytes));
             }
@@ -150,7 +152,10 @@ mod tests {
 
         assert!(w_eff > 55.0, "weights {w_eff}");
         assert!(fm_eff < w_eff / 3.0, "fm {fm_eff} vs weights {w_eff}");
-        assert!(fm_eff > 1.0, "fm bandwidth should not collapse to zero: {fm_eff}");
+        assert!(
+            fm_eff > 1.0,
+            "fm bandwidth should not collapse to zero: {fm_eff}"
+        );
     }
 
     #[test]

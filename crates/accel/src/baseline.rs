@@ -6,7 +6,7 @@ use crate::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
 use crate::tiling::{plan_conv, ConvDims, TileCaps};
-use crate::{AccelConfig, LayerReport, RunStats};
+use crate::{AccelConfig, AccelError, FaultStats, LayerReport, RunStats};
 
 /// The conventional fixed-buffer accelerator — the paper's comparison point.
 ///
@@ -63,7 +63,23 @@ impl BaselineAccelerator {
     }
 
     /// Simulates a full network, producing traffic and cycle statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed networks; see [`BaselineAccelerator::try_simulate`]
+    /// for the non-panicking variant.
     pub fn simulate(&self, net: &Network) -> RunStats {
+        self.try_simulate(net).expect("well-formed network")
+    }
+
+    /// Simulates a full network, surfacing model preconditions as typed
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotConv`] when a convolution layer's dimensions cannot
+    /// be derived from the network.
+    pub fn try_simulate(&self, net: &Network) -> Result<RunStats, AccelError> {
         let cfg = self.config;
         let fm_dram = DramModel::new(cfg.fm_dram);
         let w_dram = DramModel::new(cfg.weight_dram);
@@ -74,7 +90,7 @@ impl BaselineAccelerator {
         let mut total_macs = 0u64;
 
         for layer in &net.layers()[1..] {
-            let step = self.simulate_layer(net, layer);
+            let step = self.simulate_layer(net, layer)?;
             for (class, bytes) in &step.traffic {
                 ledger.record(layer.id.index(), *class, *bytes);
             }
@@ -112,7 +128,7 @@ impl BaselineAccelerator {
             });
         }
 
-        RunStats {
+        Ok(RunStats {
             network: net.name().to_string(),
             batch: net.input().out_shape.n,
             architecture: if self.fused_junctions {
@@ -125,18 +141,18 @@ impl BaselineAccelerator {
             ledger,
             layers,
             buffer_stats,
+            faults: FaultStats::default(),
             clock_hz: cfg.clock_hz,
-        }
+        })
     }
 
     /// Traffic and compute of one layer under baseline rules.
-    fn simulate_layer(&self, net: &Network, layer: &Layer) -> LayerStep {
+    fn simulate_layer(&self, net: &Network, layer: &Layer) -> Result<LayerStep, AccelError> {
         let cfg = self.config;
         let elem = cfg.elem_bytes;
         let lanes = cfg.pe_rows * cfg.pe_cols;
-        let operand_bytes = |operand: usize| -> u64 {
-            net.layer(layer.inputs[operand]).out_elems() as u64 * elem
-        };
+        let operand_bytes =
+            |operand: usize| -> u64 { net.layer(layer.inputs[operand]).out_elems() as u64 * elem };
         // Class of an operand read: non-adjacent producers are shortcut
         // re-reads; adjacent ones are ordinary input fetches.
         let read_class = |operand: usize| -> TrafficClass {
@@ -152,7 +168,9 @@ impl BaselineAccelerator {
         let compute_cycles = match layer.kind {
             LayerKind::Input => 0,
             LayerKind::Conv(_) => {
-                let dims = ConvDims::from_layer(net, layer).expect("conv layer");
+                let dims = ConvDims::from_layer(net, layer).ok_or_else(|| AccelError::NotConv {
+                    layer: layer.name.clone(),
+                })?;
                 let plan = plan_conv(dims, self.tile_caps(), cfg.pe_rows, cfg.pe_cols, elem);
                 traffic.push((read_class(0), plan.ifm_dram_bytes));
                 traffic.push((TrafficClass::WeightRead, plan.weight_dram_bytes));
@@ -231,10 +249,10 @@ impl BaselineAccelerator {
             }
         };
 
-        LayerStep {
+        Ok(LayerStep {
             traffic,
             compute_cycles,
-        }
+        })
     }
 }
 
@@ -278,7 +296,10 @@ mod tests {
         let net = zoo::toy_residual(1);
         let stats = accel().simulate(&net);
         let c1_bytes = net.layer_by_name("c1").unwrap().out_elems() as u64 * 2;
-        assert_eq!(stats.ledger.class_bytes(TrafficClass::ShortcutRead), c1_bytes);
+        assert_eq!(
+            stats.ledger.class_bytes(TrafficClass::ShortcutRead),
+            c1_bytes
+        );
     }
 
     #[test]
@@ -304,7 +325,10 @@ mod tests {
             .iter()
             .filter(|l| l.kind == "concat" && l.traffic.total() > 0)
             .count();
-        assert_eq!(costly, 8, "all eight fire concats pay in the unfused baseline");
+        assert_eq!(
+            costly, 8,
+            "all eight fire concats pay in the unfused baseline"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use sm_buffer::{BankPoolConfig, FixedBufferConfig};
 use sm_mem::DramConfig;
@@ -8,7 +8,7 @@ use sm_mem::DramConfig;
 /// The comparison in the paper is iso-capacity: the baseline's fixed IFM/OFM
 /// buffers and Shortcut Mining's bank pool are carved from the same
 /// feature-map SRAM budget; the weight buffer is identical in both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SramPlan {
     /// Feature-map SRAM organized as a bank pool (Shortcut Mining view).
     pub fm_pool: BankPoolConfig,
@@ -40,7 +40,7 @@ impl SramPlan {
 /// to its effective bandwidth for short, strided tile transfers. These
 /// values were calibrated so the baseline-vs-Shortcut-Mining comparison
 /// lands near the paper's headline numbers — see EXPERIMENTS.md.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AccelConfig {
     /// PE array rows — output channels computed in parallel (`Tm` unroll).
     pub pe_rows: usize,

@@ -76,7 +76,13 @@ pub fn conv_compute_cycles(dims: ConvDims, tm: usize, tn: usize) -> u64 {
 
 /// Compute cycles of a fully-connected layer on the same array (treated as a
 /// 1×1 convolution over a 1×1 spatial extent).
-pub fn fc_compute_cycles(batch: usize, in_features: usize, out_features: usize, tm: usize, tn: usize) -> u64 {
+pub fn fc_compute_cycles(
+    batch: usize,
+    in_features: usize,
+    out_features: usize,
+    tm: usize,
+    tn: usize,
+) -> u64 {
     batch as u64 * out_features.div_ceil(tm.max(1)) as u64 * in_features.div_ceil(tn.max(1)) as u64
 }
 
@@ -122,7 +128,10 @@ mod tests {
 
     #[test]
     fn ragged_channel_groups_round_up() {
-        let d = ConvDims { out_c: 65, ..dims() };
+        let d = ConvDims {
+            out_c: 65,
+            ..dims()
+        };
         let cycles = conv_compute_cycles(d, 64, 64);
         // 65 channels need two m-groups.
         assert_eq!(cycles, 2 * 2 * 56 * 56 * 9);

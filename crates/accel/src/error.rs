@@ -1,0 +1,34 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the accelerator simulators instead of panicking.
+///
+/// The `simulate` entry points historically asserted their preconditions
+/// with `expect`; the `try_simulate` variants surface the same conditions
+/// as typed errors so fault-injection harnesses can distinguish "the model
+/// rejected this input" from "the model crashed".
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// A convolution layer's dimensions could not be derived from the
+    /// network (shape/kind mismatch).
+    NotConv {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// A fusion chain came out empty — an internal scheduling bug.
+    EmptyChain,
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::NotConv { layer } => {
+                write!(f, "layer {layer:?} is not a derivable convolution")
+            }
+            AccelError::EmptyChain => write!(f, "fusion produced an empty chain"),
+        }
+    }
+}
+
+impl Error for AccelError {}

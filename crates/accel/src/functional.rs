@@ -51,8 +51,15 @@ pub fn tiled_conv2d(
                     for ci0 in (0..dims.in_c).step_by(plan.tn) {
                         let ci1 = (ci0 + plan.tn).min(dims.in_c);
                         accumulate_tile(
-                            input, weights, &mut out, params, n,
-                            (r0, r1), (c0, c1), (m0, m1), (ci0, ci1),
+                            input,
+                            weights,
+                            &mut out,
+                            params,
+                            n,
+                            (r0, r1),
+                            (c0, c1),
+                            (m0, m1),
+                            (ci0, ci1),
                         );
                     }
                 }
@@ -90,8 +97,8 @@ fn accumulate_tile(
                             if ix < 0 || ix as usize >= is.w {
                                 continue;
                             }
-                            acc += input.at(n, c, iy as usize, ix as usize)
-                                * weights.at(m, c, ky, kx);
+                            acc +=
+                                input.at(n, c, iy as usize, ix as usize) * weights.at(m, c, ky, kx);
                         }
                     }
                 }
@@ -108,7 +115,10 @@ mod tests {
     use sm_tensor::ops::{conv2d, conv_out_dim};
 
     fn check(dims: ConvDims, caps: TileCaps, seed: u64) {
-        let input = Tensor::random(Shape4::new(dims.batch, dims.in_c, dims.in_h, dims.in_w), seed);
+        let input = Tensor::random(
+            Shape4::new(dims.batch, dims.in_c, dims.in_h, dims.in_w),
+            seed,
+        );
         let weights = Tensor::random(
             Shape4::new(dims.out_c, dims.in_c, dims.kernel, dims.kernel),
             seed + 1,

@@ -25,7 +25,7 @@ use crate::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
 use crate::tiling::{plan_conv, ConvDims};
-use crate::{AccelConfig, BaselineAccelerator, LayerReport, RunStats};
+use crate::{AccelConfig, AccelError, BaselineAccelerator, FaultStats, LayerReport, RunStats};
 
 /// The fused-layer accelerator simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,7 +107,23 @@ impl FusedLayerAccelerator {
     }
 
     /// Simulates a full network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed networks; see
+    /// [`FusedLayerAccelerator::try_simulate`] for the non-panicking variant.
     pub fn simulate(&self, net: &Network) -> RunStats {
+        self.try_simulate(net).expect("well-formed network")
+    }
+
+    /// Simulates a full network, surfacing model preconditions as typed
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::NotConv`] when a convolution layer's dimensions cannot
+    /// be derived, [`AccelError::EmptyChain`] on an internal fusion bug.
+    pub fn try_simulate(&self, net: &Network) -> Result<RunStats, AccelError> {
         let cfg = self.config;
         let fm_dram = DramModel::new(cfg.fm_dram);
         let w_dram = DramModel::new(cfg.weight_dram);
@@ -119,8 +135,8 @@ impl FusedLayerAccelerator {
         let (mut total_cycles, mut total_macs) = (0u64, 0u64);
 
         for chain in self.fusion_chains(net) {
-            let head = *chain.first().expect("non-empty chain");
-            let tail = *chain.last().expect("non-empty chain");
+            let head = *chain.first().ok_or(AccelError::EmptyChain)?;
+            let tail = *chain.last().ok_or(AccelError::EmptyChain)?;
             for &lid in &chain {
                 let layer = net.layer(lid);
                 let elem = cfg.elem_bytes;
@@ -144,7 +160,11 @@ impl FusedLayerAccelerator {
                     };
                     let bytes = match (layer.kind, op) {
                         (LayerKind::Conv(_), 0) => {
-                            let dims = ConvDims::from_layer(net, layer).expect("conv");
+                            let dims = ConvDims::from_layer(net, layer).ok_or_else(|| {
+                                AccelError::NotConv {
+                                    layer: layer.name.clone(),
+                                }
+                            })?;
                             plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, elem).ifm_dram_bytes
                         }
                         _ => net.layer(pid).out_elems() as u64 * elem,
@@ -158,7 +178,11 @@ impl FusedLayerAccelerator {
                 // Weights and compute, per layer kind.
                 match layer.kind {
                     LayerKind::Conv(_) => {
-                        let dims = ConvDims::from_layer(net, layer).expect("conv");
+                        let dims = ConvDims::from_layer(net, layer).ok_or_else(|| {
+                            AccelError::NotConv {
+                                layer: layer.name.clone(),
+                            }
+                        })?;
                         let plan = plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, elem);
                         w_bytes = plan.weight_dram_bytes;
                         compute = conv_compute_cycles(dims, plan.tm, plan.tn);
@@ -227,7 +251,7 @@ impl FusedLayerAccelerator {
             }
         }
 
-        RunStats {
+        Ok(RunStats {
             network: net.name().to_string(),
             batch: net.input().out_shape.n,
             architecture: "fused-layer".to_string(),
@@ -236,8 +260,9 @@ impl FusedLayerAccelerator {
             ledger,
             layers,
             buffer_stats,
+            faults: FaultStats::default(),
             clock_hz: cfg.clock_hz,
-        }
+        })
     }
 }
 
@@ -252,7 +277,11 @@ mod tests {
 
     #[test]
     fn chains_cover_every_layer_exactly_once() {
-        for net in [zoo::resnet34(1), zoo::vgg16(1), zoo::squeezenet_v10_simple_bypass(1)] {
+        for net in [
+            zoo::resnet34(1),
+            zoo::vgg16(1),
+            zoo::squeezenet_v10_simple_bypass(1),
+        ] {
             let chains = accel().fusion_chains(&net);
             let mut ids: Vec<usize> = chains
                 .iter()
@@ -287,7 +316,10 @@ mod tests {
             .map(Vec::len)
             .max()
             .unwrap();
-        assert!(vgg_max >= 3, "vgg should fuse multi-layer chains: {vgg_max}");
+        assert!(
+            vgg_max >= 3,
+            "vgg should fuse multi-layer chains: {vgg_max}"
+        );
     }
 
     #[test]

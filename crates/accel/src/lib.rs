@@ -44,6 +44,7 @@
 
 mod baseline;
 mod config;
+mod error;
 mod fused;
 mod stats;
 
@@ -55,5 +56,6 @@ pub mod tiling;
 
 pub use baseline::BaselineAccelerator;
 pub use config::{AccelConfig, SramPlan};
+pub use error::AccelError;
 pub use fused::FusedLayerAccelerator;
-pub use stats::{LayerReport, RunStats};
+pub use stats::{FaultStats, LayerReport, RunStats};

@@ -5,6 +5,31 @@ use sm_mem::{ClassTotals, EnergyBreakdown, EnergyModel, Ledger};
 
 use crate::cycles::LayerCycles;
 
+/// Counters describing injected faults and the recovery work they caused.
+///
+/// All-zero for fault-free runs, so every architecture reports the same
+/// shape and degradation studies can diff runs field by field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct FaultStats {
+    /// Physical banks revoked from the pool.
+    pub banks_failed: usize,
+    /// Bytes evacuated to DRAM while revoking owned banks.
+    pub evicted_bytes: u64,
+    /// DRAM transfer attempts that failed and were retried.
+    pub dram_retries: u64,
+    /// Extra cycles spent stalled in retry backoff.
+    pub retry_stall_cycles: u64,
+    /// Residency-corruption events detected and repaired by re-fetch.
+    pub corruptions: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
 /// Per-layer outcome of a simulated run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct LayerReport {
@@ -41,6 +66,8 @@ pub struct RunStats {
     pub layers: Vec<LayerReport>,
     /// On-chip buffer activity.
     pub buffer_stats: BufferStats,
+    /// Injected-fault and recovery counters (all zero when fault-free).
+    pub faults: FaultStats,
     /// Fabric clock used for time-domain conversions.
     pub clock_hz: f64,
 }
@@ -109,6 +136,7 @@ mod tests {
             ledger,
             layers: Vec::new(),
             buffer_stats: BufferStats::default(),
+            faults: FaultStats::default(),
             clock_hz: 1e6,
         }
     }

@@ -94,9 +94,7 @@ impl ConvDims {
 
     /// Multiply-accumulates for the full batch.
     pub fn macs(&self) -> u64 {
-        self.batch as u64
-            * self.ofm_elems()
-            * (self.in_c * self.kernel * self.kernel) as u64
+        self.batch as u64 * self.ofm_elems() * (self.in_c * self.kernel * self.kernel) as u64
     }
 
     /// Input rows actually touched by output rows `[o0, o1)`, clipped to
@@ -242,7 +240,9 @@ pub fn plan_conv(
         let ifm_min = (tn * dims.kernel * dims.kernel) as u64 * elem_bytes;
         let ofm_min = tm as u64 * elem_bytes;
         let w_min = (tm * tn * dims.kernel * dims.kernel) as u64 * elem_bytes;
-        if (ifm_min <= caps.ifm_bytes && ofm_min <= caps.ofm_bytes && w_min <= caps.weight_tile_bytes)
+        if (ifm_min <= caps.ifm_bytes
+            && ofm_min <= caps.ofm_bytes
+            && w_min <= caps.weight_tile_bytes)
             || (tm == 1 && tn == 1)
         {
             break;
@@ -278,9 +278,7 @@ pub fn plan_conv(
             let halo = dims.halo_expanded_ifm_elems(tr_cand, tc_cand);
             let better = match best {
                 None => true,
-                Some((br, bc, bh)) => {
-                    halo < bh || (halo == bh && tr_cand * tc_cand > br * bc)
-                }
+                Some((br, bc, bh)) => halo < bh || (halo == bh && tr_cand * tc_cand > br * bc),
             };
             if better {
                 best = Some((tr_cand, tc_cand, halo));
@@ -311,7 +309,11 @@ pub fn plan_conv(
 
     // Input-stationary: inputs once (touched set when resident, halo-expanded
     // tiles otherwise), weights once if resident, else once per spatial tile.
-    let is_ifm = if ifm_resident { touched_bytes } else { halo_bytes } * batch;
+    let is_ifm = if ifm_resident {
+        touched_bytes
+    } else {
+        halo_bytes
+    } * batch;
     let is_w = if weights_resident {
         w_bytes
     } else {
@@ -325,7 +327,11 @@ pub fn plan_conv(
     } else {
         halo_bytes * m_groups * batch
     };
-    let ws_w = if weights_resident { w_bytes } else { w_bytes * batch };
+    let ws_w = if weights_resident {
+        w_bytes
+    } else {
+        w_bytes * batch
+    };
 
     let (order, ifm_dram_bytes, weight_dram_bytes) = if is_ifm + is_w <= ws_ifm + ws_w {
         (LoopOrder::InputStationary, is_ifm, is_w)
@@ -508,7 +514,12 @@ mod tests {
         let net = sm_model::zoo::resnet50(2);
         for layer in net.layers() {
             if let Some(d) = ConvDims::from_layer(&net, layer) {
-                assert_eq!(d.macs(), layer.macs(&net.in_shapes(layer.id)), "{}", layer.name);
+                assert_eq!(
+                    d.macs(),
+                    layer.macs(&net.in_shapes(layer.id)),
+                    "{}",
+                    layer.name
+                );
             }
         }
     }

@@ -9,12 +9,12 @@ use sm_tensor::ops::conv_out_dim;
 
 fn dims_strategy() -> impl Strategy<Value = ConvDims> {
     (
-        1usize..3,            // batch
-        1usize..96,           // in_c
-        4usize..64,           // in extent
-        1usize..128,          // out_c
+        1usize..3,   // batch
+        1usize..96,  // in_c
+        4usize..64,  // in extent
+        1usize..128, // out_c
         prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
-        1usize..3,            // stride
+        1usize..3, // stride
     )
         .prop_filter_map("valid conv geometry", |(batch, in_c, hw, out_c, k, s)| {
             let pad = k / 2;

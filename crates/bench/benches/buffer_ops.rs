@@ -24,7 +24,11 @@ fn bench_buffer_ops(c: &mut Criterion) {
         let mut flip = false;
         b.iter(|| {
             flip = !flip;
-            let role = if flip { BufferRole::Input } else { BufferRole::Output };
+            let role = if flip {
+                BufferRole::Input
+            } else {
+                BufferRole::Output
+            };
             bufs.relabel(black_box(id), role).unwrap();
         });
     });

@@ -13,7 +13,10 @@ fn bench_dse(c: &mut Criterion) {
     let caps: TileCaps = BaselineAccelerator::new(cfg).tile_caps();
     let mut g = c.benchmark_group("tiling_dse");
 
-    for (name, net) in [("resnet34", zoo::resnet34(1)), ("resnet152", zoo::resnet152(1))] {
+    for (name, net) in [
+        ("resnet34", zoo::resnet34(1)),
+        ("resnet152", zoo::resnet152(1)),
+    ] {
         let dims: Vec<ConvDims> = net
             .layers()
             .iter()
@@ -22,7 +25,13 @@ fn bench_dse(c: &mut Criterion) {
         g.bench_function(format!("plan_all_convs_{name}"), |b| {
             b.iter(|| {
                 for d in &dims {
-                    black_box(plan_conv(*d, caps, cfg.pe_rows, cfg.pe_cols, cfg.elem_bytes));
+                    black_box(plan_conv(
+                        *d,
+                        caps,
+                        cfg.pe_rows,
+                        cfg.pe_cols,
+                        cfg.elem_bytes,
+                    ));
                 }
             });
         });

@@ -1,0 +1,194 @@
+//! Graceful-degradation study: traffic and throughput as banks fail.
+//!
+//! Robustness extension beyond the paper: sweeps the fraction of physical
+//! pool banks revoked mid-run by a deterministic [`FaultPlan`] and records
+//! how the simulator degrades — spilling pinned shortcut data instead of
+//! crashing — on the abstract's two headline networks. Every run executes
+//! in checked mode, so an accounting violation would surface as a typed
+//! error in the report rather than a wrong number.
+
+use serde::Serialize;
+
+use sm_accel::AccelConfig;
+use sm_core::{FaultPlan, Policy, SimOptions};
+use sm_mem::TrafficClass;
+use sm_model::Network;
+
+use crate::report::{pct, Table};
+
+/// One point on a degradation curve.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosPoint {
+    /// Requested fraction of pool banks to fail.
+    pub fail_fraction: f64,
+    /// Banks actually revoked (rounded from the fraction).
+    pub banks_failed: usize,
+    /// Whether the run completed (vs. refusing with a typed error).
+    pub completed: bool,
+    /// Display form of the [`sm_core::SimError`] when not completed.
+    pub error: Option<String>,
+    /// Off-chip feature-map bytes (fault-recovery spills included).
+    pub fm_bytes: u64,
+    /// All off-chip bytes.
+    pub total_bytes: u64,
+    /// Bytes re-transferred after injected DRAM failures.
+    pub retry_bytes: u64,
+    /// Bytes evacuated to DRAM while revoking owned banks.
+    pub evicted_bytes: u64,
+    /// End-to-end cycles (0 when the run did not complete).
+    pub total_cycles: u64,
+    /// Sustained throughput in GOP/s (0 when the run did not complete).
+    pub throughput_gops: f64,
+}
+
+/// Degradation curve for one network under one fault configuration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosCurve {
+    /// Network name.
+    pub network: String,
+    /// Fault-plan seed shared by every point.
+    pub seed: u64,
+    /// Per-attempt DRAM failure probability shared by every point.
+    pub dram_fault_rate: f64,
+    /// One point per swept bank-failure fraction, in sweep order.
+    pub points: Vec<ChaosPoint>,
+}
+
+impl ChaosCurve {
+    /// Renders the curve as an aligned text table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("chaos degradation — {}", self.network),
+            &[
+                "banks failed",
+                "status",
+                "fm MiB",
+                "retry MiB",
+                "evicted MiB",
+                "GOP/s",
+            ],
+        );
+        let mib = |b: u64| format!("{:.2}", b as f64 / (1 << 20) as f64);
+        for p in &self.points {
+            t.row(&[
+                format!("{} ({})", pct(p.fail_fraction), p.banks_failed),
+                if p.completed {
+                    "ok".to_string()
+                } else {
+                    p.error.clone().unwrap_or_else(|| "error".into())
+                },
+                mib(p.fm_bytes),
+                mib(p.retry_bytes),
+                mib(p.evicted_bytes),
+                format!("{:.1}", p.throughput_gops),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps bank-failure fractions on one network, running Shortcut Mining in
+/// checked mode under a deterministic fault plan at each point.
+///
+/// `fractions` are clamped to `[0, 1]`; the first point is conventionally
+/// `0.0` so the curve anchors at fault-free behavior.
+pub fn chaos_degradation(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    dram_fault_rate: f64,
+) -> ChaosCurve {
+    let exp = sm_core::Experiment::new(config);
+    let points = fractions
+        .iter()
+        .map(|&f| {
+            let plan = FaultPlan::new(seed)
+                .with_bank_failures(f)
+                .with_dram_faults(dram_fault_rate);
+            let options = SimOptions::with_faults(plan);
+            match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+                Ok(run) => ChaosPoint {
+                    fail_fraction: f,
+                    banks_failed: run.stats.faults.banks_failed,
+                    completed: true,
+                    error: None,
+                    fm_bytes: run.stats.fm_traffic_bytes(),
+                    total_bytes: run.stats.total_traffic_bytes(),
+                    retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                    evicted_bytes: run.stats.faults.evicted_bytes,
+                    total_cycles: run.stats.total_cycles,
+                    throughput_gops: run.stats.throughput_gops(),
+                },
+                Err(e) => ChaosPoint {
+                    fail_fraction: f,
+                    banks_failed: 0,
+                    completed: false,
+                    error: Some(e.to_string()),
+                    fm_bytes: 0,
+                    total_bytes: 0,
+                    retry_bytes: 0,
+                    evicted_bytes: 0,
+                    total_cycles: 0,
+                    throughput_gops: 0.0,
+                },
+            }
+        })
+        .collect();
+    ChaosCurve {
+        network: net.name().to_string(),
+        seed,
+        dram_fault_rate,
+        points,
+    }
+}
+
+/// The default sweep: fault-free anchor plus five escalating fractions.
+pub const DEFAULT_FRACTIONS: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_model::zoo;
+
+    #[test]
+    fn curve_degrades_monotonically_in_traffic() {
+        let net = zoo::resnet_tiny(2, 1);
+        let curve = chaos_degradation(&net, AccelConfig::default(), 9, &DEFAULT_FRACTIONS, 0.0);
+        assert_eq!(curve.points.len(), DEFAULT_FRACTIONS.len());
+        let base = &curve.points[0];
+        assert!(base.completed && base.banks_failed == 0 && base.retry_bytes == 0);
+        for p in &curve.points[1..] {
+            if p.completed {
+                assert!(
+                    p.fm_bytes >= base.fm_bytes,
+                    "faults must never reduce traffic: {} < {}",
+                    p.fm_bytes,
+                    base.fm_bytes
+                );
+            } else {
+                assert!(p.error.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn dram_faults_show_up_as_retry_traffic() {
+        let net = zoo::toy_residual(1);
+        let curve = chaos_degradation(&net, AccelConfig::default(), 3, &[0.0, 0.0], 0.4);
+        // Same plan seed at both points: identical outcomes.
+        assert_eq!(curve.points[0], curve.points[1]);
+        let p = &curve.points[0];
+        assert!(p.completed, "{:?}", p.error);
+        assert!(p.retry_bytes > 0, "rate 0.4 must produce retries");
+    }
+
+    #[test]
+    fn table_renders_every_point() {
+        let net = zoo::toy_residual(1);
+        let curve = chaos_degradation(&net, AccelConfig::default(), 1, &[0.0, 0.5], 0.1);
+        let t = curve.table();
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("chaos degradation"));
+    }
+}

@@ -44,7 +44,13 @@ pub fn fig16_energy(config: AccelConfig, batch: usize) -> EnergyResult {
             pct(dram_red),
             pct(total_red),
         ]);
-        rows.push((net.name().to_string(), base_mj, mined_mj, dram_red, total_red));
+        rows.push((
+            net.name().to_string(),
+            base_mj,
+            mined_mj,
+            dram_red,
+            total_red,
+        ));
     }
     EnergyResult { rows, table }
 }

@@ -34,7 +34,13 @@ pub fn ext_new_workloads(config: AccelConfig, batch: usize) -> ExtSweepResult {
     let exp = Experiment::new(config);
     let mut table = Table::new(
         "Ext 1 - new workloads (inception / dense connectivity)",
-        &["network", "baseline (MiB)", "mined (MiB)", "reduction", "speedup"],
+        &[
+            "network",
+            "baseline (MiB)",
+            "mined (MiB)",
+            "reduction",
+            "speedup",
+        ],
     );
     let mut rows = Vec::new();
     for net in &nets {
@@ -109,7 +115,9 @@ pub fn ext_capacity_requirements(config: AccelConfig, batch: usize) -> Table {
             (bounds.peak_live_bytes / 1024).to_string(),
             pct(bounds.ideal_reduction),
             pct(bounds.configured_reduction),
-            cap95.map(|c| (c / 1024).to_string()).unwrap_or_else(|| "-".into()),
+            cap95
+                .map(|c| (c / 1024).to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     table
@@ -119,7 +127,12 @@ pub fn ext_capacity_requirements(config: AccelConfig, batch: usize) -> Table {
 pub fn ext_spill_order(base: AccelConfig, batch: usize) -> ExtSweepResult {
     let mut table = Table::new(
         "Ext 4 - spill-victim order under capacity pressure",
-        &["capacity (KiB)", "network", "farthest-first", "nearest-first"],
+        &[
+            "capacity (KiB)",
+            "network",
+            "farthest-first",
+            "nearest-first",
+        ],
     );
     let mut rows = Vec::new();
     for kib in [64u64, 128, 192] {
@@ -204,7 +217,13 @@ pub fn ext_pipeline_validation(config: AccelConfig, batch: usize) -> Table {
             let Some(dims) = ConvDims::from_layer(&net, layer) else {
                 continue;
             };
-            let plan = plan_conv(dims, caps, config.pe_rows, config.pe_cols, config.elem_bytes);
+            let plan = plan_conv(
+                dims,
+                caps,
+                config.pe_rows,
+                config.pe_cols,
+                config.elem_bytes,
+            );
             let compute = conv_compute_cycles(dims, plan.tm, plan.tn);
             let fm_cycles = fm.cycles_for_bytes(plan.ifm_dram_bytes + plan.ofm_dram_bytes);
             let w_cycles = w.cycles_for_bytes(plan.weight_dram_bytes);
@@ -305,7 +324,6 @@ pub fn ext_batch_schedule(config: AccelConfig) -> ExtSweepResult {
     ExtSweepResult { rows, table }
 }
 
-
 /// Ext-9: what bounds each layer? Distribution of the per-layer bottleneck
 /// (compute / feature-map channel / weight channel) before and after
 /// Shortcut Mining — the mechanism behind the throughput gain: layers move
@@ -315,7 +333,13 @@ pub fn ext_bound_breakdown(config: AccelConfig, batch: usize) -> ExtSweepResult 
     let exp = Experiment::new(config);
     let mut table = Table::new(
         "Ext 9 - per-layer bottleneck distribution (cycles-weighted)",
-        &["network", "architecture", "compute-bound", "fm-bound", "weight-bound"],
+        &[
+            "network",
+            "architecture",
+            "compute-bound",
+            "fm-bound",
+            "weight-bound",
+        ],
     );
     let mut rows = Vec::new();
     for net in zoo::evaluated_networks(batch) {
@@ -339,7 +363,12 @@ pub fn ext_bound_breakdown(config: AccelConfig, batch: usize) -> ExtSweepResult 
                 pct(frac(1)),
                 pct(frac(2)),
             ]);
-            rows.push((stats.architecture.clone(), net.name().to_string(), frac(1), frac(0)));
+            rows.push((
+                stats.architecture.clone(),
+                net.name().to_string(),
+                frac(1),
+                frac(0),
+            ));
         }
     }
     ExtSweepResult { rows, table }
@@ -378,7 +407,13 @@ pub fn ext_ddr_bandwidth(config: AccelConfig, batch: usize) -> ExtSweepResult {
             let Some(dims) = ConvDims::from_layer(&net, layer) else {
                 continue;
             };
-            let plan = plan_conv(dims, caps, config.pe_rows, config.pe_cols, config.elem_bytes);
+            let plan = plan_conv(
+                dims,
+                caps,
+                config.pe_rows,
+                config.pe_cols,
+                config.elem_bytes,
+            );
             let cost = fm_stream_cost(&mut channel, dims, &plan, config.elem_bytes);
             cycles += cost.cycles;
             bytes += cost.bytes_requested;
@@ -418,7 +453,10 @@ pub fn ext_bcu_overhead(config: AccelConfig) -> Table {
     let cost = BcuCost::estimate(config.sram.fm_pool, 8);
     table.row(&[
         "mapping-table entry".to_string(),
-        format!("{} bits (bank id, {} banks)", cost.entry_bits, config.sram.fm_pool.bank_count),
+        format!(
+            "{} bits (bank id, {} banks)",
+            cost.entry_bits, config.sram.fm_pool.bank_count
+        ),
     ]);
     table.row(&[
         "mapping table (8 live logical buffers)".to_string(),
@@ -438,7 +476,12 @@ pub fn ext_bcu_overhead(config: AccelConfig) -> Table {
     let beat: Vec<u64> = (0..32u64).map(|i| i * config.elem_bytes).collect();
     for (name, mapping) in [
         ("linear mapping", BankMapping::Linear),
-        ("word-interleaved mapping", BankMapping::Interleaved { word_bytes: config.elem_bytes }),
+        (
+            "word-interleaved mapping",
+            BankMapping::Interleaved {
+                word_bytes: config.elem_bytes,
+            },
+        ),
     ] {
         let t = BankTranslator::new(&banks, config.sram.fm_pool.bank_bytes, mapping);
         table.row(&[
@@ -458,7 +501,13 @@ pub fn ext_architecture_comparison(config: AccelConfig, batch: usize) -> ExtSwee
     let exp = Experiment::new(config);
     let mut table = Table::new(
         "Ext 12 - baseline vs layer fusion vs shortcut mining (FM traffic, MiB)",
-        &["network", "baseline", "fused-layer", "shortcut-mining", "SM vs fused"],
+        &[
+            "network",
+            "baseline",
+            "fused-layer",
+            "shortcut-mining",
+            "SM vs fused",
+        ],
     );
     let mut rows = Vec::new();
     let mut nets = zoo::evaluated_networks(batch);
@@ -468,7 +517,8 @@ pub fn ext_architecture_comparison(config: AccelConfig, batch: usize) -> ExtSwee
         let base = BaselineAccelerator::new(config).simulate(net);
         let fused = FusedLayerAccelerator::new(config).simulate(net);
         let mined = exp.run(net, Policy::shortcut_mining());
-        let sm_vs_fused = 1.0 - mined.fm_traffic_bytes() as f64 / fused.fm_traffic_bytes().max(1) as f64;
+        let sm_vs_fused =
+            1.0 - mined.fm_traffic_bytes() as f64 / fused.fm_traffic_bytes().max(1) as f64;
         table.row(&[
             net.name().to_string(),
             mb(base.fm_traffic_bytes()),
@@ -554,7 +604,9 @@ mod tests {
         let w = DramModel::new(cfg.weight_dram);
         let net = zoo::resnet34(1);
         for layer in net.layers() {
-            let Some(dims) = ConvDims::from_layer(&net, layer) else { continue };
+            let Some(dims) = ConvDims::from_layer(&net, layer) else {
+                continue;
+            };
             let plan = plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, cfg.elem_bytes);
             let compute = conv_compute_cycles(dims, plan.tm, plan.tn);
             let fm_cycles = fm.cycles_for_bytes(plan.ifm_dram_bytes + plan.ofm_dram_bytes);
@@ -592,7 +644,10 @@ mod tests {
         for (batch, name, total_ratio, w_ratio) in &r.rows {
             // Batched scheduling amortizes weights (ratio < batch).
             let b: f64 = batch.parse().unwrap();
-            assert!(*w_ratio <= b + 1e-9, "{name}@{batch}: weight ratio {w_ratio}");
+            assert!(
+                *w_ratio <= b + 1e-9,
+                "{name}@{batch}: weight ratio {w_ratio}"
+            );
             assert!(*total_ratio > 0.0);
         }
     }
@@ -636,7 +691,9 @@ mod tests {
     fn bcu_table_is_a_rounding_error() {
         let t = ext_bcu_overhead(AccelConfig::default());
         let rendered = t.render();
-        assert!(rendered.contains("0.049% of managed SRAM") || rendered.contains("% of managed SRAM"));
+        assert!(
+            rendered.contains("0.049% of managed SRAM") || rendered.contains("% of managed SRAM")
+        );
         assert!(rendered.contains("1 bank cycles"), "{rendered}");
     }
 
@@ -650,7 +707,10 @@ mod tests {
             if name != "vgg16" {
                 // On shortcut networks SM strictly beats fusion (fusion
                 // cannot retain shortcut data).
-                assert!(sm_ratio < fused_ratio, "{name}: {sm_ratio} !< {fused_ratio}");
+                assert!(
+                    sm_ratio < fused_ratio,
+                    "{name}: {sm_ratio} !< {fused_ratio}"
+                );
             }
         }
     }

@@ -23,7 +23,13 @@ pub fn fig10_traffic_reduction(config: AccelConfig, batch: usize) -> TrafficResu
     let exp = Experiment::new(config);
     let mut table = Table::new(
         "Fig 10 - off-chip feature-map traffic (baseline vs shortcut mining)",
-        &["network", "baseline (MiB)", "mined (MiB)", "reduction", "paper"],
+        &[
+            "network",
+            "baseline (MiB)",
+            "mined (MiB)",
+            "reduction",
+            "paper",
+        ],
     );
     let mut rows = Vec::new();
     for net in zoo::evaluated_networks(batch) {
@@ -84,7 +90,12 @@ pub fn fig11_traffic_breakdown(config: AccelConfig, batch: usize) -> BreakdownRe
             for class in TrafficClass::ALL {
                 let bytes = stats.ledger.class_bytes(class);
                 cells.push(mb(bytes));
-                rows.push((net.name().to_string(), stats.architecture.clone(), class, bytes));
+                rows.push((
+                    net.name().to_string(),
+                    stats.architecture.clone(),
+                    class,
+                    bytes,
+                ));
             }
             table.row(&cells);
         }
@@ -108,7 +119,13 @@ pub fn fig13_throughput(config: AccelConfig, batch: usize) -> ThroughputResult {
     let exp = Experiment::new(config);
     let mut table = Table::new(
         "Fig 13 - throughput (baseline vs shortcut mining)",
-        &["network", "baseline GOP/s", "mined GOP/s", "speedup", "img/s mined"],
+        &[
+            "network",
+            "baseline GOP/s",
+            "mined GOP/s",
+            "speedup",
+            "img/s mined",
+        ],
     );
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
@@ -135,7 +152,10 @@ pub fn fig13_throughput(config: AccelConfig, batch: usize) -> ThroughputResult {
         "geomean".to_string(),
         String::new(),
         String::new(),
-        format!("{geomean_speedup:.2}x (paper: {:.2}x)", paper::THROUGHPUT_GAIN),
+        format!(
+            "{geomean_speedup:.2}x (paper: {:.2}x)",
+            paper::THROUGHPUT_GAIN
+        ),
         String::new(),
     ]);
     ThroughputResult {

@@ -19,8 +19,10 @@
 //! | Ext. 3 | [`ext_capacity_requirements`] | capacity planning bounds |
 //! | Ext. 4 | [`ext_spill_order`] | spill-victim order ablation |
 //! | Ext. 5 | [`ext_datatype`] | 8/16/32-bit datatype sensitivity |
+//! | Ext. 6 | [`chaos_degradation`] | graceful degradation under injected faults |
 
 mod ablation;
+mod chaos;
 mod energy;
 mod extensions;
 mod headline;
@@ -30,13 +32,14 @@ mod retention;
 mod sensitivity;
 
 pub use ablation::{table3_ablation, AblationResult};
+pub use chaos::{chaos_degradation, ChaosCurve, ChaosPoint, DEFAULT_FRACTIONS};
+pub use energy::{fig16_energy, EnergyResult};
 pub use extensions::{
     ext_architecture_comparison, ext_bandwidth_sweep, ext_batch_schedule, ext_bcu_overhead,
     ext_bound_breakdown, ext_capacity_requirements, ext_datatype, ext_ddr_bandwidth,
     ext_new_workloads, ext_pipeline_validation, ext_share_vs_benefit, ext_spill_order,
     ExtSweepResult,
 };
-pub use energy::{fig16_energy, EnergyResult};
 pub use headline::{
     fig10_traffic_reduction, fig11_traffic_breakdown, fig13_throughput, BreakdownResult,
     ThroughputResult, TrafficResult,

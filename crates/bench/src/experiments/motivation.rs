@@ -20,7 +20,13 @@ pub struct ShareResult {
 pub fn fig2_shortcut_share(batch: usize) -> ShareResult {
     let mut table = Table::new(
         "Fig 2 - shortcut data share of total feature-map data",
-        &["network", "total FM (Melem)", "shortcut FM (Melem)", "share", "paper"],
+        &[
+            "network",
+            "total FM (Melem)",
+            "shortcut FM (Melem)",
+            "share",
+            "paper",
+        ],
     );
     let mut shares = Vec::new();
     for net in zoo::extended_networks(batch) {
@@ -76,7 +82,10 @@ pub fn table1_networks(batch: usize) -> Table {
 
 /// Table 2: the simulated accelerator configuration.
 pub fn table2_config(config: AccelConfig) -> Table {
-    let mut table = Table::new("Table 2 - accelerator configuration", &["parameter", "value"]);
+    let mut table = Table::new(
+        "Table 2 - accelerator configuration",
+        &["parameter", "value"],
+    );
     table.row(&[
         "PE array".to_string(),
         format!("{} x {} MACs", config.pe_rows, config.pe_cols),

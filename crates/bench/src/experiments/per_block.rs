@@ -51,7 +51,11 @@ pub fn fig12_per_block(config: AccelConfig, batch: usize) -> PerBlockResult {
     let mut rows = Vec::new();
     for block in order {
         let (b, m) = agg[&block];
-        let red = if b == 0 { 0.0 } else { 1.0 - m as f64 / b as f64 };
+        let red = if b == 0 {
+            0.0
+        } else {
+            1.0 - m as f64 / b as f64
+        };
         table.row(&[block.clone(), mb(b), mb(m), pct(red)]);
         rows.push((block, b, m));
     }
@@ -66,11 +70,7 @@ mod tests {
     fn every_block_is_never_worse_and_most_blocks_improve() {
         let r = fig12_per_block(AccelConfig::default(), 1);
         assert!(r.rows.len() > 16, "stem + 16 blocks + head");
-        let improved = r
-            .rows
-            .iter()
-            .filter(|(_, b, m)| m < b)
-            .count();
+        let improved = r.rows.iter().filter(|(_, b, m)| m < b).count();
         for (block, b, m) in &r.rows {
             assert!(m <= b, "{block}: {m} > {b}");
         }

@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 
 use sm_accel::AccelConfig;
 use sm_core::{Experiment, Policy};
-use sm_model::{ConvSpec, Network, NetworkBuilder};
 use sm_model::zoo;
+use sm_model::{ConvSpec, Network, NetworkBuilder};
 use sm_tensor::Shape4;
 
 use crate::report::{pct, Table};

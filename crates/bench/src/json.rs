@@ -21,6 +21,7 @@
 
 use std::fmt;
 
+use serde::de::{Deserialize, Value};
 use serde::ser::{self, Serialize};
 
 /// Error produced by JSON serialization.
@@ -51,6 +52,248 @@ pub fn to_json<T: Serialize>(value: &T) -> Result<String, JsonError> {
     let mut out = String::new();
     value.serialize(Json { out: &mut out })?;
     Ok(out)
+}
+
+/// Parses a JSON document and builds a `Deserialize` type from it — the
+/// read-back half of [`to_json`], so configuration documents round-trip.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed JSON, trailing input, or a value tree
+/// that does not match the target type's shape.
+///
+/// # Example
+///
+/// ```
+/// use sm_bench::json::{from_json, to_json};
+/// use sm_accel::AccelConfig;
+///
+/// let cfg = AccelConfig::default();
+/// let back: AccelConfig = from_json(&to_json(&cfg).unwrap()).unwrap();
+/// assert_eq!(back, cfg);
+/// ```
+pub fn from_json<T: Deserialize>(input: &str) -> Result<T, JsonError> {
+    let value = parse_value_document(input)?;
+    T::deserialize(&value).map_err(|e| JsonError(e.to_string()))
+}
+
+/// Parses a JSON document into the serde [`Value`] tree, requiring the
+/// whole input to be consumed (modulo trailing whitespace).
+pub fn parse_value_document(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent JSON parser (RFC 8259 subset matching what [`to_json`]
+/// emits; `\uXXXX` escapes outside the BMP surrogate range are supported).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => {
+                            return Err(JsonError(format!(
+                                "expected ',' or ']' at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => {
+                            return Err(JsonError(format!(
+                                "expected ',' or '}}' at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err(JsonError("unterminated string".into()));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = rest
+                        .get(1)
+                        .copied()
+                        .ok_or_else(|| JsonError("unterminated escape".into()))?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| JsonError("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                JsonError("surrogate \\u escape unsupported".into())
+                            })?);
+                        }
+                        other => {
+                            return Err(JsonError(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar, multi-byte sequences whole.
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| JsonError("invalid UTF-8".into()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number characters");
+        if fractional {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| JsonError(format!("invalid number {text:?}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| JsonError(format!("invalid number {text:?}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| JsonError(format!("invalid number {text:?}")))
+        }
+    }
 }
 
 fn push_escaped(out: &mut String, s: &str) {
@@ -251,11 +494,7 @@ impl<'a> ser::Serializer for Json<'a> {
         })
     }
 
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        len: usize,
-    ) -> Result<Compound<'a>, JsonError> {
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Compound<'a>, JsonError> {
         self.serialize_map(Some(len))
     }
 
@@ -453,7 +692,10 @@ mod tests {
         assert_eq!(to_json(&E::Unit).unwrap(), r#""Unit""#);
         assert_eq!(to_json(&E::Newtype(3)).unwrap(), r#"{"Newtype":3}"#);
         assert_eq!(to_json(&E::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
-        assert_eq!(to_json(&E::Struct { a: 5 }).unwrap(), r#"{"Struct":{"a":5}}"#);
+        assert_eq!(
+            to_json(&E::Struct { a: 5 }).unwrap(),
+            r#"{"Struct":{"a":5}}"#
+        );
     }
 
     #[test]
@@ -472,10 +714,53 @@ mod tests {
     }
 
     #[test]
+    fn parser_reads_back_what_the_serializer_writes() {
+        let n = Nested {
+            id: 7,
+            name: "q\"\\\n\tü".into(),
+            values: vec![1.5, -2.0, 3e-4],
+            flag: false,
+            missing: Some(-3),
+        };
+        let json = to_json(&n).unwrap();
+        let v = parse_value_document(&json).unwrap();
+        assert_eq!(v.field::<u64>("id").unwrap(), 7);
+        assert_eq!(v.field::<String>("name").unwrap(), "q\"\\\n\tü");
+        assert_eq!(
+            v.field::<Vec<f64>>("values").unwrap(),
+            vec![1.5, -2.0, 3e-4]
+        );
+        assert_eq!(v.field::<Option<i32>>("missing").unwrap(), Some(-3));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "1 2",
+            "nul",
+            "{\"a\":1}}",
+        ] {
+            assert!(parse_value_document(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse_value_document(r#""\u0061\u0041\u00e9""#).unwrap();
+        assert_eq!(v, Value::Str("aA\u{e9}".into()));
+    }
+
+    #[test]
     fn run_stats_serialize_end_to_end() {
         use sm_core::{Experiment, Policy};
         use sm_model::zoo;
-        let stats = Experiment::default_config().run(&zoo::toy_residual(1), Policy::shortcut_mining());
+        let stats =
+            Experiment::default_config().run(&zoo::toy_residual(1), Policy::shortcut_mining());
         let json = to_json(&stats).unwrap();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains(r#""architecture":"shortcut-mining""#));

@@ -1,4 +1,4 @@
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::{BufferError, LogicalBufferId};
 
@@ -7,7 +7,7 @@ use crate::{BufferError, LogicalBufferId};
 pub struct BankId(pub usize);
 
 /// Geometry of the on-chip bank pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BankPoolConfig {
     /// Number of physical banks.
     pub bank_count: usize,
@@ -49,6 +49,7 @@ pub struct BankPool {
     config: BankPoolConfig,
     owner: Vec<Option<LogicalBufferId>>,
     free: Vec<BankId>,
+    disabled: Vec<bool>,
 }
 
 impl BankPool {
@@ -59,6 +60,7 @@ impl BankPool {
             owner: vec![None; config.bank_count],
             // Popping from the tail hands out low-numbered banks first.
             free: (0..config.bank_count).rev().map(BankId).collect(),
+            disabled: vec![false; config.bank_count],
         }
     }
 
@@ -70,6 +72,20 @@ impl BankPool {
     /// Number of free banks.
     pub fn free_banks(&self) -> usize {
         self.free.len()
+    }
+
+    /// Number of banks marked faulty and removed from circulation.
+    pub fn disabled_banks(&self) -> usize {
+        self.disabled.iter().filter(|d| **d).count()
+    }
+
+    /// Whether a bank has been disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bank id is outside the pool.
+    pub fn is_disabled(&self, bank: BankId) -> bool {
+        self.disabled[bank.0]
     }
 
     /// Free capacity in bytes.
@@ -92,7 +108,11 @@ impl BankPool {
     ///
     /// [`BufferError::OutOfBanks`] when fewer than `count` banks are free;
     /// the pool is left unchanged in that case.
-    pub fn take(&mut self, count: usize, owner: LogicalBufferId) -> Result<Vec<BankId>, BufferError> {
+    pub fn take(
+        &mut self,
+        count: usize,
+        owner: LogicalBufferId,
+    ) -> Result<Vec<BankId>, BufferError> {
         if count > self.free.len() {
             return Err(BufferError::OutOfBanks {
                 requested: count,
@@ -131,18 +151,51 @@ impl BankPool {
         }
     }
 
-    /// Verifies the conservation invariant: every bank is free xor owned,
-    /// and the free list has no duplicates. Used by tests and debug asserts.
+    /// Marks a free bank as faulty, removing it from circulation for the
+    /// rest of the run. The bank must already be free: callers evacuate an
+    /// owned bank first (see `LogicalBuffers::revoke_bank`). Disabling an
+    /// already-disabled bank is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBank`] when the id is outside the pool,
+    /// [`BufferError::BankInUse`] when a logical buffer still owns the bank.
+    pub fn disable(&mut self, bank: BankId) -> Result<(), BufferError> {
+        if bank.0 >= self.config.bank_count {
+            return Err(BufferError::UnknownBank(bank));
+        }
+        if self.disabled[bank.0] {
+            return Ok(());
+        }
+        if self.owner[bank.0].is_some() {
+            return Err(BufferError::BankInUse(bank));
+        }
+        self.free.retain(|b| *b != bank);
+        self.disabled[bank.0] = true;
+        Ok(())
+    }
+
+    /// Verifies the conservation invariant: every bank is free xor owned
+    /// xor disabled, and the free list has no duplicates. Used by tests and
+    /// debug asserts.
     pub fn check_conservation(&self) -> bool {
         let mut seen = vec![false; self.config.bank_count];
         for b in &self.free {
-            if seen[b.0] || self.owner[b.0].is_some() {
+            if seen[b.0] || self.owner[b.0].is_some() || self.disabled[b.0] {
                 return false;
             }
             seen[b.0] = true;
         }
+        if self
+            .owner
+            .iter()
+            .zip(&self.disabled)
+            .any(|(o, d)| o.is_some() && *d)
+        {
+            return false;
+        }
         let owned = self.owner.iter().filter(|o| o.is_some()).count();
-        owned + self.free.len() == self.config.bank_count
+        owned + self.free.len() + self.disabled_banks() == self.config.bank_count
     }
 }
 
@@ -206,5 +259,38 @@ mod tests {
         let mut pool = BankPool::new(BankPoolConfig::new(4, 512));
         let banks = pool.take(2, OWNER_A).unwrap();
         assert_eq!(banks, vec![BankId(0), BankId(1)]);
+    }
+
+    #[test]
+    fn disabled_banks_leave_circulation() {
+        let mut pool = BankPool::new(BankPoolConfig::new(4, 512));
+        pool.disable(BankId(1)).unwrap();
+        pool.disable(BankId(1)).unwrap(); // idempotent
+        assert_eq!(pool.disabled_banks(), 1);
+        assert!(pool.is_disabled(BankId(1)));
+        assert_eq!(pool.free_banks(), 3);
+        assert!(pool.check_conservation());
+        // The disabled bank is never handed out again.
+        let banks = pool.take(3, OWNER_A).unwrap();
+        assert!(!banks.contains(&BankId(1)));
+        assert!(matches!(
+            pool.take(1, OWNER_B),
+            Err(BufferError::OutOfBanks { .. })
+        ));
+    }
+
+    #[test]
+    fn disable_rejects_owned_and_unknown_banks() {
+        let mut pool = BankPool::new(BankPoolConfig::new(2, 512));
+        let banks = pool.take(1, OWNER_A).unwrap();
+        assert_eq!(
+            pool.disable(banks[0]),
+            Err(BufferError::BankInUse(banks[0]))
+        );
+        assert_eq!(
+            pool.disable(BankId(9)),
+            Err(BufferError::UnknownBank(BankId(9)))
+        );
+        assert!(pool.check_conservation());
     }
 }

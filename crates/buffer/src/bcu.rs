@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn every_offset_maps_to_a_unique_location() {
         // Bijectivity over the whole capacity, both mappings.
-        for mapping in [BankMapping::Linear, BankMapping::Interleaved { word_bytes: 4 }] {
+        for mapping in [
+            BankMapping::Linear,
+            BankMapping::Interleaved { word_bytes: 4 },
+        ] {
             let b = banks(&[3, 1, 4]);
             let t = BankTranslator::new(&b, 64, mapping);
             let mut seen = std::collections::HashSet::new();
@@ -196,6 +199,10 @@ mod tests {
         assert_eq!(cost.table_entries, 256);
         assert_eq!(cost.table_bits, 1280);
         // Well under 0.1% of the SRAM it manages (1280 / 2.6M bits).
-        assert!(cost.overhead_fraction() < 1e-3, "{}", cost.overhead_fraction());
+        assert!(
+            cost.overhead_fraction() < 1e-3,
+            "{}",
+            cost.overhead_fraction()
+        );
     }
 }

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::LogicalBufferId;
+use crate::{BankId, LogicalBufferId};
 
 /// Error produced by bank-pool and logical-buffer operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +22,11 @@ pub enum BufferError {
     EmptyBuffer(LogicalBufferId),
     /// A zero-bank allocation was requested.
     ZeroAllocation,
+    /// The bank id is outside the pool.
+    UnknownBank(BankId),
+    /// The bank is owned by a logical buffer and cannot be disabled
+    /// without evacuation.
+    BankInUse(BankId),
 }
 
 impl fmt::Display for BufferError {
@@ -35,6 +40,10 @@ impl fmt::Display for BufferError {
             BufferError::Pinned(id) => write!(f, "logical buffer {id:?} is pinned"),
             BufferError::EmptyBuffer(id) => write!(f, "logical buffer {id:?} has no banks"),
             BufferError::ZeroAllocation => write!(f, "cannot allocate zero banks"),
+            BufferError::UnknownBank(bank) => write!(f, "bank {bank:?} is outside the pool"),
+            BufferError::BankInUse(bank) => {
+                write!(f, "bank {bank:?} is owned and must be evacuated first")
+            }
         }
     }
 }

@@ -52,5 +52,7 @@ pub mod bcu;
 pub use bank::{BankId, BankPool, BankPoolConfig};
 pub use error::BufferError;
 pub use fixed::FixedBufferConfig;
-pub use logical::{BufferRole, FmRegion, LogicalBuffer, LogicalBufferId, LogicalBuffers};
+pub use logical::{
+    BufferRole, FmRegion, LogicalBuffer, LogicalBufferId, LogicalBuffers, Revocation,
+};
 pub use stats::BufferStats;

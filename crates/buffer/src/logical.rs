@@ -51,9 +51,16 @@ impl FmRegion {
         self.resident_elems == self.total_elems
     }
 
-    /// Elements that live only in DRAM.
-    pub const fn missing_elems(&self) -> usize {
-        self.total_elems - self.resident_elems
+    /// Elements that live only in DRAM. A resident count above the total
+    /// is an accounting bug; debug builds assert, release builds saturate.
+    pub fn missing_elems(&self) -> usize {
+        debug_assert!(
+            self.resident_elems <= self.total_elems,
+            "resident {} exceeds total {}",
+            self.resident_elems,
+            self.total_elems
+        );
+        self.total_elems.saturating_sub(self.resident_elems)
     }
 }
 
@@ -99,6 +106,22 @@ impl LogicalBuffer {
     pub fn contents(&self) -> Option<FmRegion> {
         self.contents
     }
+}
+
+/// Outcome of revoking one physical bank from service (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Revocation {
+    /// The bank was free or already out of service; no data moved.
+    WasFree,
+    /// The bank was owned: the owner shrank by one bank and evicted the
+    /// bytes that no longer fit. The caller is responsible for sending the
+    /// evicted bytes to DRAM and trimming any content descriptor.
+    Evicted {
+        /// Buffer that owned the revoked bank.
+        owner: LogicalBufferId,
+        /// Stored bytes that overflowed the shrunken capacity.
+        evicted_bytes: u64,
+    },
 }
 
 /// The paper's logical-buffer architecture: dynamic mapping from logical
@@ -173,7 +196,11 @@ impl LogicalBuffers {
     ///
     /// [`BufferError::ZeroAllocation`] for zero banks,
     /// [`BufferError::OutOfBanks`] when the pool cannot satisfy the request.
-    pub fn alloc(&mut self, role: BufferRole, banks: usize) -> Result<LogicalBufferId, BufferError> {
+    pub fn alloc(
+        &mut self,
+        role: BufferRole,
+        banks: usize,
+    ) -> Result<LogicalBufferId, BufferError> {
         if banks == 0 {
             return Err(BufferError::ZeroAllocation);
         }
@@ -196,7 +223,11 @@ impl LogicalBuffers {
     /// # Errors
     ///
     /// Same conditions as [`LogicalBuffers::alloc`].
-    pub fn alloc_bytes(&mut self, role: BufferRole, bytes: u64) -> Result<LogicalBufferId, BufferError> {
+    pub fn alloc_bytes(
+        &mut self,
+        role: BufferRole,
+        bytes: u64,
+    ) -> Result<LogicalBufferId, BufferError> {
         let banks = self.config().banks_for_bytes(bytes).max(1);
         self.alloc(role, banks)
     }
@@ -290,7 +321,11 @@ impl LogicalBuffers {
     /// # Errors
     ///
     /// [`BufferError::UnknownBuffer`] for stale handles.
-    pub fn set_contents(&mut self, id: LogicalBufferId, region: Option<FmRegion>) -> Result<(), BufferError> {
+    pub fn set_contents(
+        &mut self,
+        id: LogicalBufferId,
+        region: Option<FmRegion>,
+    ) -> Result<(), BufferError> {
         self.buffer_mut(id)?.contents = region;
         Ok(())
     }
@@ -340,7 +375,11 @@ impl LogicalBuffers {
     /// [`BufferError::UnknownBuffer`] when either handle is stale, and the
     /// handles must differ ([`BufferError::UnknownBuffer`] on `src` is
     /// returned for a self-merge).
-    pub fn absorb(&mut self, dst: LogicalBufferId, src: LogicalBufferId) -> Result<(), BufferError> {
+    pub fn absorb(
+        &mut self,
+        dst: LogicalBufferId,
+        src: LogicalBufferId,
+    ) -> Result<(), BufferError> {
         if dst == src {
             return Err(BufferError::UnknownBuffer(src));
         }
@@ -370,6 +409,59 @@ impl LogicalBuffers {
             .banks
             .extend(taken);
         Ok(())
+    }
+
+    /// Number of banks revoked from the pool so far.
+    pub fn disabled_banks(&self) -> usize {
+        self.pool.disabled_banks()
+    }
+
+    /// Permanently removes one physical bank from service, evacuating it
+    /// first if a logical buffer owns it — the graceful-degradation path
+    /// for injected bank failures. Pinned shortcut buffers are evacuated
+    /// like any other owner: shortcut storing degrades to spilling rather
+    /// than erroring.
+    ///
+    /// Revoking an already-disabled bank is a no-op reported as
+    /// [`Revocation::WasFree`].
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::UnknownBank`] when the id is outside the pool.
+    pub fn revoke_bank(&mut self, bank: BankId) -> Result<Revocation, BufferError> {
+        if bank.0 >= self.config().bank_count {
+            return Err(BufferError::UnknownBank(bank));
+        }
+        match self.pool.owner(bank) {
+            None => {
+                self.pool.disable(bank)?;
+                Ok(Revocation::WasFree)
+            }
+            Some(owner) => {
+                let bank_bytes = self.config().bank_bytes;
+                let buf = self.buffer_mut(owner)?;
+                let pos = buf
+                    .banks
+                    .iter()
+                    .position(|&b| b == bank)
+                    .ok_or(BufferError::UnknownBank(bank))?;
+                // Conceptually the surviving data is compacted onto the
+                // remaining banks; only the tail overflow is evicted.
+                let last = buf.banks.len() - 1;
+                buf.banks.swap(pos, last);
+                buf.banks.pop();
+                let new_cap = buf.banks.len() as u64 * bank_bytes;
+                let evicted = buf.used_bytes.saturating_sub(new_cap);
+                buf.used_bytes -= evicted;
+                self.pool.give_back(&[bank]);
+                self.pool.disable(bank)?;
+                self.stats.spills += 1;
+                Ok(Revocation::Evicted {
+                    owner,
+                    evicted_bytes: evicted,
+                })
+            }
+        }
     }
 
     /// Verifies pool conservation plus buffer/pool ownership agreement.
@@ -412,7 +504,10 @@ mod tests {
     #[test]
     fn zero_alloc_is_rejected_but_zero_bytes_gets_one_bank() {
         let mut b = mk();
-        assert_eq!(b.alloc(BufferRole::Input, 0), Err(BufferError::ZeroAllocation));
+        assert_eq!(
+            b.alloc(BufferRole::Input, 0),
+            Err(BufferError::ZeroAllocation)
+        );
         let id = b.alloc_bytes(BufferRole::Input, 0).unwrap();
         assert_eq!(b.buffer(id).unwrap().banks().len(), 1);
     }
@@ -439,7 +534,10 @@ mod tests {
         let id = b.alloc(BufferRole::Input, 1).unwrap();
         b.free(id).unwrap();
         assert_eq!(b.free(id), Err(BufferError::UnknownBuffer(id)));
-        assert_eq!(b.relabel(id, BufferRole::Output), Err(BufferError::UnknownBuffer(id)));
+        assert_eq!(
+            b.relabel(id, BufferRole::Output),
+            Err(BufferError::UnknownBuffer(id))
+        );
         // New allocations never reuse the freed handle.
         let id2 = b.alloc(BufferRole::Input, 1).unwrap();
         assert_ne!(id, id2);
@@ -517,6 +615,96 @@ mod tests {
         b.read(id, 512).unwrap();
         assert_eq!(b.stats().sram_bytes_written, 5000);
         assert_eq!(b.stats().sram_bytes_read, 512);
+    }
+
+    #[test]
+    fn spill_and_relabel_edge_cases_error_without_panicking() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Shortcut, 1).unwrap();
+        b.pin(id).unwrap();
+        // Spilling a pinned shortcut is the degradation mechanism — it
+        // succeeds bank by bank until nothing is left.
+        let (_, evicted) = b.spill_bank(id).unwrap();
+        assert_eq!(evicted, 0);
+        assert_eq!(b.spill_bank(id), Err(BufferError::EmptyBuffer(id)));
+        // A pinned, empty buffer still cannot be freed until unpinned.
+        assert_eq!(b.free(id), Err(BufferError::Pinned(id)));
+        b.unpin(id).unwrap();
+        b.free(id).unwrap();
+        // Freed handles: every mutation is a typed error, never a panic.
+        assert_eq!(b.spill_bank(id), Err(BufferError::UnknownBuffer(id)));
+        assert_eq!(
+            b.relabel(id, BufferRole::Input),
+            Err(BufferError::UnknownBuffer(id))
+        );
+        assert_eq!(b.pin(id), Err(BufferError::UnknownBuffer(id)));
+        assert!(b.check_invariants());
+    }
+
+    #[test]
+    fn revoke_free_bank_disables_it() {
+        let mut b = mk();
+        assert_eq!(b.revoke_bank(BankId(3)), Ok(Revocation::WasFree));
+        // Idempotent on an already-disabled bank.
+        assert_eq!(b.revoke_bank(BankId(3)), Ok(Revocation::WasFree));
+        assert_eq!(b.disabled_banks(), 1);
+        assert_eq!(b.free_banks(), 7);
+        assert_eq!(
+            b.revoke_bank(BankId(99)),
+            Err(BufferError::UnknownBank(BankId(99)))
+        );
+        assert!(b.check_invariants());
+    }
+
+    #[test]
+    fn revoke_owned_bank_evacuates_pinned_shortcut() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Shortcut, 3).unwrap();
+        b.pin(id).unwrap();
+        b.write(id, 3000).unwrap();
+        let bank = b.buffer(id).unwrap().banks()[1];
+        let r = b.revoke_bank(bank).unwrap();
+        assert_eq!(
+            r,
+            Revocation::Evicted {
+                owner: id,
+                evicted_bytes: 3000 - 2048,
+            }
+        );
+        let buf = b.buffer(id).unwrap();
+        assert!(buf.is_pinned());
+        assert_eq!(buf.banks().len(), 2);
+        assert_eq!(buf.used_bytes(), 2048);
+        assert!(!buf.banks().contains(&bank));
+        assert_eq!(b.disabled_banks(), 1);
+        assert!(b.check_invariants());
+        // The revoked bank never comes back: 8 banks - 3 owned... after
+        // revocation 2 owned + 1 disabled leaves 5 allocatable.
+        assert!(matches!(
+            b.alloc(BufferRole::Output, 6),
+            Err(BufferError::OutOfBanks { .. })
+        ));
+        assert!(b.alloc(BufferRole::Output, 5).is_ok());
+    }
+
+    #[test]
+    fn revoke_last_bank_leaves_live_empty_buffer() {
+        let mut b = mk();
+        let id = b.alloc(BufferRole::Input, 1).unwrap();
+        b.write(id, 100).unwrap();
+        let bank = b.buffer(id).unwrap().banks()[0];
+        let r = b.revoke_bank(bank).unwrap();
+        assert_eq!(
+            r,
+            Revocation::Evicted {
+                owner: id,
+                evicted_bytes: 100,
+            }
+        );
+        assert_eq!(b.buffer(id).unwrap().banks().len(), 0);
+        assert_eq!(b.spill_bank(id), Err(BufferError::EmptyBuffer(id)));
+        b.free(id).unwrap();
+        assert!(b.check_invariants());
     }
 
     #[test]

@@ -119,7 +119,12 @@ mod tests {
                 "{}: {b:?}",
                 net.name()
             );
-            assert!(b.ideal_reduction > 0.9, "{}: {}", net.name(), b.ideal_reduction);
+            assert!(
+                b.ideal_reduction > 0.9,
+                "{}: {}",
+                net.name(),
+                b.ideal_reduction
+            );
             assert!(b.peak_live_bytes > 0);
         }
     }
@@ -139,8 +144,8 @@ mod tests {
     fn capacity_bisection_finds_a_sufficient_pool() {
         let cfg = AccelConfig::default();
         let net = zoo::resnet_tiny(2, 1);
-        let cap = capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95)
-            .expect("achievable");
+        let cap =
+            capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95).expect("achievable");
         let at_cap = reduction_at_capacity(&net, cfg, Policy::shortcut_mining(), cap);
         let ideal = reduction_at_capacity(&net, cfg, Policy::shortcut_mining(), 1 << 30);
         assert!(at_cap >= 0.95 * ideal - 1e-9, "{at_cap} vs {ideal}");

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use sm_accel::AccelError;
+use sm_buffer::BufferError;
+use sm_mem::TrafficClass;
+
+/// Typed error for a Shortcut Mining simulation.
+///
+/// The hot path (`ShortcutMiner::try_simulate` and everything under it)
+/// returns these instead of panicking, so fault-injection harnesses can
+/// tell a graceful refusal apart from a crash.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A logical-buffer operation failed.
+    Buffer(BufferError),
+    /// The shared accelerator substrate rejected the network.
+    Accel(AccelError),
+    /// A DRAM transfer kept failing past the fault plan's retry budget.
+    RetryExhausted {
+        /// Schedule index of the layer whose transfer failed.
+        layer: usize,
+        /// Traffic class of the doomed transfer.
+        class: TrafficClass,
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+    },
+    /// A checked-mode invariant was violated after a layer.
+    Invariant {
+        /// Schedule index of the layer after which the check failed.
+        layer: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Buffer(e) => write!(f, "buffer error: {e}"),
+            SimError::Accel(e) => write!(f, "accelerator error: {e}"),
+            SimError::RetryExhausted {
+                layer,
+                class,
+                attempts,
+            } => write!(
+                f,
+                "layer {layer}: {class} transfer failed after {attempts} attempts"
+            ),
+            SimError::Invariant { layer, message } => {
+                write!(f, "invariant violated after layer {layer}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Buffer(e) => Some(e),
+            SimError::Accel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BufferError> for SimError {
+    fn from(e: BufferError) -> Self {
+        SimError::Buffer(e)
+    }
+}
+
+impl From<AccelError> for SimError {
+    fn from(e: AccelError) -> Self {
+        SimError::Accel(e)
+    }
+}

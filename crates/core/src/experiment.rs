@@ -4,7 +4,7 @@ use sm_accel::{AccelConfig, BaselineAccelerator, RunStats};
 use sm_mem::EnergyModel;
 use sm_model::Network;
 
-use crate::{Policy, ShortcutMiner, SmRun};
+use crate::{Policy, ShortcutMiner, SimError, SimOptions, SmRun};
 
 /// One-call comparison harness: runs a network under any [`Policy`] on a
 /// shared hardware configuration, dispatching to the baseline accelerator or
@@ -59,6 +59,23 @@ impl Experiment {
     /// Panics when `policy` is the baseline (no trace exists for it).
     pub fn run_traced(&self, net: &Network, policy: Policy) -> SmRun {
         ShortcutMiner::new(self.config, policy).simulate(net)
+    }
+
+    /// Runs `net` under a logical-buffer policy with explicit
+    /// [`SimOptions`] — checked-mode invariants and/or a fault plan —
+    /// returning a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulation (retry budget
+    /// exhausted, invariant violation, buffer misuse).
+    pub fn run_checked(
+        &self,
+        net: &Network,
+        policy: Policy,
+        options: &SimOptions,
+    ) -> Result<SmRun, SimError> {
+        ShortcutMiner::new(self.config, policy).try_simulate(net, options)
     }
 
     /// Runs the paper's headline comparison: baseline vs full Shortcut
@@ -134,10 +151,7 @@ mod tests {
         let exp = Experiment::default_config();
         let net = zoo::toy_residual(1);
         assert_eq!(exp.run(&net, Policy::baseline()).architecture, "baseline");
-        assert_eq!(
-            exp.run(&net, Policy::swap_only()).architecture,
-            "swap-only"
-        );
+        assert_eq!(exp.run(&net, Policy::swap_only()).architecture, "swap-only");
         let traced = exp.run_traced(&net, Policy::shortcut_mining());
         assert!(!traced.trace.events.is_empty());
     }

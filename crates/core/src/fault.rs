@@ -1,0 +1,300 @@
+//! Deterministic fault injection for the Shortcut Mining simulator.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong — banks failing, DRAM
+//! transfers dropping, residency metadata corrupting — and a
+//! [`FaultInjector`] turns the plan into a reproducible event stream: the
+//! same plan and seed always produce the same failures in the same order,
+//! so a faulty run's `RunStats` serializes byte-identically across
+//! repetitions. The simulator responds by degrading gracefully (evacuating
+//! revoked banks, retrying transfers with bounded backoff, re-fetching
+//! corrupted residency from DRAM) rather than crashing; see
+//! `ShortcutMiner::try_simulate`.
+
+use serde::Serialize;
+
+use sm_buffer::BankId;
+
+/// Deterministic pseudo-random source (SplitMix64), kept private to this
+/// module so the fault stream never depends on an external RNG's version.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 for a zero bound.
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Modulo bias is irrelevant at fault-injection scales.
+            self.next_u64() % bound
+        }
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53-bit uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// A seedable, serializable description of the faults to inject into one
+/// simulation run. All rates are probabilities in `[0, 1]`; the default
+/// plan injects nothing.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Fraction of the pool's physical banks to revoke over the run.
+    /// Failures are spread across layer boundaries (including before the
+    /// first layer).
+    pub bank_fail_fraction: f64,
+    /// Per-attempt probability that a DRAM transfer fails and must retry.
+    pub dram_fault_rate: f64,
+    /// Retries allowed per transfer before the run aborts with
+    /// `SimError::RetryExhausted`.
+    pub max_retries: u32,
+    /// Stall cycles charged for the first retry of a transfer; each further
+    /// retry backs off linearly (second retry stalls twice this, and so on).
+    pub retry_stall_cycles: u64,
+    /// Per-layer probability that one live feature map's residency
+    /// metadata is corrupted (the DRAM-backed part of its on-chip prefix
+    /// is invalidated and later re-fetched).
+    pub corruption_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            bank_fail_fraction: 0.0,
+            dram_fault_rate: 0.0,
+            max_retries: 3,
+            retry_stall_cycles: 64,
+            corruption_rate: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An inject-nothing plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the fraction of pool banks that fail over the run.
+    pub fn with_bank_failures(mut self, fraction: f64) -> Self {
+        self.bank_fail_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-attempt DRAM failure probability.
+    pub fn with_dram_faults(mut self, rate: f64) -> Self {
+        self.dram_fault_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the retry budget and first-retry stall.
+    pub fn with_retry_budget(mut self, max_retries: u32, stall_cycles: u64) -> Self {
+        self.max_retries = max_retries;
+        self.retry_stall_cycles = stall_cycles;
+        self
+    }
+
+    /// Sets the per-layer residency-corruption probability.
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.corruption_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.bank_fail_fraction > 0.0 || self.dram_fault_rate > 0.0 || self.corruption_rate > 0.0
+    }
+}
+
+/// The per-run fault event source instantiated from a [`FaultPlan`].
+///
+/// Construction fixes the bank-failure schedule; the remaining draws
+/// (transfer failures, corruption picks) are consumed in simulation order,
+/// which is itself deterministic, so the whole stream reproduces exactly.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SplitMix64,
+    dram_fault_rate: f64,
+    max_retries: u32,
+    retry_stall_cycles: u64,
+    corruption_rate: f64,
+    /// `(layer, bank)` revocations, sorted by layer; consumed front to back.
+    schedule: Vec<(usize, BankId)>,
+    next_failure: usize,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a run over `layer_count` schedulable layers
+    /// (schedule indices `1..=layer_count`) and a pool of `bank_count`
+    /// banks.
+    pub fn new(plan: &FaultPlan, bank_count: usize, layer_count: usize) -> Self {
+        let mut rng = SplitMix64::new(plan.seed);
+        let to_fail =
+            ((plan.bank_fail_fraction * bank_count as f64).round() as usize).min(bank_count);
+        // Choose distinct victim banks, then spread them over the layer
+        // boundaries (layer 1 = before any work happens).
+        let mut victims: Vec<usize> = (0..bank_count).collect();
+        for i in 0..to_fail {
+            let j = i + rng.below((bank_count - i) as u64) as usize;
+            victims.swap(i, j);
+        }
+        let mut schedule: Vec<(usize, BankId)> = victims[..to_fail]
+            .iter()
+            .map(|&bank| {
+                let layer = 1 + rng.below(layer_count.max(1) as u64) as usize;
+                (layer, BankId(bank))
+            })
+            .collect();
+        schedule.sort();
+        FaultInjector {
+            rng,
+            dram_fault_rate: plan.dram_fault_rate,
+            max_retries: plan.max_retries,
+            retry_stall_cycles: plan.retry_stall_cycles,
+            corruption_rate: plan.corruption_rate,
+            schedule,
+            next_failure: 0,
+        }
+    }
+
+    /// Banks scheduled to fail at (or before) `layer` that have not been
+    /// reported yet. Each bank is reported exactly once.
+    pub fn banks_failing_at(&mut self, layer: usize) -> Vec<BankId> {
+        let mut out = Vec::new();
+        while self.next_failure < self.schedule.len() && self.schedule[self.next_failure].0 <= layer
+        {
+            out.push(self.schedule[self.next_failure].1);
+            self.next_failure += 1;
+        }
+        out
+    }
+
+    /// Total banks the plan will fail over the whole run.
+    pub fn planned_bank_failures(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Plays out one DRAM transfer: the number of failed attempts before
+    /// success (`Ok`) or `Err(attempts)` when the retry budget is spent.
+    /// Also returns the stall cycles accumulated by linear backoff.
+    pub fn transfer_attempts(&mut self) -> Result<(u32, u64), (u32, u64)> {
+        let mut failed = 0u32;
+        let mut stall = 0u64;
+        while self.rng.chance(self.dram_fault_rate) {
+            failed += 1;
+            stall = stall.saturating_add(self.retry_stall_cycles.saturating_mul(failed as u64));
+            if failed > self.max_retries {
+                return Err((failed, stall));
+            }
+        }
+        Ok((failed, stall))
+    }
+
+    /// Whether this layer boundary corrupts a feature map's residency.
+    pub fn corruption_strikes(&mut self) -> bool {
+        self.rng.chance(self.corruption_rate)
+    }
+
+    /// Picks an index below `len` for corruption targeting.
+    pub fn pick(&mut self, len: usize) -> usize {
+        self.rng.below(len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(42)
+            .with_bank_failures(0.5)
+            .with_dram_faults(0.3)
+            .with_corruption(0.2)
+    }
+
+    #[test]
+    fn same_seed_gives_identical_streams() {
+        let mut a = FaultInjector::new(&plan(), 16, 10);
+        let mut b = FaultInjector::new(&plan(), 16, 10);
+        for layer in 1..=10 {
+            assert_eq!(a.banks_failing_at(layer), b.banks_failing_at(layer));
+            assert_eq!(a.corruption_strikes(), b.corruption_strikes());
+        }
+        for _ in 0..100 {
+            assert_eq!(a.transfer_attempts(), b.transfer_attempts());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(&plan(), 64, 10);
+        let other = FaultPlan { seed: 43, ..plan() };
+        let mut b = FaultInjector::new(&other, 64, 10);
+        let sa: Vec<_> = (1..=10).flat_map(|l| a.banks_failing_at(l)).collect();
+        let sb: Vec<_> = (1..=10).flat_map(|l| b.banks_failing_at(l)).collect();
+        assert_eq!(sa.len(), sb.len(), "same failure count either way");
+        assert_ne!(sa, sb, "schedules should differ across seeds");
+    }
+
+    #[test]
+    fn bank_failures_are_distinct_and_match_fraction() {
+        let mut inj = FaultInjector::new(&plan(), 20, 5);
+        assert_eq!(inj.planned_bank_failures(), 10);
+        let mut banks: Vec<_> = (1..=5).flat_map(|l| inj.banks_failing_at(l)).collect();
+        assert_eq!(banks.len(), 10);
+        banks.sort();
+        banks.dedup();
+        assert_eq!(banks.len(), 10, "no bank fails twice");
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let quiet = FaultPlan::new(7);
+        assert!(!quiet.is_active());
+        let mut inj = FaultInjector::new(&quiet, 32, 100);
+        assert_eq!(inj.planned_bank_failures(), 0);
+        assert!(!inj.corruption_strikes());
+        assert_eq!(inj.transfer_attempts(), Ok((0, 0)));
+    }
+
+    #[test]
+    fn retry_budget_is_enforced() {
+        let hostile = FaultPlan::new(1)
+            .with_dram_faults(1.0)
+            .with_retry_budget(2, 10);
+        let mut inj = FaultInjector::new(&hostile, 8, 4);
+        // Rate 1.0 always fails: budget of 2 retries means 3 failed
+        // attempts, stalls 10 + 20 + 30.
+        assert_eq!(inj.transfer_attempts(), Err((3, 60)));
+    }
+}

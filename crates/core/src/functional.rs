@@ -22,12 +22,14 @@ use sm_model::exec::GoldenExecutor;
 use sm_model::{LayerId, Network};
 use sm_tensor::Tensor;
 
-use crate::{Policy, ShortcutMiner, TraceEvent};
+use crate::{Policy, ShortcutMiner, SimError, SimOptions, TraceEvent};
 
 /// Violation found while replaying a trace at value level.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum CheckError {
+    /// The simulation itself failed before producing a trace to check.
+    Sim(SimError),
     /// `resident + dram_suffix < total`: some elements live nowhere.
     CoverageHole {
         /// Feature map with the hole.
@@ -60,6 +62,7 @@ pub enum CheckError {
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CheckError::Sim(e) => write!(f, "simulation failed: {e}"),
             CheckError::CoverageHole { fm, covered, total } => {
                 write!(f, "fm {fm}: only {covered} of {total} elements reachable")
             }
@@ -79,7 +82,20 @@ impl fmt::Display for CheckError {
     }
 }
 
-impl Error for CheckError {}
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CheckError {
+    fn from(e: SimError) -> Self {
+        CheckError::Sim(e)
+    }
+}
 
 /// Value-level state of one feature map during replay.
 struct FmState {
@@ -152,9 +168,24 @@ pub fn verify_value_preservation(
     policy: Policy,
     seed: u64,
 ) -> Result<(), CheckError> {
+    verify_value_preservation_with(net, config, policy, seed, &SimOptions::default())
+}
+
+/// Like [`verify_value_preservation`] but simulating under explicit
+/// [`SimOptions`] — in particular a fault plan. A faulty schedule must still
+/// be value-preserving: every revoked bank is evacuated to DRAM and every
+/// corrupted prefix is re-fetched, so the replay holds or the simulation
+/// itself returns a typed [`SimError`] (surfaced as [`CheckError::Sim`]).
+pub fn verify_value_preservation_with(
+    net: &Network,
+    config: AccelConfig,
+    policy: Policy,
+    seed: u64,
+    options: &SimOptions,
+) -> Result<(), CheckError> {
     let exec = GoldenExecutor::new(net, seed);
     let golden = exec.run().expect("golden execution of a built network");
-    let run = ShortcutMiner::new(config, policy).simulate(net);
+    let run = ShortcutMiner::new(config, policy).try_simulate(net, options)?;
 
     let mut states: HashMap<usize, FmState> = HashMap::new();
     // The network input starts fully in DRAM.
@@ -185,9 +216,7 @@ pub fn verify_value_preservation(
                     let data = st.reconstruct(input.index())?;
                     let t = Tensor::from_vec(net.layer(input).out_shape, data)
                         .expect("reconstruction has full length");
-                    let diff = t
-                        .max_abs_diff(&golden[input.index()])
-                        .expect("same shapes");
+                    let diff = t.max_abs_diff(&golden[input.index()]).expect("same shapes");
                     if diff != 0.0 {
                         return Err(CheckError::ValueMismatch {
                             fm: input.index(),
@@ -227,7 +256,10 @@ pub fn verify_value_preservation(
             } => {
                 let st = states.get_mut(&fm).ok_or(CheckError::UnknownFm(fm))?;
                 let full = st.reconstruct(fm)?;
-                let new_cov = st.dram.len().max(st.total as usize - new_resident_elems as usize);
+                let new_cov = st
+                    .dram
+                    .len()
+                    .max(st.total as usize - new_resident_elems as usize);
                 st.dram = full[st.total as usize - new_cov..].to_vec();
                 st.resident.truncate(new_resident_elems as usize);
             }
@@ -310,7 +342,11 @@ mod tests {
     fn preservation_holds_under_heavy_capacity_pressure() {
         // A pool so small that spills are forced throughout.
         let cfg = AccelConfig::default().with_fm_capacity(8 << 10);
-        for net in [zoo::toy_residual(1), zoo::resnet_tiny(2, 1), zoo::squeezenet_tiny(1)] {
+        for net in [
+            zoo::toy_residual(1),
+            zoo::resnet_tiny(2, 1),
+            zoo::squeezenet_tiny(1),
+        ] {
             verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 11)
                 .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
         }

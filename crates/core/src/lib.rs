@@ -54,7 +54,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod experiment;
+mod fault;
 mod policy;
 mod simulator;
 mod trace;
@@ -62,7 +64,9 @@ mod trace;
 pub mod analysis;
 pub mod functional;
 
+pub use error::SimError;
 pub use experiment::{Comparison, Experiment};
+pub use fault::{FaultInjector, FaultPlan};
 pub use policy::{AllocPriority, Policy, SpillOrder};
-pub use simulator::{ShortcutMiner, SmRun};
+pub use simulator::{ShortcutMiner, SimOptions, SmRun};
 pub use trace::{RetentionRecord, Trace, TraceEvent};

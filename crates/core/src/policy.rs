@@ -1,4 +1,4 @@
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Who wins when a new output buffer competes with pinned shortcut banks.
 ///
@@ -8,7 +8,7 @@ use serde::Serialize;
 /// shows retaining pinned data wins slightly on every evaluated network —
 /// junction re-reads are cheap (no halo), while the freed output capacity
 /// saves conv re-reads at a small multiplier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum AllocPriority {
     /// Pinned shortcut banks are retained; the output buffer takes whatever
     /// the free pool offers (default — the better design point).
@@ -21,7 +21,7 @@ pub enum AllocPriority {
 
 /// Order in which pinned shortcut buffers are victimized under capacity
 /// pressure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SpillOrder {
     /// Spill the shortcut whose junction is farthest in the schedule first —
     /// it will occupy banks the longest (default; the design-point choice
@@ -42,7 +42,7 @@ pub enum SpillOrder {
 ///   pinning (adjacent reuse only).
 /// * [`Policy::mining_only`] — shortcut pinning without adjacent swapping.
 /// * [`Policy::shortcut_mining`] — the full proposal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Policy {
     /// `false` selects the conventional baseline accelerator.
     pub logical_buffers: bool,

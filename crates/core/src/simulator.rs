@@ -6,12 +6,14 @@ use sm_accel::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
 use sm_accel::tiling::{plan_conv, ConvDims, TileCaps, TilePlan};
-use sm_accel::{AccelConfig, LayerReport, RunStats};
-use sm_buffer::{BufferRole, LogicalBufferId, LogicalBuffers};
+use sm_accel::{AccelConfig, AccelError, FaultStats, LayerReport, RunStats};
+use sm_buffer::{BufferRole, LogicalBufferId, LogicalBuffers, Revocation};
 use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
 use sm_model::{Layer, LayerId, LayerKind, Network};
 
-use crate::{Policy, RetentionRecord, SpillOrder, Trace, TraceEvent};
+use crate::{
+    FaultInjector, FaultPlan, Policy, RetentionRecord, SimError, SpillOrder, Trace, TraceEvent,
+};
 
 /// SRAM-to-SRAM copy bandwidth in bytes per cycle, charged only under the
 /// `swap_by_copy` ablation (a wide on-chip bus moving one buffer's contents
@@ -46,8 +48,44 @@ struct Resident {
 }
 
 impl Resident {
+    /// Elements only reachable from DRAM. Saturating with a debug assert:
+    /// residency above the total is an accounting bug, not a valid state.
     fn missing_elems(&self) -> u64 {
-        self.total_elems - self.resident_elems
+        debug_assert!(
+            self.resident_elems <= self.total_elems,
+            "resident {} exceeds total {}",
+            self.resident_elems,
+            self.total_elems
+        );
+        self.total_elems.saturating_sub(self.resident_elems)
+    }
+}
+
+/// Options controlling one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimOptions {
+    /// Run the invariant checker after every layer, turning internal
+    /// accounting violations into [`SimError::Invariant`].
+    pub checked: bool,
+    /// Fault plan to inject; `None` (or an inactive plan) runs fault-free.
+    pub faults: Option<FaultPlan>,
+}
+
+impl SimOptions {
+    /// Checked mode without fault injection.
+    pub fn checked() -> Self {
+        SimOptions {
+            checked: true,
+            faults: None,
+        }
+    }
+
+    /// Checked mode with the given fault plan.
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        SimOptions {
+            checked: true,
+            faults: Some(plan),
+        }
     }
 }
 
@@ -104,8 +142,29 @@ impl ShortcutMiner {
     }
 
     /// Simulates `net`, returning statistics, trace and retention records.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed networks. Fault-free runs over well-formed
+    /// networks never fail; use [`ShortcutMiner::try_simulate`] for typed
+    /// errors, checked mode, and fault injection.
     pub fn simulate(&self, net: &Network) -> SmRun {
-        Sim::new(self.config, self.policy, net).run()
+        self.try_simulate(net, &SimOptions::default())
+            .expect("fault-free simulation of a well-formed network")
+    }
+
+    /// Simulates `net` under `options`, surfacing every failure — model
+    /// preconditions, injected faults past their retry budget, checked-mode
+    /// invariant violations — as a typed [`SimError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Accel`] on malformed networks, [`SimError::RetryExhausted`]
+    /// when an injected DRAM fault outlasts the plan's retry budget, and
+    /// [`SimError::Invariant`] / [`SimError::Buffer`] when internal
+    /// accounting breaks (never expected on the fault-free path).
+    pub fn try_simulate(&self, net: &Network, options: &SimOptions) -> Result<SmRun, SimError> {
+        Sim::new(self.config, self.policy, net, options).run()
     }
 }
 
@@ -121,10 +180,16 @@ struct Sim<'a> {
     retention: Vec<RetentionRecord>,
     layer_traffic: Vec<(TrafficClass, u64)>,
     copy_penalty_bytes: u64,
+    checked: bool,
+    injector: Option<FaultInjector>,
+    faults: FaultStats,
 }
 
 impl<'a> Sim<'a> {
-    fn new(cfg: AccelConfig, policy: Policy, net: &'a Network) -> Self {
+    fn new(cfg: AccelConfig, policy: Policy, net: &'a Network, options: &SimOptions) -> Self {
+        let injector = options.faults.as_ref().filter(|p| p.is_active()).map(|p| {
+            FaultInjector::new(p, cfg.sram.fm_pool.bank_count, net.len().saturating_sub(1))
+        });
         let mut sim = Sim {
             cfg,
             policy,
@@ -136,6 +201,9 @@ impl<'a> Sim<'a> {
             retention: Vec::new(),
             layer_traffic: Vec::new(),
             copy_penalty_bytes: 0,
+            checked: options.checked,
+            injector,
+            faults: FaultStats::default(),
         };
         // The network input starts fully in DRAM.
         let input = net.input();
@@ -175,22 +243,31 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn run(mut self) -> SmRun {
+    fn run(mut self) -> Result<SmRun, SimError> {
         let fm_dram = DramModel::new(self.cfg.fm_dram);
         let w_dram = DramModel::new(self.cfg.weight_dram);
         let mut layers = Vec::with_capacity(self.net.len());
         let mut total_cycles = 0u64;
         let mut total_macs = 0u64;
+        let mut prev_ledger_total = 0u64;
 
         let all_layers: Vec<Layer> = self.net.layers()[1..].to_vec();
         for layer in &all_layers {
             self.layer_traffic.clear();
             self.copy_penalty_bytes = 0;
-            let compute = self.run_layer(layer);
+            self.apply_layer_faults(layer.id.index())?;
+            let compute = self.run_layer(layer)?;
 
+            // Drain the layer's traffic into the ledger, playing each
+            // transfer through the DRAM fault model when one is active.
+            // Failed attempts re-transfer the same bytes (recorded under
+            // `Retry`) and stall the pipeline with linear backoff.
             let mut traffic = ClassTotals::new();
             let (mut fm_bytes, mut w_bytes) = (0u64, 0u64);
-            for &(class, bytes) in &self.layer_traffic {
+            let (mut retry_fm, mut retry_w) = (0u64, 0u64);
+            let mut stall_cycles = 0u64;
+            let drained = std::mem::take(&mut self.layer_traffic);
+            for &(class, bytes) in &drained {
                 self.ledger.record(layer.id.index(), class, bytes);
                 traffic.record(class, bytes);
                 if class.is_feature_map() {
@@ -198,13 +275,41 @@ impl<'a> Sim<'a> {
                 } else {
                     w_bytes += bytes;
                 }
+                if let Some(inj) = self.injector.as_mut() {
+                    match inj.transfer_attempts() {
+                        Ok((0, _)) => {}
+                        Ok((failed, stall)) => {
+                            let re = bytes.saturating_mul(failed as u64);
+                            self.ledger
+                                .record(layer.id.index(), TrafficClass::Retry, re);
+                            traffic.record(TrafficClass::Retry, re);
+                            if class.is_feature_map() {
+                                retry_fm += re;
+                            } else {
+                                retry_w += re;
+                            }
+                            stall_cycles += stall;
+                            self.faults.dram_retries += failed as u64;
+                            self.faults.retry_stall_cycles += stall;
+                        }
+                        Err((attempts, _)) => {
+                            return Err(SimError::RetryExhausted {
+                                layer: layer.id.index(),
+                                class,
+                                attempts,
+                            });
+                        }
+                    }
+                }
             }
-            let copy_cycles = self.copy_penalty_bytes.div_ceil(COPY_BYTES_PER_CYCLE.max(1));
+            let copy_cycles = self
+                .copy_penalty_bytes
+                .div_ceil(COPY_BYTES_PER_CYCLE.max(1));
             let cycles = LayerCycles::combine(
                 compute + copy_cycles,
-                dram_cycles(&fm_dram, fm_bytes),
-                dram_cycles(&w_dram, w_bytes),
-                self.cfg.layer_overhead,
+                dram_cycles(&fm_dram, fm_bytes + retry_fm),
+                dram_cycles(&w_dram, w_bytes + retry_w),
+                self.cfg.layer_overhead + stall_cycles,
             );
             total_cycles += cycles.total;
             let macs = layer.macs(&self.net.in_shapes(layer.id));
@@ -218,6 +323,10 @@ impl<'a> Sim<'a> {
                 macs,
             });
             debug_assert!(self.bufs.check_invariants(), "buffer invariant violated");
+            if self.checked {
+                self.check_layer_invariants(layer.id.index(), prev_ledger_total)?;
+            }
+            prev_ledger_total = self.ledger.total_bytes();
         }
 
         let stats = RunStats {
@@ -229,27 +338,183 @@ impl<'a> Sim<'a> {
             ledger: self.ledger,
             layers,
             buffer_stats: self.bufs.stats(),
+            faults: self.faults,
             clock_hz: self.cfg.clock_hz,
         };
-        SmRun {
+        Ok(SmRun {
             stats,
             trace: self.trace,
             retention: self.retention,
+        })
+    }
+
+    /// Applies this layer boundary's scheduled faults: bank revocations
+    /// (evacuate, then disable — value-preserving by construction) and
+    /// residency-metadata corruption (only the DRAM-backed part of a prefix
+    /// can be invalidated losslessly; it is re-fetched at the next use).
+    fn apply_layer_faults(&mut self, lid: usize) -> Result<(), SimError> {
+        let Some(mut inj) = self.injector.take() else {
+            return Ok(());
+        };
+        let elem = self.elem();
+        for bank in inj.banks_failing_at(lid) {
+            match self.bufs.revoke_bank(bank)? {
+                Revocation::WasFree => {
+                    self.faults.banks_failed += 1;
+                }
+                Revocation::Evicted {
+                    owner,
+                    evicted_bytes,
+                } => {
+                    self.faults.banks_failed += 1;
+                    self.faults.evicted_bytes += evicted_bytes;
+                    self.record(TrafficClass::SpillWrite, evicted_bytes);
+                    // Shrink the residency of whatever feature map lived in
+                    // the evacuated buffer (sorted scan: deterministic).
+                    let mut keys: Vec<usize> = self.fms.keys().copied().collect();
+                    keys.sort_unstable();
+                    for fm in keys {
+                        let Some(r) = self.fms.get_mut(&fm) else {
+                            continue;
+                        };
+                        if r.buffer != Some(owner) {
+                            continue;
+                        }
+                        let evicted = (evicted_bytes / elem).min(r.resident_elems);
+                        r.resident_elems -= evicted;
+                        r.dram_suffix_elems = (r.dram_suffix_elems + evicted).min(r.total_elems);
+                        r.spilled_elems = (r.spilled_elems + evicted).min(r.dram_suffix_elems);
+                        let new_resident = r.resident_elems;
+                        let empty = self
+                            .bufs
+                            .buffer(owner)
+                            .map(|b| b.banks().is_empty())
+                            .unwrap_or(false);
+                        if empty {
+                            r.buffer = None;
+                            self.bufs.unpin(owner)?;
+                            self.bufs.free(owner)?;
+                        }
+                        self.trace.events.push(TraceEvent::Spill {
+                            fm,
+                            new_resident_elems: new_resident,
+                        });
+                        break;
+                    }
+                }
+            }
         }
+        if inj.corruption_strikes() {
+            let mut keys: Vec<usize> = self.fms.keys().copied().collect();
+            keys.sort_unstable();
+            // Candidates whose prefix overlaps their DRAM suffix: that
+            // overlap can be dropped without losing data.
+            let candidates: Vec<usize> = keys
+                .into_iter()
+                .filter(|k| {
+                    let r = &self.fms[k];
+                    r.resident_elems + r.dram_suffix_elems > r.total_elems
+                })
+                .collect();
+            if !candidates.is_empty() {
+                let fm = candidates[inj.pick(candidates.len())];
+                if let Some(r) = self.fms.get_mut(&fm) {
+                    r.resident_elems = r.total_elems - r.dram_suffix_elems;
+                    self.faults.corruptions += 1;
+                    self.trace.events.push(TraceEvent::Spill {
+                        fm,
+                        new_resident_elems: r.resident_elems,
+                    });
+                }
+            }
+        }
+        self.injector = Some(inj);
+        Ok(())
+    }
+
+    /// Checked-mode verification after one layer: bank accounting sums to
+    /// the pool, the ledger is class-consistent and monotone, every tracked
+    /// residency is within bounds, and liveness matches the schedule.
+    fn check_layer_invariants(&self, layer: usize, prev_total: u64) -> Result<(), SimError> {
+        let fail = |message: String| Err(SimError::Invariant { layer, message });
+        if !self.bufs.check_invariants() {
+            return fail("bank pool conservation or ownership broken".to_string());
+        }
+        let pool = self.bufs.config();
+        let owned: usize = self.bufs.iter().map(|b| b.banks().len()).sum();
+        if owned + self.bufs.free_banks() + self.bufs.disabled_banks() != pool.bank_count {
+            return fail(format!(
+                "bank accounting: {owned} owned + {} free + {} disabled != {} banks",
+                self.bufs.free_banks(),
+                self.bufs.disabled_banks(),
+                pool.bank_count
+            ));
+        }
+        if let Err(m) = self.ledger.check_consistency() {
+            return fail(m);
+        }
+        if self.ledger.total_bytes() < prev_total {
+            return fail(format!(
+                "ledger total regressed: {} < {prev_total}",
+                self.ledger.total_bytes()
+            ));
+        }
+        let mut keys: Vec<usize> = self.fms.keys().copied().collect();
+        keys.sort_unstable();
+        for fm in keys {
+            let r = &self.fms[&fm];
+            if r.resident_elems > r.total_elems {
+                return fail(format!(
+                    "fm {fm}: resident {} exceeds total {}",
+                    r.resident_elems, r.total_elems
+                ));
+            }
+            if r.resident_elems + r.dram_suffix_elems < r.total_elems {
+                return fail(format!(
+                    "fm {fm}: {} elements unreachable from chip or DRAM",
+                    r.total_elems - r.resident_elems - r.dram_suffix_elems
+                ));
+            }
+            if r.spilled_elems > r.dram_suffix_elems {
+                return fail(format!(
+                    "fm {fm}: spilled {} exceeds DRAM suffix {}",
+                    r.spilled_elems, r.dram_suffix_elems
+                ));
+            }
+            if r.remaining_consumers == 0 {
+                return fail(format!("fm {fm}: dead but still tracked"));
+            }
+            if r.remaining_consumers > self.net.consumers(LayerId(fm)).len() {
+                return fail(format!(
+                    "fm {fm}: {} consumers pending but schedule has {}",
+                    r.remaining_consumers,
+                    self.net.consumers(LayerId(fm)).len()
+                ));
+            }
+            if let Some(b) = r.buffer {
+                if self.bufs.buffer(b).is_err() {
+                    return fail(format!("fm {fm}: buffer {b:?} is stale"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Executes one layer: operand fetches, output allocation, write-back
     /// and consumption bookkeeping. Returns the compute cycles.
-    fn run_layer(&mut self, layer: &Layer) -> u64 {
+    fn run_layer(&mut self, layer: &Layer) -> Result<u64, SimError> {
         let elem = self.elem();
         let lanes = self.cfg.pe_rows * self.cfg.pe_cols;
         let out_elems = layer.out_elems() as u64;
 
-        match layer.kind {
+        let cycles = match layer.kind {
             LayerKind::Input => 0,
             LayerKind::Conv(_) => {
-                let dims = ConvDims::from_layer(self.net, layer).expect("conv layer");
-                let (buffer, resident) = self.allocate_output(layer, out_elems);
+                let dims =
+                    ConvDims::from_layer(self.net, layer).ok_or_else(|| AccelError::NotConv {
+                        layer: layer.name.clone(),
+                    })?;
+                let (buffer, resident) = self.allocate_output(layer, out_elems)?;
                 let mut caps = self.tile_caps();
                 if self.policy.adaptive_tiling {
                     // Plan with what the controller actually granted: the
@@ -259,47 +524,47 @@ impl<'a> Sim<'a> {
                     let in_resident = self.fms.get(&pid).map_or(0, |r| r.resident_elems * elem);
                     caps.ifm_bytes = caps.ifm_bytes.max(in_resident);
                     if let Some(b) = buffer {
-                        let ob_cap = self.bufs.capacity_bytes(b).expect("live buffer");
+                        let ob_cap = self.bufs.capacity_bytes(b)?;
                         caps.ofm_bytes = caps.ofm_bytes.max(ob_cap);
                     }
                 }
                 let plan = plan_conv(dims, caps, self.cfg.pe_rows, self.cfg.pe_cols, elem);
-                self.fetch_operand(layer, 0, Some(&plan));
+                self.fetch_operand(layer, 0, Some(&plan))?;
                 self.record(TrafficClass::WeightRead, plan.weight_dram_bytes);
-                self.register_output(layer, buffer, resident, 0, 0);
-                self.consume_operands(layer, &[]);
+                self.register_output(layer, buffer, resident, 0, 0)?;
+                self.consume_operands(layer, &[])?;
                 conv_compute_cycles(dims, plan.tm, plan.tn)
             }
             LayerKind::DepthwiseConv(spec) => {
                 let in_shape = self.net.in_shapes(layer.id)[0];
-                self.fetch_operand(layer, 0, None);
+                self.fetch_operand(layer, 0, None)?;
                 let w_bytes = (in_shape.c * spec.kernel * spec.kernel) as u64 * elem;
                 self.record(TrafficClass::WeightRead, w_bytes);
-                let (buffer, resident) = self.allocate_output(layer, out_elems);
-                self.register_output(layer, buffer, resident, 0, 0);
-                self.consume_operands(layer, &[]);
+                let (buffer, resident) = self.allocate_output(layer, out_elems)?;
+                self.register_output(layer, buffer, resident, 0, 0)?;
+                self.consume_operands(layer, &[])?;
                 in_shape.n as u64
                     * in_shape.c.div_ceil(self.cfg.pe_rows) as u64
                     * (layer.out_shape.h * layer.out_shape.w) as u64
                     * (spec.kernel * spec.kernel) as u64
             }
             LayerKind::Pool(spec) => {
-                self.fetch_operand(layer, 0, None);
-                let (buffer, resident) = self.allocate_output(layer, out_elems);
-                self.register_output(layer, buffer, resident, 0, 0);
-                self.consume_operands(layer, &[]);
+                self.fetch_operand(layer, 0, None)?;
+                let (buffer, resident) = self.allocate_output(layer, out_elems)?;
+                self.register_output(layer, buffer, resident, 0, 0)?;
+                self.consume_operands(layer, &[])?;
                 vector_compute_cycles(out_elems * (spec.kernel * spec.kernel) as u64, lanes)
             }
             LayerKind::GlobalAvgPool => {
-                self.fetch_operand(layer, 0, None);
+                self.fetch_operand(layer, 0, None)?;
                 let in_elems = self.net.layer(layer.inputs[0]).out_elems() as u64;
-                let (buffer, resident) = self.allocate_output(layer, out_elems);
-                self.register_output(layer, buffer, resident, 0, 0);
-                self.consume_operands(layer, &[]);
+                let (buffer, resident) = self.allocate_output(layer, out_elems)?;
+                self.register_output(layer, buffer, resident, 0, 0)?;
+                self.consume_operands(layer, &[])?;
                 vector_compute_cycles(in_elems, lanes)
             }
             LayerKind::Fc { out_features } => {
-                self.fetch_operand(layer, 0, None);
+                self.fetch_operand(layer, 0, None)?;
                 let in_shape = self.net.in_shapes(layer.id)[0];
                 let in_features = in_shape.per_image();
                 let batch = in_shape.n;
@@ -310,80 +575,112 @@ impl<'a> Sim<'a> {
                     batch as u64
                 };
                 self.record(TrafficClass::WeightRead, w_bytes * passes);
-                let (buffer, resident) = self.allocate_output(layer, out_elems);
-                self.register_output(layer, buffer, resident, 0, 0);
-                self.consume_operands(layer, &[]);
-                fc_compute_cycles(batch, in_features, out_features, self.cfg.pe_rows, self.cfg.pe_cols)
+                let (buffer, resident) = self.allocate_output(layer, out_elems)?;
+                self.register_output(layer, buffer, resident, 0, 0)?;
+                self.consume_operands(layer, &[])?;
+                fc_compute_cycles(
+                    batch,
+                    in_features,
+                    out_features,
+                    self.cfg.pe_rows,
+                    self.cfg.pe_cols,
+                )
             }
             LayerKind::EltwiseAdd { .. } => {
-                self.run_eltwise_add(layer);
+                self.run_eltwise_add(layer)?;
                 vector_compute_cycles(out_elems, lanes)
             }
             LayerKind::ConcatChannels => {
-                self.run_concat(layer);
+                self.run_concat(layer)?;
                 0
             }
-        }
+        };
+        Ok(cycles)
     }
 
     /// Fused element-wise addition: the adjacent (residual) operand streams
     /// straight from its producer; pinned shortcut operands are consumed in
     /// place; the result takes over the residual operand's banks.
-    fn run_eltwise_add(&mut self, layer: &Layer) {
+    fn run_eltwise_add(&mut self, layer: &Layer) -> Result<(), SimError> {
         let lid = layer.id.index();
         let adjacent_op = layer
             .inputs
             .iter()
             .position(|p| p.index() + 1 == lid)
-            .filter(|&op| self.fms[&layer.inputs[op].index()].remaining_consumers == 1);
+            .filter(|&op| {
+                self.fms
+                    .get(&layer.inputs[op].index())
+                    .is_some_and(|r| r.remaining_consumers == 1)
+            });
 
         for op in 0..layer.inputs.len() {
             if Some(op) == adjacent_op {
                 continue; // fused with the producer's output streaming
             }
-            self.fetch_operand(layer, op, None);
+            self.fetch_operand(layer, op, None)?;
         }
 
         let (buffer, resident, suffix, spilled, skip_consume) = match adjacent_op {
             Some(op) => {
                 // Take over the residual operand's buffer in place.
                 let pid = layer.inputs[op].index();
-                let r = self.fms.remove(&pid).expect("operand is live");
+                let r = self.fms.remove(&pid).ok_or_else(|| SimError::Invariant {
+                    layer: lid,
+                    message: format!("operand fm {pid} is not live"),
+                })?;
                 self.trace.events.push(TraceEvent::Free { fm: pid });
-                (r.buffer, r.resident_elems, r.dram_suffix_elems, r.spilled_elems, vec![op])
+                (
+                    r.buffer,
+                    r.resident_elems,
+                    r.dram_suffix_elems,
+                    r.spilled_elems,
+                    vec![op],
+                )
             }
             None => {
                 let out_elems = layer.out_elems() as u64;
-                let (buffer, resident) = self.allocate_output(layer, out_elems);
+                let (buffer, resident) = self.allocate_output(layer, out_elems)?;
                 (buffer, resident, 0, 0, vec![])
             }
         };
-        self.register_output(layer, buffer, resident, suffix, spilled);
-        self.consume_operands(layer, &skip_consume);
+        self.register_output(layer, buffer, resident, suffix, spilled)?;
+        self.consume_operands(layer, &skip_consume)
     }
 
     /// Fused concatenation: zero traffic of its own; the output buffer
     /// absorbs the operands' banks where the prefix layout allows.
-    fn run_concat(&mut self, layer: &Layer) {
+    fn run_concat(&mut self, layer: &Layer) -> Result<(), SimError> {
         let batch = layer.out_shape.n;
         let elem = self.elem();
+        let lid = layer.id.index();
         let ops: Vec<usize> = layer.inputs.iter().map(|p| p.index()).collect();
 
         // Residency of the concatenated map must stay a prefix in element
         // order; see DESIGN.md ("prefix-consistent concatenation").
-        let rs: Vec<Resident> = ops.iter().map(|p| self.fms[p].clone()).collect();
+        let mut rs: Vec<Resident> = Vec::with_capacity(ops.len());
+        for p in &ops {
+            rs.push(
+                self.fms
+                    .get(p)
+                    .cloned()
+                    .ok_or_else(|| SimError::Invariant {
+                        layer: lid,
+                        message: format!("concat operand fm {p} is not live"),
+                    })?,
+            );
+        }
         let fully = rs.iter().all(|r| r.resident_elems == r.total_elems);
-        let takeable = layer
-            .inputs
-            .iter()
-            .all(|p| self.fms[&p.index()].remaining_consumers == 1);
+        let takeable = rs.iter().all(|r| r.remaining_consumers == 1);
 
         let (buffer, resident, written_now) = if fully && takeable && rs[0].buffer.is_some() {
             // All operands fully resident: absorb every buffer into the first.
-            let dst = rs[0].buffer.expect("checked");
+            let dst = rs[0].buffer.ok_or_else(|| SimError::Invariant {
+                layer: lid,
+                message: "concat head lost its buffer".to_string(),
+            })?;
             for r in &rs[1..] {
                 if let Some(src) = r.buffer {
-                    self.bufs.absorb(dst, src).expect("absorb live buffers");
+                    self.bufs.absorb(dst, src)?;
                 }
             }
             (Some(dst), rs.iter().map(|r| r.total_elems).sum::<u64>(), 0)
@@ -402,7 +699,7 @@ impl<'a> Sim<'a> {
                     if let Some(b) = r.buffer {
                         match dst {
                             None => dst = Some(b),
-                            Some(d) => self.bufs.absorb(d, b).expect("absorb live buffers"),
+                            Some(d) => self.bufs.absorb(d, b)?,
                         }
                     }
                     if r.resident_elems < r.total_elems {
@@ -412,8 +709,8 @@ impl<'a> Sim<'a> {
                     dropped += r.resident_elems;
                     if let Some(b) = r.buffer {
                         // Write the out-of-prefix data back and release it.
-                        self.bufs.unpin(b).expect("live buffer");
-                        self.bufs.free(b).expect("live buffer");
+                        self.bufs.unpin(b)?;
+                        self.bufs.free(b)?;
                     }
                 }
             }
@@ -425,8 +722,8 @@ impl<'a> Sim<'a> {
             for r in &rs {
                 dropped += r.resident_elems;
                 if let Some(b) = r.buffer {
-                    self.bufs.unpin(b).expect("live buffer");
-                    self.bufs.free(b).expect("live buffer");
+                    self.bufs.unpin(b)?;
+                    self.bufs.free(b)?;
                 }
             }
             (None, 0, dropped)
@@ -441,32 +738,53 @@ impl<'a> Sim<'a> {
                 self.fms.remove(p);
                 self.trace.events.push(TraceEvent::Free { fm: *p });
             }
-            self.register_output(layer, buffer, resident, suffix.min(layer.out_elems() as u64), spilled);
+            self.register_output(
+                layer,
+                buffer,
+                resident,
+                suffix.min(layer.out_elems() as u64),
+                spilled,
+            )?;
         } else {
             // An operand outlives the concat (unusual): leave operands in
             // place, produce a non-resident output backed by their DRAM
             // copies — force their write-back.
             let mut forced = 0u64;
             for p in &ops {
-                let r = self.fms.get_mut(p).expect("live");
+                let Some(r) = self.fms.get_mut(p) else {
+                    continue;
+                };
                 let need = r.total_elems - r.dram_suffix_elems;
                 forced += need;
                 r.dram_suffix_elems = r.total_elems;
                 r.remaining_consumers -= 1;
             }
             self.record(TrafficClass::OfmWrite, forced * elem);
-            self.register_output(layer, None, 0, layer.out_elems() as u64, 0);
+            self.register_output(layer, None, 0, layer.out_elems() as u64, 0)?;
         }
+        Ok(())
     }
 
     /// Accounts the DRAM fetch of operand `op`'s non-resident suffix and the
     /// SRAM read of its resident prefix. Conv layers scale the fetch by the
     /// tile plan's streaming overhead (halo / channel-group re-reads).
-    fn fetch_operand(&mut self, layer: &Layer, op: usize, plan: Option<&TilePlan>) {
+    fn fetch_operand(
+        &mut self,
+        layer: &Layer,
+        op: usize,
+        plan: Option<&TilePlan>,
+    ) -> Result<(), SimError> {
         let lid = layer.id.index();
         let pid = layer.inputs[op].index();
         let elem = self.elem();
-        let r = self.fms.get(&pid).expect("operand is live").clone();
+        let r = self
+            .fms
+            .get(&pid)
+            .ok_or_else(|| SimError::Invariant {
+                layer: lid,
+                message: format!("operand fm {pid} is not live"),
+            })?
+            .clone();
         let missing = r.missing_elems();
         debug_assert!(
             r.resident_elems + r.dram_suffix_elems >= r.total_elems,
@@ -492,10 +810,9 @@ impl<'a> Sim<'a> {
             // missing fraction (identical to the baseline's full fetch).
             let scale = |elems: u64| -> u64 {
                 match plan {
-                    Some(p) if r.total_elems > 0 => {
-                        ((p.ifm_dram_bytes as f64) * (elems as f64 / r.total_elems as f64)).round()
-                            as u64
-                    }
+                    Some(p) if r.total_elems > 0 => ((p.ifm_dram_bytes as f64)
+                        * (elems as f64 / r.total_elems as f64))
+                        .round() as u64,
                     _ => elems * elem,
                 }
             };
@@ -515,16 +832,19 @@ impl<'a> Sim<'a> {
             });
         }
         if let Some(b) = r.buffer {
-            self.bufs
-                .read(b, r.resident_elems * elem)
-                .expect("live buffer");
+            self.bufs.read(b, r.resident_elems * elem)?;
         }
+        Ok(())
     }
 
     /// Allocates the output logical buffer for a layer (plus the permanent
     /// one-bank streaming reserve implied by the pool geometry), spilling
     /// pinned shortcuts only when the pool is completely dry.
-    fn allocate_output(&mut self, layer: &Layer, out_elems: u64) -> (Option<LogicalBufferId>, u64) {
+    fn allocate_output(
+        &mut self,
+        layer: &Layer,
+        out_elems: u64,
+    ) -> Result<(Option<LogicalBufferId>, u64), SimError> {
         let elem = self.elem();
         let consumers = self.net.consumers(layer.id);
         let lid = layer.id.index();
@@ -533,44 +853,42 @@ impl<'a> Sim<'a> {
         let useful = (self.policy.out_in_swap && adjacent_next)
             || (self.policy.shortcut_mining && has_nonadjacent);
         if !useful || out_elems == 0 {
-            return (None, 0);
+            return Ok((None, 0));
         }
-        let want = self.cfg.sram.fm_pool.banks_for_bytes(out_elems * elem).max(1);
+        let want = self
+            .cfg
+            .sram
+            .fm_pool
+            .banks_for_bytes(out_elems * elem)
+            .max(1);
         // Under RetainPinned (default) pinned shortcut banks survive and the
         // output takes the free pool's leftovers; spills happen only to keep
         // the minimal streaming allocation alive. Under OutputFirst the
         // output is sized first, spilling pinned banks to make room. One
         // bank always stays free as the streaming staging reserve.
         let target = match self.policy.alloc_priority {
-            crate::AllocPriority::OutputFirst => {
-                (want + 1).min(self.cfg.sram.fm_pool.bank_count)
-            }
+            crate::AllocPriority::OutputFirst => (want + 1).min(self.cfg.sram.fm_pool.bank_count),
             crate::AllocPriority::RetainPinned => 2,
         };
         if self.bufs.free_banks() < target {
-            self.spill_for_banks(target, lid);
+            self.spill_for_banks(target, lid)?;
         }
         let grantable = self.bufs.free_banks().saturating_sub(1);
         if grantable == 0 {
-            return (None, 0);
+            return Ok((None, 0));
         }
         let banks = want.min(grantable);
-        let buffer = self
-            .bufs
-            .alloc(BufferRole::Output, banks)
-            .expect("grantable banks available");
-        let capacity_elems = self.bufs.capacity_bytes(buffer).expect("live buffer") / elem;
+        let buffer = self.bufs.alloc(BufferRole::Output, banks)?;
+        let capacity_elems = self.bufs.capacity_bytes(buffer)? / elem;
         let resident = out_elems.min(capacity_elems);
-        self.bufs
-            .write(buffer, resident * elem)
-            .expect("live buffer");
-        (Some(buffer), resident)
+        self.bufs.write(buffer, resident * elem)?;
+        Ok((Some(buffer), resident))
     }
 
     /// Spills pinned/retained buffers until `need` banks are free, skipping
     /// the current layer's operands. Returns silently when nothing is
     /// spillable.
-    fn spill_for_banks(&mut self, need: usize, current: usize) {
+    fn spill_for_banks(&mut self, need: usize, current: usize) -> Result<(), SimError> {
         let elem = self.elem();
         while self.bufs.free_banks() < need {
             let operands: Vec<usize> = self
@@ -600,7 +918,7 @@ impl<'a> Sim<'a> {
                 })
                 .collect();
             if victims.is_empty() {
-                return;
+                return Ok(());
             }
             match self.policy.spill_order {
                 SpillOrder::FarthestJunctionFirst => {
@@ -609,9 +927,15 @@ impl<'a> Sim<'a> {
                 SpillOrder::NearestJunctionFirst => victims.sort_by_key(|&(_, next_use)| next_use),
             }
             let (fm, _) = victims[0];
-            let r = self.fms.get_mut(&fm).expect("victim is live");
-            let buffer = r.buffer.expect("victim has a buffer");
-            let (_, evicted_bytes) = self.bufs.spill_bank(buffer).expect("victim has banks");
+            let r = self.fms.get_mut(&fm).ok_or_else(|| SimError::Invariant {
+                layer: current,
+                message: format!("spill victim fm {fm} is not live"),
+            })?;
+            let buffer = r.buffer.ok_or_else(|| SimError::Invariant {
+                layer: current,
+                message: format!("spill victim fm {fm} has no buffer"),
+            })?;
+            let (_, evicted_bytes) = self.bufs.spill_bank(buffer)?;
             let evicted = evicted_bytes / elem;
             r.resident_elems -= evicted;
             r.dram_suffix_elems += evicted;
@@ -624,8 +948,8 @@ impl<'a> Sim<'a> {
                 .unwrap_or(false);
             if empty {
                 r.buffer = None;
-                self.bufs.unpin(buffer).expect("live buffer");
-                self.bufs.free(buffer).expect("live buffer");
+                self.bufs.unpin(buffer)?;
+                self.bufs.free(buffer)?;
             }
             self.record(TrafficClass::SpillWrite, evicted_bytes);
             self.trace.events.push(TraceEvent::Spill {
@@ -633,6 +957,7 @@ impl<'a> Sim<'a> {
                 new_resident_elems: new_resident,
             });
         }
+        Ok(())
     }
 
     /// Registers a produced feature map: decides its residency fate, writes
@@ -645,7 +970,7 @@ impl<'a> Sim<'a> {
         resident_elems: u64,
         inherited_suffix: u64,
         spilled: u64,
-    ) {
+    ) -> Result<(), SimError> {
         let lid = layer.id.index();
         let elem = self.elem();
         let total = layer.out_elems() as u64;
@@ -676,8 +1001,8 @@ impl<'a> Sim<'a> {
 
         if !keep {
             if let Some(b) = buffer.take() {
-                self.bufs.unpin(b).expect("live buffer");
-                self.bufs.free(b).expect("live buffer");
+                self.bufs.unpin(b)?;
+                self.bufs.free(b)?;
             }
             resident = 0;
             spilled = 0;
@@ -687,16 +1012,16 @@ impl<'a> Sim<'a> {
             } else {
                 BufferRole::Shortcut
             };
-            self.bufs.relabel(b, role).expect("live buffer");
+            self.bufs.relabel(b, role)?;
             if role == BufferRole::Shortcut {
-                self.bufs.pin(b).expect("live buffer");
+                self.bufs.pin(b)?;
             }
             if self.policy.swap_by_copy {
                 // Ablation: the role change is a physical copy.
                 let bytes = resident * elem;
                 self.copy_penalty_bytes += bytes;
-                self.bufs.read(b, bytes).expect("live buffer");
-                self.bufs.write(b, 0).expect("live buffer");
+                self.bufs.read(b, bytes)?;
+                self.bufs.write(b, 0)?;
             }
         }
 
@@ -709,11 +1034,11 @@ impl<'a> Sim<'a> {
 
         if consumers.is_empty() {
             if let Some(b) = buffer.take() {
-                self.bufs.unpin(b).expect("live buffer");
-                self.bufs.free(b).expect("live buffer");
+                self.bufs.unpin(b)?;
+                self.bufs.free(b)?;
             }
             self.trace.events.push(TraceEvent::Free { fm: lid });
-            return;
+            return Ok(());
         }
         self.fms.insert(
             lid,
@@ -726,11 +1051,12 @@ impl<'a> Sim<'a> {
                 remaining_consumers: consumers.len(),
             },
         );
+        Ok(())
     }
 
     /// Post-layer consumption bookkeeping for every operand (except the
     /// indices in `already`, which a junction folded away).
-    fn consume_operands(&mut self, layer: &Layer, already: &[usize]) {
+    fn consume_operands(&mut self, layer: &Layer, already: &[usize]) -> Result<(), SimError> {
         for (op, pid) in layer.inputs.iter().enumerate() {
             if already.contains(&op) {
                 continue;
@@ -744,15 +1070,15 @@ impl<'a> Sim<'a> {
                 let buffer = r.buffer;
                 self.fms.remove(&pid);
                 if let Some(b) = buffer {
-                    self.bufs.unpin(b).expect("live buffer");
-                    self.bufs.free(b).expect("live buffer");
+                    self.bufs.unpin(b)?;
+                    self.bufs.free(b)?;
                 }
                 self.trace.events.push(TraceEvent::Free { fm: pid });
             } else if self.policy.shortcut_mining {
                 // Shortcut storing: survive until the remaining consumers.
                 if let Some(b) = r.buffer {
-                    self.bufs.relabel(b, BufferRole::Shortcut).expect("live buffer");
-                    self.bufs.pin(b).expect("live buffer");
+                    self.bufs.relabel(b, BufferRole::Shortcut)?;
+                    self.bufs.pin(b)?;
                 }
             } else {
                 // No pinning: residency is dropped; the DRAM copy (written at
@@ -771,11 +1097,12 @@ impl<'a> Sim<'a> {
                     });
                 }
                 if let Some(b) = buffer {
-                    self.bufs.unpin(b).expect("live buffer");
-                    self.bufs.free(b).expect("live buffer");
+                    self.bufs.unpin(b)?;
+                    self.bufs.free(b)?;
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -808,7 +1135,9 @@ mod tests {
             zoo::resnet34(1),
             zoo::squeezenet_v10_simple_bypass(1),
         ] {
-            let base = BaselineAccelerator::new(cfg()).with_fused_junctions().simulate(&net);
+            let base = BaselineAccelerator::new(cfg())
+                .with_fused_junctions()
+                .simulate(&net);
             let off = run(&net, Policy::reuse_disabled());
             assert_eq!(
                 off.stats.fm_traffic_bytes(),
@@ -847,8 +1176,14 @@ mod tests {
         // prefix-consistency rule may *defer* an operand's write-back from
         // its production layer to the concat layer (the running total stays
         // never-worse, which is also asserted).
-        for net in [zoo::resnet34(1), zoo::squeezenet_v10_simple_bypass(1), zoo::resnet50(1)] {
-            let base = BaselineAccelerator::new(cfg()).with_fused_junctions().simulate(&net);
+        for net in [
+            zoo::resnet34(1),
+            zoo::squeezenet_v10_simple_bypass(1),
+            zoo::resnet50(1),
+        ] {
+            let base = BaselineAccelerator::new(cfg())
+                .with_fused_junctions()
+                .simulate(&net);
             let sm = run(&net, Policy::shortcut_mining());
             let (mut base_cum, mut sm_cum) = (0u64, 0u64);
             for (b, s) in base.layers.iter().zip(&sm.stats.layers) {
@@ -884,12 +1219,16 @@ mod tests {
     #[test]
     fn full_policy_beats_each_half() {
         let net = zoo::resnet34(1);
-        let full = run(&net, Policy::shortcut_mining()).stats.fm_traffic_bytes();
+        let full = run(&net, Policy::shortcut_mining())
+            .stats
+            .fm_traffic_bytes();
         let swap = run(&net, Policy::swap_only()).stats.fm_traffic_bytes();
         let mine = run(&net, Policy::mining_only()).stats.fm_traffic_bytes();
         assert!(full <= swap);
         assert!(full <= mine);
-        let base = BaselineAccelerator::new(cfg()).simulate(&net).fm_traffic_bytes();
+        let base = BaselineAccelerator::new(cfg())
+            .simulate(&net)
+            .fm_traffic_bytes();
         assert!(swap < base);
         assert!(mine < base);
     }
@@ -931,7 +1270,9 @@ mod tests {
         let tiny = AccelConfig::default().with_fm_capacity(64 << 10);
         let net = zoo::resnet34(1);
         let sm = ShortcutMiner::new(tiny, Policy::shortcut_mining()).simulate(&net);
-        let base = BaselineAccelerator::new(tiny).with_fused_junctions().simulate(&net);
+        let base = BaselineAccelerator::new(tiny)
+            .with_fused_junctions()
+            .simulate(&net);
         // Under heavy pressure SM degrades toward (but never beyond) baseline.
         assert!(sm.stats.fm_traffic_bytes() <= base.fm_traffic_bytes());
     }

@@ -76,10 +76,22 @@ impl Trace {
         }
         let mut fms: HashMap<usize, St> = HashMap::new();
         // The network input (fm 0) pre-exists fully in DRAM.
-        fms.insert(0, St { resident: 0, total: u64::MAX, freed: false });
+        fms.insert(
+            0,
+            St {
+                resident: 0,
+                total: u64::MAX,
+                freed: false,
+            },
+        );
         for (i, e) in self.events.iter().enumerate() {
             match *e {
-                TraceEvent::Produce { fm, total_elems, resident_elems, dram_elems } => {
+                TraceEvent::Produce {
+                    fm,
+                    total_elems,
+                    resident_elems,
+                    dram_elems,
+                } => {
                     if fms.contains_key(&fm) {
                         return Err(format!("event {i}: fm {fm} produced twice"));
                     }
@@ -89,10 +101,22 @@ impl Trace {
                     if resident_elems + dram_elems < total_elems {
                         return Err(format!("event {i}: fm {fm} has a coverage hole"));
                     }
-                    fms.insert(fm, St { resident: resident_elems, total: total_elems, freed: false });
+                    fms.insert(
+                        fm,
+                        St {
+                            resident: resident_elems,
+                            total: total_elems,
+                            freed: false,
+                        },
+                    );
                 }
-                TraceEvent::Spill { fm, new_resident_elems } => {
-                    let st = fms.get_mut(&fm).ok_or(format!("event {i}: spill of unproduced fm {fm}"))?;
+                TraceEvent::Spill {
+                    fm,
+                    new_resident_elems,
+                } => {
+                    let st = fms
+                        .get_mut(&fm)
+                        .ok_or(format!("event {i}: spill of unproduced fm {fm}"))?;
                     if st.freed {
                         return Err(format!("event {i}: spill after free of fm {fm}"));
                     }
@@ -102,7 +126,9 @@ impl Trace {
                     st.resident = new_resident_elems;
                 }
                 TraceEvent::FetchMissing { fm, elems, .. } => {
-                    let st = fms.get(&fm).ok_or(format!("event {i}: fetch of unproduced fm {fm}"))?;
+                    let st = fms
+                        .get(&fm)
+                        .ok_or(format!("event {i}: fetch of unproduced fm {fm}"))?;
                     if st.total != u64::MAX && elems != st.total - st.resident {
                         return Err(format!(
                             "event {i}: fm {fm} fetched {elems}, missing {}",
@@ -111,7 +137,9 @@ impl Trace {
                     }
                 }
                 TraceEvent::Free { fm } => {
-                    let st = fms.get_mut(&fm).ok_or(format!("event {i}: free of unproduced fm {fm}"))?;
+                    let st = fms
+                        .get_mut(&fm)
+                        .ok_or(format!("event {i}: free of unproduced fm {fm}"))?;
                     if st.freed {
                         return Err(format!("event {i}: double free of fm {fm}"));
                     }
@@ -168,8 +196,15 @@ mod tests {
         let t = Trace {
             events: vec![
                 produce(1, 100, 60, 40),
-                TraceEvent::Spill { fm: 1, new_resident_elems: 30 },
-                TraceEvent::FetchMissing { fm: 1, consumer: 2, elems: 70 },
+                TraceEvent::Spill {
+                    fm: 1,
+                    new_resident_elems: 30,
+                },
+                TraceEvent::FetchMissing {
+                    fm: 1,
+                    consumer: 2,
+                    elems: 70,
+                },
                 TraceEvent::Free { fm: 1 },
             ],
         };
@@ -178,13 +213,20 @@ mod tests {
 
     #[test]
     fn well_formed_rejects_double_produce() {
-        let t = Trace { events: vec![produce(1, 10, 10, 0), produce(1, 10, 10, 0)] };
-        assert!(t.check_well_formed().unwrap_err().contains("produced twice"));
+        let t = Trace {
+            events: vec![produce(1, 10, 10, 0), produce(1, 10, 10, 0)],
+        };
+        assert!(t
+            .check_well_formed()
+            .unwrap_err()
+            .contains("produced twice"));
     }
 
     #[test]
     fn well_formed_rejects_coverage_holes() {
-        let t = Trace { events: vec![produce(1, 100, 30, 40)] };
+        let t = Trace {
+            events: vec![produce(1, 100, 30, 40)],
+        };
         assert!(t.check_well_formed().unwrap_err().contains("coverage hole"));
     }
 
@@ -193,12 +235,19 @@ mod tests {
         let t = Trace {
             events: vec![
                 produce(1, 10, 5, 5),
-                TraceEvent::Spill { fm: 1, new_resident_elems: 9 },
+                TraceEvent::Spill {
+                    fm: 1,
+                    new_resident_elems: 9,
+                },
             ],
         };
         assert!(t.check_well_formed().unwrap_err().contains("grew"));
         let t = Trace {
-            events: vec![produce(1, 10, 10, 0), TraceEvent::Free { fm: 1 }, TraceEvent::Free { fm: 1 }],
+            events: vec![
+                produce(1, 10, 10, 0),
+                TraceEvent::Free { fm: 1 },
+                TraceEvent::Free { fm: 1 },
+            ],
         };
         assert!(t.check_well_formed().unwrap_err().contains("double free"));
     }
@@ -208,15 +257,25 @@ mod tests {
         let t = Trace {
             events: vec![
                 produce(1, 100, 60, 40),
-                TraceEvent::FetchMissing { fm: 1, consumer: 2, elems: 99 },
+                TraceEvent::FetchMissing {
+                    fm: 1,
+                    consumer: 2,
+                    elems: 99,
+                },
             ],
         };
         assert!(t.check_well_formed().unwrap_err().contains("fetched"));
-        let t = Trace { events: vec![TraceEvent::Free { fm: 7 }] };
+        let t = Trace {
+            events: vec![TraceEvent::Free { fm: 7 }],
+        };
         assert!(t.check_well_formed().unwrap_err().contains("unproduced"));
         // fm 0 (the network input) pre-exists and may be fetched freely.
         let t = Trace {
-            events: vec![TraceEvent::FetchMissing { fm: 0, consumer: 1, elems: 123 }],
+            events: vec![TraceEvent::FetchMissing {
+                fm: 0,
+                consumer: 1,
+                elems: 123,
+            }],
         };
         t.check_well_formed().unwrap();
     }

@@ -18,7 +18,8 @@ fn self_add() -> Network {
     let x = b.input_id();
     let c1 = b.conv("c1", x, ConvSpec::relu(8, 3, 1, 1)).expect("c1");
     let doubled = b.eltwise_add("double", c1, c1, false).expect("add");
-    b.conv("c2", doubled, ConvSpec::relu(8, 3, 1, 1)).expect("c2");
+    b.conv("c2", doubled, ConvSpec::relu(8, 3, 1, 1))
+        .expect("c2");
     b.finish().expect("builds")
 }
 
@@ -50,7 +51,9 @@ fn self_add_is_value_preserving_and_consistent() {
     verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 3).unwrap();
     let sm = run(&net, cfg);
     sm.trace.check_well_formed().unwrap();
-    let base = BaselineAccelerator::new(cfg).with_fused_junctions().simulate(&net);
+    let base = BaselineAccelerator::new(cfg)
+        .with_fused_junctions()
+        .simulate(&net);
     assert!(sm.stats.fm_traffic_bytes() <= base.fm_traffic_bytes());
 }
 
@@ -137,9 +140,15 @@ fn junction_take_over_skips_when_residual_has_other_consumers() {
 #[test]
 fn tiny_pool_still_produces_well_formed_traces_for_dense_graphs() {
     let cfg = AccelConfig::default().with_fm_capacity(8 << 10);
-    for net in [zoo::densenet_tiny(4, 1), zoo::mobilenet_tiny(1), zoo::squeezenet_tiny(2)] {
+    for net in [
+        zoo::densenet_tiny(4, 1),
+        zoo::mobilenet_tiny(1),
+        zoo::squeezenet_tiny(2),
+    ] {
         let sm = run(&net, cfg);
-        sm.trace.check_well_formed().unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        sm.trace
+            .check_well_formed()
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
         verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 13)
             .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
     }

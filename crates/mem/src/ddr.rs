@@ -158,7 +158,11 @@ impl DdrChannel {
                 cost.row_hits += 1;
                 cost.cycles += t.burst_cycles;
             } else {
-                let penalty = if self.open_rows[bank].is_some() { t.t_rp } else { 0 };
+                let penalty = if self.open_rows[bank].is_some() {
+                    t.t_rp
+                } else {
+                    0
+                };
                 cost.row_misses += 1;
                 cost.cycles += penalty + t.t_rcd + t.t_cas + t.burst_cycles;
                 self.open_rows[bank] = Some(row_in_bank);

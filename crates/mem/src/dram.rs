@@ -1,4 +1,4 @@
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Parameters of the off-chip channel, expressed in accelerator clock cycles.
 ///
@@ -6,7 +6,7 @@ use serde::Serialize;
 /// 100 MHz accelerator clock fed by a DDR3 interface sustaining
 /// ~12.8 GB/s, i.e. 128 bytes per accelerator cycle, with 64-byte bursts and
 /// a fixed per-transfer initiation latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DramConfig {
     /// Sustained bandwidth in bytes per accelerator cycle.
     pub bytes_per_cycle: f64,

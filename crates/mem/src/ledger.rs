@@ -24,25 +24,40 @@ pub enum TrafficClass {
     SpillRead,
     /// Convolution / fully-connected weights fetched from DRAM.
     WeightRead,
+    /// Bytes re-transferred after an injected DRAM failure. Kept out of the
+    /// feature-map metric so fault overhead never masquerades as
+    /// algorithmic traffic.
+    Retry,
 }
 
 impl TrafficClass {
     /// All classes, in display order.
-    pub const ALL: [TrafficClass; 6] = [
+    pub const ALL: [TrafficClass; 7] = [
         TrafficClass::IfmRead,
         TrafficClass::OfmWrite,
         TrafficClass::ShortcutRead,
         TrafficClass::SpillWrite,
         TrafficClass::SpillRead,
         TrafficClass::WeightRead,
+        TrafficClass::Retry,
     ];
 
-    /// Whether the class carries feature-map data (everything but weights).
+    /// Whether the class carries feature-map data. Weights and retry
+    /// re-transfers are excluded: `fm_bytes` must reflect the schedule's
+    /// algorithmic traffic, independent of injected faults.
     pub fn is_feature_map(&self) -> bool {
-        !matches!(self, TrafficClass::WeightRead)
+        matches!(
+            self,
+            TrafficClass::IfmRead
+                | TrafficClass::OfmWrite
+                | TrafficClass::ShortcutRead
+                | TrafficClass::SpillWrite
+                | TrafficClass::SpillRead
+        )
     }
 
-    /// Whether the transfer direction is DRAM → chip.
+    /// Whether the transfer direction is DRAM → chip. Retries are counted
+    /// as reads: the re-issued transfer pulls the same data in again.
     pub fn is_read(&self) -> bool {
         matches!(
             self,
@@ -50,6 +65,7 @@ impl TrafficClass {
                 | TrafficClass::ShortcutRead
                 | TrafficClass::SpillRead
                 | TrafficClass::WeightRead
+                | TrafficClass::Retry
         )
     }
 
@@ -61,6 +77,7 @@ impl TrafficClass {
             TrafficClass::SpillWrite => 3,
             TrafficClass::SpillRead => 4,
             TrafficClass::WeightRead => 5,
+            TrafficClass::Retry => 6,
         }
     }
 }
@@ -74,6 +91,7 @@ impl fmt::Display for TrafficClass {
             TrafficClass::SpillWrite => "spill_write",
             TrafficClass::SpillRead => "spill_read",
             TrafficClass::WeightRead => "weight_read",
+            TrafficClass::Retry => "retry",
         };
         f.write_str(s)
     }
@@ -82,7 +100,7 @@ impl fmt::Display for TrafficClass {
 /// Byte totals per [`TrafficClass`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub struct ClassTotals {
-    bytes: [u64; 6],
+    bytes: [u64; 7],
 }
 
 impl ClassTotals {
@@ -96,9 +114,13 @@ impl ClassTotals {
         self.bytes[class.slot()]
     }
 
-    /// Adds `bytes` to `class`.
+    /// Adds `bytes` to `class`. Accumulation saturates instead of wrapping;
+    /// overflow is a bookkeeping bug, so debug builds assert on it.
     pub fn record(&mut self, class: TrafficClass, bytes: u64) {
-        self.bytes[class.slot()] += bytes;
+        let slot = &mut self.bytes[class.slot()];
+        let (sum, overflowed) = slot.overflowing_add(bytes);
+        debug_assert!(!overflowed, "traffic counter overflow on {class}");
+        *slot = if overflowed { u64::MAX } else { sum };
     }
 
     /// Bytes across all classes.
@@ -142,7 +164,9 @@ impl Add for ClassTotals {
 impl AddAssign for ClassTotals {
     fn add_assign(&mut self, rhs: ClassTotals) {
         for (a, b) in self.bytes.iter_mut().zip(rhs.bytes) {
-            *a += b;
+            let (sum, overflowed) = a.overflowing_add(b);
+            debug_assert!(!overflowed, "traffic counter overflow in merge");
+            *a = if overflowed { u64::MAX } else { sum };
         }
     }
 }
@@ -206,10 +230,44 @@ impl Ledger {
         self.totals.class(class)
     }
 
+    /// Verifies the ledger's internal accounting: aggregate totals must
+    /// equal the sum over per-layer totals for every class, and reads plus
+    /// writes must partition the total. Returns a description of the first
+    /// violation, or `Ok(())`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the inconsistency.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut sum = ClassTotals::new();
+        for layer in &self.per_layer {
+            sum += *layer;
+        }
+        for class in TrafficClass::ALL {
+            if sum.class(class) != self.totals.class(class) {
+                return Err(format!(
+                    "ledger class {class}: per-layer sum {} != totals {}",
+                    sum.class(class),
+                    self.totals.class(class)
+                ));
+            }
+        }
+        if self.totals.reads() + self.totals.writes() != self.totals.total() {
+            return Err(format!(
+                "ledger reads {} + writes {} != total {}",
+                self.totals.reads(),
+                self.totals.writes(),
+                self.totals.total()
+            ));
+        }
+        Ok(())
+    }
+
     /// Merges another ledger into this one, layer by layer.
     pub fn merge(&mut self, other: &Ledger) {
         if self.per_layer.len() < other.per_layer.len() {
-            self.per_layer.resize(other.per_layer.len(), ClassTotals::new());
+            self.per_layer
+                .resize(other.per_layer.len(), ClassTotals::new());
         }
         for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
             *a += *b;
@@ -298,5 +356,37 @@ mod tests {
     fn display_names_are_snake_case() {
         assert_eq!(TrafficClass::IfmRead.to_string(), "ifm_read");
         assert_eq!(TrafficClass::SpillWrite.to_string(), "spill_write");
+        assert_eq!(TrafficClass::Retry.to_string(), "retry");
+    }
+
+    #[test]
+    fn retry_counts_as_read_but_not_feature_map() {
+        let mut t = ClassTotals::new();
+        t.record(TrafficClass::Retry, 64);
+        t.record(TrafficClass::IfmRead, 100);
+        assert!(!TrafficClass::Retry.is_feature_map());
+        assert!(TrafficClass::Retry.is_read());
+        assert_eq!(t.feature_map(), 100);
+        assert_eq!(t.reads(), 164);
+        assert_eq!(t.reads() + t.writes(), t.total());
+    }
+
+    #[test]
+    fn check_consistency_accepts_any_recorded_ledger() {
+        let mut l = Ledger::new();
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            l.record(i, *class, (i as u64 + 1) * 17);
+        }
+        assert!(l.check_consistency().is_ok());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overflow"))]
+    fn record_saturates_instead_of_wrapping() {
+        let mut t = ClassTotals::new();
+        t.record(TrafficClass::IfmRead, u64::MAX);
+        t.record(TrafficClass::IfmRead, 1);
+        // Release builds reach this point with a saturated counter.
+        assert_eq!(t.class(TrafficClass::IfmRead), u64::MAX);
     }
 }

@@ -122,7 +122,10 @@ impl<'a> GoldenExecutor<'a> {
         };
         let fan_in = (shape.c * shape.h * shape.w).max(1) as f32;
         let scale = (2.0 / fan_in).sqrt();
-        let mut w = Tensor::random(shape, self.seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut w = Tensor::random(
+            shape,
+            self.seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         for x in w.as_mut_slice() {
             *x *= scale;
         }

@@ -262,9 +262,7 @@ impl Layer {
                 self.out_shape.len() as u64 * (spec.kernel * spec.kernel) as u64
             }
             LayerKind::GlobalAvgPool => in_shapes.iter().map(|s| s.len() as u64).sum(),
-            LayerKind::EltwiseAdd { .. } | LayerKind::ConcatChannels => {
-                self.out_shape.len() as u64
-            }
+            LayerKind::EltwiseAdd { .. } | LayerKind::ConcatChannels => self.out_shape.len() as u64,
         }
     }
 }

@@ -32,7 +32,9 @@ impl Lifetime {
     /// Number of layers the feature map must survive after its producer
     /// finishes (0 when consumed by the next layer).
     pub fn span(&self) -> usize {
-        self.last_use.index().saturating_sub(self.producer.index() + 1)
+        self.last_use
+            .index()
+            .saturating_sub(self.producer.index() + 1)
     }
 }
 

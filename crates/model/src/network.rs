@@ -154,11 +154,7 @@ impl Network {
 
     /// Ids of layers whose output feeds at least one shortcut edge.
     pub fn shortcut_sources(&self) -> Vec<LayerId> {
-        let mut sources: Vec<LayerId> = self
-            .shortcut_edges()
-            .iter()
-            .map(|e| e.from)
-            .collect();
+        let mut sources: Vec<LayerId> = self.shortcut_edges().iter().map(|e| e.from).collect();
         sources.sort_unstable();
         sources.dedup();
         sources
@@ -493,8 +489,14 @@ mod tests {
     #[test]
     fn builder_resolves_shapes() {
         let net = residual_toy();
-        assert_eq!(net.layer_by_name("c1").unwrap().out_shape, Shape4::new(1, 8, 8, 8));
-        assert_eq!(net.layer_by_name("fc").unwrap().out_shape, Shape4::new(1, 10, 1, 1));
+        assert_eq!(
+            net.layer_by_name("c1").unwrap().out_shape,
+            Shape4::new(1, 8, 8, 8)
+        );
+        assert_eq!(
+            net.layer_by_name("fc").unwrap().out_shape,
+            Shape4::new(1, 10, 1, 1)
+        );
         assert_eq!(net.len(), 6);
         assert!(!net.is_empty());
     }

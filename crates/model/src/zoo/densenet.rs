@@ -20,18 +20,21 @@ struct DenseSpec {
     growth: usize,
 }
 
-fn dense_layer(
-    b: &mut NetworkBuilder,
-    tag: &str,
-    input: LayerId,
-    growth: usize,
-) -> LayerId {
+fn dense_layer(b: &mut NetworkBuilder, tag: &str, input: LayerId, growth: usize) -> LayerId {
     // BN-ReLU-1x1 (bottleneck to 4*growth) then BN-ReLU-3x3 (growth).
     let bottleneck = b
-        .conv(format!("{tag}/1x1"), input, ConvSpec::relu(4 * growth, 1, 1, 0))
+        .conv(
+            format!("{tag}/1x1"),
+            input,
+            ConvSpec::relu(4 * growth, 1, 1, 0),
+        )
         .expect("dense 1x1");
     let new = b
-        .conv(format!("{tag}/3x3"), bottleneck, ConvSpec::relu(growth, 3, 1, 1))
+        .conv(
+            format!("{tag}/3x3"),
+            bottleneck,
+            ConvSpec::relu(growth, 3, 1, 1),
+        )
         .expect("dense 3x3");
     // Dense connectivity: the running concatenation grows by `growth`.
     b.concat(format!("{tag}/concat"), &[input, new])
@@ -44,7 +47,9 @@ fn build(spec: &DenseSpec, batch: usize) -> Network {
     let stem = b
         .conv("conv1", x, ConvSpec::relu(2 * spec.growth, 7, 2, 3))
         .expect("stem");
-    let mut cur = b.pool("pool1", stem, PoolSpec::max(3, 2, 1)).expect("stem pool");
+    let mut cur = b
+        .pool("pool1", stem, PoolSpec::max(3, 2, 1))
+        .expect("stem pool");
 
     for (block, &layers) in spec.blocks.iter().enumerate() {
         for layer in 0..layers {
@@ -113,7 +118,9 @@ pub fn densenet_tiny(layers: usize, batch: usize) -> Network {
         Shape4::new(batch, 3, 16, 16),
     );
     let x = b.input_id();
-    let mut cur = b.conv("stem", x, ConvSpec::relu(16, 3, 1, 1)).expect("stem");
+    let mut cur = b
+        .conv("stem", x, ConvSpec::relu(16, 3, 1, 1))
+        .expect("stem");
     for i in 0..layers {
         cur = dense_layer(&mut b, &format!("dense{i}"), cur, 8);
     }
@@ -133,10 +140,22 @@ mod tests {
         let net = densenet121(1);
         // Block outputs: 64+6*32=256, halved to 128; 128+12*32=512 -> 256;
         // 256+24*32=1024 -> 512; 512+16*32=1024.
-        assert_eq!(net.layer_by_name("dense1_6/concat").unwrap().out_shape.c, 256);
-        assert_eq!(net.layer_by_name("transition1/1x1").unwrap().out_shape.c, 128);
-        assert_eq!(net.layer_by_name("dense2_12/concat").unwrap().out_shape.c, 512);
-        assert_eq!(net.layer_by_name("dense3_24/concat").unwrap().out_shape.c, 1024);
+        assert_eq!(
+            net.layer_by_name("dense1_6/concat").unwrap().out_shape.c,
+            256
+        );
+        assert_eq!(
+            net.layer_by_name("transition1/1x1").unwrap().out_shape.c,
+            128
+        );
+        assert_eq!(
+            net.layer_by_name("dense2_12/concat").unwrap().out_shape.c,
+            512
+        );
+        assert_eq!(
+            net.layer_by_name("dense3_24/concat").unwrap().out_shape.c,
+            1024
+        );
         let last = net.layer_by_name("dense4_16/concat").unwrap().out_shape;
         assert_eq!((last.c, last.h, last.w), (1024, 7, 7));
         // ~8 M params, ~2.8-3 GMACs.
@@ -165,7 +184,15 @@ mod tests {
     fn tiny_densenet_executes_functionally() {
         let net = densenet_tiny(3, 1);
         let outs = GoldenExecutor::new(&net, 9).run().unwrap();
-        assert!(outs.last().unwrap().as_slice().iter().all(|x| x.is_finite()));
-        assert_eq!(net.layer_by_name("dense2/concat").unwrap().out_shape.c, 16 + 3 * 8);
+        assert!(outs
+            .last()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|x| x.is_finite()));
+        assert_eq!(
+            net.layer_by_name("dense2/concat").unwrap().out_shape.c,
+            16 + 3 * 8
+        );
     }
 }

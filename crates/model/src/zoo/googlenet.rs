@@ -31,25 +31,53 @@ const MODULES: [(&str, Inception); 9] = [
 fn inception(b: &mut NetworkBuilder, tag: &str, input: LayerId, plan: Inception) -> LayerId {
     let (b1, b3r, b3, b5r, b5, pp) = plan;
     let br1 = b
-        .conv(format!("inception_{tag}/1x1"), input, ConvSpec::relu(b1, 1, 1, 0))
+        .conv(
+            format!("inception_{tag}/1x1"),
+            input,
+            ConvSpec::relu(b1, 1, 1, 0),
+        )
         .expect("1x1 branch");
     let r3 = b
-        .conv(format!("inception_{tag}/3x3_reduce"), input, ConvSpec::relu(b3r, 1, 1, 0))
+        .conv(
+            format!("inception_{tag}/3x3_reduce"),
+            input,
+            ConvSpec::relu(b3r, 1, 1, 0),
+        )
         .expect("3x3 reduce");
     let br3 = b
-        .conv(format!("inception_{tag}/3x3"), r3, ConvSpec::relu(b3, 3, 1, 1))
+        .conv(
+            format!("inception_{tag}/3x3"),
+            r3,
+            ConvSpec::relu(b3, 3, 1, 1),
+        )
         .expect("3x3 branch");
     let r5 = b
-        .conv(format!("inception_{tag}/5x5_reduce"), input, ConvSpec::relu(b5r, 1, 1, 0))
+        .conv(
+            format!("inception_{tag}/5x5_reduce"),
+            input,
+            ConvSpec::relu(b5r, 1, 1, 0),
+        )
         .expect("5x5 reduce");
     let br5 = b
-        .conv(format!("inception_{tag}/5x5"), r5, ConvSpec::relu(b5, 5, 1, 2))
+        .conv(
+            format!("inception_{tag}/5x5"),
+            r5,
+            ConvSpec::relu(b5, 5, 1, 2),
+        )
         .expect("5x5 branch");
     let pool = b
-        .pool(format!("inception_{tag}/pool"), input, PoolSpec::max(3, 1, 1))
+        .pool(
+            format!("inception_{tag}/pool"),
+            input,
+            PoolSpec::max(3, 1, 1),
+        )
         .expect("pool branch");
     let brp = b
-        .conv(format!("inception_{tag}/pool_proj"), pool, ConvSpec::relu(pp, 1, 1, 0))
+        .conv(
+            format!("inception_{tag}/pool_proj"),
+            pool,
+            ConvSpec::relu(pp, 1, 1, 0),
+        )
         .expect("pool projection");
     b.concat(format!("inception_{tag}/concat"), &[br1, br3, br5, brp])
         .expect("inception concat")
@@ -59,10 +87,16 @@ fn inception(b: &mut NetworkBuilder, tag: &str, input: LayerId, plan: Inception)
 pub fn googlenet(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("googlenet", Shape4::new(batch, 3, 224, 224));
     let x = b.input_id();
-    let c1 = b.conv("conv1", x, ConvSpec::relu(64, 7, 2, 3)).expect("conv1");
+    let c1 = b
+        .conv("conv1", x, ConvSpec::relu(64, 7, 2, 3))
+        .expect("conv1");
     let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 1)).expect("pool1");
-    let c2r = b.conv("conv2_reduce", p1, ConvSpec::relu(64, 1, 1, 0)).expect("conv2 reduce");
-    let c2 = b.conv("conv2", c2r, ConvSpec::relu(192, 3, 1, 1)).expect("conv2");
+    let c2r = b
+        .conv("conv2_reduce", p1, ConvSpec::relu(64, 1, 1, 0))
+        .expect("conv2 reduce");
+    let c2 = b
+        .conv("conv2", c2r, ConvSpec::relu(192, 3, 1, 1))
+        .expect("conv2");
     let mut cur = b.pool("pool2", c2, PoolSpec::max(3, 2, 1)).expect("pool2");
 
     for (tag, plan) in MODULES {

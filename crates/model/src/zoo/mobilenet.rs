@@ -15,7 +15,9 @@ use crate::{ConvSpec, DwConvSpec, LayerId, Network, NetworkBuilder};
 pub fn mobilenet_v1(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("mobilenet_v1", Shape4::new(batch, 3, 224, 224));
     let x = b.input_id();
-    let mut cur = b.conv("conv1", x, ConvSpec::relu(32, 3, 2, 1)).expect("stem");
+    let mut cur = b
+        .conv("conv1", x, ConvSpec::relu(32, 3, 2, 1))
+        .expect("stem");
     // (output channels, stride) of each separable block.
     let plan: [(usize, usize); 13] = [
         (64, 1),
@@ -61,14 +63,22 @@ fn inverted_residual(
     let mut cur = input;
     if expand != 1 {
         cur = b
-            .conv(format!("{tag}/expand"), cur, ConvSpec::relu(in_c * expand, 1, 1, 0))
+            .conv(
+                format!("{tag}/expand"),
+                cur,
+                ConvSpec::relu(in_c * expand, 1, 1, 0),
+            )
             .expect("expand");
     }
     let dw = b
         .depthwise_conv(format!("{tag}/dw"), cur, DwConvSpec::relu(3, stride, 1))
         .expect("depthwise");
     let proj = b
-        .conv(format!("{tag}/project"), dw, ConvSpec::linear(out_c, 1, 1, 0))
+        .conv(
+            format!("{tag}/project"),
+            dw,
+            ConvSpec::linear(out_c, 1, 1, 0),
+        )
         .expect("project");
     if stride == 1 && in_c == out_c {
         b.eltwise_add(format!("{tag}/add"), input, proj, false)
@@ -82,7 +92,9 @@ fn inverted_residual(
 pub fn mobilenet_v2(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("mobilenet_v2", Shape4::new(batch, 3, 224, 224));
     let x = b.input_id();
-    let mut cur = b.conv("conv1", x, ConvSpec::relu(32, 3, 2, 1)).expect("stem");
+    let mut cur = b
+        .conv("conv1", x, ConvSpec::relu(32, 3, 2, 1))
+        .expect("stem");
     let table: [(usize, usize, usize, usize); 7] = [
         (1, 16, 1, 1),
         (6, 24, 2, 2),
@@ -105,7 +117,9 @@ pub fn mobilenet_v2(batch: usize) -> Network {
             );
         }
     }
-    let head = b.conv("conv_head", cur, ConvSpec::relu(1280, 1, 1, 0)).expect("head");
+    let head = b
+        .conv("conv_head", cur, ConvSpec::relu(1280, 1, 1, 0))
+        .expect("head");
     let gap = b.global_avg_pool("gap", head).expect("gap");
     b.fc("fc1000", gap, 1000).expect("fc");
     b.finish().expect("mobilenet v2 builds")
@@ -116,7 +130,9 @@ pub fn mobilenet_v2(batch: usize) -> Network {
 pub fn mobilenet_tiny(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("mobilenet_tiny", Shape4::new(batch, 3, 32, 32));
     let x = b.input_id();
-    let stem = b.conv("conv1", x, ConvSpec::relu(8, 3, 2, 1)).expect("stem");
+    let stem = b
+        .conv("conv1", x, ConvSpec::relu(8, 3, 2, 1))
+        .expect("stem");
     let b1 = inverted_residual(&mut b, "ir1", stem, 1, 8, 1);
     let b2 = inverted_residual(&mut b, "ir2", b1, 6, 8, 1);
     let gap = b.global_avg_pool("gap", b2).expect("gap");
@@ -159,7 +175,11 @@ mod tests {
         // expanded 6x intermediates dominate the data — the opposite regime
         // from ResNet's ~40%.
         let s = NetworkStats::of(&net);
-        assert!(s.shortcut_share() > 0.02 && s.shortcut_share() < 0.10, "{}", s.shortcut_share());
+        assert!(
+            s.shortcut_share() > 0.02 && s.shortcut_share() < 0.10,
+            "{}",
+            s.shortcut_share()
+        );
     }
 
     #[test]
@@ -173,7 +193,12 @@ mod tests {
     fn tiny_mobilenet_executes_functionally() {
         let net = mobilenet_tiny(1);
         let outs = GoldenExecutor::new(&net, 21).run().unwrap();
-        assert!(outs.last().unwrap().as_slice().iter().all(|x| x.is_finite()));
+        assert!(outs
+            .last()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|x| x.is_finite()));
         assert!(net.layer_by_name("ir2/add").is_some());
     }
 }

@@ -59,7 +59,12 @@ fn build(spec: &ResNetSpec, batch: usize) -> Network {
 
 /// Whether the block needs a projection on the shortcut path: the spatial
 /// resolution or channel count changes across the block.
-fn needs_projection(b: &NetworkBuilder, input: LayerId, out_channels: usize, stride: usize) -> bool {
+fn needs_projection(
+    b: &NetworkBuilder,
+    input: LayerId,
+    out_channels: usize,
+    stride: usize,
+) -> bool {
     let s = b.shape_of(input).expect("known layer");
     stride != 1 || s.c != out_channels
 }
@@ -73,7 +78,11 @@ fn basic_block(
     shortcuts: bool,
 ) -> LayerId {
     let c1 = b
-        .conv(format!("{tag}/a"), input, ConvSpec::relu(width, 3, stride, 1))
+        .conv(
+            format!("{tag}/a"),
+            input,
+            ConvSpec::relu(width, 3, stride, 1),
+        )
         .expect("block conv a");
     if !shortcuts {
         return b

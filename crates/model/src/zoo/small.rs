@@ -19,7 +19,9 @@ pub fn resnet_tiny(n: usize, batch: usize) -> Network {
         Shape4::new(batch, 3, 32, 32),
     );
     let x = b.input_id();
-    let mut cur = b.conv("stem", x, ConvSpec::relu(16, 3, 1, 1)).expect("stem");
+    let mut cur = b
+        .conv("stem", x, ConvSpec::relu(16, 3, 1, 1))
+        .expect("stem");
     for (stage, width) in [16usize, 32, 64].into_iter().enumerate() {
         for block in 0..n {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
@@ -31,8 +33,12 @@ pub fn resnet_tiny(n: usize, batch: usize) -> Network {
                 .conv(format!("{tag}/b"), c1, ConvSpec::linear(width, 3, 1, 1))
                 .expect("b");
             let shortcut = if stride != 1 || b.shape_of(cur).expect("known").c != width {
-                b.conv(format!("{tag}/proj"), cur, ConvSpec::linear(width, 1, stride, 0))
-                    .expect("proj")
+                b.conv(
+                    format!("{tag}/proj"),
+                    cur,
+                    ConvSpec::linear(width, 1, stride, 0),
+                )
+                .expect("proj")
             } else {
                 cur
             };
@@ -51,7 +57,9 @@ pub fn resnet_tiny(n: usize, batch: usize) -> Network {
 pub fn squeezenet_tiny(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("squeezenet_tiny", Shape4::new(batch, 3, 32, 32));
     let x = b.input_id();
-    let c1 = b.conv("conv1", x, ConvSpec::relu(16, 3, 2, 1)).expect("conv1");
+    let c1 = b
+        .conv("conv1", x, ConvSpec::relu(16, 3, 2, 1))
+        .expect("conv1");
     let mut cur = b.pool("pool1", c1, PoolSpec::max(3, 2, 0)).expect("pool1");
     for idx in 2..=3 {
         let tag = format!("fire{idx}");
@@ -72,7 +80,9 @@ pub fn squeezenet_tiny(batch: usize) -> Network {
             cat
         };
     }
-    let conv4 = b.conv("conv4", cur, ConvSpec::relu(10, 1, 1, 0)).expect("conv4");
+    let conv4 = b
+        .conv("conv4", cur, ConvSpec::relu(10, 1, 1, 0))
+        .expect("conv4");
     b.global_avg_pool("gap", conv4).expect("gap");
     b.finish().expect("tiny squeezenet builds")
 }
@@ -122,7 +132,12 @@ mod tests {
 
     #[test]
     fn tiny_networks_execute_functionally() {
-        for net in [resnet_tiny(1, 1), squeezenet_tiny(1), toy_residual(1), chain_tiny(3, 1)] {
+        for net in [
+            resnet_tiny(1, 1),
+            squeezenet_tiny(1),
+            toy_residual(1),
+            chain_tiny(3, 1),
+        ] {
             let outs = GoldenExecutor::new(&net, 5).run().unwrap();
             let last = outs.last().unwrap();
             assert!(

@@ -27,14 +27,38 @@ impl Fire {
 
 /// v1.0 fire plan (fire2..fire9).
 const FIRES_V10: [Fire; 8] = [
-    Fire { squeeze: 16, expand: 64 },
-    Fire { squeeze: 16, expand: 64 },
-    Fire { squeeze: 32, expand: 128 },
-    Fire { squeeze: 32, expand: 128 },
-    Fire { squeeze: 48, expand: 192 },
-    Fire { squeeze: 48, expand: 192 },
-    Fire { squeeze: 64, expand: 256 },
-    Fire { squeeze: 64, expand: 256 },
+    Fire {
+        squeeze: 16,
+        expand: 64,
+    },
+    Fire {
+        squeeze: 16,
+        expand: 64,
+    },
+    Fire {
+        squeeze: 32,
+        expand: 128,
+    },
+    Fire {
+        squeeze: 32,
+        expand: 128,
+    },
+    Fire {
+        squeeze: 48,
+        expand: 192,
+    },
+    Fire {
+        squeeze: 48,
+        expand: 192,
+    },
+    Fire {
+        squeeze: 64,
+        expand: 256,
+    },
+    Fire {
+        squeeze: 64,
+        expand: 256,
+    },
 ];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,15 +72,28 @@ enum Bypass {
 
 fn fire_module(b: &mut NetworkBuilder, tag: &str, input: LayerId, fire: Fire) -> LayerId {
     let s = b
-        .conv(format!("{tag}/squeeze1x1"), input, ConvSpec::relu(fire.squeeze, 1, 1, 0))
+        .conv(
+            format!("{tag}/squeeze1x1"),
+            input,
+            ConvSpec::relu(fire.squeeze, 1, 1, 0),
+        )
         .expect("squeeze");
     let e1 = b
-        .conv(format!("{tag}/expand1x1"), s, ConvSpec::relu(fire.expand, 1, 1, 0))
+        .conv(
+            format!("{tag}/expand1x1"),
+            s,
+            ConvSpec::relu(fire.expand, 1, 1, 0),
+        )
         .expect("expand 1x1");
     let e3 = b
-        .conv(format!("{tag}/expand3x3"), s, ConvSpec::relu(fire.expand, 3, 1, 1))
+        .conv(
+            format!("{tag}/expand3x3"),
+            s,
+            ConvSpec::relu(fire.expand, 3, 1, 1),
+        )
         .expect("expand 3x3");
-    b.concat(format!("{tag}/concat"), &[e1, e3]).expect("fire concat")
+    b.concat(format!("{tag}/concat"), &[e1, e3])
+        .expect("fire concat")
 }
 
 /// Applies one fire module plus its (optional) bypass junction.
@@ -93,8 +130,12 @@ fn fire_with_bypass(
 fn build_v10(name: &'static str, bypass: Bypass, batch: usize) -> Network {
     let mut b = NetworkBuilder::new(name, Shape4::new(batch, 3, 227, 227));
     let x = b.input_id();
-    let conv1 = b.conv("conv1", x, ConvSpec::relu(96, 7, 2, 0)).expect("conv1");
-    let mut cur = b.pool("pool1", conv1, PoolSpec::max(3, 2, 0)).expect("pool1");
+    let conv1 = b
+        .conv("conv1", x, ConvSpec::relu(96, 7, 2, 0))
+        .expect("conv1");
+    let mut cur = b
+        .pool("pool1", conv1, PoolSpec::max(3, 2, 0))
+        .expect("pool1");
     for (i, fire) in FIRES_V10.iter().enumerate() {
         let idx = i + 2;
         cur = fire_with_bypass(&mut b, idx, cur, *fire, bypass);
@@ -105,7 +146,9 @@ fn build_v10(name: &'static str, bypass: Bypass, batch: usize) -> Network {
                 .expect("pool");
         }
     }
-    let conv10 = b.conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0)).expect("conv10");
+    let conv10 = b
+        .conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0))
+        .expect("conv10");
     b.global_avg_pool("gap", conv10).expect("gap");
     b.finish().expect("squeezenet builds")
 }
@@ -132,8 +175,12 @@ pub fn squeezenet_v10_complex_bypass(batch: usize) -> Network {
 pub fn squeezenet_v11(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("squeezenet_v11", Shape4::new(batch, 3, 227, 227));
     let x = b.input_id();
-    let conv1 = b.conv("conv1", x, ConvSpec::relu(64, 3, 2, 0)).expect("conv1");
-    let mut cur = b.pool("pool1", conv1, PoolSpec::max(3, 2, 0)).expect("pool1");
+    let conv1 = b
+        .conv("conv1", x, ConvSpec::relu(64, 3, 2, 0))
+        .expect("conv1");
+    let mut cur = b
+        .pool("pool1", conv1, PoolSpec::max(3, 2, 0))
+        .expect("pool1");
     for (i, fire) in FIRES_V10.iter().enumerate() {
         let idx = i + 2;
         cur = fire_with_bypass(&mut b, idx, cur, *fire, Bypass::None);
@@ -144,7 +191,9 @@ pub fn squeezenet_v11(batch: usize) -> Network {
                 .expect("pool");
         }
     }
-    let conv10 = b.conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0)).expect("conv10");
+    let conv10 = b
+        .conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0))
+        .expect("conv10");
     b.global_avg_pool("gap", conv10).expect("gap");
     b.finish().expect("squeezenet v1.1 builds")
 }
@@ -176,20 +225,32 @@ mod tests {
         for idx in [2, 4, 6, 8] {
             assert!(net.layer_by_name(&format!("fire{idx}/bypass")).is_none());
         }
-        let adds = net.layers().iter().filter(|l| matches!(l.kind, LayerKind::EltwiseAdd { .. })).count();
+        let adds = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::EltwiseAdd { .. }))
+            .count();
         assert_eq!(adds, 4);
     }
 
     #[test]
     fn complex_bypass_projects_the_rest() {
         let net = squeezenet_v10_complex_bypass(1);
-        let adds = net.layers().iter().filter(|l| matches!(l.kind, LayerKind::EltwiseAdd { .. })).count();
+        let adds = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::EltwiseAdd { .. }))
+            .count();
         assert_eq!(adds, 8);
         for idx in [2, 4, 6, 8] {
-            assert!(net.layer_by_name(&format!("fire{idx}/bypass_conv")).is_some());
+            assert!(net
+                .layer_by_name(&format!("fire{idx}/bypass_conv"))
+                .is_some());
         }
         for idx in [3, 5, 7, 9] {
-            assert!(net.layer_by_name(&format!("fire{idx}/bypass_conv")).is_none());
+            assert!(net
+                .layer_by_name(&format!("fire{idx}/bypass_conv"))
+                .is_none());
         }
     }
 

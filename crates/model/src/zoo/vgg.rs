@@ -39,13 +39,23 @@ pub fn vgg16(batch: usize) -> Network {
 pub fn alexnet(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("alexnet", Shape4::new(batch, 3, 227, 227));
     let x = b.input_id();
-    let c1 = b.conv("conv1", x, ConvSpec::relu(96, 11, 4, 0)).expect("conv1");
+    let c1 = b
+        .conv("conv1", x, ConvSpec::relu(96, 11, 4, 0))
+        .expect("conv1");
     let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 0)).expect("pool1");
-    let c2 = b.conv("conv2", p1, ConvSpec::relu(256, 5, 1, 2)).expect("conv2");
+    let c2 = b
+        .conv("conv2", p1, ConvSpec::relu(256, 5, 1, 2))
+        .expect("conv2");
     let p2 = b.pool("pool2", c2, PoolSpec::max(3, 2, 0)).expect("pool2");
-    let c3 = b.conv("conv3", p2, ConvSpec::relu(384, 3, 1, 1)).expect("conv3");
-    let c4 = b.conv("conv4", c3, ConvSpec::relu(384, 3, 1, 1)).expect("conv4");
-    let c5 = b.conv("conv5", c4, ConvSpec::relu(256, 3, 1, 1)).expect("conv5");
+    let c3 = b
+        .conv("conv3", p2, ConvSpec::relu(384, 3, 1, 1))
+        .expect("conv3");
+    let c4 = b
+        .conv("conv4", c3, ConvSpec::relu(384, 3, 1, 1))
+        .expect("conv4");
+    let c5 = b
+        .conv("conv5", c4, ConvSpec::relu(256, 3, 1, 1))
+        .expect("conv5");
     let p5 = b.pool("pool5", c5, PoolSpec::max(3, 2, 0)).expect("pool5");
     let fc6 = b.fc("fc6", p5, 4096).expect("fc6");
     let fc7 = b.fc("fc7", fc6, 4096).expect("fc7");

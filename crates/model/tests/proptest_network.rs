@@ -39,14 +39,20 @@ fn build(steps: &[Op]) -> Network {
             Op::Conv { c, k } => {
                 let (k, pad) = if *k { (3, 1) } else { (1, 0) };
                 cur = b
-                    .conv(format!("c{n}"), cur, ConvSpec::relu(*c as usize * 2, k, 1, pad))
+                    .conv(
+                        format!("c{n}"),
+                        cur,
+                        ConvSpec::relu(*c as usize * 2, k, 1, pad),
+                    )
                     .expect("conv");
             }
             Op::Pool => {
                 if shape.h < 4 {
                     continue;
                 }
-                cur = b.pool(format!("p{n}"), cur, PoolSpec::max(2, 2, 0)).expect("pool");
+                cur = b
+                    .pool(format!("p{n}"), cur, PoolSpec::max(2, 2, 0))
+                    .expect("pool");
             }
             Op::Add { pick } => {
                 let candidates: Vec<_> = history
@@ -58,14 +64,24 @@ fn build(steps: &[Op]) -> Network {
                     continue;
                 }
                 let other = candidates[*pick as usize % candidates.len()];
-                cur = b.eltwise_add(format!("a{n}"), other, cur, true).expect("add");
+                cur = b
+                    .eltwise_add(format!("a{n}"), other, cur, true)
+                    .expect("add");
             }
             Op::Fork { c } => {
                 let e1 = b
-                    .conv(format!("f{n}e1"), cur, ConvSpec::relu(*c as usize * 2, 1, 1, 0))
+                    .conv(
+                        format!("f{n}e1"),
+                        cur,
+                        ConvSpec::relu(*c as usize * 2, 1, 1, 0),
+                    )
                     .expect("e1");
                 let e3 = b
-                    .conv(format!("f{n}e3"), cur, ConvSpec::relu(*c as usize * 2, 3, 1, 1))
+                    .conv(
+                        format!("f{n}e3"),
+                        cur,
+                        ConvSpec::relu(*c as usize * 2, 3, 1, 1),
+                    )
                     .expect("e3");
                 cur = b.concat(format!("f{n}cat"), &[e1, e3]).expect("cat");
             }
@@ -73,7 +89,8 @@ fn build(steps: &[Op]) -> Network {
         history.push(cur);
     }
     if history.len() == 1 {
-        b.conv("fallback", cur, ConvSpec::relu(4, 3, 1, 1)).expect("conv");
+        b.conv("fallback", cur, ConvSpec::relu(4, 3, 1, 1))
+            .expect("conv");
     }
     b.finish().expect("builds")
 }

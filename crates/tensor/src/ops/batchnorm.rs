@@ -40,7 +40,12 @@ impl BatchNormParams {
     }
 
     fn validate(&self, op: &'static str, channels: usize) -> Result<(), TensorError> {
-        let lens = [self.mean.len(), self.var.len(), self.gamma.len(), self.beta.len()];
+        let lens = [
+            self.mean.len(),
+            self.var.len(),
+            self.gamma.len(),
+            self.beta.len(),
+        ];
         if lens.iter().any(|&l| l != channels) {
             return Err(TensorError::InvalidParams {
                 op,
@@ -133,7 +138,10 @@ mod tests {
         let v = t.as_slice();
         BatchNormParams {
             mean: v[..channels].to_vec(),
-            var: v[channels..2 * channels].iter().map(|x| x.abs() + 0.5).collect(),
+            var: v[channels..2 * channels]
+                .iter()
+                .map(|x| x.abs() + 0.5)
+                .collect(),
             gamma: v[2 * channels..3 * channels].to_vec(),
             beta: v[3 * channels..].to_vec(),
             eps: 1e-5,

@@ -67,8 +67,8 @@ pub fn depthwise_conv2d(
                             if ix < 0 || ix as usize >= is.w {
                                 continue;
                             }
-                            acc += input.at(n, c, iy as usize, ix as usize)
-                                * weights.at(c, 0, ky, kx);
+                            acc +=
+                                input.at(n, c, iy as usize, ix as usize) * weights.at(c, 0, ky, kx);
                         }
                     }
                     *out.at_mut(n, c, oy, ox) = acc;

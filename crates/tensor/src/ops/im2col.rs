@@ -14,7 +14,10 @@ use crate::{Shape4, Tensor, TensorError};
 ///
 /// Returns [`TensorError::InvalidParams`] when the window is degenerate for
 /// the input extent.
-pub fn im2col(input: &Tensor, params: Conv2dParams) -> Result<(Vec<f32>, usize, usize), TensorError> {
+pub fn im2col(
+    input: &Tensor,
+    params: Conv2dParams,
+) -> Result<(Vec<f32>, usize, usize), TensorError> {
     let is = input.shape();
     let (oh, ow) = match (params.out_dim(is.h), params.out_dim(is.w)) {
         (Some(oh), Some(ow)) => (oh, ow),

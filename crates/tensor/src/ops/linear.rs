@@ -59,11 +59,8 @@ mod tests {
     #[test]
     fn computes_dot_products() {
         let input = Tensor::from_fn(Shape4::new(1, 1, 1, 3), |i| i as f32 + 1.0); // [1,2,3]
-        let weights = Tensor::from_vec(
-            Shape4::new(2, 3, 1, 1),
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let weights =
+            Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
         let out = fully_connected(&input, &weights, None).unwrap();
         assert_eq!(out.as_slice(), &[1.0, 6.0]);
     }

@@ -173,7 +173,10 @@ mod tests {
     fn zeros_full_and_from_vec() {
         let shape = Shape4::new(1, 2, 2, 2);
         assert!(Tensor::zeros(shape).as_slice().iter().all(|&x| x == 0.0));
-        assert!(Tensor::full(shape, 2.0).as_slice().iter().all(|&x| x == 2.0));
+        assert!(Tensor::full(shape, 2.0)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 2.0));
         let t = Tensor::from_vec(shape, vec![1.0; 8]).unwrap();
         assert_eq!(t.shape(), shape);
         let err = Tensor::from_vec(shape, vec![1.0; 7]).unwrap_err();

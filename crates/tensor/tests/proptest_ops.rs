@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use sm_tensor::ops::{
-    avg_pool2d, conv2d, conv2d_im2col, conv_out_dim, eltwise_add, max_pool2d, relu,
-    Conv2dParams, Pool2dParams,
+    avg_pool2d, conv2d, conv2d_im2col, conv_out_dim, eltwise_add, max_pool2d, relu, Conv2dParams,
+    Pool2dParams,
 };
 use sm_tensor::{Shape4, Tensor};
 

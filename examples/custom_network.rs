@@ -21,23 +21,41 @@ use shortcut_mining::tensor::Shape4;
 fn build_edge_backbone() -> Network {
     let mut b = NetworkBuilder::new("edge_backbone", Shape4::new(1, 3, 96, 96));
     let x = b.input_id();
-    let stem = b.conv("stem", x, ConvSpec::relu(24, 3, 2, 1)).expect("stem");
+    let stem = b
+        .conv("stem", x, ConvSpec::relu(24, 3, 2, 1))
+        .expect("stem");
 
     // Residual stage 1.
-    let c1 = b.conv("res1/a", stem, ConvSpec::relu(24, 3, 1, 1)).expect("res1/a");
-    let c2 = b.conv("res1/b", c1, ConvSpec::linear(24, 3, 1, 1)).expect("res1/b");
+    let c1 = b
+        .conv("res1/a", stem, ConvSpec::relu(24, 3, 1, 1))
+        .expect("res1/a");
+    let c2 = b
+        .conv("res1/b", c1, ConvSpec::linear(24, 3, 1, 1))
+        .expect("res1/b");
     let r1 = b.eltwise_add("res1/add", stem, c2, true).expect("res1/add");
 
     // Fire module (squeeze + parallel expands + concat).
-    let s = b.conv("fire/squeeze", r1, ConvSpec::relu(12, 1, 1, 0)).expect("squeeze");
-    let e1 = b.conv("fire/e1x1", s, ConvSpec::relu(24, 1, 1, 0)).expect("e1");
-    let e3 = b.conv("fire/e3x3", s, ConvSpec::relu(24, 3, 1, 1)).expect("e3");
+    let s = b
+        .conv("fire/squeeze", r1, ConvSpec::relu(12, 1, 1, 0))
+        .expect("squeeze");
+    let e1 = b
+        .conv("fire/e1x1", s, ConvSpec::relu(24, 1, 1, 0))
+        .expect("e1");
+    let e3 = b
+        .conv("fire/e3x3", s, ConvSpec::relu(24, 3, 1, 1))
+        .expect("e3");
     let fire = b.concat("fire/concat", &[e1, e3]).expect("concat");
 
     // Downsampling residual stage with projection.
-    let d1 = b.conv("res2/a", fire, ConvSpec::relu(64, 3, 2, 1)).expect("res2/a");
-    let d2 = b.conv("res2/b", d1, ConvSpec::linear(64, 3, 1, 1)).expect("res2/b");
-    let proj = b.conv("res2/proj", fire, ConvSpec::linear(64, 1, 2, 0)).expect("proj");
+    let d1 = b
+        .conv("res2/a", fire, ConvSpec::relu(64, 3, 2, 1))
+        .expect("res2/a");
+    let d2 = b
+        .conv("res2/b", d1, ConvSpec::linear(64, 3, 1, 1))
+        .expect("res2/b");
+    let proj = b
+        .conv("res2/proj", fire, ConvSpec::linear(64, 1, 2, 0))
+        .expect("proj");
     let r2 = b.eltwise_add("res2/add", proj, d2, true).expect("res2/add");
 
     let p = b.pool("pool", r2, PoolSpec::max(2, 2, 0)).expect("pool");

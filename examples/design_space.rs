@@ -29,8 +29,8 @@ fn main() {
     let mut cheapest: Option<(u64, f64)> = None;
     for kib in [128u64, 256, 320, 512, 1024, 2048] {
         for bw_bytes_per_cycle in [4.0f64, 6.0, 12.0] {
-            let mut cfg = shortcut_mining::accel::AccelConfig::default()
-                .with_fm_capacity(kib * 1024);
+            let mut cfg =
+                shortcut_mining::accel::AccelConfig::default().with_fm_capacity(kib * 1024);
             cfg.fm_dram.bytes_per_cycle = bw_bytes_per_cycle;
             let exp = Experiment::new(cfg);
             let base = exp.run(&net, Policy::baseline());

@@ -56,7 +56,11 @@ fn main() {
                     new_resident_elems
                 );
             }
-            TraceEvent::FetchMissing { fm, consumer, elems } => {
+            TraceEvent::FetchMissing {
+                fm,
+                consumer,
+                elems,
+            } => {
                 println!(
                     "fetch    {:20} -> {:20} {:>6} elems from DRAM",
                     name(fm),

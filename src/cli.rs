@@ -65,6 +65,19 @@ pub enum Command {
         /// Batch size (default 1).
         batch: usize,
     },
+    /// Graceful-degradation sweep under injected faults.
+    Chaos {
+        /// Network name, or `headline` for ResNet-34 + SqueezeNet.
+        network: String,
+        /// Batch size (default 1).
+        batch: usize,
+        /// Fault-plan seed (default 42).
+        seed: u64,
+        /// Per-attempt DRAM failure probability (default 0.01).
+        dram_rate: f64,
+        /// Emit the degradation curves as a JSON document instead of text.
+        json: bool,
+    },
 }
 
 /// CLI error with a user-facing message.
@@ -90,6 +103,7 @@ USAGE:
   smctl verify  <network> [--seed <n>]
   smctl sweep   <network> [--batch <n>]
   smctl layers  <network> [--batch <n>]
+  smctl chaos   <network>|headline [--batch <n>] [--seed <n>] [--dram-rate <p>] [--json]
 
 POLICIES:
   baseline | reuse-disabled | swap-only | mining-only | shortcut-mining
@@ -112,9 +126,7 @@ pub fn network_by_name(name: &str, batch: usize) -> Option<Network> {
         "plain18" => zoo::plain18(batch),
         "plain34" => zoo::plain34(batch),
         "squeezenet_v10" => zoo::squeezenet_v10(batch),
-        "squeezenet_v10_simple_bypass" | "squeezenet" => {
-            zoo::squeezenet_v10_simple_bypass(batch)
-        }
+        "squeezenet_v10_simple_bypass" | "squeezenet" => zoo::squeezenet_v10_simple_bypass(batch),
         "squeezenet_v10_complex_bypass" => zoo::squeezenet_v10_complex_bypass(batch),
         "squeezenet_v11" => zoo::squeezenet_v11(batch),
         "vgg16" => zoo::vgg16(batch),
@@ -168,7 +180,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
     let cmd = it.next().ok_or_else(|| CliError(USAGE.to_string()))?;
     match cmd {
         "networks" => Ok(Command::Networks),
-        "compare" | "analyze" | "verify" | "sweep" | "layers" => {
+        "compare" | "analyze" | "verify" | "sweep" | "layers" | "chaos" => {
             let network = it
                 .next()
                 .ok_or_else(|| CliError(format!("{cmd} requires a network name")))?
@@ -178,6 +190,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut policy = Policy::shortcut_mining();
             let mut seed = 42u64;
             let mut json = false;
+            let mut dram_rate = 0.01f64;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
@@ -204,10 +217,17 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                             .parse()
                             .map_err(|_| CliError(format!("invalid seed {v:?}")))?;
                     }
+                    "--dram-rate" => {
+                        let v = take_value(&mut it, flag)?;
+                        dram_rate = v.parse().map_err(|_| {
+                            CliError(format!("invalid dram rate {v:?} (probability expected)"))
+                        })?;
+                    }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
-            if network_by_name(&network, 1).is_none() {
+            let headline = cmd == "chaos" && network == "headline";
+            if !headline && network_by_name(&network, 1).is_none() {
                 return Err(CliError(format!(
                     "unknown network {network:?} — run `smctl networks`"
                 )));
@@ -223,6 +243,13 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 "analyze" => Command::Analyze { network, batch },
                 "sweep" => Command::Sweep { network, batch },
                 "layers" => Command::Layers { network, batch },
+                "chaos" => Command::Chaos {
+                    network,
+                    batch,
+                    seed,
+                    dram_rate,
+                    json,
+                },
                 _ => Command::Verify { network, seed },
             })
         }
@@ -277,8 +304,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             let run = exp.run(&net, *policy);
             if *json {
                 let doc = (&base, &run);
-                let body = sm_bench::json::to_json(&doc)
-                    .map_err(|e| CliError(e.to_string()))?;
+                let body = sm_bench::json::to_json(&doc).map_err(|e| CliError(e.to_string()))?;
                 let _ = writeln!(out, "{body}");
                 return Ok(out);
             }
@@ -312,10 +338,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
             let cfg = AccelConfig::default();
             let bounds = analysis::ReuseBounds::of(&net, cfg, Policy::shortcut_mining());
-            let cap95 =
-                analysis::capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95);
+            let cap95 = analysis::capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95);
             let _ = writeln!(out, "{} batch {batch}", net.name());
-            let _ = writeln!(out, "peak live set:        {} KiB", bounds.peak_live_bytes / 1024);
+            let _ = writeln!(
+                out,
+                "peak live set:        {} KiB",
+                bounds.peak_live_bytes / 1024
+            );
             let _ = writeln!(
                 out,
                 "ideal reduction:      {:.1}%",
@@ -367,7 +396,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             let _ = writeln!(
                 out,
                 "{:24} {:>7} | {:>10} {:>10} {:>6} | {:>10} {:>10} {:>6}",
-                "layer", "kind", "base KiB", "base kcyc", "bound", "mined KiB", "mined kcyc", "bound"
+                "layer",
+                "kind",
+                "base KiB",
+                "base kcyc",
+                "bound",
+                "mined KiB",
+                "mined kcyc",
+                "bound"
             );
             let bound_tag = |c: &sm_accel::cycles::LayerCycles| match c.bound_by() {
                 sm_accel::cycles::Bound::Compute => "comp",
@@ -389,6 +425,44 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 );
             }
         }
+        Command::Chaos {
+            network,
+            batch,
+            seed,
+            dram_rate,
+            json,
+        } => {
+            use sm_bench::experiments::{chaos_degradation, DEFAULT_FRACTIONS};
+            let nets: Vec<Network> = if network == "headline" {
+                vec![
+                    zoo::resnet34(*batch),
+                    zoo::squeezenet_v10_simple_bypass(*batch),
+                ]
+            } else {
+                vec![network_by_name(network, *batch)
+                    .ok_or_else(|| CliError(format!("unknown network {network:?}")))?]
+            };
+            let curves: Vec<_> = nets
+                .iter()
+                .map(|net| {
+                    chaos_degradation(
+                        net,
+                        AccelConfig::default(),
+                        *seed,
+                        &DEFAULT_FRACTIONS,
+                        *dram_rate,
+                    )
+                })
+                .collect();
+            if *json {
+                let body = sm_bench::json::to_json(&curves).map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(out, "{body}");
+                return Ok(out);
+            }
+            for curve in &curves {
+                let _ = writeln!(out, "{}", curve.table().render());
+            }
+        }
         Command::Verify { network, seed } => {
             let net = network_by_name(network, 1)
                 .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
@@ -397,8 +471,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     "{network} is too large for golden execution; use a *_tiny or toy network"
                 )));
             }
-            verify_value_preservation(&net, AccelConfig::default(), Policy::shortcut_mining(), *seed)
-                .map_err(|e| CliError(format!("value preservation FAILED: {e}")))?;
+            verify_value_preservation(
+                &net,
+                AccelConfig::default(),
+                Policy::shortcut_mining(),
+                *seed,
+            )
+            .map_err(|e| CliError(format!("value preservation FAILED: {e}")))?;
             let _ = writeln!(
                 out,
                 "{}: value preservation OK (seed {seed}) — outputs bit-identical to the golden model",
@@ -495,6 +574,44 @@ mod tests {
         assert!(out.contains("add"));
         // Header + 5 layers.
         assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn chaos_parses_and_runs_on_a_tiny_network() {
+        let cmd = parse([
+            "chaos",
+            "toy_residual",
+            "--seed",
+            "7",
+            "--dram-rate",
+            "0.05",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                network: "toy_residual".into(),
+                batch: 1,
+                seed: 7,
+                dram_rate: 0.05,
+                json: false,
+            }
+        );
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("chaos degradation"));
+        assert!(out.contains("ok"));
+    }
+
+    #[test]
+    fn chaos_headline_emits_json_for_both_networks() {
+        let out = execute(&parse(["chaos", "headline", "--json"]).unwrap()).unwrap();
+        assert!(out.trim_start().starts_with('['));
+        assert!(out.contains(r#""network":"resnet34""#));
+        assert!(out.contains(r#""network":"squeezenet_v10_simple_bypass""#));
+        assert!(out.contains(r#""fail_fraction":"#));
+        assert!(out.contains(r#""throughput_gops":"#));
+        // `headline` is chaos-only.
+        assert!(parse(["compare", "headline"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Serde round-trips for every serializable configuration type: a config
+//! written by `to_json` must read back equal via `from_json`, including
+//! non-default values, so experiment configs can be stored and replayed.
+
+use shortcut_mining::accel::{AccelConfig, SramPlan};
+use shortcut_mining::buffer::BankPoolConfig;
+use shortcut_mining::core::{AllocPriority, Policy, SpillOrder};
+use shortcut_mining::mem::DramConfig;
+use sm_bench::json::{from_json, to_json};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let json = to_json(value).unwrap_or_else(|e| panic!("serialize: {e}"));
+    from_json(&json).unwrap_or_else(|e| panic!("deserialize {json}: {e}"))
+}
+
+#[test]
+fn accel_config_roundtrips() {
+    for cfg in [
+        AccelConfig::default(),
+        AccelConfig::default().with_fm_capacity(96 << 10),
+        AccelConfig::default().with_dram_bandwidth(16.0),
+    ] {
+        assert_eq!(roundtrip(&cfg), cfg);
+    }
+}
+
+#[test]
+fn bank_pool_config_roundtrips() {
+    let pool = BankPoolConfig::new(48, 8 * 1024);
+    assert_eq!(roundtrip(&pool), pool);
+}
+
+#[test]
+fn sram_plan_roundtrips() {
+    let plan = SramPlan {
+        fm_pool: BankPoolConfig::new(16, 20 * 1024),
+        weight_bytes: 256 * 1024,
+    };
+    assert_eq!(roundtrip(&plan), plan);
+}
+
+#[test]
+fn dram_config_roundtrips() {
+    let chan = DramConfig {
+        bytes_per_cycle: 6.5,
+        burst_bytes: 128,
+        transfer_latency: 42,
+        clock_hz: 150.0e6,
+    };
+    assert_eq!(roundtrip(&chan), chan);
+}
+
+#[test]
+fn every_policy_roundtrips() {
+    for policy in [
+        Policy::baseline(),
+        Policy::reuse_disabled(),
+        Policy::swap_only(),
+        Policy::mining_only(),
+        Policy::shortcut_mining(),
+        Policy::shortcut_mining().with_swap_by_copy(),
+        Policy::shortcut_mining().with_adaptive_tiling(),
+        Policy::shortcut_mining().with_spill_order(SpillOrder::NearestJunctionFirst),
+    ] {
+        assert_eq!(roundtrip(&policy), policy);
+    }
+}
+
+#[test]
+fn policy_enums_roundtrip_as_variant_names() {
+    let json = to_json(&SpillOrder::NearestJunctionFirst).unwrap();
+    assert_eq!(json, r#""NearestJunctionFirst""#);
+    assert_eq!(
+        from_json::<SpillOrder>(&json).unwrap(),
+        SpillOrder::NearestJunctionFirst
+    );
+    assert_eq!(
+        from_json::<AllocPriority>(r#""OutputFirst""#).unwrap(),
+        AllocPriority::OutputFirst
+    );
+    assert!(from_json::<AllocPriority>(r#""Nonsense""#).is_err());
+}
+
+#[test]
+fn mismatched_shapes_error_instead_of_defaulting() {
+    assert!(from_json::<AccelConfig>(r#"{"pe_rows":64}"#).is_err());
+    assert!(from_json::<DramConfig>("[1,2,3]").is_err());
+    assert!(from_json::<Policy>("null").is_err());
+}

@@ -140,8 +140,8 @@ fn simulation_is_deterministic() {
 
 #[test]
 fn retention_records_are_well_formed() {
-    let run = Experiment::default_config()
-        .run_traced(&zoo::resnet152(1), Policy::shortcut_mining());
+    let run =
+        Experiment::default_config().run_traced(&zoo::resnet152(1), Policy::shortcut_mining());
     assert!(!run.retention.is_empty());
     for r in &run.retention {
         assert!(r.junction > r.producer);

@@ -22,7 +22,10 @@ fn traffic_reductions_keep_the_papers_shape() {
     assert!((r152 - 0.43).abs() < 0.15, "resnet152 {r152}");
 
     // Ordering: ResNet-34 reduces most, ResNet-152 least.
-    assert!(r34 > squeeze && squeeze > r152, "{r34} / {squeeze} / {r152}");
+    assert!(
+        r34 > squeeze && squeeze > r152,
+        "{r34} / {squeeze} / {r152}"
+    );
 }
 
 /// Abstract: 1.93× throughput over the state-of-the-art accelerator.
@@ -79,9 +82,13 @@ fn retention_survives_deep_skips_without_extra_banks() {
 
     // Under the default (tight) capacity retention is graceful, not binary:
     // partial survivals dominate and nothing errors.
-    let tight = Experiment::default_config()
-        .run_traced(&zoo::resnet152(1), Policy::shortcut_mining());
-    let mean: f64 = tight.retention.iter().map(|r| r.resident_fraction).sum::<f64>()
+    let tight =
+        Experiment::default_config().run_traced(&zoo::resnet152(1), Policy::shortcut_mining());
+    let mean: f64 = tight
+        .retention
+        .iter()
+        .map(|r| r.resident_fraction)
+        .sum::<f64>()
         / tight.retention.len() as f64;
     assert!((0.0..1.0).contains(&mean));
 }

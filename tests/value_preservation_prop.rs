@@ -19,14 +19,24 @@ use shortcut_mining::tensor::Shape4;
 /// One step of the random network program.
 #[derive(Debug, Clone)]
 enum Step {
-    Conv { channels: u8, kernel: bool, stride: bool },
+    Conv {
+        channels: u8,
+        kernel: bool,
+        stride: bool,
+    },
     Pool,
     /// Residual add with any earlier same-shaped feature map.
-    Add { pick: u8 },
+    Add {
+        pick: u8,
+    },
     /// Fork into 1x1 / 3x3 expands and concatenate.
-    Fork { channels: u8 },
+    Fork {
+        channels: u8,
+    },
     /// Depthwise 3x3 convolution.
-    Depthwise { stride: bool },
+    Depthwise {
+        stride: bool,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
@@ -51,7 +61,11 @@ fn build_network(steps: &[Step]) -> Network {
     for step in steps {
         let cur_shape = b.shape_of(cur).expect("live layer");
         match step {
-            Step::Conv { channels, kernel, stride } => {
+            Step::Conv {
+                channels,
+                kernel,
+                stride,
+            } => {
                 let k = if *kernel { 3 } else { 1 };
                 let s = if *stride && cur_shape.h >= 6 { 2 } else { 1 };
                 let pad = if k == 3 { 1 } else { 0 };
@@ -102,7 +116,8 @@ fn build_network(steps: &[Step]) -> Network {
     }
     if n == 0 {
         // Ensure at least one real layer.
-        b.conv("fallback", cur, ConvSpec::relu(4, 3, 1, 1)).expect("conv");
+        b.conv("fallback", cur, ConvSpec::relu(4, 3, 1, 1))
+            .expect("conv");
     }
     b.finish().expect("random network builds")
 }

@@ -1,0 +1,183 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build is offline, so this vendors the subset of proptest's API the
+//! workspace's property tests use: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_filter_map` / `boxed`, range and
+//! tuple strategies, [`strategy::Just`], `any::<T>()`,
+//! [`collection::vec`], the weighted [`prop_oneof!`] union, and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, deliberately accepted for a test-only
+//! stand-in: no shrinking (a failing case reports its generated inputs
+//! verbatim), no persistence of failure seeds (`.proptest-regressions`
+//! files are ignored), and generation is driven by a deterministic
+//! per-test seed so failures reproduce across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface test files use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Combines strategies into one, optionally weighted (`3 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let __strategies = ($($strat,)+);
+            let __reject_cap = __config.cases.saturating_mul(256).max(65_536);
+            let mut __done: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __done < __config.cases {
+                match $crate::strategy::Strategy::sample(&__strategies, &mut __rng) {
+                    ::core::result::Result::Err(_) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < __reject_cap,
+                            "proptest {}: too many rejected samples",
+                            stringify!($name)
+                        );
+                    }
+                    ::core::result::Result::Ok(__vals) => {
+                        __done += 1;
+                        let __desc = ::std::format!("{:?}", __vals);
+                        let __outcome = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(|| {
+                                let ($($pat,)+) = __vals;
+                                let __body_result: ::core::result::Result<
+                                    (),
+                                    $crate::test_runner::TestCaseError,
+                                > = (|| {
+                                    $body
+                                    ::core::result::Result::Ok(())
+                                })();
+                                __body_result
+                            }),
+                        );
+                        match __outcome {
+                            ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                            ::core::result::Result::Ok(::core::result::Result::Err(__e)) => {
+                                panic!(
+                                    "proptest {} failed: {}\ninputs: {}",
+                                    stringify!($name),
+                                    __e,
+                                    __desc
+                                );
+                            }
+                            ::core::result::Result::Err(__payload) => {
+                                eprintln!(
+                                    "proptest {} panicked on inputs: {}",
+                                    stringify!($name),
+                                    __desc
+                                );
+                                ::std::panic::resume_unwind(__payload);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+}

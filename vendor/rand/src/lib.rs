@@ -1,0 +1,148 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build is offline, so this vendors the sliver of `rand`'s API the
+//! workspace uses: a seedable [`rngs::StdRng`] and
+//! [`RngExt::random_range`] over half-open ranges. The generator is
+//! SplitMix64 — deterministic, fast, and statistically adequate for
+//! producing test tensors; it makes no cryptographic claims.
+
+use std::ops::Range;
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly over the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Extension methods for generators (the `rand 0.10` `Rng` surface the
+/// workspace touches).
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+macro_rules! int_ranges {
+    ($($ty:ty),*) => {
+        $(impl SampleRange<$ty> for Range<$ty> {
+            fn sample(self, rng: &mut dyn RngCore) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Modulo bias is negligible for the test-sized spans used
+                // here and keeps the generator allocation-free.
+                self.start.wrapping_add((rng.next_u64() % span.max(1)) as $ty)
+            }
+        })*
+    };
+}
+
+int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_ranges {
+    ($($ty:ty),*) => {
+        $(impl SampleRange<$ty> for Range<$ty> {
+            fn sample(self, rng: &mut dyn RngCore) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = (rng.next_u64() % span.max(1)) as i128;
+                (self.start as i128 + off) as $ty
+            }
+        })*
+    };
+}
+
+signed_ranges!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        // 24 high bits -> uniform in [0, 1) at f32 precision.
+        let frac = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        // 53 high bits -> uniform in [0, 1) at f64 precision.
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): one add, two xorshift-mults.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.random_range(-1.0f32..1.0);
+            assert_eq!(x, b.random_range(-1.0f32..1.0));
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(
+            a.random_range(0u64..u64::MAX),
+            c.random_range(0u64..u64::MAX)
+        );
+    }
+
+    #[test]
+    fn integer_ranges_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,252 @@
+//! Deserialization half of the data model — deliberately simplified.
+//!
+//! Upstream serde deserializes through a visitor machinery; the workspace
+//! only needs to read back its own JSON reports for config round-trips, so
+//! this module models deserialization as a two-step process: a format
+//! crate parses text into a [`Value`] tree, and [`Deserialize`] types
+//! build themselves from that tree. The tree mirrors the shapes the
+//! [`crate::ser`] model emits (structs as maps, unit variants as strings,
+//! newtype variants as single-key maps), so derived `Serialize` and
+//! `Deserialize` impls round-trip by construction.
+
+use std::fmt;
+
+/// A parsed self-describing value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A number with a fractional part or exponent.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object, in source order.
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced by deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from an arbitrary message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A data structure that can be built from a parsed [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from the value tree.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Looks up `name` in an object and deserializes it — the accessor the
+    /// derived struct impls use.
+    pub fn field<T: Deserialize>(&self, name: &str) -> Result<T, DeError> {
+        let Value::Map(entries) = self else {
+            return Err(DeError(format!("expected object, found {}", self.kind())));
+        };
+        let value = entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
+        T::deserialize(value).map_err(|e| DeError(format!("field `{name}`: {}", e.0)))
+    }
+
+    /// Interprets the value as an array of exactly `n` elements — the
+    /// accessor the derived tuple-struct/tuple-variant impls use.
+    pub fn seq_exact(&self, n: usize) -> Result<&[Value], DeError> {
+        let Value::Seq(items) = self else {
+            return Err(DeError(format!("expected array, found {}", self.kind())));
+        };
+        if items.len() != n {
+            return Err(DeError(format!(
+                "expected array of {n} elements, found {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
+    /// Interprets the value as an externally-tagged enum: either a bare
+    /// string (unit variant) or a single-key object (payload variant).
+    pub fn variant(&self) -> Result<(&str, Option<&Value>), DeError> {
+        match self {
+            Value::Str(name) => Ok((name, None)),
+            Value::Map(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
+            other => Err(DeError(format!(
+                "expected enum variant (string or single-key object), found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The payload of a non-unit variant; errors when absent.
+    pub fn variant_payload<'a>(
+        payload: Option<&'a Value>,
+        variant: &str,
+    ) -> Result<&'a Value, DeError> {
+        payload.ok_or_else(|| DeError(format!("variant `{variant}` is missing its payload")))
+    }
+
+    fn as_u64(&self) -> Result<u64, DeError> {
+        match *self {
+            Value::U64(v) => Ok(v),
+            Value::I64(v) if v >= 0 => Ok(v as u64),
+            _ => Err(DeError(format!(
+                "expected unsigned integer, found {}",
+                self.kind()
+            ))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, DeError> {
+        match *self {
+            Value::I64(v) => Ok(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+            _ => Err(DeError(format!("expected integer, found {}", self.kind()))),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, DeError> {
+        match *self {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            _ => Err(DeError(format!("expected number, found {}", self.kind()))),
+        }
+    }
+}
+
+macro_rules! uint_impls {
+    ($($ty:ty),*) => {
+        $(impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let v = value.as_u64()?;
+                <$ty>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($ty))))
+            }
+        })*
+    };
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {
+        $(impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let v = value.as_i64()?;
+                <$ty>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($ty))))
+            }
+        })*
+    };
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+int_impls!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value.as_f64()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let s = String::deserialize(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError("expected single-character string".into())),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let Value::Seq(items) = value else {
+            return Err(DeError(format!("expected array, found {}", value.kind())));
+        };
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = value.seq_exact(N)?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of {N} elements")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}

@@ -1,0 +1,26 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of serde's API it actually uses:
+//!
+//! * the [`ser`] data model — the full `Serializer` trait surface that
+//!   `sm-bench`'s JSON serializer implements, plus `Serialize` impls for
+//!   the std types the report structs contain;
+//! * a deliberately simplified [`de`] model — a JSON-like [`de::Value`]
+//!   tree plus a [`de::Deserialize`] trait, enough for config round-trip
+//!   tests without serde's full visitor machinery;
+//! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` re-exported from
+//!   the companion `serde_derive` proc-macro crate (feature `derive`).
+//!
+//! The serialization *shapes* (struct → map, unit variant → string,
+//! newtype variant → single-key map, …) match upstream serde's defaults,
+//! so swapping the real crates back in requires no source changes.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,462 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde subset.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote` — the build is
+//! offline), so it hand-parses the item grammar the workspace actually
+//! uses: non-generic structs (named, tuple, unit) and enums whose variants
+//! are unit, newtype, tuple, or struct shaped. Generics and `#[serde]`
+//! attributes are intentionally unsupported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attributes (doc comments included) and visibility.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    // The bracketed attribute body.
+                    if matches!(self.peek(), Some(TokenTree::Group(_))) {
+                        self.pos += 1;
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    self.pos += 1;
+                    // `pub(crate)` / `pub(super)` restriction group.
+                    if matches!(
+                        self.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs_and_vis();
+    let keyword = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names of a `{ ... }` struct body; types are skipped by consuming
+/// tokens until a comma at angle-bracket depth zero.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(body);
+    let mut names = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs_and_vis();
+        if cur.at_end() {
+            break;
+        }
+        names.push(cur.expect_ident()?);
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type(&mut cur);
+    }
+    Ok(names)
+}
+
+/// Number of fields in a `( ... )` tuple body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    let mut count = 0;
+    while !cur.at_end() {
+        cur.skip_attrs_and_vis();
+        if cur.at_end() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut cur);
+    }
+    count
+}
+
+/// Consumes one type (and its trailing comma) from the cursor, tracking
+/// `<`/`>` depth so commas inside generic arguments don't terminate it.
+fn skip_type(cur: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                cur.pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        cur.pos += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs_and_vis();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                cur.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                cur.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        match cur.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize emission
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, serialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(\n\
+                 &self,\n\
+                 __serializer: __S,\n\
+             ) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let mut body = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(\
+                     __serializer, {name:?}, {len}usize)?;\n",
+                len = names.len()
+            );
+            for f in names {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, {f:?}, &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)");
+            body
+        }
+        Fields::Tuple(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)"
+        ),
+        Fields::Tuple(n) => {
+            let mut body = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(\
+                     __serializer, {name:?}, {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            body
+        }
+        Fields::Unit => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})")
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
+                     __serializer, {name:?}, {idx}u32, {vname:?}),\n"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(__f0) => \
+                     ::serde::ser::Serializer::serialize_newtype_variant(\
+                         __serializer, {name:?}, {idx}u32, {vname:?}, __f0),\n"
+            ),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({binds}) => {{\n\
+                         let mut __tv = ::serde::ser::Serializer::serialize_tuple_variant(\
+                             __serializer, {name:?}, {idx}u32, {vname:?}, {n}usize)?;\n",
+                    binds = binders.join(", ")
+                );
+                for b in &binders {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(__tv)\n},\n");
+                arm
+            }
+            Fields::Named(fields) => {
+                let mut arm = format!(
+                    "{name}::{vname} {{ {binds} }} => {{\n\
+                         let mut __sv = ::serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, {name:?}, {idx}u32, {vname:?}, {len}usize)?;\n",
+                    binds = fields.join(", "),
+                    len = fields.len()
+                );
+                for f in fields {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(\
+                             &mut __sv, {f:?}, {f})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                arm
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize emission
+// ---------------------------------------------------------------------------
+
+fn emit_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, deserialize_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+             fn deserialize(\n\
+                 __value: &::serde::de::Value,\n\
+             ) -> ::core::result::Result<Self, ::serde::de::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn construct_named(path: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: {source}.field({f:?})?"))
+        .collect();
+    format!(
+        "::core::result::Result::Ok({path} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn construct_tuple(path: &str, n: usize, source: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::de::Deserialize::deserialize(&__items[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __items = {source}.seq_exact({n}usize)?;\n\
+             ::core::result::Result::Ok({path}({})) }}",
+        items.join(", ")
+    )
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => construct_named(name, names, "__value"),
+        Fields::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(\
+                 ::serde::de::Deserialize::deserialize(__value)?))"
+        ),
+        Fields::Tuple(n) => construct_tuple(name, *n, "__value"),
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let path = format!("{name}::{vname}");
+        let arm = match &v.fields {
+            Fields::Unit => format!("{vname:?} => ::core::result::Result::Ok({path}),\n"),
+            Fields::Tuple(1) => format!(
+                "{vname:?} => {{\n\
+                     let __payload = ::serde::de::Value::variant_payload(__payload, {vname:?})?;\n\
+                     ::core::result::Result::Ok({path}(\
+                         ::serde::de::Deserialize::deserialize(__payload)?))\n\
+                 }},\n"
+            ),
+            Fields::Tuple(n) => format!(
+                "{vname:?} => {{\n\
+                     let __payload = ::serde::de::Value::variant_payload(__payload, {vname:?})?;\n\
+                     {}\n\
+                 }},\n",
+                construct_tuple(&path, *n, "__payload")
+            ),
+            Fields::Named(fields) => format!(
+                "{vname:?} => {{\n\
+                     let __payload = ::serde::de::Value::variant_payload(__payload, {vname:?})?;\n\
+                     {}\n\
+                 }},\n",
+                construct_named(&path, fields, "__payload")
+            ),
+        };
+        arms.push_str(&arm);
+    }
+    format!(
+        "let (__variant, __payload) = __value.variant()?;\n\
+         match __variant {{\n\
+             {arms}\
+             __other => ::core::result::Result::Err(::serde::de::DeError(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}"
+    )
+}
