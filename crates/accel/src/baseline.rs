@@ -5,7 +5,7 @@ use sm_model::{Layer, LayerKind, Network};
 use crate::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
-use crate::tiling::{plan_conv, ConvDims, TileCaps};
+use crate::tiling::{plan_conv_cached, ConvDims, TileCaps};
 use crate::{AccelConfig, AccelError, FaultStats, LayerReport, RunStats};
 
 /// The conventional fixed-buffer accelerator — the paper's comparison point.
@@ -171,7 +171,7 @@ impl BaselineAccelerator {
                 let dims = ConvDims::from_layer(net, layer).ok_or_else(|| AccelError::NotConv {
                     layer: layer.name.clone(),
                 })?;
-                let plan = plan_conv(dims, self.tile_caps(), cfg.pe_rows, cfg.pe_cols, elem);
+                let plan = plan_conv_cached(dims, self.tile_caps(), cfg.pe_rows, cfg.pe_cols, elem);
                 traffic.push((read_class(0), plan.ifm_dram_bytes));
                 traffic.push((TrafficClass::WeightRead, plan.weight_dram_bytes));
                 traffic.push((TrafficClass::OfmWrite, plan.ofm_dram_bytes));

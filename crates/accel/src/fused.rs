@@ -24,7 +24,7 @@ use sm_model::{Layer, LayerId, LayerKind, Network};
 use crate::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
-use crate::tiling::{plan_conv, ConvDims};
+use crate::tiling::{plan_conv_cached, ConvDims};
 use crate::{AccelConfig, AccelError, BaselineAccelerator, FaultStats, LayerReport, RunStats};
 
 /// The fused-layer accelerator simulator.
@@ -165,7 +165,8 @@ impl FusedLayerAccelerator {
                                     layer: layer.name.clone(),
                                 }
                             })?;
-                            plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, elem).ifm_dram_bytes
+                            plan_conv_cached(dims, caps, cfg.pe_rows, cfg.pe_cols, elem)
+                                .ifm_dram_bytes
                         }
                         _ => net.layer(pid).out_elems() as u64 * elem,
                     };
@@ -183,7 +184,7 @@ impl FusedLayerAccelerator {
                                 layer: layer.name.clone(),
                             }
                         })?;
-                        let plan = plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, elem);
+                        let plan = plan_conv_cached(dims, caps, cfg.pe_rows, cfg.pe_cols, elem);
                         w_bytes = plan.weight_dram_bytes;
                         compute = conv_compute_cycles(dims, plan.tm, plan.tn);
                     }

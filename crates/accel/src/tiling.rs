@@ -19,13 +19,17 @@
 //! and Shortcut Mining — the paper's gain comes from *cross-layer* reuse, so
 //! the per-layer schedule is held identical to isolate it.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
 use serde::Serialize;
 
 use sm_model::{ConvSpec, Layer, LayerKind, Network};
 use sm_tensor::Shape4;
 
 /// Convolution dimensions flattened out of the layer IR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct ConvDims {
     /// Batch size.
     pub batch: usize,
@@ -149,7 +153,7 @@ pub enum LoopOrder {
 /// For the baseline these are the halves of the fixed double buffers; for
 /// Shortcut Mining they are whatever the controller granted the streaming
 /// logical buffers for this layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct TileCaps {
     /// Capacity for streaming input tiles.
     pub ifm_bytes: u64,
@@ -354,6 +358,79 @@ pub fn plan_conv(
     }
 }
 
+/// Cache key: everything [`plan_conv`] is a pure function of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    dims: ConvDims,
+    caps: TileCaps,
+    pe_rows: usize,
+    pe_cols: usize,
+    elem_bytes: u64,
+}
+
+static PLAN_CACHE: OnceLock<RwLock<HashMap<PlanKey, TilePlan>>> = OnceLock::new();
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn plan_cache() -> &'static RwLock<HashMap<PlanKey, TilePlan>> {
+    PLAN_CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Memoized [`plan_conv`]: identical `(dims, caps, pe_rows, pe_cols,
+/// elem_bytes)` queries return the cached plan instead of re-running the
+/// tile search.
+///
+/// The planner is a pure function of its arguments, so the cache is safe to
+/// share process-wide — the baseline accelerator, the fused-chain estimator
+/// and the Shortcut Mining simulator all consult the same map, and repeated
+/// sweep points (a capacity sweep re-visits every other layer of a network
+/// unchanged) stop paying for the design-space exploration. The cache is
+/// thread-safe; parallel sweep workers share it.
+pub fn plan_conv_cached(
+    dims: ConvDims,
+    caps: TileCaps,
+    pe_rows: usize,
+    pe_cols: usize,
+    elem_bytes: u64,
+) -> TilePlan {
+    let key = PlanKey {
+        dims,
+        caps,
+        pe_rows,
+        pe_cols,
+        elem_bytes,
+    };
+    let cache = plan_cache();
+    if let Some(plan) = cache.read().expect("plan cache poisoned").get(&key) {
+        PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+        return *plan;
+    }
+    PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+    let plan = plan_conv(dims, caps, pe_rows, pe_cols, elem_bytes);
+    cache
+        .write()
+        .expect("plan cache poisoned")
+        .insert(key, plan);
+    plan
+}
+
+/// `(hits, misses)` observed by [`plan_conv_cached`] since process start
+/// (or the last [`plan_cache_clear`]).
+pub fn plan_cache_stats() -> (u64, u64) {
+    (
+        PLAN_HITS.load(Ordering::Relaxed),
+        PLAN_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Empties the plan cache and resets the hit/miss counters (benchmarks use
+/// this to measure the cold path).
+pub fn plan_cache_clear() {
+    plan_cache().write().expect("plan cache poisoned").clear();
+    PLAN_HITS.store(0, Ordering::Relaxed);
+    PLAN_MISSES.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +599,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cached_plan_equals_uncached_plan() {
+        // Exercise distinct keys (dims × caps) and re-query each: the
+        // cached result must be exactly the planner's, hit or miss.
+        let caps_a = big_caps();
+        let caps_b = TileCaps {
+            ifm_bytes: 16 << 10,
+            ofm_bytes: 16 << 10,
+            weight_tile_bytes: 16 << 10,
+            weight_total_bytes: 32 << 10,
+        };
+        for caps in [caps_a, caps_b] {
+            for batch in [1usize, 2, 4] {
+                let mut d = dims_56x56();
+                d.batch = batch;
+                let direct = plan_conv(d, caps, 64, 64, 2);
+                assert_eq!(plan_conv_cached(d, caps, 64, 64, 2), direct);
+                assert_eq!(plan_conv_cached(d, caps, 64, 64, 2), direct, "warm");
+            }
+        }
+        let (hits, misses) = plan_cache_stats();
+        assert!(hits >= 6, "every re-query must hit: {hits}");
+        assert!(misses >= 6 || hits > 6, "first queries miss: {misses}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use sm_accel::functional::tiled_conv2d;
 use sm_accel::tiling::{plan_conv, ConvDims, TileCaps};
-use sm_tensor::ops::{conv2d, Conv2dParams};
+use sm_tensor::ops::{conv2d, conv2d_im2col, Conv2dParams};
 use sm_tensor::{Shape4, Tensor};
 
 fn bench_conv(c: &mut Criterion) {
@@ -40,6 +40,24 @@ fn bench_conv(c: &mut Criterion) {
     });
     g.bench_function("tiled_conv2d_32x28x28", |b| {
         b.iter(|| black_box(tiled_conv2d(&input, &weights, dims, &plan).unwrap()));
+    });
+    g.bench_function("im2col_gemm_conv2d_32x28x28", |b| {
+        b.iter(|| black_box(conv2d_im2col(&input, &weights, None, params).unwrap()));
+    });
+    g.finish();
+
+    // The GoldenExecutor-scale shape where the lowering pays off hardest.
+    let input = Tensor::random(Shape4::new(1, 64, 56, 56), 3);
+    let weights = Tensor::random(Shape4::new(64, 64, 3, 3), 4);
+    let macs = 64u64 * 64 * 56 * 56 * 9;
+    let mut g = c.benchmark_group("golden_conv_large");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("reference_conv2d_64x56x56", |b| {
+        b.iter(|| black_box(conv2d(&input, &weights, None, params).unwrap()));
+    });
+    g.bench_function("im2col_gemm_conv2d_64x56x56", |b| {
+        b.iter(|| black_box(conv2d_im2col(&input, &weights, None, params).unwrap()));
     });
     g.finish();
 }

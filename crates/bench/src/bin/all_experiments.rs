@@ -1,27 +1,27 @@
 //! Regenerates every table and figure of the evaluation in one run.
 //!
-//! Usage: `all_experiments [--csv <dir>]`
+//! Usage: `all_experiments [--csv <dir>] [--threads <n>]`
+//!
+//! Tables are computed concurrently on the worker pool (`--threads`, or
+//! `SM_THREADS`, default all cores) but always printed in figure order —
+//! output is byte-identical at any thread count.
 
 use sm_accel::AccelConfig;
 use sm_bench::experiments::*;
 use sm_bench::report::Table;
+use sm_core::parallel;
 
 fn main() {
-    let cfg = AccelConfig::default();
-    let tables: Vec<Table> = vec![
-        fig2_shortcut_share(1).table,
-        table1_networks(1),
-        table2_config(cfg),
-        fig10_traffic_reduction(cfg, 1).table,
-        fig11_traffic_breakdown(cfg, 1).table,
-        fig12_per_block(cfg, 1).table,
-        fig13_throughput(cfg, 1).table,
-        fig14_capacity_sweep(cfg, 1).table,
-        fig15_batch_sweep(cfg).table,
-        fig16_energy(cfg, 1).table,
-        table3_ablation(cfg, 1).table,
-        fig17_intermediate_layers(cfg, 1).table,
-    ];
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match parallel::parse_threads_flag(&mut args) {
+        Ok(n) => parallel::set_threads(n),
+        Err(e) => {
+            eprintln!("all_experiments: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let tables: Vec<Table> = all_tables(AccelConfig::default());
     for t in &tables {
         println!("{}", t.render());
         sm_bench::report::maybe_csv(t);

@@ -1,12 +1,20 @@
 //! Regenerates the extension experiments (beyond the paper's evaluation).
 //!
-//! Usage: `ext_experiments [--csv <dir>]`
+//! Usage: `ext_experiments [--csv <dir>] [--threads <n>]`
 
 use sm_accel::AccelConfig;
 use sm_bench::experiments::*;
 use sm_bench::report::Table;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match sm_core::parallel::parse_threads_flag(&mut args) {
+        Ok(n) => sm_core::parallel::set_threads(n),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
     let cfg = AccelConfig::default();
     let tables: Vec<Table> = vec![
         ext_new_workloads(cfg, 1).table,
@@ -21,6 +29,14 @@ fn main() {
         ext_ddr_bandwidth(cfg, 1).table,
         ext_bcu_overhead(cfg),
         ext_architecture_comparison(cfg, 1).table,
+        retry_budget_sweep(
+            &sm_model::zoo::resnet34(1),
+            cfg,
+            42,
+            0.05,
+            &DEFAULT_RETRY_BUDGETS,
+        )
+        .table(),
     ];
     for t in &tables {
         println!("{}", t.render());

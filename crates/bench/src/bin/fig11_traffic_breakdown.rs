@@ -4,6 +4,14 @@ use sm_accel::AccelConfig;
 use sm_bench::experiments::fig11_traffic_breakdown;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match sm_core::parallel::parse_threads_flag(&mut args) {
+        Ok(n) => sm_core::parallel::set_threads(n),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
     let r = fig11_traffic_breakdown(AccelConfig::default(), 1);
     print!("{}", r.table.render());
     sm_bench::report::maybe_csv(&r.table);

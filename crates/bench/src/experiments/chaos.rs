@@ -10,6 +10,7 @@
 use serde::Serialize;
 
 use sm_accel::AccelConfig;
+use sm_core::parallel::par_map_auto;
 use sm_core::{FaultPlan, Policy, SimOptions};
 use sm_mem::TrafficClass;
 use sm_model::Network;
@@ -50,6 +51,9 @@ pub struct ChaosCurve {
     pub seed: u64,
     /// Per-attempt DRAM failure probability shared by every point.
     pub dram_fault_rate: f64,
+    /// Retry budget (max re-attempts per failed DRAM transfer) shared by
+    /// every point.
+    pub max_retries: u32,
     /// One point per swept bank-failure fraction, in sweep order.
     pub points: Vec<ChaosPoint>,
 }
@@ -99,52 +103,201 @@ pub fn chaos_degradation(
     fractions: &[f64],
     dram_fault_rate: f64,
 ) -> ChaosCurve {
+    chaos_degradation_with_budget(net, config, seed, fractions, dram_fault_rate, None)
+}
+
+/// [`chaos_degradation`] with an explicit retry budget (the `--retry-budget`
+/// knob). `None` keeps the [`FaultPlan`] default. Points are independent, so
+/// the sweep fans out over [`sm_core::parallel`]; sweep order is preserved.
+pub fn chaos_degradation_with_budget(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    dram_fault_rate: f64,
+    retry_budget: Option<u32>,
+) -> ChaosCurve {
     let exp = sm_core::Experiment::new(config);
-    let points = fractions
-        .iter()
-        .map(|&f| {
-            let plan = FaultPlan::new(seed)
-                .with_bank_failures(f)
-                .with_dram_faults(dram_fault_rate);
-            let options = SimOptions::with_faults(plan);
-            match exp.run_checked(net, Policy::shortcut_mining(), &options) {
-                Ok(run) => ChaosPoint {
-                    fail_fraction: f,
-                    banks_failed: run.stats.faults.banks_failed,
-                    completed: true,
-                    error: None,
-                    fm_bytes: run.stats.fm_traffic_bytes(),
-                    total_bytes: run.stats.total_traffic_bytes(),
-                    retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
-                    evicted_bytes: run.stats.faults.evicted_bytes,
-                    total_cycles: run.stats.total_cycles,
-                    throughput_gops: run.stats.throughput_gops(),
-                },
-                Err(e) => ChaosPoint {
-                    fail_fraction: f,
-                    banks_failed: 0,
-                    completed: false,
-                    error: Some(e.to_string()),
-                    fm_bytes: 0,
-                    total_bytes: 0,
-                    retry_bytes: 0,
-                    evicted_bytes: 0,
-                    total_cycles: 0,
-                    throughput_gops: 0.0,
-                },
-            }
-        })
-        .collect();
+    let base_plan = FaultPlan::new(seed).with_dram_faults(dram_fault_rate);
+    let base_plan = match retry_budget {
+        Some(budget) => {
+            let stall = base_plan.retry_stall_cycles;
+            base_plan.with_retry_budget(budget, stall)
+        }
+        None => base_plan,
+    };
+    let points = par_map_auto(fractions, |&f| {
+        let options = SimOptions::with_faults(base_plan.clone().with_bank_failures(f));
+        run_chaos_point(&exp, net, f, &options)
+    });
     ChaosCurve {
+        network: net.name().to_string(),
+        seed,
+        dram_fault_rate,
+        max_retries: base_plan.max_retries,
+        points,
+    }
+}
+
+/// Runs one checked Shortcut Mining simulation and folds it into a
+/// [`ChaosPoint`].
+fn run_chaos_point(
+    exp: &sm_core::Experiment,
+    net: &Network,
+    fail_fraction: f64,
+    options: &SimOptions,
+) -> ChaosPoint {
+    match exp.run_checked(net, Policy::shortcut_mining(), options) {
+        Ok(run) => ChaosPoint {
+            fail_fraction,
+            banks_failed: run.stats.faults.banks_failed,
+            completed: true,
+            error: None,
+            fm_bytes: run.stats.fm_traffic_bytes(),
+            total_bytes: run.stats.total_traffic_bytes(),
+            retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+            evicted_bytes: run.stats.faults.evicted_bytes,
+            total_cycles: run.stats.total_cycles,
+            throughput_gops: run.stats.throughput_gops(),
+        },
+        Err(e) => ChaosPoint {
+            fail_fraction,
+            banks_failed: 0,
+            completed: false,
+            error: Some(e.to_string()),
+            fm_bytes: 0,
+            total_bytes: 0,
+            retry_bytes: 0,
+            evicted_bytes: 0,
+            total_cycles: 0,
+            throughput_gops: 0.0,
+        },
+    }
+}
+
+/// The default sweep: fault-free anchor plus five escalating fractions.
+pub const DEFAULT_FRACTIONS: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+/// The default retry budgets swept by [`retry_budget_sweep`].
+pub const DEFAULT_RETRY_BUDGETS: [u32; 5] = [0, 1, 2, 4, 8];
+
+/// One point of the retry-budget sensitivity study.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RetryBudgetPoint {
+    /// Max re-attempts per failed DRAM transfer.
+    pub max_retries: u32,
+    /// Whether the run completed (a tight budget can exhaust and abort).
+    pub completed: bool,
+    /// Display form of the error when not completed.
+    pub error: Option<String>,
+    /// Injected DRAM failures that were retried.
+    pub dram_retries: u64,
+    /// Bytes re-transferred by those retries.
+    pub retry_bytes: u64,
+    /// Cycles spent stalled waiting on retries.
+    pub retry_stall_cycles: u64,
+    /// End-to-end cycles (0 when the run did not complete).
+    pub total_cycles: u64,
+    /// Sustained throughput in GOP/s (0 when the run did not complete).
+    pub throughput_gops: f64,
+}
+
+/// Retry-budget sensitivity study for one network: how large a per-transfer
+/// retry budget must be before a given DRAM fault rate stops aborting runs,
+/// and what the surviving runs pay in stall cycles.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RetryBudgetStudy {
+    /// Network name.
+    pub network: String,
+    /// Fault-plan seed shared by every point.
+    pub seed: u64,
+    /// Per-attempt DRAM failure probability shared by every point.
+    pub dram_fault_rate: f64,
+    /// One point per swept budget, in sweep order.
+    pub points: Vec<RetryBudgetPoint>,
+}
+
+impl RetryBudgetStudy {
+    /// Renders the study as an aligned text table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "retry-budget sensitivity — {} (DRAM fault rate {})",
+                self.network, self.dram_fault_rate
+            ),
+            &[
+                "budget",
+                "status",
+                "retries",
+                "retry MiB",
+                "stall cycles",
+                "GOP/s",
+            ],
+        );
+        for p in &self.points {
+            t.row(&[
+                p.max_retries.to_string(),
+                if p.completed {
+                    "ok".to_string()
+                } else {
+                    p.error.clone().unwrap_or_else(|| "error".into())
+                },
+                p.dram_retries.to_string(),
+                format!("{:.2}", p.retry_bytes as f64 / (1 << 20) as f64),
+                p.retry_stall_cycles.to_string(),
+                format!("{:.1}", p.throughput_gops),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps the DRAM retry budget on one network at a fixed fault rate
+/// (ROADMAP: retry-budget sensitivity). Each budget is an independent
+/// checked run, fanned out over [`sm_core::parallel`] in sweep order.
+pub fn retry_budget_sweep(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    dram_fault_rate: f64,
+    budgets: &[u32],
+) -> RetryBudgetStudy {
+    let exp = sm_core::Experiment::new(config);
+    let points = par_map_auto(budgets, |&budget| {
+        let base = FaultPlan::new(seed).with_dram_faults(dram_fault_rate);
+        let stall = base.retry_stall_cycles;
+        let plan = base.with_retry_budget(budget, stall);
+        let options = SimOptions::with_faults(plan);
+        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+            Ok(run) => RetryBudgetPoint {
+                max_retries: budget,
+                completed: true,
+                error: None,
+                dram_retries: run.stats.faults.dram_retries,
+                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                retry_stall_cycles: run.stats.faults.retry_stall_cycles,
+                total_cycles: run.stats.total_cycles,
+                throughput_gops: run.stats.throughput_gops(),
+            },
+            Err(e) => RetryBudgetPoint {
+                max_retries: budget,
+                completed: false,
+                error: Some(e.to_string()),
+                dram_retries: 0,
+                retry_bytes: 0,
+                retry_stall_cycles: 0,
+                total_cycles: 0,
+                throughput_gops: 0.0,
+            },
+        }
+    });
+    RetryBudgetStudy {
         network: net.name().to_string(),
         seed,
         dram_fault_rate,
         points,
     }
 }
-
-/// The default sweep: fault-free anchor plus five escalating fractions.
-pub const DEFAULT_FRACTIONS: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
 
 #[cfg(test)]
 mod tests {
@@ -181,6 +334,29 @@ mod tests {
         let p = &curve.points[0];
         assert!(p.completed, "{:?}", p.error);
         assert!(p.retry_bytes > 0, "rate 0.4 must produce retries");
+    }
+
+    #[test]
+    fn tight_retry_budget_aborts_and_larger_budget_recovers() {
+        let net = zoo::toy_residual(1);
+        let study = retry_budget_sweep(&net, AccelConfig::default(), 3, 0.4, &[0, 8]);
+        assert_eq!(study.points.len(), 2);
+        let (tight, roomy) = (&study.points[0], &study.points[1]);
+        // Budget 0 at rate 0.4 exhausts immediately; budget 8 survives and
+        // pays for it in stall cycles.
+        assert!(!tight.completed, "budget 0 should exhaust at rate 0.4");
+        assert!(roomy.completed, "{:?}", roomy.error);
+        assert!(roomy.dram_retries > 0 && roomy.retry_stall_cycles > 0);
+        assert!(study.table().render().contains("retry-budget sensitivity"));
+    }
+
+    #[test]
+    fn explicit_budget_flows_into_the_curve() {
+        let net = zoo::toy_residual(1);
+        let curve =
+            chaos_degradation_with_budget(&net, AccelConfig::default(), 3, &[0.0], 0.4, Some(9));
+        assert_eq!(curve.max_retries, 9);
+        assert!(curve.points[0].completed, "{:?}", curve.points[0].error);
     }
 
     #[test]

@@ -194,7 +194,7 @@ pub fn ext_datatype(base: AccelConfig, batch: usize) -> ExtSweepResult {
 pub fn ext_pipeline_validation(config: AccelConfig, batch: usize) -> Table {
     use sm_accel::cycles::conv_compute_cycles;
     use sm_accel::pipeline::{simulate_pipeline, tile_tasks};
-    use sm_accel::tiling::{plan_conv, ConvDims, TileCaps};
+    use sm_accel::tiling::{plan_conv_cached, ConvDims, TileCaps};
     use sm_accel::BaselineAccelerator;
     use sm_mem::DramModel;
 
@@ -217,7 +217,7 @@ pub fn ext_pipeline_validation(config: AccelConfig, batch: usize) -> Table {
             let Some(dims) = ConvDims::from_layer(&net, layer) else {
                 continue;
             };
-            let plan = plan_conv(
+            let plan = plan_conv_cached(
                 dims,
                 caps,
                 config.pe_rows,
@@ -384,7 +384,7 @@ pub fn ext_bound_breakdown(config: AccelConfig, batch: usize) -> ExtSweepResult 
 /// is recorded as a calibration honesty note in EXPERIMENTS.md.
 pub fn ext_ddr_bandwidth(config: AccelConfig, batch: usize) -> ExtSweepResult {
     use sm_accel::addrgen::{fm_stream_cost, weight_stream};
-    use sm_accel::tiling::{plan_conv, ConvDims, TileCaps};
+    use sm_accel::tiling::{plan_conv_cached, ConvDims, TileCaps};
     use sm_accel::BaselineAccelerator;
     use sm_mem::ddr::{DdrChannel, DdrTimings};
 
@@ -407,7 +407,7 @@ pub fn ext_ddr_bandwidth(config: AccelConfig, batch: usize) -> ExtSweepResult {
             let Some(dims) = ConvDims::from_layer(&net, layer) else {
                 continue;
             };
-            let plan = plan_conv(
+            let plan = plan_conv_cached(
                 dims,
                 caps,
                 config.pe_rows,
@@ -594,7 +594,7 @@ mod tests {
     fn event_model_tracks_the_analytic_bound() {
         use sm_accel::cycles::conv_compute_cycles;
         use sm_accel::pipeline::{simulate_pipeline, tile_tasks};
-        use sm_accel::tiling::{plan_conv, ConvDims, TileCaps};
+        use sm_accel::tiling::{plan_conv_cached, ConvDims, TileCaps};
         use sm_accel::BaselineAccelerator;
         use sm_mem::DramModel;
 
@@ -607,7 +607,7 @@ mod tests {
             let Some(dims) = ConvDims::from_layer(&net, layer) else {
                 continue;
             };
-            let plan = plan_conv(dims, caps, cfg.pe_rows, cfg.pe_cols, cfg.elem_bytes);
+            let plan = plan_conv_cached(dims, caps, cfg.pe_rows, cfg.pe_cols, cfg.elem_bytes);
             let compute = conv_compute_cycles(dims, plan.tm, plan.tn);
             let fm_cycles = fm.cycles_for_bytes(plan.ifm_dram_bytes + plan.ofm_dram_bytes);
             let w_cycles = w.cycles_for_bytes(plan.weight_dram_bytes);

@@ -1,7 +1,12 @@
 //! The headline comparisons: Fig. 10 (feature-map traffic reduction),
 //! Fig. 11 (traffic breakdown by category) and Fig. 13 (throughput).
+//!
+//! Per-network simulations are independent, so each figure fans out over
+//! [`sm_core::parallel`]; tables are assembled serially from the
+//! order-preserving results.
 
 use sm_accel::AccelConfig;
+use sm_core::parallel::par_map_auto;
 use sm_core::{Experiment, Policy};
 use sm_mem::TrafficClass;
 use sm_model::zoo;
@@ -31,28 +36,29 @@ pub fn fig10_traffic_reduction(config: AccelConfig, batch: usize) -> TrafficResu
             "paper",
         ],
     );
-    let mut rows = Vec::new();
-    for net in zoo::evaluated_networks(batch) {
-        let cmp = exp.compare(&net);
-        let reduction = cmp.traffic_reduction();
-        let paper_red = paper::TRAFFIC_REDUCTION
-            .iter()
-            .find(|(n, _)| *n == net.name())
-            .map(|(_, r)| pct(*r))
-            .unwrap_or_default();
-        table.row(&[
-            net.name().to_string(),
-            mb(cmp.baseline.fm_traffic_bytes()),
-            mb(cmp.mined.fm_traffic_bytes()),
-            pct(reduction),
-            paper_red,
-        ]);
-        rows.push((
+    let nets = zoo::evaluated_networks(batch);
+    let rows = par_map_auto(&nets, |net| {
+        let cmp = exp.compare(net);
+        (
             net.name().to_string(),
             cmp.baseline.fm_traffic_bytes(),
             cmp.mined.fm_traffic_bytes(),
-            reduction,
-        ));
+            cmp.traffic_reduction(),
+        )
+    });
+    for (name, base, mined, reduction) in &rows {
+        let paper_red = paper::TRAFFIC_REDUCTION
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| pct(*r))
+            .unwrap_or_default();
+        table.row(&[
+            name.clone(),
+            mb(*base),
+            mb(*mined),
+            pct(*reduction),
+            paper_red,
+        ]);
     }
     TrafficResult { rows, table }
 }
@@ -82,23 +88,30 @@ pub fn fig11_traffic_breakdown(config: AccelConfig, batch: usize) -> BreakdownRe
             "weight_read",
         ],
     );
+    let nets = zoo::evaluated_networks(batch);
+    let points: Vec<(usize, Policy)> = (0..nets.len())
+        .flat_map(|i| {
+            [Policy::baseline(), Policy::shortcut_mining()]
+                .into_iter()
+                .map(move |p| (i, p))
+        })
+        .collect();
+    let runs = par_map_auto(&points, |(i, policy)| {
+        let stats = exp.run(&nets[*i], *policy);
+        let classes: Vec<(TrafficClass, u64)> = TrafficClass::ALL
+            .into_iter()
+            .map(|class| (class, stats.ledger.class_bytes(class)))
+            .collect();
+        (nets[*i].name().to_string(), stats.architecture, classes)
+    });
     let mut rows = Vec::new();
-    for net in zoo::evaluated_networks(batch) {
-        for policy in [Policy::baseline(), Policy::shortcut_mining()] {
-            let stats = exp.run(&net, policy);
-            let mut cells = vec![net.name().to_string(), stats.architecture.clone()];
-            for class in TrafficClass::ALL {
-                let bytes = stats.ledger.class_bytes(class);
-                cells.push(mb(bytes));
-                rows.push((
-                    net.name().to_string(),
-                    stats.architecture.clone(),
-                    class,
-                    bytes,
-                ));
-            }
-            table.row(&cells);
+    for (name, architecture, classes) in runs {
+        let mut cells = vec![name.clone(), architecture.clone()];
+        for (class, bytes) in classes {
+            cells.push(mb(bytes));
+            rows.push((name.clone(), architecture.clone(), class, bytes));
         }
+        table.row(&cells);
     }
     BreakdownResult { rows, table }
 }
@@ -127,24 +140,28 @@ pub fn fig13_throughput(config: AccelConfig, batch: usize) -> ThroughputResult {
             "img/s mined",
         ],
     );
-    let mut rows = Vec::new();
-    let mut speedups = Vec::new();
-    for net in zoo::evaluated_networks(batch) {
-        let cmp = exp.compare(&net);
-        let speedup = cmp.speedup();
-        table.row(&[
-            net.name().to_string(),
-            format!("{:.1}", cmp.baseline.throughput_gops()),
-            format!("{:.1}", cmp.mined.throughput_gops()),
-            format!("{speedup:.2}x"),
-            format!("{:.1}", cmp.mined.images_per_second()),
-        ]);
-        rows.push((
+    let nets = zoo::evaluated_networks(batch);
+    let results = par_map_auto(&nets, |net| {
+        let cmp = exp.compare(net);
+        (
             net.name().to_string(),
             cmp.baseline.throughput_gops(),
             cmp.mined.throughput_gops(),
-            speedup,
-        ));
+            cmp.speedup(),
+            cmp.mined.images_per_second(),
+        )
+    });
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, base, mined, speedup, imgs) in results {
+        table.row(&[
+            name.clone(),
+            format!("{base:.1}"),
+            format!("{mined:.1}"),
+            format!("{speedup:.2}x"),
+            format!("{imgs:.1}"),
+        ]);
+        rows.push((name, base, mined, speedup));
         speedups.push(speedup);
     }
     let geomean_speedup = geomean(&speedups);

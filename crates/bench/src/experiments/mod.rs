@@ -20,6 +20,7 @@
 //! | Ext. 4 | [`ext_spill_order`] | spill-victim order ablation |
 //! | Ext. 5 | [`ext_datatype`] | 8/16/32-bit datatype sensitivity |
 //! | Ext. 6 | [`chaos_degradation`] | graceful degradation under injected faults |
+//! | Ext. 7 | [`retry_budget_sweep`] | retry-budget sensitivity under DRAM faults |
 
 mod ablation;
 mod chaos;
@@ -32,7 +33,10 @@ mod retention;
 mod sensitivity;
 
 pub use ablation::{table3_ablation, AblationResult};
-pub use chaos::{chaos_degradation, ChaosCurve, ChaosPoint, DEFAULT_FRACTIONS};
+pub use chaos::{
+    chaos_degradation, chaos_degradation_with_budget, retry_budget_sweep, ChaosCurve, ChaosPoint,
+    RetryBudgetPoint, RetryBudgetStudy, DEFAULT_FRACTIONS, DEFAULT_RETRY_BUDGETS,
+};
 pub use energy::{fig16_energy, EnergyResult};
 pub use extensions::{
     ext_architecture_comparison, ext_bandwidth_sweep, ext_batch_schedule, ext_bcu_overhead,
@@ -48,3 +52,29 @@ pub use motivation::{fig2_shortcut_share, table1_networks, table2_config, ShareR
 pub use per_block::{fig12_per_block, PerBlockResult};
 pub use retention::{fig17_intermediate_layers, RetentionResult};
 pub use sensitivity::{fig14_capacity_sweep, fig15_batch_sweep, SweepResult};
+
+/// Every table of the full evaluation at batch 1, in figure order.
+///
+/// The twelve builders are independent, so they run concurrently on the
+/// worker pool ([`sm_core::parallel`]); the returned order (and therefore
+/// any rendering of it) is the same at every thread count. This is the
+/// workload behind both the `all_experiments` binary and the `smctl bench`
+/// timing harness.
+pub fn all_tables(cfg: sm_accel::AccelConfig) -> Vec<crate::report::Table> {
+    type Job = Box<dyn Fn() -> crate::report::Table + Sync>;
+    let jobs: Vec<Job> = vec![
+        Box::new(move || fig2_shortcut_share(1).table),
+        Box::new(move || table1_networks(1)),
+        Box::new(move || table2_config(cfg)),
+        Box::new(move || fig10_traffic_reduction(cfg, 1).table),
+        Box::new(move || fig11_traffic_breakdown(cfg, 1).table),
+        Box::new(move || fig12_per_block(cfg, 1).table),
+        Box::new(move || fig13_throughput(cfg, 1).table),
+        Box::new(move || fig14_capacity_sweep(cfg, 1).table),
+        Box::new(move || fig15_batch_sweep(cfg).table),
+        Box::new(move || fig16_energy(cfg, 1).table),
+        Box::new(move || table3_ablation(cfg, 1).table),
+        Box::new(move || fig17_intermediate_layers(cfg, 1).table),
+    ];
+    sm_core::parallel::par_map_auto(&jobs, |job| job())
+}

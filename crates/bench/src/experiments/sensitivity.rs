@@ -1,7 +1,12 @@
 //! Sensitivity studies: Fig. 14 (on-chip capacity sweep) and Fig. 15
 //! (batch-size sweep).
+//!
+//! Both sweeps fan their (x-value, network) grid out over
+//! [`sm_core::parallel`]; the result tables are assembled serially from the
+//! order-preserving map, so output is identical at any thread count.
 
 use sm_accel::AccelConfig;
+use sm_core::parallel::par_map_auto;
 use sm_core::Experiment;
 use sm_model::zoo;
 
@@ -24,22 +29,23 @@ pub fn fig14_capacity_sweep(base: AccelConfig, batch: usize) -> SweepResult {
         "Fig 14 - traffic reduction vs on-chip feature-map capacity",
         &["capacity (KiB)", "network", "reduction", "speedup"],
     );
-    let mut rows = Vec::new();
-    for kib in [64u64, 128, 256, 320, 512, 1024, 2048, 4096] {
-        let cfg = base.with_fm_capacity(kib * 1024);
-        let exp = Experiment::new(cfg);
-        for net in &nets {
-            let cmp = exp.compare(net);
-            let red = cmp.traffic_reduction();
-            let sp = cmp.speedup();
-            table.row(&[
-                kib.to_string(),
-                net.name().to_string(),
-                pct(red),
-                format!("{sp:.2}x"),
-            ]);
-            rows.push((kib, net.name().to_string(), red, sp));
-        }
+    let points: Vec<(u64, usize)> = [64u64, 128, 256, 320, 512, 1024, 2048, 4096]
+        .iter()
+        .flat_map(|&kib| (0..nets.len()).map(move |i| (kib, i)))
+        .collect();
+    let rows = par_map_auto(&points, |&(kib, i)| {
+        let exp = Experiment::new(base.with_fm_capacity(kib * 1024));
+        let cmp = exp.compare(&nets[i]);
+        let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
+        (kib, nets[i].name().to_string(), red, sp)
+    });
+    for (kib, name, red, sp) in &rows {
+        table.row(&[
+            kib.to_string(),
+            name.clone(),
+            pct(*red),
+            format!("{sp:.2}x"),
+        ]);
     }
     SweepResult { rows, table }
 }
@@ -51,20 +57,27 @@ pub fn fig15_batch_sweep(config: AccelConfig) -> SweepResult {
         &["batch", "network", "reduction", "speedup"],
     );
     let exp = Experiment::new(config);
-    let mut rows = Vec::new();
-    for batch in [1usize, 2, 4, 8] {
-        for net in zoo::evaluated_networks(batch) {
-            let cmp = exp.compare(&net);
-            let red = cmp.traffic_reduction();
-            let sp = cmp.speedup();
-            table.row(&[
-                batch.to_string(),
-                net.name().to_string(),
-                pct(red),
-                format!("{sp:.2}x"),
-            ]);
-            rows.push((batch as u64, net.name().to_string(), red, sp));
-        }
+    let points: Vec<sm_model::Network> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&batch| zoo::evaluated_networks(batch))
+        .collect();
+    let rows = par_map_auto(&points, |net| {
+        let cmp = exp.compare(net);
+        let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
+        (
+            net.input().out_shape.n as u64,
+            net.name().to_string(),
+            red,
+            sp,
+        )
+    });
+    for (batch, name, red, sp) in &rows {
+        table.row(&[
+            batch.to_string(),
+            name.clone(),
+            pct(*red),
+            format!("{sp:.2}x"),
+        ]);
     }
     SweepResult { rows, table }
 }

@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod timing;
 
 /// Headline numbers pinned by the paper's abstract, used by tests and
 /// rendered next to measured values in reports.

@@ -1,0 +1,187 @@
+//! Wall-clock timing harness behind `smctl bench`.
+//!
+//! Measures the three performance claims of the parallel-sweep work and
+//! writes them into one serializable [`BenchReport`] (committed as
+//! `BENCH_parallel.json`):
+//!
+//! 1. the full evaluation suite ([`all_tables`]) serial vs on `n` workers,
+//!    including a byte-identity check of the rendered tables;
+//! 2. the golden convolution kernel, direct loop vs im2col + blocked GEMM;
+//! 3. the tiling planner, cold vs memoized.
+//!
+//! Times are medians of a few repetitions — the workloads are long enough
+//! that scheduling noise is small relative to the effect sizes (2×–10×).
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use sm_accel::tiling::{plan_cache_clear, plan_cache_stats, plan_conv_cached, ConvDims, TileCaps};
+use sm_accel::AccelConfig;
+use sm_core::parallel::set_threads;
+use sm_tensor::ops::{conv2d, conv2d_im2col, Conv2dParams};
+use sm_tensor::{Shape4, Tensor};
+
+use crate::experiments::all_tables;
+
+/// Timing results for one `smctl bench` run. All times in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Worker count used for the parallel suite run.
+    pub threads: usize,
+    /// Cores the OS actually offers this process. When this is 1 (pinned
+    /// CI containers), `suite_speedup` measures pure threading overhead —
+    /// expect ≤ 1× there and near-linear scaling on real multi-core hosts.
+    pub available_cores: usize,
+    /// Full experiment suite, one worker.
+    pub suite_serial_ms: f64,
+    /// Full experiment suite, `threads` workers.
+    pub suite_parallel_ms: f64,
+    /// `suite_serial_ms / suite_parallel_ms`.
+    pub suite_speedup: f64,
+    /// Whether the serial and parallel suite rendered identical bytes.
+    pub suite_outputs_identical: bool,
+    /// Direct-loop convolution on the reference workload.
+    pub conv_naive_ms: f64,
+    /// im2col + blocked-GEMM convolution on the same workload.
+    pub conv_im2col_ms: f64,
+    /// `conv_naive_ms / conv_im2col_ms`.
+    pub conv_speedup: f64,
+    /// Tiling planner over the key set with an empty cache.
+    pub plan_cold_ms: f64,
+    /// The same key set replayed against the warm cache.
+    pub plan_warm_ms: f64,
+    /// `plan_cold_ms / plan_warm_ms`.
+    pub plan_speedup: f64,
+    /// Cache hits observed during the warm replay.
+    pub plan_cache_hits: u64,
+}
+
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Runs the full harness at `threads` parallel workers.
+///
+/// Restores the process-wide thread setting to "unset" before returning, so
+/// callers see default behavior afterwards.
+pub fn run_bench(threads: usize) -> BenchReport {
+    let cfg = AccelConfig::default();
+
+    // 1. Experiment suite, serial vs parallel.
+    let render =
+        |tables: &[crate::report::Table]| -> String { tables.iter().map(|t| t.render()).collect() };
+    set_threads(Some(1));
+    let mut serial_out = String::new();
+    let suite_serial_ms = median_ms(3, || serial_out = render(&all_tables(cfg)));
+    set_threads(Some(threads));
+    let mut parallel_out = String::new();
+    let suite_parallel_ms = median_ms(3, || parallel_out = render(&all_tables(cfg)));
+    set_threads(None);
+
+    // 2. Convolution kernel: a mid-network ResNet-ish layer shape.
+    let input = Tensor::random(Shape4::new(1, 64, 56, 56), 7);
+    let weights = Tensor::random(Shape4::new(64, 64, 3, 3), 8);
+    let params = Conv2dParams::new(3, 1, 1);
+    let conv_naive_ms = median_ms(3, || {
+        conv2d(&input, &weights, None, params).expect("reference conv");
+    });
+    let conv_im2col_ms = median_ms(3, || {
+        conv2d_im2col(&input, &weights, None, params).expect("lowered conv");
+    });
+
+    // 3. Tiling planner, cold vs memoized, over a realistic key set.
+    let caps = TileCaps {
+        ifm_bytes: cfg.sram.fm_bytes() / 4,
+        ofm_bytes: cfg.sram.fm_bytes() / 4,
+        weight_tile_bytes: 64 * 1024,
+        weight_total_bytes: 128 * 1024,
+    };
+    let keys: Vec<ConvDims> = (0..64)
+        .map(|i| ConvDims {
+            batch: 1,
+            in_c: 32 + 8 * (i % 8),
+            in_h: 28 + (i / 8),
+            in_w: 28 + (i / 8),
+            out_c: 64,
+            out_h: 28 + (i / 8),
+            out_w: 28 + (i / 8),
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        })
+        .collect();
+    let plan_all = || {
+        for &dims in &keys {
+            plan_conv_cached(dims, caps, cfg.pe_rows, cfg.pe_cols, cfg.elem_bytes);
+        }
+    };
+    plan_cache_clear();
+    let t0 = Instant::now();
+    plan_all();
+    let plan_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (hits_before, _) = plan_cache_stats();
+    let plan_warm_ms = median_ms(5, plan_all);
+    let (hits_after, _) = plan_cache_stats();
+
+    BenchReport {
+        threads,
+        available_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        suite_serial_ms,
+        suite_parallel_ms,
+        suite_speedup: suite_serial_ms / suite_parallel_ms,
+        suite_outputs_identical: serial_out == parallel_out,
+        conv_naive_ms,
+        conv_im2col_ms,
+        conv_speedup: conv_naive_ms / conv_im2col_ms,
+        plan_cold_ms,
+        plan_warm_ms,
+        plan_speedup: plan_cold_ms / plan_warm_ms,
+        plan_cache_hits: hits_after - hits_before,
+    }
+}
+
+impl BenchReport {
+    /// Human-readable summary (the `smctl bench` stdout).
+    pub fn summary(&self) -> String {
+        format!(
+            "suite: {:.0} ms serial -> {:.0} ms on {} threads, {} core(s) ({:.2}x, outputs identical: {})\n\
+             conv 64x56x56 k3: {:.1} ms direct -> {:.1} ms im2col+gemm ({:.2}x)\n\
+             tiling plans: {:.3} ms cold -> {:.3} ms warm ({:.1}x, {} hits)\n",
+            self.suite_serial_ms,
+            self.suite_parallel_ms,
+            self.threads,
+            self.available_cores,
+            self.suite_speedup,
+            self.suite_outputs_identical,
+            self.conv_naive_ms,
+            self.conv_im2col_ms,
+            self.conv_speedup,
+            self.plan_cold_ms,
+            self.plan_warm_ms,
+            self.plan_speedup,
+            self.plan_cache_hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_stable_under_reordering() {
+        let mut calls = 0u32;
+        let ms = median_ms(3, || calls += 1);
+        assert_eq!(calls, 3);
+        assert!(ms >= 0.0);
+    }
+}

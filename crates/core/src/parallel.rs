@@ -1,0 +1,209 @@
+//! Deterministic parallel execution for independent work items.
+//!
+//! Every sweep in the evaluation pipeline — capacity sweeps, batch sweeps,
+//! chaos degradation curves, the headline comparisons — runs many
+//! *independent, deterministic* simulations. [`par_map`] fans those out over
+//! a scoped worker pool (`std::thread::scope`, no external dependency) while
+//! **preserving input order**: the result vector is index-for-index what the
+//! serial loop would produce, so parallel output is byte-identical to serial
+//! output and the thread count is purely a wall-clock knob.
+//!
+//! The thread count resolves in priority order:
+//!
+//! 1. an explicit `--threads <n>` flag, applied via [`set_threads`] (the
+//!    [`parse_threads_flag`] helper strips it from an argv for the
+//!    binaries);
+//! 2. the `SM_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Work is distributed dynamically (an atomic next-item counter), so skewed
+//! item costs — ResNet-152 next to SqueezeNet — still balance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`threads`] (the `--threads`
+/// flag of the binaries lands here). `None` or `Some(0)` clears the
+/// override.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count parallel sweeps use: the [`set_threads`] override if
+/// set, else `SM_THREADS` if parseable and non-zero, else the machine's
+/// available parallelism (1 when even that is unknown).
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// `SM_THREADS` as a positive worker count, when set and well-formed.
+fn env_threads() -> Option<usize> {
+    std::env::var("SM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Strips `--threads <n>` from an argument list, returning the parsed count.
+///
+/// Shared by `smctl` and the figure binaries so every entry point spells the
+/// flag the same way. The flag may appear anywhere; the last occurrence
+/// wins.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the value is missing or not a
+/// positive integer.
+pub fn parse_threads_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let mut parsed = None;
+    while let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 >= args.len() {
+            return Err("--threads requires a value".into());
+        }
+        let value = args[pos + 1].clone();
+        let n: usize =
+            value.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!("invalid thread count {value:?} (positive integer expected)")
+            })?;
+        args.drain(pos..pos + 2);
+        parsed = Some(n);
+    }
+    Ok(parsed)
+}
+
+/// Maps `f` over `items` on `threads` scoped workers, preserving order.
+///
+/// The output is exactly `items.iter().map(f).collect()` — workers claim
+/// items through an atomic counter and tag each result with its index, so
+/// scheduling nondeterminism never reaches the caller. With `threads <= 1`
+/// (or one item) the call degenerates to the serial loop, no threads
+/// spawned.
+///
+/// # Example
+///
+/// ```
+/// use sm_core::parallel::par_map;
+///
+/// let xs = vec![3u64, 1, 4, 1, 5];
+/// assert_eq!(par_map(&xs, 4, |x| x * 2), vec![6, 2, 8, 2, 10]);
+/// ```
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut mine: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    mine.push((i, f(&items[i])));
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            tagged.extend(handle.join().expect("sweep worker panicked"));
+        }
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// [`par_map`] at the configured worker count ([`threads`]).
+pub fn par_map_auto<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map(items, threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64, 200] {
+            assert_eq!(par_map(&items, threads, |x| x * x), expect, "{threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, 8, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], 8, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn unbalanced_items_still_land_in_slot_order() {
+        // Make early items slow so late items finish first.
+        let items: Vec<u64> = (0..16).collect();
+        let out = par_map(&items, 4, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * 10
+        });
+        assert_eq!(out, (0..16).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_strips() {
+        let mut args: Vec<String> = ["chaos", "--threads", "4", "toy_residual"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_threads_flag(&mut args), Ok(Some(4)));
+        assert_eq!(args, ["chaos", "toy_residual"]);
+
+        let mut none: Vec<String> = vec!["networks".into()];
+        assert_eq!(parse_threads_flag(&mut none), Ok(None));
+
+        let mut bad: Vec<String> = vec!["--threads".into(), "zero?".into()];
+        assert!(parse_threads_flag(&mut bad).is_err());
+        let mut missing: Vec<String> = vec!["--threads".into()];
+        assert!(parse_threads_flag(&mut missing).is_err());
+
+        let mut twice: Vec<String> = ["--threads", "2", "--threads", "6"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_threads_flag(&mut twice), Ok(Some(6)));
+        assert!(twice.is_empty());
+    }
+
+    #[test]
+    fn thread_count_resolution_is_sane() {
+        // Whatever the environment, the resolved count is positive.
+        assert!(threads() >= 1);
+    }
+}

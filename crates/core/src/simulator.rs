@@ -5,7 +5,7 @@ use serde::Serialize;
 use sm_accel::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
-use sm_accel::tiling::{plan_conv, ConvDims, TileCaps, TilePlan};
+use sm_accel::tiling::{plan_conv_cached, ConvDims, TileCaps, TilePlan};
 use sm_accel::{AccelConfig, AccelError, FaultStats, LayerReport, RunStats};
 use sm_buffer::{BufferRole, LogicalBufferId, LogicalBuffers, Revocation};
 use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
@@ -528,7 +528,7 @@ impl<'a> Sim<'a> {
                         caps.ofm_bytes = caps.ofm_bytes.max(ob_cap);
                     }
                 }
-                let plan = plan_conv(dims, caps, self.cfg.pe_rows, self.cfg.pe_cols, elem);
+                let plan = plan_conv_cached(dims, caps, self.cfg.pe_rows, self.cfg.pe_cols, elem);
                 self.fetch_operand(layer, 0, Some(&plan))?;
                 self.record(TrafficClass::WeightRead, plan.weight_dram_bytes);
                 self.register_output(layer, buffer, resident, 0, 0)?;

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::BuildError;
+
+/// Typed error for the fallible model-zoo entry points.
+///
+/// The panicking builders (`zoo::resnet34` & co.) stay as-is for tests and
+/// experiment code where a malformed request is a bug; callers handling
+/// *external* input (the CLI, batch sweeps over user-supplied sizes) go
+/// through `zoo::try_by_name` / `zoo::try_resnet` and get one of these
+/// instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Batch size 0 — no network has an empty input batch.
+    InvalidBatch,
+    /// No builder registered under this name.
+    UnknownNetwork(String),
+    /// ResNet depth outside {18, 34, 50, 101, 152}.
+    UnknownDepth(usize),
+    /// The builder ran but graph assembly failed.
+    Build(BuildError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidBatch => write!(f, "batch size must be at least 1"),
+            ModelError::UnknownNetwork(name) => write!(f, "unknown network {name:?}"),
+            ModelError::UnknownDepth(d) => {
+                write!(f, "no ResNet-{d}; use 18, 34, 50, 101 or 152")
+            }
+            ModelError::Build(e) => write!(f, "network failed to build: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ModelError {
+    fn from(e: BuildError) -> Self {
+        ModelError::Build(e)
+    }
+}

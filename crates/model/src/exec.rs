@@ -15,7 +15,7 @@ use std::error::Error;
 use std::fmt;
 
 use sm_tensor::ops::{
-    avg_pool2d, concat_channels, conv2d, depthwise_conv2d, eltwise_add, fully_connected,
+    avg_pool2d, concat_channels, conv2d_im2col, depthwise_conv2d, eltwise_add, fully_connected,
     global_avg_pool, max_pool2d, relu_in_place, Conv2dParams, Pool2dParams,
 };
 use sm_tensor::{Shape4, Tensor, TensorError};
@@ -185,7 +185,10 @@ impl<'a> GoldenExecutor<'a> {
             LayerKind::Conv(spec) => {
                 arity(1)?;
                 let w = self.weights(id).expect("conv has weights");
-                let mut out = conv2d(
+                // im2col + blocked GEMM: same semantics as the direct
+                // conv2d loop (the reference oracle), much faster on the
+                // mid-size zoo networks.
+                let mut out = conv2d_im2col(
                     operands[0],
                     &w,
                     None,

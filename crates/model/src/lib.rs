@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod layer;
 mod network;
 
@@ -42,5 +43,6 @@ pub mod liveness;
 pub mod stats;
 pub mod zoo;
 
+pub use error::ModelError;
 pub use layer::{ConvSpec, DwConvSpec, Layer, LayerId, LayerKind, PoolKind, PoolSpec};
 pub use network::{BuildError, Edge, Network, NetworkBuilder};

@@ -22,14 +22,58 @@ mod vgg;
 pub use densenet::{densenet121, densenet169, densenet_tiny};
 pub use googlenet::googlenet;
 pub use mobilenet::{mobilenet_tiny, mobilenet_v1, mobilenet_v2};
-pub use resnet::{plain18, plain34, resnet, resnet101, resnet152, resnet18, resnet34, resnet50};
+pub use resnet::{
+    plain18, plain34, resnet, resnet101, resnet152, resnet18, resnet34, resnet50, try_resnet,
+};
 pub use small::{chain_tiny, resnet_tiny, squeezenet_tiny, toy_residual};
 pub use squeezenet::{
     squeezenet_v10, squeezenet_v10_complex_bypass, squeezenet_v10_simple_bypass, squeezenet_v11,
 };
 pub use vgg::{alexnet, vgg16};
 
-use crate::Network;
+use crate::{ModelError, Network};
+
+/// Resolves a network by its CLI/registry name.
+///
+/// This is the single name table behind `smctl` and any config-driven
+/// harness; names match the builder functions, plus the aliases the CLI has
+/// always accepted (`squeezenet`, `resnet_tiny20`, `densenet_tiny4`).
+///
+/// # Errors
+///
+/// [`ModelError::InvalidBatch`] for batch 0, [`ModelError::UnknownNetwork`]
+/// for an unregistered name.
+pub fn try_by_name(name: &str, batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
+    Ok(match name {
+        "resnet18" => resnet18(batch),
+        "resnet34" => resnet34(batch),
+        "resnet50" => resnet50(batch),
+        "resnet101" => resnet101(batch),
+        "resnet152" => resnet152(batch),
+        "plain18" => plain18(batch),
+        "plain34" => plain34(batch),
+        "squeezenet_v10" => squeezenet_v10(batch),
+        "squeezenet_v10_simple_bypass" | "squeezenet" => squeezenet_v10_simple_bypass(batch),
+        "squeezenet_v10_complex_bypass" => squeezenet_v10_complex_bypass(batch),
+        "squeezenet_v11" => squeezenet_v11(batch),
+        "vgg16" => vgg16(batch),
+        "alexnet" => alexnet(batch),
+        "googlenet" => googlenet(batch),
+        "mobilenet_v1" => mobilenet_v1(batch),
+        "mobilenet_v2" => mobilenet_v2(batch),
+        "mobilenet_tiny" => mobilenet_tiny(batch),
+        "densenet121" => densenet121(batch),
+        "densenet169" => densenet169(batch),
+        "toy_residual" => toy_residual(batch),
+        "resnet_tiny20" => resnet_tiny(3, batch),
+        "squeezenet_tiny" => squeezenet_tiny(batch),
+        "densenet_tiny4" => densenet_tiny(4, batch),
+        other => return Err(ModelError::UnknownNetwork(other.to_string())),
+    })
+}
 
 /// The three networks of the paper's headline evaluation (abstract):
 /// SqueezeNet (simple bypass), ResNet-34 and ResNet-152.
@@ -76,6 +120,30 @@ mod tests {
             names,
             ["squeezenet_v10_simple_bypass", "resnet34", "resnet152"]
         );
+    }
+
+    #[test]
+    fn try_by_name_resolves_builders_and_rejects_malformed_input() {
+        assert_eq!(try_by_name("resnet34", 2).unwrap().name(), "resnet34");
+        assert_eq!(
+            try_by_name("squeezenet", 1).unwrap().name(),
+            "squeezenet_v10_simple_bypass"
+        );
+        assert_eq!(
+            try_by_name("resnet34", 0),
+            Err(crate::ModelError::InvalidBatch)
+        );
+        assert_eq!(
+            try_by_name("resnet999", 1),
+            Err(crate::ModelError::UnknownNetwork("resnet999".into()))
+        );
+    }
+
+    #[test]
+    fn try_resnet_rejects_unknown_depth_and_zero_batch() {
+        assert_eq!(try_resnet(34, 1).unwrap().name(), "resnet34");
+        assert_eq!(try_resnet(99, 1), Err(crate::ModelError::UnknownDepth(99)));
+        assert_eq!(try_resnet(34, 0), Err(crate::ModelError::InvalidBatch));
     }
 
     #[test]

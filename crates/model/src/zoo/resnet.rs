@@ -3,7 +3,7 @@
 
 use sm_tensor::Shape4;
 
-use crate::{ConvSpec, LayerId, Network, NetworkBuilder, PoolSpec};
+use crate::{ConvSpec, LayerId, ModelError, Network, NetworkBuilder, PoolSpec};
 
 /// Block flavour of a ResNet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,16 +217,31 @@ pub fn resnet152(batch: usize) -> Network {
 ///
 /// # Panics
 ///
-/// Panics on any other depth.
+/// Panics on any other depth or on batch 0; [`try_resnet`] is the
+/// non-panicking form.
 pub fn resnet(depth: usize, batch: usize) -> Network {
-    match depth {
+    try_resnet(depth, batch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`resnet`] with malformed input reported as a typed error instead of a
+/// panic.
+///
+/// # Errors
+///
+/// [`ModelError::UnknownDepth`] for depths outside the family,
+/// [`ModelError::InvalidBatch`] for batch 0.
+pub fn try_resnet(depth: usize, batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
+    Ok(match depth {
         18 => resnet18(batch),
         34 => resnet34(batch),
         50 => resnet50(batch),
         101 => resnet101(batch),
         152 => resnet152(batch),
-        other => panic!("no ResNet-{other}; use 18, 34, 50, 101 or 152"),
-    }
+        other => return Err(ModelError::UnknownDepth(other)),
+    })
 }
 
 /// Plain-18: ResNet-18 topology with the shortcuts removed (control network

@@ -1,0 +1,119 @@
+//! Cache-blocked matrix multiplication for the lowered convolution path.
+//!
+//! [`conv2d_im2col`](crate::ops::conv2d_im2col) reduces convolution to
+//! `C = A · Bᵀ` where `A` is the patch matrix (one row per output position)
+//! and `B` holds the flattened filters (one row per output channel). Both
+//! operands are row-major, so the inner product walks two contiguous slices —
+//! the blocking below only exists to keep the active panels of `A` and `B`
+//! in cache while every filter is streamed across every patch row.
+
+/// Iteration-space block sizes, sized for a 32 KiB L1 data cache: an
+/// `MC`-row panel of `A` plus an `NC`-row panel of `B` over a `KC`-wide
+/// strip is `(MC + NC) * KC * 4` bytes = 24 KiB.
+const MC: usize = 16;
+const NC: usize = 16;
+const KC: usize = 192;
+
+/// `C = A · Bᵀ` with both inputs row-major: `A` is `rows × cols`, `B` is
+/// `m × cols`, and the result is `rows × m` row-major.
+///
+/// Accumulation order is fixed by the block sizes, so results are
+/// deterministic (bit-identical across runs and thread counts) though not
+/// bit-identical to a naive single-pass dot product.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the stated dimensions.
+pub fn gemm_nt(a: &[f32], b: &[f32], rows: usize, cols: usize, m: usize) -> Vec<f32> {
+    assert_eq!(a.len(), rows * cols, "A is not rows x cols");
+    assert_eq!(b.len(), m * cols, "B is not m x cols");
+    let mut c = vec![0.0f32; rows * m];
+    for k0 in (0..cols).step_by(KC) {
+        let k1 = (k0 + KC).min(cols);
+        for i0 in (0..rows).step_by(MC) {
+            let i1 = (i0 + MC).min(rows);
+            for j0 in (0..m).step_by(NC) {
+                let j1 = (j0 + NC).min(m);
+                for i in i0..i1 {
+                    let ar = &a[i * cols + k0..i * cols + k1];
+                    let crow = &mut c[i * m..(i + 1) * m];
+                    for j in j0..j1 {
+                        let br = &b[j * cols + k0..j * cols + k1];
+                        let mut acc = 0.0f32;
+                        for (x, y) in ar.iter().zip(br) {
+                            acc += x * y;
+                        }
+                        crow[j] += acc;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_naive(a: &[f32], b: &[f32], rows: usize, cols: usize, m: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; rows * m];
+        for i in 0..rows {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for k in 0..cols {
+                    acc += a[i * cols + k] * b[j * cols + k];
+                }
+                c[i * m + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        // SplitMix64-derived values in [-1, 1); deterministic and cheap.
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_on_awkward_shapes() {
+        // Shapes straddling the block boundaries: below, at, and above
+        // MC/NC/KC, including degenerate single-row/column cases.
+        for (rows, cols, m, seed) in [
+            (1usize, 1usize, 1usize, 1u64),
+            (3, 5, 2, 2),
+            (16, 192, 16, 3),
+            (17, 193, 19, 4),
+            (40, 250, 33, 5),
+            (1, 300, 7, 6),
+            (50, 1, 50, 7),
+        ] {
+            let a = pseudo(rows * cols, seed);
+            let b = pseudo(m * cols, seed + 100);
+            let blocked = gemm_nt(&a, &b, rows, cols, m);
+            let naive = gemm_naive(&a, &b, rows, cols, m);
+            let worst = blocked
+                .iter()
+                .zip(&naive)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(worst < 1e-4, "{rows}x{cols}x{m}: max diff {worst}");
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_yield_empty_or_zero_results() {
+        assert!(gemm_nt(&[], &[], 0, 5, 0).is_empty());
+        assert_eq!(gemm_nt(&[], &[], 3, 0, 2), vec![0.0; 6]);
+    }
+}

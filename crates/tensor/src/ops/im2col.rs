@@ -1,4 +1,5 @@
 use crate::ops::conv::Conv2dParams;
+use crate::ops::gemm::gemm_nt;
 use crate::{Shape4, Tensor, TensorError};
 
 /// Lowers a convolution input to a patch matrix (im2col).
@@ -57,8 +58,14 @@ pub fn im2col(
     Ok((m, rows, cols))
 }
 
-/// Convolution by lowering: `im2col` followed by a matrix multiplication
-/// against the flattened filters.
+/// Convolution by lowering: `im2col` followed by a cache-blocked matrix
+/// multiplication ([`gemm_nt`]) against the flattened filters.
+///
+/// This is the fast execution path of the golden model. It is numerically
+/// deterministic but accumulates in a different order than the direct
+/// [`crate::ops::conv2d`] loop, so the two agree to floating-point
+/// tolerance, not bit-for-bit; the direct loop remains the reference
+/// oracle.
 ///
 /// # Errors
 ///
@@ -95,22 +102,21 @@ pub fn conv2d_im2col(
     let (patches, rows, cols) = im2col(input, params)?;
     let oh = params.out_dim(is.h).expect("validated");
     let ow = params.out_dim(is.w).expect("validated");
-    let w = weights.as_slice(); // (M, cols) row-major
 
+    // (rows, cols) x (M, cols)^T -> (rows, M), rows batch-major over
+    // output positions.
+    let prod = gemm_nt(&patches, weights.as_slice(), rows, cols, ws.n);
+
+    // Scatter from position-major (row, m) to NCHW, adding bias on the way.
     let mut out = Tensor::zeros(Shape4::new(is.n, ws.n, oh, ow));
     let o = out.as_mut_slice();
     let plane = oh * ow;
     for row in 0..rows {
         let n = row / plane;
         let pos = row % plane;
-        let patch = &patches[row * cols..(row + 1) * cols];
-        for m in 0..ws.n {
-            let filter = &w[m * cols..(m + 1) * cols];
-            let mut acc = bias.map_or(0.0, |b| b[m]);
-            for (p, f) in patch.iter().zip(filter) {
-                acc += p * f;
-            }
-            o[(n * ws.n + m) * plane + pos] = acc;
+        let prow = &prod[row * ws.n..(row + 1) * ws.n];
+        for (m, &v) in prow.iter().enumerate() {
+            o[(n * ws.n + m) * plane + pos] = v + bias.map_or(0.0, |b| b[m]);
         }
     }
     Ok(out)
@@ -142,6 +148,14 @@ mod tests {
             (2, 6, 3, 1, 1, 0, 3),
             (4, 11, 2, 5, 2, 2, 4),
             (1, 7, 1, 7, 1, 3, 5),
+            // pad == kernel and pad > kernel: the window can sit entirely
+            // inside the padding halo.
+            (2, 5, 3, 3, 1, 3, 6),
+            (3, 4, 2, 3, 2, 4, 7),
+            // 1x1 kernels with and without padding (padding adds
+            // all-zero patch rows).
+            (2, 6, 3, 1, 1, 1, 8),
+            (3, 1, 2, 1, 1, 0, 9),
         ] {
             let input = Tensor::random(Shape4::new(2, c, hw, hw), seed);
             let weights = Tensor::random(Shape4::new(mch, c, k, k), seed + 100);
@@ -154,6 +168,36 @@ mod tests {
                 "k{k} s{s} p{p}: diff {}",
                 lowered.max_abs_diff(&direct).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn lowered_conv_matches_direct_across_param_grid() {
+        // Exhaustive small sweep: every kernel/stride/pad combination up to
+        // pad = kernel + 1, on a non-square input.
+        let input = Tensor::random(Shape4::new(2, 3, 6, 5), 11);
+        for k in 1..=4usize {
+            let weights = Tensor::random(Shape4::new(2, 3, k, k), 12 + k as u64);
+            for s in 1..=3usize {
+                for p in 0..=k + 1 {
+                    let params = Conv2dParams::new(k, s, p);
+                    let direct = conv2d(&input, &weights, None, params);
+                    let lowered = conv2d_im2col(&input, &weights, None, params);
+                    match (direct, lowered) {
+                        (Ok(d), Ok(l)) => assert!(
+                            l.all_close(&d, 1e-4),
+                            "k{k} s{s} p{p}: diff {}",
+                            l.max_abs_diff(&d).unwrap()
+                        ),
+                        (Err(_), Err(_)) => {}
+                        (d, l) => panic!(
+                            "k{k} s{s} p{p}: direct ok={} lowered ok={}",
+                            d.is_ok(),
+                            l.is_ok()
+                        ),
+                    }
+                }
+            }
         }
     }
 

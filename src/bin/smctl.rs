@@ -5,9 +5,17 @@
 use std::process::ExitCode;
 
 use shortcut_mining::cli;
+use shortcut_mining::core::parallel;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match parallel::parse_threads_flag(&mut args) {
+        Ok(n) => parallel::set_threads(n),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let parsed = cli::parse(args.iter().map(String::as_str));
     match parsed.and_then(|cmd| cli::execute(&cmd)) {
         Ok(report) => {

@@ -75,8 +75,18 @@ pub enum Command {
         seed: u64,
         /// Per-attempt DRAM failure probability (default 0.01).
         dram_rate: f64,
+        /// Retry budget override (`--retry-budget`; default: plan default).
+        retry_budget: Option<u32>,
+        /// Run the retry-budget sensitivity study instead of the
+        /// bank-failure sweep.
+        budget_sweep: bool,
         /// Emit the degradation curves as a JSON document instead of text.
         json: bool,
+    },
+    /// Wall-clock timing harness: parallel suite, conv kernels, plan cache.
+    Bench {
+        /// Output path for the JSON report (default `BENCH_parallel.json`).
+        out: String,
     },
 }
 
@@ -103,7 +113,13 @@ USAGE:
   smctl verify  <network> [--seed <n>]
   smctl sweep   <network> [--batch <n>]
   smctl layers  <network> [--batch <n>]
-  smctl chaos   <network>|headline [--batch <n>] [--seed <n>] [--dram-rate <p>] [--json]
+  smctl chaos   <network>|headline [--batch <n>] [--seed <n>] [--dram-rate <p>]
+                [--retry-budget <n>] [--budget-sweep] [--json]
+  smctl bench   [--out <path>]
+
+Every command also accepts --threads <n> (worker count for parallel
+sweeps; SM_THREADS environment variable is the fallback, default = all
+cores). Output is byte-identical at any thread count.
 
 POLICIES:
   baseline | reuse-disabled | swap-only | mining-only | shortcut-mining
@@ -115,34 +131,10 @@ NETWORKS:
   alexnet, googlenet, densenet121/169, mobilenet_v1/v2, toy_residual,
   resnet_tiny20, squeezenet_tiny, densenet_tiny4, mobilenet_tiny)";
 
-/// Resolves a network by CLI name.
+/// Resolves a network by CLI name (thin wrapper over [`zoo::try_by_name`],
+/// the shared registry).
 pub fn network_by_name(name: &str, batch: usize) -> Option<Network> {
-    Some(match name {
-        "resnet18" => zoo::resnet18(batch),
-        "resnet34" => zoo::resnet34(batch),
-        "resnet50" => zoo::resnet50(batch),
-        "resnet101" => zoo::resnet101(batch),
-        "resnet152" => zoo::resnet152(batch),
-        "plain18" => zoo::plain18(batch),
-        "plain34" => zoo::plain34(batch),
-        "squeezenet_v10" => zoo::squeezenet_v10(batch),
-        "squeezenet_v10_simple_bypass" | "squeezenet" => zoo::squeezenet_v10_simple_bypass(batch),
-        "squeezenet_v10_complex_bypass" => zoo::squeezenet_v10_complex_bypass(batch),
-        "squeezenet_v11" => zoo::squeezenet_v11(batch),
-        "vgg16" => zoo::vgg16(batch),
-        "alexnet" => zoo::alexnet(batch),
-        "googlenet" => zoo::googlenet(batch),
-        "mobilenet_v1" => zoo::mobilenet_v1(batch),
-        "mobilenet_v2" => zoo::mobilenet_v2(batch),
-        "mobilenet_tiny" => zoo::mobilenet_tiny(batch),
-        "densenet121" => zoo::densenet121(batch),
-        "densenet169" => zoo::densenet169(batch),
-        "toy_residual" => zoo::toy_residual(batch),
-        "resnet_tiny20" => zoo::resnet_tiny(3, batch),
-        "squeezenet_tiny" => zoo::squeezenet_tiny(batch),
-        "densenet_tiny4" => zoo::densenet_tiny(4, batch),
-        _ => return None,
-    })
+    zoo::try_by_name(name, batch).ok()
 }
 
 /// Resolves a policy by CLI name.
@@ -180,6 +172,16 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
     let cmd = it.next().ok_or_else(|| CliError(USAGE.to_string()))?;
     match cmd {
         "networks" => Ok(Command::Networks),
+        "bench" => {
+            let mut out = "BENCH_parallel.json".to_string();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--out" => out = take_value(&mut it, flag)?.to_string(),
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Bench { out })
+        }
         "compare" | "analyze" | "verify" | "sweep" | "layers" | "chaos" => {
             let network = it
                 .next()
@@ -191,9 +193,18 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut seed = 42u64;
             let mut json = false;
             let mut dram_rate = 0.01f64;
+            let mut retry_budget = None;
+            let mut budget_sweep = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
+                    "--budget-sweep" => budget_sweep = true,
+                    "--retry-budget" => {
+                        let v = take_value(&mut it, flag)?;
+                        retry_budget = Some(v.parse().map_err(|_| {
+                            CliError(format!("invalid retry budget {v:?} (integer expected)"))
+                        })?);
+                    }
                     "--capacity" => {
                         let v = take_value(&mut it, flag)?;
                         capacity_kib = Some(v.parse().map_err(|_| {
@@ -204,7 +215,9 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                         let v = take_value(&mut it, flag)?;
                         batch = v
                             .parse()
-                            .map_err(|_| CliError(format!("invalid batch {v:?}")))?;
+                            .ok()
+                            .filter(|&b: &usize| b > 0)
+                            .ok_or_else(|| CliError(format!("invalid batch {v:?}")))?;
                     }
                     "--policy" => {
                         let v = take_value(&mut it, flag)?;
@@ -248,6 +261,8 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     batch,
                     seed,
                     dram_rate,
+                    retry_budget,
+                    budget_sweep,
                     json,
                 },
                 _ => Command::Verify { network, seed },
@@ -430,9 +445,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             batch,
             seed,
             dram_rate,
+            retry_budget,
+            budget_sweep,
             json,
         } => {
-            use sm_bench::experiments::{chaos_degradation, DEFAULT_FRACTIONS};
+            use sm_bench::experiments::{
+                chaos_degradation_with_budget, retry_budget_sweep, DEFAULT_FRACTIONS,
+                DEFAULT_RETRY_BUDGETS,
+            };
             let nets: Vec<Network> = if network == "headline" {
                 vec![
                     zoo::resnet34(*batch),
@@ -442,15 +462,40 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 vec![network_by_name(network, *batch)
                     .ok_or_else(|| CliError(format!("unknown network {network:?}")))?]
             };
+            if *budget_sweep {
+                let studies: Vec<_> = nets
+                    .iter()
+                    .map(|net| {
+                        retry_budget_sweep(
+                            net,
+                            AccelConfig::default(),
+                            *seed,
+                            *dram_rate,
+                            &DEFAULT_RETRY_BUDGETS,
+                        )
+                    })
+                    .collect();
+                if *json {
+                    let body =
+                        sm_bench::json::to_json(&studies).map_err(|e| CliError(e.to_string()))?;
+                    let _ = writeln!(out, "{body}");
+                } else {
+                    for study in &studies {
+                        let _ = writeln!(out, "{}", study.table().render());
+                    }
+                }
+                return Ok(out);
+            }
             let curves: Vec<_> = nets
                 .iter()
                 .map(|net| {
-                    chaos_degradation(
+                    chaos_degradation_with_budget(
                         net,
                         AccelConfig::default(),
                         *seed,
                         &DEFAULT_FRACTIONS,
                         *dram_rate,
+                        *retry_budget,
                     )
                 })
                 .collect();
@@ -462,6 +507,15 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             for curve in &curves {
                 let _ = writeln!(out, "{}", curve.table().render());
             }
+        }
+        Command::Bench { out: path } => {
+            let threads = sm_core::parallel::threads().max(2);
+            let report = sm_bench::timing::run_bench(threads);
+            let body = sm_bench::json::to_json(&report).map_err(|e| CliError(e.to_string()))?;
+            std::fs::write(path, body.as_bytes())
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            let _ = write!(out, "{}", report.summary());
+            let _ = writeln!(out, "report written to {path}");
         }
         Command::Verify { network, seed } => {
             let net = network_by_name(network, 1)
@@ -594,6 +648,8 @@ mod tests {
                 batch: 1,
                 seed: 7,
                 dram_rate: 0.05,
+                retry_budget: None,
+                budget_sweep: false,
                 json: false,
             }
         );
@@ -612,6 +668,51 @@ mod tests {
         assert!(out.contains(r#""throughput_gops":"#));
         // `headline` is chaos-only.
         assert!(parse(["compare", "headline"]).is_err());
+    }
+
+    #[test]
+    fn chaos_budget_flags_parse_and_sweep_runs() {
+        let cmd = parse([
+            "chaos",
+            "toy_residual",
+            "--retry-budget",
+            "5",
+            "--budget-sweep",
+            "--dram-rate",
+            "0.2",
+        ])
+        .unwrap();
+        match &cmd {
+            Command::Chaos {
+                retry_budget,
+                budget_sweep,
+                ..
+            } => {
+                assert_eq!(*retry_budget, Some(5));
+                assert!(budget_sweep);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("retry-budget sensitivity"));
+        assert!(parse(["chaos", "toy_residual", "--retry-budget", "x"]).is_err());
+    }
+
+    #[test]
+    fn bench_command_parses() {
+        assert_eq!(
+            parse(["bench"]).unwrap(),
+            Command::Bench {
+                out: "BENCH_parallel.json".into()
+            }
+        );
+        assert_eq!(
+            parse(["bench", "--out", "/tmp/b.json"]).unwrap(),
+            Command::Bench {
+                out: "/tmp/b.json".into()
+            }
+        );
+        assert!(parse(["bench", "--wat"]).is_err());
     }
 
     #[test]

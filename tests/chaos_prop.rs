@@ -144,6 +144,55 @@ fn fault_injection_is_deterministic() {
     assert_ne!(run(&other), a, "seed must steer the fault stream");
 }
 
+/// Nightly-only: the chaos contract holds on mid-size ImageNet networks
+/// (ResNet-18, VGG-16), not just the CIFAR-scale graphs above. Analytic
+/// (traffic-level) runs, so size is cheap; gated behind `SM_NIGHTLY=1`
+/// because it still multiplies the suite's wall-clock.
+#[test]
+fn nightly_midsize_networks_degrade_gracefully() {
+    if std::env::var("SM_NIGHTLY").map_or(true, |v| v != "1") {
+        eprintln!("skipping nightly mid-size chaos check (set SM_NIGHTLY=1 to run)");
+        return;
+    }
+    for net in [zoo::resnet18(1), zoo::vgg16(1)] {
+        let curve = sm_bench::experiments::chaos_degradation(
+            &net,
+            AccelConfig::default(),
+            17,
+            &sm_bench::experiments::DEFAULT_FRACTIONS,
+            0.05,
+        );
+        let clean_fm = Experiment::default_config()
+            .run(&net, Policy::shortcut_mining())
+            .fm_traffic_bytes();
+        assert!(curve.points[0].completed, "{}: clean point", net.name());
+        for p in &curve.points {
+            if p.completed {
+                assert!(
+                    p.fm_bytes >= clean_fm,
+                    "{}: {} < {clean_fm}",
+                    net.name(),
+                    p.fm_bytes
+                );
+            } else {
+                assert!(p.error.is_some(), "{}", net.name());
+            }
+        }
+        let study = sm_bench::experiments::retry_budget_sweep(
+            &net,
+            AccelConfig::default(),
+            17,
+            0.2,
+            &sm_bench::experiments::DEFAULT_RETRY_BUDGETS,
+        );
+        assert!(
+            study.points.iter().any(|p| p.completed),
+            "{}: some budget must survive rate 0.2",
+            net.name()
+        );
+    }
+}
+
 /// Degradation is graceful across a whole sweep: every point either
 /// completes with at least the fault-free traffic or reports a typed error.
 #[test]

@@ -11,16 +11,28 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Config running `cases` cases.
+    /// Config running `cases` cases, unless `PROPTEST_CASES` overrides it.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig::with_cases(64)
     }
+}
+
+/// `PROPTEST_CASES` as a positive case count, when set and well-formed
+/// (matching upstream proptest's environment knob — nightly CI raises it
+/// without touching test code).
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// Why a single generated case did not pass.
