@@ -97,6 +97,27 @@ pub fn dram_cycles(model: &DramModel, bytes: u64) -> u64 {
     model.cycles_for_bytes(bytes)
 }
 
+/// Bytes one ECC decode pipe checks per cycle. SECDED syndromes are
+/// computed a codeword at a time next to the SRAM macro, wide enough that
+/// the check is a small serial tax rather than a bandwidth limit.
+pub const ECC_CHECK_BYTES_PER_CYCLE: u64 = 512;
+
+/// MAC cycles amortized per extra residue-check cycle when the PE array is
+/// ECC-protected (~3% overhead).
+pub const ECC_MAC_CYCLES_PER_CHECK: u64 = 32;
+
+/// Serial cycle tax for ECC-checking `bytes` of protected SRAM traffic.
+/// Zero bytes cost nothing; any protected access pays at least one cycle.
+pub fn ecc_check_cycles(bytes: u64) -> u64 {
+    bytes.div_ceil(ECC_CHECK_BYTES_PER_CYCLE)
+}
+
+/// Cycle tax for residue-checking `compute` cycles of ECC-protected MAC
+/// work.
+pub fn ecc_compute_tax_cycles(compute: u64) -> u64 {
+    compute.div_ceil(ECC_MAC_CYCLES_PER_CHECK)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +175,15 @@ mod tests {
         assert_eq!(fc_compute_cycles(1, 512, 1000, 64, 64), 16 * 8);
         assert_eq!(vector_compute_cycles(100, 32), 4);
         assert_eq!(vector_compute_cycles(0, 32), 0);
+    }
+
+    #[test]
+    fn ecc_taxes_scale_and_vanish_at_zero() {
+        assert_eq!(ecc_check_cycles(0), 0);
+        assert_eq!(ecc_check_cycles(1), 1);
+        assert_eq!(ecc_check_cycles(ECC_CHECK_BYTES_PER_CYCLE * 10), 10);
+        assert_eq!(ecc_compute_tax_cycles(0), 0);
+        assert_eq!(ecc_compute_tax_cycles(64), 2);
     }
 
     #[test]

@@ -17,10 +17,26 @@ pub struct FaultStats {
     pub evicted_bytes: u64,
     /// DRAM transfer attempts that failed and were retried.
     pub dram_retries: u64,
-    /// Extra cycles spent stalled in retry backoff.
+    /// Extra cycles spent stalled in retry backoff (DRAM retries plus
+    /// parity-detected site strikes).
     pub retry_stall_cycles: u64,
     /// Residency-corruption events detected and repaired by re-fetch.
     pub corruptions: u64,
+    /// Weight-SRAM words struck while a layer's weights were live.
+    pub weight_faults: u64,
+    /// PE MAC lanes struck during a layer's compute.
+    pub pe_faults: u64,
+    /// Site strikes detected by parity and repaired (weight refetch or
+    /// lane recompute).
+    pub parity_detections: u64,
+    /// Site strikes corrected in place by ECC.
+    pub ecc_corrections: u64,
+    /// Site strikes left unprotected: silent value corruption, observable
+    /// only through the functional checker.
+    pub silent_faults: u64,
+    /// Bytes that paid the per-access ECC check tax (feeds the energy
+    /// model's ECC component).
+    pub ecc_bytes: u64,
 }
 
 impl FaultStats {
@@ -99,9 +115,15 @@ impl RunStats {
         self.batch as f64 / self.runtime_seconds()
     }
 
-    /// Energy estimate under the given model.
+    /// Energy estimate under the given model, including the ECC tax for
+    /// any protected accesses this run performed.
     pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
-        model.estimate(&self.ledger, self.buffer_stats.sram_bytes(), self.macs)
+        model.estimate_with_ecc(
+            &self.ledger,
+            self.buffer_stats.sram_bytes(),
+            self.macs,
+            self.faults.ecc_bytes,
+        )
     }
 
     /// Ratio of this run's feature-map traffic to a reference run's

@@ -178,6 +178,149 @@ fn run_chaos_point(
 /// The default sweep: fault-free anchor plus five escalating fractions.
 pub const DEFAULT_FRACTIONS: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
 
+/// Default bank-failure fractions of the 2-D grid (`smctl chaos --grid`).
+pub const DEFAULT_GRID_FRACTIONS: [f64; 3] = [0.0, 0.1, 0.3];
+
+/// Default DRAM fault rates of the 2-D grid (`smctl chaos --grid`).
+pub const DEFAULT_GRID_RATES: [f64; 3] = [0.0, 0.05, 0.2];
+
+/// One cell of the 2-D degradation grid: one checked run at a
+/// (bank-failure fraction, DRAM fault rate) pair.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosGridCell {
+    /// Requested fraction of pool banks to fail.
+    pub bank_fail_fraction: f64,
+    /// Per-attempt DRAM failure probability.
+    pub dram_fault_rate: f64,
+    /// Whether the run completed (vs. refusing with a typed error).
+    pub completed: bool,
+    /// Display form of the [`sm_core::SimError`] when not completed.
+    pub error: Option<String>,
+    /// Off-chip feature-map bytes (fault-recovery spills included).
+    pub fm_bytes: u64,
+    /// All off-chip bytes.
+    pub total_bytes: u64,
+    /// Bytes re-transferred after injected DRAM failures.
+    pub retry_bytes: u64,
+    /// End-to-end cycles (0 when the run did not complete).
+    pub total_cycles: u64,
+}
+
+/// 2-D degradation surface for one network: bank-failure fraction ×
+/// DRAM fault rate (ext. experiment 8, `smctl chaos --grid`).
+///
+/// `cells` is row-major: all rates for `fractions[0]` first. Every cell is
+/// an independent checked run fanned out over [`sm_core::parallel`] as one
+/// flattened batch, so the grid is byte-identical at any thread count.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosGrid {
+    /// Network name.
+    pub network: String,
+    /// Fault-plan seed shared by every cell.
+    pub seed: u64,
+    /// Swept bank-failure fractions (grid rows).
+    pub fractions: Vec<f64>,
+    /// Swept DRAM fault rates (grid columns).
+    pub rates: Vec<f64>,
+    /// Row-major cells (`fractions.len() * rates.len()`).
+    pub cells: Vec<ChaosGridCell>,
+}
+
+impl ChaosGrid {
+    /// The cell at (fraction index, rate index).
+    pub fn cell(&self, fraction_idx: usize, rate_idx: usize) -> &ChaosGridCell {
+        &self.cells[fraction_idx * self.rates.len() + rate_idx]
+    }
+
+    /// Renders the grid as an aligned text table: one row per bank-failure
+    /// fraction, one column per DRAM fault rate, each cell total off-chip
+    /// MiB (or the error for refused runs).
+    pub fn table(&self) -> Table {
+        let headers: Vec<String> = std::iter::once("banks failed".to_string())
+            .chain(self.rates.iter().map(|r| format!("dram {r}")))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            format!("chaos degradation grid — {} (total MiB)", self.network),
+            &header_refs,
+        );
+        for (fi, &f) in self.fractions.iter().enumerate() {
+            let mut row = vec![pct(f)];
+            for ri in 0..self.rates.len() {
+                let c = self.cell(fi, ri);
+                row.push(if c.completed {
+                    format!("{:.2}", c.total_bytes as f64 / (1 << 20) as f64)
+                } else {
+                    c.error.clone().unwrap_or_else(|| "error".into())
+                });
+            }
+            t.row(&row);
+        }
+        t
+    }
+}
+
+/// Sweeps the full cross product of bank-failure fractions × DRAM fault
+/// rates on one network, one checked Shortcut Mining run per cell.
+///
+/// `retry_budget` overrides the [`FaultPlan`] default when `Some` (the
+/// `--retry-budget` knob). All cells share `seed`, so a cell's fault
+/// stream depends only on its own (fraction, rate) pair and the grid is
+/// deterministic for a fixed seed.
+pub fn chaos_grid(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+) -> ChaosGrid {
+    let exp = sm_core::Experiment::new(config);
+    let pairs: Vec<(f64, f64)> = fractions
+        .iter()
+        .flat_map(|&f| rates.iter().map(move |&r| (f, r)))
+        .collect();
+    let cells = par_map_auto(&pairs, |&(f, r)| {
+        let mut plan = FaultPlan::new(seed)
+            .with_bank_failures(f)
+            .with_dram_faults(r);
+        if let Some(budget) = retry_budget {
+            let stall = plan.retry_stall_cycles;
+            plan = plan.with_retry_budget(budget, stall);
+        }
+        let options = SimOptions::with_faults(plan);
+        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+            Ok(run) => ChaosGridCell {
+                bank_fail_fraction: f,
+                dram_fault_rate: r,
+                completed: true,
+                error: None,
+                fm_bytes: run.stats.fm_traffic_bytes(),
+                total_bytes: run.stats.total_traffic_bytes(),
+                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                total_cycles: run.stats.total_cycles,
+            },
+            Err(e) => ChaosGridCell {
+                bank_fail_fraction: f,
+                dram_fault_rate: r,
+                completed: false,
+                error: Some(e.to_string()),
+                fm_bytes: 0,
+                total_bytes: 0,
+                retry_bytes: 0,
+                total_cycles: 0,
+            },
+        }
+    });
+    ChaosGrid {
+        network: net.name().to_string(),
+        seed,
+        fractions: fractions.to_vec(),
+        rates: rates.to_vec(),
+        cells,
+    }
+}
+
 /// The default retry budgets swept by [`retry_budget_sweep`].
 pub const DEFAULT_RETRY_BUDGETS: [u32; 5] = [0, 1, 2, 4, 8];
 
@@ -357,6 +500,57 @@ mod tests {
             chaos_degradation_with_budget(&net, AccelConfig::default(), 3, &[0.0], 0.4, Some(9));
         assert_eq!(curve.max_retries, 9);
         assert!(curve.points[0].completed, "{:?}", curve.points[0].error);
+    }
+
+    #[test]
+    fn grid_covers_the_cross_product_and_anchors_fault_free() {
+        let net = zoo::toy_residual(1);
+        let grid = chaos_grid(
+            &net,
+            AccelConfig::default(),
+            5,
+            &[0.0, 0.3],
+            &[0.0, 0.4],
+            Some(16),
+        );
+        assert_eq!(grid.cells.len(), 4);
+        let anchor = grid.cell(0, 0);
+        assert!(anchor.completed, "{:?}", anchor.error);
+        assert_eq!(anchor.retry_bytes, 0);
+        // DRAM faults alone add retry traffic; bank failures alone add
+        // feature-map traffic (or abort, for which error is set).
+        let dram_only = grid.cell(0, 1);
+        assert!(dram_only.completed, "{:?}", dram_only.error);
+        assert!(dram_only.retry_bytes > 0);
+        for c in &grid.cells {
+            assert_eq!(c.completed, c.error.is_none());
+        }
+        let t = grid.table();
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("chaos degradation grid"));
+        assert!(t.render().contains("dram 0.4"));
+    }
+
+    #[test]
+    fn grid_is_deterministic_for_a_fixed_seed() {
+        let net = zoo::toy_residual(1);
+        let a = chaos_grid(
+            &net,
+            AccelConfig::default(),
+            7,
+            &DEFAULT_GRID_FRACTIONS,
+            &DEFAULT_GRID_RATES,
+            Some(8),
+        );
+        let b = chaos_grid(
+            &net,
+            AccelConfig::default(),
+            7,
+            &DEFAULT_GRID_FRACTIONS,
+            &DEFAULT_GRID_RATES,
+            Some(8),
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | Ext. 5 | [`ext_datatype`] | 8/16/32-bit datatype sensitivity |
 //! | Ext. 6 | [`chaos_degradation`] | graceful degradation under injected faults |
 //! | Ext. 7 | [`retry_budget_sweep`] | retry-budget sensitivity under DRAM faults |
+//! | Ext. 8 | [`chaos_grid`] | 2-D bank-failure × DRAM-fault degradation grid |
 
 mod ablation;
 mod chaos;
@@ -34,8 +35,9 @@ mod sensitivity;
 
 pub use ablation::{table3_ablation, AblationResult};
 pub use chaos::{
-    chaos_degradation, chaos_degradation_with_budget, retry_budget_sweep, ChaosCurve, ChaosPoint,
-    RetryBudgetPoint, RetryBudgetStudy, DEFAULT_FRACTIONS, DEFAULT_RETRY_BUDGETS,
+    chaos_degradation, chaos_degradation_with_budget, chaos_grid, retry_budget_sweep, ChaosCurve,
+    ChaosGrid, ChaosGridCell, ChaosPoint, RetryBudgetPoint, RetryBudgetStudy, DEFAULT_FRACTIONS,
+    DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
 };
 pub use energy::{fig16_energy, EnergyResult};
 pub use extensions::{

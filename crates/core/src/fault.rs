@@ -1,18 +1,28 @@
 //! Deterministic fault injection for the Shortcut Mining simulator.
 //!
 //! A [`FaultPlan`] describes *what* can go wrong — banks failing, DRAM
-//! transfers dropping, residency metadata corrupting — and a
-//! [`FaultInjector`] turns the plan into a reproducible event stream: the
-//! same plan and seed always produce the same failures in the same order,
-//! so a faulty run's `RunStats` serializes byte-identically across
-//! repetitions. The simulator responds by degrading gracefully (evacuating
-//! revoked banks, retrying transfers with bounded backoff, re-fetching
-//! corrupted residency from DRAM) rather than crashing; see
+//! transfers dropping, residency metadata corrupting, weight-SRAM words and
+//! PE MAC lanes being struck — and a [`FaultInjector`] turns the plan into a
+//! reproducible event stream: the same plan and seed always produce the same
+//! failures in the same order, so a faulty run's `RunStats` serializes
+//! byte-identically across repetitions. The simulator responds by degrading
+//! gracefully (evacuating revoked banks, retrying transfers with bounded
+//! backoff, re-fetching corrupted residency from DRAM, repairing protected
+//! site strikes per their [`Protection`] policy) rather than crashing; see
 //! `ShortcutMiner::try_simulate`.
+//!
+//! Site faults (weight SRAM, PE array) draw from a *dedicated* PRNG stream
+//! with a fixed draw count per layer, so at a fixed seed the set of struck
+//! layers at a lower rate is a subset of the set at any higher rate — the
+//! degradation metrics are monotone in the fault rate by construction, and
+//! enabling site faults never perturbs the bank/DRAM fault stream.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use sm_buffer::BankId;
+
+/// Seed salt separating the site-fault stream from the bank/DRAM stream.
+const SITE_STREAM_SALT: u64 = 0x517E_FA17_0DD5_EED5;
 
 /// Deterministic pseudo-random source (SplitMix64), kept private to this
 /// module so the fault stream never depends on an external RNG's version.
@@ -45,6 +55,9 @@ impl SplitMix64 {
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    ///
+    /// Consumes no draw at the degenerate rates so an inactive fault class
+    /// never perturbs the stream of an active one.
     fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             return false;
@@ -52,16 +65,69 @@ impl SplitMix64 {
         if p >= 1.0 {
             return true;
         }
-        // 53-bit uniform in [0, 1).
-        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        unit < p
+        self.unit() < p
     }
+
+    /// 53-bit uniform value in `[0, 1)`; always consumes exactly one draw.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Hardware protection policy applied to one fault site (weight SRAM or the
+/// PE array).
+///
+/// The three policies span the cost/coverage trade-off measured by the
+/// degradation studies:
+///
+/// * [`Protection::None`] — a strike silently corrupts the layer's output;
+///   nothing is charged, and only the value-level functional checker
+///   (`verify_value_preservation_with`) can catch it.
+/// * [`Protection::Parity`] — a strike is *detected*; the simulator repairs
+///   it by refetching the layer's weights from DRAM (charged as
+///   `TrafficClass::Retry` traffic plus stall cycles) or recomputing the
+///   struck lane's output share. Values stay correct.
+/// * [`Protection::Ecc`] — a strike is *corrected in place*; no extra
+///   traffic, but every protected access pays a per-byte / per-MAC
+///   check tax in cycles (`sm_accel::cycles`) and energy
+///   (`sm_mem::EnergyModel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Protection {
+    /// Unprotected: strikes corrupt values silently.
+    #[default]
+    None,
+    /// Detect-only codes: strikes are repaired by refetch/recompute.
+    Parity,
+    /// Correcting codes: strikes are absorbed at a per-access tax.
+    Ecc,
+}
+
+/// One layer's site-fault outcome, drawn from the dedicated site stream.
+///
+/// The raw `weight_word` / `pe_lane` selectors are full-width draws; the
+/// simulator reduces them modulo the layer's word count / lane count so the
+/// draw count stays independent of layer geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteFaultDraw {
+    /// Whether a weight-SRAM word is struck while this layer's weights are
+    /// live.
+    pub weight_struck: bool,
+    /// Raw selector for the struck weight word.
+    pub weight_word: u64,
+    /// Whether a PE MAC lane is struck during this layer's compute.
+    pub pe_struck: bool,
+    /// Raw selector for the struck lane.
+    pub pe_lane: u64,
 }
 
 /// A seedable, serializable description of the faults to inject into one
 /// simulation run. All rates are probabilities in `[0, 1]`; the default
 /// plan injects nothing.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// The site-fault fields (`weight_*`, `pe_*`) were added after the first
+/// stored plans shipped, so they deserialize with their defaults when
+/// absent — pre-existing JSON plans keep loading unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed for the deterministic fault stream.
     pub seed: u64,
@@ -81,6 +147,20 @@ pub struct FaultPlan {
     /// metadata is corrupted (the DRAM-backed part of its on-chip prefix
     /// is invalidated and later re-fetched).
     pub corruption_rate: f64,
+    /// Per-layer probability that a weight-SRAM word is struck while the
+    /// layer's weights are live (layers that read no weights are immune).
+    #[serde(default)]
+    pub weight_fault_rate: f64,
+    /// Protection policy on the weight SRAM.
+    #[serde(default)]
+    pub weight_protection: Protection,
+    /// Per-layer probability that one PE MAC lane is struck during the
+    /// layer's compute (layers with no arithmetic are immune).
+    #[serde(default)]
+    pub pe_fault_rate: f64,
+    /// Protection policy on the PE array.
+    #[serde(default)]
+    pub pe_protection: Protection,
 }
 
 impl Default for FaultPlan {
@@ -92,6 +172,10 @@ impl Default for FaultPlan {
             max_retries: 3,
             retry_stall_cycles: 64,
             corruption_rate: 0.0,
+            weight_fault_rate: 0.0,
+            weight_protection: Protection::None,
+            pe_fault_rate: 0.0,
+            pe_protection: Protection::None,
         }
     }
 }
@@ -130,9 +214,33 @@ impl FaultPlan {
         self
     }
 
-    /// Whether the plan can inject anything at all.
+    /// Sets the per-layer weight-SRAM strike probability and the protection
+    /// policy guarding it.
+    pub fn with_weight_faults(mut self, rate: f64, protection: Protection) -> Self {
+        self.weight_fault_rate = rate.clamp(0.0, 1.0);
+        self.weight_protection = protection;
+        self
+    }
+
+    /// Sets the per-layer PE-lane strike probability and the protection
+    /// policy guarding it.
+    pub fn with_pe_faults(mut self, rate: f64, protection: Protection) -> Self {
+        self.pe_fault_rate = rate.clamp(0.0, 1.0);
+        self.pe_protection = protection;
+        self
+    }
+
+    /// Whether the plan can inject anything at all. ECC protection alone
+    /// also activates the plan: its per-access tax must be charged even
+    /// when no strike lands.
     pub fn is_active(&self) -> bool {
-        self.bank_fail_fraction > 0.0 || self.dram_fault_rate > 0.0 || self.corruption_rate > 0.0
+        self.bank_fail_fraction > 0.0
+            || self.dram_fault_rate > 0.0
+            || self.corruption_rate > 0.0
+            || self.weight_fault_rate > 0.0
+            || self.pe_fault_rate > 0.0
+            || self.weight_protection == Protection::Ecc
+            || self.pe_protection == Protection::Ecc
     }
 }
 
@@ -144,10 +252,17 @@ impl FaultPlan {
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     rng: SplitMix64,
+    /// Dedicated stream for weight-SRAM / PE-array strikes; fixed draw
+    /// count per layer keeps strike sets monotone in the rates.
+    site_rng: SplitMix64,
     dram_fault_rate: f64,
     max_retries: u32,
     retry_stall_cycles: u64,
     corruption_rate: f64,
+    weight_fault_rate: f64,
+    weight_protection: Protection,
+    pe_fault_rate: f64,
+    pe_protection: Protection,
     /// `(layer, bank)` revocations, sorted by layer; consumed front to back.
     schedule: Vec<(usize, BankId)>,
     next_failure: usize,
@@ -178,10 +293,15 @@ impl FaultInjector {
         schedule.sort();
         FaultInjector {
             rng,
+            site_rng: SplitMix64::new(plan.seed ^ SITE_STREAM_SALT),
             dram_fault_rate: plan.dram_fault_rate,
             max_retries: plan.max_retries,
             retry_stall_cycles: plan.retry_stall_cycles,
             corruption_rate: plan.corruption_rate,
+            weight_fault_rate: plan.weight_fault_rate,
+            weight_protection: plan.weight_protection,
+            pe_fault_rate: plan.pe_fault_rate,
+            pe_protection: plan.pe_protection,
             schedule,
             next_failure: 0,
         }
@@ -228,6 +348,42 @@ impl FaultInjector {
     /// Picks an index below `len` for corruption targeting.
     pub fn pick(&mut self, len: usize) -> usize {
         self.rng.below(len as u64) as usize
+    }
+
+    /// Draws one layer's weight-SRAM and PE-array strike outcomes from the
+    /// dedicated site stream.
+    ///
+    /// Exactly four draws are consumed regardless of the rates or outcomes,
+    /// so at a fixed seed the struck layers at rate `p₁` are a subset of the
+    /// struck layers at any rate `p₂ ≥ p₁` — Retry traffic and repair work
+    /// are monotone in the fault rate by construction.
+    pub fn layer_site_faults(&mut self) -> SiteFaultDraw {
+        let weight_unit = self.site_rng.unit();
+        let weight_word = self.site_rng.next_u64();
+        let pe_unit = self.site_rng.unit();
+        let pe_lane = self.site_rng.next_u64();
+        SiteFaultDraw {
+            weight_struck: weight_unit < self.weight_fault_rate,
+            weight_word,
+            pe_struck: pe_unit < self.pe_fault_rate,
+            pe_lane,
+        }
+    }
+
+    /// Protection policy on the weight SRAM.
+    pub fn weight_protection(&self) -> Protection {
+        self.weight_protection
+    }
+
+    /// Protection policy on the PE array.
+    pub fn pe_protection(&self) -> Protection {
+        self.pe_protection
+    }
+
+    /// Stall cycles charged per parity-detected strike (shared with the
+    /// DRAM retry backoff's first step).
+    pub fn retry_stall_cycles(&self) -> u64 {
+        self.retry_stall_cycles
     }
 }
 
@@ -285,6 +441,60 @@ mod tests {
         assert_eq!(inj.planned_bank_failures(), 0);
         assert!(!inj.corruption_strikes());
         assert_eq!(inj.transfer_attempts(), Ok((0, 0)));
+    }
+
+    #[test]
+    fn site_strikes_are_monotone_in_rate() {
+        // At a fixed seed the struck-layer set must only grow with the rate.
+        let layers = 64;
+        let rates = [0.0, 0.1, 0.3, 0.6, 1.0];
+        let mut prev_w: Vec<bool> = vec![false; layers];
+        let mut prev_p: Vec<bool> = vec![false; layers];
+        for rate in rates {
+            let plan = FaultPlan::new(9)
+                .with_weight_faults(rate, Protection::Parity)
+                .with_pe_faults(rate, Protection::Parity);
+            let mut inj = FaultInjector::new(&plan, 8, layers);
+            let draws: Vec<SiteFaultDraw> = (0..layers).map(|_| inj.layer_site_faults()).collect();
+            for (i, d) in draws.iter().enumerate() {
+                assert!(
+                    !prev_w[i] || d.weight_struck,
+                    "weight strike at layer {i} vanished as the rate rose to {rate}"
+                );
+                assert!(!prev_p[i] || d.pe_struck, "pe strike at layer {i} vanished");
+            }
+            prev_w = draws.iter().map(|d| d.weight_struck).collect();
+            prev_p = draws.iter().map(|d| d.pe_struck).collect();
+        }
+        assert!(prev_w.iter().all(|&s| s), "rate 1.0 strikes every layer");
+        assert!(prev_p.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn site_stream_does_not_perturb_the_main_stream() {
+        // Enabling site faults must leave the bank/DRAM draws untouched so
+        // ECC runs reproduce fault-free traffic exactly.
+        let base = FaultPlan::new(5).with_dram_faults(0.4).with_corruption(0.3);
+        let with_sites = base
+            .clone()
+            .with_weight_faults(0.7, Protection::Ecc)
+            .with_pe_faults(0.7, Protection::Ecc);
+        let mut a = FaultInjector::new(&base, 16, 12);
+        let mut b = FaultInjector::new(&with_sites, 16, 12);
+        for layer in 1..=12 {
+            assert_eq!(a.banks_failing_at(layer), b.banks_failing_at(layer));
+            let _ = b.layer_site_faults();
+            assert_eq!(a.corruption_strikes(), b.corruption_strikes());
+            assert_eq!(a.transfer_attempts(), b.transfer_attempts());
+        }
+    }
+
+    #[test]
+    fn ecc_protection_alone_activates_the_plan() {
+        let plan = FaultPlan::new(1).with_weight_faults(0.0, Protection::Ecc);
+        assert!(plan.is_active(), "the ECC tax applies without any strike");
+        let parity_only = FaultPlan::new(1).with_pe_faults(0.0, Protection::Parity);
+        assert!(!parity_only.is_active(), "parity without strikes is free");
     }
 
     #[test]

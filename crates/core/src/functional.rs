@@ -22,7 +22,34 @@ use sm_model::exec::GoldenExecutor;
 use sm_model::{LayerId, Network};
 use sm_tensor::Tensor;
 
-use crate::{Policy, ShortcutMiner, SimError, SimOptions, TraceEvent};
+use crate::{FaultOutcome, Policy, ShortcutMiner, SimError, SimOptions, TraceEvent};
+
+/// Builds the localized mismatch diagnostic: the producing layer's name and
+/// the NCHW coordinate of the first element that differs from the golden
+/// value (tile-level localization for fault triage).
+fn value_mismatch(net: &Network, fm: usize, ours: &Tensor, golden: &Tensor) -> CheckError {
+    let max_diff = ours.max_abs_diff(golden).expect("same shapes");
+    let idx = ours
+        .as_slice()
+        .iter()
+        .zip(golden.as_slice())
+        .position(|(a, b)| a != b)
+        .unwrap_or(0);
+    let s = golden.shape();
+    let per_c = (s.h * s.w).max(1);
+    let per_n = (s.c * per_c).max(1);
+    CheckError::ValueMismatch {
+        fm,
+        layer: net.layers()[fm].name.clone(),
+        coord: [
+            idx / per_n,
+            (idx % per_n) / per_c,
+            (idx % per_c) / s.w.max(1),
+            idx % s.w.max(1),
+        ],
+        max_diff,
+    }
+}
 
 /// Violation found while replaying a trace at value level.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +79,11 @@ pub enum CheckError {
     ValueMismatch {
         /// Feature map that differs.
         fm: usize,
+        /// Name of the layer that produced the differing feature map.
+        layer: String,
+        /// NCHW coordinate of the first differing element — the tile the
+        /// corruption landed in.
+        coord: [usize; 4],
         /// Maximum absolute difference observed.
         max_diff: f32,
     },
@@ -74,8 +106,18 @@ impl fmt::Display for CheckError {
                 f,
                 "fm {fm}: fetched {requested} elements but DRAM holds {available}"
             ),
-            CheckError::ValueMismatch { fm, max_diff } => {
-                write!(f, "fm {fm}: reconstructed values differ by {max_diff}")
+            CheckError::ValueMismatch {
+                fm,
+                layer,
+                coord,
+                max_diff,
+            } => {
+                write!(
+                    f,
+                    "fm {fm} (layer `{layer}`): reconstructed values differ by {max_diff}, \
+                     first at element [n={}, c={}, h={}, w={}]",
+                    coord[0], coord[1], coord[2], coord[3]
+                )
             }
             CheckError::UnknownFm(fm) => write!(f, "trace references unproduced fm {fm}"),
         }
@@ -218,10 +260,12 @@ pub fn verify_value_preservation_with(
                         .expect("reconstruction has full length");
                     let diff = t.max_abs_diff(&golden[input.index()]).expect("same shapes");
                     if diff != 0.0 {
-                        return Err(CheckError::ValueMismatch {
-                            fm: input.index(),
-                            max_diff: diff,
-                        });
+                        return Err(value_mismatch(
+                            net,
+                            input.index(),
+                            &t,
+                            &golden[input.index()],
+                        ));
                     }
                     operands.push(t);
                 }
@@ -231,7 +275,7 @@ pub fn verify_value_preservation_with(
                     .expect("evaluation of a built layer");
                 let diff = out.max_abs_diff(&golden[fm]).expect("same shapes");
                 if diff != 0.0 {
-                    return Err(CheckError::ValueMismatch { fm, max_diff: diff });
+                    return Err(value_mismatch(net, fm, &out, &golden[fm]));
                 }
 
                 let values = golden[fm].as_slice();
@@ -277,6 +321,19 @@ pub fn verify_value_preservation_with(
             // free the operand entry before producing the output) can still
             // reconstruct; the accounting checks above remain strict.
             TraceEvent::Free { .. } => {}
+            // A silent site strike corrupts the layer's output wherever it
+            // currently lives; detected/corrected strikes leave values
+            // intact, which is exactly what this replay verifies.
+            TraceEvent::Fault { layer, outcome, .. } => {
+                if outcome == FaultOutcome::Silent {
+                    let st = states.get_mut(&layer).ok_or(CheckError::UnknownFm(layer))?;
+                    let slot = st.resident.first_mut().or_else(|| st.dram.first_mut());
+                    if let Some(v) = slot {
+                        // Flip a mantissa bit: changes any finite value.
+                        *v = f32::from_bits(v.to_bits() ^ 0x0040_0000);
+                    }
+                }
+            }
         }
     }
 
@@ -292,10 +349,12 @@ pub fn verify_value_preservation_with(
         .max_abs_diff(golden.last().expect("non-empty"))
         .expect("same shapes");
     if diff != 0.0 {
-        return Err(CheckError::ValueMismatch {
-            fm: last.id.index(),
-            max_diff: diff,
-        });
+        return Err(value_mismatch(
+            net,
+            last.id.index(),
+            &out,
+            golden.last().expect("non-empty"),
+        ));
     }
     Ok(())
 }
@@ -349,6 +408,62 @@ mod tests {
         ] {
             verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 11)
                 .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        }
+    }
+
+    #[test]
+    fn silent_pe_fault_is_caught_and_localized() {
+        use crate::{FaultPlan, Protection};
+        // Every compute layer takes a silent PE-lane strike; the checker
+        // must flag the first corrupted feature map and localize it to a
+        // real layer and an element coordinate.
+        let net = zoo::resnet_tiny(2, 1);
+        let plan = FaultPlan::new(3).with_pe_faults(1.0, Protection::None);
+        let err = verify_value_preservation_with(
+            &net,
+            AccelConfig::default(),
+            Policy::shortcut_mining(),
+            7,
+            &SimOptions::with_faults(plan),
+        )
+        .expect_err("an unprotected PE fault must not pass value replay");
+        match &err {
+            CheckError::ValueMismatch {
+                fm, layer, coord, ..
+            } => {
+                assert!(
+                    net.layer_by_name(layer).is_some(),
+                    "diagnostic names an unknown layer `{layer}`"
+                );
+                assert_eq!(net.layers()[*fm].name, *layer);
+                let s = net.layers()[*fm].out_shape;
+                assert!(coord[0] < s.n && coord[1] < s.c && coord[2] < s.h && coord[3] < s.w);
+            }
+            other => panic!("expected a value mismatch, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("layer `"), "no layer in diagnostic: {msg}");
+        assert!(msg.contains("element [n="), "no tile in diagnostic: {msg}");
+    }
+
+    #[test]
+    fn protected_site_faults_preserve_values() {
+        use crate::{FaultPlan, Protection};
+        // Parity repairs by refetch/recompute and ECC corrects in place:
+        // either way the replay must hold bit-exactly.
+        let net = zoo::resnet_tiny(2, 1);
+        for protection in [Protection::Parity, Protection::Ecc] {
+            let plan = FaultPlan::new(11)
+                .with_weight_faults(0.8, protection)
+                .with_pe_faults(0.8, protection);
+            verify_value_preservation_with(
+                &net,
+                AccelConfig::default(),
+                Policy::shortcut_mining(),
+                5,
+                &SimOptions::with_faults(plan),
+            )
+            .unwrap_or_else(|e| panic!("{protection:?}: {e}"));
         }
     }
 

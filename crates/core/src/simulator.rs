@@ -3,7 +3,8 @@ use std::collections::HashMap;
 use serde::Serialize;
 
 use sm_accel::cycles::{
-    conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
+    conv_compute_cycles, dram_cycles, ecc_check_cycles, ecc_compute_tax_cycles, fc_compute_cycles,
+    vector_compute_cycles, LayerCycles,
 };
 use sm_accel::tiling::{plan_conv_cached, ConvDims, TileCaps, TilePlan};
 use sm_accel::{AccelConfig, AccelError, FaultStats, LayerReport, RunStats};
@@ -12,7 +13,8 @@ use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
 use sm_model::{Layer, LayerId, LayerKind, Network};
 
 use crate::{
-    FaultInjector, FaultPlan, Policy, RetentionRecord, SimError, SpillOrder, Trace, TraceEvent,
+    FaultInjector, FaultOutcome, FaultPlan, FaultSite, Policy, Protection, RetentionRecord,
+    SimError, SpillOrder, Trace, TraceEvent,
 };
 
 /// SRAM-to-SRAM copy bandwidth in bytes per cycle, charged only under the
@@ -302,14 +304,22 @@ impl<'a> Sim<'a> {
                     }
                 }
             }
+            // Weight-SRAM / PE-array site faults: ECC taxes every protected
+            // access; parity repairs detected strikes by refetch (Retry
+            // traffic + stall) or lane recompute; unprotected strikes
+            // corrupt silently and are only visible to the value checker.
+            let (site_compute, site_overhead, site_retry_w) =
+                self.apply_site_faults(layer.id.index(), compute, w_bytes, &mut traffic);
+            retry_w += site_retry_w;
+
             let copy_cycles = self
                 .copy_penalty_bytes
                 .div_ceil(COPY_BYTES_PER_CYCLE.max(1));
             let cycles = LayerCycles::combine(
-                compute + copy_cycles,
+                compute + copy_cycles + site_compute,
                 dram_cycles(&fm_dram, fm_bytes + retry_fm),
                 dram_cycles(&w_dram, w_bytes + retry_w),
-                self.cfg.layer_overhead + stall_cycles,
+                self.cfg.layer_overhead + stall_cycles + site_overhead,
             );
             total_cycles += cycles.total;
             let macs = layer.macs(&self.net.in_shapes(layer.id));
@@ -430,6 +440,100 @@ impl<'a> Sim<'a> {
         }
         self.injector = Some(inj);
         Ok(())
+    }
+
+    /// Plays one layer's weight-SRAM / PE-array site faults after its
+    /// compute and traffic are known. Charges the ECC per-access tax,
+    /// repairs parity-detected strikes (weight refetch as
+    /// [`TrafficClass::Retry`] plus a stall; lane recompute as extra compute
+    /// cycles) and records silent strikes in the trace for the functional
+    /// checker. Returns `(extra_compute, extra_overhead, retry_weight_bytes)`.
+    fn apply_site_faults(
+        &mut self,
+        lid: usize,
+        compute: u64,
+        w_bytes: u64,
+        traffic: &mut ClassTotals,
+    ) -> (u64, u64, u64) {
+        let Some(mut inj) = self.injector.take() else {
+            return (0, 0, 0);
+        };
+        let lanes = (self.cfg.pe_rows * self.cfg.pe_cols).max(1) as u64;
+        let draw = inj.layer_site_faults();
+        let mut extra_compute = 0u64;
+        let mut extra_overhead = 0u64;
+        let mut retry_w = 0u64;
+
+        // ECC taxes every protected access, strike or not: the check logic
+        // runs alongside each weight word read and each MAC issued.
+        if inj.weight_protection() == Protection::Ecc && w_bytes > 0 {
+            self.faults.ecc_bytes += w_bytes;
+            extra_overhead += ecc_check_cycles(w_bytes);
+        }
+        if inj.pe_protection() == Protection::Ecc && compute > 0 {
+            extra_overhead += ecc_compute_tax_cycles(compute);
+        }
+
+        if draw.weight_struck && w_bytes > 0 {
+            self.faults.weight_faults += 1;
+            let outcome = match inj.weight_protection() {
+                Protection::None => {
+                    self.faults.silent_faults += 1;
+                    FaultOutcome::Silent
+                }
+                Protection::Parity => {
+                    self.faults.parity_detections += 1;
+                    // Detected but not correctable: refetch the layer's
+                    // weights from DRAM and stall for the turnaround.
+                    self.ledger.record(lid, TrafficClass::Retry, w_bytes);
+                    traffic.record(TrafficClass::Retry, w_bytes);
+                    retry_w += w_bytes;
+                    let stall = inj.retry_stall_cycles();
+                    extra_overhead += stall;
+                    self.faults.retry_stall_cycles += stall;
+                    FaultOutcome::Detected
+                }
+                Protection::Ecc => {
+                    self.faults.ecc_corrections += 1;
+                    FaultOutcome::Corrected
+                }
+            };
+            let words = w_bytes.div_ceil(8).max(1);
+            self.trace.events.push(TraceEvent::Fault {
+                layer: lid,
+                site: FaultSite::WeightSram,
+                unit: draw.weight_word % words,
+                outcome,
+            });
+        }
+        if draw.pe_struck && compute > 0 {
+            self.faults.pe_faults += 1;
+            let outcome = match inj.pe_protection() {
+                Protection::None => {
+                    self.faults.silent_faults += 1;
+                    FaultOutcome::Silent
+                }
+                Protection::Parity => {
+                    self.faults.parity_detections += 1;
+                    // Recompute the struck lane's output share with the
+                    // whole array once the bad results are discarded.
+                    extra_compute += compute.div_ceil(lanes);
+                    FaultOutcome::Detected
+                }
+                Protection::Ecc => {
+                    self.faults.ecc_corrections += 1;
+                    FaultOutcome::Corrected
+                }
+            };
+            self.trace.events.push(TraceEvent::Fault {
+                layer: lid,
+                site: FaultSite::PeArray,
+                unit: draw.pe_lane % lanes,
+                outcome,
+            });
+        }
+        self.injector = Some(inj);
+        (extra_compute, extra_overhead, retry_w)
     }
 
     /// Checked-mode verification after one layer: bank accounting sums to

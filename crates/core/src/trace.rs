@@ -47,6 +47,43 @@ pub enum TraceEvent {
         /// Feature map released.
         fm: usize,
     },
+    /// A hardware site fault struck while layer `layer` executed, and was
+    /// resolved per the site's protection policy. Silent outcomes corrupt
+    /// the layer's output feature map (`fm == layer`); detected and
+    /// corrected outcomes leave values intact, so the functional replay
+    /// stays externally checkable either way.
+    Fault {
+        /// Layer executing when the strike landed (also the corrupted
+        /// feature map for silent outcomes).
+        layer: usize,
+        /// Hardware site struck.
+        site: FaultSite,
+        /// Struck unit within the site: weight-SRAM word index or PE lane.
+        unit: u64,
+        /// How the strike was resolved.
+        outcome: FaultOutcome,
+    },
+}
+
+/// Hardware site a [`TraceEvent::Fault`] struck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultSite {
+    /// A word of the on-chip weight SRAM.
+    WeightSram,
+    /// One MAC lane of the PE array.
+    PeArray,
+}
+
+/// Resolution of a [`TraceEvent::Fault`], fixed by the site's
+/// `sm_core::Protection` policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultOutcome {
+    /// Unprotected: the layer's output is silently corrupted.
+    Silent,
+    /// Parity-detected: repaired by weight refetch / lane recompute.
+    Detected,
+    /// ECC-corrected in place.
+    Corrected,
 }
 
 /// Full event trace of one run, in execution order.
@@ -145,6 +182,13 @@ impl Trace {
                     }
                     st.freed = true;
                 }
+                TraceEvent::Fault { layer, .. } => {
+                    // A strike is logically part of the layer's execution;
+                    // its output must already be produced when it is logged.
+                    if !fms.contains_key(&layer) {
+                        return Err(format!("event {i}: fault at unproduced layer {layer}"));
+                    }
+                }
             }
         }
         Ok(())
@@ -156,7 +200,8 @@ impl Trace {
             TraceEvent::Produce { fm: f, .. }
             | TraceEvent::Spill { fm: f, .. }
             | TraceEvent::FetchMissing { fm: f, .. }
-            | TraceEvent::Free { fm: f } => *f == fm,
+            | TraceEvent::Free { fm: f }
+            | TraceEvent::Fault { layer: f, .. } => *f == fm,
         })
     }
 }
@@ -278,6 +323,32 @@ mod tests {
             }],
         };
         t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn fault_events_require_a_produced_layer() {
+        let fault = TraceEvent::Fault {
+            layer: 1,
+            site: FaultSite::PeArray,
+            unit: 3,
+            outcome: FaultOutcome::Silent,
+        };
+        let t = Trace {
+            events: vec![produce(1, 10, 10, 0), fault],
+        };
+        t.check_well_formed().unwrap();
+        let t = Trace {
+            events: vec![fault],
+        };
+        assert!(t
+            .check_well_formed()
+            .unwrap_err()
+            .contains("fault at unproduced layer"));
+        // Fault events count as touching the struck layer's feature map.
+        let t = Trace {
+            events: vec![produce(1, 10, 10, 0), fault],
+        };
+        assert_eq!(t.for_fm(1).count(), 2);
     }
 
     #[test]

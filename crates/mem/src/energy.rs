@@ -20,6 +20,10 @@ pub struct EnergyModel {
     /// Energy per multiply-accumulate (pJ/MAC), for whole-accelerator
     /// estimates.
     pub mac_pj: f64,
+    /// Extra energy per ECC-protected byte checked/corrected (pJ/B): the
+    /// syndrome logic toggles alongside every protected access, a small
+    /// fraction of the SRAM access energy itself.
+    pub ecc_pj_per_byte: f64,
 }
 
 impl Default for EnergyModel {
@@ -28,6 +32,7 @@ impl Default for EnergyModel {
             dram_pj_per_byte: 160.0,
             sram_pj_per_byte: 1.25,
             mac_pj: 0.2,
+            ecc_pj_per_byte: 0.1,
         }
     }
 }
@@ -41,12 +46,14 @@ pub struct EnergyBreakdown {
     pub sram_pj: f64,
     /// Arithmetic energy.
     pub compute_pj: f64,
+    /// ECC check/correct energy (zero when nothing is ECC-protected).
+    pub ecc_pj: f64,
 }
 
 impl EnergyBreakdown {
     /// Total energy in picojoules.
     pub fn total_pj(&self) -> f64 {
-        self.dram_pj + self.sram_pj + self.compute_pj
+        self.dram_pj + self.sram_pj + self.compute_pj + self.ecc_pj
     }
 
     /// Total energy in millijoules (convenience for report tables).
@@ -61,10 +68,24 @@ impl EnergyModel {
     /// `sram_bytes` is the number of bytes moved through on-chip buffers
     /// (reads + writes); `macs` the multiply-accumulate count.
     pub fn estimate(&self, ledger: &Ledger, sram_bytes: u64, macs: u64) -> EnergyBreakdown {
+        self.estimate_with_ecc(ledger, sram_bytes, macs, 0)
+    }
+
+    /// Like [`EnergyModel::estimate`], additionally charging the per-byte
+    /// ECC tax for `ecc_bytes` of protected accesses (as counted by the
+    /// simulator's fault statistics).
+    pub fn estimate_with_ecc(
+        &self,
+        ledger: &Ledger,
+        sram_bytes: u64,
+        macs: u64,
+        ecc_bytes: u64,
+    ) -> EnergyBreakdown {
         EnergyBreakdown {
             dram_pj: ledger.total_bytes() as f64 * self.dram_pj_per_byte,
             sram_pj: sram_bytes as f64 * self.sram_pj_per_byte,
             compute_pj: macs as f64 * self.mac_pj,
+            ecc_pj: ecc_bytes as f64 * self.ecc_pj_per_byte,
         }
     }
 
@@ -91,6 +112,18 @@ mod tests {
         assert!((e.compute_pj - 2_000.0).abs() < 1e-9);
         assert!((e.total_pj() - 167_000.0).abs() < 1e-9);
         assert!(e.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn ecc_tax_adds_on_top_of_the_base_estimate() {
+        let mut ledger = Ledger::new();
+        ledger.record(0, TrafficClass::WeightRead, 1000);
+        let m = EnergyModel::default();
+        let base = m.estimate(&ledger, 0, 0);
+        let taxed = m.estimate_with_ecc(&ledger, 0, 0, 10_000);
+        assert_eq!(base.ecc_pj, 0.0);
+        assert!((taxed.ecc_pj - 1_000.0).abs() < 1e-9);
+        assert!((taxed.total_pj() - base.total_pj() - 1_000.0).abs() < 1e-9);
     }
 
     #[test]

@@ -24,9 +24,10 @@ pub enum TrafficClass {
     SpillRead,
     /// Convolution / fully-connected weights fetched from DRAM.
     WeightRead,
-    /// Bytes re-transferred after an injected DRAM failure. Kept out of the
-    /// feature-map metric so fault overhead never masquerades as
-    /// algorithmic traffic.
+    /// Bytes re-transferred after an injected fault: DRAM transfer
+    /// failures and parity-detected weight-SRAM strikes (which refetch the
+    /// layer's weights) both land here. Kept out of the feature-map metric
+    /// so fault overhead never masquerades as algorithmic traffic.
     Retry,
 }
 

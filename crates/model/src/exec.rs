@@ -36,6 +36,19 @@ pub enum ExecError {
         /// Operands received.
         got: usize,
     },
+    /// A layer declares a tensor shape the executor cannot materialize:
+    /// zero elements, or an element count that overflows `usize`. The
+    /// builder accepts such degenerate specs (it only validates spatial
+    /// consistency), so this is the executor's typed refusal instead of a
+    /// panic deep inside tensor allocation.
+    Shape {
+        /// The offending layer.
+        layer: LayerId,
+        /// The rejected shape.
+        shape: Shape4,
+        /// The violated constraint.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -45,6 +58,13 @@ impl fmt::Display for ExecError {
             ExecError::Arity { layer, got } => {
                 write!(f, "layer {layer} received {got} operands")
             }
+            ExecError::Shape {
+                layer,
+                shape,
+                reason,
+            } => {
+                write!(f, "layer {layer} has unusable shape {shape}: {reason}")
+            }
         }
     }
 }
@@ -53,7 +73,7 @@ impl Error for ExecError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExecError::Tensor(e) => Some(e),
-            ExecError::Arity { .. } => None,
+            ExecError::Arity { .. } | ExecError::Shape { .. } => None,
         }
     }
 }
@@ -95,31 +115,55 @@ impl<'a> GoldenExecutor<'a> {
     }
 
     /// Deterministic synthetic network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the declared input shape is degenerate (zero elements
+    /// or overflowing element count); [`GoldenExecutor::try_input`] is the
+    /// non-panicking form.
     pub fn input(&self) -> Tensor {
-        Tensor::random(self.net.input().out_shape, self.seed)
+        self.try_input().expect("input shape is materializable")
+    }
+
+    /// Deterministic synthetic network input, rejecting degenerate input
+    /// shapes with [`ExecError::Shape`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] for zero-element or overflowing input
+    /// shapes.
+    pub fn try_input(&self) -> Result<Tensor, ExecError> {
+        let input = self.net.input();
+        self.check_shape(input.id, input.out_shape)?;
+        Ok(Tensor::random(input.out_shape, self.seed))
     }
 
     /// Deterministic synthetic weights for a parametric layer, `None` for
     /// non-parametric layers. Scaled by the fan-in so activations stay
     /// O(1) through deep networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the derived weight shape is degenerate;
+    /// [`GoldenExecutor::try_weights`] is the non-panicking form.
     pub fn weights(&self, id: LayerId) -> Option<Tensor> {
-        let layer = self.net.layer(id);
-        let in_shapes = self.net.in_shapes(id);
-        let shape = match layer.kind {
-            LayerKind::Conv(spec) => {
-                let c_in: usize = in_shapes.iter().map(|s| s.c).sum();
-                Shape4::new(spec.out_channels, c_in, spec.kernel, spec.kernel)
-            }
-            LayerKind::DepthwiseConv(spec) => {
-                let c: usize = in_shapes.iter().map(|s| s.c).sum();
-                Shape4::new(c, 1, spec.kernel, spec.kernel)
-            }
-            LayerKind::Fc { out_features } => {
-                let in_features: usize = in_shapes.iter().map(Shape4::per_image).sum();
-                Shape4::new(out_features, in_features, 1, 1)
-            }
-            _ => return None,
+        self.try_weights(id)
+            .expect("weight shape is materializable")
+    }
+
+    /// Like [`GoldenExecutor::weights`], but a degenerate weight shape
+    /// (zero elements or overflowing element count) becomes a typed
+    /// [`ExecError::Shape`] instead of a panic deep inside allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when the derived weight shape cannot
+    /// be materialized.
+    pub fn try_weights(&self, id: LayerId) -> Result<Option<Tensor>, ExecError> {
+        let Some(shape) = self.weight_shape(id) else {
+            return Ok(None);
         };
+        self.check_shape(id, shape)?;
         let fan_in = (shape.c * shape.h * shape.w).max(1) as f32;
         let scale = (2.0 / fan_in).sqrt();
         let mut w = Tensor::random(
@@ -129,7 +173,62 @@ impl<'a> GoldenExecutor<'a> {
         for x in w.as_mut_slice() {
             *x *= scale;
         }
-        Some(w)
+        Ok(Some(w))
+    }
+
+    /// Derived weight shape for a parametric layer, `None` otherwise.
+    fn weight_shape(&self, id: LayerId) -> Option<Shape4> {
+        let layer = self.net.layer(id);
+        let in_shapes = self.net.in_shapes(id);
+        match layer.kind {
+            LayerKind::Conv(spec) => {
+                let c_in: usize = in_shapes.iter().map(|s| s.c).sum();
+                Some(Shape4::new(
+                    spec.out_channels,
+                    c_in,
+                    spec.kernel,
+                    spec.kernel,
+                ))
+            }
+            LayerKind::DepthwiseConv(spec) => {
+                let c: usize = in_shapes.iter().map(|s| s.c).sum();
+                Some(Shape4::new(c, 1, spec.kernel, spec.kernel))
+            }
+            LayerKind::Fc { out_features } => {
+                let in_features: usize = in_shapes.iter().map(Shape4::per_image).sum();
+                Some(Shape4::new(out_features, in_features, 1, 1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Weight tensor for a layer whose kind requires one.
+    fn required_weights(&self, id: LayerId) -> Result<Tensor, ExecError> {
+        match self.try_weights(id)? {
+            Some(w) => Ok(w),
+            None => Err(ExecError::Shape {
+                layer: id,
+                shape: self.net.layer(id).out_shape,
+                reason: "layer kind has no weights",
+            }),
+        }
+    }
+
+    /// Rejects shapes the executor cannot materialize as a tensor.
+    fn check_shape(&self, layer: LayerId, shape: Shape4) -> Result<(), ExecError> {
+        match shape.checked_len() {
+            None => Err(ExecError::Shape {
+                layer,
+                shape,
+                reason: "element count overflows usize",
+            }),
+            Some(0) => Err(ExecError::Shape {
+                layer,
+                shape,
+                reason: "zero-element shape",
+            }),
+            Some(_) => Ok(()),
+        }
     }
 
     /// Runs the whole network on the deterministic input, returning every
@@ -140,7 +239,7 @@ impl<'a> GoldenExecutor<'a> {
     /// See [`ExecError`]; cannot occur for networks produced by
     /// [`crate::NetworkBuilder`] unless the builder and executor disagree.
     pub fn run(&self) -> Result<Vec<Tensor>, ExecError> {
-        self.run_from(self.input())
+        self.run_from(self.try_input()?)
     }
 
     /// Runs the whole network on a caller-provided input.
@@ -167,6 +266,7 @@ impl<'a> GoldenExecutor<'a> {
     /// layer kind, or [`ExecError::Tensor`] from the reference operators.
     pub fn eval(&self, id: LayerId, operands: &[&Tensor]) -> Result<Tensor, ExecError> {
         let layer = self.net.layer(id);
+        self.check_shape(id, layer.out_shape)?;
         let arity = |want: usize| -> Result<(), ExecError> {
             if operands.len() != want {
                 Err(ExecError::Arity {
@@ -180,11 +280,11 @@ impl<'a> GoldenExecutor<'a> {
         let out = match layer.kind {
             LayerKind::Input => {
                 arity(0)?;
-                self.input()
+                self.try_input()?
             }
             LayerKind::Conv(spec) => {
                 arity(1)?;
-                let w = self.weights(id).expect("conv has weights");
+                let w = self.required_weights(id)?;
                 // im2col + blocked GEMM: same semantics as the direct
                 // conv2d loop (the reference oracle), much faster on the
                 // mid-size zoo networks.
@@ -201,7 +301,7 @@ impl<'a> GoldenExecutor<'a> {
             }
             LayerKind::DepthwiseConv(spec) => {
                 arity(1)?;
-                let w = self.weights(id).expect("depthwise has weights");
+                let w = self.required_weights(id)?;
                 let mut out = depthwise_conv2d(
                     operands[0],
                     &w,
@@ -226,7 +326,7 @@ impl<'a> GoldenExecutor<'a> {
             }
             LayerKind::Fc { .. } => {
                 arity(1)?;
-                let w = self.weights(id).expect("fc has weights");
+                let w = self.required_weights(id)?;
                 fully_connected(operands[0], &w, None)?
             }
             LayerKind::EltwiseAdd { relu } => {
@@ -316,6 +416,52 @@ mod tests {
             let parametric = matches!(l.kind, LayerKind::Conv(_) | LayerKind::Fc { .. });
             assert_eq!(has, parametric, "{}", l.name);
         }
+    }
+
+    #[test]
+    fn zero_channel_conv_is_a_typed_error_not_a_panic() {
+        // The builder only validates spatial consistency, so a zero-output-
+        // channel conv is accepted; the executor must refuse it cleanly.
+        let mut b = NetworkBuilder::new("degenerate", Shape4::new(1, 3, 8, 8));
+        let x = b.input_id();
+        let _c = b.conv("c0", x, ConvSpec::relu(0, 3, 1, 1)).unwrap();
+        let net = b.finish().unwrap();
+        let err = GoldenExecutor::new(&net, 1).run().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecError::Shape {
+                    reason: "zero-element shape",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("zero-element"));
+    }
+
+    #[test]
+    fn overflowing_fc_is_a_typed_error_not_a_panic() {
+        // usize::MAX/2 output features: the weight tensor's element count
+        // (out_features * in_features) overflows usize.
+        let mut b = NetworkBuilder::new("huge", Shape4::new(1, 3, 8, 8));
+        let x = b.input_id();
+        let _fc = b.fc("fc", x, usize::MAX / 2).unwrap();
+        let net = b.finish().unwrap();
+        let err = GoldenExecutor::new(&net, 1).run().unwrap_err();
+        assert!(matches!(err, ExecError::Shape { .. }), "{err}");
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn try_input_rejects_zero_element_input() {
+        let mut b = NetworkBuilder::new("noin", Shape4::new(0, 3, 8, 8));
+        let x = b.input_id();
+        let _c = b.conv("c0", x, ConvSpec::relu(4, 3, 1, 1)).unwrap();
+        let net = b.finish().unwrap();
+        let exec = GoldenExecutor::new(&net, 1);
+        assert!(matches!(exec.try_input(), Err(ExecError::Shape { .. })));
+        assert!(matches!(exec.run(), Err(ExecError::Shape { .. })));
     }
 
     #[test]

@@ -40,6 +40,21 @@ impl Shape4 {
         self.n * self.c * self.h * self.w
     }
 
+    /// Total number of elements, or `None` when the product overflows
+    /// `usize`. [`Shape4::len`] is the unchecked fast path for shapes
+    /// already known to be well-formed; validation of untrusted shapes
+    /// (e.g. the golden executor's malformed-network checks) goes through
+    /// this.
+    pub const fn checked_len(&self) -> Option<usize> {
+        match self.n.checked_mul(self.c) {
+            None => None,
+            Some(nc) => match nc.checked_mul(self.h) {
+                None => None,
+                Some(nch) => nch.checked_mul(self.w),
+            },
+        }
+    }
+
     /// Returns `true` when the shape contains no elements.
     pub const fn is_empty(&self) -> bool {
         self.len() == 0
@@ -97,6 +112,14 @@ mod tests {
         assert_eq!(s.per_image(), 60);
         assert!(!s.is_empty());
         assert!(Shape4::new(0, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn checked_len_catches_overflow() {
+        assert_eq!(Shape4::new(2, 3, 4, 5).checked_len(), Some(120));
+        assert_eq!(Shape4::new(0, 3, 4, 5).checked_len(), Some(0));
+        assert_eq!(Shape4::new(usize::MAX, 2, 1, 1).checked_len(), None);
+        assert_eq!(Shape4::new(1, usize::MAX, 1, 2).checked_len(), None);
     }
 
     #[test]

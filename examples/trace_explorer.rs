@@ -71,6 +71,20 @@ fn main() {
             TraceEvent::Free { fm } => {
                 println!("free     {:20} banks returned to the pool", name(fm));
             }
+            TraceEvent::Fault {
+                layer,
+                site,
+                unit,
+                outcome,
+            } => {
+                println!(
+                    "fault    {:20} {:?} unit {} -> {:?}",
+                    name(layer),
+                    site,
+                    unit,
+                    outcome
+                );
+            }
         }
     }
 

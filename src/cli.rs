@@ -80,6 +80,9 @@ pub enum Command {
         /// Run the retry-budget sensitivity study instead of the
         /// bank-failure sweep.
         budget_sweep: bool,
+        /// Run the 2-D bank-failure × DRAM-fault grid instead of the 1-D
+        /// bank-failure sweep.
+        grid: bool,
         /// Emit the degradation curves as a JSON document instead of text.
         json: bool,
     },
@@ -114,7 +117,7 @@ USAGE:
   smctl sweep   <network> [--batch <n>]
   smctl layers  <network> [--batch <n>]
   smctl chaos   <network>|headline [--batch <n>] [--seed <n>] [--dram-rate <p>]
-                [--retry-budget <n>] [--budget-sweep] [--json]
+                [--retry-budget <n>] [--budget-sweep] [--grid] [--json]
   smctl bench   [--out <path>]
 
 Every command also accepts --threads <n> (worker count for parallel
@@ -195,10 +198,12 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut dram_rate = 0.01f64;
             let mut retry_budget = None;
             let mut budget_sweep = false;
+            let mut grid = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
                     "--budget-sweep" => budget_sweep = true,
+                    "--grid" => grid = true,
                     "--retry-budget" => {
                         let v = take_value(&mut it, flag)?;
                         retry_budget = Some(v.parse().map_err(|_| {
@@ -263,6 +268,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     dram_rate,
                     retry_budget,
                     budget_sweep,
+                    grid,
                     json,
                 },
                 _ => Command::Verify { network, seed },
@@ -447,11 +453,12 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             dram_rate,
             retry_budget,
             budget_sweep,
+            grid,
             json,
         } => {
             use sm_bench::experiments::{
-                chaos_degradation_with_budget, retry_budget_sweep, DEFAULT_FRACTIONS,
-                DEFAULT_RETRY_BUDGETS,
+                chaos_degradation_with_budget, chaos_grid, retry_budget_sweep, DEFAULT_FRACTIONS,
+                DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
             };
             let nets: Vec<Network> = if network == "headline" {
                 vec![
@@ -462,6 +469,31 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 vec![network_by_name(network, *batch)
                     .ok_or_else(|| CliError(format!("unknown network {network:?}")))?]
             };
+            if *grid {
+                let grids: Vec<_> = nets
+                    .iter()
+                    .map(|net| {
+                        chaos_grid(
+                            net,
+                            AccelConfig::default(),
+                            *seed,
+                            &DEFAULT_GRID_FRACTIONS,
+                            &DEFAULT_GRID_RATES,
+                            *retry_budget,
+                        )
+                    })
+                    .collect();
+                if *json {
+                    let body =
+                        sm_bench::json::to_json(&grids).map_err(|e| CliError(e.to_string()))?;
+                    let _ = writeln!(out, "{body}");
+                } else {
+                    for g in &grids {
+                        let _ = writeln!(out, "{}", g.table().render());
+                    }
+                }
+                return Ok(out);
+            }
             if *budget_sweep {
                 let studies: Vec<_> = nets
                     .iter()
@@ -650,6 +682,7 @@ mod tests {
                 dram_rate: 0.05,
                 retry_budget: None,
                 budget_sweep: false,
+                grid: false,
                 json: false,
             }
         );
@@ -696,6 +729,23 @@ mod tests {
         let out = execute(&cmd).unwrap();
         assert!(out.contains("retry-budget sensitivity"));
         assert!(parse(["chaos", "toy_residual", "--retry-budget", "x"]).is_err());
+    }
+
+    #[test]
+    fn chaos_grid_parses_runs_and_emits_json() {
+        let cmd = parse(["chaos", "toy_residual", "--grid", "--dram-rate", "0.2"]).unwrap();
+        match &cmd {
+            Command::Chaos { grid, .. } => assert!(grid),
+            other => panic!("parsed {other:?}"),
+        }
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("chaos degradation grid"));
+        assert!(out.contains("banks failed"));
+        let json_out =
+            execute(&parse(["chaos", "toy_residual", "--grid", "--json"]).unwrap()).unwrap();
+        assert!(json_out.trim_start().starts_with('['));
+        assert!(json_out.contains(r#""bank_fail_fraction":"#));
+        assert!(json_out.contains(r#""dram_fault_rate":"#));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use shortcut_mining::accel::{AccelConfig, SramPlan};
 use shortcut_mining::buffer::BankPoolConfig;
-use shortcut_mining::core::{AllocPriority, Policy, SpillOrder};
+use shortcut_mining::core::{AllocPriority, FaultPlan, Policy, Protection, SpillOrder};
 use shortcut_mining::mem::DramConfig;
 use sm_bench::json::{from_json, to_json};
 
@@ -89,4 +89,50 @@ fn mismatched_shapes_error_instead_of_defaulting() {
     assert!(from_json::<AccelConfig>(r#"{"pe_rows":64}"#).is_err());
     assert!(from_json::<DramConfig>("[1,2,3]").is_err());
     assert!(from_json::<Policy>("null").is_err());
+}
+
+#[test]
+fn fault_plan_roundtrips_with_site_fields() {
+    let plan = FaultPlan::new(11)
+        .with_bank_failures(0.2)
+        .with_dram_faults(0.05)
+        .with_weight_faults(0.1, Protection::Parity)
+        .with_pe_faults(0.3, Protection::Ecc);
+    assert_eq!(roundtrip(&plan), plan);
+}
+
+#[test]
+fn pre_site_fault_plan_json_still_loads() {
+    // A plan serialized before the weight-SRAM / PE-array fields existed:
+    // exactly the original six fields. `#[serde(default)]` must fill the
+    // site fields with inject-nothing defaults instead of erroring.
+    let json = r#"{
+        "seed": 42,
+        "bank_fail_fraction": 0.25,
+        "dram_fault_rate": 0.1,
+        "max_retries": 5,
+        "retry_stall_cycles": 128,
+        "corruption_rate": 0.05
+    }"#;
+    let plan: FaultPlan = from_json(json).unwrap_or_else(|e| panic!("old plan: {e}"));
+    assert_eq!(plan.seed, 42);
+    assert_eq!(plan.max_retries, 5);
+    assert_eq!(plan.weight_fault_rate, 0.0);
+    assert_eq!(plan.weight_protection, Protection::None);
+    assert_eq!(plan.pe_fault_rate, 0.0);
+    assert_eq!(plan.pe_protection, Protection::None);
+    // Defaulting tolerates *absent* keys only: a present-but-malformed
+    // site field must still be a hard error.
+    let bad = r#"{
+        "seed": 1,
+        "bank_fail_fraction": 0.0,
+        "dram_fault_rate": 0.0,
+        "max_retries": 3,
+        "retry_stall_cycles": 64,
+        "corruption_rate": 0.0,
+        "weight_protection": "Hamming"
+    }"#;
+    assert!(from_json::<FaultPlan>(bad).is_err());
+    // And the original fields are still mandatory.
+    assert!(from_json::<FaultPlan>(r#"{"seed": 1}"#).is_err());
 }

@@ -8,9 +8,9 @@
 
 use shortcut_mining::accel::AccelConfig;
 use shortcut_mining::bench::experiments::{
-    chaos_degradation, fig10_traffic_reduction, fig11_traffic_breakdown, fig13_throughput,
-    fig14_capacity_sweep, fig15_batch_sweep, retry_budget_sweep, DEFAULT_FRACTIONS,
-    DEFAULT_RETRY_BUDGETS,
+    chaos_degradation, chaos_grid, fig10_traffic_reduction, fig11_traffic_breakdown,
+    fig13_throughput, fig14_capacity_sweep, fig15_batch_sweep, retry_budget_sweep,
+    DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
 };
 use shortcut_mining::bench::json::to_json;
 use shortcut_mining::core::parallel::set_threads;
@@ -32,6 +32,16 @@ fn render_all() -> String {
     let study = retry_budget_sweep(&net, cfg, 9, 0.2, &DEFAULT_RETRY_BUDGETS);
     out.push_str(&study.table().render());
     out.push_str(&to_json(&study).expect("study serializes"));
+    let grid = chaos_grid(
+        &net,
+        cfg,
+        9,
+        &DEFAULT_GRID_FRACTIONS,
+        &DEFAULT_GRID_RATES,
+        Some(8),
+    );
+    out.push_str(&grid.table().render());
+    out.push_str(&to_json(&grid).expect("grid serializes"));
     out
 }
 

@@ -84,6 +84,21 @@ impl Value {
         T::deserialize(value).map_err(|e| DeError(format!("field `{name}`: {}", e.0)))
     }
 
+    /// Like [`Value::field`], but an absent key yields `Ok(None)` instead
+    /// of an error — the accessor behind `#[serde(default)]` fields.
+    /// Non-object values and malformed present values still error.
+    pub fn field_opt<T: Deserialize>(&self, name: &str) -> Result<Option<T>, DeError> {
+        let Value::Map(entries) = self else {
+            return Err(DeError(format!("expected object, found {}", self.kind())));
+        };
+        match entries.iter().find(|(k, _)| k == name) {
+            None => Ok(None),
+            Some((_, v)) => T::deserialize(v)
+                .map(Some)
+                .map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+        }
+    }
+
     /// Interprets the value as an array of exactly `n` elements — the
     /// accessor the derived tuple-struct/tuple-variant impls use.
     pub fn seq_exact(&self, n: usize) -> Result<&[Value], DeError> {

@@ -4,10 +4,14 @@
 //! Written against `proc_macro` alone (no `syn`/`quote` — the build is
 //! offline), so it hand-parses the item grammar the workspace actually
 //! uses: non-generic structs (named, tuple, unit) and enums whose variants
-//! are unit, newtype, tuple, or struct shaped. Generics and `#[serde]`
-//! attributes are intentionally unsupported and produce a compile error.
+//! are unit, newtype, tuple, or struct shaped. Generics are unsupported and
+//! produce a compile error. The only helper attribute recognised is
+//! `#[serde(default)]` on named struct fields: deserialization fills an
+//! absent key with `Default::default()` instead of erroring, which is how
+//! configs written before a field existed keep round-tripping. Any other
+//! `#[serde(...)]` content is a compile error, not a silent no-op.
 
-use proc_macro::{Delimiter, TokenStream, TokenTree};
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving item.
 enum Item {
@@ -22,9 +26,16 @@ enum Item {
 }
 
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
+}
+
+/// One named field, plus whether `#[serde(default)]` marked it optional
+/// for deserialization.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -32,7 +43,7 @@ struct Variant {
     fields: Fields,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => emit_serialize(&item)
@@ -42,7 +53,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => emit_deserialize(&item)
@@ -117,12 +128,65 @@ impl Cursor {
         }
     }
 
+    /// Like [`Cursor::skip_attrs_and_vis`], but inspects each attribute and
+    /// reports whether `#[serde(default)]` was among them. Other `#[serde]`
+    /// contents are rejected rather than silently dropped.
+    fn take_attrs_and_vis(&mut self) -> Result<bool, String> {
+        let mut default = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Group(g)) = self.peek().cloned() {
+                        self.pos += 1;
+                        if attr_is_serde_default(&g)? {
+                            default = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    self.pos += 1;
+                    if matches!(
+                        self.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(default),
+            }
+        }
+    }
+
     fn expect_ident(&mut self) -> Result<String, String> {
         match self.next() {
             Some(TokenTree::Ident(i)) => Ok(i.to_string()),
             other => Err(format!("expected identifier, found {other:?}")),
         }
     }
+}
+
+/// Whether a bracketed attribute body is exactly `serde(default)`.
+/// Non-`serde` attributes (docs, `derive`, lints) return `Ok(false)`;
+/// `serde` attributes with any other content are an error so typos like
+/// `#[serde(defualt)]` fail loudly instead of deserializing strictly.
+fn attr_is_serde_default(attr: &Group) -> Result<bool, String> {
+    let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Ok(false),
+    }
+    if let (2, Some(TokenTree::Group(inner))) = (tokens.len(), tokens.get(1)) {
+        if inner.delimiter() == Delimiter::Parenthesis {
+            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+            if let (1, Some(TokenTree::Ident(i))) = (inner.len(), inner.first()) {
+                if i.to_string() == "default" {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Err("serde_derive (vendored): only `#[serde(default)]` is supported".into())
 }
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
@@ -163,24 +227,26 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
-/// Field names of a `{ ... }` struct body; types are skipped by consuming
-/// tokens until a comma at angle-bracket depth zero.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// Fields of a `{ ... }` struct body (name plus `#[serde(default)]` flag);
+/// types are skipped by consuming tokens until a comma at angle-bracket
+/// depth zero.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut cur = Cursor::new(body);
-    let mut names = Vec::new();
+    let mut fields = Vec::new();
     while !cur.at_end() {
-        cur.skip_attrs_and_vis();
+        let default = cur.take_attrs_and_vis()?;
         if cur.at_end() {
             break;
         }
-        names.push(cur.expect_ident()?);
+        let name = cur.expect_ident()?;
         match cur.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => return Err(format!("expected `:` after field name, found {other:?}")),
         }
         skip_type(&mut cur);
+        fields.push(Field { name, default });
     }
-    Ok(names)
+    Ok(fields)
 }
 
 /// Number of fields in a `( ... )` tuple body.
@@ -283,6 +349,7 @@ fn serialize_struct_body(name: &str, fields: &Fields) -> String {
                 len = names.len()
             );
             for f in names {
+                let f = &f.name;
                 body.push_str(&format!(
                     "::serde::ser::SerializeStruct::serialize_field(&mut __st, {f:?}, &self.{f})?;\n"
                 ));
@@ -347,10 +414,15 @@ fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
                     "{name}::{vname} {{ {binds} }} => {{\n\
                          let mut __sv = ::serde::ser::Serializer::serialize_struct_variant(\
                              __serializer, {name:?}, {idx}u32, {vname:?}, {len}usize)?;\n",
-                    binds = fields.join(", "),
+                    binds = fields
+                        .iter()
+                        .map(|f| f.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
                     len = fields.len()
                 );
                 for f in fields {
+                    let f = &f.name;
                     arm.push_str(&format!(
                         "::serde::ser::SerializeStructVariant::serialize_field(\
                              &mut __sv, {f:?}, {f})?;\n"
@@ -386,10 +458,26 @@ fn emit_deserialize(item: &Item) -> String {
     )
 }
 
-fn construct_named(path: &str, fields: &[String], source: &str) -> String {
+fn construct_named(path: &str, fields: &[Field], source: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: {source}.field({f:?})?"))
+        .map(|f| {
+            let name = &f.name;
+            if f.default {
+                // `#[serde(default)]`: an absent key falls back to the
+                // field type's `Default`; a present-but-malformed value
+                // still errors through `field_opt`.
+                format!(
+                    "{name}: match {source}.field_opt({name:?})? {{\n\
+                         ::core::option::Option::Some(__v) => __v,\n\
+                         ::core::option::Option::None => \
+                             ::core::default::Default::default(),\n\
+                     }}"
+                )
+            } else {
+                format!("{name}: {source}.field({name:?})?")
+            }
+        })
         .collect();
     format!(
         "::core::result::Result::Ok({path} {{ {} }})",
