@@ -37,6 +37,15 @@ pub struct FaultStats {
     /// Bytes that paid the per-access ECC check tax (feeds the energy
     /// model's ECC component).
     pub ecc_bytes: u64,
+    /// BCU mapping-table entries struck while routing a live buffer.
+    pub bcu_faults: u64,
+    /// Multi-bit strikes ECC detected but could not correct (DUEs), each
+    /// handed to the recovery policy.
+    pub due_events: u64,
+    /// DUEs repaired by re-DMAing the layer's source data from DRAM.
+    pub recovered_refetch: u64,
+    /// DUEs repaired by re-executing the layer from resident inputs.
+    pub recovered_recompute: u64,
 }
 
 impl FaultStats {

@@ -1,17 +1,26 @@
-//! Graceful-degradation study: traffic and throughput as banks fail.
+//! Graceful-degradation studies: traffic and throughput as hardware fails.
 //!
-//! Robustness extension beyond the paper: sweeps the fraction of physical
-//! pool banks revoked mid-run by a deterministic [`FaultPlan`] and records
-//! how the simulator degrades — spilling pinned shortcut data instead of
-//! crashing — on the abstract's two headline networks. Every run executes
-//! in checked mode, so an accounting violation would surface as a typed
-//! error in the report rather than a wrong number.
+//! Robustness extension beyond the paper, in four escalating sweeps:
+//!
+//! * [`chaos_degradation`] — bank-failure fractions on one network;
+//! * [`chaos_grid`] — bank-failure fraction × DRAM fault rate (2-D);
+//! * [`chaos_grid3`] — the 3-D volume adding a weight-SRAM/PE-array
+//!   site-strike axis under parity protection;
+//! * [`control_path_sweep`] — BCU mapping-table strikes under SECDED ECC
+//!   with a multi-bit width distribution, comparing the
+//!   [`RecoveryPolicy`] ladder (abort / refetch / recompute).
+//!
+//! Every run executes in checked mode under a deterministic [`FaultPlan`],
+//! so an accounting violation would surface as a typed error in the report
+//! rather than a wrong number, and every sweep fans out over
+//! [`sm_core::parallel`] as one flattened batch — byte-identical at any
+//! thread count.
 
 use serde::Serialize;
 
 use sm_accel::AccelConfig;
 use sm_core::parallel::par_map_auto;
-use sm_core::{FaultPlan, Policy, SimOptions};
+use sm_core::{FaultPlan, Policy, Protection, RecoveryPolicy, SimOptions};
 use sm_mem::TrafficClass;
 use sm_model::Network;
 
@@ -321,6 +330,372 @@ pub fn chaos_grid(
     }
 }
 
+/// Default site-strike rates of the 3-D grid (`smctl chaos --grid
+/// --site-rate`): the fault-free anchor plus one moderate rate.
+pub const DEFAULT_GRID_SITE_RATES: [f64; 2] = [0.0, 0.3];
+
+/// One cell of the 3-D degradation grid: one checked run at a
+/// (bank-failure fraction, DRAM fault rate, site-strike rate) triple.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosGrid3Cell {
+    /// Requested fraction of pool banks to fail.
+    pub bank_fail_fraction: f64,
+    /// Per-attempt DRAM failure probability.
+    pub dram_fault_rate: f64,
+    /// Per-layer weight-SRAM/PE-array strike probability.
+    pub site_fault_rate: f64,
+    /// Whether the run completed (vs. refusing with a typed error).
+    pub completed: bool,
+    /// Display form of the [`sm_core::SimError`] when not completed.
+    pub error: Option<String>,
+    /// Off-chip feature-map bytes (fault-recovery spills included).
+    pub fm_bytes: u64,
+    /// All off-chip bytes.
+    pub total_bytes: u64,
+    /// Bytes re-transferred after injected faults (DRAM retries plus
+    /// parity-detected weight refetches).
+    pub retry_bytes: u64,
+    /// End-to-end cycles (0 when the run did not complete).
+    pub total_cycles: u64,
+}
+
+/// 3-D degradation volume for one network: bank-failure fraction × DRAM
+/// fault rate × site-strike rate (`smctl chaos --grid --site-rate`).
+///
+/// Site strikes run at [`Protection::Parity`] on both the weight SRAM and
+/// the PE array, so they are value-safe — every strike is detected and
+/// surfaces as `Retry` traffic or stall cycles, never silent corruption —
+/// and the volume isolates the *cost* of control/datapath protection from
+/// the bank and DRAM axes. `cells` is laid out fraction-major, then rate,
+/// then site rate; every cell is an independent checked run fanned out over
+/// [`sm_core::parallel`] as one flattened batch, so the volume is
+/// byte-identical at any thread count.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosGrid3 {
+    /// Network name.
+    pub network: String,
+    /// Fault-plan seed shared by every cell.
+    pub seed: u64,
+    /// Swept bank-failure fractions (outermost axis).
+    pub fractions: Vec<f64>,
+    /// Swept DRAM fault rates (middle axis).
+    pub rates: Vec<f64>,
+    /// Swept site-strike rates (innermost axis).
+    pub site_rates: Vec<f64>,
+    /// Flattened cells (`fractions.len() * rates.len() * site_rates.len()`).
+    pub cells: Vec<ChaosGrid3Cell>,
+}
+
+impl ChaosGrid3 {
+    /// The cell at (fraction index, rate index, site-rate index).
+    pub fn cell(&self, fraction_idx: usize, rate_idx: usize, site_idx: usize) -> &ChaosGrid3Cell {
+        let idx = (fraction_idx * self.rates.len() + rate_idx) * self.site_rates.len() + site_idx;
+        &self.cells[idx]
+    }
+
+    /// Renders the volume as one 2-D table per site-strike rate, each in the
+    /// [`ChaosGrid::table`] layout (rows = bank-failure fractions, columns =
+    /// DRAM fault rates, cells = total off-chip MiB).
+    pub fn tables(&self) -> Vec<Table> {
+        let headers: Vec<String> = std::iter::once("banks failed".to_string())
+            .chain(self.rates.iter().map(|r| format!("dram {r}")))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        self.site_rates
+            .iter()
+            .enumerate()
+            .map(|(si, &s)| {
+                let mut t = Table::new(
+                    format!(
+                        "chaos degradation grid — {} @ site rate {s} (total MiB)",
+                        self.network
+                    ),
+                    &header_refs,
+                );
+                for (fi, &f) in self.fractions.iter().enumerate() {
+                    let mut row = vec![pct(f)];
+                    for ri in 0..self.rates.len() {
+                        let c = self.cell(fi, ri, si);
+                        row.push(if c.completed {
+                            format!("{:.2}", c.total_bytes as f64 / (1 << 20) as f64)
+                        } else {
+                            c.error.clone().unwrap_or_else(|| "error".into())
+                        });
+                    }
+                    t.row(&row);
+                }
+                t
+            })
+            .collect()
+    }
+}
+
+/// Sweeps the full cross product of bank-failure fractions × DRAM fault
+/// rates × site-strike rates on one network, one checked Shortcut Mining
+/// run per cell as a single flattened parallel batch.
+///
+/// Each cell's site strikes hit the weight SRAM and PE array under parity
+/// protection (detected, value-safe); `retry_budget` overrides the
+/// [`FaultPlan`] default when `Some`. All cells share `seed`, so a cell
+/// depends only on its own triple and the volume is deterministic.
+pub fn chaos_grid3(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    rates: &[f64],
+    site_rates: &[f64],
+    retry_budget: Option<u32>,
+) -> ChaosGrid3 {
+    let exp = sm_core::Experiment::new(config);
+    let triples: Vec<(f64, f64, f64)> = fractions
+        .iter()
+        .flat_map(|&f| {
+            rates
+                .iter()
+                .flat_map(move |&r| site_rates.iter().map(move |&s| (f, r, s)))
+        })
+        .collect();
+    let cells = par_map_auto(&triples, |&(f, r, s)| {
+        let mut plan = FaultPlan::new(seed)
+            .with_bank_failures(f)
+            .with_dram_faults(r)
+            .with_weight_faults(s, Protection::Parity)
+            .with_pe_faults(s, Protection::Parity);
+        if let Some(budget) = retry_budget {
+            let stall = plan.retry_stall_cycles;
+            plan = plan.with_retry_budget(budget, stall);
+        }
+        let options = SimOptions::with_faults(plan);
+        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+            Ok(run) => ChaosGrid3Cell {
+                bank_fail_fraction: f,
+                dram_fault_rate: r,
+                site_fault_rate: s,
+                completed: true,
+                error: None,
+                fm_bytes: run.stats.fm_traffic_bytes(),
+                total_bytes: run.stats.total_traffic_bytes(),
+                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                total_cycles: run.stats.total_cycles,
+            },
+            Err(e) => ChaosGrid3Cell {
+                bank_fail_fraction: f,
+                dram_fault_rate: r,
+                site_fault_rate: s,
+                completed: false,
+                error: Some(e.to_string()),
+                fm_bytes: 0,
+                total_bytes: 0,
+                retry_bytes: 0,
+                total_cycles: 0,
+            },
+        }
+    });
+    ChaosGrid3 {
+        network: net.name().to_string(),
+        seed,
+        fractions: fractions.to_vec(),
+        rates: rates.to_vec(),
+        site_rates: site_rates.to_vec(),
+        cells,
+    }
+}
+
+/// Default BCU strike rates of the control-path sweep (`smctl chaos
+/// --control-path`): the fault-free anchor plus an escalating ladder.
+pub const DEFAULT_CONTROL_PATH_RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+
+/// Multi-bit width distribution of the control-path sweep: 40% double-bit
+/// strikes (detected-uncorrectable under SECDED) …
+pub const CONTROL_PATH_DOUBLE_RATE: f64 = 0.4;
+
+/// … and 10% triple-plus strikes (silently aliasing past SECDED).
+pub const CONTROL_PATH_TRIPLE_RATE: f64 = 0.1;
+
+/// The recovery-policy ladder compared by [`control_path_sweep`].
+pub const CONTROL_PATH_POLICIES: [RecoveryPolicy; 3] = [
+    RecoveryPolicy::Abort,
+    RecoveryPolicy::RefetchTile,
+    RecoveryPolicy::RecomputeLayer,
+];
+
+/// One point of the control-path degradation study: one checked run at a
+/// (recovery policy, BCU strike rate) pair.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlPathPoint {
+    /// Recovery policy the run's fault plan used.
+    pub policy: RecoveryPolicy,
+    /// Per-layer BCU mapping-table strike probability.
+    pub bcu_fault_rate: f64,
+    /// Whether the run completed (Abort refuses at the first DUE).
+    pub completed: bool,
+    /// Display form of the [`sm_core::SimError`] when not completed.
+    pub error: Option<String>,
+    /// BCU mapping-table strikes that landed.
+    pub bcu_faults: u64,
+    /// Detected-uncorrectable (multi-bit) ECC events.
+    pub due_events: u64,
+    /// DUEs recovered by re-fetching from DRAM.
+    pub recovered_refetch: u64,
+    /// DUEs recovered by recomputing from still-resident inputs.
+    pub recovered_recompute: u64,
+    /// Strikes that defeated the protection silently (3+-bit aliasing).
+    pub silent_faults: u64,
+    /// Bytes re-transferred for fault recovery (`TrafficClass::Retry`).
+    pub retry_bytes: u64,
+    /// All off-chip bytes.
+    pub total_bytes: u64,
+    /// End-to-end cycles (0 when the run did not complete).
+    pub total_cycles: u64,
+    /// Sustained throughput in GOP/s (0 when the run did not complete).
+    pub throughput_gops: f64,
+}
+
+/// Control-path degradation study for one network: how each recovery policy
+/// degrades as the BCU mapping-table strike rate rises
+/// (`smctl chaos --control-path`, EXPERIMENTS Ext-14).
+///
+/// The fault plan puts the mapping table under SECDED ECC with a non-trivial
+/// multi-bit width distribution ([`CONTROL_PATH_DOUBLE_RATE`] /
+/// [`CONTROL_PATH_TRIPLE_RATE`]), so single-bit strikes are corrected in
+/// place, double-bit strikes become DUEs routed to the policy under test,
+/// and triple-plus strikes alias silently (caught by value replay in
+/// checked runs that consume the misrouted buffer).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlPathStudy {
+    /// Network name.
+    pub network: String,
+    /// Fault-plan seed shared by every point.
+    pub seed: u64,
+    /// Compared recovery policies (outer axis).
+    pub policies: Vec<RecoveryPolicy>,
+    /// Swept BCU strike rates (inner axis).
+    pub rates: Vec<f64>,
+    /// Row-major points (`policies.len() * rates.len()`).
+    pub points: Vec<ControlPathPoint>,
+}
+
+impl ControlPathStudy {
+    /// The point at (policy index, rate index).
+    pub fn point(&self, policy_idx: usize, rate_idx: usize) -> &ControlPathPoint {
+        &self.points[policy_idx * self.rates.len() + rate_idx]
+    }
+
+    /// Renders the study as an aligned text table: one row per
+    /// (policy, strike rate) pair.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("control-path degradation — {}", self.network),
+            &[
+                "policy",
+                "bcu rate",
+                "status",
+                "strikes",
+                "DUEs",
+                "refetched",
+                "recomputed",
+                "silent",
+                "retry MiB",
+                "GOP/s",
+            ],
+        );
+        for p in &self.points {
+            t.row(&[
+                format!("{:?}", p.policy),
+                format!("{}", p.bcu_fault_rate),
+                if p.completed {
+                    "ok".to_string()
+                } else {
+                    p.error.clone().unwrap_or_else(|| "error".into())
+                },
+                p.bcu_faults.to_string(),
+                p.due_events.to_string(),
+                p.recovered_refetch.to_string(),
+                p.recovered_recompute.to_string(),
+                p.silent_faults.to_string(),
+                format!("{:.3}", p.retry_bytes as f64 / (1 << 20) as f64),
+                format!("{:.1}", p.throughput_gops),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps the recovery-policy ladder against an escalating BCU strike rate
+/// on one network, one checked Shortcut Mining run per (policy, rate) pair
+/// as a single flattened parallel batch.
+///
+/// Only the mapping table is struck (no weight or PE faults), so every DUE
+/// has a live on-chip producer and the `RecomputeLayer` policy can exploit
+/// residency: its recovery traffic is bounded by what the layer streamed
+/// from DRAM anyway, while `RefetchTile` conservatively re-DMAs every
+/// operand. `retry_budget` overrides the [`FaultPlan`] default when `Some`.
+pub fn control_path_sweep(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    policies: &[RecoveryPolicy],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+) -> ControlPathStudy {
+    let exp = sm_core::Experiment::new(config);
+    let pairs: Vec<(RecoveryPolicy, f64)> = policies
+        .iter()
+        .flat_map(|&p| rates.iter().map(move |&r| (p, r)))
+        .collect();
+    let points = par_map_auto(&pairs, |&(policy, rate)| {
+        let mut plan = FaultPlan::new(seed)
+            .with_bcu_faults(rate, Protection::Ecc)
+            .with_multi_bit(CONTROL_PATH_DOUBLE_RATE, CONTROL_PATH_TRIPLE_RATE)
+            .with_recovery(policy);
+        if let Some(budget) = retry_budget {
+            let stall = plan.retry_stall_cycles;
+            plan = plan.with_retry_budget(budget, stall);
+        }
+        let options = SimOptions::with_faults(plan);
+        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+            Ok(run) => ControlPathPoint {
+                policy,
+                bcu_fault_rate: rate,
+                completed: true,
+                error: None,
+                bcu_faults: run.stats.faults.bcu_faults,
+                due_events: run.stats.faults.due_events,
+                recovered_refetch: run.stats.faults.recovered_refetch,
+                recovered_recompute: run.stats.faults.recovered_recompute,
+                silent_faults: run.stats.faults.silent_faults,
+                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                total_bytes: run.stats.total_traffic_bytes(),
+                total_cycles: run.stats.total_cycles,
+                throughput_gops: run.stats.throughput_gops(),
+            },
+            Err(e) => ControlPathPoint {
+                policy,
+                bcu_fault_rate: rate,
+                completed: false,
+                error: Some(e.to_string()),
+                bcu_faults: 0,
+                due_events: 0,
+                recovered_refetch: 0,
+                recovered_recompute: 0,
+                silent_faults: 0,
+                retry_bytes: 0,
+                total_bytes: 0,
+                total_cycles: 0,
+                throughput_gops: 0.0,
+            },
+        }
+    });
+    ControlPathStudy {
+        network: net.name().to_string(),
+        seed,
+        policies: policies.to_vec(),
+        rates: rates.to_vec(),
+        points,
+    }
+}
+
 /// The default retry budgets swept by [`retry_budget_sweep`].
 pub const DEFAULT_RETRY_BUDGETS: [u32; 5] = [0, 1, 2, 4, 8];
 
@@ -551,6 +926,97 @@ mod tests {
             Some(8),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid3_covers_the_volume_and_site_strikes_surface_as_retry() {
+        let net = zoo::toy_residual(1);
+        let g = chaos_grid3(
+            &net,
+            AccelConfig::default(),
+            5,
+            &[0.0, 0.3],
+            &[0.0],
+            &[0.0, 1.0],
+            Some(16),
+        );
+        assert_eq!(g.cells.len(), 4);
+        let anchor = g.cell(0, 0, 0);
+        assert!(anchor.completed, "{:?}", anchor.error);
+        assert_eq!(anchor.retry_bytes, 0);
+        // Site strikes alone are value-safe (parity) but cost traffic:
+        // detected weight strikes refetch the layer's weights as Retry.
+        let site_only = g.cell(0, 0, 1);
+        assert!(site_only.completed, "{:?}", site_only.error);
+        assert!(site_only.retry_bytes > 0);
+        assert!(site_only.total_bytes > anchor.total_bytes);
+        let tables = g.tables();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[1].render().contains("site rate 1"));
+        // Determinism for a fixed seed.
+        let again = chaos_grid3(
+            &net,
+            AccelConfig::default(),
+            5,
+            &[0.0, 0.3],
+            &[0.0],
+            &[0.0, 1.0],
+            Some(16),
+        );
+        assert_eq!(g, again);
+    }
+
+    #[test]
+    fn control_path_policies_diverge_under_bcu_strikes() {
+        let net = zoo::resnet_tiny(2, 1);
+        let study = control_path_sweep(
+            &net,
+            AccelConfig::default(),
+            11,
+            &CONTROL_PATH_POLICIES,
+            &[0.0, 1.0],
+            None,
+        );
+        assert_eq!(study.points.len(), 6);
+        // Fault-free anchor completes under every policy with zero strikes.
+        for pi in 0..CONTROL_PATH_POLICIES.len() {
+            let p = study.point(pi, 0);
+            assert!(p.completed, "{:?}: {:?}", p.policy, p.error);
+            assert_eq!((p.bcu_faults, p.retry_bytes), (0, 0), "{:?}", p.policy);
+        }
+        let abort = study.point(0, 1);
+        let refetch = study.point(1, 1);
+        let recompute = study.point(2, 1);
+        // At rate 1.0 with 40% double-bit strikes some DUE lands, and the
+        // Abort policy refuses with the typed unrecoverable error.
+        assert!(!abort.completed, "abort must refuse at the first DUE");
+        assert!(
+            abort
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("uncorrectable"),
+            "{:?}",
+            abort.error
+        );
+        // Both recovery policies survive the same strike stream.
+        assert!(refetch.completed, "{:?}", refetch.error);
+        assert!(recompute.completed, "{:?}", recompute.error);
+        assert!(refetch.due_events > 0);
+        assert_eq!(refetch.due_events, recompute.due_events, "same seed");
+        assert_eq!(refetch.recovered_refetch, refetch.due_events);
+        assert_eq!(recompute.recovered_recompute, recompute.due_events);
+        // The shortcut-mining payoff: recomputing from still-resident
+        // inputs moves strictly fewer DRAM bytes than re-fetching tiles.
+        assert!(
+            recompute.retry_bytes < refetch.retry_bytes,
+            "recompute {} vs refetch {}",
+            recompute.retry_bytes,
+            refetch.retry_bytes
+        );
+        let rendered = study.table().render();
+        assert!(rendered.contains("control-path degradation"));
+        assert!(rendered.contains("RecomputeLayer"));
     }
 
     #[test]

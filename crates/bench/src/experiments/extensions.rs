@@ -108,8 +108,10 @@ pub fn ext_capacity_requirements(config: AccelConfig, batch: usize) -> Table {
         zoo::googlenet(batch),
         zoo::densenet121(batch),
     ] {
-        let bounds = ReuseBounds::of(&net, config, Policy::shortcut_mining());
-        let cap95 = capacity_for_fraction(&net, config, Policy::shortcut_mining(), 0.95);
+        let bounds = ReuseBounds::of(&net, config, Policy::shortcut_mining())
+            .expect("zoo networks are well-formed");
+        let cap95 = capacity_for_fraction(&net, config, Policy::shortcut_mining(), 0.95)
+            .expect("zoo networks are well-formed");
         table.row(&[
             net.name().to_string(),
             (bounds.peak_live_bytes / 1024).to_string(),

@@ -35,9 +35,12 @@ mod sensitivity;
 
 pub use ablation::{table3_ablation, AblationResult};
 pub use chaos::{
-    chaos_degradation, chaos_degradation_with_budget, chaos_grid, retry_budget_sweep, ChaosCurve,
-    ChaosGrid, ChaosGridCell, ChaosPoint, RetryBudgetPoint, RetryBudgetStudy, DEFAULT_FRACTIONS,
-    DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
+    chaos_degradation, chaos_degradation_with_budget, chaos_grid, chaos_grid3, control_path_sweep,
+    retry_budget_sweep, ChaosCurve, ChaosGrid, ChaosGrid3, ChaosGrid3Cell, ChaosGridCell,
+    ChaosPoint, ControlPathPoint, ControlPathStudy, RetryBudgetPoint, RetryBudgetStudy,
+    CONTROL_PATH_DOUBLE_RATE, CONTROL_PATH_POLICIES, CONTROL_PATH_TRIPLE_RATE,
+    DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES,
+    DEFAULT_GRID_SITE_RATES, DEFAULT_RETRY_BUDGETS,
 };
 pub use energy::{fig16_energy, EnergyResult};
 pub use extensions::{

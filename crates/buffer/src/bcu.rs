@@ -127,6 +127,12 @@ impl BcuCost {
     pub fn overhead_fraction(&self) -> f64 {
         self.table_bits as f64 / self.sram_bits.max(1) as f64
     }
+
+    /// Mapping-table size in whole bytes (rounded up) — the footprint an
+    /// ECC scrub of the table walks each layer.
+    pub fn table_bytes(&self) -> u64 {
+        self.table_bits.div_ceil(8)
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +204,7 @@ mod tests {
         assert_eq!(cost.entry_bits, 5);
         assert_eq!(cost.table_entries, 256);
         assert_eq!(cost.table_bits, 1280);
+        assert_eq!(cost.table_bytes(), 160);
         // Well under 0.1% of the SRAM it manages (1280 / 2.6M bits).
         assert!(
             cost.overhead_fraction() < 1e-3,

@@ -18,7 +18,7 @@ use sm_accel::{AccelConfig, BaselineAccelerator};
 use sm_model::liveness::Liveness;
 use sm_model::Network;
 
-use crate::{Policy, ShortcutMiner};
+use crate::{Policy, ShortcutMiner, SimError, SimOptions};
 
 /// Capacity used as "effectively infinite" for the ideal-reduction probe.
 const INFINITE_CAPACITY: u64 = 1 << 30;
@@ -32,16 +32,30 @@ pub fn peak_live_bytes(net: &Network, elem_bytes: u64) -> u64 {
 
 /// Reduction achieved by `policy` at feature-map capacity `bytes`, against
 /// the baseline at the *same* capacity (iso-capacity comparison).
+///
+/// Returns [`SimError::Analysis`] for malformed questions (an empty network
+/// or a zero-byte pool) instead of panicking deep inside the simulators, and
+/// propagates any simulation error from either run.
 pub fn reduction_at_capacity(
     net: &Network,
     base_config: AccelConfig,
     policy: Policy,
     bytes: u64,
-) -> f64 {
+) -> Result<f64, SimError> {
+    if net.layers().is_empty() {
+        return Err(SimError::Analysis {
+            message: "cannot compute a traffic reduction for an empty network".into(),
+        });
+    }
+    if bytes == 0 {
+        return Err(SimError::Analysis {
+            message: "feature-map capacity of 0 bytes admits no schedule".into(),
+        });
+    }
     let cfg = base_config.with_fm_capacity(bytes);
-    let base = BaselineAccelerator::new(cfg).simulate(net);
-    let sm = ShortcutMiner::new(cfg, policy).simulate(net);
-    1.0 - sm.stats.fm_traffic_bytes() as f64 / base.fm_traffic_bytes().max(1) as f64
+    let base = BaselineAccelerator::new(cfg).try_simulate(net)?;
+    let sm = ShortcutMiner::new(cfg, policy).try_simulate(net, &SimOptions::default())?;
+    Ok(1.0 - sm.stats.fm_traffic_bytes() as f64 / base.fm_traffic_bytes().max(1) as f64)
 }
 
 /// Reuse bounds of one network under one configuration/policy.
@@ -56,52 +70,59 @@ pub struct ReuseBounds {
 }
 
 impl ReuseBounds {
-    /// Computes the bounds for `net`.
-    pub fn of(net: &Network, config: AccelConfig, policy: Policy) -> ReuseBounds {
-        ReuseBounds {
+    /// Computes the bounds for `net`, propagating any simulation or
+    /// malformed-input error from the two probe runs.
+    pub fn of(net: &Network, config: AccelConfig, policy: Policy) -> Result<ReuseBounds, SimError> {
+        Ok(ReuseBounds {
             peak_live_bytes: peak_live_bytes(net, config.elem_bytes),
-            ideal_reduction: reduction_at_capacity(net, config, policy, INFINITE_CAPACITY),
+            ideal_reduction: reduction_at_capacity(net, config, policy, INFINITE_CAPACITY)?,
             configured_reduction: reduction_at_capacity(
                 net,
                 config,
                 policy,
                 config.sram.fm_bytes(),
-            ),
-        }
+            )?,
+        })
     }
 }
 
 /// Smallest feature-map capacity (bisection, 8 KiB resolution) at which the
 /// policy achieves at least `fraction` of its ideal reduction. Returns
-/// `None` when even an effectively infinite pool misses the target
-/// (fraction > 1).
+/// `Ok(None)` when even an effectively infinite pool misses the target
+/// (fraction > 1), and [`SimError::Analysis`] for a fraction that is not a
+/// finite non-negative number.
 pub fn capacity_for_fraction(
     net: &Network,
     config: AccelConfig,
     policy: Policy,
     fraction: f64,
-) -> Option<u64> {
-    let ideal = reduction_at_capacity(net, config, policy, INFINITE_CAPACITY);
+) -> Result<Option<u64>, SimError> {
+    if !fraction.is_finite() || fraction < 0.0 {
+        return Err(SimError::Analysis {
+            message: format!("target fraction {fraction} is not a finite non-negative number"),
+        });
+    }
+    let ideal = reduction_at_capacity(net, config, policy, INFINITE_CAPACITY)?;
     let target = ideal * fraction;
-    if reduction_at_capacity(net, config, policy, INFINITE_CAPACITY) < target {
-        return None;
+    if ideal < target {
+        return Ok(None);
     }
     let (mut lo, mut hi) = (8u64 * 1024, INFINITE_CAPACITY);
-    if reduction_at_capacity(net, config, policy, lo) >= target {
-        return Some(lo);
+    if reduction_at_capacity(net, config, policy, lo)? >= target {
+        return Ok(Some(lo));
     }
     // Invariant: reduction(lo) < target <= reduction(hi). Reduction is
     // monotone in capacity up to simulation granularity; bisection finds
     // the crossover to 8 KiB.
     while hi - lo > 8 * 1024 {
         let mid = lo + (hi - lo) / 2;
-        if reduction_at_capacity(net, config, policy, mid) >= target {
+        if reduction_at_capacity(net, config, policy, mid)? >= target {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    Some(hi)
+    Ok(Some(hi))
 }
 
 #[cfg(test)]
@@ -113,7 +134,7 @@ mod tests {
     fn ideal_reduction_is_an_upper_bound() {
         let cfg = AccelConfig::default();
         for net in [zoo::resnet34(1), zoo::squeezenet_v10_simple_bypass(1)] {
-            let b = ReuseBounds::of(&net, cfg, Policy::shortcut_mining());
+            let b = ReuseBounds::of(&net, cfg, Policy::shortcut_mining()).expect("valid input");
             assert!(
                 b.ideal_reduction >= b.configured_reduction - 1e-9,
                 "{}: {b:?}",
@@ -144,12 +165,35 @@ mod tests {
     fn capacity_bisection_finds_a_sufficient_pool() {
         let cfg = AccelConfig::default();
         let net = zoo::resnet_tiny(2, 1);
-        let cap =
-            capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95).expect("achievable");
-        let at_cap = reduction_at_capacity(&net, cfg, Policy::shortcut_mining(), cap);
-        let ideal = reduction_at_capacity(&net, cfg, Policy::shortcut_mining(), 1 << 30);
+        let cap = capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95)
+            .expect("valid input")
+            .expect("achievable");
+        let at_cap =
+            reduction_at_capacity(&net, cfg, Policy::shortcut_mining(), cap).expect("valid");
+        let ideal =
+            reduction_at_capacity(&net, cfg, Policy::shortcut_mining(), 1 << 30).expect("valid");
         assert!(at_cap >= 0.95 * ideal - 1e-9, "{at_cap} vs {ideal}");
         // And it is genuinely small for a CIFAR-scale network.
         assert!(cap <= 1 << 20, "{cap}");
+    }
+
+    #[test]
+    fn malformed_questions_become_typed_errors() {
+        let cfg = AccelConfig::default();
+        let net = zoo::toy_residual(1);
+        // Zero capacity is refused up front, not deep in the simulator.
+        let err = reduction_at_capacity(&net, cfg, Policy::shortcut_mining(), 0)
+            .expect_err("zero capacity");
+        assert!(matches!(err, SimError::Analysis { .. }), "{err}");
+        // A non-finite target fraction is refused the same way.
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let err = capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), bad)
+                .expect_err("bad fraction");
+            assert!(matches!(err, SimError::Analysis { .. }), "{err}");
+        }
+        // An over-unity fraction is a well-formed question with answer "no".
+        let none = capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 1.5)
+            .expect("well-formed question");
+        assert_eq!(none, None);
     }
 }

@@ -33,6 +33,21 @@ pub enum SimError {
         /// What went wrong.
         message: String,
     },
+    /// An ECC-protected site reported a detected-but-uncorrectable (DUE)
+    /// multi-bit strike and the fault plan's `RecoveryPolicy::Abort` (or
+    /// an exhausted recovery budget) refused to repair it.
+    Unrecoverable {
+        /// Schedule index of the layer executing when the DUE landed.
+        layer: usize,
+        /// Human-readable name of the struck site.
+        site: String,
+    },
+    /// An analysis helper was asked a malformed question (empty network,
+    /// zero capacity, an unsatisfiable target) it previously panicked on.
+    Analysis {
+        /// What was malformed.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -51,6 +66,13 @@ impl fmt::Display for SimError {
             SimError::Invariant { layer, message } => {
                 write!(f, "invariant violated after layer {layer}: {message}")
             }
+            SimError::Unrecoverable { layer, site } => {
+                write!(
+                    f,
+                    "layer {layer}: uncorrectable multi-bit strike at {site} and no recovery"
+                )
+            }
+            SimError::Analysis { message } => write!(f, "analysis error: {message}"),
         }
     }
 }

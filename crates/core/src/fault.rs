@@ -11,11 +11,28 @@
 //! site strikes per their [`Protection`] policy) rather than crashing; see
 //! `ShortcutMiner::try_simulate`.
 //!
-//! Site faults (weight SRAM, PE array) draw from a *dedicated* PRNG stream
-//! with a fixed draw count per layer, so at a fixed seed the set of struck
-//! layers at a lower rate is a subset of the set at any higher rate — the
-//! degradation metrics are monotone in the fault rate by construction, and
-//! enabling site faults never perturbs the bank/DRAM fault stream.
+//! Site faults (weight SRAM, PE array, BCU mapping table) draw from a
+//! *dedicated* PRNG stream with a fixed draw count per layer, so at a fixed
+//! seed the set of struck layers at a lower rate is a subset of the set at
+//! any higher rate — the degradation metrics are monotone in the fault rate
+//! by construction, and enabling site faults never perturbs the bank/DRAM
+//! fault stream.
+//!
+//! Two control-path extensions ride on the same stream:
+//!
+//! * **BCU mapping-table upsets** strike the table entry that routes the
+//!   current layer's output logical buffer. Under [`Protection::None`] the
+//!   misroute is silent and only the value replay catches it (naming the
+//!   buffer and the layer distance the corruption travelled); `Parity`
+//!   rebuilds the entry from a shadow copy at a stall; `Ecc` scrubs the
+//!   table each layer at the usual check tax.
+//! * **Multi-bit strike widths** ([`StrikeWidth`]) model upsets wider than
+//!   SECDED can correct: on ECC-protected *storage* (weight SRAM, BCU
+//!   table) a single-bit strike is corrected (CE), a double-bit strike is
+//!   detected but uncorrectable (DUE) and handed to the recovery policy
+//!   ([`RecoveryPolicy`]), and a 3+-bit strike can alias to a valid
+//!   codeword and slip through silently. The residue-checked PE array is
+//!   unaffected by widths.
 
 use serde::{Deserialize, Serialize};
 
@@ -102,11 +119,54 @@ pub enum Protection {
     Ecc,
 }
 
+/// How many bits one site strike flips.
+///
+/// Only ECC-protected *storage* sites (weight SRAM, BCU mapping table)
+/// distinguish widths — SECDED corrects one bit, detects two, and can be
+/// aliased by three or more. Parity stays detect-only at any width, `None`
+/// stays silent at any width, and the PE array's residue check is
+/// width-agnostic, so everywhere else the width is informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StrikeWidth {
+    /// One bit flipped: SECDED corrects it in place (CE).
+    Single,
+    /// Two bits flipped: SECDED detects but cannot correct (DUE).
+    Double,
+    /// Three or more bits flipped: may alias to a valid codeword and pass
+    /// SECDED silently.
+    TriplePlus,
+}
+
+/// What the simulator does when an ECC-protected site reports a
+/// detected-but-uncorrectable (DUE) strike.
+///
+/// The ladder trades availability for cost: `Abort` surfaces the DUE as a
+/// typed error, `RefetchTile` conservatively re-streams the layer's source
+/// data from DRAM, and `RecomputeLayer` re-executes the layer from its
+/// still-resident inputs — paying compute but touching DRAM only for
+/// operand bytes that were not resident, which is exactly the traffic the
+/// shortcut-mining residency scheme avoids. Both recovery policies are
+/// bounded by the plan's retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Fail the run with `SimError::Unrecoverable`.
+    #[default]
+    Abort,
+    /// Re-DMA the layer's source data, charged as `TrafficClass::Retry`
+    /// plus a stall.
+    RefetchTile,
+    /// Re-execute the producing layer from resident inputs, charging
+    /// compute cycles and only the non-resident operand bytes as Retry
+    /// traffic.
+    RecomputeLayer,
+}
+
 /// One layer's site-fault outcome, drawn from the dedicated site stream.
 ///
-/// The raw `weight_word` / `pe_lane` selectors are full-width draws; the
-/// simulator reduces them modulo the layer's word count / lane count so the
-/// draw count stays independent of layer geometry.
+/// The raw `weight_word` / `pe_lane` / `bcu_entry` selectors are full-width
+/// draws; the simulator reduces them modulo the layer's word count / lane
+/// count / table size so the draw count stays independent of layer
+/// geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SiteFaultDraw {
     /// Whether a weight-SRAM word is struck while this layer's weights are
@@ -114,19 +174,34 @@ pub struct SiteFaultDraw {
     pub weight_struck: bool,
     /// Raw selector for the struck weight word.
     pub weight_word: u64,
+    /// Bit width of the weight-SRAM strike.
+    pub weight_width: StrikeWidth,
     /// Whether a PE MAC lane is struck during this layer's compute.
     pub pe_struck: bool,
     /// Raw selector for the struck lane.
     pub pe_lane: u64,
+    /// Whether a BCU mapping-table entry is struck while this layer holds
+    /// an output logical buffer (layers that allocate no output are
+    /// immune).
+    pub bcu_struck: bool,
+    /// Raw selector for the struck table entry.
+    pub bcu_entry: u64,
+    /// Bit width of the BCU table strike.
+    pub bcu_width: StrikeWidth,
 }
 
 /// A seedable, serializable description of the faults to inject into one
 /// simulation run. All rates are probabilities in `[0, 1]`; the default
 /// plan injects nothing.
 ///
-/// The site-fault fields (`weight_*`, `pe_*`) were added after the first
+/// The site-fault fields (`weight_*`, `pe_*`) and the control-path fields
+/// (`bcu_*`, the multi-bit widths, `recovery`) were added after the first
 /// stored plans shipped, so they deserialize with their defaults when
-/// absent — pre-existing JSON plans keep loading unchanged.
+/// absent — pre-existing JSON plans keep loading unchanged. The multi-bit
+/// and recovery fields serialize under longer wire names
+/// (`multi_bit_double_rate`, `multi_bit_triple_rate`, `recovery_policy`)
+/// via `#[serde(rename)]` so the JSON stays self-describing while the Rust
+/// fields stay terse.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed for the deterministic fault stream.
@@ -161,6 +236,25 @@ pub struct FaultPlan {
     /// Protection policy on the PE array.
     #[serde(default)]
     pub pe_protection: Protection,
+    /// Per-layer probability that a BCU mapping-table entry is struck
+    /// while the layer holds an output logical buffer (layers that
+    /// allocate no output are immune).
+    #[serde(default)]
+    pub bcu_fault_rate: f64,
+    /// Protection policy on the BCU mapping table.
+    #[serde(default)]
+    pub bcu_protection: Protection,
+    /// Probability that a storage-site strike flips exactly two bits
+    /// (SECDED detects but cannot correct).
+    #[serde(default, rename = "multi_bit_double_rate")]
+    pub mbu_double_rate: f64,
+    /// Probability that a storage-site strike flips three or more bits
+    /// (may alias past SECDED silently). The remaining mass is single-bit.
+    #[serde(default, rename = "multi_bit_triple_rate")]
+    pub mbu_triple_rate: f64,
+    /// What to do when an ECC-protected site reports a DUE.
+    #[serde(default, rename = "recovery_policy")]
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for FaultPlan {
@@ -176,6 +270,11 @@ impl Default for FaultPlan {
             weight_protection: Protection::None,
             pe_fault_rate: 0.0,
             pe_protection: Protection::None,
+            bcu_fault_rate: 0.0,
+            bcu_protection: Protection::None,
+            mbu_double_rate: 0.0,
+            mbu_triple_rate: 0.0,
+            recovery: RecoveryPolicy::Abort,
         }
     }
 }
@@ -230,6 +329,30 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-layer BCU mapping-table strike probability and the
+    /// protection policy guarding the table.
+    pub fn with_bcu_faults(mut self, rate: f64, protection: Protection) -> Self {
+        self.bcu_fault_rate = rate.clamp(0.0, 1.0);
+        self.bcu_protection = protection;
+        self
+    }
+
+    /// Sets the multi-bit strike width distribution: `double` is the
+    /// probability a strike flips exactly two bits, `triple_plus` that it
+    /// flips three or more. The pair is clamped so the two together never
+    /// exceed probability one; the remainder is single-bit.
+    pub fn with_multi_bit(mut self, double: f64, triple_plus: f64) -> Self {
+        self.mbu_triple_rate = triple_plus.clamp(0.0, 1.0);
+        self.mbu_double_rate = double.clamp(0.0, 1.0 - self.mbu_triple_rate);
+        self
+    }
+
+    /// Sets the DUE recovery policy.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
     /// Whether the plan can inject anything at all. ECC protection alone
     /// also activates the plan: its per-access tax must be charged even
     /// when no strike lands.
@@ -239,8 +362,10 @@ impl FaultPlan {
             || self.corruption_rate > 0.0
             || self.weight_fault_rate > 0.0
             || self.pe_fault_rate > 0.0
+            || self.bcu_fault_rate > 0.0
             || self.weight_protection == Protection::Ecc
             || self.pe_protection == Protection::Ecc
+            || self.bcu_protection == Protection::Ecc
     }
 }
 
@@ -263,6 +388,11 @@ pub struct FaultInjector {
     weight_protection: Protection,
     pe_fault_rate: f64,
     pe_protection: Protection,
+    bcu_fault_rate: f64,
+    bcu_protection: Protection,
+    mbu_double_rate: f64,
+    mbu_triple_rate: f64,
+    recovery: RecoveryPolicy,
     /// `(layer, bank)` revocations, sorted by layer; consumed front to back.
     schedule: Vec<(usize, BankId)>,
     next_failure: usize,
@@ -302,6 +432,11 @@ impl FaultInjector {
             weight_protection: plan.weight_protection,
             pe_fault_rate: plan.pe_fault_rate,
             pe_protection: plan.pe_protection,
+            bcu_fault_rate: plan.bcu_fault_rate,
+            bcu_protection: plan.bcu_protection,
+            mbu_double_rate: plan.mbu_double_rate,
+            mbu_triple_rate: plan.mbu_triple_rate,
+            recovery: plan.recovery,
             schedule,
             next_failure: 0,
         }
@@ -350,23 +485,49 @@ impl FaultInjector {
         self.rng.below(len as u64) as usize
     }
 
-    /// Draws one layer's weight-SRAM and PE-array strike outcomes from the
-    /// dedicated site stream.
+    /// Maps one unit draw to a strike width. `TriplePlus` occupies the low
+    /// end of the unit interval and `Double` the band above it, so at a
+    /// fixed seed raising `mbu_triple_rate` only ever widens strikes —
+    /// silent-aliasing counts are monotone in the 3+-bit rate.
+    fn width_from_unit(&self, w: f64) -> StrikeWidth {
+        if w < self.mbu_triple_rate {
+            StrikeWidth::TriplePlus
+        } else if w < self.mbu_triple_rate + self.mbu_double_rate {
+            StrikeWidth::Double
+        } else {
+            StrikeWidth::Single
+        }
+    }
+
+    /// Draws one layer's weight-SRAM, PE-array, and BCU-table strike
+    /// outcomes from the dedicated site stream.
     ///
-    /// Exactly four draws are consumed regardless of the rates or outcomes,
-    /// so at a fixed seed the struck layers at rate `p₁` are a subset of the
-    /// struck layers at any rate `p₂ ≥ p₁` — Retry traffic and repair work
-    /// are monotone in the fault rate by construction.
+    /// Exactly eight draws are consumed regardless of the rates or
+    /// outcomes — in order: weight strike, weight word, weight width, PE
+    /// strike, PE lane, BCU strike, BCU entry, BCU width — so at a fixed
+    /// seed the struck layers at rate `p₁` are a subset of the struck
+    /// layers at any rate `p₂ ≥ p₁`: Retry traffic and repair work are
+    /// monotone in the fault rate by construction.
     pub fn layer_site_faults(&mut self) -> SiteFaultDraw {
         let weight_unit = self.site_rng.unit();
         let weight_word = self.site_rng.next_u64();
+        let weight_width_unit = self.site_rng.unit();
         let pe_unit = self.site_rng.unit();
         let pe_lane = self.site_rng.next_u64();
+        let bcu_unit = self.site_rng.unit();
+        let bcu_entry = self.site_rng.next_u64();
+        let bcu_width_unit = self.site_rng.unit();
+        let weight_width = self.width_from_unit(weight_width_unit);
+        let bcu_width = self.width_from_unit(bcu_width_unit);
         SiteFaultDraw {
             weight_struck: weight_unit < self.weight_fault_rate,
             weight_word,
+            weight_width,
             pe_struck: pe_unit < self.pe_fault_rate,
             pe_lane,
+            bcu_struck: bcu_unit < self.bcu_fault_rate,
+            bcu_entry,
+            bcu_width,
         }
     }
 
@@ -378,6 +539,22 @@ impl FaultInjector {
     /// Protection policy on the PE array.
     pub fn pe_protection(&self) -> Protection {
         self.pe_protection
+    }
+
+    /// Protection policy on the BCU mapping table.
+    pub fn bcu_protection(&self) -> Protection {
+        self.bcu_protection
+    }
+
+    /// The configured DUE recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Retries allowed per transfer (shared with DUE recoveries per
+    /// layer) before the run aborts.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
     }
 
     /// Stall cycles charged per parity-detected strike (shared with the
@@ -495,6 +672,83 @@ mod tests {
         assert!(plan.is_active(), "the ECC tax applies without any strike");
         let parity_only = FaultPlan::new(1).with_pe_faults(0.0, Protection::Parity);
         assert!(!parity_only.is_active(), "parity without strikes is free");
+    }
+
+    #[test]
+    fn bcu_strikes_are_monotone_in_rate_and_leave_other_sites_alone() {
+        let layers = 48;
+        let mut prev: Vec<bool> = vec![false; layers];
+        let mut baseline: Option<Vec<SiteFaultDraw>> = None;
+        for rate in [0.0, 0.2, 0.5, 1.0] {
+            let plan = FaultPlan::new(11).with_bcu_faults(rate, Protection::Ecc);
+            let mut inj = FaultInjector::new(&plan, 8, layers);
+            let draws: Vec<SiteFaultDraw> = (0..layers).map(|_| inj.layer_site_faults()).collect();
+            for (i, d) in draws.iter().enumerate() {
+                assert!(
+                    !prev[i] || d.bcu_struck,
+                    "BCU strike at layer {i} vanished as the rate rose to {rate}"
+                );
+            }
+            prev = draws.iter().map(|d| d.bcu_struck).collect();
+            // Enabling BCU faults must not move the weight/PE draws.
+            match &baseline {
+                None => baseline = Some(draws),
+                Some(base) => {
+                    for (b, d) in base.iter().zip(&draws) {
+                        assert_eq!(b.weight_word, d.weight_word);
+                        assert_eq!(b.pe_lane, d.pe_lane);
+                        assert_eq!(b.bcu_entry, d.bcu_entry);
+                    }
+                }
+            }
+        }
+        assert!(prev.iter().all(|&s| s), "rate 1.0 strikes every layer");
+    }
+
+    #[test]
+    fn strike_widths_widen_monotonically_with_the_triple_rate() {
+        // At a fixed seed, raising the 3+-bit rate can only move strikes
+        // from Single/Double toward TriplePlus, never the reverse.
+        fn rank(w: StrikeWidth) -> u8 {
+            match w {
+                StrikeWidth::Single => 0,
+                StrikeWidth::Double => 1,
+                StrikeWidth::TriplePlus => 2,
+            }
+        }
+        let layers = 48;
+        let mut prev: Option<Vec<StrikeWidth>> = None;
+        for p3 in [0.0, 0.1, 0.4, 1.0] {
+            let plan = FaultPlan::new(17)
+                .with_weight_faults(1.0, Protection::Ecc)
+                .with_multi_bit(0.3, p3);
+            let mut inj = FaultInjector::new(&plan, 8, layers);
+            let widths: Vec<StrikeWidth> = (0..layers)
+                .map(|_| inj.layer_site_faults().weight_width)
+                .collect();
+            if let Some(prev) = &prev {
+                for (a, b) in prev.iter().zip(&widths) {
+                    assert!(rank(*b) >= rank(*a), "width narrowed as p3 rose to {p3}");
+                }
+            }
+            prev = Some(widths);
+        }
+        assert!(prev.unwrap().iter().all(|&w| w == StrikeWidth::TriplePlus));
+    }
+
+    #[test]
+    fn multi_bit_mass_is_clamped_to_one() {
+        let plan = FaultPlan::new(0).with_multi_bit(0.8, 0.6);
+        assert_eq!(plan.mbu_triple_rate, 0.6);
+        assert!((plan.mbu_double_rate - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bcu_ecc_alone_activates_the_plan() {
+        let plan = FaultPlan::new(1).with_bcu_faults(0.0, Protection::Ecc);
+        assert!(plan.is_active(), "the table-scrub tax applies strike-free");
+        let quiet = FaultPlan::new(1).with_bcu_faults(0.0, Protection::Parity);
+        assert!(!quiet.is_active());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use sm_model::exec::GoldenExecutor;
 use sm_model::{LayerId, Network};
 use sm_tensor::Tensor;
 
-use crate::{FaultOutcome, Policy, ShortcutMiner, SimError, SimOptions, TraceEvent};
+use crate::{FaultOutcome, FaultSite, Policy, ShortcutMiner, SimError, SimOptions, TraceEvent};
 
 /// Builds the localized mismatch diagnostic: the producing layer's name and
 /// the NCHW coordinate of the first element that differs from the golden
@@ -48,6 +48,39 @@ fn value_mismatch(net: &Network, fm: usize, ours: &Tensor, golden: &Tensor) -> C
             idx % s.w.max(1),
         ],
         max_diff,
+    }
+}
+
+/// Upgrades a plain value mismatch to the BCU-misroute diagnostic when the
+/// trace recorded a silent mapping-table strike on the mismatching feature
+/// map's routing entry; `consumer` is the layer that observed the wrong
+/// values.
+fn mismatch_diag(
+    net: &Network,
+    fm: usize,
+    consumer: usize,
+    ours: &Tensor,
+    golden: &Tensor,
+    bcu_strikes: &HashMap<usize, usize>,
+) -> CheckError {
+    match (bcu_strikes.get(&fm), value_mismatch(net, fm, ours, golden)) {
+        (
+            Some(&buffer),
+            CheckError::ValueMismatch {
+                fm,
+                layer,
+                coord,
+                max_diff,
+            },
+        ) => CheckError::BcuMisroute {
+            fm,
+            layer,
+            buffer,
+            distance: consumer.saturating_sub(fm),
+            coord,
+            max_diff,
+        },
+        (_, err) => err,
     }
 }
 
@@ -89,6 +122,26 @@ pub enum CheckError {
     },
     /// The trace referenced a feature map that was never produced.
     UnknownFm(usize),
+    /// A reconstructed operand differs from the golden value *and* the
+    /// trace shows a silent BCU mapping-table strike on the feature map's
+    /// routing entry: the mismatch is misrouted data, localized to the
+    /// logical buffer whose entry was struck and the layer distance the
+    /// corruption travelled before a consumer read it.
+    BcuMisroute {
+        /// Feature map that was misrouted.
+        fm: usize,
+        /// Name of the layer that produced it.
+        layer: String,
+        /// Logical buffer whose mapping entry was struck.
+        buffer: usize,
+        /// Layers between the strike and the consumer that observed it
+        /// (shortcut data can cross many).
+        distance: usize,
+        /// NCHW coordinate of the first differing element.
+        coord: [usize; 4],
+        /// Maximum absolute difference observed.
+        max_diff: f32,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -120,6 +173,20 @@ impl fmt::Display for CheckError {
                 )
             }
             CheckError::UnknownFm(fm) => write!(f, "trace references unproduced fm {fm}"),
+            CheckError::BcuMisroute {
+                fm,
+                layer,
+                buffer,
+                distance,
+                coord,
+                max_diff,
+            } => write!(
+                f,
+                "fm {fm} (layer `{layer}`): misrouted by a silent BCU table strike on \
+                 logical buffer {buffer}, observed {distance} layer(s) downstream; values \
+                 differ by {max_diff}, first at element [n={}, c={}, h={}, w={}]",
+                coord[0], coord[1], coord[2], coord[3]
+            ),
         }
     }
 }
@@ -230,6 +297,10 @@ pub fn verify_value_preservation_with(
     let run = ShortcutMiner::new(config, policy).try_simulate(net, options)?;
 
     let mut states: HashMap<usize, FmState> = HashMap::new();
+    // Feature maps whose BCU routing entry took a *silent* strike, keyed to
+    // the struck logical buffer: a later mismatch on one of these is
+    // reported as a misroute with the travel distance.
+    let mut bcu_strikes: HashMap<usize, usize> = HashMap::new();
     // The network input starts fully in DRAM.
     states.insert(
         0,
@@ -260,11 +331,13 @@ pub fn verify_value_preservation_with(
                         .expect("reconstruction has full length");
                     let diff = t.max_abs_diff(&golden[input.index()]).expect("same shapes");
                     if diff != 0.0 {
-                        return Err(value_mismatch(
+                        return Err(mismatch_diag(
                             net,
                             input.index(),
+                            fm,
                             &t,
                             &golden[input.index()],
+                            &bcu_strikes,
                         ));
                     }
                     operands.push(t);
@@ -323,9 +396,19 @@ pub fn verify_value_preservation_with(
             TraceEvent::Free { .. } => {}
             // A silent site strike corrupts the layer's output wherever it
             // currently lives; detected/corrected strikes leave values
-            // intact, which is exactly what this replay verifies.
-            TraceEvent::Fault { layer, outcome, .. } => {
+            // intact, which is exactly what this replay verifies. A silent
+            // BCU strike additionally remembers the struck routing entry
+            // so a later mismatch names the buffer and travel distance.
+            TraceEvent::Fault {
+                layer,
+                site,
+                outcome,
+                ..
+            } => {
                 if outcome == FaultOutcome::Silent {
+                    if let FaultSite::BcuTable { buffer } = site {
+                        bcu_strikes.insert(layer, buffer);
+                    }
                     let st = states.get_mut(&layer).ok_or(CheckError::UnknownFm(layer))?;
                     let slot = st.resident.first_mut().or_else(|| st.dram.first_mut());
                     if let Some(v) = slot {
@@ -334,6 +417,9 @@ pub fn verify_value_preservation_with(
                     }
                 }
             }
+            // A recovery leaves values intact by construction — the DUE it
+            // repairs never corrupted data, only availability.
+            TraceEvent::Recovery { .. } => {}
         }
     }
 
@@ -349,11 +435,13 @@ pub fn verify_value_preservation_with(
         .max_abs_diff(golden.last().expect("non-empty"))
         .expect("same shapes");
     if diff != 0.0 {
-        return Err(value_mismatch(
+        return Err(mismatch_diag(
             net,
+            last.id.index(),
             last.id.index(),
             &out,
             golden.last().expect("non-empty"),
+            &bcu_strikes,
         ));
     }
     Ok(())
@@ -444,6 +532,70 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("layer `"), "no layer in diagnostic: {msg}");
         assert!(msg.contains("element [n="), "no tile in diagnostic: {msg}");
+    }
+
+    #[test]
+    fn silent_bcu_misroute_is_caught_and_names_buffer_and_distance() {
+        use crate::{FaultPlan, Protection};
+        // Every output-allocating layer's mapping entry is struck with no
+        // protection: the replay must flag the corruption as a misroute,
+        // naming the logical buffer and how far downstream it surfaced.
+        let net = zoo::resnet_tiny(2, 1);
+        let plan = FaultPlan::new(3).with_bcu_faults(1.0, Protection::None);
+        let err = verify_value_preservation_with(
+            &net,
+            AccelConfig::default(),
+            Policy::shortcut_mining(),
+            7,
+            &SimOptions::with_faults(plan),
+        )
+        .expect_err("an unprotected BCU strike must not pass value replay");
+        match &err {
+            CheckError::BcuMisroute {
+                fm,
+                layer,
+                distance,
+                ..
+            } => {
+                assert_eq!(net.layers()[*fm].name, *layer);
+                assert!(*distance >= 1, "a consumer observes the misroute");
+            }
+            other => panic!("expected a BCU misroute, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("logical buffer"), "no buffer in: {msg}");
+        assert!(msg.contains("downstream"), "no distance in: {msg}");
+    }
+
+    #[test]
+    fn bcu_parity_and_ecc_preserve_values() {
+        use crate::{FaultPlan, Protection, RecoveryPolicy};
+        // Detected (parity), corrected (single-bit ECC), and recovered
+        // (multi-bit ECC under either repair policy) table strikes all
+        // leave values intact.
+        let net = zoo::resnet_tiny(2, 1);
+        let plans = [
+            FaultPlan::new(11).with_bcu_faults(1.0, Protection::Parity),
+            FaultPlan::new(11).with_bcu_faults(1.0, Protection::Ecc),
+            FaultPlan::new(11)
+                .with_bcu_faults(1.0, Protection::Ecc)
+                .with_multi_bit(1.0, 0.0)
+                .with_recovery(RecoveryPolicy::RefetchTile),
+            FaultPlan::new(11)
+                .with_bcu_faults(1.0, Protection::Ecc)
+                .with_multi_bit(1.0, 0.0)
+                .with_recovery(RecoveryPolicy::RecomputeLayer),
+        ];
+        for plan in plans {
+            verify_value_preservation_with(
+                &net,
+                AccelConfig::default(),
+                Policy::shortcut_mining(),
+                5,
+                &SimOptions::with_faults(plan.clone()),
+            )
+            .unwrap_or_else(|e| panic!("{plan:?}: {e}"));
+        }
     }
 
     #[test]

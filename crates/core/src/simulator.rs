@@ -13,14 +13,19 @@ use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
 use sm_model::{Layer, LayerId, LayerKind, Network};
 
 use crate::{
-    FaultInjector, FaultOutcome, FaultPlan, FaultSite, Policy, Protection, RetentionRecord,
-    SimError, SpillOrder, Trace, TraceEvent,
+    FaultInjector, FaultOutcome, FaultPlan, FaultSite, Policy, Protection, RecoveryAction,
+    RecoveryPolicy, RetentionRecord, SimError, SpillOrder, StrikeWidth, Trace, TraceEvent,
 };
 
 /// SRAM-to-SRAM copy bandwidth in bytes per cycle, charged only under the
 /// `swap_by_copy` ablation (a wide on-chip bus moving one buffer's contents
 /// into another instead of relabelling).
 const COPY_BYTES_PER_CYCLE: u64 = 128;
+
+/// Concurrently live logical buffers the BCU mapping table is sized for
+/// (matches the overhead analysis in `sm_buffer::bcu`); fixes the table
+/// footprint an ECC scrub walks each layer.
+const BCU_TABLE_BUFFERS: u64 = 8;
 
 /// Result of a Shortcut Mining simulation: the run statistics plus the
 /// residency trace and the per-shortcut retention records.
@@ -304,13 +309,16 @@ impl<'a> Sim<'a> {
                     }
                 }
             }
-            // Weight-SRAM / PE-array site faults: ECC taxes every protected
-            // access; parity repairs detected strikes by refetch (Retry
-            // traffic + stall) or lane recompute; unprotected strikes
-            // corrupt silently and are only visible to the value checker.
-            let (site_compute, site_overhead, site_retry_w) =
-                self.apply_site_faults(layer.id.index(), compute, w_bytes, &mut traffic);
+            // Weight-SRAM / PE-array / BCU-table site faults: ECC taxes
+            // every protected access (including the table scrub); parity
+            // repairs detected strikes by refetch, lane recompute, or
+            // shadow-copy rebuild; multi-bit DUEs go through the recovery
+            // policy; unprotected strikes corrupt silently and are only
+            // visible to the value checker.
+            let (site_compute, site_overhead, site_retry_w, site_retry_fm) =
+                self.apply_site_faults(layer, compute, w_bytes, &mut traffic)?;
             retry_w += site_retry_w;
+            retry_fm += site_retry_fm;
 
             let copy_cycles = self
                 .copy_penalty_bytes
@@ -442,30 +450,46 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
-    /// Plays one layer's weight-SRAM / PE-array site faults after its
-    /// compute and traffic are known. Charges the ECC per-access tax,
-    /// repairs parity-detected strikes (weight refetch as
-    /// [`TrafficClass::Retry`] plus a stall; lane recompute as extra compute
-    /// cycles) and records silent strikes in the trace for the functional
-    /// checker. Returns `(extra_compute, extra_overhead, retry_weight_bytes)`.
+    /// Plays one layer's weight-SRAM / PE-array / BCU-table site faults
+    /// after its compute and traffic are known. Charges the ECC per-access
+    /// tax (weight words, MACs, and the mapping-table scrub), repairs
+    /// parity-detected strikes (weight refetch as [`TrafficClass::Retry`]
+    /// plus a stall; lane recompute as extra compute cycles; table rebuild
+    /// from a shadow copy at a stall), routes multi-bit DUEs through the
+    /// recovery policy, and records silent strikes in the trace for the
+    /// functional checker. Returns
+    /// `(extra_compute, extra_overhead, retry_weight_bytes, retry_fm_bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Unrecoverable`] when a DUE lands under
+    /// `RecoveryPolicy::Abort`, or when the layer's DUE count exceeds the
+    /// plan's retry budget.
     fn apply_site_faults(
         &mut self,
-        lid: usize,
+        layer: &Layer,
         compute: u64,
         w_bytes: u64,
         traffic: &mut ClassTotals,
-    ) -> (u64, u64, u64) {
+    ) -> Result<(u64, u64, u64, u64), SimError> {
         let Some(mut inj) = self.injector.take() else {
-            return (0, 0, 0);
+            return Ok((0, 0, 0, 0));
         };
+        let lid = layer.id.index();
         let lanes = (self.cfg.pe_rows * self.cfg.pe_cols).max(1) as u64;
         let draw = inj.layer_site_faults();
         let mut extra_compute = 0u64;
         let mut extra_overhead = 0u64;
         let mut retry_w = 0u64;
+        let mut retry_fm = 0u64;
+        let mut layer_dues = 0u32;
+        let out_buffer = self.fms.get(&lid).and_then(|r| r.buffer);
+        let table = sm_buffer::bcu::BcuCost::estimate(self.cfg.sram.fm_pool, BCU_TABLE_BUFFERS);
 
         // ECC taxes every protected access, strike or not: the check logic
-        // runs alongside each weight word read and each MAC issued.
+        // runs alongside each weight word read and each MAC issued, and an
+        // ECC-protected mapping table is scrubbed once per layer while it
+        // routes a live output buffer.
         if inj.weight_protection() == Protection::Ecc && w_bytes > 0 {
             self.faults.ecc_bytes += w_bytes;
             extra_overhead += ecc_check_cycles(w_bytes);
@@ -473,9 +497,14 @@ impl<'a> Sim<'a> {
         if inj.pe_protection() == Protection::Ecc && compute > 0 {
             extra_overhead += ecc_compute_tax_cycles(compute);
         }
+        if inj.bcu_protection() == Protection::Ecc && out_buffer.is_some() {
+            self.faults.ecc_bytes += table.table_bytes();
+            extra_overhead += ecc_check_cycles(table.table_bytes());
+        }
 
         if draw.weight_struck && w_bytes > 0 {
             self.faults.weight_faults += 1;
+            let mut recovery = None;
             let outcome = match inj.weight_protection() {
                 Protection::None => {
                     self.faults.silent_faults += 1;
@@ -493,10 +522,38 @@ impl<'a> Sim<'a> {
                     self.faults.retry_stall_cycles += stall;
                     FaultOutcome::Detected
                 }
-                Protection::Ecc => {
-                    self.faults.ecc_corrections += 1;
-                    FaultOutcome::Corrected
-                }
+                Protection::Ecc => match draw.weight_width {
+                    StrikeWidth::Single => {
+                        self.faults.ecc_corrections += 1;
+                        FaultOutcome::Corrected
+                    }
+                    StrikeWidth::TriplePlus => {
+                        // Wide enough to alias past SECDED: silent.
+                        self.faults.silent_faults += 1;
+                        FaultOutcome::Silent
+                    }
+                    StrikeWidth::Double => {
+                        self.check_due_budget(lid, "weight SRAM", &inj, &mut layer_dues)?;
+                        // Weights are primary inputs with no on-chip
+                        // producer, so both recovery policies restore them
+                        // the same way: refetch from DRAM.
+                        self.ledger.record(lid, TrafficClass::Retry, w_bytes);
+                        traffic.record(TrafficClass::Retry, w_bytes);
+                        retry_w += w_bytes;
+                        let stall = inj.retry_stall_cycles();
+                        extra_overhead += stall;
+                        self.faults.retry_stall_cycles += stall;
+                        self.faults.recovered_refetch += 1;
+                        recovery = Some(TraceEvent::Recovery {
+                            layer: lid,
+                            site: FaultSite::WeightSram,
+                            action: RecoveryAction::Refetched,
+                            retry_bytes: w_bytes,
+                            compute_cycles: 0,
+                        });
+                        FaultOutcome::Uncorrectable
+                    }
+                },
             };
             let words = w_bytes.div_ceil(8).max(1);
             self.trace.events.push(TraceEvent::Fault {
@@ -505,6 +562,7 @@ impl<'a> Sim<'a> {
                 unit: draw.weight_word % words,
                 outcome,
             });
+            self.trace.events.extend(recovery);
         }
         if draw.pe_struck && compute > 0 {
             self.faults.pe_faults += 1;
@@ -520,6 +578,9 @@ impl<'a> Sim<'a> {
                     extra_compute += compute.div_ceil(lanes);
                     FaultOutcome::Detected
                 }
+                // The PE array is residue-checked logic, not stored state:
+                // a strike is caught per-MAC regardless of its bit width,
+                // so ECC always corrects here.
                 Protection::Ecc => {
                     self.faults.ecc_corrections += 1;
                     FaultOutcome::Corrected
@@ -532,8 +593,137 @@ impl<'a> Sim<'a> {
                 outcome,
             });
         }
+        if draw.bcu_struck {
+            if let Some(buffer) = out_buffer {
+                self.faults.bcu_faults += 1;
+                let site = FaultSite::BcuTable { buffer: buffer.0 };
+                let mut recovery = None;
+                let outcome = match inj.bcu_protection() {
+                    Protection::None => {
+                        // The mapping entry now routes the output buffer to
+                        // the wrong bank: every later read of this feature
+                        // map — possibly a junction many layers downstream —
+                        // sees wrong data. Only the value replay can tell.
+                        self.faults.silent_faults += 1;
+                        FaultOutcome::Silent
+                    }
+                    Protection::Parity => {
+                        // Detected on the next table read and rebuilt from
+                        // the allocator's shadow copy: one stall, no
+                        // traffic, values intact.
+                        self.faults.parity_detections += 1;
+                        let stall = inj.retry_stall_cycles();
+                        extra_overhead += stall;
+                        self.faults.retry_stall_cycles += stall;
+                        FaultOutcome::Detected
+                    }
+                    Protection::Ecc => match draw.bcu_width {
+                        StrikeWidth::Single => {
+                            self.faults.ecc_corrections += 1;
+                            FaultOutcome::Corrected
+                        }
+                        StrikeWidth::TriplePlus => {
+                            self.faults.silent_faults += 1;
+                            FaultOutcome::Silent
+                        }
+                        StrikeWidth::Double => {
+                            self.check_due_budget(lid, "BCU table", &inj, &mut layer_dues)?;
+                            let (action, retry_bytes) = self.recover_bcu_due(layer, traffic, &inj);
+                            retry_fm += retry_bytes;
+                            extra_compute += compute;
+                            if action == RecoveryAction::Refetched {
+                                let stall = inj.retry_stall_cycles();
+                                extra_overhead += stall;
+                                self.faults.retry_stall_cycles += stall;
+                            }
+                            recovery = Some(TraceEvent::Recovery {
+                                layer: lid,
+                                site,
+                                action,
+                                retry_bytes,
+                                compute_cycles: compute,
+                            });
+                            FaultOutcome::Uncorrectable
+                        }
+                    },
+                };
+                self.trace.events.push(TraceEvent::Fault {
+                    layer: lid,
+                    site,
+                    unit: draw.bcu_entry % table.table_entries.max(1),
+                    outcome,
+                });
+                self.trace.events.extend(recovery);
+            }
+        }
         self.injector = Some(inj);
-        (extra_compute, extra_overhead, retry_w)
+        Ok((extra_compute, extra_overhead, retry_w, retry_fm))
+    }
+
+    /// Admits one more DUE at this layer, or refuses: `Abort` never
+    /// recovers, and recoveries past the plan's retry budget fail the run
+    /// the same way an exhausted DRAM transfer does.
+    fn check_due_budget(
+        &mut self,
+        lid: usize,
+        site: &str,
+        inj: &FaultInjector,
+        layer_dues: &mut u32,
+    ) -> Result<(), SimError> {
+        self.faults.due_events += 1;
+        *layer_dues += 1;
+        if inj.recovery_policy() == RecoveryPolicy::Abort || *layer_dues > inj.max_retries() {
+            return Err(SimError::Unrecoverable {
+                layer: lid,
+                site: site.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Repairs a BCU-table DUE by re-executing the producing layer (the
+    /// current one — its output buffer is what the struck entry routes).
+    /// Returns the action taken and the operand bytes re-streamed from
+    /// DRAM as `Retry` traffic:
+    ///
+    /// * `RefetchTile` conservatively re-DMAs *every* operand byte of the
+    ///   layer, resident or not.
+    /// * `RecomputeLayer` reuses still-resident operands and re-streams
+    ///   only the bytes this layer had to read from DRAM anyway (its
+    ///   `IfmRead`/`ShortcutRead`/`SpillRead` totals) — zero when the
+    ///   operands were fully resident, which is the measurable payoff of
+    ///   keeping shortcut data on chip.
+    fn recover_bcu_due(
+        &mut self,
+        layer: &Layer,
+        traffic: &mut ClassTotals,
+        inj: &FaultInjector,
+    ) -> (RecoveryAction, u64) {
+        let lid = layer.id.index();
+        let (action, retry_bytes) = match inj.recovery_policy() {
+            RecoveryPolicy::RecomputeLayer => {
+                self.faults.recovered_recompute += 1;
+                let dram_operand_bytes = traffic.class(TrafficClass::IfmRead)
+                    + traffic.class(TrafficClass::ShortcutRead)
+                    + traffic.class(TrafficClass::SpillRead);
+                (RecoveryAction::Recomputed, dram_operand_bytes)
+            }
+            RecoveryPolicy::RefetchTile | RecoveryPolicy::Abort => {
+                self.faults.recovered_refetch += 1;
+                let all_operand_bytes: u64 = self
+                    .net
+                    .in_shapes(layer.id)
+                    .iter()
+                    .map(|s| s.len() as u64 * self.elem())
+                    .sum();
+                (RecoveryAction::Refetched, all_operand_bytes)
+            }
+        };
+        if retry_bytes > 0 {
+            self.ledger.record(lid, TrafficClass::Retry, retry_bytes);
+            traffic.record(TrafficClass::Retry, retry_bytes);
+        }
+        (action, retry_bytes)
     }
 
     /// Checked-mode verification after one layer: bank accounting sums to

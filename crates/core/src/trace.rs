@@ -49,19 +49,39 @@ pub enum TraceEvent {
     },
     /// A hardware site fault struck while layer `layer` executed, and was
     /// resolved per the site's protection policy. Silent outcomes corrupt
-    /// the layer's output feature map (`fm == layer`); detected and
-    /// corrected outcomes leave values intact, so the functional replay
-    /// stays externally checkable either way.
+    /// the layer's output feature map (`fm == layer`); detected,
+    /// corrected, and recovered-uncorrectable outcomes leave values
+    /// intact, so the functional replay stays externally checkable either
+    /// way.
     Fault {
         /// Layer executing when the strike landed (also the corrupted
         /// feature map for silent outcomes).
         layer: usize,
         /// Hardware site struck.
         site: FaultSite,
-        /// Struck unit within the site: weight-SRAM word index or PE lane.
+        /// Struck unit within the site: weight-SRAM word index, PE lane,
+        /// or BCU table-entry index.
         unit: u64,
         /// How the strike was resolved.
         outcome: FaultOutcome,
+    },
+    /// The recovery engine repaired a detected-uncorrectable (DUE) strike
+    /// at layer `layer`: the matching [`TraceEvent::Fault`] carries
+    /// [`FaultOutcome::Uncorrectable`], and this event records what the
+    /// repair cost. Values are intact afterwards, so the replay treats it
+    /// as a no-op.
+    Recovery {
+        /// Layer whose DUE was repaired.
+        layer: usize,
+        /// Site the uncorrectable strike hit.
+        site: FaultSite,
+        /// How the engine repaired it.
+        action: RecoveryAction,
+        /// Bytes re-streamed from DRAM as `TrafficClass::Retry`.
+        retry_bytes: u64,
+        /// Compute cycles re-spent re-executing the layer (zero for pure
+        /// refetches).
+        compute_cycles: u64,
     },
 }
 
@@ -72,18 +92,38 @@ pub enum FaultSite {
     WeightSram,
     /// One MAC lane of the PE array.
     PeArray,
+    /// A BCU mapping-table entry routing one logical buffer.
+    BcuTable {
+        /// Logical buffer whose routing entry was struck.
+        buffer: usize,
+    },
 }
 
 /// Resolution of a [`TraceEvent::Fault`], fixed by the site's
-/// `sm_core::Protection` policy.
+/// `sm_core::Protection` policy (and, for [`FaultOutcome::Uncorrectable`],
+/// followed by a [`TraceEvent::Recovery`] unless the policy aborts).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum FaultOutcome {
-    /// Unprotected: the layer's output is silently corrupted.
+    /// Unprotected (or 3+-bit ECC aliasing): the layer's output is
+    /// silently corrupted.
     Silent,
-    /// Parity-detected: repaired by weight refetch / lane recompute.
+    /// Parity-detected: repaired by weight refetch / lane recompute /
+    /// table rebuild.
     Detected,
     /// ECC-corrected in place.
     Corrected,
+    /// ECC-detected but uncorrectable (multi-bit): handed to the recovery
+    /// policy.
+    Uncorrectable,
+}
+
+/// How a [`TraceEvent::Recovery`] repaired a DUE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RecoveryAction {
+    /// The layer's source data was re-DMAed from DRAM in full.
+    Refetched,
+    /// The layer was re-executed from (mostly) resident inputs.
+    Recomputed,
 }
 
 /// Full event trace of one run, in execution order.
@@ -189,6 +229,11 @@ impl Trace {
                         return Err(format!("event {i}: fault at unproduced layer {layer}"));
                     }
                 }
+                TraceEvent::Recovery { layer, .. } => {
+                    if !fms.contains_key(&layer) {
+                        return Err(format!("event {i}: recovery at unproduced layer {layer}"));
+                    }
+                }
             }
         }
         Ok(())
@@ -201,7 +246,8 @@ impl Trace {
             | TraceEvent::Spill { fm: f, .. }
             | TraceEvent::FetchMissing { fm: f, .. }
             | TraceEvent::Free { fm: f }
-            | TraceEvent::Fault { layer: f, .. } => *f == fm,
+            | TraceEvent::Fault { layer: f, .. }
+            | TraceEvent::Recovery { layer: f, .. } => *f == fm,
         })
     }
 }
@@ -349,6 +395,29 @@ mod tests {
             events: vec![produce(1, 10, 10, 0), fault],
         };
         assert_eq!(t.for_fm(1).count(), 2);
+    }
+
+    #[test]
+    fn recovery_events_require_a_produced_layer() {
+        let recovery = TraceEvent::Recovery {
+            layer: 1,
+            site: FaultSite::BcuTable { buffer: 4 },
+            action: RecoveryAction::Recomputed,
+            retry_bytes: 0,
+            compute_cycles: 128,
+        };
+        let t = Trace {
+            events: vec![produce(1, 10, 10, 0), recovery],
+        };
+        t.check_well_formed().unwrap();
+        assert_eq!(t.for_fm(1).count(), 2);
+        let t = Trace {
+            events: vec![recovery],
+        };
+        assert!(t
+            .check_well_formed()
+            .unwrap_err()
+            .contains("recovery at unproduced layer"));
     }
 
     #[test]

@@ -8,8 +8,8 @@ use crate::BuildError;
 /// The panicking builders (`zoo::resnet34` & co.) stay as-is for tests and
 /// experiment code where a malformed request is a bug; callers handling
 /// *external* input (the CLI, batch sweeps over user-supplied sizes) go
-/// through `zoo::try_by_name` / `zoo::try_resnet` and get one of these
-/// instead of a panic.
+/// through `zoo::try_by_name` / `zoo::try_resnet` / the `try_*_tiny`
+/// builders and get one of these instead of a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ModelError {
@@ -19,6 +19,16 @@ pub enum ModelError {
     UnknownNetwork(String),
     /// ResNet depth outside {18, 34, 50, 101, 152}.
     UnknownDepth(usize),
+    /// A structural size parameter (blocks per stage, chain depth, dense
+    /// layers) below the builder's minimum.
+    InvalidSize {
+        /// Which parameter was out of range.
+        param: &'static str,
+        /// Smallest accepted value.
+        min: usize,
+        /// What the caller asked for.
+        got: usize,
+    },
     /// The builder ran but graph assembly failed.
     Build(BuildError),
 }
@@ -30,6 +40,9 @@ impl fmt::Display for ModelError {
             ModelError::UnknownNetwork(name) => write!(f, "unknown network {name:?}"),
             ModelError::UnknownDepth(d) => {
                 write!(f, "no ResNet-{d}; use 18, 34, 50, 101 or 152")
+            }
+            ModelError::InvalidSize { param, min, got } => {
+                write!(f, "{param} must be at least {min}, got {got}")
             }
             ModelError::Build(e) => write!(f, "network failed to build: {e}"),
         }

@@ -10,7 +10,7 @@
 
 use sm_tensor::Shape4;
 
-use crate::{ConvSpec, LayerId, Network, NetworkBuilder, PoolSpec};
+use crate::{ConvSpec, LayerId, ModelError, Network, NetworkBuilder, PoolSpec};
 
 struct DenseSpec {
     name: &'static str,
@@ -112,7 +112,22 @@ pub fn densenet169(batch: usize) -> Network {
 /// A CIFAR-scale dense network for functional verification: one dense block
 /// of `layers` dense layers at growth 8 on 16×16 input.
 pub fn densenet_tiny(layers: usize, batch: usize) -> Network {
-    assert!(layers >= 1);
+    try_densenet_tiny(layers, batch).expect("valid tiny densenet request")
+}
+
+/// Fallible [`densenet_tiny`]: rejects an empty dense block or batch 0 with
+/// a typed [`ModelError`] instead of panicking.
+pub fn try_densenet_tiny(layers: usize, batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
+    if layers < 1 {
+        return Err(ModelError::InvalidSize {
+            param: "dense layers",
+            min: 1,
+            got: layers,
+        });
+    }
     let mut b = NetworkBuilder::new(
         format!("densenet_tiny{layers}"),
         Shape4::new(batch, 3, 16, 16),
@@ -126,7 +141,7 @@ pub fn densenet_tiny(layers: usize, batch: usize) -> Network {
     }
     let gap = b.global_avg_pool("gap", cur).expect("gap");
     b.fc("fc", gap, 10).expect("fc");
-    b.finish().expect("tiny densenet builds")
+    Ok(b.finish()?)
 }
 
 #[cfg(test)]

@@ -19,13 +19,15 @@ mod small;
 mod squeezenet;
 mod vgg;
 
-pub use densenet::{densenet121, densenet169, densenet_tiny};
+pub use densenet::{densenet121, densenet169, densenet_tiny, try_densenet_tiny};
 pub use googlenet::googlenet;
 pub use mobilenet::{mobilenet_tiny, mobilenet_v1, mobilenet_v2};
 pub use resnet::{
     plain18, plain34, resnet, resnet101, resnet152, resnet18, resnet34, resnet50, try_resnet,
 };
-pub use small::{chain_tiny, resnet_tiny, squeezenet_tiny, toy_residual};
+pub use small::{
+    chain_tiny, resnet_tiny, squeezenet_tiny, toy_residual, try_chain_tiny, try_resnet_tiny,
+};
 pub use squeezenet::{
     squeezenet_v10, squeezenet_v10_complex_bypass, squeezenet_v10_simple_bypass, squeezenet_v11,
 };
@@ -144,6 +146,45 @@ mod tests {
         assert_eq!(try_resnet(34, 1).unwrap().name(), "resnet34");
         assert_eq!(try_resnet(99, 1), Err(crate::ModelError::UnknownDepth(99)));
         assert_eq!(try_resnet(34, 0), Err(crate::ModelError::InvalidBatch));
+    }
+
+    #[test]
+    fn tiny_builders_reject_malformed_sizes_with_typed_errors() {
+        use crate::ModelError;
+        assert_eq!(try_resnet_tiny(1, 1).unwrap().name(), "resnet_tiny8");
+        assert_eq!(try_chain_tiny(3, 1).unwrap().name(), "chain3");
+        assert_eq!(try_densenet_tiny(2, 1).unwrap().name(), "densenet_tiny2");
+        assert_eq!(
+            try_resnet_tiny(0, 1),
+            Err(ModelError::InvalidSize {
+                param: "blocks per stage",
+                min: 1,
+                got: 0
+            })
+        );
+        assert_eq!(
+            try_chain_tiny(0, 1),
+            Err(ModelError::InvalidSize {
+                param: "chain depth",
+                min: 1,
+                got: 0
+            })
+        );
+        assert_eq!(
+            try_densenet_tiny(0, 1),
+            Err(ModelError::InvalidSize {
+                param: "dense layers",
+                min: 1,
+                got: 0
+            })
+        );
+        for bad_batch in [
+            try_resnet_tiny(1, 0),
+            try_chain_tiny(1, 0),
+            try_densenet_tiny(1, 0),
+        ] {
+            assert_eq!(bad_batch, Err(ModelError::InvalidBatch));
+        }
     }
 
     #[test]

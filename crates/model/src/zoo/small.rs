@@ -7,13 +7,29 @@
 
 use sm_tensor::Shape4;
 
-use crate::{ConvSpec, Network, NetworkBuilder, PoolSpec};
+use crate::{ConvSpec, ModelError, Network, NetworkBuilder, PoolSpec};
 
 /// CIFAR-style residual network (He et al. §4.2): a 3×3 stem, then three
 /// stages of `n` basic blocks at 16/32/64 channels on 32×32 input.
 /// `resnet_tiny(3)` is the classic ResNet-20.
 pub fn resnet_tiny(n: usize, batch: usize) -> Network {
-    assert!(n >= 1, "need at least one block per stage");
+    try_resnet_tiny(n, batch).expect("valid tiny resnet request")
+}
+
+/// Fallible [`resnet_tiny`]: rejects zero blocks-per-stage or batch 0 with a
+/// typed [`ModelError`] instead of panicking, for callers driven by external
+/// input (the CLI, config-driven sweeps).
+pub fn try_resnet_tiny(n: usize, batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
+    if n < 1 {
+        return Err(ModelError::InvalidSize {
+            param: "blocks per stage",
+            min: 1,
+            got: n,
+        });
+    }
     let mut b = NetworkBuilder::new(
         format!("resnet_tiny{}", 6 * n + 2),
         Shape4::new(batch, 3, 32, 32),
@@ -49,7 +65,7 @@ pub fn resnet_tiny(n: usize, batch: usize) -> Network {
     }
     let gap = b.global_avg_pool("gap", cur).expect("gap");
     b.fc("fc", gap, 10).expect("fc");
-    b.finish().expect("tiny resnet builds")
+    Ok(b.finish()?)
 }
 
 /// A miniature SqueezeNet: stem, two fire modules (the second bypassed),
@@ -102,7 +118,22 @@ pub fn toy_residual(batch: usize) -> Network {
 
 /// A shortcut-free convolution chain (control for the toy graphs).
 pub fn chain_tiny(depth: usize, batch: usize) -> Network {
-    assert!(depth >= 1);
+    try_chain_tiny(depth, batch).expect("valid chain request")
+}
+
+/// Fallible [`chain_tiny`]: rejects a zero-layer chain or batch 0 with a
+/// typed [`ModelError`] instead of panicking.
+pub fn try_chain_tiny(depth: usize, batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
+    if depth < 1 {
+        return Err(ModelError::InvalidSize {
+            param: "chain depth",
+            min: 1,
+            got: depth,
+        });
+    }
     let mut b = NetworkBuilder::new(format!("chain{depth}"), Shape4::new(batch, 4, 8, 8));
     let mut cur = b.input_id();
     for i in 0..depth {
@@ -110,7 +141,7 @@ pub fn chain_tiny(depth: usize, batch: usize) -> Network {
             .conv(format!("c{i}"), cur, ConvSpec::relu(8, 3, 1, 1))
             .expect("chain conv");
     }
-    b.finish().expect("chain builds")
+    Ok(b.finish()?)
 }
 
 #[cfg(test)]

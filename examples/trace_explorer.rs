@@ -85,6 +85,22 @@ fn main() {
                     outcome
                 );
             }
+            TraceEvent::Recovery {
+                layer,
+                site,
+                action,
+                retry_bytes,
+                compute_cycles,
+            } => {
+                println!(
+                    "recover  {:20} {:?} -> {:?} {:>8} retry B {:>8} cycles",
+                    name(layer),
+                    site,
+                    action,
+                    retry_bytes,
+                    compute_cycles
+                );
+            }
         }
     }
 

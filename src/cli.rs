@@ -83,6 +83,12 @@ pub enum Command {
         /// Run the 2-D bank-failure × DRAM-fault grid instead of the 1-D
         /// bank-failure sweep.
         grid: bool,
+        /// Site-strike rates (`--site-rate <p,p,...>`) extending the grid
+        /// to a 3-D bank × DRAM × site volume.
+        site_rates: Option<Vec<f64>>,
+        /// Run the control-path study instead: BCU mapping-table strikes
+        /// under SECDED ECC across the recovery-policy ladder.
+        control_path: bool,
         /// Emit the degradation curves as a JSON document instead of text.
         json: bool,
     },
@@ -116,8 +122,10 @@ USAGE:
   smctl verify  <network> [--seed <n>]
   smctl sweep   <network> [--batch <n>]
   smctl layers  <network> [--batch <n>]
-  smctl chaos   <network>|headline [--batch <n>] [--seed <n>] [--dram-rate <p>]
-                [--retry-budget <n>] [--budget-sweep] [--grid] [--json]
+  smctl chaos   [<network>|headline] [--batch <n>] [--seed <n>] [--dram-rate <p>]
+                [--retry-budget <n>] [--budget-sweep] [--grid]
+                [--site-rate <p,p,...>] [--control-path] [--json]
+                (network defaults to `headline` = ResNet-34 + SqueezeNet)
   smctl bench   [--out <path>]
 
 Every command also accepts --threads <n> (worker count for parallel
@@ -186,10 +194,19 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             Ok(Command::Bench { out })
         }
         "compare" | "analyze" | "verify" | "sweep" | "layers" | "chaos" => {
-            let network = it
-                .next()
-                .ok_or_else(|| CliError(format!("{cmd} requires a network name")))?
-                .to_string();
+            // `chaos` may omit the network (or lead with a flag): it
+            // defaults to the headline pair.
+            let first = match it.next() {
+                Some(arg) => arg,
+                None if cmd == "chaos" => "headline",
+                None => return Err(CliError(format!("{cmd} requires a network name"))),
+            };
+            let (network, pending_flag) = if cmd == "chaos" && first.starts_with("--") {
+                ("headline".to_string(), Some(first))
+            } else {
+                (first.to_string(), None)
+            };
+            let mut it = pending_flag.into_iter().chain(it);
             let mut capacity_kib = None;
             let mut batch = 1usize;
             let mut policy = Policy::shortcut_mining();
@@ -199,11 +216,33 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut retry_budget = None;
             let mut budget_sweep = false;
             let mut grid = false;
+            let mut site_rates = None;
+            let mut control_path = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
                     "--budget-sweep" => budget_sweep = true,
                     "--grid" => grid = true,
+                    "--control-path" => control_path = true,
+                    "--site-rate" => {
+                        let v = take_value(&mut it, flag)?;
+                        let rates = v
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse::<f64>()
+                                    .ok()
+                                    .filter(|r| r.is_finite() && (0.0..=1.0).contains(r))
+                                    .ok_or_else(|| {
+                                        CliError(format!(
+                                            "invalid site rate {s:?} (probability in [0, 1] \
+                                             expected)"
+                                        ))
+                                    })
+                            })
+                            .collect::<Result<Vec<f64>, CliError>>()?;
+                        site_rates = Some(rates);
+                    }
                     "--retry-budget" => {
                         let v = take_value(&mut it, flag)?;
                         retry_budget = Some(v.parse().map_err(|_| {
@@ -250,6 +289,9 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     "unknown network {network:?} — run `smctl networks`"
                 )));
             }
+            if site_rates.is_some() && !grid {
+                return Err(CliError("--site-rate requires --grid".into()));
+            }
             Ok(match cmd {
                 "compare" => Command::Compare {
                     network,
@@ -269,6 +311,8 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     retry_budget,
                     budget_sweep,
                     grid,
+                    site_rates,
+                    control_path,
                     json,
                 },
                 _ => Command::Verify { network, seed },
@@ -358,8 +402,10 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             let net = network_by_name(network, *batch)
                 .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
             let cfg = AccelConfig::default();
-            let bounds = analysis::ReuseBounds::of(&net, cfg, Policy::shortcut_mining());
-            let cap95 = analysis::capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95);
+            let bounds = analysis::ReuseBounds::of(&net, cfg, Policy::shortcut_mining())
+                .map_err(|e| CliError(format!("analysis failed: {e}")))?;
+            let cap95 = analysis::capacity_for_fraction(&net, cfg, Policy::shortcut_mining(), 0.95)
+                .map_err(|e| CliError(format!("analysis failed: {e}")))?;
             let _ = writeln!(out, "{} batch {batch}", net.name());
             let _ = writeln!(
                 out,
@@ -454,11 +500,15 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             retry_budget,
             budget_sweep,
             grid,
+            site_rates,
+            control_path,
             json,
         } => {
             use sm_bench::experiments::{
-                chaos_degradation_with_budget, chaos_grid, retry_budget_sweep, DEFAULT_FRACTIONS,
-                DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
+                chaos_degradation_with_budget, chaos_grid, chaos_grid3, control_path_sweep,
+                retry_budget_sweep, CONTROL_PATH_POLICIES, DEFAULT_CONTROL_PATH_RATES,
+                DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES,
+                DEFAULT_RETRY_BUDGETS,
             };
             let nets: Vec<Network> = if network == "headline" {
                 vec![
@@ -469,6 +519,59 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 vec![network_by_name(network, *batch)
                     .ok_or_else(|| CliError(format!("unknown network {network:?}")))?]
             };
+            if *control_path {
+                let studies: Vec<_> = nets
+                    .iter()
+                    .map(|net| {
+                        control_path_sweep(
+                            net,
+                            AccelConfig::default(),
+                            *seed,
+                            &CONTROL_PATH_POLICIES,
+                            &DEFAULT_CONTROL_PATH_RATES,
+                            *retry_budget,
+                        )
+                    })
+                    .collect();
+                if *json {
+                    let body =
+                        sm_bench::json::to_json(&studies).map_err(|e| CliError(e.to_string()))?;
+                    let _ = writeln!(out, "{body}");
+                } else {
+                    for study in &studies {
+                        let _ = writeln!(out, "{}", study.table().render());
+                    }
+                }
+                return Ok(out);
+            }
+            if let (true, Some(sites)) = (*grid, site_rates.as_deref()) {
+                let grids: Vec<_> = nets
+                    .iter()
+                    .map(|net| {
+                        chaos_grid3(
+                            net,
+                            AccelConfig::default(),
+                            *seed,
+                            &DEFAULT_GRID_FRACTIONS,
+                            &DEFAULT_GRID_RATES,
+                            sites,
+                            *retry_budget,
+                        )
+                    })
+                    .collect();
+                if *json {
+                    let body =
+                        sm_bench::json::to_json(&grids).map_err(|e| CliError(e.to_string()))?;
+                    let _ = writeln!(out, "{body}");
+                } else {
+                    for g in &grids {
+                        for t in g.tables() {
+                            let _ = writeln!(out, "{}", t.render());
+                        }
+                    }
+                }
+                return Ok(out);
+            }
             if *grid {
                 let grids: Vec<_> = nets
                     .iter()
@@ -683,6 +786,8 @@ mod tests {
                 retry_budget: None,
                 budget_sweep: false,
                 grid: false,
+                site_rates: None,
+                control_path: false,
                 json: false,
             }
         );
@@ -746,6 +851,75 @@ mod tests {
         assert!(json_out.trim_start().starts_with('['));
         assert!(json_out.contains(r#""bank_fail_fraction":"#));
         assert!(json_out.contains(r#""dram_fault_rate":"#));
+    }
+
+    #[test]
+    fn chaos_grid3_parses_runs_and_emits_json() {
+        let cmd = parse(["chaos", "toy_residual", "--grid", "--site-rate", "0.0,0.5"]).unwrap();
+        match &cmd {
+            Command::Chaos {
+                grid, site_rates, ..
+            } => {
+                assert!(grid);
+                assert_eq!(site_rates.as_deref(), Some(&[0.0, 0.5][..]));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("site rate 0.5"));
+        assert!(out.contains("banks failed"));
+        let json_out = execute(
+            &parse([
+                "chaos",
+                "toy_residual",
+                "--grid",
+                "--site-rate",
+                "0.5",
+                "--json",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(json_out.contains(r#""site_fault_rate":"#));
+        // Malformed lists and a bare --site-rate are rejected.
+        assert!(parse(["chaos", "toy_residual", "--grid", "--site-rate", "x"]).is_err());
+        assert!(parse(["chaos", "toy_residual", "--grid", "--site-rate", "1.5"]).is_err());
+        assert!(parse(["chaos", "toy_residual", "--site-rate", "0.1"]).is_err());
+    }
+
+    #[test]
+    fn chaos_control_path_defaults_to_headline_and_reports_policies() {
+        // A flag right after `chaos` (or nothing at all) defaults the
+        // network to the headline pair.
+        match parse(["chaos", "--control-path"]).unwrap() {
+            Command::Chaos {
+                network,
+                control_path,
+                ..
+            } => {
+                assert_eq!(network, "headline");
+                assert!(control_path);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse(["chaos"]).unwrap(),
+            Command::Chaos { network, .. } if network == "headline"
+        ));
+        // Other commands still require an explicit network.
+        assert!(parse(["analyze"]).is_err());
+        // Run on a tiny network to keep the test fast.
+        let out =
+            execute(&parse(["chaos", "toy_residual", "--control-path", "--seed", "11"]).unwrap())
+                .unwrap();
+        assert!(out.contains("control-path degradation"));
+        for policy in ["Abort", "RefetchTile", "RecomputeLayer"] {
+            assert!(out.contains(policy), "missing {policy}:\n{out}");
+        }
+        let json_out =
+            execute(&parse(["chaos", "toy_residual", "--control-path", "--json"]).unwrap())
+                .unwrap();
+        assert!(json_out.contains(r#""recovered_recompute":"#));
     }
 
     #[test]

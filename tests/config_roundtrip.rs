@@ -102,6 +102,96 @@ fn fault_plan_roundtrips_with_site_fields() {
 }
 
 #[test]
+fn serde_rename_controls_the_wire_key_and_roundtrips() {
+    // Field-level `#[serde(rename)]` support in the vendored derive: the
+    // wire key is the renamed one (alone and combined with `default`).
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Renamed {
+        #[serde(rename = "wire_name")]
+        local_name: u32,
+        #[serde(default, rename = "optional_wire")]
+        optional_local: f64,
+    }
+    let value = Renamed {
+        local_name: 7,
+        optional_local: 0.5,
+    };
+    let json = to_json(&value).unwrap();
+    assert!(json.contains(r#""wire_name":7"#), "{json}");
+    assert!(json.contains(r#""optional_wire":0.5"#), "{json}");
+    assert!(!json.contains("local_name"), "{json}");
+    assert_eq!(roundtrip(&value), value);
+    // The renamed key is the only accepted spelling; the Rust name errors.
+    assert!(from_json::<Renamed>(r#"{"local_name":7}"#).is_err());
+    // A renamed `default` field may still be absent.
+    assert_eq!(
+        from_json::<Renamed>(r#"{"wire_name":7}"#).unwrap(),
+        Renamed {
+            local_name: 7,
+            optional_local: 0.0,
+        }
+    );
+}
+
+#[test]
+fn fault_plan_roundtrips_with_control_path_fields() {
+    use shortcut_mining::core::RecoveryPolicy;
+    let plan = FaultPlan::new(23)
+        .with_bcu_faults(0.2, Protection::Ecc)
+        .with_multi_bit(0.4, 0.1)
+        .with_recovery(RecoveryPolicy::RecomputeLayer);
+    assert_eq!(roundtrip(&plan), plan);
+    // The width/recovery fields serialize under their renamed wire keys.
+    let json = to_json(&plan).unwrap();
+    assert!(json.contains(r#""multi_bit_double_rate":0.4"#), "{json}");
+    assert!(json.contains(r#""multi_bit_triple_rate":0.1"#), "{json}");
+    assert!(
+        json.contains(r#""recovery_policy":"RecomputeLayer""#),
+        "{json}"
+    );
+    assert!(!json.contains("mbu_double_rate"), "{json}");
+}
+
+#[test]
+fn pre_control_path_fault_plan_json_still_loads() {
+    // A plan serialized before the BCU / multi-bit / recovery fields
+    // existed: the six original fields plus the weight/PE site fields.
+    // `#[serde(default)]` must fill the control-path fields with
+    // inject-nothing defaults instead of erroring.
+    let json = r#"{
+        "seed": 9,
+        "bank_fail_fraction": 0.1,
+        "dram_fault_rate": 0.02,
+        "max_retries": 4,
+        "retry_stall_cycles": 96,
+        "corruption_rate": 0.0,
+        "weight_fault_rate": 0.2,
+        "weight_protection": "Ecc",
+        "pe_fault_rate": 0.1,
+        "pe_protection": "Parity"
+    }"#;
+    let plan: FaultPlan = from_json(json).unwrap_or_else(|e| panic!("old plan: {e}"));
+    assert_eq!(plan.seed, 9);
+    assert_eq!(plan.weight_protection, Protection::Ecc);
+    assert_eq!(plan.bcu_fault_rate, 0.0);
+    assert_eq!(plan.bcu_protection, Protection::None);
+    assert_eq!(plan.mbu_double_rate, 0.0);
+    assert_eq!(plan.mbu_triple_rate, 0.0);
+    assert_eq!(plan.recovery, shortcut_mining::core::RecoveryPolicy::Abort);
+    // A present-but-malformed control-path field is still a hard error.
+    let bad = r#"{
+        "seed": 1,
+        "bank_fail_fraction": 0.0,
+        "dram_fault_rate": 0.0,
+        "max_retries": 3,
+        "retry_stall_cycles": 64,
+        "corruption_rate": 0.0,
+        "recovery_policy": "RollbackEpoch"
+    }"#;
+    assert!(from_json::<FaultPlan>(bad).is_err());
+}
+
+#[test]
 fn pre_site_fault_plan_json_still_loads() {
     // A plan serialized before the weight-SRAM / PE-array fields existed:
     // exactly the original six fields. `#[serde(default)]` must fill the

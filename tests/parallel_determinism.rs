@@ -8,9 +8,10 @@
 
 use shortcut_mining::accel::AccelConfig;
 use shortcut_mining::bench::experiments::{
-    chaos_degradation, chaos_grid, fig10_traffic_reduction, fig11_traffic_breakdown,
-    fig13_throughput, fig14_capacity_sweep, fig15_batch_sweep, retry_budget_sweep,
-    DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
+    chaos_degradation, chaos_grid, chaos_grid3, control_path_sweep, fig10_traffic_reduction,
+    fig11_traffic_breakdown, fig13_throughput, fig14_capacity_sweep, fig15_batch_sweep,
+    retry_budget_sweep, CONTROL_PATH_POLICIES, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS,
+    DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_GRID_SITE_RATES, DEFAULT_RETRY_BUDGETS,
 };
 use shortcut_mining::bench::json::to_json;
 use shortcut_mining::core::parallel::set_threads;
@@ -42,6 +43,29 @@ fn render_all() -> String {
     );
     out.push_str(&grid.table().render());
     out.push_str(&to_json(&grid).expect("grid serializes"));
+    let grid3 = chaos_grid3(
+        &net,
+        cfg,
+        9,
+        &DEFAULT_GRID_FRACTIONS,
+        &DEFAULT_GRID_RATES,
+        &DEFAULT_GRID_SITE_RATES,
+        Some(8),
+    );
+    for t in grid3.tables() {
+        out.push_str(&t.render());
+    }
+    out.push_str(&to_json(&grid3).expect("grid3 serializes"));
+    let control = control_path_sweep(
+        &net,
+        cfg,
+        9,
+        &CONTROL_PATH_POLICIES,
+        &DEFAULT_CONTROL_PATH_RATES,
+        None,
+    );
+    out.push_str(&control.table().render());
+    out.push_str(&to_json(&control).expect("control-path study serializes"));
     out
 }
 

@@ -5,10 +5,13 @@
 //! offline), so it hand-parses the item grammar the workspace actually
 //! uses: non-generic structs (named, tuple, unit) and enums whose variants
 //! are unit, newtype, tuple, or struct shaped. Generics are unsupported and
-//! produce a compile error. The only helper attribute recognised is
-//! `#[serde(default)]` on named struct fields: deserialization fills an
-//! absent key with `Default::default()` instead of erroring, which is how
-//! configs written before a field existed keep round-tripping. Any other
+//! produce a compile error. Two helper attributes are recognised on named
+//! struct fields: `#[serde(default)]` — deserialization fills an absent key
+//! with `Default::default()` instead of erroring, which is how configs
+//! written before a field existed keep round-tripping — and
+//! `#[serde(rename = "key")]` — the field serializes under `key` and
+//! deserializes from it, so a Rust-side rename can keep the JSON wire name
+//! stable (both may appear in one attribute, comma-separated). Any other
 //! `#[serde(...)]` content is a compile error, not a silent no-op.
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
@@ -32,10 +35,27 @@ enum Fields {
 }
 
 /// One named field, plus whether `#[serde(default)]` marked it optional
-/// for deserialization.
+/// for deserialization and any `#[serde(rename = "...")]` wire name.
 struct Field {
     name: String,
     default: bool,
+    rename: Option<String>,
+}
+
+impl Field {
+    /// The key this field uses on the wire: the rename if given, the Rust
+    /// field name otherwise.
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Field-level serde attribute contents accumulated across a field's
+/// `#[serde(...)]` attributes.
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    rename: Option<String>,
 }
 
 struct Variant {
@@ -129,19 +149,18 @@ impl Cursor {
     }
 
     /// Like [`Cursor::skip_attrs_and_vis`], but inspects each attribute and
-    /// reports whether `#[serde(default)]` was among them. Other `#[serde]`
-    /// contents are rejected rather than silently dropped.
-    fn take_attrs_and_vis(&mut self) -> Result<bool, String> {
-        let mut default = false;
+    /// collects any `#[serde(default)]` / `#[serde(rename = "...")]` items
+    /// among them. Other `#[serde]` contents are rejected rather than
+    /// silently dropped.
+    fn take_attrs_and_vis(&mut self) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
         loop {
             match self.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     self.pos += 1;
                     if let Some(TokenTree::Group(g)) = self.peek().cloned() {
                         self.pos += 1;
-                        if attr_is_serde_default(&g)? {
-                            default = true;
-                        }
+                        parse_serde_attr(&g, &mut attrs)?;
                     }
                 }
                 Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
@@ -153,7 +172,7 @@ impl Cursor {
                         self.pos += 1;
                     }
                 }
-                _ => return Ok(default),
+                _ => return Ok(attrs),
             }
         }
     }
@@ -166,27 +185,64 @@ impl Cursor {
     }
 }
 
-/// Whether a bracketed attribute body is exactly `serde(default)`.
-/// Non-`serde` attributes (docs, `derive`, lints) return `Ok(false)`;
-/// `serde` attributes with any other content are an error so typos like
-/// `#[serde(defualt)]` fail loudly instead of deserializing strictly.
-fn attr_is_serde_default(attr: &Group) -> Result<bool, String> {
+/// Parses a bracketed attribute body into `attrs` if it is a `serde(...)`
+/// attribute. The supported grammar is a comma-separated list of
+/// `default` and `rename = "string"` items. Non-`serde` attributes (docs,
+/// `derive`, lints) are ignored; `serde` attributes with any other content
+/// are an error so typos like `#[serde(defualt)]` fail loudly instead of
+/// deserializing strictly.
+fn parse_serde_attr(attr: &Group, attrs: &mut FieldAttrs) -> Result<(), String> {
+    const UNSUPPORTED: &str = "serde_derive (vendored): only `#[serde(default)]` and \
+                               `#[serde(rename = \"...\")]` are supported";
     let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
     match tokens.first() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return Ok(false),
+        _ => return Ok(()),
     }
-    if let (2, Some(TokenTree::Group(inner))) = (tokens.len(), tokens.get(1)) {
-        if inner.delimiter() == Delimiter::Parenthesis {
-            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
-            if let (1, Some(TokenTree::Ident(i))) = (inner.len(), inner.first()) {
-                if i.to_string() == "default" {
-                    return Ok(true);
-                }
+    let inner = match (tokens.len(), tokens.get(1)) {
+        (2, Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err(UNSUPPORTED.into()),
+    };
+    let items: Vec<TokenTree> = inner.into_iter().collect();
+    let mut pos = 0;
+    while pos < items.len() {
+        match &items[pos] {
+            TokenTree::Ident(i) if i.to_string() == "default" => {
+                attrs.default = true;
+                pos += 1;
             }
+            TokenTree::Ident(i) if i.to_string() == "rename" => {
+                let eq = matches!(
+                    items.get(pos + 1),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '='
+                );
+                let lit = match items.get(pos + 2) {
+                    Some(TokenTree::Literal(l)) if eq => l.to_string(),
+                    _ => return Err(UNSUPPORTED.into()),
+                };
+                // The literal's display form keeps its quotes; accept only
+                // a plain (non-raw, escape-free) string literal.
+                let key = lit
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .filter(|s| !s.contains('\\'))
+                    .ok_or_else(|| {
+                        String::from(
+                            "serde_derive (vendored): `rename` takes a plain string literal",
+                        )
+                    })?;
+                attrs.rename = Some(key.to_string());
+                pos += 3;
+            }
+            _ => return Err(UNSUPPORTED.into()),
+        }
+        match items.get(pos) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            _ => return Err(UNSUPPORTED.into()),
         }
     }
-    Err("serde_derive (vendored): only `#[serde(default)]` is supported".into())
+    Ok(())
 }
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
@@ -234,7 +290,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut cur = Cursor::new(body);
     let mut fields = Vec::new();
     while !cur.at_end() {
-        let default = cur.take_attrs_and_vis()?;
+        let attrs = cur.take_attrs_and_vis()?;
         if cur.at_end() {
             break;
         }
@@ -244,7 +300,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
             other => return Err(format!("expected `:` after field name, found {other:?}")),
         }
         skip_type(&mut cur);
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            rename: attrs.rename,
+        });
     }
     Ok(fields)
 }
@@ -349,9 +409,10 @@ fn serialize_struct_body(name: &str, fields: &Fields) -> String {
                 len = names.len()
             );
             for f in names {
+                let key = f.key();
                 let f = &f.name;
                 body.push_str(&format!(
-                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, {f:?}, &self.{f})?;\n"
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, {key:?}, &self.{f})?;\n"
                 ));
             }
             body.push_str("::serde::ser::SerializeStruct::end(__st)");
@@ -422,10 +483,11 @@ fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
                     len = fields.len()
                 );
                 for f in fields {
+                    let key = f.key();
                     let f = &f.name;
                     arm.push_str(&format!(
                         "::serde::ser::SerializeStructVariant::serialize_field(\
-                             &mut __sv, {f:?}, {f})?;\n"
+                             &mut __sv, {key:?}, {f})?;\n"
                     ));
                 }
                 arm.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
@@ -463,19 +525,20 @@ fn construct_named(path: &str, fields: &[Field], source: &str) -> String {
         .iter()
         .map(|f| {
             let name = &f.name;
+            let key = f.key();
             if f.default {
                 // `#[serde(default)]`: an absent key falls back to the
                 // field type's `Default`; a present-but-malformed value
                 // still errors through `field_opt`.
                 format!(
-                    "{name}: match {source}.field_opt({name:?})? {{\n\
+                    "{name}: match {source}.field_opt({key:?})? {{\n\
                          ::core::option::Option::Some(__v) => __v,\n\
                          ::core::option::Option::None => \
                              ::core::default::Default::default(),\n\
                      }}"
                 )
             } else {
-                format!("{name}: {source}.field({name:?})?")
+                format!("{name}: {source}.field({key:?})?")
             }
         })
         .collect();
