@@ -58,4 +58,4 @@ pub use baseline::BaselineAccelerator;
 pub use config::{AccelConfig, SramPlan};
 pub use error::AccelError;
 pub use fused::FusedLayerAccelerator;
-pub use stats::{FaultStats, LayerReport, RunStats};
+pub use stats::{FaultStats, LayerReport, Plane, PlaneCounters, RunStats};

@@ -46,12 +46,70 @@ pub struct FaultStats {
     pub recovered_refetch: u64,
     /// DUEs repaired by re-executing the layer from resident inputs.
     pub recovered_recompute: u64,
+    /// Scheduler-state structures (retention table, pin set, spill queue)
+    /// struck at a layer boundary.
+    pub scheduler_faults: u64,
+    /// DUEs repaired by rolling back to the last layer-boundary checkpoint
+    /// of scheduler metadata and replaying forward.
+    pub recovered_rollback: u64,
+    /// DUE events broken down by fault plane; sums to `due_events`.
+    #[serde(rename = "due_events_per_plane")]
+    pub due_per_plane: PlaneCounters,
+    /// Recovery events broken down by fault plane; sums to
+    /// `recovered_refetch + recovered_recompute + recovered_rollback`.
+    #[serde(rename = "recoveries_per_plane")]
+    pub recovered_per_plane: PlaneCounters,
 }
 
 impl FaultStats {
     /// Whether any fault was recorded.
     pub fn any(&self) -> bool {
         *self != FaultStats::default()
+    }
+}
+
+/// Which hardware plane a fault event belongs to, for per-plane
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plane {
+    /// Data plane: the weight SRAM.
+    Data,
+    /// Compute plane: the PE array.
+    Compute,
+    /// Control plane: the BCU mapping table.
+    Control,
+    /// Scheduler plane: retention table, pin set, spill queue.
+    Scheduler,
+}
+
+/// Event counters split by fault plane. Each field mirrors a [`Plane`]
+/// variant; all-zero for fault-free runs so the JSON shape is stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct PlaneCounters {
+    /// Data-plane (weight SRAM) events.
+    pub data: u64,
+    /// Compute-plane (PE array) events.
+    pub compute: u64,
+    /// Control-plane (BCU mapping table) events.
+    pub control: u64,
+    /// Scheduler-plane (retention table / pin set / spill queue) events.
+    pub scheduler: u64,
+}
+
+impl PlaneCounters {
+    /// Mutable counter for one plane.
+    pub fn slot(&mut self, plane: Plane) -> &mut u64 {
+        match plane {
+            Plane::Data => &mut self.data,
+            Plane::Compute => &mut self.compute,
+            Plane::Control => &mut self.control,
+            Plane::Scheduler => &mut self.scheduler,
+        }
+    }
+
+    /// Sum over all planes.
+    pub fn total(&self) -> u64 {
+        self.data + self.compute + self.control + self.scheduler
     }
 }
 

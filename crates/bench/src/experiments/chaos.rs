@@ -1,6 +1,6 @@
 //! Graceful-degradation studies: traffic and throughput as hardware fails.
 //!
-//! Robustness extension beyond the paper, in four escalating sweeps:
+//! Robustness extension beyond the paper, in five escalating sweeps:
 //!
 //! * [`chaos_degradation`] — bank-failure fractions on one network;
 //! * [`chaos_grid`] — bank-failure fraction × DRAM fault rate (2-D);
@@ -8,7 +8,10 @@
 //!   site-strike axis under parity protection;
 //! * [`control_path_sweep`] — BCU mapping-table strikes under SECDED ECC
 //!   with a multi-bit width distribution, comparing the
-//!   [`RecoveryPolicy`] ladder (abort / refetch / recompute).
+//!   [`RecoveryPolicy`] ladder (abort / refetch / recompute);
+//! * [`scheduler_sweep`] — scheduler-metadata strikes (retention table,
+//!   pin set, spill queue) comparing all four recovery tiers including
+//!   checkpoint/rollback.
 //!
 //! Every run executes in checked mode under a deterministic [`FaultPlan`],
 //! so an accounting violation would surface as a typed error in the report
@@ -696,6 +699,216 @@ pub fn control_path_sweep(
     }
 }
 
+/// Default scheduler-state strike rates of the scheduler sweep (`smctl
+/// chaos --scheduler`): the fault-free anchor plus an escalating ladder.
+pub const DEFAULT_SCHEDULER_RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+
+/// Multi-bit width distribution of the scheduler sweep: 40% double-bit
+/// strikes (detected-uncorrectable under SECDED) …
+pub const SCHEDULER_DOUBLE_RATE: f64 = 0.4;
+
+/// … and 10% triple-plus strikes (silently aliasing past SECDED).
+pub const SCHEDULER_TRIPLE_RATE: f64 = 0.1;
+
+/// The full recovery-tier ladder compared by [`scheduler_sweep`],
+/// including the checkpoint/rollback rung.
+pub const SCHEDULER_POLICIES: [RecoveryPolicy; 4] = [
+    RecoveryPolicy::Abort,
+    RecoveryPolicy::RefetchTile,
+    RecoveryPolicy::RecomputeLayer,
+    RecoveryPolicy::Checkpoint,
+];
+
+/// One point of the scheduler-state degradation study: one checked run at
+/// a (recovery policy, scheduler strike rate) pair.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SchedulerPoint {
+    /// Recovery policy the run's fault plan used.
+    pub policy: RecoveryPolicy,
+    /// Per-boundary scheduler-state strike probability.
+    pub scheduler_fault_rate: f64,
+    /// Whether the run completed (Abort refuses at the first DUE).
+    pub completed: bool,
+    /// Display form of the [`sm_core::SimError`] when not completed.
+    pub error: Option<String>,
+    /// Scheduler-state strikes that landed (retention table, pin set,
+    /// spill queue).
+    pub scheduler_faults: u64,
+    /// Detected-uncorrectable (multi-bit) ECC events.
+    pub due_events: u64,
+    /// DUEs recovered by re-fetching from DRAM.
+    pub recovered_refetch: u64,
+    /// DUEs recovered by recomputing from still-resident inputs.
+    pub recovered_recompute: u64,
+    /// DUEs recovered by rolling back to the last layer-boundary
+    /// checkpoint and replaying forward.
+    pub recovered_rollback: u64,
+    /// Strikes that defeated the protection silently (3+-bit aliasing).
+    pub silent_faults: u64,
+    /// Bytes re-transferred for fault recovery (`TrafficClass::Retry`).
+    pub retry_bytes: u64,
+    /// All off-chip bytes.
+    pub total_bytes: u64,
+    /// End-to-end cycles (0 when the run did not complete).
+    pub total_cycles: u64,
+    /// Sustained throughput in GOP/s (0 when the run did not complete).
+    pub throughput_gops: f64,
+}
+
+/// Scheduler-state degradation study for one network: how each recovery
+/// tier degrades as the scheduler-metadata strike rate rises
+/// (`smctl chaos --scheduler`, EXPERIMENTS Ext-15).
+///
+/// The fault plan puts the scheduler's retention table, pin set, and spill
+/// queue under SECDED ECC with a non-trivial multi-bit width distribution
+/// ([`SCHEDULER_DOUBLE_RATE`] / [`SCHEDULER_TRIPLE_RATE`]), so single-bit
+/// strikes are corrected in place, double-bit strikes become DUEs routed
+/// to the policy under test, and triple-plus strikes alias silently
+/// (caught by the boundary consistency hash in checked value replay). The
+/// `Checkpoint` rung rolls back to the last consistent layer-boundary
+/// snapshot of scheduler metadata and replays forward, charging only the
+/// operands that were not kept resident — strictly no more than
+/// `RecomputeLayer` pays.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SchedulerStudy {
+    /// Network name.
+    pub network: String,
+    /// Fault-plan seed shared by every point.
+    pub seed: u64,
+    /// Compared recovery policies (outer axis).
+    pub policies: Vec<RecoveryPolicy>,
+    /// Swept scheduler strike rates (inner axis).
+    pub rates: Vec<f64>,
+    /// Row-major points (`policies.len() * rates.len()`).
+    pub points: Vec<SchedulerPoint>,
+}
+
+impl SchedulerStudy {
+    /// The point at (policy index, rate index).
+    pub fn point(&self, policy_idx: usize, rate_idx: usize) -> &SchedulerPoint {
+        &self.points[policy_idx * self.rates.len() + rate_idx]
+    }
+
+    /// Renders the study as an aligned text table: one row per
+    /// (policy, strike rate) pair.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("scheduler-state degradation — {}", self.network),
+            &[
+                "policy",
+                "sched rate",
+                "status",
+                "strikes",
+                "DUEs",
+                "refetched",
+                "recomputed",
+                "rolled back",
+                "silent",
+                "retry MiB",
+                "GOP/s",
+            ],
+        );
+        for p in &self.points {
+            t.row(&[
+                format!("{:?}", p.policy),
+                format!("{}", p.scheduler_fault_rate),
+                if p.completed {
+                    "ok".to_string()
+                } else {
+                    p.error.clone().unwrap_or_else(|| "error".into())
+                },
+                p.scheduler_faults.to_string(),
+                p.due_events.to_string(),
+                p.recovered_refetch.to_string(),
+                p.recovered_recompute.to_string(),
+                p.recovered_rollback.to_string(),
+                p.silent_faults.to_string(),
+                format!("{:.3}", p.retry_bytes as f64 / (1 << 20) as f64),
+                format!("{:.1}", p.throughput_gops),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps the four-tier recovery ladder against an escalating
+/// scheduler-state strike rate on one network, one checked Shortcut Mining
+/// run per (policy, rate) pair as a single flattened parallel batch.
+///
+/// Only scheduler metadata is struck (no bank, DRAM, weight, PE, or BCU
+/// faults), so the study isolates what each rung pays to survive a
+/// corrupted retention record: `RefetchTile` conservatively re-DMAs every
+/// operand, `RecomputeLayer` replays from still-resident inputs, and
+/// `Checkpoint` restores the last consistent metadata snapshot and pays
+/// only for the operands it could not keep resident. `retry_budget`
+/// overrides the [`FaultPlan`] default when `Some`.
+pub fn scheduler_sweep(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    policies: &[RecoveryPolicy],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+) -> SchedulerStudy {
+    let exp = sm_core::Experiment::new(config);
+    let pairs: Vec<(RecoveryPolicy, f64)> = policies
+        .iter()
+        .flat_map(|&p| rates.iter().map(move |&r| (p, r)))
+        .collect();
+    let points = par_map_auto(&pairs, |&(policy, rate)| {
+        let mut plan = FaultPlan::new(seed)
+            .with_scheduler_faults(rate, Protection::Ecc)
+            .with_multi_bit(SCHEDULER_DOUBLE_RATE, SCHEDULER_TRIPLE_RATE)
+            .with_recovery(policy);
+        if let Some(budget) = retry_budget {
+            let stall = plan.retry_stall_cycles;
+            plan = plan.with_retry_budget(budget, stall);
+        }
+        let options = SimOptions::with_faults(plan);
+        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+            Ok(run) => SchedulerPoint {
+                policy,
+                scheduler_fault_rate: rate,
+                completed: true,
+                error: None,
+                scheduler_faults: run.stats.faults.scheduler_faults,
+                due_events: run.stats.faults.due_events,
+                recovered_refetch: run.stats.faults.recovered_refetch,
+                recovered_recompute: run.stats.faults.recovered_recompute,
+                recovered_rollback: run.stats.faults.recovered_rollback,
+                silent_faults: run.stats.faults.silent_faults,
+                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                total_bytes: run.stats.total_traffic_bytes(),
+                total_cycles: run.stats.total_cycles,
+                throughput_gops: run.stats.throughput_gops(),
+            },
+            Err(e) => SchedulerPoint {
+                policy,
+                scheduler_fault_rate: rate,
+                completed: false,
+                error: Some(e.to_string()),
+                scheduler_faults: 0,
+                due_events: 0,
+                recovered_refetch: 0,
+                recovered_recompute: 0,
+                recovered_rollback: 0,
+                silent_faults: 0,
+                retry_bytes: 0,
+                total_bytes: 0,
+                total_cycles: 0,
+                throughput_gops: 0.0,
+            },
+        }
+    });
+    SchedulerStudy {
+        network: net.name().to_string(),
+        seed,
+        policies: policies.to_vec(),
+        rates: rates.to_vec(),
+        points,
+    }
+}
+
 /// The default retry budgets swept by [`retry_budget_sweep`].
 pub const DEFAULT_RETRY_BUDGETS: [u32; 5] = [0, 1, 2, 4, 8];
 
@@ -1017,6 +1230,96 @@ mod tests {
         let rendered = study.table().render();
         assert!(rendered.contains("control-path degradation"));
         assert!(rendered.contains("RecomputeLayer"));
+    }
+
+    #[test]
+    fn scheduler_tiers_diverge_and_checkpoint_beats_recompute() {
+        let net = zoo::resnet_tiny(2, 1);
+        let study = scheduler_sweep(
+            &net,
+            AccelConfig::default(),
+            13,
+            &SCHEDULER_POLICIES,
+            &[0.0, 1.0],
+            None,
+        );
+        assert_eq!(study.points.len(), 8);
+        // Fault-free anchor completes under every tier with zero strikes
+        // and zero retry traffic — the checkpoint plumbing is free.
+        for pi in 0..SCHEDULER_POLICIES.len() {
+            let p = study.point(pi, 0);
+            assert!(p.completed, "{:?}: {:?}", p.policy, p.error);
+            assert_eq!(
+                (p.scheduler_faults, p.retry_bytes),
+                (0, 0),
+                "{:?}",
+                p.policy
+            );
+        }
+        let abort = study.point(0, 1);
+        let refetch = study.point(1, 1);
+        let recompute = study.point(2, 1);
+        let rollback = study.point(3, 1);
+        // At rate 1.0 with 40% double-bit strikes some DUE lands, and the
+        // Abort tier refuses with the typed unrecoverable error.
+        assert!(!abort.completed, "abort must refuse at the first DUE");
+        assert!(
+            abort
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("uncorrectable"),
+            "{:?}",
+            abort.error
+        );
+        // The surviving tiers see the same strike stream.
+        for p in [refetch, recompute, rollback] {
+            assert!(p.completed, "{:?}: {:?}", p.policy, p.error);
+            assert!(p.due_events > 0, "{:?}", p.policy);
+        }
+        assert_eq!(refetch.due_events, recompute.due_events, "same seed");
+        assert_eq!(recompute.due_events, rollback.due_events, "same seed");
+        assert!(rollback.recovered_rollback > 0, "rollbacks must fire");
+        // The tentpole ordering: rolling back to a consistent checkpoint
+        // pays no more than recomputing, which pays no more than a full
+        // tile refetch.
+        assert!(
+            rollback.retry_bytes <= recompute.retry_bytes,
+            "rollback {} vs recompute {}",
+            rollback.retry_bytes,
+            recompute.retry_bytes
+        );
+        assert!(
+            recompute.retry_bytes <= refetch.retry_bytes,
+            "recompute {} vs refetch {}",
+            recompute.retry_bytes,
+            refetch.retry_bytes
+        );
+        let rendered = study.table().render();
+        assert!(rendered.contains("scheduler-state degradation"));
+        assert!(rendered.contains("Checkpoint"));
+    }
+
+    #[test]
+    fn scheduler_sweep_is_deterministic_for_a_fixed_seed() {
+        let net = zoo::toy_residual(1);
+        let a = scheduler_sweep(
+            &net,
+            AccelConfig::default(),
+            7,
+            &SCHEDULER_POLICIES,
+            &DEFAULT_SCHEDULER_RATES,
+            Some(8),
+        );
+        let b = scheduler_sweep(
+            &net,
+            AccelConfig::default(),
+            7,
+            &SCHEDULER_POLICIES,
+            &DEFAULT_SCHEDULER_RATES,
+            Some(8),
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! | Ext. 6 | [`chaos_degradation`] | graceful degradation under injected faults |
 //! | Ext. 7 | [`retry_budget_sweep`] | retry-budget sensitivity under DRAM faults |
 //! | Ext. 8 | [`chaos_grid`] | 2-D bank-failure × DRAM-fault degradation grid |
+//! | Ext. 14 | [`control_path_sweep`] | BCU-strike recovery-policy ladder |
+//! | Ext. 15 | [`scheduler_sweep`] | scheduler-state strikes vs four recovery tiers |
 
 mod ablation;
 mod chaos;
@@ -36,11 +38,12 @@ mod sensitivity;
 pub use ablation::{table3_ablation, AblationResult};
 pub use chaos::{
     chaos_degradation, chaos_degradation_with_budget, chaos_grid, chaos_grid3, control_path_sweep,
-    retry_budget_sweep, ChaosCurve, ChaosGrid, ChaosGrid3, ChaosGrid3Cell, ChaosGridCell,
-    ChaosPoint, ControlPathPoint, ControlPathStudy, RetryBudgetPoint, RetryBudgetStudy,
-    CONTROL_PATH_DOUBLE_RATE, CONTROL_PATH_POLICIES, CONTROL_PATH_TRIPLE_RATE,
-    DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES,
-    DEFAULT_GRID_SITE_RATES, DEFAULT_RETRY_BUDGETS,
+    retry_budget_sweep, scheduler_sweep, ChaosCurve, ChaosGrid, ChaosGrid3, ChaosGrid3Cell,
+    ChaosGridCell, ChaosPoint, ControlPathPoint, ControlPathStudy, RetryBudgetPoint,
+    RetryBudgetStudy, SchedulerPoint, SchedulerStudy, CONTROL_PATH_DOUBLE_RATE,
+    CONTROL_PATH_POLICIES, CONTROL_PATH_TRIPLE_RATE, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS,
+    DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_GRID_SITE_RATES, DEFAULT_RETRY_BUDGETS,
+    DEFAULT_SCHEDULER_RATES, SCHEDULER_DOUBLE_RATE, SCHEDULER_POLICIES, SCHEDULER_TRIPLE_RATE,
 };
 pub use energy::{fig16_energy, EnergyResult};
 pub use extensions::{

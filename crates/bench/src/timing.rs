@@ -55,6 +55,11 @@ pub struct BenchReport {
     pub plan_speedup: f64,
     /// Cache hits observed during the warm replay.
     pub plan_cache_hits: u64,
+    /// Provenance note for readers of the committed artifact: when the host
+    /// offers a single core (pinned CI container, as for the committed
+    /// `BENCH_parallel.json`), `suite_speedup` can only measure threading
+    /// overhead, not a parallel win.
+    pub provenance: String,
 }
 
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -132,9 +137,18 @@ pub fn run_bench(threads: usize) -> BenchReport {
     let plan_warm_ms = median_ms(5, plan_all);
     let (hits_after, _) = plan_cache_stats();
 
+    let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let provenance = if available_cores == 1 {
+        format!(
+            "measured in a 1-core container: suite_speedup reflects threading \
+             overhead at {threads} workers, not a parallel win"
+        )
+    } else {
+        format!("measured on {available_cores} cores with {threads} workers")
+    };
     BenchReport {
         threads,
-        available_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        available_cores,
         suite_serial_ms,
         suite_parallel_ms,
         suite_speedup: suite_serial_ms / suite_parallel_ms,
@@ -146,6 +160,7 @@ pub fn run_bench(threads: usize) -> BenchReport {
         plan_warm_ms,
         plan_speedup: plan_cold_ms / plan_warm_ms,
         plan_cache_hits: hits_after - hits_before,
+        provenance,
     }
 }
 
@@ -155,7 +170,8 @@ impl BenchReport {
         format!(
             "suite: {:.0} ms serial -> {:.0} ms on {} threads, {} core(s) ({:.2}x, outputs identical: {})\n\
              conv 64x56x56 k3: {:.1} ms direct -> {:.1} ms im2col+gemm ({:.2}x)\n\
-             tiling plans: {:.3} ms cold -> {:.3} ms warm ({:.1}x, {} hits)\n",
+             tiling plans: {:.3} ms cold -> {:.3} ms warm ({:.1}x, {} hits)\n\
+             provenance: {}\n",
             self.suite_serial_ms,
             self.suite_parallel_ms,
             self.threads,
@@ -169,6 +185,7 @@ impl BenchReport {
             self.plan_warm_ms,
             self.plan_speedup,
             self.plan_cache_hits,
+            self.provenance,
         )
     }
 }

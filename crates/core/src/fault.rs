@@ -41,6 +41,11 @@ use sm_buffer::BankId;
 /// Seed salt separating the site-fault stream from the bank/DRAM stream.
 const SITE_STREAM_SALT: u64 = 0x517E_FA17_0DD5_EED5;
 
+/// Seed salt separating the scheduler-state stream from both the bank/DRAM
+/// stream and the site stream, so enabling scheduler faults leaves every
+/// pre-existing fault class byte-identical.
+const SCHED_STREAM_SALT: u64 = 0x5C4E_DD1E_57A7_E5ED;
+
 /// Deterministic pseudo-random source (SplitMix64), kept private to this
 /// module so the fault stream never depends on an external RNG's version.
 #[derive(Debug, Clone)]
@@ -159,6 +164,34 @@ pub enum RecoveryPolicy {
     /// compute cycles and only the non-resident operand bytes as Retry
     /// traffic.
     RecomputeLayer,
+    /// Roll back to the last layer-boundary checkpoint of scheduler
+    /// metadata and replay forward. The checkpoint preserves the retention
+    /// table, bank labels and pin set, so the replay serves every operand
+    /// that was resident at the boundary from chip and re-streams only the
+    /// layer's plain input bytes — at most what `RecomputeLayer` moves,
+    /// and strictly less wherever shortcut mining kept operands resident.
+    /// Falls back to `RecomputeLayer` when no checkpoint exists yet (a
+    /// strike on the very first layer).
+    Checkpoint,
+}
+
+/// Per-run allowances for the recovery tiers, enabling graceful budget
+/// escalation instead of a cliff: when a tier's allowance is spent, the
+/// next DUE escalates one rung along
+/// `RefetchTile → RecomputeLayer → Checkpoint → Abort`. Every field
+/// defaults to `None` (unlimited), which reproduces the pre-budget
+/// behavior exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryBudget {
+    /// Tile refetches allowed per run (`None` = unlimited).
+    #[serde(default)]
+    pub refetches: Option<u32>,
+    /// Layer recomputes allowed per run (`None` = unlimited).
+    #[serde(default)]
+    pub recomputes: Option<u32>,
+    /// Checkpoint rollbacks allowed per run (`None` = unlimited).
+    #[serde(default)]
+    pub rollbacks: Option<u32>,
 }
 
 /// One layer's site-fault outcome, drawn from the dedicated site stream.
@@ -188,6 +221,25 @@ pub struct SiteFaultDraw {
     pub bcu_entry: u64,
     /// Bit width of the BCU table strike.
     pub bcu_width: StrikeWidth,
+}
+
+/// One layer boundary's scheduler-state strike outcome, drawn from the
+/// dedicated scheduler stream.
+///
+/// The raw `target` / `index` selectors are full-width draws; the simulator
+/// reduces `target` modulo the number of scheduler structures (retention
+/// table, pin set, spill queue) and `index` modulo the struck structure's
+/// entry count, so the draw count stays independent of run geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerFaultDraw {
+    /// Whether scheduler state is struck at this layer boundary.
+    pub struck: bool,
+    /// Raw selector for the struck structure.
+    pub target: u64,
+    /// Raw selector for the struck entry within that structure.
+    pub index: u64,
+    /// Bit width of the strike.
+    pub width: StrikeWidth,
 }
 
 /// A seedable, serializable description of the faults to inject into one
@@ -255,6 +307,18 @@ pub struct FaultPlan {
     /// What to do when an ECC-protected site reports a DUE.
     #[serde(default, rename = "recovery_policy")]
     pub recovery: RecoveryPolicy,
+    /// Per-layer probability that the scheduler's own state — a retention
+    /// record, a pin label, or a spill-queue entry — is struck at the
+    /// layer boundary.
+    #[serde(default)]
+    pub scheduler_fault_rate: f64,
+    /// Protection policy on the scheduler-state storage.
+    #[serde(default)]
+    pub scheduler_protection: Protection,
+    /// Per-run recovery-tier allowances; exhaustion escalates along the
+    /// ladder.
+    #[serde(default, rename = "recovery_budget")]
+    pub budget: RecoveryBudget,
 }
 
 impl Default for FaultPlan {
@@ -275,6 +339,9 @@ impl Default for FaultPlan {
             mbu_double_rate: 0.0,
             mbu_triple_rate: 0.0,
             recovery: RecoveryPolicy::Abort,
+            scheduler_fault_rate: 0.0,
+            scheduler_protection: Protection::None,
+            budget: RecoveryBudget::default(),
         }
     }
 }
@@ -353,9 +420,26 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-layer scheduler-state strike probability and the
+    /// protection policy guarding that storage.
+    pub fn with_scheduler_faults(mut self, rate: f64, protection: Protection) -> Self {
+        self.scheduler_fault_rate = rate.clamp(0.0, 1.0);
+        self.scheduler_protection = protection;
+        self
+    }
+
+    /// Sets the per-run recovery-tier budgets.
+    pub fn with_recovery_budget(mut self, budget: RecoveryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Whether the plan can inject anything at all. ECC protection alone
     /// also activates the plan: its per-access tax must be charged even
-    /// when no strike lands.
+    /// when no strike lands. (Scheduler-state ECC carries no tax — the
+    /// metadata is a few hundred bytes and its scrub hides in the layer
+    /// turnaround — but it still activates the plan so layer-boundary
+    /// checkpoints are taken.)
     pub fn is_active(&self) -> bool {
         self.bank_fail_fraction > 0.0
             || self.dram_fault_rate > 0.0
@@ -363,9 +447,11 @@ impl FaultPlan {
             || self.weight_fault_rate > 0.0
             || self.pe_fault_rate > 0.0
             || self.bcu_fault_rate > 0.0
+            || self.scheduler_fault_rate > 0.0
             || self.weight_protection == Protection::Ecc
             || self.pe_protection == Protection::Ecc
             || self.bcu_protection == Protection::Ecc
+            || self.scheduler_protection == Protection::Ecc
     }
 }
 
@@ -380,6 +466,9 @@ pub struct FaultInjector {
     /// Dedicated stream for weight-SRAM / PE-array strikes; fixed draw
     /// count per layer keeps strike sets monotone in the rates.
     site_rng: SplitMix64,
+    /// Dedicated stream for scheduler-state strikes; same fixed-draw
+    /// discipline, so all prior streams stay byte-identical.
+    sched_rng: SplitMix64,
     dram_fault_rate: f64,
     max_retries: u32,
     retry_stall_cycles: u64,
@@ -393,6 +482,9 @@ pub struct FaultInjector {
     mbu_double_rate: f64,
     mbu_triple_rate: f64,
     recovery: RecoveryPolicy,
+    scheduler_fault_rate: f64,
+    scheduler_protection: Protection,
+    budget: RecoveryBudget,
     /// `(layer, bank)` revocations, sorted by layer; consumed front to back.
     schedule: Vec<(usize, BankId)>,
     next_failure: usize,
@@ -424,6 +516,7 @@ impl FaultInjector {
         FaultInjector {
             rng,
             site_rng: SplitMix64::new(plan.seed ^ SITE_STREAM_SALT),
+            sched_rng: SplitMix64::new(plan.seed ^ SCHED_STREAM_SALT),
             dram_fault_rate: plan.dram_fault_rate,
             max_retries: plan.max_retries,
             retry_stall_cycles: plan.retry_stall_cycles,
@@ -437,6 +530,9 @@ impl FaultInjector {
             mbu_double_rate: plan.mbu_double_rate,
             mbu_triple_rate: plan.mbu_triple_rate,
             recovery: plan.recovery,
+            scheduler_fault_rate: plan.scheduler_fault_rate,
+            scheduler_protection: plan.scheduler_protection,
+            budget: plan.budget,
             schedule,
             next_failure: 0,
         }
@@ -529,6 +625,37 @@ impl FaultInjector {
             bcu_entry,
             bcu_width,
         }
+    }
+
+    /// Draws one layer boundary's scheduler-state strike outcome from the
+    /// dedicated scheduler stream.
+    ///
+    /// Exactly four draws are consumed regardless of the rate or outcome —
+    /// in order: strike, target structure, entry index, width — so at a
+    /// fixed seed the struck boundaries at a lower rate are a subset of
+    /// those at any higher rate, and enabling scheduler faults never
+    /// perturbs the bank/DRAM or site streams.
+    pub fn layer_scheduler_faults(&mut self) -> SchedulerFaultDraw {
+        let unit = self.sched_rng.unit();
+        let target = self.sched_rng.next_u64();
+        let index = self.sched_rng.next_u64();
+        let width_unit = self.sched_rng.unit();
+        SchedulerFaultDraw {
+            struck: unit < self.scheduler_fault_rate,
+            target,
+            index,
+            width: self.width_from_unit(width_unit),
+        }
+    }
+
+    /// Protection policy on the scheduler-state storage.
+    pub fn scheduler_protection(&self) -> Protection {
+        self.scheduler_protection
+    }
+
+    /// The per-run recovery-tier budgets.
+    pub fn recovery_budget(&self) -> RecoveryBudget {
+        self.budget
     }
 
     /// Protection policy on the weight SRAM.
@@ -749,6 +876,62 @@ mod tests {
         assert!(plan.is_active(), "the table-scrub tax applies strike-free");
         let quiet = FaultPlan::new(1).with_bcu_faults(0.0, Protection::Parity);
         assert!(!quiet.is_active());
+    }
+
+    #[test]
+    fn scheduler_strikes_are_monotone_and_leave_other_streams_alone() {
+        let layers = 48;
+        let mut prev: Vec<bool> = vec![false; layers];
+        for rate in [0.0, 0.2, 0.5, 1.0] {
+            let plan = FaultPlan::new(13)
+                .with_dram_faults(0.4)
+                .with_scheduler_faults(rate, Protection::Ecc);
+            let mut with_sched = FaultInjector::new(&plan, 16, layers);
+            let mut without =
+                FaultInjector::new(&FaultPlan::new(13).with_dram_faults(0.4), 16, layers);
+            for (i, p) in prev.iter_mut().enumerate() {
+                // The dedicated stream leaves bank/DRAM and site draws
+                // byte-identical to a scheduler-free plan.
+                assert_eq!(
+                    with_sched.banks_failing_at(i + 1),
+                    without.banks_failing_at(i + 1)
+                );
+                let d = with_sched.layer_scheduler_faults();
+                assert_eq!(with_sched.layer_site_faults(), without.layer_site_faults());
+                assert_eq!(with_sched.transfer_attempts(), without.transfer_attempts());
+                assert!(
+                    !*p || d.struck,
+                    "scheduler strike at layer {i} vanished as the rate rose to {rate}"
+                );
+                *p = d.struck;
+            }
+        }
+        assert!(prev.iter().all(|&s| s), "rate 1.0 strikes every boundary");
+    }
+
+    #[test]
+    fn scheduler_ecc_alone_activates_the_plan() {
+        let plan = FaultPlan::new(1).with_scheduler_faults(0.0, Protection::Ecc);
+        assert!(
+            plan.is_active(),
+            "checkpoints must be taken even when no strike can land"
+        );
+        let quiet = FaultPlan::new(1).with_scheduler_faults(0.0, Protection::Parity);
+        assert!(!quiet.is_active());
+    }
+
+    #[test]
+    fn default_recovery_budget_is_unlimited() {
+        let b = RecoveryBudget::default();
+        assert_eq!(b.refetches, None);
+        assert_eq!(b.recomputes, None);
+        assert_eq!(b.rollbacks, None);
+        let plan = FaultPlan::new(3).with_recovery_budget(RecoveryBudget {
+            refetches: Some(2),
+            ..RecoveryBudget::default()
+        });
+        assert_eq!(plan.budget.refetches, Some(2));
+        assert_eq!(plan.budget.rollbacks, None);
     }
 
     #[test]

@@ -22,7 +22,10 @@ use sm_model::exec::GoldenExecutor;
 use sm_model::{LayerId, Network};
 use sm_tensor::Tensor;
 
-use crate::{FaultOutcome, FaultSite, Policy, ShortcutMiner, SimError, SimOptions, TraceEvent};
+use crate::{
+    FaultOutcome, FaultSite, Policy, SchedStructure, ShortcutMiner, SimError, SimOptions,
+    TraceEvent,
+};
 
 /// Builds the localized mismatch diagnostic: the producing layer's name and
 /// the NCHW coordinate of the first element that differs from the golden
@@ -142,6 +145,17 @@ pub enum CheckError {
         /// Maximum absolute difference observed.
         max_diff: f32,
     },
+    /// The trace recorded a silent strike on the scheduler's own state.
+    /// Tensor values stay intact — the corruption degrades *decisions*
+    /// (residency, pinning, victim order) — but the layer-boundary
+    /// consistency hash over the scheduler metadata no longer matches, so
+    /// checked mode refuses to trust anything scheduled after it.
+    SchedulerCorrupt {
+        /// Layer boundary where the hash mismatch was detected.
+        layer: usize,
+        /// Scheduler structure the silent strike landed in.
+        structure: SchedStructure,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -186,6 +200,12 @@ impl fmt::Display for CheckError {
                  logical buffer {buffer}, observed {distance} layer(s) downstream; values \
                  differ by {max_diff}, first at element [n={}, c={}, h={}, w={}]",
                 coord[0], coord[1], coord[2], coord[3]
+            ),
+            CheckError::SchedulerCorrupt { layer, structure } => write!(
+                f,
+                "layer {layer}: silent strike on the scheduler's {}; the boundary \
+                 consistency hash over the scheduler metadata no longer matches",
+                structure.name()
             ),
         }
     }
@@ -406,6 +426,14 @@ pub fn verify_value_preservation_with(
                 ..
             } => {
                 if outcome == FaultOutcome::Silent {
+                    // A scheduler-state strike never touches tensor values,
+                    // so the value-corruption model below would be wrong for
+                    // it; the boundary consistency hash catches the metadata
+                    // mismatch instead, and the replay stops trusting the
+                    // schedule right there.
+                    if let FaultSite::Scheduler { structure } = site {
+                        return Err(CheckError::SchedulerCorrupt { layer, structure });
+                    }
                     if let FaultSite::BcuTable { buffer } = site {
                         bcu_strikes.insert(layer, buffer);
                     }
@@ -616,6 +644,64 @@ mod tests {
                 &SimOptions::with_faults(plan),
             )
             .unwrap_or_else(|e| panic!("{protection:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn silent_scheduler_strike_is_caught_by_the_consistency_hash() {
+        use crate::{FaultPlan, Protection};
+        // Every boundary strikes unprotected scheduler state: the replay
+        // must stop at the first silent strike with the typed diagnostic
+        // (values are intact, but the metadata hash no longer matches).
+        let net = zoo::resnet_tiny(2, 1);
+        let plan = FaultPlan::new(3).with_scheduler_faults(1.0, Protection::None);
+        let err = verify_value_preservation_with(
+            &net,
+            AccelConfig::default(),
+            Policy::shortcut_mining(),
+            7,
+            &SimOptions::with_faults(plan),
+        )
+        .expect_err("a silent scheduler strike must fail checked replay");
+        match &err {
+            CheckError::SchedulerCorrupt { layer, .. } => {
+                assert!(*layer >= 1 && *layer < net.len());
+            }
+            other => panic!("expected scheduler corruption, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("consistency hash"), "no hash in: {msg}");
+        assert!(msg.contains("scheduler"), "no structure in: {msg}");
+    }
+
+    #[test]
+    fn protected_scheduler_faults_preserve_values() {
+        use crate::{FaultPlan, Protection, RecoveryPolicy};
+        // Parity rebuilds from shadow state, ECC corrects single-bit
+        // strikes, and checkpoint rollback repairs double-bit DUEs: values
+        // hold bit-exactly in every case.
+        let net = zoo::resnet_tiny(2, 1);
+        let plans = [
+            FaultPlan::new(11).with_scheduler_faults(1.0, Protection::Parity),
+            FaultPlan::new(11).with_scheduler_faults(1.0, Protection::Ecc),
+            FaultPlan::new(11)
+                .with_scheduler_faults(1.0, Protection::Ecc)
+                .with_multi_bit(1.0, 0.0)
+                .with_recovery(RecoveryPolicy::Checkpoint),
+            FaultPlan::new(11)
+                .with_scheduler_faults(1.0, Protection::Ecc)
+                .with_multi_bit(1.0, 0.0)
+                .with_recovery(RecoveryPolicy::RecomputeLayer),
+        ];
+        for plan in plans {
+            verify_value_preservation_with(
+                &net,
+                AccelConfig::default(),
+                Policy::shortcut_mining(),
+                5,
+                &SimOptions::with_faults(plan.clone()),
+            )
+            .unwrap_or_else(|e| panic!("{plan:?}: {e}"));
         }
     }
 

@@ -67,7 +67,12 @@ pub mod parallel;
 
 pub use error::SimError;
 pub use experiment::{Comparison, Experiment};
-pub use fault::{FaultInjector, FaultPlan, Protection, RecoveryPolicy, SiteFaultDraw, StrikeWidth};
+pub use fault::{
+    FaultInjector, FaultPlan, Protection, RecoveryBudget, RecoveryPolicy, SchedulerFaultDraw,
+    SiteFaultDraw, StrikeWidth,
+};
 pub use policy::{AllocPriority, Policy, SpillOrder};
 pub use simulator::{ShortcutMiner, SimOptions, SmRun};
-pub use trace::{FaultOutcome, FaultSite, RecoveryAction, RetentionRecord, Trace, TraceEvent};
+pub use trace::{
+    FaultOutcome, FaultSite, RecoveryAction, RetentionRecord, SchedStructure, Trace, TraceEvent,
+};

@@ -7,14 +7,15 @@ use sm_accel::cycles::{
     vector_compute_cycles, LayerCycles,
 };
 use sm_accel::tiling::{plan_conv_cached, ConvDims, TileCaps, TilePlan};
-use sm_accel::{AccelConfig, AccelError, FaultStats, LayerReport, RunStats};
+use sm_accel::{AccelConfig, AccelError, FaultStats, LayerReport, Plane, RunStats};
 use sm_buffer::{BufferRole, LogicalBufferId, LogicalBuffers, Revocation};
 use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
 use sm_model::{Layer, LayerId, LayerKind, Network};
 
 use crate::{
     FaultInjector, FaultOutcome, FaultPlan, FaultSite, Policy, Protection, RecoveryAction,
-    RecoveryPolicy, RetentionRecord, SimError, SpillOrder, StrikeWidth, Trace, TraceEvent,
+    RecoveryPolicy, RetentionRecord, SchedStructure, SimError, SpillOrder, StrikeWidth, Trace,
+    TraceEvent,
 };
 
 /// SRAM-to-SRAM copy bandwidth in bytes per cycle, charged only under the
@@ -66,6 +67,50 @@ impl Resident {
         );
         self.total_elems.saturating_sub(self.resident_elems)
     }
+}
+
+/// Layer-boundary snapshot of scheduler metadata: the retention table,
+/// bank labels and pin set — metadata only, no tensor payloads, so the
+/// snapshot is a few hundred bytes and costs nothing to take. A
+/// `RecoveryPolicy::Checkpoint` DUE rolls back to the last snapshot and
+/// replays forward, serving every operand that was resident at the
+/// boundary from chip.
+#[derive(Debug, Clone)]
+struct SchedCheckpoint {
+    /// Boundary (layer index) the snapshot was taken at.
+    layer: usize,
+    /// One entry per live feature map, in fm order:
+    /// `(fm, resident_elems, dram_suffix_elems, spilled_elems, pinned)`.
+    entries: Vec<(usize, u64, u64, u64, bool)>,
+    /// FNV-1a consistency hash over the entries; rollback re-hashes and
+    /// refuses a mismatching snapshot (falling back to recompute) so a
+    /// corrupted checkpoint is never restored.
+    hash: u64,
+}
+
+/// FNV-1a over a checkpoint's metadata entries — the cheap consistency
+/// hash checked before any rollback.
+fn checkpoint_hash(entries: &[(usize, u64, u64, u64, bool)]) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = BASIS;
+    for &(fm, resident, suffix, spilled, pinned) in entries {
+        for word in [fm as u64, resident, suffix, spilled, pinned as u64] {
+            for b in word.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+    }
+    h
+}
+
+/// Recovery work already performed this run, checked against the plan's
+/// [`crate::RecoveryBudget`] to decide when a tier escalates.
+#[derive(Debug, Clone, Copy, Default)]
+struct BudgetUse {
+    refetches: u32,
+    recomputes: u32,
+    rollbacks: u32,
 }
 
 /// Options controlling one simulation run.
@@ -190,6 +235,16 @@ struct Sim<'a> {
     checked: bool,
     injector: Option<FaultInjector>,
     faults: FaultStats,
+    /// Last consistent layer-boundary snapshot of scheduler metadata;
+    /// `None` until the first boundary completes, which is why a strike on
+    /// the very first layer falls back to `RecomputeLayer`.
+    checkpoint: Option<SchedCheckpoint>,
+    /// Recovery work spent so far, compared against the plan's budgets.
+    budget_used: BudgetUse,
+    /// A silent spill-queue strike flipped the victim ordering: the spill
+    /// engine walks its queue in reverse until the run ends. Value-safe
+    /// (spills write back before dropping residency) but decision-wrong.
+    spill_flip: bool,
 }
 
 impl<'a> Sim<'a> {
@@ -211,6 +266,9 @@ impl<'a> Sim<'a> {
             checked: options.checked,
             injector,
             faults: FaultStats::default(),
+            checkpoint: None,
+            budget_used: BudgetUse::default(),
+            spill_flip: false,
         };
         // The network input starts fully in DRAM.
         let input = net.input();
@@ -319,15 +377,20 @@ impl<'a> Sim<'a> {
                 self.apply_site_faults(layer, compute, w_bytes, &mut traffic)?;
             retry_w += site_retry_w;
             retry_fm += site_retry_fm;
+            // Scheduler-state strikes land at the layer boundary, after the
+            // layer's own work is known (a rollback replays exactly it).
+            let (sched_compute, sched_overhead, sched_retry_fm) =
+                self.apply_scheduler_faults(layer, compute, &mut traffic)?;
+            retry_fm += sched_retry_fm;
 
             let copy_cycles = self
                 .copy_penalty_bytes
                 .div_ceil(COPY_BYTES_PER_CYCLE.max(1));
             let cycles = LayerCycles::combine(
-                compute + copy_cycles + site_compute,
+                compute + copy_cycles + site_compute + sched_compute,
                 dram_cycles(&fm_dram, fm_bytes + retry_fm),
                 dram_cycles(&w_dram, w_bytes + retry_w),
-                self.cfg.layer_overhead + stall_cycles + site_overhead,
+                self.cfg.layer_overhead + stall_cycles + site_overhead + sched_overhead,
             );
             total_cycles += cycles.total;
             let macs = layer.macs(&self.net.in_shapes(layer.id));
@@ -345,6 +408,12 @@ impl<'a> Sim<'a> {
                 self.check_layer_invariants(layer.id.index(), prev_ledger_total)?;
             }
             prev_ledger_total = self.ledger.total_bytes();
+            // Snapshot the scheduler metadata at the boundary: pure
+            // bookkeeping over a handful of records, so no traffic or
+            // cycles are charged.
+            if self.injector.is_some() {
+                self.checkpoint = Some(self.take_checkpoint(layer.id.index()));
+            }
         }
 
         let stats = RunStats {
@@ -533,10 +602,18 @@ impl<'a> Sim<'a> {
                         FaultOutcome::Silent
                     }
                     StrikeWidth::Double => {
-                        self.check_due_budget(lid, "weight SRAM", &inj, &mut layer_dues)?;
+                        self.check_due_budget(
+                            lid,
+                            "weight SRAM",
+                            Plane::Data,
+                            inj.recovery_policy(),
+                            &inj,
+                            &mut layer_dues,
+                        )?;
                         // Weights are primary inputs with no on-chip
-                        // producer, so both recovery policies restore them
-                        // the same way: refetch from DRAM.
+                        // producer, so every recovery policy restores them
+                        // the same way — refetch from DRAM — and the
+                        // escalation budgets don't apply.
                         self.ledger.record(lid, TrafficClass::Retry, w_bytes);
                         traffic.record(TrafficClass::Retry, w_bytes);
                         retry_w += w_bytes;
@@ -544,6 +621,7 @@ impl<'a> Sim<'a> {
                         extra_overhead += stall;
                         self.faults.retry_stall_cycles += stall;
                         self.faults.recovered_refetch += 1;
+                        *self.faults.recovered_per_plane.slot(Plane::Data) += 1;
                         recovery = Some(TraceEvent::Recovery {
                             layer: lid,
                             site: FaultSite::WeightSram,
@@ -627,8 +705,17 @@ impl<'a> Sim<'a> {
                             FaultOutcome::Silent
                         }
                         StrikeWidth::Double => {
-                            self.check_due_budget(lid, "BCU table", &inj, &mut layer_dues)?;
-                            let (action, retry_bytes) = self.recover_bcu_due(layer, traffic, &inj);
+                            let eff = self.effective_policy(&inj);
+                            self.check_due_budget(
+                                lid,
+                                "BCU table",
+                                Plane::Control,
+                                eff,
+                                &inj,
+                                &mut layer_dues,
+                            )?;
+                            let (action, retry_bytes) =
+                                self.recover_due(layer, traffic, eff, Plane::Control);
                             retry_fm += retry_bytes;
                             extra_compute += compute;
                             if action == RecoveryAction::Refetched {
@@ -660,19 +747,23 @@ impl<'a> Sim<'a> {
         Ok((extra_compute, extra_overhead, retry_w, retry_fm))
     }
 
-    /// Admits one more DUE at this layer, or refuses: `Abort` never
-    /// recovers, and recoveries past the plan's retry budget fail the run
-    /// the same way an exhausted DRAM transfer does.
+    /// Admits one more DUE at this layer, or refuses: `Abort` (whether
+    /// configured or reached by budget escalation) never recovers, and
+    /// recoveries past the plan's retry budget fail the run the same way an
+    /// exhausted DRAM transfer does. Counts the DUE against `plane`.
     fn check_due_budget(
         &mut self,
         lid: usize,
         site: &str,
+        plane: Plane,
+        policy: RecoveryPolicy,
         inj: &FaultInjector,
         layer_dues: &mut u32,
     ) -> Result<(), SimError> {
         self.faults.due_events += 1;
+        *self.faults.due_per_plane.slot(plane) += 1;
         *layer_dues += 1;
-        if inj.recovery_policy() == RecoveryPolicy::Abort || *layer_dues > inj.max_retries() {
+        if policy == RecoveryPolicy::Abort || *layer_dues > inj.max_retries() {
             return Err(SimError::Unrecoverable {
                 layer: lid,
                 site: site.to_string(),
@@ -681,8 +772,39 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
-    /// Repairs a BCU-table DUE by re-executing the producing layer (the
-    /// current one — its output buffer is what the struck entry routes).
+    /// Resolves the recovery tier the next DUE actually gets: the
+    /// configured policy while its per-run budget lasts, then one rung up
+    /// the `RefetchTile → RecomputeLayer → Checkpoint → Abort` ladder per
+    /// exhausted tier. Unlimited budgets (the default) never escalate, so
+    /// plans without budgets behave exactly as before.
+    fn effective_policy(&self, inj: &FaultInjector) -> RecoveryPolicy {
+        let budget = inj.recovery_budget();
+        let mut policy = inj.recovery_policy();
+        loop {
+            let within = match policy {
+                RecoveryPolicy::Abort => true,
+                RecoveryPolicy::RefetchTile => budget
+                    .refetches
+                    .is_none_or(|n| self.budget_used.refetches < n),
+                RecoveryPolicy::RecomputeLayer => budget
+                    .recomputes
+                    .is_none_or(|n| self.budget_used.recomputes < n),
+                RecoveryPolicy::Checkpoint => budget
+                    .rollbacks
+                    .is_none_or(|n| self.budget_used.rollbacks < n),
+            };
+            if within {
+                return policy;
+            }
+            policy = match policy {
+                RecoveryPolicy::RefetchTile => RecoveryPolicy::RecomputeLayer,
+                RecoveryPolicy::RecomputeLayer => RecoveryPolicy::Checkpoint,
+                RecoveryPolicy::Checkpoint | RecoveryPolicy::Abort => RecoveryPolicy::Abort,
+            };
+        }
+    }
+
+    /// Repairs a DUE by re-executing the producing layer (the current one).
     /// Returns the action taken and the operand bytes re-streamed from
     /// DRAM as `Retry` traffic:
     ///
@@ -693,23 +815,48 @@ impl<'a> Sim<'a> {
     ///   `IfmRead`/`ShortcutRead`/`SpillRead` totals) — zero when the
     ///   operands were fully resident, which is the measurable payoff of
     ///   keeping shortcut data on chip.
-    fn recover_bcu_due(
+    /// * `Checkpoint` restores scheduler metadata from the last consistent
+    ///   boundary snapshot and replays forward: shortcut and spill operands
+    ///   were resident at the boundary by construction, so only the plain
+    ///   input stream (`IfmRead`) is re-streamed — never more than
+    ///   `RecomputeLayer`, and strictly less wherever mining kept operands
+    ///   on chip. With no snapshot yet (a strike on the very first layer)
+    ///   or a snapshot failing its consistency hash, it degrades to the
+    ///   `RecomputeLayer` accounting.
+    fn recover_due(
         &mut self,
         layer: &Layer,
         traffic: &mut ClassTotals,
-        inj: &FaultInjector,
+        policy: RecoveryPolicy,
+        plane: Plane,
     ) -> (RecoveryAction, u64) {
         let lid = layer.id.index();
-        let (action, retry_bytes) = match inj.recovery_policy() {
-            RecoveryPolicy::RecomputeLayer => {
+        let recompute_bytes = |traffic: &ClassTotals| {
+            traffic.class(TrafficClass::IfmRead)
+                + traffic.class(TrafficClass::ShortcutRead)
+                + traffic.class(TrafficClass::SpillRead)
+        };
+        let rollback_ready = self
+            .checkpoint
+            .as_ref()
+            .is_some_and(|cp| cp.layer < lid && cp.hash == checkpoint_hash(&cp.entries));
+        let (action, retry_bytes) = match policy {
+            RecoveryPolicy::Checkpoint if rollback_ready => {
+                self.faults.recovered_rollback += 1;
+                self.budget_used.rollbacks += 1;
+                (
+                    RecoveryAction::RolledBack,
+                    traffic.class(TrafficClass::IfmRead),
+                )
+            }
+            RecoveryPolicy::Checkpoint | RecoveryPolicy::RecomputeLayer => {
                 self.faults.recovered_recompute += 1;
-                let dram_operand_bytes = traffic.class(TrafficClass::IfmRead)
-                    + traffic.class(TrafficClass::ShortcutRead)
-                    + traffic.class(TrafficClass::SpillRead);
-                (RecoveryAction::Recomputed, dram_operand_bytes)
+                self.budget_used.recomputes += 1;
+                (RecoveryAction::Recomputed, recompute_bytes(traffic))
             }
             RecoveryPolicy::RefetchTile | RecoveryPolicy::Abort => {
                 self.faults.recovered_refetch += 1;
+                self.budget_used.refetches += 1;
                 let all_operand_bytes: u64 = self
                     .net
                     .in_shapes(layer.id)
@@ -719,11 +866,228 @@ impl<'a> Sim<'a> {
                 (RecoveryAction::Refetched, all_operand_bytes)
             }
         };
+        *self.faults.recovered_per_plane.slot(plane) += 1;
         if retry_bytes > 0 {
             self.ledger.record(lid, TrafficClass::Retry, retry_bytes);
             traffic.record(TrafficClass::Retry, retry_bytes);
         }
         (action, retry_bytes)
+    }
+
+    /// Builds the layer-boundary snapshot of scheduler metadata: one entry
+    /// per live feature map plus its buffer's pin label, sealed with the
+    /// consistency hash rollback verifies.
+    fn take_checkpoint(&self, layer: usize) -> SchedCheckpoint {
+        let mut entries: Vec<(usize, u64, u64, u64, bool)> = self
+            .fms
+            .iter()
+            .map(|(&fm, r)| {
+                let pinned = r
+                    .buffer
+                    .and_then(|b| self.bufs.buffer(b).ok())
+                    .is_some_and(|b| b.is_pinned());
+                (
+                    fm,
+                    r.resident_elems,
+                    r.dram_suffix_elems,
+                    r.spilled_elems,
+                    pinned,
+                )
+            })
+            .collect();
+        entries.sort_unstable();
+        let hash = checkpoint_hash(&entries);
+        SchedCheckpoint {
+            layer,
+            entries,
+            hash,
+        }
+    }
+
+    /// Plays one layer boundary's scheduler-state strike, drawn from the
+    /// dedicated scheduler stream (so all other fault classes stay
+    /// byte-identical). The struck structure is one of the retention
+    /// table, the pin set, or the spill queue; the outcome follows the
+    /// scheduler storage's protection policy:
+    ///
+    /// * `None` — the decision state is silently wrong from here on
+    ///   (residency dropped, a pin lost, the victim order reversed). The
+    ///   mutation is value-safe by construction; only the functional
+    ///   checker's consistency hash catches it
+    ///   (`CheckError::SchedulerCorrupt`).
+    /// * `Parity` — detected at the boundary scrub and rebuilt from the
+    ///   allocator's shadow state at a stall.
+    /// * `Ecc` — single-bit strikes are corrected free of tax (the
+    ///   metadata is a few hundred bytes; its scrub hides in the layer
+    ///   turnaround), double-bit DUEs go through the budget-resolved
+    ///   recovery ladder, and 3+-bit strikes alias silently.
+    ///
+    /// Returns `(extra_compute, extra_overhead, retry_fm_bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Unrecoverable`] when a DUE resolves to `Abort`, either
+    /// configured or reached by budget escalation.
+    fn apply_scheduler_faults(
+        &mut self,
+        layer: &Layer,
+        compute: u64,
+        traffic: &mut ClassTotals,
+    ) -> Result<(u64, u64, u64), SimError> {
+        let Some(mut inj) = self.injector.take() else {
+            return Ok((0, 0, 0));
+        };
+        let lid = layer.id.index();
+        let draw = inj.layer_scheduler_faults();
+        let mut extra_compute = 0u64;
+        let mut extra_overhead = 0u64;
+        let mut retry_fm = 0u64;
+        if draw.struck {
+            self.faults.scheduler_faults += 1;
+            let structure = match draw.target % 3 {
+                0 => SchedStructure::RetentionTable,
+                1 => SchedStructure::PinSet,
+                _ => SchedStructure::SpillQueue,
+            };
+            let site = FaultSite::Scheduler { structure };
+            let unit = draw.index % self.scheduler_entries(structure);
+            let mut recovery = None;
+            let outcome = match inj.scheduler_protection() {
+                Protection::None => {
+                    self.faults.silent_faults += 1;
+                    self.corrupt_scheduler_state(structure, draw.index)?;
+                    FaultOutcome::Silent
+                }
+                Protection::Parity => {
+                    self.faults.parity_detections += 1;
+                    let stall = inj.retry_stall_cycles();
+                    extra_overhead += stall;
+                    self.faults.retry_stall_cycles += stall;
+                    FaultOutcome::Detected
+                }
+                Protection::Ecc => match draw.width {
+                    StrikeWidth::Single => {
+                        self.faults.ecc_corrections += 1;
+                        FaultOutcome::Corrected
+                    }
+                    StrikeWidth::TriplePlus => {
+                        self.faults.silent_faults += 1;
+                        self.corrupt_scheduler_state(structure, draw.index)?;
+                        FaultOutcome::Silent
+                    }
+                    StrikeWidth::Double => {
+                        let eff = self.effective_policy(&inj);
+                        let mut layer_dues = 0u32;
+                        self.check_due_budget(
+                            lid,
+                            "scheduler state",
+                            Plane::Scheduler,
+                            eff,
+                            &inj,
+                            &mut layer_dues,
+                        )?;
+                        let (action, retry_bytes) =
+                            self.recover_due(layer, traffic, eff, Plane::Scheduler);
+                        retry_fm += retry_bytes;
+                        // Every tier replays the layer's own work after
+                        // restoring the metadata.
+                        extra_compute += compute;
+                        if action == RecoveryAction::Refetched {
+                            let stall = inj.retry_stall_cycles();
+                            extra_overhead += stall;
+                            self.faults.retry_stall_cycles += stall;
+                        }
+                        recovery = Some(TraceEvent::Recovery {
+                            layer: lid,
+                            site,
+                            action,
+                            retry_bytes,
+                            compute_cycles: compute,
+                        });
+                        FaultOutcome::Uncorrectable
+                    }
+                },
+            };
+            self.trace.events.push(TraceEvent::Fault {
+                layer: lid,
+                site,
+                unit,
+                outcome,
+            });
+            self.trace.events.extend(recovery);
+        }
+        self.injector = Some(inj);
+        Ok((extra_compute, extra_overhead, retry_fm))
+    }
+
+    /// Entry count of one scheduler structure, for reducing a raw strike
+    /// selector (never zero so the reduction is total).
+    fn scheduler_entries(&self, structure: SchedStructure) -> u64 {
+        let n = match structure {
+            SchedStructure::RetentionTable => self.fms.len() as u64,
+            SchedStructure::PinSet => self.bufs.iter().filter(|b| b.is_pinned()).count() as u64,
+            // The victim-ordering state is a single direction bit.
+            SchedStructure::SpillQueue => 1,
+        };
+        n.max(1)
+    }
+
+    /// Mutates the struck scheduler structure the way an unprotected (or
+    /// ECC-aliased) upset would, while staying value-safe: every element
+    /// remains reachable from chip or DRAM, only the *decisions* go wrong.
+    fn corrupt_scheduler_state(
+        &mut self,
+        structure: SchedStructure,
+        index: u64,
+    ) -> Result<(), SimError> {
+        match structure {
+            SchedStructure::RetentionTable => {
+                // A retention record under-reports its resident prefix:
+                // droppable only where the prefix overlaps the DRAM suffix
+                // (the same lossless shrink residency corruption uses).
+                let mut keys: Vec<usize> = self.fms.keys().copied().collect();
+                keys.sort_unstable();
+                let candidates: Vec<usize> = keys
+                    .into_iter()
+                    .filter(|k| {
+                        let r = &self.fms[k];
+                        r.resident_elems + r.dram_suffix_elems > r.total_elems
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    return Ok(());
+                }
+                let fm = candidates[(index % candidates.len() as u64) as usize];
+                if let Some(r) = self.fms.get_mut(&fm) {
+                    r.resident_elems = r.total_elems - r.dram_suffix_elems;
+                    self.trace.events.push(TraceEvent::Spill {
+                        fm,
+                        new_resident_elems: r.resident_elems,
+                    });
+                }
+            }
+            SchedStructure::PinSet => {
+                // A pin label flips off: the shortcut buffer keeps its data
+                // but loses its spill immunity. Values stay intact; the
+                // mining *decision* is gone.
+                let mut pinned: Vec<LogicalBufferId> = self
+                    .bufs
+                    .iter()
+                    .filter(|b| b.is_pinned())
+                    .map(|b| b.id())
+                    .collect();
+                pinned.sort_unstable_by_key(|b| b.0);
+                if pinned.is_empty() {
+                    return Ok(());
+                }
+                let victim = pinned[(index % pinned.len() as u64) as usize];
+                self.bufs.unpin(victim)?;
+            }
+            SchedStructure::SpillQueue => {
+                self.spill_flip = !self.spill_flip;
+            }
+        }
+        Ok(())
     }
 
     /// Checked-mode verification after one layer: bank accounting sums to
@@ -1214,7 +1578,16 @@ impl<'a> Sim<'a> {
             if victims.is_empty() {
                 return Ok(());
             }
-            match self.policy.spill_order {
+            // A silent spill-queue upset reverses the victim walk.
+            let order = if self.spill_flip {
+                match self.policy.spill_order {
+                    SpillOrder::FarthestJunctionFirst => SpillOrder::NearestJunctionFirst,
+                    SpillOrder::NearestJunctionFirst => SpillOrder::FarthestJunctionFirst,
+                }
+            } else {
+                self.policy.spill_order
+            };
+            match order {
                 SpillOrder::FarthestJunctionFirst => {
                     victims.sort_by_key(|&(_, next_use)| std::cmp::Reverse(next_use))
                 }

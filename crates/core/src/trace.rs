@@ -97,6 +97,37 @@ pub enum FaultSite {
         /// Logical buffer whose routing entry was struck.
         buffer: usize,
     },
+    /// One of the scheduler's own metadata structures, struck at a layer
+    /// boundary.
+    Scheduler {
+        /// Which structure was struck.
+        structure: SchedStructure,
+    },
+}
+
+/// Scheduler-metadata structure a [`FaultSite::Scheduler`] strike landed
+/// in. All three embody the shortcut-mining decisions the simulator made,
+/// so corrupting any of them degrades *decisions* (residency, pinning,
+/// victim order) while leaving tensor values intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchedStructure {
+    /// The per-shortcut retention records tracking resident prefixes.
+    RetentionTable,
+    /// The pin labels keeping shortcut buffers ineligible for spilling.
+    PinSet,
+    /// The victim-ordering state of the spill engine.
+    SpillQueue,
+}
+
+impl SchedStructure {
+    /// Human-readable name, used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedStructure::RetentionTable => "retention table",
+            SchedStructure::PinSet => "pin set",
+            SchedStructure::SpillQueue => "spill queue",
+        }
+    }
 }
 
 /// Resolution of a [`TraceEvent::Fault`], fixed by the site's
@@ -124,6 +155,10 @@ pub enum RecoveryAction {
     Refetched,
     /// The layer was re-executed from (mostly) resident inputs.
     Recomputed,
+    /// Scheduler metadata was restored from the last layer-boundary
+    /// checkpoint and the layer replayed, touching DRAM only for the plain
+    /// input stream.
+    RolledBack,
 }
 
 /// Full event trace of one run, in execution order.

@@ -9,7 +9,7 @@
 
 use sm_tensor::Shape4;
 
-use crate::{ConvSpec, LayerId, Network, NetworkBuilder, PoolSpec};
+use crate::{ConvSpec, LayerId, ModelError, Network, NetworkBuilder, PoolSpec};
 
 /// Channel plan of one inception module:
 /// `(b1, b3_reduce, b3, b5_reduce, b5, pool_proj)`.
@@ -28,90 +28,82 @@ const MODULES: [(&str, Inception); 9] = [
     ("5b", (384, 192, 384, 48, 128, 128)),
 ];
 
-fn inception(b: &mut NetworkBuilder, tag: &str, input: LayerId, plan: Inception) -> LayerId {
+fn inception(
+    b: &mut NetworkBuilder,
+    tag: &str,
+    input: LayerId,
+    plan: Inception,
+) -> Result<LayerId, ModelError> {
     let (b1, b3r, b3, b5r, b5, pp) = plan;
-    let br1 = b
-        .conv(
-            format!("inception_{tag}/1x1"),
-            input,
-            ConvSpec::relu(b1, 1, 1, 0),
-        )
-        .expect("1x1 branch");
-    let r3 = b
-        .conv(
-            format!("inception_{tag}/3x3_reduce"),
-            input,
-            ConvSpec::relu(b3r, 1, 1, 0),
-        )
-        .expect("3x3 reduce");
-    let br3 = b
-        .conv(
-            format!("inception_{tag}/3x3"),
-            r3,
-            ConvSpec::relu(b3, 3, 1, 1),
-        )
-        .expect("3x3 branch");
-    let r5 = b
-        .conv(
-            format!("inception_{tag}/5x5_reduce"),
-            input,
-            ConvSpec::relu(b5r, 1, 1, 0),
-        )
-        .expect("5x5 reduce");
-    let br5 = b
-        .conv(
-            format!("inception_{tag}/5x5"),
-            r5,
-            ConvSpec::relu(b5, 5, 1, 2),
-        )
-        .expect("5x5 branch");
-    let pool = b
-        .pool(
-            format!("inception_{tag}/pool"),
-            input,
-            PoolSpec::max(3, 1, 1),
-        )
-        .expect("pool branch");
-    let brp = b
-        .conv(
-            format!("inception_{tag}/pool_proj"),
-            pool,
-            ConvSpec::relu(pp, 1, 1, 0),
-        )
-        .expect("pool projection");
-    b.concat(format!("inception_{tag}/concat"), &[br1, br3, br5, brp])
-        .expect("inception concat")
+    let br1 = b.conv(
+        format!("inception_{tag}/1x1"),
+        input,
+        ConvSpec::relu(b1, 1, 1, 0),
+    )?;
+    let r3 = b.conv(
+        format!("inception_{tag}/3x3_reduce"),
+        input,
+        ConvSpec::relu(b3r, 1, 1, 0),
+    )?;
+    let br3 = b.conv(
+        format!("inception_{tag}/3x3"),
+        r3,
+        ConvSpec::relu(b3, 3, 1, 1),
+    )?;
+    let r5 = b.conv(
+        format!("inception_{tag}/5x5_reduce"),
+        input,
+        ConvSpec::relu(b5r, 1, 1, 0),
+    )?;
+    let br5 = b.conv(
+        format!("inception_{tag}/5x5"),
+        r5,
+        ConvSpec::relu(b5, 5, 1, 2),
+    )?;
+    let pool = b.pool(
+        format!("inception_{tag}/pool"),
+        input,
+        PoolSpec::max(3, 1, 1),
+    )?;
+    let brp = b.conv(
+        format!("inception_{tag}/pool_proj"),
+        pool,
+        ConvSpec::relu(pp, 1, 1, 0),
+    )?;
+    Ok(b.concat(format!("inception_{tag}/concat"), &[br1, br3, br5, brp])?)
 }
 
 /// GoogLeNet (Inception-v1), inference graph without auxiliary classifiers.
 pub fn googlenet(batch: usize) -> Network {
+    try_googlenet(batch).expect("valid googlenet request")
+}
+
+/// Fallible [`googlenet`]: rejects batch 0 with a typed [`ModelError`] and
+/// propagates any builder error instead of panicking, for callers driven
+/// by external input (the CLI, config-driven sweeps).
+pub fn try_googlenet(batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
     let mut b = NetworkBuilder::new("googlenet", Shape4::new(batch, 3, 224, 224));
     let x = b.input_id();
-    let c1 = b
-        .conv("conv1", x, ConvSpec::relu(64, 7, 2, 3))
-        .expect("conv1");
-    let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 1)).expect("pool1");
-    let c2r = b
-        .conv("conv2_reduce", p1, ConvSpec::relu(64, 1, 1, 0))
-        .expect("conv2 reduce");
-    let c2 = b
-        .conv("conv2", c2r, ConvSpec::relu(192, 3, 1, 1))
-        .expect("conv2");
-    let mut cur = b.pool("pool2", c2, PoolSpec::max(3, 2, 1)).expect("pool2");
+    let c1 = b.conv("conv1", x, ConvSpec::relu(64, 7, 2, 3))?;
+    let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 1))?;
+    let c2r = b.conv("conv2_reduce", p1, ConvSpec::relu(64, 1, 1, 0))?;
+    let c2 = b.conv("conv2", c2r, ConvSpec::relu(192, 3, 1, 1))?;
+    let mut cur = b.pool("pool2", c2, PoolSpec::max(3, 2, 1))?;
 
     for (tag, plan) in MODULES {
-        cur = inception(&mut b, tag, cur, plan);
+        cur = inception(&mut b, tag, cur, plan)?;
         // Max-poolings after 3b and 4e.
         if tag == "3b" || tag == "4e" {
-            cur = b
-                .pool(format!("pool_{tag}"), cur, PoolSpec::max(3, 2, 1))
-                .expect("stage pool");
+            cur = b.pool(format!("pool_{tag}"), cur, PoolSpec::max(3, 2, 1))?;
         }
     }
 
-    let gap = b.global_avg_pool("gap", cur).expect("gap");
-    b.fc("fc1000", gap, 1000).expect("fc");
-    b.finish().expect("googlenet builds")
+    let gap = b.global_avg_pool("gap", cur)?;
+    b.fc("fc1000", gap, 1000)?;
+    Ok(b.finish()?)
 }
 
 #[cfg(test)]
@@ -142,6 +134,12 @@ mod tests {
         assert!((1.3..1.8).contains(&g), "got {g} GMACs");
         let p = net.total_weight_elems() as f64 / 1e6;
         assert!((5.5..7.5).contains(&p), "got {p}M params");
+    }
+
+    #[test]
+    fn fallible_builder_rejects_batch_zero() {
+        assert_eq!(try_googlenet(0), Err(ModelError::InvalidBatch));
+        assert_eq!(try_googlenet(2).unwrap().name(), "googlenet");
     }
 
     #[test]

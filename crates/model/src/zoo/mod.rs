@@ -20,7 +20,7 @@ mod squeezenet;
 mod vgg;
 
 pub use densenet::{densenet121, densenet169, densenet_tiny, try_densenet_tiny};
-pub use googlenet::googlenet;
+pub use googlenet::{googlenet, try_googlenet};
 pub use mobilenet::{mobilenet_tiny, mobilenet_v1, mobilenet_v2};
 pub use resnet::{
     plain18, plain34, resnet, resnet101, resnet152, resnet18, resnet34, resnet50, try_resnet,
@@ -30,8 +30,10 @@ pub use small::{
 };
 pub use squeezenet::{
     squeezenet_v10, squeezenet_v10_complex_bypass, squeezenet_v10_simple_bypass, squeezenet_v11,
+    try_squeezenet_v10, try_squeezenet_v10_complex_bypass, try_squeezenet_v10_simple_bypass,
+    try_squeezenet_v11,
 };
-pub use vgg::{alexnet, vgg16};
+pub use vgg::{alexnet, try_alexnet, try_vgg16, vgg16};
 
 use crate::{ModelError, Network};
 
@@ -57,13 +59,13 @@ pub fn try_by_name(name: &str, batch: usize) -> Result<Network, ModelError> {
         "resnet152" => resnet152(batch),
         "plain18" => plain18(batch),
         "plain34" => plain34(batch),
-        "squeezenet_v10" => squeezenet_v10(batch),
-        "squeezenet_v10_simple_bypass" | "squeezenet" => squeezenet_v10_simple_bypass(batch),
-        "squeezenet_v10_complex_bypass" => squeezenet_v10_complex_bypass(batch),
-        "squeezenet_v11" => squeezenet_v11(batch),
-        "vgg16" => vgg16(batch),
-        "alexnet" => alexnet(batch),
-        "googlenet" => googlenet(batch),
+        "squeezenet_v10" => try_squeezenet_v10(batch)?,
+        "squeezenet_v10_simple_bypass" | "squeezenet" => try_squeezenet_v10_simple_bypass(batch)?,
+        "squeezenet_v10_complex_bypass" => try_squeezenet_v10_complex_bypass(batch)?,
+        "squeezenet_v11" => try_squeezenet_v11(batch)?,
+        "vgg16" => try_vgg16(batch)?,
+        "alexnet" => try_alexnet(batch)?,
+        "googlenet" => try_googlenet(batch)?,
         "mobilenet_v1" => mobilenet_v1(batch),
         "mobilenet_v2" => mobilenet_v2(batch),
         "mobilenet_tiny" => mobilenet_tiny(batch),

@@ -10,7 +10,7 @@
 
 use sm_tensor::Shape4;
 
-use crate::{ConvSpec, LayerId, Network, NetworkBuilder, PoolSpec};
+use crate::{ConvSpec, LayerId, ModelError, Network, NetworkBuilder, PoolSpec};
 
 /// Squeeze / expand channel plan of one fire module.
 #[derive(Debug, Clone, Copy)]
@@ -70,30 +70,28 @@ enum Bypass {
     Complex,
 }
 
-fn fire_module(b: &mut NetworkBuilder, tag: &str, input: LayerId, fire: Fire) -> LayerId {
-    let s = b
-        .conv(
-            format!("{tag}/squeeze1x1"),
-            input,
-            ConvSpec::relu(fire.squeeze, 1, 1, 0),
-        )
-        .expect("squeeze");
-    let e1 = b
-        .conv(
-            format!("{tag}/expand1x1"),
-            s,
-            ConvSpec::relu(fire.expand, 1, 1, 0),
-        )
-        .expect("expand 1x1");
-    let e3 = b
-        .conv(
-            format!("{tag}/expand3x3"),
-            s,
-            ConvSpec::relu(fire.expand, 3, 1, 1),
-        )
-        .expect("expand 3x3");
-    b.concat(format!("{tag}/concat"), &[e1, e3])
-        .expect("fire concat")
+fn fire_module(
+    b: &mut NetworkBuilder,
+    tag: &str,
+    input: LayerId,
+    fire: Fire,
+) -> Result<LayerId, ModelError> {
+    let s = b.conv(
+        format!("{tag}/squeeze1x1"),
+        input,
+        ConvSpec::relu(fire.squeeze, 1, 1, 0),
+    )?;
+    let e1 = b.conv(
+        format!("{tag}/expand1x1"),
+        s,
+        ConvSpec::relu(fire.expand, 1, 1, 0),
+    )?;
+    let e3 = b.conv(
+        format!("{tag}/expand3x3"),
+        s,
+        ConvSpec::relu(fire.expand, 3, 1, 1),
+    )?;
+    Ok(b.concat(format!("{tag}/concat"), &[e1, e3])?)
 }
 
 /// Applies one fire module plus its (optional) bypass junction.
@@ -103,99 +101,108 @@ fn fire_with_bypass(
     input: LayerId,
     fire: Fire,
     bypass: Bypass,
-) -> LayerId {
+) -> Result<LayerId, ModelError> {
     let tag = format!("fire{idx}");
-    let out = fire_module(b, &tag, input, fire);
-    let in_c = b.shape_of(input).expect("known").c;
+    let out = fire_module(b, &tag, input, fire)?;
+    let in_c = b.shape_of(input)?.c;
     let matching = in_c == fire.out_channels();
-    match (bypass, matching) {
+    Ok(match (bypass, matching) {
         (Bypass::None, _) | (Bypass::Simple, false) => out,
-        (Bypass::Simple, true) | (Bypass::Complex, true) => b
-            .eltwise_add(format!("{tag}/bypass"), input, out, false)
-            .expect("simple bypass"),
-        (Bypass::Complex, false) => {
-            let proj = b
-                .conv(
-                    format!("{tag}/bypass_conv"),
-                    input,
-                    ConvSpec::linear(fire.out_channels(), 1, 1, 0),
-                )
-                .expect("bypass projection");
-            b.eltwise_add(format!("{tag}/bypass"), proj, out, false)
-                .expect("complex bypass")
+        (Bypass::Simple, true) | (Bypass::Complex, true) => {
+            b.eltwise_add(format!("{tag}/bypass"), input, out, false)?
         }
-    }
+        (Bypass::Complex, false) => {
+            let proj = b.conv(
+                format!("{tag}/bypass_conv"),
+                input,
+                ConvSpec::linear(fire.out_channels(), 1, 1, 0),
+            )?;
+            b.eltwise_add(format!("{tag}/bypass"), proj, out, false)?
+        }
+    })
 }
 
-fn build_v10(name: &'static str, bypass: Bypass, batch: usize) -> Network {
+fn try_build_v10(name: &'static str, bypass: Bypass, batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
     let mut b = NetworkBuilder::new(name, Shape4::new(batch, 3, 227, 227));
     let x = b.input_id();
-    let conv1 = b
-        .conv("conv1", x, ConvSpec::relu(96, 7, 2, 0))
-        .expect("conv1");
-    let mut cur = b
-        .pool("pool1", conv1, PoolSpec::max(3, 2, 0))
-        .expect("pool1");
+    let conv1 = b.conv("conv1", x, ConvSpec::relu(96, 7, 2, 0))?;
+    let mut cur = b.pool("pool1", conv1, PoolSpec::max(3, 2, 0))?;
     for (i, fire) in FIRES_V10.iter().enumerate() {
         let idx = i + 2;
-        cur = fire_with_bypass(&mut b, idx, cur, *fire, bypass);
+        cur = fire_with_bypass(&mut b, idx, cur, *fire, bypass)?;
         // v1.0 pools after fire4 and fire8.
         if idx == 4 || idx == 8 {
-            cur = b
-                .pool(format!("pool{idx}"), cur, PoolSpec::max(3, 2, 0))
-                .expect("pool");
+            cur = b.pool(format!("pool{idx}"), cur, PoolSpec::max(3, 2, 0))?;
         }
     }
-    let conv10 = b
-        .conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0))
-        .expect("conv10");
-    b.global_avg_pool("gap", conv10).expect("gap");
-    b.finish().expect("squeezenet builds")
+    let conv10 = b.conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0))?;
+    b.global_avg_pool("gap", conv10)?;
+    Ok(b.finish()?)
 }
 
 /// SqueezeNet v1.0 without bypass connections.
 pub fn squeezenet_v10(batch: usize) -> Network {
-    build_v10("squeezenet_v10", Bypass::None, batch)
+    try_squeezenet_v10(batch).expect("valid squeezenet request")
+}
+
+/// Fallible [`squeezenet_v10`]: rejects batch 0 with a typed
+/// [`ModelError`] and propagates any builder error instead of panicking.
+pub fn try_squeezenet_v10(batch: usize) -> Result<Network, ModelError> {
+    try_build_v10("squeezenet_v10", Bypass::None, batch)
 }
 
 /// SqueezeNet v1.0 with simple bypass (residual adds around fire 3/5/7/9) —
 /// the SqueezeNet variant of the paper's headline evaluation (53.3%
 /// feature-map traffic reduction).
 pub fn squeezenet_v10_simple_bypass(batch: usize) -> Network {
-    build_v10("squeezenet_v10_simple_bypass", Bypass::Simple, batch)
+    try_squeezenet_v10_simple_bypass(batch).expect("valid squeezenet request")
+}
+
+/// Fallible [`squeezenet_v10_simple_bypass`].
+pub fn try_squeezenet_v10_simple_bypass(batch: usize) -> Result<Network, ModelError> {
+    try_build_v10("squeezenet_v10_simple_bypass", Bypass::Simple, batch)
 }
 
 /// SqueezeNet v1.0 with complex bypass (projection shortcuts on the
 /// channel-changing fire modules as well).
 pub fn squeezenet_v10_complex_bypass(batch: usize) -> Network {
-    build_v10("squeezenet_v10_complex_bypass", Bypass::Complex, batch)
+    try_squeezenet_v10_complex_bypass(batch).expect("valid squeezenet request")
+}
+
+/// Fallible [`squeezenet_v10_complex_bypass`].
+pub fn try_squeezenet_v10_complex_bypass(batch: usize) -> Result<Network, ModelError> {
+    try_build_v10("squeezenet_v10_complex_bypass", Bypass::Complex, batch)
 }
 
 /// SqueezeNet v1.1 (3×3 stem, earlier pooling; ~2.4× cheaper than v1.0).
 pub fn squeezenet_v11(batch: usize) -> Network {
+    try_squeezenet_v11(batch).expect("valid squeezenet v1.1 request")
+}
+
+/// Fallible [`squeezenet_v11`]: rejects batch 0 with a typed
+/// [`ModelError`] and propagates any builder error instead of panicking.
+pub fn try_squeezenet_v11(batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
     let mut b = NetworkBuilder::new("squeezenet_v11", Shape4::new(batch, 3, 227, 227));
     let x = b.input_id();
-    let conv1 = b
-        .conv("conv1", x, ConvSpec::relu(64, 3, 2, 0))
-        .expect("conv1");
-    let mut cur = b
-        .pool("pool1", conv1, PoolSpec::max(3, 2, 0))
-        .expect("pool1");
+    let conv1 = b.conv("conv1", x, ConvSpec::relu(64, 3, 2, 0))?;
+    let mut cur = b.pool("pool1", conv1, PoolSpec::max(3, 2, 0))?;
     for (i, fire) in FIRES_V10.iter().enumerate() {
         let idx = i + 2;
-        cur = fire_with_bypass(&mut b, idx, cur, *fire, Bypass::None);
+        cur = fire_with_bypass(&mut b, idx, cur, *fire, Bypass::None)?;
         // v1.1 pools after fire3 and fire5.
         if idx == 3 || idx == 5 {
-            cur = b
-                .pool(format!("pool{idx}"), cur, PoolSpec::max(3, 2, 0))
-                .expect("pool");
+            cur = b.pool(format!("pool{idx}"), cur, PoolSpec::max(3, 2, 0))?;
         }
     }
-    let conv10 = b
-        .conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0))
-        .expect("conv10");
-    b.global_avg_pool("gap", conv10).expect("gap");
-    b.finish().expect("squeezenet v1.1 builds")
+    let conv10 = b.conv("conv10", cur, ConvSpec::relu(1000, 1, 1, 0))?;
+    b.global_avg_pool("gap", conv10)?;
+    Ok(b.finish()?)
 }
 
 #[cfg(test)]
@@ -260,6 +267,24 @@ mod tests {
         // feeds the concat across expand3x3: both must survive on chip.
         let net = squeezenet_v10(1);
         assert!(net.shortcut_edges().len() >= 16);
+    }
+
+    #[test]
+    fn fallible_builders_reject_batch_zero() {
+        assert_eq!(try_squeezenet_v10(0), Err(ModelError::InvalidBatch));
+        assert_eq!(
+            try_squeezenet_v10_simple_bypass(0),
+            Err(ModelError::InvalidBatch)
+        );
+        assert_eq!(
+            try_squeezenet_v10_complex_bypass(0),
+            Err(ModelError::InvalidBatch)
+        );
+        assert_eq!(try_squeezenet_v11(0), Err(ModelError::InvalidBatch));
+        assert_eq!(
+            try_squeezenet_v10_simple_bypass(2).unwrap().name(),
+            "squeezenet_v10_simple_bypass"
+        );
     }
 
     #[test]

@@ -6,61 +6,66 @@
 
 use sm_tensor::Shape4;
 
-use crate::{ConvSpec, Network, NetworkBuilder, PoolSpec};
+use crate::{ConvSpec, ModelError, Network, NetworkBuilder, PoolSpec};
 
 /// VGG-16 (configuration D): thirteen 3×3 convolutions in five pooled
 /// stages, then three fully-connected layers.
 pub fn vgg16(batch: usize) -> Network {
+    try_vgg16(batch).expect("valid vgg16 request")
+}
+
+/// Fallible [`vgg16`]: rejects batch 0 with a typed [`ModelError`] and
+/// propagates any builder error instead of panicking, for callers driven
+/// by external input (the CLI, config-driven sweeps).
+pub fn try_vgg16(batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
     let mut b = NetworkBuilder::new("vgg16", Shape4::new(batch, 3, 224, 224));
     let mut cur = b.input_id();
     let stages: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
     for (stage, &(convs, width)) in stages.iter().enumerate() {
         for conv in 0..convs {
-            cur = b
-                .conv(
-                    format!("conv{}_{}", stage + 1, conv + 1),
-                    cur,
-                    ConvSpec::relu(width, 3, 1, 1),
-                )
-                .expect("vgg conv");
+            cur = b.conv(
+                format!("conv{}_{}", stage + 1, conv + 1),
+                cur,
+                ConvSpec::relu(width, 3, 1, 1),
+            )?;
         }
-        cur = b
-            .pool(format!("pool{}", stage + 1), cur, PoolSpec::max(2, 2, 0))
-            .expect("vgg pool");
+        cur = b.pool(format!("pool{}", stage + 1), cur, PoolSpec::max(2, 2, 0))?;
     }
-    let fc6 = b.fc("fc6", cur, 4096).expect("fc6");
-    let fc7 = b.fc("fc7", fc6, 4096).expect("fc7");
-    b.fc("fc8", fc7, 1000).expect("fc8");
-    b.finish().expect("vgg16 builds")
+    let fc6 = b.fc("fc6", cur, 4096)?;
+    let fc7 = b.fc("fc7", fc6, 4096)?;
+    b.fc("fc8", fc7, 1000)?;
+    Ok(b.finish()?)
 }
 
 /// AlexNet (single-tower variant): five convolutions, three poolings, three
 /// fully-connected layers.
 pub fn alexnet(batch: usize) -> Network {
+    try_alexnet(batch).expect("valid alexnet request")
+}
+
+/// Fallible [`alexnet`]: rejects batch 0 with a typed [`ModelError`] and
+/// propagates any builder error instead of panicking.
+pub fn try_alexnet(batch: usize) -> Result<Network, ModelError> {
+    if batch == 0 {
+        return Err(ModelError::InvalidBatch);
+    }
     let mut b = NetworkBuilder::new("alexnet", Shape4::new(batch, 3, 227, 227));
     let x = b.input_id();
-    let c1 = b
-        .conv("conv1", x, ConvSpec::relu(96, 11, 4, 0))
-        .expect("conv1");
-    let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 0)).expect("pool1");
-    let c2 = b
-        .conv("conv2", p1, ConvSpec::relu(256, 5, 1, 2))
-        .expect("conv2");
-    let p2 = b.pool("pool2", c2, PoolSpec::max(3, 2, 0)).expect("pool2");
-    let c3 = b
-        .conv("conv3", p2, ConvSpec::relu(384, 3, 1, 1))
-        .expect("conv3");
-    let c4 = b
-        .conv("conv4", c3, ConvSpec::relu(384, 3, 1, 1))
-        .expect("conv4");
-    let c5 = b
-        .conv("conv5", c4, ConvSpec::relu(256, 3, 1, 1))
-        .expect("conv5");
-    let p5 = b.pool("pool5", c5, PoolSpec::max(3, 2, 0)).expect("pool5");
-    let fc6 = b.fc("fc6", p5, 4096).expect("fc6");
-    let fc7 = b.fc("fc7", fc6, 4096).expect("fc7");
-    b.fc("fc8", fc7, 1000).expect("fc8");
-    b.finish().expect("alexnet builds")
+    let c1 = b.conv("conv1", x, ConvSpec::relu(96, 11, 4, 0))?;
+    let p1 = b.pool("pool1", c1, PoolSpec::max(3, 2, 0))?;
+    let c2 = b.conv("conv2", p1, ConvSpec::relu(256, 5, 1, 2))?;
+    let p2 = b.pool("pool2", c2, PoolSpec::max(3, 2, 0))?;
+    let c3 = b.conv("conv3", p2, ConvSpec::relu(384, 3, 1, 1))?;
+    let c4 = b.conv("conv4", c3, ConvSpec::relu(384, 3, 1, 1))?;
+    let c5 = b.conv("conv5", c4, ConvSpec::relu(256, 3, 1, 1))?;
+    let p5 = b.pool("pool5", c5, PoolSpec::max(3, 2, 0))?;
+    let fc6 = b.fc("fc6", p5, 4096)?;
+    let fc7 = b.fc("fc7", fc6, 4096)?;
+    b.fc("fc8", fc7, 1000)?;
+    Ok(b.finish()?)
 }
 
 #[cfg(test)]
@@ -81,6 +86,14 @@ mod tests {
         // 138M parameters.
         let p = net.total_weight_elems() as f64 / 1e6;
         assert!((135.0..140.0).contains(&p), "got {p}M params");
+    }
+
+    #[test]
+    fn fallible_builders_reject_batch_zero() {
+        assert_eq!(try_vgg16(0), Err(crate::ModelError::InvalidBatch));
+        assert_eq!(try_alexnet(0), Err(crate::ModelError::InvalidBatch));
+        assert_eq!(try_vgg16(2).unwrap().name(), "vgg16");
+        assert_eq!(try_alexnet(2).unwrap().name(), "alexnet");
     }
 
     #[test]

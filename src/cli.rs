@@ -89,6 +89,10 @@ pub enum Command {
         /// Run the control-path study instead: BCU mapping-table strikes
         /// under SECDED ECC across the recovery-policy ladder.
         control_path: bool,
+        /// Run the scheduler-state study instead: retention-table / pin-set
+        /// / spill-queue strikes across all four recovery tiers including
+        /// checkpoint/rollback.
+        scheduler: bool,
         /// Emit the degradation curves as a JSON document instead of text.
         json: bool,
     },
@@ -124,7 +128,8 @@ USAGE:
   smctl layers  <network> [--batch <n>]
   smctl chaos   [<network>|headline] [--batch <n>] [--seed <n>] [--dram-rate <p>]
                 [--retry-budget <n>] [--budget-sweep] [--grid]
-                [--site-rate <p,p,...>] [--control-path] [--json]
+                [--site-rate <p,p,...>] [--control-path] [--scheduler]
+                [--json]
                 (network defaults to `headline` = ResNet-34 + SqueezeNet)
   smctl bench   [--out <path>]
 
@@ -218,12 +223,14 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut grid = false;
             let mut site_rates = None;
             let mut control_path = false;
+            let mut scheduler = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
                     "--budget-sweep" => budget_sweep = true,
                     "--grid" => grid = true,
                     "--control-path" => control_path = true,
+                    "--scheduler" => scheduler = true,
                     "--site-rate" => {
                         let v = take_value(&mut it, flag)?;
                         let rates = v
@@ -313,6 +320,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     grid,
                     site_rates,
                     control_path,
+                    scheduler,
                     json,
                 },
                 _ => Command::Verify { network, seed },
@@ -502,13 +510,15 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             grid,
             site_rates,
             control_path,
+            scheduler,
             json,
         } => {
             use sm_bench::experiments::{
                 chaos_degradation_with_budget, chaos_grid, chaos_grid3, control_path_sweep,
-                retry_budget_sweep, CONTROL_PATH_POLICIES, DEFAULT_CONTROL_PATH_RATES,
-                DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES,
-                DEFAULT_RETRY_BUDGETS,
+                retry_budget_sweep, scheduler_sweep, CONTROL_PATH_POLICIES,
+                DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS,
+                DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS, DEFAULT_SCHEDULER_RATES,
+                SCHEDULER_POLICIES,
             };
             let nets: Vec<Network> = if network == "headline" {
                 vec![
@@ -519,6 +529,31 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 vec![network_by_name(network, *batch)
                     .ok_or_else(|| CliError(format!("unknown network {network:?}")))?]
             };
+            if *scheduler {
+                let studies: Vec<_> = nets
+                    .iter()
+                    .map(|net| {
+                        scheduler_sweep(
+                            net,
+                            AccelConfig::default(),
+                            *seed,
+                            &SCHEDULER_POLICIES,
+                            &DEFAULT_SCHEDULER_RATES,
+                            *retry_budget,
+                        )
+                    })
+                    .collect();
+                if *json {
+                    let body =
+                        sm_bench::json::to_json(&studies).map_err(|e| CliError(e.to_string()))?;
+                    let _ = writeln!(out, "{body}");
+                } else {
+                    for study in &studies {
+                        let _ = writeln!(out, "{}", study.table().render());
+                    }
+                }
+                return Ok(out);
+            }
             if *control_path {
                 let studies: Vec<_> = nets
                     .iter()
@@ -788,6 +823,7 @@ mod tests {
                 grid: false,
                 site_rates: None,
                 control_path: false,
+                scheduler: false,
                 json: false,
             }
         );
@@ -920,6 +956,33 @@ mod tests {
             execute(&parse(["chaos", "toy_residual", "--control-path", "--json"]).unwrap())
                 .unwrap();
         assert!(json_out.contains(r#""recovered_recompute":"#));
+    }
+
+    #[test]
+    fn chaos_scheduler_reports_all_four_tiers() {
+        // A flag right after `chaos` defaults the network to the headline
+        // pair, same as --control-path.
+        match parse(["chaos", "--scheduler"]).unwrap() {
+            Command::Chaos {
+                network, scheduler, ..
+            } => {
+                assert_eq!(network, "headline");
+                assert!(scheduler);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Run on a tiny network to keep the test fast.
+        let out =
+            execute(&parse(["chaos", "toy_residual", "--scheduler", "--seed", "13"]).unwrap())
+                .unwrap();
+        assert!(out.contains("scheduler-state degradation"));
+        for policy in ["Abort", "RefetchTile", "RecomputeLayer", "Checkpoint"] {
+            assert!(out.contains(policy), "missing {policy}:\n{out}");
+        }
+        let json_out =
+            execute(&parse(["chaos", "toy_residual", "--scheduler", "--json"]).unwrap()).unwrap();
+        assert!(json_out.contains(r#""recovered_rollback":"#));
+        assert!(json_out.contains(r#""scheduler_fault_rate":"#));
     }
 
     #[test]

@@ -23,8 +23,8 @@ use proptest::test_runner::ProptestConfig;
 use shortcut_mining::accel::AccelConfig;
 use shortcut_mining::core::functional::verify_value_preservation_with;
 use shortcut_mining::core::{
-    Experiment, FaultPlan, Policy, Protection, RecoveryAction, RecoveryPolicy, SimOptions,
-    TraceEvent,
+    Experiment, FaultPlan, Policy, Protection, RecoveryAction, RecoveryBudget, RecoveryPolicy,
+    SimOptions, TraceEvent,
 };
 use shortcut_mining::mem::TrafficClass;
 use shortcut_mining::model::{zoo, Network};
@@ -194,6 +194,52 @@ proptest! {
         );
     }
 
+    /// Tightening the refetch allowance never increases total traffic:
+    /// budget exhaustion escalates to tiers that are cheaper per DUE
+    /// (recompute, then rollback), so retry bytes are monotone
+    /// non-decreasing in the refetch budget and the unlimited plan is the
+    /// most expensive of all.
+    #[test]
+    fn raising_the_refetch_budget_never_reduces_traffic(
+        seed in 0u64..10_000,
+        rate in 0.0f64..1.0,
+        budget in 0u32..4,
+        net_tag in 0usize..4,
+    ) {
+        let net = &tiny_nets()[net_tag];
+        let exp = Experiment::default_config();
+        let run_with = |refetches: Option<u32>| {
+            let plan = due_plan(seed, rate, RecoveryPolicy::RefetchTile)
+                .with_recovery_budget(RecoveryBudget {
+                    refetches,
+                    ..RecoveryBudget::default()
+                });
+            exp.run_checked(net, Policy::shortcut_mining(), &SimOptions::with_faults(plan))
+                .expect("overflow lands on unlimited cheaper tiers")
+        };
+        let tight = run_with(Some(budget));
+        let loose = run_with(Some(budget + 1));
+        let unlimited = run_with(None);
+        // Budgets never perturb the strike stream itself.
+        prop_assert_eq!(tight.stats.faults.due_events, unlimited.stats.faults.due_events);
+        prop_assert!(tight.stats.faults.recovered_refetch <= u64::from(budget));
+        let retry = |run: &shortcut_mining::core::SmRun|
+            run.stats.ledger.class_bytes(TrafficClass::Retry);
+        prop_assert!(
+            retry(&tight) <= retry(&loose),
+            "raising the refetch budget from {} reduced traffic: {} > {}",
+            budget,
+            retry(&tight),
+            retry(&loose)
+        );
+        prop_assert!(
+            retry(&loose) <= retry(&unlimited),
+            "a budgeted run out-spent the unlimited plan: {} > {}",
+            retry(&loose),
+            retry(&unlimited)
+        );
+    }
+
     /// An unprotected mapping-table strike is invisible to the analytic
     /// run but is always caught by the value replay, which localizes the
     /// misroute to a logical buffer.
@@ -348,6 +394,70 @@ fn recompute_recovery_bytes_equal_resident_shortfall() {
         assert!(
             free_recoveries > 0,
             "{}: expected at least one residency-free recovery",
+            net.name()
+        );
+    }
+}
+
+/// A scheduler DUE on the very first layer finds no checkpoint to roll
+/// back to (snapshots are taken at layer boundaries, so none precedes the
+/// first layer): the `Checkpoint` tier degrades to recompute accounting
+/// for exactly that strike, then rolls back everywhere a consistent
+/// snapshot exists.
+#[test]
+fn first_layer_scheduler_strike_falls_back_to_recompute() {
+    for net in tiny_nets() {
+        let exp = Experiment::default_config();
+        let plan = FaultPlan::new(23)
+            .with_scheduler_faults(1.0, Protection::Ecc)
+            .with_multi_bit(1.0, 0.0)
+            .with_recovery(RecoveryPolicy::Checkpoint);
+        let run = exp
+            .run_checked(
+                &net,
+                Policy::shortcut_mining(),
+                &SimOptions::with_faults(plan),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        let actions: Vec<RecoveryAction> = run
+            .trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Recovery { action, .. } => Some(*action),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            actions.len() as u64,
+            run.stats.faults.due_events,
+            "{}",
+            net.name()
+        );
+        assert!(
+            actions.len() >= 2,
+            "{}: rate 1.0 must strike every boundary",
+            net.name()
+        );
+        assert_eq!(
+            actions[0],
+            RecoveryAction::Recomputed,
+            "{}: no checkpoint precedes the first layer",
+            net.name()
+        );
+        assert!(
+            actions[1..]
+                .iter()
+                .all(|&a| a == RecoveryAction::RolledBack),
+            "{}: every later boundary has a consistent snapshot: {:?}",
+            net.name(),
+            actions
+        );
+        assert_eq!(run.stats.faults.recovered_recompute, 1, "{}", net.name());
+        assert_eq!(
+            run.stats.faults.recovered_rollback,
+            run.stats.faults.due_events - 1,
+            "{}",
             net.name()
         );
     }
