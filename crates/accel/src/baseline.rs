@@ -6,7 +6,7 @@ use crate::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
 use crate::tiling::{plan_conv_cached, ConvDims, TileCaps};
-use crate::{AccelConfig, AccelError, FaultStats, LayerReport, RunStats};
+use crate::{AccelConfig, AccelError, FaultStats, LayerPerfSummary, LayerReport, RunStats};
 
 /// The conventional fixed-buffer accelerator — the paper's comparison point.
 ///
@@ -125,6 +125,7 @@ impl BaselineAccelerator {
                 cycles,
                 traffic,
                 macs,
+                perf: LayerPerfSummary::from_cycles(cycles),
             });
         }
 

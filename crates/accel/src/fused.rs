@@ -25,7 +25,10 @@ use crate::cycles::{
     conv_compute_cycles, dram_cycles, fc_compute_cycles, vector_compute_cycles, LayerCycles,
 };
 use crate::tiling::{plan_conv_cached, ConvDims};
-use crate::{AccelConfig, AccelError, BaselineAccelerator, FaultStats, LayerReport, RunStats};
+use crate::{
+    AccelConfig, AccelError, BaselineAccelerator, FaultStats, LayerPerfSummary, LayerReport,
+    RunStats,
+};
 
 /// The fused-layer accelerator simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -248,6 +251,7 @@ impl FusedLayerAccelerator {
                     cycles,
                     traffic,
                     macs,
+                    perf: LayerPerfSummary::from_cycles(cycles),
                 });
             }
         }

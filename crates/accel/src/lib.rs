@@ -46,6 +46,7 @@ mod baseline;
 mod config;
 mod error;
 mod fused;
+mod perf;
 mod stats;
 
 pub mod addrgen;
@@ -58,4 +59,5 @@ pub use baseline::BaselineAccelerator;
 pub use config::{AccelConfig, SramPlan};
 pub use error::AccelError;
 pub use fused::FusedLayerAccelerator;
+pub use perf::LayerPerfSummary;
 pub use stats::{FaultStats, LayerReport, Plane, PlaneCounters, RunStats};

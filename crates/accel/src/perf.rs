@@ -1,0 +1,131 @@
+//! Per-layer performance telemetry.
+//!
+//! [`LayerPerfSummary`] is the serializable per-layer counter block every
+//! simulated architecture fills in alongside its cycle model: where the
+//! layer's time went (compute vs. DRAM stall vs. fault-recovery stall vs.
+//! bank-conflict stall) and how busy the PE array was. The same record
+//! doubles as the per-layer DUE-vulnerability report the chaos studies use
+//! for selective hardening — a layer with nonzero `due_events` is one whose
+//! data lived on chip long enough to be struck.
+//!
+//! All counters are plain `u64`s in a `Copy` struct (small, `Default`
+//! all-zero, field-wise diffable between runs), serialized with stable
+//! field names so downstream tooling can parse reports from older builds
+//! (`serde(default)` on every consumer-side field).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cycles::LayerCycles;
+
+/// Where one layer's cycles went, plus its fault exposure.
+///
+/// Produced per [`crate::LayerReport`]; all-zero (via `Default`) for
+/// architectures or layers where a component does not apply, so the JSON
+/// shape is identical across baseline, fused and shortcut-mining runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerPerfSummary {
+    /// Pure arithmetic cycles on the PE array.
+    pub compute_cycles: u64,
+    /// Cycles the layer waited on DRAM beyond what double buffering hid:
+    /// `max(fm_dram, weight_dram) - compute` when the layer is
+    /// traffic-bound, zero when compute-bound.
+    pub dram_stall_cycles: u64,
+    /// Cycles stalled in fault-recovery retry backoff (DRAM retries plus
+    /// parity-detected site strikes) attributed to this layer.
+    pub retry_stall_cycles: u64,
+    /// Cycles lost to on-chip buffer bank conflicts (swap-by-copy traffic
+    /// serialized against the compute datapath).
+    pub bank_conflict_stall_cycles: u64,
+    /// Detected-but-uncorrectable fault events that struck this layer's
+    /// live data (the per-layer DUE-vulnerability count).
+    pub due_events: u64,
+    /// PE-array occupancy: `compute_cycles / total layer cycles` in
+    /// `[0, 1]`. Zero for zero-length layers.
+    pub occupancy: f64,
+}
+
+impl LayerPerfSummary {
+    /// Derives the fault-free breakdown from a layer's cycle model: the
+    /// DRAM stall is whatever the slower DRAM channel could not hide under
+    /// compute, and occupancy is the compute fraction of the layer total
+    /// (which already includes pipeline overhead and any stall cycles the
+    /// simulator folded in).
+    pub fn from_cycles(cycles: LayerCycles) -> LayerPerfSummary {
+        LayerPerfSummary {
+            compute_cycles: cycles.compute,
+            dram_stall_cycles: cycles
+                .fm_dram
+                .max(cycles.weight_dram)
+                .saturating_sub(cycles.compute),
+            retry_stall_cycles: 0,
+            bank_conflict_stall_cycles: 0,
+            due_events: 0,
+            occupancy: if cycles.total == 0 {
+                0.0
+            } else {
+                cycles.compute as f64 / cycles.total as f64
+            },
+        }
+    }
+
+    /// Attaches per-layer fault attribution to a fault-free breakdown.
+    pub fn with_faults(
+        mut self,
+        retry_stall_cycles: u64,
+        bank_conflict_stall_cycles: u64,
+        due_events: u64,
+    ) -> LayerPerfSummary {
+        self.retry_stall_cycles = retry_stall_cycles;
+        self.bank_conflict_stall_cycles = bank_conflict_stall_cycles;
+        self.due_events = due_events;
+        self
+    }
+
+    /// All stall cycles combined, whatever their source.
+    pub fn stall_cycles(&self) -> u64 {
+        self.dram_stall_cycles + self.retry_stall_cycles + self.bank_conflict_stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_bound_layer_reports_the_unhidden_dram_cycles() {
+        let cycles = LayerCycles::combine(100, 250, 80, 10);
+        let perf = LayerPerfSummary::from_cycles(cycles);
+        assert_eq!(perf.compute_cycles, 100);
+        assert_eq!(perf.dram_stall_cycles, 150);
+        assert_eq!(perf.stall_cycles(), 150);
+        assert!((perf.occupancy - 100.0 / 260.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_layer_has_no_dram_stall() {
+        let cycles = LayerCycles::combine(300, 250, 80, 0);
+        let perf = LayerPerfSummary::from_cycles(cycles);
+        assert_eq!(perf.dram_stall_cycles, 0);
+        assert!((perf.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_layer_is_all_zero() {
+        let perf = LayerPerfSummary::from_cycles(LayerCycles::default());
+        assert_eq!(perf, LayerPerfSummary::default());
+        assert_eq!(perf.occupancy, 0.0);
+    }
+
+    #[test]
+    fn fault_attribution_rides_on_top() {
+        let perf = LayerPerfSummary::from_cycles(LayerCycles::combine(100, 40, 40, 0))
+            .with_faults(7, 3, 2);
+        assert_eq!(perf.retry_stall_cycles, 7);
+        assert_eq!(perf.bank_conflict_stall_cycles, 3);
+        assert_eq!(perf.due_events, 2);
+        assert_eq!(perf.stall_cycles(), 10);
+    }
+
+    // JSON round-trip coverage lives in `sm-bench` (the JSON codec's home
+    // crate): see `report_json_roundtrip` in crates/bench.
+}

@@ -4,6 +4,7 @@ use sm_buffer::BufferStats;
 use sm_mem::{ClassTotals, EnergyBreakdown, EnergyModel, Ledger};
 
 use crate::cycles::LayerCycles;
+use crate::perf::LayerPerfSummary;
 
 /// Counters describing injected faults and the recovery work they caused.
 ///
@@ -128,6 +129,11 @@ pub struct LayerReport {
     pub traffic: ClassTotals,
     /// Multiply-accumulates performed.
     pub macs: u64,
+    /// Where the layer's cycles went, plus its fault exposure. New field
+    /// relative to earlier report formats: consumers deserialize it with
+    /// `serde(default)` so old reports still parse.
+    #[serde(default)]
+    pub perf: LayerPerfSummary,
 }
 
 /// Outcome of simulating one network on one architecture.

@@ -22,7 +22,7 @@
 use serde::Serialize;
 
 use sm_accel::AccelConfig;
-use sm_core::parallel::par_map_auto;
+use sm_core::parallel::{par_map_auto, par_map_weighted_auto};
 use sm_core::{FaultPlan, Policy, Protection, RecoveryPolicy, SimOptions};
 use sm_mem::TrafficClass;
 use sm_model::Network;
@@ -138,10 +138,17 @@ pub fn chaos_degradation_with_budget(
         }
         None => base_plan,
     };
-    let points = par_map_auto(fractions, |&f| {
-        let options = SimOptions::with_faults(base_plan.clone().with_bank_failures(f));
-        run_chaos_point(&exp, net, f, &options)
-    });
+    // Cost-aware dispatch: every point replays the same network, so the
+    // MAC count is the per-cell cost estimate (uniform here, but the grid
+    // variants mix networks upstream and inherit the same call shape).
+    let points = par_map_weighted_auto(
+        fractions,
+        |_| net.total_macs(),
+        |&f| {
+            let options = SimOptions::with_faults(base_plan.clone().with_bank_failures(f));
+            run_chaos_point(&exp, net, f, &options)
+        },
+    );
     ChaosCurve {
         network: net.name().to_string(),
         seed,
@@ -292,38 +299,42 @@ pub fn chaos_grid(
         .iter()
         .flat_map(|&f| rates.iter().map(move |&r| (f, r)))
         .collect();
-    let cells = par_map_auto(&pairs, |&(f, r)| {
-        let mut plan = FaultPlan::new(seed)
-            .with_bank_failures(f)
-            .with_dram_faults(r);
-        if let Some(budget) = retry_budget {
-            let stall = plan.retry_stall_cycles;
-            plan = plan.with_retry_budget(budget, stall);
-        }
-        let options = SimOptions::with_faults(plan);
-        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
-            Ok(run) => ChaosGridCell {
-                bank_fail_fraction: f,
-                dram_fault_rate: r,
-                completed: true,
-                error: None,
-                fm_bytes: run.stats.fm_traffic_bytes(),
-                total_bytes: run.stats.total_traffic_bytes(),
-                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
-                total_cycles: run.stats.total_cycles,
-            },
-            Err(e) => ChaosGridCell {
-                bank_fail_fraction: f,
-                dram_fault_rate: r,
-                completed: false,
-                error: Some(e.to_string()),
-                fm_bytes: 0,
-                total_bytes: 0,
-                retry_bytes: 0,
-                total_cycles: 0,
-            },
-        }
-    });
+    let cells = par_map_weighted_auto(
+        &pairs,
+        |_| net.total_macs(),
+        |&(f, r)| {
+            let mut plan = FaultPlan::new(seed)
+                .with_bank_failures(f)
+                .with_dram_faults(r);
+            if let Some(budget) = retry_budget {
+                let stall = plan.retry_stall_cycles;
+                plan = plan.with_retry_budget(budget, stall);
+            }
+            let options = SimOptions::with_faults(plan);
+            match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+                Ok(run) => ChaosGridCell {
+                    bank_fail_fraction: f,
+                    dram_fault_rate: r,
+                    completed: true,
+                    error: None,
+                    fm_bytes: run.stats.fm_traffic_bytes(),
+                    total_bytes: run.stats.total_traffic_bytes(),
+                    retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                    total_cycles: run.stats.total_cycles,
+                },
+                Err(e) => ChaosGridCell {
+                    bank_fail_fraction: f,
+                    dram_fault_rate: r,
+                    completed: false,
+                    error: Some(e.to_string()),
+                    fm_bytes: 0,
+                    total_bytes: 0,
+                    retry_bytes: 0,
+                    total_cycles: 0,
+                },
+            }
+        },
+    );
     ChaosGrid {
         network: net.name().to_string(),
         seed,
@@ -459,42 +470,46 @@ pub fn chaos_grid3(
                 .flat_map(move |&r| site_rates.iter().map(move |&s| (f, r, s)))
         })
         .collect();
-    let cells = par_map_auto(&triples, |&(f, r, s)| {
-        let mut plan = FaultPlan::new(seed)
-            .with_bank_failures(f)
-            .with_dram_faults(r)
-            .with_weight_faults(s, Protection::Parity)
-            .with_pe_faults(s, Protection::Parity);
-        if let Some(budget) = retry_budget {
-            let stall = plan.retry_stall_cycles;
-            plan = plan.with_retry_budget(budget, stall);
-        }
-        let options = SimOptions::with_faults(plan);
-        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
-            Ok(run) => ChaosGrid3Cell {
-                bank_fail_fraction: f,
-                dram_fault_rate: r,
-                site_fault_rate: s,
-                completed: true,
-                error: None,
-                fm_bytes: run.stats.fm_traffic_bytes(),
-                total_bytes: run.stats.total_traffic_bytes(),
-                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
-                total_cycles: run.stats.total_cycles,
-            },
-            Err(e) => ChaosGrid3Cell {
-                bank_fail_fraction: f,
-                dram_fault_rate: r,
-                site_fault_rate: s,
-                completed: false,
-                error: Some(e.to_string()),
-                fm_bytes: 0,
-                total_bytes: 0,
-                retry_bytes: 0,
-                total_cycles: 0,
-            },
-        }
-    });
+    let cells = par_map_weighted_auto(
+        &triples,
+        |_| net.total_macs(),
+        |&(f, r, s)| {
+            let mut plan = FaultPlan::new(seed)
+                .with_bank_failures(f)
+                .with_dram_faults(r)
+                .with_weight_faults(s, Protection::Parity)
+                .with_pe_faults(s, Protection::Parity);
+            if let Some(budget) = retry_budget {
+                let stall = plan.retry_stall_cycles;
+                plan = plan.with_retry_budget(budget, stall);
+            }
+            let options = SimOptions::with_faults(plan);
+            match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+                Ok(run) => ChaosGrid3Cell {
+                    bank_fail_fraction: f,
+                    dram_fault_rate: r,
+                    site_fault_rate: s,
+                    completed: true,
+                    error: None,
+                    fm_bytes: run.stats.fm_traffic_bytes(),
+                    total_bytes: run.stats.total_traffic_bytes(),
+                    retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                    total_cycles: run.stats.total_cycles,
+                },
+                Err(e) => ChaosGrid3Cell {
+                    bank_fail_fraction: f,
+                    dram_fault_rate: r,
+                    site_fault_rate: s,
+                    completed: false,
+                    error: Some(e.to_string()),
+                    fm_bytes: 0,
+                    total_bytes: 0,
+                    retry_bytes: 0,
+                    total_cycles: 0,
+                },
+            }
+        },
+    );
     ChaosGrid3 {
         network: net.name().to_string(),
         seed,

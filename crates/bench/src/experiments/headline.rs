@@ -3,10 +3,12 @@
 //!
 //! Per-network simulations are independent, so each figure fans out over
 //! [`sm_core::parallel`]; tables are assembled serially from the
-//! order-preserving results.
+//! order-preserving results. The fan-outs are cost-aware: network MAC
+//! counts differ by ~50× between SqueezeNet and ResNet-152, so dispatching
+//! largest-first keeps a big network from serializing the tail of a sweep.
 
 use sm_accel::AccelConfig;
-use sm_core::parallel::par_map_auto;
+use sm_core::parallel::par_map_weighted_auto;
 use sm_core::{Experiment, Policy};
 use sm_mem::TrafficClass;
 use sm_model::zoo;
@@ -37,15 +39,19 @@ pub fn fig10_traffic_reduction(config: AccelConfig, batch: usize) -> TrafficResu
         ],
     );
     let nets = zoo::evaluated_networks(batch);
-    let rows = par_map_auto(&nets, |net| {
-        let cmp = exp.compare(net);
-        (
-            net.name().to_string(),
-            cmp.baseline.fm_traffic_bytes(),
-            cmp.mined.fm_traffic_bytes(),
-            cmp.traffic_reduction(),
-        )
-    });
+    let rows = par_map_weighted_auto(
+        &nets,
+        |net| net.total_macs(),
+        |net| {
+            let cmp = exp.compare(net);
+            (
+                net.name().to_string(),
+                cmp.baseline.fm_traffic_bytes(),
+                cmp.mined.fm_traffic_bytes(),
+                cmp.traffic_reduction(),
+            )
+        },
+    );
     for (name, base, mined, reduction) in &rows {
         let paper_red = paper::TRAFFIC_REDUCTION
             .iter()
@@ -96,14 +102,18 @@ pub fn fig11_traffic_breakdown(config: AccelConfig, batch: usize) -> BreakdownRe
                 .map(move |p| (i, p))
         })
         .collect();
-    let runs = par_map_auto(&points, |(i, policy)| {
-        let stats = exp.run(&nets[*i], *policy);
-        let classes: Vec<(TrafficClass, u64)> = TrafficClass::ALL
-            .into_iter()
-            .map(|class| (class, stats.ledger.class_bytes(class)))
-            .collect();
-        (nets[*i].name().to_string(), stats.architecture, classes)
-    });
+    let runs = par_map_weighted_auto(
+        &points,
+        |(i, _)| nets[*i].total_macs(),
+        |(i, policy)| {
+            let stats = exp.run(&nets[*i], *policy);
+            let classes: Vec<(TrafficClass, u64)> = TrafficClass::ALL
+                .into_iter()
+                .map(|class| (class, stats.ledger.class_bytes(class)))
+                .collect();
+            (nets[*i].name().to_string(), stats.architecture, classes)
+        },
+    );
     let mut rows = Vec::new();
     for (name, architecture, classes) in runs {
         let mut cells = vec![name.clone(), architecture.clone()];
@@ -141,16 +151,20 @@ pub fn fig13_throughput(config: AccelConfig, batch: usize) -> ThroughputResult {
         ],
     );
     let nets = zoo::evaluated_networks(batch);
-    let results = par_map_auto(&nets, |net| {
-        let cmp = exp.compare(net);
-        (
-            net.name().to_string(),
-            cmp.baseline.throughput_gops(),
-            cmp.mined.throughput_gops(),
-            cmp.speedup(),
-            cmp.mined.images_per_second(),
-        )
-    });
+    let results = par_map_weighted_auto(
+        &nets,
+        |net| net.total_macs(),
+        |net| {
+            let cmp = exp.compare(net);
+            (
+                net.name().to_string(),
+                cmp.baseline.throughput_gops(),
+                cmp.mined.throughput_gops(),
+                cmp.speedup(),
+                cmp.mined.images_per_second(),
+            )
+        },
+    );
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     for (name, base, mined, speedup, imgs) in results {

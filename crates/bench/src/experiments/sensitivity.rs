@@ -3,10 +3,12 @@
 //!
 //! Both sweeps fan their (x-value, network) grid out over
 //! [`sm_core::parallel`]; the result tables are assembled serially from the
-//! order-preserving map, so output is identical at any thread count.
+//! order-preserving map, so output is identical at any thread count. The
+//! grids are strongly skewed — ResNet-152 at batch 8 costs ~400× what
+//! SqueezeNet at batch 1 does — so dispatch is cost-aware by MAC count.
 
 use sm_accel::AccelConfig;
-use sm_core::parallel::par_map_auto;
+use sm_core::parallel::par_map_weighted_auto;
 use sm_core::Experiment;
 use sm_model::zoo;
 
@@ -33,12 +35,16 @@ pub fn fig14_capacity_sweep(base: AccelConfig, batch: usize) -> SweepResult {
         .iter()
         .flat_map(|&kib| (0..nets.len()).map(move |i| (kib, i)))
         .collect();
-    let rows = par_map_auto(&points, |&(kib, i)| {
-        let exp = Experiment::new(base.with_fm_capacity(kib * 1024));
-        let cmp = exp.compare(&nets[i]);
-        let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
-        (kib, nets[i].name().to_string(), red, sp)
-    });
+    let rows = par_map_weighted_auto(
+        &points,
+        |&(_, i)| nets[i].total_macs(),
+        |&(kib, i)| {
+            let exp = Experiment::new(base.with_fm_capacity(kib * 1024));
+            let cmp = exp.compare(&nets[i]);
+            let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
+            (kib, nets[i].name().to_string(), red, sp)
+        },
+    );
     for (kib, name, red, sp) in &rows {
         table.row(&[
             kib.to_string(),
@@ -61,16 +67,20 @@ pub fn fig15_batch_sweep(config: AccelConfig) -> SweepResult {
         .iter()
         .flat_map(|&batch| zoo::evaluated_networks(batch))
         .collect();
-    let rows = par_map_auto(&points, |net| {
-        let cmp = exp.compare(net);
-        let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
-        (
-            net.input().out_shape.n as u64,
-            net.name().to_string(),
-            red,
-            sp,
-        )
-    });
+    let rows = par_map_weighted_auto(
+        &points,
+        |net| net.total_macs(),
+        |net| {
+            let cmp = exp.compare(net);
+            let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
+            (
+                net.input().out_shape.n as u64,
+                net.name().to_string(),
+                red,
+                sp,
+            )
+        },
+    );
     for (batch, name, red, sp) in &rows {
         table.row(&[
             batch.to_string(),

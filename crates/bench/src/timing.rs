@@ -14,18 +14,28 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use sm_accel::tiling::{plan_cache_clear, plan_cache_stats, plan_conv_cached, ConvDims, TileCaps};
 use sm_accel::AccelConfig;
 use sm_core::parallel::set_threads;
-use sm_tensor::ops::{conv2d, conv2d_im2col, Conv2dParams};
+use sm_tensor::ops::{conv2d, conv2d_im2col, gemm_nt, gemm_nt_micro, Conv2dParams};
 use sm_tensor::{Shape4, Tensor};
 
 use crate::experiments::all_tables;
 
+/// The headline replay GEMM shape: the 64-channel 56×56 3×3 convolution of
+/// the ResNet mid-network, lowered by im2col — `rows` output positions by
+/// `cols` patch elements against `m` filters. This is the shape the nightly
+/// microkernel speedup floor is asserted on.
+pub const HEADLINE_GEMM: (usize, usize, usize) = (56 * 56, 64 * 3 * 3, 64);
+
 /// Timing results for one `smctl bench` run. All times in milliseconds.
-#[derive(Debug, Clone, Serialize)]
+///
+/// The struct both serializes (the committed `BENCH_parallel.json`) and
+/// deserializes; fields added after the first artifacts shipped carry
+/// `#[serde(default)]` so old reports keep parsing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Worker count used for the parallel suite run.
     pub threads: usize,
@@ -47,6 +57,18 @@ pub struct BenchReport {
     pub conv_im2col_ms: f64,
     /// `conv_naive_ms / conv_im2col_ms`.
     pub conv_speedup: f64,
+    /// Scalar cache-blocked `gemm_nt` on the headline replay shape
+    /// ([`HEADLINE_GEMM`]). Zero in reports from builds that predate the
+    /// microkernel.
+    #[serde(default)]
+    pub gemm_scalar_ms: f64,
+    /// Packed register-blocked `gemm_nt_micro` on the same shape.
+    #[serde(default)]
+    pub gemm_micro_ms: f64,
+    /// `gemm_scalar_ms / gemm_micro_ms` — the number the nightly
+    /// `--assert-conv-speedup` floor guards.
+    #[serde(default)]
+    pub gemm_micro_speedup: f64,
     /// Tiling planner over the key set with an empty cache.
     pub plan_cold_ms: f64,
     /// The same key set replayed against the warm cache.
@@ -103,6 +125,18 @@ pub fn run_bench(threads: usize) -> BenchReport {
         conv2d_im2col(&input, &weights, None, params).expect("lowered conv");
     });
 
+    // 2b. The GEMM kernels head to head on the headline replay shape —
+    // same matrices, scalar oracle vs packed microkernel.
+    let (rows, cols, m) = HEADLINE_GEMM;
+    let a = Tensor::random(Shape4::new(1, 1, rows, cols), 9).into_vec();
+    let b = Tensor::random(Shape4::new(1, 1, m, cols), 10).into_vec();
+    let gemm_scalar_ms = median_ms(3, || {
+        gemm_nt(&a, &b, rows, cols, m);
+    });
+    let gemm_micro_ms = median_ms(3, || {
+        gemm_nt_micro(&a, &b, rows, cols, m);
+    });
+
     // 3. Tiling planner, cold vs memoized, over a realistic key set.
     let caps = TileCaps {
         ifm_bytes: cfg.sram.fm_bytes() / 4,
@@ -156,6 +190,9 @@ pub fn run_bench(threads: usize) -> BenchReport {
         conv_naive_ms,
         conv_im2col_ms,
         conv_speedup: conv_naive_ms / conv_im2col_ms,
+        gemm_scalar_ms,
+        gemm_micro_ms,
+        gemm_micro_speedup: gemm_scalar_ms / gemm_micro_ms,
         plan_cold_ms,
         plan_warm_ms,
         plan_speedup: plan_cold_ms / plan_warm_ms,
@@ -170,6 +207,7 @@ impl BenchReport {
         format!(
             "suite: {:.0} ms serial -> {:.0} ms on {} threads, {} core(s) ({:.2}x, outputs identical: {})\n\
              conv 64x56x56 k3: {:.1} ms direct -> {:.1} ms im2col+gemm ({:.2}x)\n\
+             gemm 3136x576x64: {:.1} ms scalar -> {:.1} ms microkernel ({:.2}x)\n\
              tiling plans: {:.3} ms cold -> {:.3} ms warm ({:.1}x, {} hits)\n\
              provenance: {}\n",
             self.suite_serial_ms,
@@ -181,6 +219,9 @@ impl BenchReport {
             self.conv_naive_ms,
             self.conv_im2col_ms,
             self.conv_speedup,
+            self.gemm_scalar_ms,
+            self.gemm_micro_ms,
+            self.gemm_micro_speedup,
             self.plan_cold_ms,
             self.plan_warm_ms,
             self.plan_speedup,
@@ -188,11 +229,63 @@ impl BenchReport {
             self.provenance,
         )
     }
+
+    /// Checks asserted performance floors, as wired to the `smctl bench`
+    /// `--assert-*` flags (the nightly regression gate).
+    ///
+    /// * `conv_floor` — minimum `gemm_micro_speedup` (microkernel over the
+    ///   scalar oracle on the headline replay shape).
+    /// * `suite_floor` — minimum `suite_speedup`; skipped when the host
+    ///   offers a single core, where the parallel run can only measure
+    ///   threading overhead (the 1-core-container blind spot).
+    /// * `require_identical` — serial and parallel suite bytes must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message naming the first floor that failed.
+    pub fn assert_floors(
+        &self,
+        conv_floor: Option<f64>,
+        suite_floor: Option<f64>,
+        require_identical: bool,
+    ) -> Result<(), String> {
+        if require_identical && !self.suite_outputs_identical {
+            return Err(
+                "suite outputs differ between serial and parallel runs (determinism \
+                 regression)"
+                    .to_string(),
+            );
+        }
+        if let Some(floor) = conv_floor {
+            if self.gemm_micro_speedup < floor {
+                return Err(format!(
+                    "gemm microkernel speedup {:.2}x is below the asserted floor {floor:.2}x \
+                     ({:.1} ms scalar vs {:.1} ms microkernel)",
+                    self.gemm_micro_speedup, self.gemm_scalar_ms, self.gemm_micro_ms
+                ));
+            }
+        }
+        if let Some(floor) = suite_floor {
+            if self.available_cores == 1 {
+                // Single-core host: the parallel suite cannot beat serial,
+                // only measure overhead. Asserting a floor here would fail
+                // every pinned CI container, so the floor is waived.
+            } else if self.suite_speedup < floor {
+                return Err(format!(
+                    "parallel suite speedup {:.2}x is below the asserted floor {floor:.2}x \
+                     on {} cores",
+                    self.suite_speedup, self.available_cores
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::{from_json, to_json};
 
     #[test]
     fn median_is_stable_under_reordering() {
@@ -200,5 +293,88 @@ mod tests {
         let ms = median_ms(3, || calls += 1);
         assert_eq!(calls, 3);
         assert!(ms >= 0.0);
+    }
+
+    fn report(cores: usize) -> BenchReport {
+        BenchReport {
+            threads: 4,
+            available_cores: cores,
+            suite_serial_ms: 1000.0,
+            suite_parallel_ms: 2000.0,
+            suite_speedup: 0.5,
+            suite_outputs_identical: true,
+            conv_naive_ms: 100.0,
+            conv_im2col_ms: 20.0,
+            conv_speedup: 5.0,
+            gemm_scalar_ms: 120.0,
+            gemm_micro_ms: 20.0,
+            gemm_micro_speedup: 6.0,
+            plan_cold_ms: 1.0,
+            plan_warm_ms: 0.1,
+            plan_speedup: 10.0,
+            plan_cache_hits: 64,
+            provenance: "test".into(),
+        }
+    }
+
+    #[test]
+    fn conv_floor_passes_and_fails_around_the_measured_speedup() {
+        let r = report(1);
+        assert!(r.assert_floors(Some(4.0), None, false).is_ok());
+        let err = r.assert_floors(Some(8.0), None, false).unwrap_err();
+        assert!(err.contains("below the asserted floor"), "{err}");
+    }
+
+    #[test]
+    fn suite_floor_is_waived_on_a_single_core_host() {
+        // suite_speedup 0.5 would fail any floor, but one core waives it.
+        assert!(report(1).assert_floors(None, Some(1.5), false).is_ok());
+        let err = report(4).assert_floors(None, Some(1.5), false).unwrap_err();
+        assert!(err.contains("parallel suite speedup"), "{err}");
+    }
+
+    #[test]
+    fn identity_assertion_catches_divergent_outputs() {
+        let mut r = report(4);
+        assert!(r.assert_floors(None, None, true).is_ok());
+        r.suite_outputs_identical = false;
+        let err = r.assert_floors(None, None, true).unwrap_err();
+        assert!(err.contains("determinism"), "{err}");
+    }
+
+    #[test]
+    fn report_json_round_trips_with_the_new_fields() {
+        let r = report(2);
+        let body = to_json(&r).unwrap();
+        assert!(body.contains("\"gemm_micro_speedup\":6"));
+        let back: BenchReport = from_json(&body).unwrap();
+        assert_eq!(back.gemm_scalar_ms, r.gemm_scalar_ms);
+        assert_eq!(back.gemm_micro_speedup, r.gemm_micro_speedup);
+        assert_eq!(back.plan_cache_hits, r.plan_cache_hits);
+    }
+
+    #[test]
+    fn pre_microkernel_reports_still_parse() {
+        // A report serialized before the gemm_* fields existed: they must
+        // default to zero instead of failing the parse.
+        let r = report(2);
+        let mut body = to_json(&r).unwrap();
+        for field in [
+            "\"gemm_scalar_ms\":120,",
+            "\"gemm_micro_ms\":20,",
+            "\"gemm_micro_speedup\":6,",
+        ] {
+            assert!(
+                body.contains(field),
+                "fixture drifted: {field} not in {body}"
+            );
+            body = body.replace(field, "");
+        }
+        let back: BenchReport = from_json(&body).unwrap();
+        assert_eq!(back.gemm_scalar_ms, 0.0);
+        assert_eq!(back.gemm_micro_ms, 0.0);
+        assert_eq!(back.gemm_micro_speedup, 0.0);
+        assert_eq!(back.suite_serial_ms, 1000.0);
+        assert_eq!(back.provenance, "test");
     }
 }

@@ -7,7 +7,9 @@ use sm_accel::cycles::{
     vector_compute_cycles, LayerCycles,
 };
 use sm_accel::tiling::{plan_conv_cached, ConvDims, TileCaps, TilePlan};
-use sm_accel::{AccelConfig, AccelError, FaultStats, LayerReport, Plane, RunStats};
+use sm_accel::{
+    AccelConfig, AccelError, FaultStats, LayerPerfSummary, LayerReport, Plane, RunStats,
+};
 use sm_buffer::{BufferRole, LogicalBufferId, LogicalBuffers, Revocation};
 use sm_mem::{ClassTotals, DramModel, Ledger, TrafficClass};
 use sm_model::{Layer, LayerId, LayerKind, Network};
@@ -320,6 +322,10 @@ impl<'a> Sim<'a> {
         for layer in &all_layers {
             self.layer_traffic.clear();
             self.copy_penalty_bytes = 0;
+            // Snapshot the run-wide fault counters so this layer's share of
+            // retry stalls and DUE strikes can be attributed to it by diff
+            // (the injector increments the global counters in place).
+            let faults_before = self.faults;
             self.apply_layer_faults(layer.id.index())?;
             let compute = self.run_layer(layer)?;
 
@@ -402,6 +408,11 @@ impl<'a> Sim<'a> {
                 cycles,
                 traffic,
                 macs,
+                perf: LayerPerfSummary::from_cycles(cycles).with_faults(
+                    self.faults.retry_stall_cycles - faults_before.retry_stall_cycles,
+                    copy_cycles,
+                    self.faults.due_events - faults_before.due_events,
+                ),
             });
             debug_assert!(self.bufs.check_invariants(), "buffer invariant violated");
             if self.checked {

@@ -1,18 +1,44 @@
-//! Cache-blocked matrix multiplication for the lowered convolution path.
+//! Matrix multiplication kernels for the lowered convolution path.
 //!
 //! [`conv2d_im2col`](crate::ops::conv2d_im2col) reduces convolution to
 //! `C = A · Bᵀ` where `A` is the patch matrix (one row per output position)
-//! and `B` holds the flattened filters (one row per output channel). Both
-//! operands are row-major, so the inner product walks two contiguous slices —
-//! the blocking below only exists to keep the active panels of `A` and `B`
-//! in cache while every filter is streamed across every patch row.
+//! and `B` holds the flattened filters (one row per output channel). Two
+//! kernels implement that product:
+//!
+//! * [`gemm_nt`] — the original cache-blocked scalar loop. Simple enough to
+//!   audit by eye; kept as the oracle the fast path is verified against.
+//! * [`gemm_nt_micro`] — a packed, register-blocked microkernel (the hot
+//!   path). Panels of `A` and `B` are repacked once per `KC` strip into
+//!   contiguous buffers, then a fixed [`MR`]`×`[`NR`] unroll-and-jam inner
+//!   kernel walks the packed panels with one independent accumulator per
+//!   output cell.
+//!
+//! # Determinism and bit-identity
+//!
+//! Both kernels accumulate each output cell *sequentially in `k` within a
+//! [`KC`] strip* and add the per-strip partial sums into `C` in strip order.
+//! The microkernel's 64 accumulators are independent output cells, not split
+//! partial sums of one cell, so no floating-point reassociation happens:
+//! `gemm_nt_micro` is **bit-identical** to `gemm_nt` on every shape (the
+//! tests assert exact equality). Instruction-level parallelism comes from
+//! jamming 64 independent dependency chains, and SIMD comes from the
+//! compiler vectorizing across the `NR` accumulator lanes — both legal
+//! without `-ffast-math` because no chain is ever reordered.
 
 /// Iteration-space block sizes, sized for a 32 KiB L1 data cache: an
 /// `MC`-row panel of `A` plus an `NC`-row panel of `B` over a `KC`-wide
 /// strip is `(MC + NC) * KC * 4` bytes = 24 KiB.
 const MC: usize = 16;
 const NC: usize = 16;
-const KC: usize = 192;
+/// Shared `k`-strip width. The microkernel MUST use the same value as the
+/// scalar kernel: the strip boundaries define where partial sums are folded
+/// into `C`, so equal strips are what makes the two kernels bit-identical.
+pub const KC: usize = 192;
+
+/// Microkernel register-block height (rows of `A` per inner kernel).
+pub const MR: usize = 8;
+/// Microkernel register-block width (rows of `B`, i.e. columns of `C`).
+pub const NR: usize = 8;
 
 /// `C = A · Bᵀ` with both inputs row-major: `A` is `rows × cols`, `B` is
 /// `m × cols`, and the result is `rows × m` row-major.
@@ -20,6 +46,9 @@ const KC: usize = 192;
 /// Accumulation order is fixed by the block sizes, so results are
 /// deterministic (bit-identical across runs and thread counts) though not
 /// bit-identical to a naive single-pass dot product.
+///
+/// This is the scalar oracle; production callers use the equivalent (and
+/// bit-identical) [`gemm_nt_micro`].
 ///
 /// # Panics
 ///
@@ -44,6 +73,118 @@ pub fn gemm_nt(a: &[f32], b: &[f32], rows: usize, cols: usize, m: usize) -> Vec<
                             acc += x * y;
                         }
                         crow[j] += acc;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` through the packed [`MR`]`×`[`NR`] microkernel — the hot
+/// path of the lowered convolution (and therefore of golden replay).
+///
+/// Per [`KC`] strip, the full `B` strip is repacked into `NR`-wide column
+/// panels (`bp[panel][k][jj]`, contiguous in the order the inner kernel
+/// reads it) and each `MR`-row slice of `A` into a row panel
+/// (`ap[k][ii]`). The inner kernel then keeps an `MR × NR` tile of
+/// independent accumulators live across the whole strip: per `k` step it
+/// performs `MR * NR` multiply-adds from `MR + NR` loads, which the
+/// compiler turns into vector FMAs across the `NR` lanes.
+///
+/// Ragged edges are handled by zero-padding the packed panels to full
+/// `MR`/`NR` width and only writing back the valid cells, so every shape
+/// takes the same (full-speed) inner kernel.
+///
+/// Bit-identical to [`gemm_nt`] on every input — see the module docs for
+/// the argument.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the stated dimensions.
+pub fn gemm_nt_micro(a: &[f32], b: &[f32], rows: usize, cols: usize, m: usize) -> Vec<f32> {
+    assert_eq!(a.len(), rows * cols, "A is not rows x cols");
+    assert_eq!(b.len(), m * cols, "B is not m x cols");
+    // Explicit degenerate-dimension early-outs: no packing buffers are
+    // allocated and the (empty or all-zero) result matches the scalar
+    // kernel exactly.
+    if rows == 0 || m == 0 {
+        return Vec::new();
+    }
+    let mut c = vec![0.0f32; rows * m];
+    if cols == 0 {
+        return c;
+    }
+
+    let n_panels = m.div_ceil(NR);
+    // Packed B strip: n_panels panels, each KC k-steps of NR lanes.
+    let mut bp = vec![0.0f32; n_panels * KC * NR];
+    // Packed A micro-panel: KC k-steps of MR lanes.
+    let mut ap = vec![0.0f32; KC * MR];
+
+    for k0 in (0..cols).step_by(KC) {
+        let kc = (KC).min(cols - k0);
+        // Pack B: panel p holds rows j0..j0+NR of B over the strip,
+        // transposed so one k step's NR operands are adjacent.
+        for p in 0..n_panels {
+            let j0 = p * NR;
+            let jn = NR.min(m - j0);
+            let panel = &mut bp[p * KC * NR..(p * KC * NR) + kc * NR];
+            for (jj, prow) in (0..jn).map(|jj| (jj, &b[(j0 + jj) * cols + k0..])) {
+                for k in 0..kc {
+                    panel[k * NR + jj] = prow[k];
+                }
+            }
+            // Zero the padded lanes of ragged tail panels so stale values
+            // from the previous strip never feed an accumulator.
+            if jn < NR {
+                for k in 0..kc {
+                    for jj in jn..NR {
+                        panel[k * NR + jj] = 0.0;
+                    }
+                }
+            }
+        }
+
+        for i0 in (0..rows).step_by(MR) {
+            let ir = MR.min(rows - i0);
+            // Pack A: MR rows over the strip, transposed to k-major.
+            for k in 0..kc {
+                for ii in 0..ir {
+                    ap[k * MR + ii] = a[(i0 + ii) * cols + k0 + k];
+                }
+                for ii in ir..MR {
+                    ap[k * MR + ii] = 0.0;
+                }
+            }
+
+            for p in 0..n_panels {
+                let j0 = p * NR;
+                let jn = NR.min(m - j0);
+                let panel = &bp[p * KC * NR..(p * KC * NR) + kc * NR];
+
+                // The register tile: MR×NR independent accumulators, each
+                // summing its cell's products sequentially in k (same
+                // order as the scalar oracle's per-strip accumulator).
+                let mut acc = [[0.0f32; NR]; MR];
+                for k in 0..kc {
+                    let av: &[f32; MR] = ap[k * MR..k * MR + MR].try_into().expect("MR lane");
+                    let bv: &[f32; NR] = panel[k * NR..k * NR + NR].try_into().expect("NR lane");
+                    for ii in 0..MR {
+                        let x = av[ii];
+                        let row = &mut acc[ii];
+                        for jj in 0..NR {
+                            row[jj] += x * bv[jj];
+                        }
+                    }
+                }
+
+                // Fold the strip's partial sums into C (valid cells only —
+                // padded lanes never escape the register tile).
+                for ii in 0..ir {
+                    let crow = &mut c[(i0 + ii) * m + j0..(i0 + ii) * m + j0 + jn];
+                    for (dst, &src) in crow.iter_mut().zip(&acc[ii][..jn]) {
+                        *dst += src;
                     }
                 }
             }
@@ -112,8 +253,57 @@ mod tests {
     }
 
     #[test]
+    fn microkernel_is_bit_identical_to_scalar_on_tail_shapes() {
+        // Every combination of rows/m below, at, and straddling MR/NR, and
+        // cols below, at, and straddling KC — the packing edge cases.
+        for rows in [1usize, 7, 8, 9, 16, 23] {
+            for m in [1usize, 7, 8, 9, 17] {
+                for cols in [1usize, 5, 191, 192, 193, 400] {
+                    let seed = (rows * 1000 + m * 10 + cols) as u64;
+                    let a = pseudo(rows * cols, seed);
+                    let b = pseudo(m * cols, seed + 100);
+                    let micro = gemm_nt_micro(&a, &b, rows, cols, m);
+                    let scalar = gemm_nt(&a, &b, rows, cols, m);
+                    assert_eq!(micro, scalar, "{rows}x{cols}x{m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_matches_naive_within_tolerance() {
+        for (rows, cols, m, seed) in [
+            (17usize, 193usize, 19usize, 4u64),
+            (40, 250, 33, 5),
+            (64, 576, 64, 6),
+        ] {
+            let a = pseudo(rows * cols, seed);
+            let b = pseudo(m * cols, seed + 100);
+            let micro = gemm_nt_micro(&a, &b, rows, cols, m);
+            let naive = gemm_naive(&a, &b, rows, cols, m);
+            let worst = micro
+                .iter()
+                .zip(&naive)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(worst < 1e-3, "{rows}x{cols}x{m}: max diff {worst}");
+        }
+    }
+
+    #[test]
     fn empty_dimensions_yield_empty_or_zero_results() {
         assert!(gemm_nt(&[], &[], 0, 5, 0).is_empty());
         assert_eq!(gemm_nt(&[], &[], 3, 0, 2), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn microkernel_zero_dimension_early_outs() {
+        // rows == 0, m == 0, and cols == 0 each take the explicit early-out
+        // and agree with the scalar kernel's result shape and values.
+        assert!(gemm_nt_micro(&[], &[], 0, 5, 0).is_empty());
+        assert!(gemm_nt_micro(&[], &[1.0, 2.0], 0, 1, 2).is_empty());
+        assert!(gemm_nt_micro(&[1.0, 2.0], &[], 2, 1, 0).is_empty());
+        assert_eq!(gemm_nt_micro(&[], &[], 3, 0, 2), vec![0.0; 6]);
+        assert_eq!(gemm_nt_micro(&[], &[], 3, 0, 2), gemm_nt(&[], &[], 3, 0, 2));
     }
 }

@@ -1,5 +1,5 @@
 use crate::ops::conv::Conv2dParams;
-use crate::ops::gemm::gemm_nt;
+use crate::ops::gemm::gemm_nt_micro;
 use crate::{Shape4, Tensor, TensorError};
 
 /// Lowers a convolution input to a patch matrix (im2col).
@@ -58,8 +58,8 @@ pub fn im2col(
     Ok((m, rows, cols))
 }
 
-/// Convolution by lowering: `im2col` followed by a cache-blocked matrix
-/// multiplication ([`gemm_nt`]) against the flattened filters.
+/// Convolution by lowering: `im2col` followed by the packed register-blocked
+/// matrix multiplication ([`gemm_nt_micro`]) against the flattened filters.
 ///
 /// This is the fast execution path of the golden model. It is numerically
 /// deterministic but accumulates in a different order than the direct
@@ -104,8 +104,9 @@ pub fn conv2d_im2col(
     let ow = params.out_dim(is.w).expect("validated");
 
     // (rows, cols) x (M, cols)^T -> (rows, M), rows batch-major over
-    // output positions.
-    let prod = gemm_nt(&patches, weights.as_slice(), rows, cols, ws.n);
+    // output positions. The packed microkernel is bit-identical to the
+    // scalar gemm_nt oracle, so swapping it in changes no replay value.
+    let prod = gemm_nt_micro(&patches, weights.as_slice(), rows, cols, ws.n);
 
     // Scatter from position-major (row, m) to NCHW, adding bias on the way.
     let mut out = Tensor::zeros(Shape4::new(is.n, ws.n, oh, ow));

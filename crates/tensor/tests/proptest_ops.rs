@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use sm_tensor::ops::{
-    avg_pool2d, conv2d, conv2d_im2col, conv_out_dim, eltwise_add, max_pool2d, relu, Conv2dParams,
-    Pool2dParams,
+    avg_pool2d, conv2d, conv2d_im2col, conv_out_dim, eltwise_add, gemm_nt, gemm_nt_micro,
+    max_pool2d, relu, Conv2dParams, Pool2dParams, KC, MR, NR,
 };
 use sm_tensor::{Shape4, Tensor};
 
@@ -46,8 +46,72 @@ fn geometry() -> impl Strategy<Value = Geometry> {
         })
 }
 
+/// A dimension strategy biased toward the microkernel's fracture points:
+/// below, at, and one past each multiple of the given block size, plus a
+/// small uniform range so interior sizes stay covered.
+fn around_blocks(block: usize, max_mult: usize) -> impl Strategy<Value = usize> {
+    prop_oneof![
+        (1usize..max_mult + 1, 0usize..3).prop_map(move |(mult, off)| block * mult - 1 + off),
+        1usize..2 * block,
+    ]
+}
+
+/// Reference single-pass dot-product GEMM: no strip blocking, so it is the
+/// independent oracle the blocked kernels are tolerance-checked against.
+fn gemm_naive(a: &[f32], b: &[f32], rows: usize, cols: usize, m: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; rows * m];
+    for i in 0..rows {
+        for j in 0..m {
+            let mut acc = 0.0f32;
+            for k in 0..cols {
+                acc += a[i * cols + k] * b[j * cols + k];
+            }
+            c[i * m + j] = acc;
+        }
+    }
+    c
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The packed microkernel is bit-identical to the scalar blocked oracle
+    /// on shapes straddling the MR/NR register-block tails, and both agree
+    /// with a naive dot product up to reassociation error.
+    #[test]
+    fn microkernel_matches_scalar_bitwise(
+        rows in around_blocks(MR, 3),
+        cols in 1usize..64,
+        m in around_blocks(NR, 3),
+        seed in 0u64..500,
+    ) {
+        let a = Tensor::random(Shape4::new(1, 1, rows, cols), seed).into_vec();
+        let b = Tensor::random(Shape4::new(1, 1, m, cols), seed + 1).into_vec();
+        let scalar = gemm_nt(&a, &b, rows, cols, m);
+        let micro = gemm_nt_micro(&a, &b, rows, cols, m);
+        prop_assert_eq!(&scalar, &micro);
+        let naive = gemm_naive(&a, &b, rows, cols, m);
+        for (x, y) in micro.iter().zip(&naive) {
+            prop_assert!((x - y).abs() <= 1e-3, "micro {} vs naive {}", x, y);
+        }
+    }
+
+    /// Same identity across the shared KC-strip boundary: the fold points
+    /// into `C` must line up exactly for the kernels to stay bit-identical.
+    #[test]
+    fn microkernel_matches_scalar_across_kc_strips(
+        rows in 1usize..20,
+        cols in prop_oneof![Just(KC - 1), Just(KC), Just(KC + 1), Just(2 * KC), Just(2 * KC + 5)],
+        m in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let a = Tensor::random(Shape4::new(1, 1, rows, cols), seed).into_vec();
+        let b = Tensor::random(Shape4::new(1, 1, m, cols), seed + 1).into_vec();
+        prop_assert_eq!(
+            gemm_nt(&a, &b, rows, cols, m),
+            gemm_nt_micro(&a, &b, rows, cols, m)
+        );
+    }
 
     /// Two independent convolution implementations agree everywhere.
     #[test]

@@ -96,10 +96,40 @@ pub enum Command {
         /// Emit the degradation curves as a JSON document instead of text.
         json: bool,
     },
+    /// Per-layer performance telemetry: cycle/stall breakdown, occupancy,
+    /// and (under injected faults) per-layer DUE vulnerability.
+    Report {
+        /// Network name.
+        network: String,
+        /// Batch size (default 1).
+        batch: usize,
+        /// Policy name (default `shortcut-mining`).
+        policy: Policy,
+        /// Emit one record per layer instead of the run-level totals.
+        per_layer: bool,
+        /// Emit JSON instead of a text table.
+        json: bool,
+        /// Fault-plan seed (default 42; only used when faults are active).
+        seed: u64,
+        /// Per-attempt DRAM failure probability (default 0 — fault-free).
+        dram_rate: f64,
+        /// Site-strike rate on the weight SRAM and PE array (ECC-protected,
+        /// refetch recovery), populating the per-layer DUE column.
+        site_rate: Option<f64>,
+    },
     /// Wall-clock timing harness: parallel suite, conv kernels, plan cache.
     Bench {
         /// Output path for the JSON report (default `BENCH_parallel.json`).
         out: String,
+        /// Fail unless the conv microkernel speedup over scalar `gemm_nt`
+        /// reaches this floor.
+        assert_conv_speedup: Option<f64>,
+        /// Fail unless the parallel suite speedup reaches this floor
+        /// (skipped automatically on a single-core host).
+        assert_suite_speedup: Option<f64>,
+        /// Fail unless the parallel suite output is byte-identical to the
+        /// serial run.
+        assert_suite_identical: bool,
     },
 }
 
@@ -131,7 +161,10 @@ USAGE:
                 [--site-rate <p,p,...>] [--control-path] [--scheduler]
                 [--json]
                 (network defaults to `headline` = ResNet-34 + SqueezeNet)
-  smctl bench   [--out <path>]
+  smctl report  <network> [--batch <n>] [--policy <name>] [--per-layer]
+                [--seed <n>] [--dram-rate <p>] [--site-rate <p>] [--json]
+  smctl bench   [--out <path>] [--assert-conv-speedup <x>]
+                [--assert-suite-speedup <x>] [--assert-suite-identical]
 
 Every command also accepts --threads <n> (worker count for parallel
 sweeps; SM_THREADS environment variable is the fallback, default = all
@@ -190,15 +223,41 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
         "networks" => Ok(Command::Networks),
         "bench" => {
             let mut out = "BENCH_parallel.json".to_string();
+            let mut assert_conv_speedup = None;
+            let mut assert_suite_speedup = None;
+            let mut assert_suite_identical = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--out" => out = take_value(&mut it, flag)?.to_string(),
+                    "--assert-suite-identical" => assert_suite_identical = true,
+                    "--assert-conv-speedup" | "--assert-suite-speedup" => {
+                        let v = take_value(&mut it, flag)?;
+                        let floor = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|f| f.is_finite() && *f > 0.0)
+                            .ok_or_else(|| {
+                                CliError(format!(
+                                    "invalid speedup floor {v:?} (positive number expected)"
+                                ))
+                            })?;
+                        if flag == "--assert-conv-speedup" {
+                            assert_conv_speedup = Some(floor);
+                        } else {
+                            assert_suite_speedup = Some(floor);
+                        }
+                    }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
-            Ok(Command::Bench { out })
+            Ok(Command::Bench {
+                out,
+                assert_conv_speedup,
+                assert_suite_speedup,
+                assert_suite_identical,
+            })
         }
-        "compare" | "analyze" | "verify" | "sweep" | "layers" | "chaos" => {
+        "compare" | "analyze" | "verify" | "sweep" | "layers" | "chaos" | "report" => {
             // `chaos` may omit the network (or lead with a flag): it
             // defaults to the headline pair.
             let first = match it.next() {
@@ -224,9 +283,12 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut site_rates = None;
             let mut control_path = false;
             let mut scheduler = false;
+            let mut per_layer = false;
+            let mut dram_rate_given = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
+                    "--per-layer" => per_layer = true,
                     "--budget-sweep" => budget_sweep = true,
                     "--grid" => grid = true,
                     "--control-path" => control_path = true,
@@ -286,6 +348,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                         dram_rate = v.parse().map_err(|_| {
                             CliError(format!("invalid dram rate {v:?} (probability expected)"))
                         })?;
+                        dram_rate_given = true;
                     }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
@@ -296,10 +359,31 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     "unknown network {network:?} — run `smctl networks`"
                 )));
             }
-            if site_rates.is_some() && !grid {
+            if cmd == "chaos" && site_rates.is_some() && !grid {
                 return Err(CliError("--site-rate requires --grid".into()));
             }
             Ok(match cmd {
+                "report" => {
+                    let site_rate = match site_rates.as_deref() {
+                        None => None,
+                        Some([s]) => Some(*s),
+                        Some(_) => {
+                            return Err(CliError("report takes a single --site-rate value".into()))
+                        }
+                    };
+                    Command::Report {
+                        network,
+                        batch,
+                        policy,
+                        per_layer,
+                        json,
+                        seed,
+                        // Reports are fault-free unless a rate is requested
+                        // (the chaos default of 0.01 does not apply here).
+                        dram_rate: if dram_rate_given { dram_rate } else { 0.0 },
+                        site_rate,
+                    }
+                }
                 "compare" => Command::Compare {
                     network,
                     capacity_kib,
@@ -678,7 +762,118 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 let _ = writeln!(out, "{}", curve.table().render());
             }
         }
-        Command::Bench { out: path } => {
+        Command::Report {
+            network,
+            batch,
+            policy,
+            per_layer,
+            json,
+            seed,
+            dram_rate,
+            site_rate,
+        } => {
+            use sm_core::{FaultPlan, Protection, RecoveryPolicy, SimOptions};
+            let net = network_by_name(network, *batch)
+                .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+            let exp = Experiment::new(AccelConfig::default());
+            let faults_active = *dram_rate > 0.0 || site_rate.is_some();
+            let stats = if faults_active {
+                if !policy.logical_buffers {
+                    return Err(CliError(
+                        "fault-attributed reports need a logical-buffer policy \
+                         (the baseline accelerator has no fault model)"
+                            .into(),
+                    ));
+                }
+                let mut plan = FaultPlan::new(*seed).with_dram_faults(*dram_rate);
+                if let Some(s) = site_rate {
+                    // ECC with a visible DUE mass and refetch recovery: the
+                    // configuration that makes the per-layer DUE column
+                    // meaningful without aborting the run.
+                    plan = plan
+                        .with_weight_faults(*s, Protection::Ecc)
+                        .with_pe_faults(*s, Protection::Ecc)
+                        .with_multi_bit(0.2, 0.05)
+                        .with_recovery(RecoveryPolicy::RefetchTile);
+                }
+                exp.run_checked(&net, *policy, &SimOptions::with_faults(plan))
+                    .map_err(|e| CliError(format!("report run failed: {e}")))?
+                    .stats
+            } else {
+                exp.run(&net, *policy)
+            };
+            if *json {
+                let body = if *per_layer {
+                    sm_bench::json::to_json(&stats.layers).map_err(|e| CliError(e.to_string()))?
+                } else {
+                    sm_bench::json::to_json(&stats).map_err(|e| CliError(e.to_string()))?
+                };
+                let _ = writeln!(out, "{body}");
+                return Ok(out);
+            }
+            let _ = writeln!(
+                out,
+                "{} batch {} | {} | total {:.2} Mcycles",
+                stats.network,
+                stats.batch,
+                stats.architecture,
+                stats.total_cycles as f64 / 1e6
+            );
+            if *per_layer {
+                let _ = writeln!(
+                    out,
+                    "{:24} {:>7} | {:>10} {:>10} {:>9} {:>9} {:>5} {:>6}",
+                    "layer",
+                    "kind",
+                    "comp kcyc",
+                    "dram kcyc",
+                    "rtry kcyc",
+                    "bank kcyc",
+                    "DUEs",
+                    "occ%"
+                );
+                for l in &stats.layers {
+                    let p = &l.perf;
+                    let _ = writeln!(
+                        out,
+                        "{:24} {:>7} | {:>10.1} {:>10.1} {:>9.1} {:>9.1} {:>5} {:>5.1}%",
+                        l.name,
+                        l.kind,
+                        p.compute_cycles as f64 / 1e3,
+                        p.dram_stall_cycles as f64 / 1e3,
+                        p.retry_stall_cycles as f64 / 1e3,
+                        p.bank_conflict_stall_cycles as f64 / 1e3,
+                        p.due_events,
+                        100.0 * p.occupancy,
+                    );
+                }
+            }
+            let (mut comp, mut dram, mut rtry, mut bank, mut dues) = (0u64, 0u64, 0u64, 0u64, 0u64);
+            for l in &stats.layers {
+                comp += l.perf.compute_cycles;
+                dram += l.perf.dram_stall_cycles;
+                rtry += l.perf.retry_stall_cycles;
+                bank += l.perf.bank_conflict_stall_cycles;
+                dues += l.perf.due_events;
+            }
+            let _ = writeln!(
+                out,
+                "totals: compute {:.2} Mcyc | dram stall {:.2} Mcyc | retry stall {:.2} Mcyc \
+                 | bank-conflict {:.2} Mcyc | DUEs {} | occupancy {:.1}%",
+                comp as f64 / 1e6,
+                dram as f64 / 1e6,
+                rtry as f64 / 1e6,
+                bank as f64 / 1e6,
+                dues,
+                100.0 * comp as f64 / stats.total_cycles.max(1) as f64,
+            );
+        }
+        Command::Bench {
+            out: path,
+            assert_conv_speedup,
+            assert_suite_speedup,
+            assert_suite_identical,
+        } => {
             let threads = sm_core::parallel::threads().max(2);
             let report = sm_bench::timing::run_bench(threads);
             let body = sm_bench::json::to_json(&report).map_err(|e| CliError(e.to_string()))?;
@@ -686,6 +881,19 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
             let _ = write!(out, "{}", report.summary());
             let _ = writeln!(out, "report written to {path}");
+            report
+                .assert_floors(
+                    *assert_conv_speedup,
+                    *assert_suite_speedup,
+                    *assert_suite_identical,
+                )
+                .map_err(CliError)?;
+            if assert_conv_speedup.is_some()
+                || assert_suite_speedup.is_some()
+                || *assert_suite_identical
+            {
+                let _ = writeln!(out, "all asserted floors hold");
+            }
         }
         Command::Verify { network, seed } => {
             let net = network_by_name(network, 1)
@@ -990,16 +1198,120 @@ mod tests {
         assert_eq!(
             parse(["bench"]).unwrap(),
             Command::Bench {
-                out: "BENCH_parallel.json".into()
+                out: "BENCH_parallel.json".into(),
+                assert_conv_speedup: None,
+                assert_suite_speedup: None,
+                assert_suite_identical: false,
             }
         );
         assert_eq!(
-            parse(["bench", "--out", "/tmp/b.json"]).unwrap(),
+            parse([
+                "bench",
+                "--out",
+                "/tmp/b.json",
+                "--assert-conv-speedup",
+                "4",
+                "--assert-suite-speedup",
+                "1.2",
+                "--assert-suite-identical",
+            ])
+            .unwrap(),
             Command::Bench {
-                out: "/tmp/b.json".into()
+                out: "/tmp/b.json".into(),
+                assert_conv_speedup: Some(4.0),
+                assert_suite_speedup: Some(1.2),
+                assert_suite_identical: true,
             }
         );
         assert!(parse(["bench", "--wat"]).is_err());
+        assert!(parse(["bench", "--assert-conv-speedup", "zero"]).is_err());
+        assert!(parse(["bench", "--assert-conv-speedup", "-1"]).is_err());
+        assert!(parse(["bench", "--assert-suite-speedup"]).is_err());
+    }
+
+    #[test]
+    fn report_command_parses_and_runs_per_layer() {
+        let cmd = parse(["report", "toy_residual", "--per-layer"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                network: "toy_residual".into(),
+                batch: 1,
+                policy: Policy::shortcut_mining(),
+                per_layer: true,
+                json: false,
+                seed: 42,
+                dram_rate: 0.0,
+                site_rate: None,
+            }
+        );
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("comp kcyc"));
+        assert!(out.contains("c1"));
+        assert!(out.contains("totals:"));
+        // report requires an explicit network and a single site rate.
+        assert!(parse(["report"]).is_err());
+        assert!(parse(["report", "toy_residual", "--site-rate", "0.1,0.2"]).is_err());
+    }
+
+    #[test]
+    fn report_emits_per_layer_perf_json() {
+        let out =
+            execute(&parse(["report", "resnet_tiny20", "--per-layer", "--json"]).unwrap()).unwrap();
+        assert!(out.trim_start().starts_with('['));
+        for field in [
+            r#""compute_cycles":"#,
+            r#""dram_stall_cycles":"#,
+            r#""retry_stall_cycles":"#,
+            r#""bank_conflict_stall_cycles":"#,
+            r#""due_events":"#,
+            r#""occupancy":"#,
+        ] {
+            assert!(out.contains(field), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn report_attributes_faults_per_layer() {
+        // A hot DRAM fault rate guarantees at least one retried transfer on
+        // a tiny network, which must surface as per-layer retry stall.
+        let out = execute(
+            &parse([
+                "report",
+                "toy_residual",
+                "--dram-rate",
+                "0.2",
+                "--per-layer",
+                "--json",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains(r#""retry_stall_cycles":"#));
+        let total_retry: u64 = out
+            .split(r#""retry_stall_cycles":"#)
+            .skip(1)
+            .filter_map(|s| {
+                s.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|d| d.parse::<u64>().ok())
+            })
+            .sum();
+        assert!(total_retry > 0, "expected nonzero retry stall:\n{out}");
+        // Baseline policy cannot host the fault model.
+        let err = execute(
+            &parse([
+                "report",
+                "toy_residual",
+                "--policy",
+                "baseline",
+                "--dram-rate",
+                "0.5",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("logical-buffer"));
     }
 
     #[test]
