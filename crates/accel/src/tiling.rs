@@ -431,6 +431,38 @@ pub fn plan_cache_clear() {
     PLAN_MISSES.store(0, Ordering::Relaxed);
 }
 
+/// Handle-based view of the plan-cache counters: captures the totals at
+/// creation so [`PlanCacheSnapshot::delta`] reports only the hits and
+/// misses observed *since*, without resetting the process-global counters.
+///
+/// This is the scoped alternative to the [`plan_cache_stats`] +
+/// [`plan_cache_clear`] pattern: clearing is destructive (it empties the
+/// memo and zeroes every other observer's baseline), so concurrent
+/// observers — e.g. service requests sharing one process — each take their
+/// own snapshot and read their own delta without smearing each other.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanCacheSnapshot {
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCacheSnapshot {
+    /// Captures the current process-global counters as the baseline.
+    pub fn take() -> PlanCacheSnapshot {
+        let (hits, misses) = plan_cache_stats();
+        PlanCacheSnapshot { hits, misses }
+    }
+
+    /// `(hits, misses)` accrued since this snapshot was taken.
+    pub fn delta(&self) -> (u64, u64) {
+        let (hits, misses) = plan_cache_stats();
+        (
+            hits.saturating_sub(self.hits),
+            misses.saturating_sub(self.misses),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,606 @@
+//! Persistent content-addressed store for sweep-cell results.
+//!
+//! Every simulation in this workspace is a pure function of its serialized
+//! inputs — network, [`sm_accel::AccelConfig`], [`sm_core::Policy`],
+//! [`sm_core::FaultPlan`] (seed, rates, recovery settings) — and the
+//! parallel dispatch preserves order, so a sweep cell's result is
+//! byte-trustworthy across processes: recomputing it can only reproduce the
+//! same bytes. That makes sweep results safe to memoize on disk, the same
+//! argument that backs the in-process tiling-plan memo, lifted to whole
+//! cells.
+//!
+//! * [`cell_key`] derives a stable 128-bit content key from the canonical
+//!   JSON of a cell's inputs ([`sm_core::hash::Fnv128`] — no
+//!   `RandomState`, stable across processes).
+//! * [`ResultCache`] maps key → serialized result under a versioned
+//!   directory; every entry carries an integrity checksum, and corrupt,
+//!   truncated, or stale entries are rejected, evicted, and recomputed —
+//!   never trusted.
+//! * [`CacheSession`] is a per-request handle over a shared store: it
+//!   observes its own hit/miss/eviction counters, so concurrent service
+//!   requests don't smear each other's rates, while the store accumulates
+//!   process totals (surfaced like `plan_cache_stats`).
+//! * [`cached_cells`] is the delta-simulation driver: it probes the cache
+//!   for every cell of a sweep and hands **only the missing cells** to
+//!   [`sm_core::parallel::par_map_weighted_stream`], merging cached and
+//!   computed results back into sweep order. A warm re-run that shares most
+//!   of its cells simulates only the delta and stays byte-identical to a
+//!   cold run at any thread count.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use sm_core::hash::{fnv64, Fnv128};
+use sm_core::parallel::{par_map_weighted_stream, threads};
+
+use crate::json::{from_json, to_json, JsonError};
+
+/// On-disk schema version. Entries live under a `v{N}/` subdirectory and
+/// echo the version in their header, so a release that changes the result
+/// wire format bumps this constant and every older entry becomes invisible
+/// (stale) instead of being misparsed.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Magic tag opening every cache entry header.
+const CACHE_MAGIC: &str = "smcas";
+
+/// A stable 128-bit content key naming one cached result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// The 32-hex-digit form used as the entry's file name.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// Derives the [`CacheKey`] for one sweep cell: the FNV-1a-128 digest of
+/// the schema version, a kind tag (e.g. `"chaos-grid-cell"`), and the
+/// canonical JSON of the cell's full inputs.
+///
+/// The inputs value must capture *everything* the cell result is a function
+/// of — network content, accelerator config, policy, and the complete fault
+/// plan (seed, rates, budgets, recovery policy) — so any single differing
+/// field produces a different key. The kind tag keeps two cell types with
+/// coincidentally identical input JSON from aliasing.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the inputs fail to serialize (the derived
+/// impls used for cell keys never do).
+pub fn cell_key<T: Serialize>(kind: &str, inputs: &T) -> Result<CacheKey, JsonError> {
+    let body = to_json(inputs)?;
+    let mut h = Fnv128::new();
+    h.update(&CACHE_SCHEMA_VERSION.to_le_bytes());
+    h.update(kind.as_bytes());
+    h.update(&[0]);
+    h.update(body.as_bytes());
+    Ok(CacheKey(h.finish()))
+}
+
+/// Hex fingerprint of any serializable value — used to fold a network's
+/// full structure (not just its name) into cell keys without re-serializing
+/// the whole network once per cell.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the value fails to serialize.
+pub fn content_fingerprint<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    Ok(format!("{:032x}", Fnv128::of(to_json(value)?.as_bytes())))
+}
+
+/// Hit/miss/eviction counters of a store or session, in the shape the
+/// `plan_cache_stats` counters established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Probes answered from disk with a valid entry.
+    pub hits: u64,
+    /// Probes that found no usable entry (absent, corrupt, or stale).
+    pub misses: u64,
+    /// Corrupt or stale entries removed during probes.
+    pub evictions: u64,
+    /// Payload bytes read back on hits.
+    pub bytes_read: u64,
+    /// Payload bytes written for new entries.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    fn add_to(&self, counters: &Counters) {
+        counters.hits.fetch_add(self.hits, Ordering::Relaxed);
+        counters.misses.fetch_add(self.misses, Ordering::Relaxed);
+        counters
+            .evictions
+            .fetch_add(self.evictions, Ordering::Relaxed);
+        counters
+            .bytes_read
+            .fetch_add(self.bytes_read, Ordering::Relaxed);
+        counters
+            .bytes_written
+            .fetch_add(self.bytes_written, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Header line of an on-disk entry; the payload JSON follows on line two.
+#[derive(Debug, Serialize, Deserialize)]
+struct EntryHeader {
+    magic: String,
+    version: u32,
+    key: String,
+    len: u64,
+    checksum: String,
+}
+
+/// Disk-backed content-addressed result store.
+///
+/// One entry per [`CacheKey`] under `<dir>/v{N}/<hex>.json`. Entries are
+/// written via a temp file + rename so a crashed writer can only leave a
+/// stray temp file, never a torn entry; a torn, truncated, bit-flipped, or
+/// wrong-version entry fails its header/checksum validation and is evicted
+/// and silently recomputed. The store is shared: the resident service keeps
+/// one open across all requests, and one-shot `smctl --cache-dir` runs
+/// reopen the same directory.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    totals: Counters,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the store rooted at `dir`. Entries land
+    /// under the schema-versioned subdirectory, so a version bump starts
+    /// from an empty namespace without touching older entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`std::io::Error`] when the directory cannot
+    /// be created.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        let dir = dir.join(format!("v{CACHE_SCHEMA_VERSION}"));
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir,
+            totals: Counters::default(),
+        })
+    }
+
+    /// The versioned directory entries are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Process-lifetime totals across every session of this store.
+    pub fn stats(&self) -> CacheStats {
+        self.totals.snapshot()
+    }
+
+    /// Opens a per-request [`CacheSession`] with its own zeroed counters.
+    pub fn session(&self) -> CacheSession<'_> {
+        CacheSession {
+            store: self,
+            local: Counters::default(),
+        }
+    }
+
+    fn entry_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Validates and parses one entry file; `None` means "treat as miss"
+    /// with `evict` set when a file existed but failed validation.
+    fn load_payload(&self, key: CacheKey) -> (Option<String>, bool) {
+        let path = self.entry_path(key);
+        let Ok(body) = fs::read_to_string(&path) else {
+            return (None, false);
+        };
+        let valid = match body.split_once('\n') {
+            Some((header, payload)) => match from_json::<EntryHeader>(header) {
+                Ok(h) => {
+                    h.magic == CACHE_MAGIC
+                        && h.version == CACHE_SCHEMA_VERSION
+                        && h.key == key.hex()
+                        && h.len == payload.len() as u64
+                        && h.checksum == format!("{:016x}", fnv64(payload.as_bytes()))
+                }
+                Err(_) => false,
+            },
+            None => false,
+        };
+        if valid {
+            let payload = body.split_once('\n').map(|(_, p)| p.to_string());
+            (payload, false)
+        } else {
+            // Corrupt or stale: evict so the recomputed entry replaces it.
+            let _ = fs::remove_file(&path);
+            (None, true)
+        }
+    }
+
+    fn write_payload(&self, key: CacheKey, payload: &str) -> std::io::Result<()> {
+        let header = to_json(&EntryHeader {
+            magic: CACHE_MAGIC.to_string(),
+            version: CACHE_SCHEMA_VERSION,
+            key: key.hex(),
+            len: payload.len() as u64,
+            checksum: format!("{:016x}", fnv64(payload.as_bytes())),
+        })
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
+        fs::write(&tmp, format!("{header}\n{payload}"))?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+}
+
+/// A per-request view of a shared [`ResultCache`].
+///
+/// Gets and puts go to the shared store, but hit/miss/eviction counters are
+/// kept per session *and* rolled into the store totals, so a service
+/// handling overlapping requests can report each request's own hit rate —
+/// the handle-based fix for the process-global counter smearing the plan
+/// cache suffered from.
+#[derive(Debug)]
+pub struct CacheSession<'a> {
+    store: &'a ResultCache,
+    local: Counters,
+}
+
+impl CacheSession<'_> {
+    /// Looks up and deserializes the entry for `key`. Absent, corrupt, or
+    /// stale entries count as misses (plus an eviction when a bad file was
+    /// removed) and return `None` — the caller recomputes.
+    pub fn get<T: Deserialize>(&self, key: CacheKey) -> Option<T> {
+        let (payload, evicted) = self.store.load_payload(key);
+        let mut delta = CacheStats::default();
+        if evicted {
+            delta.evictions = 1;
+        }
+        let result = payload.and_then(|p| match from_json::<T>(&p) {
+            Ok(v) => {
+                delta.bytes_read = p.len() as u64;
+                Some(v)
+            }
+            Err(_) => {
+                // Parsed header but payload shape mismatch: stale schema.
+                let _ = fs::remove_file(self.store.entry_path(key));
+                delta.evictions += 1;
+                None
+            }
+        });
+        if result.is_some() {
+            delta.hits = 1;
+        } else {
+            delta.misses = 1;
+        }
+        delta.add_to(&self.local);
+        delta.add_to(&self.store.totals);
+        result
+    }
+
+    /// Serializes and stores `value` under `key`. Write failures are
+    /// swallowed — the cache is an optimization, never load-bearing — but
+    /// successful writes count toward `bytes_written`.
+    pub fn put<T: Serialize>(&self, key: CacheKey, value: &T) {
+        let Ok(payload) = to_json(value) else {
+            return;
+        };
+        if self.store.write_payload(key, &payload).is_ok() {
+            let delta = CacheStats {
+                bytes_written: payload.len() as u64,
+                ..CacheStats::default()
+            };
+            delta.add_to(&self.local);
+            delta.add_to(&self.store.totals);
+        }
+    }
+
+    /// This session's own counters (not smeared by other sessions).
+    pub fn stats(&self) -> CacheStats {
+        self.local.snapshot()
+    }
+}
+
+/// Runs one sweep with per-cell cache consultation: cached cells are read
+/// back, and **only the missing cells** are dispatched to
+/// [`par_map_weighted_stream`] (largest-cost-first over the configured
+/// worker pool). Results come back in sweep order, byte-identical to the
+/// uncached sweep at any thread count.
+///
+/// * `keys[i]` must be the [`cell_key`] of `items[i]`.
+/// * `on_cell(i, cached, &result)` fires once per cell in strictly
+///   ascending sweep order, as soon as every earlier cell is resolved —
+///   the streaming hook the resident service emits per-cell JSON from.
+///   `cached` says whether the cell was answered from the store.
+/// * With `session == None` the cache layer disappears: every cell is
+///   computed, `on_cell` still streams in order.
+///
+/// Freshly computed cells are written back to the store as they complete.
+pub fn cached_cells<T, U, C, F, G>(
+    session: Option<&CacheSession<'_>>,
+    items: &[T],
+    keys: &[CacheKey],
+    cost: C,
+    run: F,
+    mut on_cell: G,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Serialize + Deserialize + Send,
+    C: Fn(&T) -> u64,
+    F: Fn(&T) -> U + Sync,
+    G: FnMut(usize, bool, &U),
+{
+    assert_eq!(items.len(), keys.len(), "one key per sweep cell");
+    let mut slots: Vec<Option<U>> = match session {
+        Some(s) => keys.iter().map(|&k| s.get::<U>(k)).collect(),
+        None => (0..items.len()).map(|_| None).collect(),
+    };
+    let missing: Vec<usize> = (0..items.len()).filter(|&i| slots[i].is_none()).collect();
+    let missing_items: Vec<&T> = missing.iter().map(|&i| &items[i]).collect();
+
+    // Stream computed cells back in order, advancing the global frontier
+    // over the mix of cached and computed cells: when missing[j] completes,
+    // every earlier missing cell has already fired (stream order) and every
+    // cached cell is ready by construction, so the gap before it is pure
+    // cache hits.
+    let mut frontier = 0usize;
+    let computed = par_map_weighted_stream(
+        &missing_items,
+        threads(),
+        |item| cost(item),
+        |item| run(item),
+        |j, u| {
+            let gi = missing[j];
+            while frontier < gi {
+                let cached = slots[frontier]
+                    .as_ref()
+                    .expect("cells before a missing cell are cache hits");
+                on_cell(frontier, true, cached);
+                frontier += 1;
+            }
+            if let Some(s) = session {
+                s.put(keys[gi], u);
+            }
+            on_cell(gi, false, u);
+            frontier = gi + 1;
+        },
+    );
+    // Trailing cache hits after the last computed cell.
+    while frontier < slots.len() {
+        let cached = slots[frontier]
+            .as_ref()
+            .expect("cells after the last missing cell are cache hits");
+        on_cell(frontier, true, cached);
+        frontier += 1;
+    }
+
+    for (j, u) in missing.into_iter().zip(computed) {
+        slots[j] = Some(u);
+    }
+    slots
+        .into_iter()
+        .map(|u| u.expect("every cell resolved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Cell {
+        x: u64,
+        y: f64,
+        label: String,
+    }
+
+    fn cell(x: u64) -> Cell {
+        Cell {
+            x,
+            y: x as f64 * 0.1 + 0.05,
+            label: format!("cell-{x}"),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sm-cas-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_are_stable_and_input_sensitive() {
+        let a = cell_key("t", &cell(3)).unwrap();
+        assert_eq!(a, cell_key("t", &cell(3)).unwrap());
+        assert_ne!(a, cell_key("t", &cell(4)).unwrap());
+        assert_ne!(a, cell_key("other", &cell(3)).unwrap());
+        assert_eq!(a.hex().len(), 32);
+    }
+
+    #[test]
+    fn round_trips_entries_and_counts_hits() {
+        let dir = tmp_dir("roundtrip");
+        let store = ResultCache::open(&dir).unwrap();
+        let session = store.session();
+        let key = cell_key("t", &7u64).unwrap();
+        assert_eq!(session.get::<Cell>(key), None);
+        session.put(key, &cell(7));
+        assert_eq!(session.get::<Cell>(key), Some(cell(7)));
+        let s = session.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!(s.bytes_written > 0 && s.bytes_read == s.bytes_written);
+        // A fresh session over the same store starts from zero but shares
+        // the entries; the store totals accumulate across sessions.
+        let second = store.session();
+        assert_eq!(second.get::<Cell>(key), Some(cell(7)));
+        assert_eq!(second.stats().hits, 1);
+        assert_eq!(store.stats().hits, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_not_trusted() {
+        let dir = tmp_dir("corrupt");
+        let store = ResultCache::open(&dir).unwrap();
+        let session = store.session();
+        let key = cell_key("t", &1u64).unwrap();
+        session.put(key, &cell(1));
+        let path = store.entry_path(key);
+
+        // Bit-flip one payload byte: checksum mismatch.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(session.get::<Cell>(key), None);
+        assert!(!path.exists(), "corrupt entry must be evicted");
+
+        // Truncated entry: length mismatch.
+        session.put(key, &cell(1));
+        let body = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &body[..body.len() - 3]).unwrap();
+        assert_eq!(session.get::<Cell>(key), None);
+
+        // Wrong-version header: stale, rejected.
+        session.put(key, &cell(1));
+        let body = fs::read_to_string(&path).unwrap();
+        fs::write(&path, body.replace("\"version\":1", "\"version\":99")).unwrap();
+        assert_eq!(session.get::<Cell>(key), None);
+
+        let s = session.stats();
+        assert_eq!(s.evictions, 3, "{s:?}");
+        assert_eq!(s.hits, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_cells_computes_only_the_delta_in_order() {
+        let dir = tmp_dir("delta");
+        let store = ResultCache::open(&dir).unwrap();
+        let items: Vec<u64> = (0..10).collect();
+        let keys: Vec<CacheKey> = items
+            .iter()
+            .map(|i| cell_key("delta", i).unwrap())
+            .collect();
+        let run = |x: &u64| cell(*x);
+
+        let cold_session = store.session();
+        let mut order = Vec::new();
+        let cold = cached_cells(
+            Some(&cold_session),
+            &items,
+            &keys,
+            |_| 1,
+            run,
+            |i, cached, _| order.push((i, cached)),
+        );
+        assert_eq!(cold, items.iter().map(|&x| cell(x)).collect::<Vec<_>>());
+        assert_eq!(cold_session.stats().misses, 10);
+        assert!(order.iter().all(|&(_, cached)| !cached));
+        assert_eq!(
+            order.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+
+        // 90%-overlap warm run: one new cell, nine hits — only the delta
+        // is dispatched.
+        let mut items2 = items.clone();
+        items2[4] = 99;
+        let keys2: Vec<CacheKey> = items2
+            .iter()
+            .map(|i| cell_key("delta", i).unwrap())
+            .collect();
+        let warm_session = store.session();
+        let mut order2 = Vec::new();
+        let warm = cached_cells(
+            Some(&warm_session),
+            &items2,
+            &keys2,
+            |_| 1,
+            run,
+            |i, cached, _| order2.push((i, cached)),
+        );
+        assert_eq!(warm, items2.iter().map(|&x| cell(x)).collect::<Vec<_>>());
+        let s = warm_session.stats();
+        assert_eq!((s.hits, s.misses), (9, 1), "{s:?}");
+        assert_eq!(
+            order2.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(order2[4], (4, false));
+        assert!(order2.iter().filter(|&&(_, c)| c).count() == 9);
+
+        // Fully warm: zero dispatches, still in order.
+        let full = cached_cells(
+            Some(&store.session()),
+            &items,
+            &keys,
+            |_| 1,
+            run,
+            |_, _, _| {},
+        );
+        assert_eq!(full, cold);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_cells_without_a_session_streams_everything() {
+        let items: Vec<u64> = (0..5).collect();
+        let keys: Vec<CacheKey> = items
+            .iter()
+            .map(|i| cell_key("nocache", i).unwrap())
+            .collect();
+        let mut count = 0;
+        let out = cached_cells(
+            None,
+            &items,
+            &keys,
+            |_| 1,
+            |&x| cell(x),
+            |_, cached, _| {
+                assert!(!cached);
+                count += 1;
+            },
+        );
+        assert_eq!(out.len(), 5);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        assert_eq!(
+            content_fingerprint(&cell(2)).unwrap(),
+            content_fingerprint(&cell(2)).unwrap()
+        );
+        assert_ne!(
+            content_fingerprint(&cell(2)).unwrap(),
+            content_fingerprint(&cell(3)).unwrap()
+        );
+    }
+}

@@ -19,18 +19,58 @@
 //! [`sm_core::parallel`] as one flattened batch — byte-identical at any
 //! thread count.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use sm_accel::AccelConfig;
-use sm_core::parallel::{par_map_auto, par_map_weighted_auto};
 use sm_core::{FaultPlan, Policy, Protection, RecoveryPolicy, SimOptions};
 use sm_mem::TrafficClass;
 use sm_model::Network;
 
+use crate::cas::{cached_cells, cell_key, content_fingerprint, CacheKey, CacheSession};
 use crate::report::{pct, Table};
 
+/// Everything a chaos cell's result is a function of, serialized
+/// canonically for [`cell_key`]: the network (by content fingerprint), the
+/// accelerator config, the (fixed) policy, and the cell's complete fault
+/// plan — seed, rates, budgets, and recovery settings included. Any single
+/// differing field changes the key.
+#[derive(Serialize)]
+struct ChaosKeyInputs {
+    network: String,
+    net_fingerprint: String,
+    config: AccelConfig,
+    policy: Policy,
+    plan: FaultPlan,
+}
+
+/// Per-cell cache key of a chaos sweep.
+fn chaos_cell_key(
+    kind: &str,
+    net: &Network,
+    net_fingerprint: &str,
+    config: &AccelConfig,
+    plan: &FaultPlan,
+) -> CacheKey {
+    cell_key(
+        kind,
+        &ChaosKeyInputs {
+            network: net.name().to_string(),
+            net_fingerprint: net_fingerprint.to_string(),
+            config: *config,
+            policy: Policy::shortcut_mining(),
+            plan: plan.clone(),
+        },
+    )
+    .expect("chaos cell inputs serialize")
+}
+
+/// One network fingerprint per sweep, shared by every cell key.
+fn net_fingerprint(net: &Network) -> String {
+    content_fingerprint(net).expect("networks serialize")
+}
+
 /// One point on a degradation curve.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosPoint {
     /// Requested fraction of pool banks to fail.
     pub fail_fraction: f64,
@@ -129,6 +169,34 @@ pub fn chaos_degradation_with_budget(
     dram_fault_rate: f64,
     retry_budget: Option<u32>,
 ) -> ChaosCurve {
+    chaos_degradation_with_budget_cached(
+        net,
+        config,
+        seed,
+        fractions,
+        dram_fault_rate,
+        retry_budget,
+        None,
+        |_, _, _| {},
+    )
+}
+
+/// [`chaos_degradation_with_budget`] with per-point result-cache
+/// consultation: points already in `cache` are read back and only the
+/// missing points are simulated (delta simulation). `on_cell` streams
+/// every point in sweep order as it resolves; the curve is byte-identical
+/// to the uncached sweep at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_degradation_with_budget_cached(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    dram_fault_rate: f64,
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ChaosPoint),
+) -> ChaosCurve {
     let exp = sm_core::Experiment::new(config);
     let base_plan = FaultPlan::new(seed).with_dram_faults(dram_fault_rate);
     let base_plan = match retry_budget {
@@ -138,16 +206,25 @@ pub fn chaos_degradation_with_budget(
         }
         None => base_plan,
     };
+    let fp = net_fingerprint(net);
+    let plan_for = |f: f64| base_plan.clone().with_bank_failures(f);
+    let keys: Vec<CacheKey> = fractions
+        .iter()
+        .map(|&f| chaos_cell_key("chaos-point", net, &fp, &config, &plan_for(f)))
+        .collect();
     // Cost-aware dispatch: every point replays the same network, so the
     // MAC count is the per-cell cost estimate (uniform here, but the grid
     // variants mix networks upstream and inherit the same call shape).
-    let points = par_map_weighted_auto(
+    let points = cached_cells(
+        cache,
         fractions,
+        &keys,
         |_| net.total_macs(),
         |&f| {
-            let options = SimOptions::with_faults(base_plan.clone().with_bank_failures(f));
+            let options = SimOptions::with_faults(plan_for(f));
             run_chaos_point(&exp, net, f, &options)
         },
+        on_cell,
     );
     ChaosCurve {
         network: net.name().to_string(),
@@ -205,7 +282,7 @@ pub const DEFAULT_GRID_RATES: [f64; 3] = [0.0, 0.05, 0.2];
 
 /// One cell of the 2-D degradation grid: one checked run at a
 /// (bank-failure fraction, DRAM fault rate) pair.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosGridCell {
     /// Requested fraction of pool banks to fail.
     pub bank_fail_fraction: f64,
@@ -294,23 +371,61 @@ pub fn chaos_grid(
     rates: &[f64],
     retry_budget: Option<u32>,
 ) -> ChaosGrid {
+    chaos_grid_cached(
+        net,
+        config,
+        seed,
+        fractions,
+        rates,
+        retry_budget,
+        None,
+        |_, _, _| {},
+    )
+}
+
+/// [`chaos_grid`] with per-cell result-cache consultation: cells already in
+/// `cache` are read back and only the missing cells are dispatched (delta
+/// simulation). `on_cell` streams every cell in row-major order as it
+/// resolves; the grid is byte-identical to the uncached sweep at any
+/// thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_grid_cached(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ChaosGridCell),
+) -> ChaosGrid {
     let exp = sm_core::Experiment::new(config);
     let pairs: Vec<(f64, f64)> = fractions
         .iter()
         .flat_map(|&f| rates.iter().map(move |&r| (f, r)))
         .collect();
-    let cells = par_map_weighted_auto(
+    let plan_for = |f: f64, r: f64| {
+        let mut plan = FaultPlan::new(seed)
+            .with_bank_failures(f)
+            .with_dram_faults(r);
+        if let Some(budget) = retry_budget {
+            let stall = plan.retry_stall_cycles;
+            plan = plan.with_retry_budget(budget, stall);
+        }
+        plan
+    };
+    let fp = net_fingerprint(net);
+    let keys: Vec<CacheKey> = pairs
+        .iter()
+        .map(|&(f, r)| chaos_cell_key("chaos-grid-cell", net, &fp, &config, &plan_for(f, r)))
+        .collect();
+    let cells = cached_cells(
+        cache,
         &pairs,
+        &keys,
         |_| net.total_macs(),
         |&(f, r)| {
-            let mut plan = FaultPlan::new(seed)
-                .with_bank_failures(f)
-                .with_dram_faults(r);
-            if let Some(budget) = retry_budget {
-                let stall = plan.retry_stall_cycles;
-                plan = plan.with_retry_budget(budget, stall);
-            }
-            let options = SimOptions::with_faults(plan);
+            let options = SimOptions::with_faults(plan_for(f, r));
             match exp.run_checked(net, Policy::shortcut_mining(), &options) {
                 Ok(run) => ChaosGridCell {
                     bank_fail_fraction: f,
@@ -334,6 +449,7 @@ pub fn chaos_grid(
                 },
             }
         },
+        on_cell,
     );
     ChaosGrid {
         network: net.name().to_string(),
@@ -350,7 +466,7 @@ pub const DEFAULT_GRID_SITE_RATES: [f64; 2] = [0.0, 0.3];
 
 /// One cell of the 3-D degradation grid: one checked run at a
 /// (bank-failure fraction, DRAM fault rate, site-strike rate) triple.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosGrid3Cell {
     /// Requested fraction of pool banks to fail.
     pub bank_fail_fraction: f64,
@@ -461,6 +577,36 @@ pub fn chaos_grid3(
     site_rates: &[f64],
     retry_budget: Option<u32>,
 ) -> ChaosGrid3 {
+    chaos_grid3_cached(
+        net,
+        config,
+        seed,
+        fractions,
+        rates,
+        site_rates,
+        retry_budget,
+        None,
+        |_, _, _| {},
+    )
+}
+
+/// [`chaos_grid3`] with per-cell result-cache consultation: cells already
+/// in `cache` are read back and only the missing cells are dispatched
+/// (delta simulation). `on_cell` streams every cell in flattened order as
+/// it resolves; the volume is byte-identical to the uncached sweep at any
+/// thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_grid3_cached(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    rates: &[f64],
+    site_rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ChaosGrid3Cell),
+) -> ChaosGrid3 {
     let exp = sm_core::Experiment::new(config);
     let triples: Vec<(f64, f64, f64)> = fractions
         .iter()
@@ -470,20 +616,30 @@ pub fn chaos_grid3(
                 .flat_map(move |&r| site_rates.iter().map(move |&s| (f, r, s)))
         })
         .collect();
-    let cells = par_map_weighted_auto(
+    let plan_for = |f: f64, r: f64, s: f64| {
+        let mut plan = FaultPlan::new(seed)
+            .with_bank_failures(f)
+            .with_dram_faults(r)
+            .with_weight_faults(s, Protection::Parity)
+            .with_pe_faults(s, Protection::Parity);
+        if let Some(budget) = retry_budget {
+            let stall = plan.retry_stall_cycles;
+            plan = plan.with_retry_budget(budget, stall);
+        }
+        plan
+    };
+    let fp = net_fingerprint(net);
+    let keys: Vec<CacheKey> = triples
+        .iter()
+        .map(|&(f, r, s)| chaos_cell_key("chaos-grid3-cell", net, &fp, &config, &plan_for(f, r, s)))
+        .collect();
+    let cells = cached_cells(
+        cache,
         &triples,
+        &keys,
         |_| net.total_macs(),
         |&(f, r, s)| {
-            let mut plan = FaultPlan::new(seed)
-                .with_bank_failures(f)
-                .with_dram_faults(r)
-                .with_weight_faults(s, Protection::Parity)
-                .with_pe_faults(s, Protection::Parity);
-            if let Some(budget) = retry_budget {
-                let stall = plan.retry_stall_cycles;
-                plan = plan.with_retry_budget(budget, stall);
-            }
-            let options = SimOptions::with_faults(plan);
+            let options = SimOptions::with_faults(plan_for(f, r, s));
             match exp.run_checked(net, Policy::shortcut_mining(), &options) {
                 Ok(run) => ChaosGrid3Cell {
                     bank_fail_fraction: f,
@@ -509,6 +665,7 @@ pub fn chaos_grid3(
                 },
             }
         },
+        on_cell,
     );
     ChaosGrid3 {
         network: net.name().to_string(),
@@ -540,7 +697,7 @@ pub const CONTROL_PATH_POLICIES: [RecoveryPolicy; 3] = [
 
 /// One point of the control-path degradation study: one checked run at a
 /// (recovery policy, BCU strike rate) pair.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControlPathPoint {
     /// Recovery policy the run's fault plan used.
     pub policy: RecoveryPolicy,
@@ -657,12 +814,40 @@ pub fn control_path_sweep(
     rates: &[f64],
     retry_budget: Option<u32>,
 ) -> ControlPathStudy {
+    control_path_sweep_cached(
+        net,
+        config,
+        seed,
+        policies,
+        rates,
+        retry_budget,
+        None,
+        |_, _, _| {},
+    )
+}
+
+/// [`control_path_sweep`] with per-point result-cache consultation: points
+/// already in `cache` are read back and only the missing points are
+/// dispatched (delta simulation). `on_cell` streams every point in
+/// row-major order as it resolves; the study is byte-identical to the
+/// uncached sweep at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn control_path_sweep_cached(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    policies: &[RecoveryPolicy],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ControlPathPoint),
+) -> ControlPathStudy {
     let exp = sm_core::Experiment::new(config);
     let pairs: Vec<(RecoveryPolicy, f64)> = policies
         .iter()
         .flat_map(|&p| rates.iter().map(move |&r| (p, r)))
         .collect();
-    let points = par_map_auto(&pairs, |&(policy, rate)| {
+    let plan_for = |policy: RecoveryPolicy, rate: f64| {
         let mut plan = FaultPlan::new(seed)
             .with_bcu_faults(rate, Protection::Ecc)
             .with_multi_bit(CONTROL_PATH_DOUBLE_RATE, CONTROL_PATH_TRIPLE_RATE)
@@ -671,40 +856,55 @@ pub fn control_path_sweep(
             let stall = plan.retry_stall_cycles;
             plan = plan.with_retry_budget(budget, stall);
         }
-        let options = SimOptions::with_faults(plan);
-        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
-            Ok(run) => ControlPathPoint {
-                policy,
-                bcu_fault_rate: rate,
-                completed: true,
-                error: None,
-                bcu_faults: run.stats.faults.bcu_faults,
-                due_events: run.stats.faults.due_events,
-                recovered_refetch: run.stats.faults.recovered_refetch,
-                recovered_recompute: run.stats.faults.recovered_recompute,
-                silent_faults: run.stats.faults.silent_faults,
-                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
-                total_bytes: run.stats.total_traffic_bytes(),
-                total_cycles: run.stats.total_cycles,
-                throughput_gops: run.stats.throughput_gops(),
-            },
-            Err(e) => ControlPathPoint {
-                policy,
-                bcu_fault_rate: rate,
-                completed: false,
-                error: Some(e.to_string()),
-                bcu_faults: 0,
-                due_events: 0,
-                recovered_refetch: 0,
-                recovered_recompute: 0,
-                silent_faults: 0,
-                retry_bytes: 0,
-                total_bytes: 0,
-                total_cycles: 0,
-                throughput_gops: 0.0,
-            },
-        }
-    });
+        plan
+    };
+    let fp = net_fingerprint(net);
+    let keys: Vec<CacheKey> = pairs
+        .iter()
+        .map(|&(p, r)| chaos_cell_key("control-path-point", net, &fp, &config, &plan_for(p, r)))
+        .collect();
+    let points = cached_cells(
+        cache,
+        &pairs,
+        &keys,
+        |_| net.total_macs(),
+        |&(policy, rate)| {
+            let options = SimOptions::with_faults(plan_for(policy, rate));
+            match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+                Ok(run) => ControlPathPoint {
+                    policy,
+                    bcu_fault_rate: rate,
+                    completed: true,
+                    error: None,
+                    bcu_faults: run.stats.faults.bcu_faults,
+                    due_events: run.stats.faults.due_events,
+                    recovered_refetch: run.stats.faults.recovered_refetch,
+                    recovered_recompute: run.stats.faults.recovered_recompute,
+                    silent_faults: run.stats.faults.silent_faults,
+                    retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                    total_bytes: run.stats.total_traffic_bytes(),
+                    total_cycles: run.stats.total_cycles,
+                    throughput_gops: run.stats.throughput_gops(),
+                },
+                Err(e) => ControlPathPoint {
+                    policy,
+                    bcu_fault_rate: rate,
+                    completed: false,
+                    error: Some(e.to_string()),
+                    bcu_faults: 0,
+                    due_events: 0,
+                    recovered_refetch: 0,
+                    recovered_recompute: 0,
+                    silent_faults: 0,
+                    retry_bytes: 0,
+                    total_bytes: 0,
+                    total_cycles: 0,
+                    throughput_gops: 0.0,
+                },
+            }
+        },
+        on_cell,
+    );
     ControlPathStudy {
         network: net.name().to_string(),
         seed,
@@ -736,7 +936,7 @@ pub const SCHEDULER_POLICIES: [RecoveryPolicy; 4] = [
 
 /// One point of the scheduler-state degradation study: one checked run at
 /// a (recovery policy, scheduler strike rate) pair.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerPoint {
     /// Recovery policy the run's fault plan used.
     pub policy: RecoveryPolicy,
@@ -865,12 +1065,40 @@ pub fn scheduler_sweep(
     rates: &[f64],
     retry_budget: Option<u32>,
 ) -> SchedulerStudy {
+    scheduler_sweep_cached(
+        net,
+        config,
+        seed,
+        policies,
+        rates,
+        retry_budget,
+        None,
+        |_, _, _| {},
+    )
+}
+
+/// [`scheduler_sweep`] with per-point result-cache consultation: points
+/// already in `cache` are read back and only the missing points are
+/// dispatched (delta simulation). `on_cell` streams every point in
+/// row-major order as it resolves; the study is byte-identical to the
+/// uncached sweep at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn scheduler_sweep_cached(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    policies: &[RecoveryPolicy],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &SchedulerPoint),
+) -> SchedulerStudy {
     let exp = sm_core::Experiment::new(config);
     let pairs: Vec<(RecoveryPolicy, f64)> = policies
         .iter()
         .flat_map(|&p| rates.iter().map(move |&r| (p, r)))
         .collect();
-    let points = par_map_auto(&pairs, |&(policy, rate)| {
+    let plan_for = |policy: RecoveryPolicy, rate: f64| {
         let mut plan = FaultPlan::new(seed)
             .with_scheduler_faults(rate, Protection::Ecc)
             .with_multi_bit(SCHEDULER_DOUBLE_RATE, SCHEDULER_TRIPLE_RATE)
@@ -879,42 +1107,57 @@ pub fn scheduler_sweep(
             let stall = plan.retry_stall_cycles;
             plan = plan.with_retry_budget(budget, stall);
         }
-        let options = SimOptions::with_faults(plan);
-        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
-            Ok(run) => SchedulerPoint {
-                policy,
-                scheduler_fault_rate: rate,
-                completed: true,
-                error: None,
-                scheduler_faults: run.stats.faults.scheduler_faults,
-                due_events: run.stats.faults.due_events,
-                recovered_refetch: run.stats.faults.recovered_refetch,
-                recovered_recompute: run.stats.faults.recovered_recompute,
-                recovered_rollback: run.stats.faults.recovered_rollback,
-                silent_faults: run.stats.faults.silent_faults,
-                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
-                total_bytes: run.stats.total_traffic_bytes(),
-                total_cycles: run.stats.total_cycles,
-                throughput_gops: run.stats.throughput_gops(),
-            },
-            Err(e) => SchedulerPoint {
-                policy,
-                scheduler_fault_rate: rate,
-                completed: false,
-                error: Some(e.to_string()),
-                scheduler_faults: 0,
-                due_events: 0,
-                recovered_refetch: 0,
-                recovered_recompute: 0,
-                recovered_rollback: 0,
-                silent_faults: 0,
-                retry_bytes: 0,
-                total_bytes: 0,
-                total_cycles: 0,
-                throughput_gops: 0.0,
-            },
-        }
-    });
+        plan
+    };
+    let fp = net_fingerprint(net);
+    let keys: Vec<CacheKey> = pairs
+        .iter()
+        .map(|&(p, r)| chaos_cell_key("scheduler-point", net, &fp, &config, &plan_for(p, r)))
+        .collect();
+    let points = cached_cells(
+        cache,
+        &pairs,
+        &keys,
+        |_| net.total_macs(),
+        |&(policy, rate)| {
+            let options = SimOptions::with_faults(plan_for(policy, rate));
+            match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+                Ok(run) => SchedulerPoint {
+                    policy,
+                    scheduler_fault_rate: rate,
+                    completed: true,
+                    error: None,
+                    scheduler_faults: run.stats.faults.scheduler_faults,
+                    due_events: run.stats.faults.due_events,
+                    recovered_refetch: run.stats.faults.recovered_refetch,
+                    recovered_recompute: run.stats.faults.recovered_recompute,
+                    recovered_rollback: run.stats.faults.recovered_rollback,
+                    silent_faults: run.stats.faults.silent_faults,
+                    retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                    total_bytes: run.stats.total_traffic_bytes(),
+                    total_cycles: run.stats.total_cycles,
+                    throughput_gops: run.stats.throughput_gops(),
+                },
+                Err(e) => SchedulerPoint {
+                    policy,
+                    scheduler_fault_rate: rate,
+                    completed: false,
+                    error: Some(e.to_string()),
+                    scheduler_faults: 0,
+                    due_events: 0,
+                    recovered_refetch: 0,
+                    recovered_recompute: 0,
+                    recovered_rollback: 0,
+                    silent_faults: 0,
+                    retry_bytes: 0,
+                    total_bytes: 0,
+                    total_cycles: 0,
+                    throughput_gops: 0.0,
+                },
+            }
+        },
+        on_cell,
+    );
     SchedulerStudy {
         network: net.name().to_string(),
         seed,
@@ -928,7 +1171,7 @@ pub fn scheduler_sweep(
 pub const DEFAULT_RETRY_BUDGETS: [u32; 5] = [0, 1, 2, 4, 8];
 
 /// One point of the retry-budget sensitivity study.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RetryBudgetPoint {
     /// Max re-attempts per failed DRAM transfer.
     pub max_retries: u32,
@@ -1008,35 +1251,74 @@ pub fn retry_budget_sweep(
     dram_fault_rate: f64,
     budgets: &[u32],
 ) -> RetryBudgetStudy {
+    retry_budget_sweep_cached(
+        net,
+        config,
+        seed,
+        dram_fault_rate,
+        budgets,
+        None,
+        |_, _, _| {},
+    )
+}
+
+/// [`retry_budget_sweep`] with per-point result-cache consultation: points
+/// already in `cache` are read back and only the missing points are
+/// dispatched (delta simulation). `on_cell` streams every point in sweep
+/// order as it resolves; the study is byte-identical to the uncached sweep
+/// at any thread count.
+pub fn retry_budget_sweep_cached(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    dram_fault_rate: f64,
+    budgets: &[u32],
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &RetryBudgetPoint),
+) -> RetryBudgetStudy {
     let exp = sm_core::Experiment::new(config);
-    let points = par_map_auto(budgets, |&budget| {
+    let plan_for = |budget: u32| {
         let base = FaultPlan::new(seed).with_dram_faults(dram_fault_rate);
         let stall = base.retry_stall_cycles;
-        let plan = base.with_retry_budget(budget, stall);
-        let options = SimOptions::with_faults(plan);
-        match exp.run_checked(net, Policy::shortcut_mining(), &options) {
-            Ok(run) => RetryBudgetPoint {
-                max_retries: budget,
-                completed: true,
-                error: None,
-                dram_retries: run.stats.faults.dram_retries,
-                retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
-                retry_stall_cycles: run.stats.faults.retry_stall_cycles,
-                total_cycles: run.stats.total_cycles,
-                throughput_gops: run.stats.throughput_gops(),
-            },
-            Err(e) => RetryBudgetPoint {
-                max_retries: budget,
-                completed: false,
-                error: Some(e.to_string()),
-                dram_retries: 0,
-                retry_bytes: 0,
-                retry_stall_cycles: 0,
-                total_cycles: 0,
-                throughput_gops: 0.0,
-            },
-        }
-    });
+        base.with_retry_budget(budget, stall)
+    };
+    let fp = net_fingerprint(net);
+    let keys: Vec<CacheKey> = budgets
+        .iter()
+        .map(|&b| chaos_cell_key("retry-budget-point", net, &fp, &config, &plan_for(b)))
+        .collect();
+    let points = cached_cells(
+        cache,
+        budgets,
+        &keys,
+        |_| net.total_macs(),
+        |&budget| {
+            let options = SimOptions::with_faults(plan_for(budget));
+            match exp.run_checked(net, Policy::shortcut_mining(), &options) {
+                Ok(run) => RetryBudgetPoint {
+                    max_retries: budget,
+                    completed: true,
+                    error: None,
+                    dram_retries: run.stats.faults.dram_retries,
+                    retry_bytes: run.stats.ledger.class_bytes(TrafficClass::Retry),
+                    retry_stall_cycles: run.stats.faults.retry_stall_cycles,
+                    total_cycles: run.stats.total_cycles,
+                    throughput_gops: run.stats.throughput_gops(),
+                },
+                Err(e) => RetryBudgetPoint {
+                    max_retries: budget,
+                    completed: false,
+                    error: Some(e.to_string()),
+                    dram_retries: 0,
+                    retry_bytes: 0,
+                    retry_stall_cycles: 0,
+                    total_cycles: 0,
+                    throughput_gops: 0.0,
+                },
+            }
+        },
+        on_cell,
+    );
     RetryBudgetStudy {
         network: net.name().to_string(),
         seed,

@@ -7,14 +7,107 @@
 //! counts differ by ~50× between SqueezeNet and ResNet-152, so dispatching
 //! largest-first keeps a big network from serializing the tail of a sweep.
 
+use serde::{Deserialize, Serialize};
+
 use sm_accel::AccelConfig;
 use sm_core::parallel::par_map_weighted_auto;
 use sm_core::{Experiment, Policy};
 use sm_mem::TrafficClass;
-use sm_model::zoo;
+use sm_model::{zoo, Network};
 
+use crate::cas::{cached_cells, cell_key, content_fingerprint, CacheKey, CacheSession};
 use crate::paper;
 use crate::report::{geomean, mb, pct, Table};
+
+/// One cached baseline-vs-shortcut-mining comparison: the primitive values
+/// every headline and sensitivity row derives from, stored directly so a
+/// cache hit reproduces the row bit-for-bit (`f64` round-trips exactly
+/// through the shortest-repr JSON serialization).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonCell {
+    /// Network name.
+    pub network: String,
+    /// Batch size baked into the network's shapes.
+    pub batch: u64,
+    /// Baseline off-chip feature-map bytes.
+    pub base_fm_bytes: u64,
+    /// Shortcut-mining off-chip feature-map bytes.
+    pub mined_fm_bytes: u64,
+    /// Feature-map traffic reduction (Fig. 10 / 14 / 15 metric).
+    pub traffic_reduction: f64,
+    /// Baseline sustained throughput in GOP/s.
+    pub base_gops: f64,
+    /// Shortcut-mining sustained throughput in GOP/s.
+    pub mined_gops: f64,
+    /// Cycle-level speedup of shortcut mining over the baseline.
+    pub speedup: f64,
+    /// Shortcut-mining images per second.
+    pub mined_images_per_second: f64,
+}
+
+/// Everything a [`ComparisonCell`] is a function of: the network (by
+/// content fingerprint) and the accelerator config. The baseline vs
+/// shortcut-mining policy pair is fixed and encoded in the key's kind tag.
+#[derive(Serialize)]
+struct CompareKeyInputs {
+    network: String,
+    net_fingerprint: String,
+    config: AccelConfig,
+}
+
+/// Per-cell cache key of a comparison sweep. Shared by Fig. 10/13/14/15,
+/// so e.g. a full report warms the cells once and every later figure (or
+/// service request) over the same (network, config) hits.
+pub(crate) fn compare_cell_key(net: &Network, config: &AccelConfig) -> CacheKey {
+    cell_key(
+        "compare-cell",
+        &CompareKeyInputs {
+            network: net.name().to_string(),
+            net_fingerprint: content_fingerprint(net).expect("networks serialize"),
+            config: *config,
+        },
+    )
+    .expect("compare cell inputs serialize")
+}
+
+/// Runs the baseline-vs-mined comparison and captures the primitives.
+pub(crate) fn run_compare_cell(exp: &Experiment, net: &Network) -> ComparisonCell {
+    let cmp = exp.compare(net);
+    ComparisonCell {
+        network: net.name().to_string(),
+        batch: net.input().out_shape.n as u64,
+        base_fm_bytes: cmp.baseline.fm_traffic_bytes(),
+        mined_fm_bytes: cmp.mined.fm_traffic_bytes(),
+        traffic_reduction: cmp.traffic_reduction(),
+        base_gops: cmp.baseline.throughput_gops(),
+        mined_gops: cmp.mined.throughput_gops(),
+        speedup: cmp.speedup(),
+        mined_images_per_second: cmp.mined.images_per_second(),
+    }
+}
+
+/// Baseline-vs-mined comparison cells for a set of networks under one
+/// config, with per-cell result-cache consultation: cells already in
+/// `cache` are read back and only the missing networks are simulated.
+/// Cost-aware dispatch by MAC count; order preserved; `on_cell` streams
+/// each cell as it resolves in input order.
+pub fn compare_cells(
+    config: AccelConfig,
+    nets: &[Network],
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ComparisonCell),
+) -> Vec<ComparisonCell> {
+    let exp = Experiment::new(config);
+    let keys: Vec<CacheKey> = nets.iter().map(|n| compare_cell_key(n, &config)).collect();
+    cached_cells(
+        cache,
+        nets,
+        &keys,
+        |net| net.total_macs(),
+        |net| run_compare_cell(&exp, net),
+        on_cell,
+    )
+}
 
 /// Fig. 10 data: feature-map traffic, baseline vs Shortcut Mining.
 #[derive(Debug, Clone)]
@@ -27,7 +120,17 @@ pub struct TrafficResult {
 
 /// Regenerates the headline traffic figure on the evaluated networks.
 pub fn fig10_traffic_reduction(config: AccelConfig, batch: usize) -> TrafficResult {
-    let exp = Experiment::new(config);
+    fig10_traffic_reduction_cached(config, batch, None)
+}
+
+/// [`fig10_traffic_reduction`] with per-network result-cache consultation:
+/// only networks missing from `cache` are simulated (delta simulation);
+/// output is byte-identical to the uncached figure.
+pub fn fig10_traffic_reduction_cached(
+    config: AccelConfig,
+    batch: usize,
+    cache: Option<&CacheSession<'_>>,
+) -> TrafficResult {
     let mut table = Table::new(
         "Fig 10 - off-chip feature-map traffic (baseline vs shortcut mining)",
         &[
@@ -39,19 +142,17 @@ pub fn fig10_traffic_reduction(config: AccelConfig, batch: usize) -> TrafficResu
         ],
     );
     let nets = zoo::evaluated_networks(batch);
-    let rows = par_map_weighted_auto(
-        &nets,
-        |net| net.total_macs(),
-        |net| {
-            let cmp = exp.compare(net);
+    let rows: Vec<(String, u64, u64, f64)> = compare_cells(config, &nets, cache, |_, _, _| {})
+        .into_iter()
+        .map(|c| {
             (
-                net.name().to_string(),
-                cmp.baseline.fm_traffic_bytes(),
-                cmp.mined.fm_traffic_bytes(),
-                cmp.traffic_reduction(),
+                c.network,
+                c.base_fm_bytes,
+                c.mined_fm_bytes,
+                c.traffic_reduction,
             )
-        },
-    );
+        })
+        .collect();
     for (name, base, mined, reduction) in &rows {
         let paper_red = paper::TRAFFIC_REDUCTION
             .iter()
@@ -139,7 +240,19 @@ pub struct ThroughputResult {
 
 /// Regenerates the throughput figure.
 pub fn fig13_throughput(config: AccelConfig, batch: usize) -> ThroughputResult {
-    let exp = Experiment::new(config);
+    fig13_throughput_cached(config, batch, None)
+}
+
+/// [`fig13_throughput`] with per-network result-cache consultation: only
+/// networks missing from `cache` are simulated (delta simulation); output
+/// is byte-identical to the uncached figure. Cells are shared with
+/// [`fig10_traffic_reduction_cached`], so a report regenerating both
+/// figures simulates each network once.
+pub fn fig13_throughput_cached(
+    config: AccelConfig,
+    batch: usize,
+    cache: Option<&CacheSession<'_>>,
+) -> ThroughputResult {
     let mut table = Table::new(
         "Fig 13 - throughput (baseline vs shortcut mining)",
         &[
@@ -151,20 +264,19 @@ pub fn fig13_throughput(config: AccelConfig, batch: usize) -> ThroughputResult {
         ],
     );
     let nets = zoo::evaluated_networks(batch);
-    let results = par_map_weighted_auto(
-        &nets,
-        |net| net.total_macs(),
-        |net| {
-            let cmp = exp.compare(net);
-            (
-                net.name().to_string(),
-                cmp.baseline.throughput_gops(),
-                cmp.mined.throughput_gops(),
-                cmp.speedup(),
-                cmp.mined.images_per_second(),
-            )
-        },
-    );
+    let results: Vec<(String, f64, f64, f64, f64)> =
+        compare_cells(config, &nets, cache, |_, _, _| {})
+            .into_iter()
+            .map(|c| {
+                (
+                    c.network,
+                    c.base_gops,
+                    c.mined_gops,
+                    c.speedup,
+                    c.mined_images_per_second,
+                )
+            })
+            .collect();
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     for (name, base, mined, speedup, imgs) in results {

@@ -37,11 +37,13 @@ mod sensitivity;
 
 pub use ablation::{table3_ablation, AblationResult};
 pub use chaos::{
-    chaos_degradation, chaos_degradation_with_budget, chaos_grid, chaos_grid3, control_path_sweep,
-    retry_budget_sweep, scheduler_sweep, ChaosCurve, ChaosGrid, ChaosGrid3, ChaosGrid3Cell,
-    ChaosGridCell, ChaosPoint, ControlPathPoint, ControlPathStudy, RetryBudgetPoint,
-    RetryBudgetStudy, SchedulerPoint, SchedulerStudy, CONTROL_PATH_DOUBLE_RATE,
-    CONTROL_PATH_POLICIES, CONTROL_PATH_TRIPLE_RATE, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS,
+    chaos_degradation, chaos_degradation_with_budget, chaos_degradation_with_budget_cached,
+    chaos_grid, chaos_grid3, chaos_grid3_cached, chaos_grid_cached, control_path_sweep,
+    control_path_sweep_cached, retry_budget_sweep, retry_budget_sweep_cached, scheduler_sweep,
+    scheduler_sweep_cached, ChaosCurve, ChaosGrid, ChaosGrid3, ChaosGrid3Cell, ChaosGridCell,
+    ChaosPoint, ControlPathPoint, ControlPathStudy, RetryBudgetPoint, RetryBudgetStudy,
+    SchedulerPoint, SchedulerStudy, CONTROL_PATH_DOUBLE_RATE, CONTROL_PATH_POLICIES,
+    CONTROL_PATH_TRIPLE_RATE, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS,
     DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_GRID_SITE_RATES, DEFAULT_RETRY_BUDGETS,
     DEFAULT_SCHEDULER_RATES, SCHEDULER_DOUBLE_RATE, SCHEDULER_POLICIES, SCHEDULER_TRIPLE_RATE,
 };
@@ -52,14 +54,19 @@ pub use extensions::{
     ext_new_workloads, ext_pipeline_validation, ext_share_vs_benefit, ext_spill_order,
     ExtSweepResult,
 };
+pub(crate) use headline::{compare_cell_key, run_compare_cell};
 pub use headline::{
-    fig10_traffic_reduction, fig11_traffic_breakdown, fig13_throughput, BreakdownResult,
-    ThroughputResult, TrafficResult,
+    compare_cells, fig10_traffic_reduction, fig10_traffic_reduction_cached,
+    fig11_traffic_breakdown, fig13_throughput, fig13_throughput_cached, BreakdownResult,
+    ComparisonCell, ThroughputResult, TrafficResult,
 };
 pub use motivation::{fig2_shortcut_share, table1_networks, table2_config, ShareResult};
 pub use per_block::{fig12_per_block, PerBlockResult};
 pub use retention::{fig17_intermediate_layers, RetentionResult};
-pub use sensitivity::{fig14_capacity_sweep, fig15_batch_sweep, SweepResult};
+pub use sensitivity::{
+    fig14_capacity_sweep, fig14_capacity_sweep_cached, fig15_batch_sweep, fig15_batch_sweep_cached,
+    SweepResult,
+};
 
 /// Every table of the full evaluation at batch 1, in figure order.
 ///

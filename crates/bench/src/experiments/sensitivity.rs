@@ -8,10 +8,11 @@
 //! SqueezeNet at batch 1 does — so dispatch is cost-aware by MAC count.
 
 use sm_accel::AccelConfig;
-use sm_core::parallel::par_map_weighted_auto;
 use sm_core::Experiment;
 use sm_model::zoo;
 
+use super::headline::{compare_cell_key, compare_cells, run_compare_cell};
+use crate::cas::{cached_cells, CacheKey, CacheSession};
 use crate::report::{pct, Table};
 
 /// Sweep result: reduction (and speedup) per (x-value, network).
@@ -26,6 +27,19 @@ pub struct SweepResult {
 /// Fig. 14: feature-map traffic reduction as the feature-map SRAM capacity
 /// sweeps from 64 KiB to 4 MiB (default config otherwise).
 pub fn fig14_capacity_sweep(base: AccelConfig, batch: usize) -> SweepResult {
+    fig14_capacity_sweep_cached(base, batch, None)
+}
+
+/// [`fig14_capacity_sweep`] with per-cell result-cache consultation: only
+/// (capacity, network) cells missing from `cache` are simulated (delta
+/// simulation); output is byte-identical to the uncached sweep. Each cell
+/// is keyed by the capacity-adjusted config, so cells are shared with any
+/// other comparison at the same (network, config).
+pub fn fig14_capacity_sweep_cached(
+    base: AccelConfig,
+    batch: usize,
+    cache: Option<&CacheSession<'_>>,
+) -> SweepResult {
     let nets = zoo::evaluated_networks(batch);
     let mut table = Table::new(
         "Fig 14 - traffic reduction vs on-chip feature-map capacity",
@@ -35,16 +49,26 @@ pub fn fig14_capacity_sweep(base: AccelConfig, batch: usize) -> SweepResult {
         .iter()
         .flat_map(|&kib| (0..nets.len()).map(move |i| (kib, i)))
         .collect();
-    let rows = par_map_weighted_auto(
+    let keys: Vec<CacheKey> = points
+        .iter()
+        .map(|&(kib, i)| compare_cell_key(&nets[i], &base.with_fm_capacity(kib * 1024)))
+        .collect();
+    let cells = cached_cells(
+        cache,
         &points,
+        &keys,
         |&(_, i)| nets[i].total_macs(),
         |&(kib, i)| {
             let exp = Experiment::new(base.with_fm_capacity(kib * 1024));
-            let cmp = exp.compare(&nets[i]);
-            let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
-            (kib, nets[i].name().to_string(), red, sp)
+            run_compare_cell(&exp, &nets[i])
         },
+        |_, _, _| {},
     );
+    let rows: Vec<(u64, String, f64, f64)> = points
+        .iter()
+        .zip(cells)
+        .map(|(&(kib, _), c)| (kib, c.network, c.traffic_reduction, c.speedup))
+        .collect();
     for (kib, name, red, sp) in &rows {
         table.row(&[
             kib.to_string(),
@@ -58,29 +82,30 @@ pub fn fig14_capacity_sweep(base: AccelConfig, batch: usize) -> SweepResult {
 
 /// Fig. 15: feature-map traffic reduction as the batch size sweeps 1–8.
 pub fn fig15_batch_sweep(config: AccelConfig) -> SweepResult {
+    fig15_batch_sweep_cached(config, None)
+}
+
+/// [`fig15_batch_sweep`] with per-cell result-cache consultation: only
+/// (batch, network) cells missing from `cache` are simulated (delta
+/// simulation); output is byte-identical to the uncached sweep. The batch
+/// size is baked into each network's shapes, so the shared comparison-cell
+/// key distinguishes batches through the network content fingerprint.
+pub fn fig15_batch_sweep_cached(
+    config: AccelConfig,
+    cache: Option<&CacheSession<'_>>,
+) -> SweepResult {
     let mut table = Table::new(
         "Fig 15 - traffic reduction vs batch size",
         &["batch", "network", "reduction", "speedup"],
     );
-    let exp = Experiment::new(config);
     let points: Vec<sm_model::Network> = [1usize, 2, 4, 8]
         .iter()
         .flat_map(|&batch| zoo::evaluated_networks(batch))
         .collect();
-    let rows = par_map_weighted_auto(
-        &points,
-        |net| net.total_macs(),
-        |net| {
-            let cmp = exp.compare(net);
-            let (red, sp) = (cmp.traffic_reduction(), cmp.speedup());
-            (
-                net.input().out_shape.n as u64,
-                net.name().to_string(),
-                red,
-                sp,
-            )
-        },
-    );
+    let rows: Vec<(u64, String, f64, f64)> = compare_cells(config, &points, cache, |_, _, _| {})
+        .into_iter()
+        .map(|c| (c.batch, c.network, c.traffic_reduction, c.speedup))
+        .collect();
     for (batch, name, red, sp) in &rows {
         table.row(&[
             batch.to_string(),

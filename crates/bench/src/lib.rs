@@ -16,9 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cas;
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod service;
 pub mod timing;
 
 /// Headline numbers pinned by the paper's abstract, used by tests and

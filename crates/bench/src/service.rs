@@ -1,0 +1,493 @@
+//! Resident sweep service behind `smctl serve`.
+//!
+//! A long-running process reads newline-delimited JSON sweep requests from
+//! its input, schedules the missing cells largest-cost-first over the
+//! existing worker pool ([`sm_core::parallel`]), and streams JSON events
+//! back as cells complete. All requests share one content-addressed
+//! [`ResultCache`], so a second request overlapping a first is answered
+//! almost entirely from cache (delta simulation); each request gets its own
+//! [`CacheSession`](crate::cas::CacheSession) so concurrent clients see
+//! unsmeared per-request hit rates.
+//!
+//! # Protocol
+//!
+//! One request per line:
+//!
+//! ```json
+//! {"id":"r1","kind":"chaos-grid","network":"toy_residual","seed":7}
+//! ```
+//!
+//! Fields: `id` (any string, echoed on every response), `kind` (see below),
+//! `network` (zoo name; see `smctl networks`), and optional `batch`
+//! (default 1), `seed` (default 42), `dram_rate` (default 0.01),
+//! `retry_budget`, `fractions`, `rates`, `site_rates`, `budgets`,
+//! `capacities_kib` — each overriding the sweep's default axis.
+//!
+//! | kind | sweep | cell type |
+//! |---|---|---|
+//! | `chaos-curve` | [`chaos_degradation_with_budget_cached`] | `ChaosPoint` |
+//! | `chaos-grid` | [`chaos_grid_cached`] | `ChaosGridCell` |
+//! | `chaos-grid3` | [`chaos_grid3_cached`] | `ChaosGrid3Cell` |
+//! | `control-path` | [`control_path_sweep_cached`] | `ControlPathPoint` |
+//! | `scheduler` | [`scheduler_sweep_cached`] | `SchedulerPoint` |
+//! | `retry-budget` | [`retry_budget_sweep_cached`] | `RetryBudgetPoint` |
+//! | `compare` | [`compare_cells`] | `ComparisonCell` |
+//! | `capacity-sweep` | per-capacity comparison | `ComparisonCell` |
+//!
+//! Responses are JSON lines, in request order (requests are handled
+//! sequentially; the parallelism is *within* a sweep):
+//!
+//! ```json
+//! {"id":"r1","event":"accepted","kind":"chaos-grid"}
+//! {"id":"r1","event":"cell","index":0,"cached":false,"data":{...}}
+//! {"id":"r1","event":"done","ms":12.5,"result":{...},"cache":{"hits":0,"misses":12,...}}
+//! ```
+//!
+//! Malformed or unserviceable requests produce a single
+//! `{"id":...,"event":"error","message":...}` line and the service keeps
+//! reading. EOF on the input ends the service.
+
+use std::io::{self, BufRead, Write};
+
+use serde::Serialize;
+
+use sm_accel::AccelConfig;
+use sm_core::Experiment;
+use sm_model::zoo;
+
+use crate::cas::{cached_cells, CacheKey, ResultCache};
+use crate::experiments::{
+    chaos_degradation_with_budget_cached, chaos_grid3_cached, chaos_grid_cached, compare_cells,
+    control_path_sweep_cached, retry_budget_sweep_cached, scheduler_sweep_cached,
+    CONTROL_PATH_POLICIES, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS,
+    DEFAULT_GRID_RATES, DEFAULT_GRID_SITE_RATES, DEFAULT_RETRY_BUDGETS, DEFAULT_SCHEDULER_RATES,
+    SCHEDULER_POLICIES,
+};
+use crate::experiments::{compare_cell_key, run_compare_cell};
+use crate::json::{parse_value_document, to_json};
+
+/// Default capacity axis (KiB) for `capacity-sweep` requests — matches the
+/// Fig. 14 sweep.
+pub const DEFAULT_CAPACITIES_KIB: [u64; 8] = [64, 128, 256, 320, 512, 1024, 2048, 4096];
+
+/// One parsed sweep request.
+#[derive(Debug, Clone)]
+struct Request {
+    id: String,
+    kind: String,
+    network: String,
+    batch: usize,
+    seed: u64,
+    dram_rate: f64,
+    retry_budget: Option<u32>,
+    fractions: Option<Vec<f64>>,
+    rates: Option<Vec<f64>>,
+    site_rates: Option<Vec<f64>>,
+    budgets: Option<Vec<u32>>,
+    capacities_kib: Option<Vec<u64>>,
+}
+
+fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let value = parse_value_document(line).map_err(|e| (String::new(), e.to_string()))?;
+    // The id is recovered first so even a shape error can be attributed.
+    let id: String = value.field_opt("id").ok().flatten().unwrap_or_default();
+    let fail = |msg: String| (id.clone(), msg);
+    let kind: String = value.field("kind").map_err(|e| fail(e.to_string()))?;
+    let network: String = value
+        .field_opt("network")
+        .map_err(|e| fail(e.to_string()))?
+        .unwrap_or_default();
+    Ok(Request {
+        kind,
+        network,
+        batch: value
+            .field_opt("batch")
+            .map_err(|e| fail(e.to_string()))?
+            .unwrap_or(1),
+        seed: value
+            .field_opt("seed")
+            .map_err(|e| fail(e.to_string()))?
+            .unwrap_or(42),
+        dram_rate: value
+            .field_opt("dram_rate")
+            .map_err(|e| fail(e.to_string()))?
+            .unwrap_or(0.01),
+        retry_budget: value
+            .field_opt("retry_budget")
+            .map_err(|e| fail(e.to_string()))?,
+        fractions: value
+            .field_opt("fractions")
+            .map_err(|e| fail(e.to_string()))?,
+        rates: value.field_opt("rates").map_err(|e| fail(e.to_string()))?,
+        site_rates: value
+            .field_opt("site_rates")
+            .map_err(|e| fail(e.to_string()))?,
+        budgets: value
+            .field_opt("budgets")
+            .map_err(|e| fail(e.to_string()))?,
+        capacities_kib: value
+            .field_opt("capacities_kib")
+            .map_err(|e| fail(e.to_string()))?,
+        id,
+    })
+}
+
+fn emit(out: &mut impl Write, line: &str) -> io::Result<()> {
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    // Streaming is the point of the service: every event is visible to the
+    // client the moment its cell completes.
+    out.flush()
+}
+
+fn emit_error(out: &mut impl Write, id: &str, message: &str) -> io::Result<()> {
+    let line = format!(
+        r#"{{"id":{},"event":"error","message":{}}}"#,
+        quoted(id),
+        quoted(message)
+    );
+    emit(out, &line)
+}
+
+fn quoted(s: &str) -> String {
+    to_json(&s).expect("string serialization is infallible")
+}
+
+/// Serves sweep requests from `input` until EOF, writing JSON event lines
+/// to `output`. All requests share `store`; each gets a fresh session.
+///
+/// # Errors
+///
+/// Returns the first I/O error raised by `input` or `output`. Request-level
+/// failures (bad JSON, unknown kinds or networks) are reported in-band as
+/// `error` events and do not stop the service.
+pub fn run_serve(
+    input: impl BufRead,
+    mut output: impl Write,
+    store: &ResultCache,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match parse_request(&line) {
+            Ok(req) => req,
+            Err((id, msg)) => {
+                emit_error(&mut output, &id, &msg)?;
+                continue;
+            }
+        };
+        emit(
+            &mut output,
+            &format!(
+                r#"{{"id":{},"event":"accepted","kind":{}}}"#,
+                quoted(&req.id),
+                quoted(&req.kind)
+            ),
+        )?;
+        if let Err(msg) = handle_request(&req, store, &mut output) {
+            emit_error(&mut output, &req.id, &msg)?;
+        }
+    }
+    Ok(())
+}
+
+fn handle_request(
+    req: &Request,
+    store: &ResultCache,
+    output: &mut impl Write,
+) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let net = zoo::try_by_name(&req.network, req.batch).map_err(|e| {
+        format!(
+            "unknown network {:?} at batch {}: {e}",
+            req.network, req.batch
+        )
+    })?;
+    let config = AccelConfig::default();
+    let session = store.session();
+    let id = req.id.clone();
+    // Cell events stream as the frontier advances; the borrow of `output`
+    // inside `on_cell` ends when the sweep returns, freeing it for `done`.
+    macro_rules! on_cell {
+        () => {
+            |index, cached, data: &_| {
+                let payload = to_json(data).expect("cell serialization is infallible");
+                let _ = emit(
+                    output,
+                    &format!(
+                        r#"{{"id":{},"event":"cell","index":{index},"cached":{cached},"data":{payload}}}"#,
+                        quoted(&id)
+                    ),
+                );
+            }
+        };
+    }
+    let result: String = match req.kind.as_str() {
+        "chaos-curve" => {
+            let fractions = req.fractions.as_deref().unwrap_or(&DEFAULT_FRACTIONS);
+            serialize(&chaos_degradation_with_budget_cached(
+                &net,
+                config,
+                req.seed,
+                fractions,
+                req.dram_rate,
+                req.retry_budget,
+                Some(&session),
+                on_cell!(),
+            ))
+        }
+        "chaos-grid" => {
+            let fractions = req.fractions.as_deref().unwrap_or(&DEFAULT_GRID_FRACTIONS);
+            let rates = req.rates.as_deref().unwrap_or(&DEFAULT_GRID_RATES);
+            serialize(&chaos_grid_cached(
+                &net,
+                config,
+                req.seed,
+                fractions,
+                rates,
+                req.retry_budget,
+                Some(&session),
+                on_cell!(),
+            ))
+        }
+        "chaos-grid3" => {
+            let fractions = req.fractions.as_deref().unwrap_or(&DEFAULT_GRID_FRACTIONS);
+            let rates = req.rates.as_deref().unwrap_or(&DEFAULT_GRID_RATES);
+            let sites = req
+                .site_rates
+                .as_deref()
+                .unwrap_or(&DEFAULT_GRID_SITE_RATES);
+            serialize(&chaos_grid3_cached(
+                &net,
+                config,
+                req.seed,
+                fractions,
+                rates,
+                sites,
+                req.retry_budget,
+                Some(&session),
+                on_cell!(),
+            ))
+        }
+        "control-path" => {
+            let rates = req.rates.as_deref().unwrap_or(&DEFAULT_CONTROL_PATH_RATES);
+            serialize(&control_path_sweep_cached(
+                &net,
+                config,
+                req.seed,
+                &CONTROL_PATH_POLICIES,
+                rates,
+                req.retry_budget,
+                Some(&session),
+                on_cell!(),
+            ))
+        }
+        "scheduler" => {
+            let rates = req.rates.as_deref().unwrap_or(&DEFAULT_SCHEDULER_RATES);
+            serialize(&scheduler_sweep_cached(
+                &net,
+                config,
+                req.seed,
+                &SCHEDULER_POLICIES,
+                rates,
+                req.retry_budget,
+                Some(&session),
+                on_cell!(),
+            ))
+        }
+        "retry-budget" => {
+            let budgets = req.budgets.as_deref().unwrap_or(&DEFAULT_RETRY_BUDGETS);
+            serialize(&retry_budget_sweep_cached(
+                &net,
+                config,
+                req.seed,
+                req.dram_rate,
+                budgets,
+                Some(&session),
+                on_cell!(),
+            ))
+        }
+        "compare" => {
+            let nets = [net];
+            serialize(&compare_cells(config, &nets, Some(&session), on_cell!()))
+        }
+        "capacity-sweep" => {
+            let caps: &[u64] = req
+                .capacities_kib
+                .as_deref()
+                .unwrap_or(&DEFAULT_CAPACITIES_KIB);
+            let keys: Vec<CacheKey> = caps
+                .iter()
+                .map(|&kib| compare_cell_key(&net, &config.with_fm_capacity(kib * 1024)))
+                .collect();
+            let cells = cached_cells(
+                Some(&session),
+                caps,
+                &keys,
+                |_| net.total_macs(),
+                |&kib| {
+                    let exp = Experiment::new(config.with_fm_capacity(kib * 1024));
+                    run_compare_cell(&exp, &net)
+                },
+                on_cell!(),
+            );
+            serialize(&cells)
+        }
+        other => {
+            return Err(format!(
+                "unknown kind {other:?} (expected chaos-curve, chaos-grid, chaos-grid3, \
+                 control-path, scheduler, retry-budget, compare, or capacity-sweep)"
+            ))
+        }
+    };
+    let cache = to_json(&session.stats()).expect("stats serialization is infallible");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    emit(
+        output,
+        &format!(
+            r#"{{"id":{},"event":"done","ms":{ms:.3},"result":{result},"cache":{cache}}}"#,
+            quoted(&req.id)
+        ),
+    )
+    .map_err(|e| format!("write failed: {e}"))
+}
+
+fn serialize<T: Serialize>(value: &T) -> String {
+    to_json(value).expect("sweep result serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+
+    use super::*;
+
+    fn tmp_store(tag: &str) -> ResultCache {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("sm-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(&dir).unwrap()
+    }
+
+    fn serve(store: &ResultCache, input: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        run_serve(input.as_bytes(), &mut out, store).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn streams_cells_then_done_and_second_request_hits_cache() {
+        let store = tmp_store("overlap");
+        let req = r#"{"id":"r1","kind":"chaos-grid","network":"toy_residual","seed":7,"fractions":[0.0,0.3],"rates":[0.0,0.2]}"#;
+        let lines = serve(&store, &format!("{req}\n{}\n", req.replace("r1", "r2")));
+
+        // Request r1: accepted, 4 cell events (all computed), done.
+        assert!(lines[0].contains(r#""id":"r1","event":"accepted","kind":"chaos-grid""#));
+        let r1_cells: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains(r#""id":"r1","event":"cell""#))
+            .collect();
+        assert_eq!(r1_cells.len(), 4);
+        assert!(r1_cells.iter().all(|l| l.contains(r#""cached":false"#)));
+        let r1_done = lines
+            .iter()
+            .find(|l| l.contains(r#""id":"r1","event":"done""#))
+            .unwrap();
+        assert!(r1_done.contains(r#""misses":4"#));
+
+        // Request r2 overlaps 100%: every cell cached, zero misses.
+        let r2_cells: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains(r#""id":"r2","event":"cell""#))
+            .collect();
+        assert_eq!(r2_cells.len(), 4);
+        assert!(r2_cells.iter().all(|l| l.contains(r#""cached":true"#)));
+        let r2_done = lines
+            .iter()
+            .find(|l| l.contains(r#""id":"r2","event":"done""#))
+            .unwrap();
+        assert!(r2_done.contains(r#""hits":4"#));
+        assert!(r2_done.contains(r#""misses":0"#));
+
+        // Byte-identical results across the two requests.
+        let payload = |l: &str| {
+            l.split(r#""result":"#)
+                .nth(1)
+                .unwrap()
+                .split(r#","cache":"#)
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(payload(r1_done), payload(r2_done));
+    }
+
+    #[test]
+    fn cell_events_arrive_in_index_order() {
+        let store = tmp_store("order");
+        let lines = serve(
+            &store,
+            r#"{"id":"q","kind":"retry-budget","network":"toy_residual","dram_rate":0.2,"budgets":[0,1,2]}"#,
+        );
+        let indices: Vec<usize> = lines
+            .iter()
+            .filter(|l| l.contains(r#""event":"cell""#))
+            .map(|l| {
+                l.split(r#""index":"#)
+                    .nth(1)
+                    .unwrap()
+                    .split(',')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bad_requests_get_error_events_and_the_service_keeps_going() {
+        let store = tmp_store("errors");
+        let input = "not json\n\
+                     {\"id\":\"a\",\"kind\":\"wat\",\"network\":\"toy_residual\"}\n\
+                     {\"id\":\"b\",\"kind\":\"compare\",\"network\":\"nope\"}\n\
+                     {\"id\":\"c\",\"kind\":\"compare\",\"network\":\"toy_residual\"}\n";
+        let lines = serve(&store, input);
+        assert!(lines[0].contains(r#""id":"","event":"error""#));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains(r#""id":"a","event":"error""#) && l.contains("unknown kind")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains(r#""id":"b","event":"error""#) && l.contains("unknown network")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains(r#""id":"c","event":"done""#)));
+    }
+
+    #[test]
+    fn capacity_sweep_shares_cells_with_compare() {
+        let store = tmp_store("share");
+        // The capacity sweep at 512 KiB and a compare at the default config
+        // are distinct cells; re-running the sweep hits every one.
+        let sweep = r#"{"id":"s1","kind":"capacity-sweep","network":"toy_residual","capacities_kib":[64,512]}"#;
+        let lines = serve(&store, &format!("{sweep}\n{}\n", sweep.replace("s1", "s2")));
+        let done = |id: &str| {
+            lines
+                .iter()
+                .find(|l| l.contains(&format!(r#""id":"{id}","event":"done""#)))
+                .unwrap()
+                .clone()
+        };
+        assert!(done("s1").contains(r#""misses":2"#));
+        assert!(done("s2").contains(r#""hits":2"#));
+        assert!(done("s2").contains(r#""misses":0"#));
+    }
+}

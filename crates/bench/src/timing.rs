@@ -16,13 +16,14 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use sm_accel::tiling::{plan_cache_clear, plan_cache_stats, plan_conv_cached, ConvDims, TileCaps};
+use sm_accel::tiling::{plan_cache_clear, plan_conv_cached, ConvDims, PlanCacheSnapshot, TileCaps};
 use sm_accel::AccelConfig;
 use sm_core::parallel::set_threads;
 use sm_tensor::ops::{conv2d, conv2d_im2col, gemm_nt, gemm_nt_micro, Conv2dParams};
 use sm_tensor::{Shape4, Tensor};
 
-use crate::experiments::all_tables;
+use crate::cas::ResultCache;
+use crate::experiments::{all_tables, chaos_grid_cached};
 
 /// The headline replay GEMM shape: the 64-channel 56×56 3×3 convolution of
 /// the ResNet mid-network, lowered by im2col — `rows` output positions by
@@ -77,6 +78,35 @@ pub struct BenchReport {
     pub plan_speedup: f64,
     /// Cache hits observed during the warm replay.
     pub plan_cache_hits: u64,
+    /// Plan-cache misses observed during the warm replay (scoped via
+    /// [`PlanCacheSnapshot`]; expected 0).
+    #[serde(default)]
+    pub plan_cache_misses: u64,
+    /// Reference chaos grid simulated against an empty result cache.
+    #[serde(default)]
+    pub result_cold_ms: f64,
+    /// The same grid replayed against the warm result cache.
+    #[serde(default)]
+    pub result_warm_ms: f64,
+    /// `result_cold_ms / result_warm_ms` — the number the nightly
+    /// `--assert-warm-speedup` floor guards.
+    #[serde(default)]
+    pub result_warm_speedup: f64,
+    /// Result-cache hits observed during the warm replay.
+    #[serde(default)]
+    pub result_cache_hits: u64,
+    /// Result-cache misses observed during the cold run (one per cell).
+    #[serde(default)]
+    pub result_cache_misses: u64,
+    /// Payload bytes the cold run wrote into the result cache.
+    #[serde(default)]
+    pub result_cache_bytes_written: u64,
+    /// Payload bytes the warm replay read back from the result cache.
+    #[serde(default)]
+    pub result_cache_bytes_read: u64,
+    /// Whether the warm replay reproduced the cold grid exactly.
+    #[serde(default)]
+    pub result_warm_identical: bool,
     /// Provenance note for readers of the committed artifact: when the host
     /// offers a single core (pinned CI container, as for the committed
     /// `BENCH_parallel.json`), `suite_speedup` can only measure threading
@@ -167,9 +197,54 @@ pub fn run_bench(threads: usize) -> BenchReport {
     let t0 = Instant::now();
     plan_all();
     let plan_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let (hits_before, _) = plan_cache_stats();
+    let warm_snapshot = PlanCacheSnapshot::take();
     let plan_warm_ms = median_ms(5, plan_all);
-    let (hits_after, _) = plan_cache_stats();
+    let (plan_hits, plan_misses) = warm_snapshot.delta();
+
+    // 4. Result cache: the headline chaos grid pair (ResNet-34 +
+    // SqueezeNet, the `smctl chaos --grid` networks) over a dense
+    // fraction × rate plane, cold vs warm against a throwaway store — the
+    // sweep-level analogue of the plan-cache pair. 60 cells amortize the
+    // per-sweep network fingerprint so the warm replay measures cache
+    // reads against real simulation time; the warm number is a median of
+    // replays (the cache stays warm) to damp filesystem noise, while cold
+    // is necessarily single-shot.
+    let cache_dir = std::env::temp_dir().join(format!("sm-bench-cas-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let store = ResultCache::open(&cache_dir).expect("temp result-cache dir");
+    let bench_nets = [
+        sm_model::zoo::resnet34(1),
+        sm_model::zoo::squeezenet_v10_simple_bypass(1),
+    ];
+    let run_grids = |session| {
+        bench_nets
+            .iter()
+            .map(|net| {
+                chaos_grid_cached(
+                    net,
+                    cfg,
+                    5,
+                    &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5],
+                    &[0.0, 0.01, 0.05, 0.1, 0.2],
+                    Some(8),
+                    Some(session),
+                    |_, _, _| {},
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let cold_session = store.session();
+    let t0 = Instant::now();
+    let cold_grid = run_grids(&cold_session);
+    let result_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_probe = store.session();
+    let result_warm_ms = median_ms(3, || {
+        run_grids(&warm_probe);
+    });
+    let warm_session = store.session();
+    let warm_grid = run_grids(&warm_session);
+    let (cold_stats, warm_stats) = (cold_session.stats(), warm_session.stats());
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
     let provenance = if available_cores == 1 {
@@ -196,7 +271,16 @@ pub fn run_bench(threads: usize) -> BenchReport {
         plan_cold_ms,
         plan_warm_ms,
         plan_speedup: plan_cold_ms / plan_warm_ms,
-        plan_cache_hits: hits_after - hits_before,
+        plan_cache_hits: plan_hits,
+        plan_cache_misses: plan_misses,
+        result_cold_ms,
+        result_warm_ms,
+        result_warm_speedup: result_cold_ms / result_warm_ms,
+        result_cache_hits: warm_stats.hits,
+        result_cache_misses: cold_stats.misses,
+        result_cache_bytes_written: cold_stats.bytes_written,
+        result_cache_bytes_read: warm_stats.bytes_read,
+        result_warm_identical: warm_grid == cold_grid,
         provenance,
     }
 }
@@ -208,7 +292,9 @@ impl BenchReport {
             "suite: {:.0} ms serial -> {:.0} ms on {} threads, {} core(s) ({:.2}x, outputs identical: {})\n\
              conv 64x56x56 k3: {:.1} ms direct -> {:.1} ms im2col+gemm ({:.2}x)\n\
              gemm 3136x576x64: {:.1} ms scalar -> {:.1} ms microkernel ({:.2}x)\n\
-             tiling plans: {:.3} ms cold -> {:.3} ms warm ({:.1}x, {} hits)\n\
+             tiling plans: {:.3} ms cold -> {:.3} ms warm ({:.1}x, {} hits / {} misses)\n\
+             result cache: {:.1} ms cold -> {:.1} ms warm ({:.1}x, {} hits / {} misses, \
+             {} B written / {} B read, identical: {})\n\
              provenance: {}\n",
             self.suite_serial_ms,
             self.suite_parallel_ms,
@@ -226,6 +312,15 @@ impl BenchReport {
             self.plan_warm_ms,
             self.plan_speedup,
             self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.result_cold_ms,
+            self.result_warm_ms,
+            self.result_warm_speedup,
+            self.result_cache_hits,
+            self.result_cache_misses,
+            self.result_cache_bytes_written,
+            self.result_cache_bytes_read,
+            self.result_warm_identical,
             self.provenance,
         )
     }
@@ -238,6 +333,9 @@ impl BenchReport {
     /// * `suite_floor` — minimum `suite_speedup`; skipped when the host
     ///   offers a single core, where the parallel run can only measure
     ///   threading overhead (the 1-core-container blind spot).
+    /// * `warm_floor` — minimum `result_warm_speedup` (warm result-cache
+    ///   sweep over the cold run of the same grid). Also requires the warm
+    ///   replay to have reproduced the cold grid exactly.
     /// * `require_identical` — serial and parallel suite bytes must match.
     ///
     /// # Errors
@@ -247,6 +345,7 @@ impl BenchReport {
         &self,
         conv_floor: Option<f64>,
         suite_floor: Option<f64>,
+        warm_floor: Option<f64>,
         require_identical: bool,
     ) -> Result<(), String> {
         if require_identical && !self.suite_outputs_identical {
@@ -275,6 +374,22 @@ impl BenchReport {
                     "parallel suite speedup {:.2}x is below the asserted floor {floor:.2}x \
                      on {} cores",
                     self.suite_speedup, self.available_cores
+                ));
+            }
+        }
+        if let Some(floor) = warm_floor {
+            if !self.result_warm_identical {
+                return Err(
+                    "warm result-cache sweep diverged from the cold run (cache-correctness \
+                     regression)"
+                        .to_string(),
+                );
+            }
+            if self.result_warm_speedup < floor {
+                return Err(format!(
+                    "warm result-cache sweep speedup {:.2}x is below the asserted floor \
+                     {floor:.2}x ({:.1} ms cold vs {:.1} ms warm)",
+                    self.result_warm_speedup, self.result_cold_ms, self.result_warm_ms
                 ));
             }
         }
@@ -313,6 +428,15 @@ mod tests {
             plan_warm_ms: 0.1,
             plan_speedup: 10.0,
             plan_cache_hits: 64,
+            plan_cache_misses: 0,
+            result_cold_ms: 500.0,
+            result_warm_ms: 10.0,
+            result_warm_speedup: 50.0,
+            result_cache_hits: 9,
+            result_cache_misses: 9,
+            result_cache_bytes_written: 2048,
+            result_cache_bytes_read: 2048,
+            result_warm_identical: true,
             provenance: "test".into(),
         }
     }
@@ -320,26 +444,41 @@ mod tests {
     #[test]
     fn conv_floor_passes_and_fails_around_the_measured_speedup() {
         let r = report(1);
-        assert!(r.assert_floors(Some(4.0), None, false).is_ok());
-        let err = r.assert_floors(Some(8.0), None, false).unwrap_err();
+        assert!(r.assert_floors(Some(4.0), None, None, false).is_ok());
+        let err = r.assert_floors(Some(8.0), None, None, false).unwrap_err();
         assert!(err.contains("below the asserted floor"), "{err}");
     }
 
     #[test]
     fn suite_floor_is_waived_on_a_single_core_host() {
         // suite_speedup 0.5 would fail any floor, but one core waives it.
-        assert!(report(1).assert_floors(None, Some(1.5), false).is_ok());
-        let err = report(4).assert_floors(None, Some(1.5), false).unwrap_err();
+        assert!(report(1)
+            .assert_floors(None, Some(1.5), None, false)
+            .is_ok());
+        let err = report(4)
+            .assert_floors(None, Some(1.5), None, false)
+            .unwrap_err();
         assert!(err.contains("parallel suite speedup"), "{err}");
     }
 
     #[test]
     fn identity_assertion_catches_divergent_outputs() {
         let mut r = report(4);
-        assert!(r.assert_floors(None, None, true).is_ok());
+        assert!(r.assert_floors(None, None, None, true).is_ok());
         r.suite_outputs_identical = false;
-        let err = r.assert_floors(None, None, true).unwrap_err();
+        let err = r.assert_floors(None, None, None, true).unwrap_err();
         assert!(err.contains("determinism"), "{err}");
+    }
+
+    #[test]
+    fn warm_floor_guards_speedup_and_byte_identity() {
+        let mut r = report(1);
+        assert!(r.assert_floors(None, None, Some(5.0), false).is_ok());
+        let err = r.assert_floors(None, None, Some(100.0), false).unwrap_err();
+        assert!(err.contains("warm result-cache sweep speedup"), "{err}");
+        r.result_warm_identical = false;
+        let err = r.assert_floors(None, None, Some(5.0), false).unwrap_err();
+        assert!(err.contains("cache-correctness"), "{err}");
     }
 
     #[test]
@@ -347,10 +486,43 @@ mod tests {
         let r = report(2);
         let body = to_json(&r).unwrap();
         assert!(body.contains("\"gemm_micro_speedup\":6"));
+        assert!(body.contains("\"result_warm_speedup\":50"));
         let back: BenchReport = from_json(&body).unwrap();
         assert_eq!(back.gemm_scalar_ms, r.gemm_scalar_ms);
         assert_eq!(back.gemm_micro_speedup, r.gemm_micro_speedup);
         assert_eq!(back.plan_cache_hits, r.plan_cache_hits);
+        assert_eq!(back.result_cache_hits, r.result_cache_hits);
+        assert!(back.result_warm_identical);
+    }
+
+    #[test]
+    fn pre_result_cache_reports_still_parse() {
+        // A report serialized before the result-cache fields existed: they
+        // must default to zero/false instead of failing the parse.
+        let r = report(2);
+        let mut body = to_json(&r).unwrap();
+        for field in [
+            "\"plan_cache_misses\":0,",
+            "\"result_cold_ms\":500,",
+            "\"result_warm_ms\":10,",
+            "\"result_warm_speedup\":50,",
+            "\"result_cache_hits\":9,",
+            "\"result_cache_misses\":9,",
+            "\"result_cache_bytes_written\":2048,",
+            "\"result_cache_bytes_read\":2048,",
+            "\"result_warm_identical\":true,",
+        ] {
+            assert!(
+                body.contains(field),
+                "fixture drifted: {field} not in {body}"
+            );
+            body = body.replace(field, "");
+        }
+        let back: BenchReport = from_json(&body).unwrap();
+        assert_eq!(back.result_cold_ms, 0.0);
+        assert_eq!(back.result_cache_hits, 0);
+        assert!(!back.result_warm_identical);
+        assert_eq!(back.plan_cache_hits, 64);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Stable 128-bit content hashing for the persistent result cache.
+//!
+//! The sweep-result cache (`sm_bench::cas`) keys disk entries by a hash of
+//! the canonical serialized simulation inputs. The hash therefore has to be
+//! *stable*: the same bytes must map to the same key across processes,
+//! platforms, and releases, which rules out [`std::hash`]'s
+//! `RandomState`-seeded hashers. FNV-1a widened to 128 bits fits exactly:
+//! dependency-free, byte-order independent, trivially reproducible from the
+//! published constants, and wide enough that collisions between distinct
+//! sweep configurations are not a practical concern (the keyed space is
+//! tiny compared to 2^128).
+//!
+//! [`Fnv128`] is the incremental hasher; [`fnv64`] is the narrower one-shot
+//! variant used for per-entry integrity checksums, where a corrupted file
+//! only needs to be *detected*, not globally unique.
+
+/// FNV-1a offset basis for the 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a prime for the 128-bit variant (2^88 + 2^8 + 0x3b).
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// FNV-1a offset basis for the 64-bit variant.
+const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime for the 64-bit variant.
+const FNV64_PRIME: u64 = 0x100000001b3;
+
+/// Incremental 128-bit FNV-1a hasher over byte streams.
+///
+/// # Example
+///
+/// ```
+/// use sm_core::hash::Fnv128;
+///
+/// let mut h = Fnv128::new();
+/// h.update(b"chaos-grid");
+/// h.update(b"resnet34");
+/// let whole = Fnv128::of(b"chaos-gridresnet34");
+/// assert_eq!(h.finish(), whole);
+/// assert_ne!(whole, Fnv128::of(b"chaos-gridresnet50"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv128 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Folds `bytes` into the running state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The digest of everything fed so far (the hasher stays usable).
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn of(bytes: &[u8]) -> u128 {
+        let mut h = Fnv128::new();
+        h.update(bytes);
+        h.finish()
+    }
+}
+
+/// One-shot 64-bit FNV-1a digest — the per-entry integrity checksum of the
+/// on-disk result cache.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut state = FNV64_OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_fnv1a_vectors() {
+        // The canonical FNV-1a test vectors (draft-eastlake-fnv).
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(Fnv128::of(b""), FNV128_OFFSET);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot_at_any_split() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = Fnv128::of(data);
+        for split in 0..=data.len() {
+            let mut h = Fnv128::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_byte_difference_changes_the_digest() {
+        let a = Fnv128::of(b"seed:42 policy:shortcut-mining banks:512");
+        let b = Fnv128::of(b"seed:43 policy:shortcut-mining banks:512");
+        let c = Fnv128::of(b"seed:42 policy:shortcut-mining banks:513");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -63,6 +63,7 @@ mod trace;
 
 pub mod analysis;
 pub mod functional;
+pub mod hash;
 pub mod parallel;
 
 pub use error::SimError;

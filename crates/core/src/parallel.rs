@@ -219,6 +219,97 @@ where
     tagged.into_iter().map(|(_, u)| u).collect()
 }
 
+/// [`par_map_weighted`] that additionally streams each result to `on_ready`
+/// **in input order** as soon as the contiguous prefix up to it has
+/// completed — the dispatch behind the resident sweep service, which emits
+/// a JSON line per finished cell while later cells are still running.
+///
+/// Work assignment is the same static greedy LPT schedule as
+/// [`par_map_weighted`], so the returned vector is byte-identical to the
+/// serial `items.iter().map(f).collect()` at every thread count, and
+/// `on_ready(i, &result[i])` fires exactly once per item with `i` strictly
+/// ascending. `on_ready` runs on the calling thread; workers hand results
+/// over a channel rather than invoking the callback themselves, so the
+/// callback needs no synchronization and observes results in order even
+/// when items complete out of order.
+pub fn par_map_weighted_stream<T, U, F, C, G>(
+    items: &[T],
+    threads: usize,
+    cost: C,
+    f: F,
+    mut on_ready: G,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+    C: Fn(&T) -> u64,
+    G: FnMut(usize, &U),
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let u = f(item);
+                on_ready(i, &u);
+                u
+            })
+            .collect();
+    }
+
+    // The same deterministic LPT assignment as par_map_weighted.
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(cost(&items[i])), i));
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut loads = vec![0u64; workers];
+    for &i in &order {
+        let w = (0..workers)
+            .min_by_key(|&w| (loads[w], w))
+            .expect("workers > 0");
+        loads[w] = loads[w].saturating_add(cost(&items[i]).max(1));
+        queues[w].push(i);
+    }
+
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, U)>();
+        let f = &f;
+        for queue in &queues {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for &i in queue {
+                    // A send only fails when the receiver is gone, which
+                    // only happens if this scope is already unwinding.
+                    let _ = tx.send((i, f(&items[i])));
+                }
+            });
+        }
+        drop(tx);
+        // Drain on the calling thread, emitting the in-order frontier as it
+        // becomes contiguous.
+        let mut frontier = 0usize;
+        for (i, u) in rx {
+            slots[i] = Some(u);
+            while frontier < slots.len() {
+                match &slots[frontier] {
+                    Some(u) => {
+                        on_ready(frontier, u);
+                        frontier += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        debug_assert_eq!(frontier, slots.len());
+    });
+    slots
+        .into_iter()
+        .map(|u| u.expect("stream worker completed every item"))
+        .collect()
+}
+
 /// [`par_map_weighted`] at the configured worker count ([`threads`]).
 pub fn par_map_weighted_auto<T, U, F, C>(items: &[T], cost: C, f: F) -> Vec<U>
 where
@@ -323,6 +414,57 @@ mod tests {
             .map(|(_, c)| *c)
             .collect();
         assert_eq!(on_big, vec![10], "dominant item shares no worker");
+    }
+
+    #[test]
+    fn streamed_results_arrive_in_order_and_match_par_map() {
+        let items: Vec<u64> = (0..53).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7 + 1).collect();
+        for threads in [1usize, 2, 4, 16] {
+            let mut seen: Vec<usize> = Vec::new();
+            let out = par_map_weighted_stream(
+                &items,
+                threads,
+                |&x| x,
+                |x| x * 7 + 1,
+                |i, u| {
+                    assert_eq!(*u, expect[i], "value at {i}");
+                    seen.push(i);
+                },
+            );
+            assert_eq!(out, expect, "{threads} threads");
+            assert_eq!(seen, (0..items.len()).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn stream_handles_empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        let mut calls = 0;
+        assert!(par_map_weighted_stream(&none, 8, |_| 1, |x| *x, |_, _| calls += 1).is_empty());
+        assert_eq!(calls, 0);
+        let out = par_map_weighted_stream(&[7u32], 8, |_| 1, |x| x + 1, |_, _| calls += 1);
+        assert_eq!((out, calls), (vec![8], 1));
+    }
+
+    #[test]
+    fn stream_emits_in_order_even_when_later_items_finish_first() {
+        // Item 0 is slow; the callback must still see 0 before 1..n.
+        let items: Vec<u64> = (0..8).collect();
+        let mut seen = Vec::new();
+        par_map_weighted_stream(
+            &items,
+            4,
+            |_| 1,
+            |&x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                x
+            },
+            |i, _| seen.push(i),
+        );
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

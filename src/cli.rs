@@ -93,6 +93,12 @@ pub enum Command {
         /// / spill-queue strikes across all four recovery tiers including
         /// checkpoint/rollback.
         scheduler: bool,
+        /// Persistent content-addressed result cache directory
+        /// (`--cache-dir`): cells already in the cache are loaded instead of
+        /// re-simulated, and computed cells are written back.
+        cache_dir: Option<String>,
+        /// Ignore the result cache even when `--cache-dir` is given.
+        no_cache: bool,
         /// Emit the degradation curves as a JSON document instead of text.
         json: bool,
     },
@@ -130,6 +136,16 @@ pub enum Command {
         /// Fail unless the parallel suite output is byte-identical to the
         /// serial run.
         assert_suite_identical: bool,
+        /// Fail unless the warm result-cache sweep speedup over the cold
+        /// run reaches this floor (also enforces warm/cold byte-identity).
+        assert_warm_speedup: Option<f64>,
+    },
+    /// Resident sweep service: newline-delimited JSON requests on stdin,
+    /// streamed JSON events on stdout, one shared result cache.
+    Serve {
+        /// Result-cache directory shared by every request (default: a
+        /// `smctl-cache` directory under the system temp dir).
+        cache_dir: Option<String>,
     },
 }
 
@@ -159,12 +175,16 @@ USAGE:
   smctl chaos   [<network>|headline] [--batch <n>] [--seed <n>] [--dram-rate <p>]
                 [--retry-budget <n>] [--budget-sweep] [--grid]
                 [--site-rate <p,p,...>] [--control-path] [--scheduler]
-                [--json]
+                [--cache-dir <path>] [--no-cache] [--json]
                 (network defaults to `headline` = ResNet-34 + SqueezeNet)
   smctl report  <network> [--batch <n>] [--policy <name>] [--per-layer]
                 [--seed <n>] [--dram-rate <p>] [--site-rate <p>] [--json]
   smctl bench   [--out <path>] [--assert-conv-speedup <x>]
                 [--assert-suite-speedup <x>] [--assert-suite-identical]
+                [--assert-warm-speedup <x>]
+  smctl serve   [--cache-dir <path>]
+                (newline-delimited JSON sweep requests on stdin, streamed
+                JSON events on stdout; see sm_bench::service docs)
 
 Every command also accepts --threads <n> (worker count for parallel
 sweeps; SM_THREADS environment variable is the fallback, default = all
@@ -221,16 +241,29 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
     let cmd = it.next().ok_or_else(|| CliError(USAGE.to_string()))?;
     match cmd {
         "networks" => Ok(Command::Networks),
+        "serve" => {
+            let mut cache_dir = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--cache-dir" => cache_dir = Some(take_value(&mut it, flag)?.to_string()),
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Serve { cache_dir })
+        }
         "bench" => {
             let mut out = "BENCH_parallel.json".to_string();
             let mut assert_conv_speedup = None;
             let mut assert_suite_speedup = None;
             let mut assert_suite_identical = false;
+            let mut assert_warm_speedup = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--out" => out = take_value(&mut it, flag)?.to_string(),
                     "--assert-suite-identical" => assert_suite_identical = true,
-                    "--assert-conv-speedup" | "--assert-suite-speedup" => {
+                    "--assert-conv-speedup"
+                    | "--assert-suite-speedup"
+                    | "--assert-warm-speedup" => {
                         let v = take_value(&mut it, flag)?;
                         let floor = v
                             .parse::<f64>()
@@ -241,10 +274,10 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                                     "invalid speedup floor {v:?} (positive number expected)"
                                 ))
                             })?;
-                        if flag == "--assert-conv-speedup" {
-                            assert_conv_speedup = Some(floor);
-                        } else {
-                            assert_suite_speedup = Some(floor);
+                        match flag {
+                            "--assert-conv-speedup" => assert_conv_speedup = Some(floor),
+                            "--assert-suite-speedup" => assert_suite_speedup = Some(floor),
+                            _ => assert_warm_speedup = Some(floor),
                         }
                     }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
@@ -255,6 +288,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 assert_conv_speedup,
                 assert_suite_speedup,
                 assert_suite_identical,
+                assert_warm_speedup,
             })
         }
         "compare" | "analyze" | "verify" | "sweep" | "layers" | "chaos" | "report" => {
@@ -285,10 +319,14 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut scheduler = false;
             let mut per_layer = false;
             let mut dram_rate_given = false;
+            let mut cache_dir = None;
+            let mut no_cache = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
                     "--per-layer" => per_layer = true,
+                    "--no-cache" => no_cache = true,
+                    "--cache-dir" => cache_dir = Some(take_value(&mut it, flag)?.to_string()),
                     "--budget-sweep" => budget_sweep = true,
                     "--grid" => grid = true,
                     "--control-path" => control_path = true,
@@ -405,6 +443,8 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     site_rates,
                     control_path,
                     scheduler,
+                    cache_dir,
+                    no_cache,
                     json,
                 },
                 _ => Command::Verify { network, seed },
@@ -595,14 +635,16 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             site_rates,
             control_path,
             scheduler,
+            cache_dir,
+            no_cache,
             json,
         } => {
             use sm_bench::experiments::{
-                chaos_degradation_with_budget, chaos_grid, chaos_grid3, control_path_sweep,
-                retry_budget_sweep, scheduler_sweep, CONTROL_PATH_POLICIES,
-                DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS, DEFAULT_GRID_FRACTIONS,
-                DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS, DEFAULT_SCHEDULER_RATES,
-                SCHEDULER_POLICIES,
+                chaos_degradation_with_budget_cached, chaos_grid3_cached, chaos_grid_cached,
+                control_path_sweep_cached, retry_budget_sweep_cached, scheduler_sweep_cached,
+                CONTROL_PATH_POLICIES, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS,
+                DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
+                DEFAULT_SCHEDULER_RATES, SCHEDULER_POLICIES,
             };
             let nets: Vec<Network> = if network == "headline" {
                 vec![
@@ -613,17 +655,45 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 vec![network_by_name(network, *batch)
                     .ok_or_else(|| CliError(format!("unknown network {network:?}")))?]
             };
+            // The result cache only engages when a directory is named, so
+            // plain runs stay free of filesystem side effects. The stats
+            // line goes to text output only: JSON output must stay
+            // byte-identical between cold and warm runs.
+            let store = match (cache_dir, *no_cache) {
+                (Some(dir), false) => Some(
+                    sm_bench::cas::ResultCache::open(std::path::Path::new(dir))
+                        .map_err(|e| CliError(format!("cannot open cache at {dir}: {e}")))?,
+                ),
+                _ => None,
+            };
+            let session = store.as_ref().map(|s| s.session());
+            let cache = session.as_ref();
+            let finish = |out: &mut String| {
+                if let Some(s) = cache {
+                    if !*json {
+                        let st = s.stats();
+                        let _ = writeln!(
+                            out,
+                            "result cache: {} hits, {} misses, {} evictions, \
+                             {} B read, {} B written",
+                            st.hits, st.misses, st.evictions, st.bytes_read, st.bytes_written
+                        );
+                    }
+                }
+            };
             if *scheduler {
                 let studies: Vec<_> = nets
                     .iter()
                     .map(|net| {
-                        scheduler_sweep(
+                        scheduler_sweep_cached(
                             net,
                             AccelConfig::default(),
                             *seed,
                             &SCHEDULER_POLICIES,
                             &DEFAULT_SCHEDULER_RATES,
                             *retry_budget,
+                            cache,
+                            |_, _, _| {},
                         )
                     })
                     .collect();
@@ -636,19 +706,22 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         let _ = writeln!(out, "{}", study.table().render());
                     }
                 }
+                finish(&mut out);
                 return Ok(out);
             }
             if *control_path {
                 let studies: Vec<_> = nets
                     .iter()
                     .map(|net| {
-                        control_path_sweep(
+                        control_path_sweep_cached(
                             net,
                             AccelConfig::default(),
                             *seed,
                             &CONTROL_PATH_POLICIES,
                             &DEFAULT_CONTROL_PATH_RATES,
                             *retry_budget,
+                            cache,
+                            |_, _, _| {},
                         )
                     })
                     .collect();
@@ -661,13 +734,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         let _ = writeln!(out, "{}", study.table().render());
                     }
                 }
+                finish(&mut out);
                 return Ok(out);
             }
             if let (true, Some(sites)) = (*grid, site_rates.as_deref()) {
                 let grids: Vec<_> = nets
                     .iter()
                     .map(|net| {
-                        chaos_grid3(
+                        chaos_grid3_cached(
                             net,
                             AccelConfig::default(),
                             *seed,
@@ -675,6 +749,8 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                             &DEFAULT_GRID_RATES,
                             sites,
                             *retry_budget,
+                            cache,
+                            |_, _, _| {},
                         )
                     })
                     .collect();
@@ -689,19 +765,22 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         }
                     }
                 }
+                finish(&mut out);
                 return Ok(out);
             }
             if *grid {
                 let grids: Vec<_> = nets
                     .iter()
                     .map(|net| {
-                        chaos_grid(
+                        chaos_grid_cached(
                             net,
                             AccelConfig::default(),
                             *seed,
                             &DEFAULT_GRID_FRACTIONS,
                             &DEFAULT_GRID_RATES,
                             *retry_budget,
+                            cache,
+                            |_, _, _| {},
                         )
                     })
                     .collect();
@@ -714,18 +793,21 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         let _ = writeln!(out, "{}", g.table().render());
                     }
                 }
+                finish(&mut out);
                 return Ok(out);
             }
             if *budget_sweep {
                 let studies: Vec<_> = nets
                     .iter()
                     .map(|net| {
-                        retry_budget_sweep(
+                        retry_budget_sweep_cached(
                             net,
                             AccelConfig::default(),
                             *seed,
                             *dram_rate,
                             &DEFAULT_RETRY_BUDGETS,
+                            cache,
+                            |_, _, _| {},
                         )
                     })
                     .collect();
@@ -738,29 +820,34 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         let _ = writeln!(out, "{}", study.table().render());
                     }
                 }
+                finish(&mut out);
                 return Ok(out);
             }
             let curves: Vec<_> = nets
                 .iter()
                 .map(|net| {
-                    chaos_degradation_with_budget(
+                    chaos_degradation_with_budget_cached(
                         net,
                         AccelConfig::default(),
                         *seed,
                         &DEFAULT_FRACTIONS,
                         *dram_rate,
                         *retry_budget,
+                        cache,
+                        |_, _, _| {},
                     )
                 })
                 .collect();
             if *json {
                 let body = sm_bench::json::to_json(&curves).map_err(|e| CliError(e.to_string()))?;
                 let _ = writeln!(out, "{body}");
+                finish(&mut out);
                 return Ok(out);
             }
             for curve in &curves {
                 let _ = writeln!(out, "{}", curve.table().render());
             }
+            finish(&mut out);
         }
         Command::Report {
             network,
@@ -873,6 +960,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             assert_conv_speedup,
             assert_suite_speedup,
             assert_suite_identical,
+            assert_warm_speedup,
         } => {
             let threads = sm_core::parallel::threads().max(2);
             let report = sm_bench::timing::run_bench(threads);
@@ -885,15 +973,31 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 .assert_floors(
                     *assert_conv_speedup,
                     *assert_suite_speedup,
+                    *assert_warm_speedup,
                     *assert_suite_identical,
                 )
                 .map_err(CliError)?;
             if assert_conv_speedup.is_some()
                 || assert_suite_speedup.is_some()
+                || assert_warm_speedup.is_some()
                 || *assert_suite_identical
             {
                 let _ = writeln!(out, "all asserted floors hold");
             }
+        }
+        Command::Serve { cache_dir } => {
+            let dir = cache_dir
+                .clone()
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::env::temp_dir().join("smctl-cache"));
+            let store = sm_bench::cas::ResultCache::open(&dir)
+                .map_err(|e| CliError(format!("cannot open cache at {}: {e}", dir.display())))?;
+            // Events stream straight to stdout as cells complete; the
+            // returned report stays empty.
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            sm_bench::service::run_serve(stdin.lock(), stdout.lock(), &store)
+                .map_err(|e| CliError(format!("serve failed: {e}")))?;
         }
         Command::Verify { network, seed } => {
             let net = network_by_name(network, 1)
@@ -1032,6 +1136,8 @@ mod tests {
                 site_rates: None,
                 control_path: false,
                 scheduler: false,
+                cache_dir: None,
+                no_cache: false,
                 json: false,
             }
         );
@@ -1202,6 +1308,7 @@ mod tests {
                 assert_conv_speedup: None,
                 assert_suite_speedup: None,
                 assert_suite_identical: false,
+                assert_warm_speedup: None,
             }
         );
         assert_eq!(
@@ -1221,6 +1328,7 @@ mod tests {
                 assert_conv_speedup: Some(4.0),
                 assert_suite_speedup: Some(1.2),
                 assert_suite_identical: true,
+                assert_warm_speedup: None,
             }
         );
         assert!(parse(["bench", "--wat"]).is_err());
@@ -1312,6 +1420,75 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.0.contains("logical-buffer"));
+    }
+
+    #[test]
+    fn serve_and_warm_floor_flags_parse() {
+        assert_eq!(
+            parse(["serve"]).unwrap(),
+            Command::Serve { cache_dir: None }
+        );
+        assert_eq!(
+            parse(["serve", "--cache-dir", "/tmp/c"]).unwrap(),
+            Command::Serve {
+                cache_dir: Some("/tmp/c".into())
+            }
+        );
+        assert!(parse(["serve", "--wat"]).is_err());
+        assert!(parse(["serve", "--cache-dir"]).is_err());
+        match parse(["bench", "--assert-warm-speedup", "3"]).unwrap() {
+            Command::Bench {
+                assert_warm_speedup,
+                ..
+            } => assert_eq!(assert_warm_speedup, Some(3.0)),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(["bench", "--assert-warm-speedup", "-2"]).is_err());
+    }
+
+    #[test]
+    fn chaos_cache_dir_makes_warm_runs_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("smctl-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+        let cached = parse([
+            "chaos",
+            "toy_residual",
+            "--grid",
+            "--json",
+            "--cache-dir",
+            dir_s,
+        ])
+        .unwrap();
+        let cold = execute(&cached).unwrap();
+        let warm = execute(&cached).unwrap();
+        assert_eq!(cold, warm, "warm JSON must be byte-identical to cold");
+        // The cache leaves output identical to an uncached run.
+        let plain =
+            execute(&parse(["chaos", "toy_residual", "--grid", "--json"]).unwrap()).unwrap();
+        assert_eq!(cold, plain);
+        // Text output surfaces the cache counters; this third run over the
+        // same grid is all hits.
+        let txt =
+            execute(&parse(["chaos", "toy_residual", "--grid", "--cache-dir", dir_s]).unwrap())
+                .unwrap();
+        assert!(txt.contains("result cache:"), "{txt}");
+        assert!(txt.contains("0 misses"), "{txt}");
+        // --no-cache wins over --cache-dir: no cache, no stats line.
+        let off = execute(
+            &parse([
+                "chaos",
+                "toy_residual",
+                "--grid",
+                "--no-cache",
+                "--cache-dir",
+                dir_s,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(!off.contains("result cache:"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
