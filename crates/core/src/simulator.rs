@@ -1338,6 +1338,25 @@ impl<'a> Sim<'a> {
                     })?,
             );
         }
+        // Concat junctions consume shortcut edges too (fire modules, dense
+        // blocks, branchy DAGs); they bypass `fetch_operand`, so the
+        // retention ledger is fed here — otherwise it would only ever see
+        // add-style junctions.
+        for (p, r) in ops.iter().zip(&rs) {
+            if p + 1 < lid {
+                self.retention.push(RetentionRecord {
+                    producer: *p,
+                    junction: lid,
+                    skip: lid - p - 1,
+                    resident_fraction: if r.total_elems == 0 {
+                        0.0
+                    } else {
+                        r.resident_elems as f64 / r.total_elems as f64
+                    },
+                });
+            }
+        }
+
         let fully = rs.iter().all(|r| r.resident_elems == r.total_elems);
         let takeable = rs.iter().all(|r| r.remaining_consumers == 1);
 
@@ -1415,20 +1434,34 @@ impl<'a> Sim<'a> {
                 spilled,
             )?;
         } else {
-            // An operand outlives the concat (unusual): leave operands in
-            // place, produce a non-resident output backed by their DRAM
-            // copies — force their write-back.
-            let mut forced = 0u64;
+            // An operand outlives the concat (unusual). Non-takeable means
+            // the conservative branch above ran: every resident element was
+            // written back (charged in `written_now`) and every operand
+            // buffer released, so each operand is now fully DRAM-backed.
+            // Sync the live entries with that state — stale buffer handles
+            // and residency here would read freed banks at the remaining
+            // consumers — count this consumption, and free the operands
+            // whose last use this was (mirroring `consume_operands`),
+            // otherwise their entries leak for the rest of the run.
             for p in &ops {
                 let Some(r) = self.fms.get_mut(p) else {
                     continue;
                 };
-                let need = r.total_elems - r.dram_suffix_elems;
-                forced += need;
                 r.dram_suffix_elems = r.total_elems;
+                if r.resident_elems > 0 {
+                    r.resident_elems = 0;
+                    self.trace.events.push(TraceEvent::Spill {
+                        fm: *p,
+                        new_resident_elems: 0,
+                    });
+                }
+                r.buffer = None;
                 r.remaining_consumers -= 1;
+                if r.remaining_consumers == 0 {
+                    self.fms.remove(p);
+                    self.trace.events.push(TraceEvent::Free { fm: *p });
+                }
             }
-            self.record(TrafficClass::OfmWrite, forced * elem);
             self.register_output(layer, None, 0, layer.out_elems() as u64, 0)?;
         }
         Ok(())

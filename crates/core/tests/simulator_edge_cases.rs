@@ -5,6 +5,7 @@
 use sm_accel::{AccelConfig, BaselineAccelerator};
 use sm_core::functional::verify_value_preservation;
 use sm_core::{Policy, ShortcutMiner};
+use sm_mem::TrafficClass;
 use sm_model::{zoo, ConvSpec, Network, NetworkBuilder};
 use sm_tensor::Shape4;
 
@@ -152,4 +153,106 @@ fn tiny_pool_still_produces_well_formed_traces_for_dense_graphs() {
         verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 13)
             .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
     }
+}
+
+/// Concat whose first operand is consumed *again* after the junction: the
+/// junction cannot take the operand banks over, so the fold must write the
+/// residency back exactly once, release every operand buffer, and still
+/// free operands whose last use this was.
+fn concat_operand_outlives_junction() -> Network {
+    let mut b = NetworkBuilder::new("concat_reuse", Shape4::new(1, 4, 8, 8));
+    let x = b.input_id();
+    let a = b.conv("a", x, ConvSpec::relu(4, 3, 1, 1)).expect("a");
+    let br = b.conv("b", x, ConvSpec::relu(4, 3, 1, 1)).expect("b");
+    let cat = b.concat("cat", &[a, br]).expect("cat");
+    let c = b.conv("c", cat, ConvSpec::linear(4, 3, 1, 1)).expect("c");
+    let j = b.eltwise_add("add", c, a, true).expect("add");
+    b.conv("tail", j, ConvSpec::relu(4, 3, 1, 1)).expect("tail");
+    b.finish().expect("builds")
+}
+
+#[test]
+fn non_takeable_concat_is_value_preserving_and_leak_free() {
+    let net = concat_operand_outlives_junction();
+    let cfg = AccelConfig::default();
+    verify_value_preservation(&net, cfg, Policy::shortcut_mining(), 5).unwrap();
+    let sm = run(&net, cfg);
+    sm.trace.check_well_formed().unwrap();
+    sm.stats.ledger.check_consistency().unwrap();
+
+    // Layer schedule: input=0, a=1, b=2, cat=3, c=4, add=5, tail=6.
+    // `b`'s only consumer is the concat; before the fold freed exhausted
+    // operands its entry (and trace Free) leaked for the rest of the run.
+    use sm_core::TraceEvent;
+    let freed = |fm: usize| {
+        sm.trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Free { fm: f } if *f == fm))
+    };
+    assert!(
+        freed(2),
+        "concat-exhausted operand must be freed at the fold"
+    );
+    assert!(
+        freed(1),
+        "shared operand must be freed after its add consumer"
+    );
+}
+
+#[test]
+fn non_takeable_concat_charges_each_write_back_once() {
+    let net = concat_operand_outlives_junction();
+    let sm = run(&net, AccelConfig::default());
+    let cfg = AccelConfig::default();
+
+    // Both operands (4x8x8 each) are fully resident going into the concat;
+    // the conservative fold drops them with one write-back each. The concat
+    // output *is* that concatenation, so no second "forced" store may be
+    // charged on top (the historical double count).
+    let operand_elems = 2 * (4 * 8 * 8) as u64;
+    let cat = sm.stats.ledger.layer(3);
+    assert_eq!(
+        cat.class(TrafficClass::OfmWrite),
+        operand_elems * cfg.elem_bytes,
+        "concat fold must charge the residency write-back exactly once"
+    );
+
+    // `a` lost its residency at the fold, so the downstream add re-reads it
+    // in full over the shortcut edge.
+    let a_elems = (4 * 8 * 8) as u64;
+    let add = sm.stats.ledger.layer(5);
+    assert_eq!(
+        add.class(TrafficClass::ShortcutRead),
+        a_elems * cfg.elem_bytes,
+        "dropped shortcut operand is refetched in full at its junction"
+    );
+}
+
+#[test]
+fn concat_junctions_feed_the_retention_ledger() {
+    // The hand-built net: `a` (layer 1) reaches the concat (layer 3) over a
+    // skip-1 shortcut edge while still fully resident.
+    let net = concat_operand_outlives_junction();
+    let sm = run(&net, AccelConfig::default());
+    let rec = sm
+        .retention
+        .iter()
+        .find(|r| r.junction == 3)
+        .expect("concat junction must appear in the retention ledger");
+    assert_eq!(rec.producer, 1);
+    assert_eq!(rec.skip, 1);
+    assert!((rec.resident_fraction - 1.0).abs() < 1e-12);
+
+    // And a zoo net with concat junctions (fire modules) reports them too —
+    // previously only add-style junctions were recorded.
+    let sq = zoo::squeezenet_tiny(1);
+    let sm = run(&sq, AccelConfig::default());
+    use sm_model::LayerKind;
+    assert!(
+        sm.retention.iter().any(|r| {
+            matches!(sq.layers()[r.junction].kind, LayerKind::ConcatChannels) && r.skip >= 1
+        }),
+        "fire-module concats must contribute retention records"
+    );
 }

@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::graph::GraphError;
 use crate::BuildError;
 
 /// Typed error for the fallible model-zoo entry points.
@@ -31,6 +32,8 @@ pub enum ModelError {
     },
     /// The builder ran but graph assembly failed.
     Build(BuildError),
+    /// A serialized graph document failed to parse, validate, or lower.
+    Graph(GraphError),
 }
 
 impl fmt::Display for ModelError {
@@ -45,6 +48,7 @@ impl fmt::Display for ModelError {
                 write!(f, "{param} must be at least {min}, got {got}")
             }
             ModelError::Build(e) => write!(f, "network failed to build: {e}"),
+            ModelError::Graph(e) => write!(f, "network graph failed to load: {e}"),
         }
     }
 }
@@ -53,6 +57,7 @@ impl Error for ModelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ModelError::Build(e) => Some(e),
+            ModelError::Graph(e) => Some(e),
             _ => None,
         }
     }
@@ -61,5 +66,11 @@ impl Error for ModelError {
 impl From<BuildError> for ModelError {
     fn from(e: BuildError) -> Self {
         ModelError::Build(e)
+    }
+}
+
+impl From<GraphError> for ModelError {
+    fn from(e: GraphError) -> Self {
+        ModelError::Graph(e)
     }
 }

@@ -1,0 +1,824 @@
+//! Serializable network-graph format: a JSON DAG of typed layer nodes.
+//!
+//! Every experiment used to run on the hand-built zoo builders only; this
+//! module breaks the simulator out of that closed world. A graph document
+//! is a JSON object naming the input shape and a list of nodes — each a
+//! string id, a typed op, and the ids of its operands — in any topological
+//! or near-topological order. [`GraphDoc::lower`] validates the document
+//! (typed [`GraphError`] for cycles, dangling edges, duplicate ids, shape
+//! mismatches — never a panic) and produces the exact same [`Network`] IR
+//! the builders emit, so liveness, simulation, fault injection, recovery
+//! and the result cache all work on ingested graphs unchanged.
+//! [`export`] is the inverse: any `Network` serializes back to a document,
+//! and because the loader preserves document order whenever it is already
+//! topological, a zoo net round-trips through export → load to an equal
+//! `Network` (byte-identical simulation stats).
+//!
+//! Shortcut structure is not declared in the document — it is *detected*:
+//! [`ShortcutReport::of`] classifies every cross-layer edge (consumer more
+//! than one schedule step after its producer) by junction kind — residual
+//! add, channel concat, or a plain layer consuming a stale map — with its
+//! skip distance, which is how ingested U-Net-style long skips and
+//! multi-branch DAGs light up the mining machinery automatically.
+//!
+//! # Wire format
+//!
+//! ```json
+//! {
+//!   "format": "sm-graph-v1",
+//!   "name": "tiny",
+//!   "input": {"n": 1, "c": 3, "h": 8, "w": 8},
+//!   "nodes": [
+//!     {"id": "c1", "op": {"conv": {"out_channels": 8, "kernel": 3,
+//!                                  "stride": 1, "pad": 1, "relu": true}},
+//!      "inputs": ["input"]},
+//!     {"id": "add", "op": {"add": {"relu": true}}, "inputs": ["input", "c1"]}
+//!   ]
+//! }
+//! ```
+//!
+//! Op kinds are the lowercase mnemonics the rest of the workspace prints
+//! (`conv`, `dwconv`, `maxpool`, `avgpool`, `gap`, `fc`, `add`, `concat`),
+//! mapped onto the Rust enum via the vendored derive's variant renames.
+//! The reserved id `input` names the input pseudo-layer.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use serde::de::Value;
+use serde::{Deserialize, Serialize};
+use sm_tensor::Shape4;
+
+use crate::{BuildError, ConvSpec, DwConvSpec, LayerKind, Network, NetworkBuilder, PoolSpec};
+
+/// Format tag every document must carry (schema version gate).
+pub const FORMAT: &str = "sm-graph-v1";
+
+/// Reserved node id naming the input pseudo-layer.
+pub const INPUT_ID: &str = "input";
+
+/// The op kinds a document may use, in the wire spelling.
+pub const OP_KINDS: &[&str] = &[
+    "conv", "dwconv", "maxpool", "avgpool", "gap", "fc", "add", "concat",
+];
+
+/// Input feature-map shape as it appears on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphShape {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl From<Shape4> for GraphShape {
+    fn from(s: Shape4) -> Self {
+        GraphShape {
+            n: s.n,
+            c: s.c,
+            h: s.h,
+            w: s.w,
+        }
+    }
+}
+
+impl From<GraphShape> for Shape4 {
+    fn from(s: GraphShape) -> Self {
+        Shape4::new(s.n, s.c, s.h, s.w)
+    }
+}
+
+/// A typed layer operation. Wire tags are the workspace's lowercase
+/// mnemonics (variant renames); the container rename makes malformed-input
+/// errors read "unknown variant `x` for op".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename = "op")]
+pub enum GraphOp {
+    /// Standard convolution.
+    #[serde(rename = "conv")]
+    Conv {
+        /// Output channels.
+        out_channels: usize,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Fused ReLU.
+        #[serde(default)]
+        relu: bool,
+    },
+    /// Depthwise convolution (output channels equal input channels).
+    #[serde(rename = "dwconv")]
+    DepthwiseConv {
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Fused ReLU.
+        #[serde(default)]
+        relu: bool,
+    },
+    /// Max pooling.
+    #[serde(rename = "maxpool")]
+    MaxPool {
+        /// Square window extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Average pooling.
+    #[serde(rename = "avgpool")]
+    AvgPool {
+        /// Square window extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Global average pooling to 1×1.
+    #[serde(rename = "gap")]
+    GlobalAvgPool,
+    /// Fully-connected layer.
+    #[serde(rename = "fc")]
+    Fc {
+        /// Output features.
+        out_features: usize,
+    },
+    /// Element-wise addition (residual junction); exactly two inputs.
+    #[serde(rename = "add")]
+    EltwiseAdd {
+        /// Fused ReLU.
+        #[serde(default)]
+        relu: bool,
+    },
+    /// Channel concatenation; two or more inputs.
+    #[serde(rename = "concat")]
+    Concat,
+}
+
+/// One node of the graph document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// Unique node id; doubles as the lowered layer name.
+    pub id: String,
+    /// The operation.
+    pub op: GraphOp,
+    /// Operand node ids ([`INPUT_ID`] for the network input).
+    pub inputs: Vec<String>,
+}
+
+/// A whole graph document: the JSON wire form of a [`Network`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphDoc {
+    /// Schema version tag; must equal [`FORMAT`].
+    pub format: String,
+    /// Network name.
+    pub name: String,
+    /// Input feature-map shape.
+    pub input: GraphShape,
+    /// Layer nodes, ideally in schedule order.
+    pub nodes: Vec<GraphNode>,
+}
+
+/// Typed error for graph ingestion. Loading never panics: every malformed
+/// document maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The input is not well-formed JSON.
+    Parse(String),
+    /// The JSON is well-formed but does not match the document schema
+    /// (missing field, wrong value type, …).
+    Schema(String),
+    /// The document's `format` tag is not a supported version.
+    UnsupportedFormat(String),
+    /// A node id appears twice, or shadows the reserved [`INPUT_ID`].
+    DuplicateId(String),
+    /// A node references an op kind the format does not define.
+    UnknownOp {
+        /// Offending node id (empty when the node has no readable id).
+        node: String,
+        /// The unrecognized kind string.
+        op: String,
+    },
+    /// A node input references an id that is not in the document.
+    DanglingEdge {
+        /// Node whose input list is broken.
+        node: String,
+        /// The id that does not resolve.
+        input: String,
+    },
+    /// The nodes cannot be topologically ordered.
+    Cycle {
+        /// A node on (or blocked by) the cycle — the first unschedulable
+        /// node in document order.
+        node: String,
+    },
+    /// A node has the wrong number of inputs for its op.
+    Arity {
+        /// Offending node id.
+        node: String,
+        /// What the op requires, e.g. `"exactly 2"`.
+        expected: &'static str,
+        /// How many inputs the document gave it.
+        got: usize,
+    },
+    /// Operand shapes are incompatible, or a dimension is degenerate.
+    Shape {
+        /// Offending node id ([`INPUT_ID`] for a bad input shape).
+        node: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The document has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Parse(m) => write!(f, "graph JSON does not parse: {m}"),
+            GraphError::Schema(m) => write!(f, "graph document malformed: {m}"),
+            GraphError::UnsupportedFormat(got) => {
+                write!(f, "unsupported graph format {got:?}; expected {FORMAT:?}")
+            }
+            GraphError::DuplicateId(id) => write!(f, "duplicate node id {id:?}"),
+            GraphError::UnknownOp { node, op } => {
+                write!(f, "node {node:?}: unknown op kind {op:?}")
+            }
+            GraphError::DanglingEdge { node, input } => {
+                write!(f, "node {node:?}: input {input:?} does not name a node")
+            }
+            GraphError::Cycle { node } => {
+                write!(f, "graph has a cycle through or blocking node {node:?}")
+            }
+            GraphError::Arity {
+                node,
+                expected,
+                got,
+            } => write!(f, "node {node:?}: op takes {expected} inputs, got {got}"),
+            GraphError::Shape { node, message } => write!(f, "node {node:?}: {message}"),
+            GraphError::Empty => write!(f, "graph document has no nodes"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl GraphDoc {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Parse`] for malformed JSON, [`GraphError::UnknownOp`]
+    /// for an unrecognized op kind, [`GraphError::Schema`] for any other
+    /// mismatch with the document shape.
+    pub fn from_json(input: &str) -> Result<GraphDoc, GraphError> {
+        let value =
+            serde::json::parse_document(input).map_err(|e| GraphError::Parse(e.to_string()))?;
+        precheck_ops(&value)?;
+        GraphDoc::deserialize(&value).map_err(|e| GraphError::Schema(e.to_string()))
+    }
+
+    /// Serializes the document to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self).expect("derived Serialize is infallible")
+    }
+
+    /// Validates the document and lowers it into the builder IR.
+    ///
+    /// Document order is kept as the schedule whenever it is already
+    /// topological (which [`export`] guarantees, making round-trips
+    /// schedule-identical); otherwise nodes are scheduled by a
+    /// deterministic earliest-ready topological sort.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GraphError`] variant except `Parse`/`Schema`, which belong to
+    /// [`GraphDoc::from_json`].
+    pub fn lower(&self) -> Result<Network, GraphError> {
+        if self.format != FORMAT {
+            return Err(GraphError::UnsupportedFormat(self.format.clone()));
+        }
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let shape: Shape4 = self.input.into();
+        if shape.n == 0 || shape.c == 0 || shape.h == 0 || shape.w == 0 {
+            return Err(GraphError::Shape {
+                node: INPUT_ID.to_string(),
+                message: format!("input shape {shape} has a zero dimension"),
+            });
+        }
+
+        // Ids must be unique and must not shadow the input pseudo-layer.
+        let mut ids: HashSet<&str> = HashSet::with_capacity(self.nodes.len() + 1);
+        ids.insert(INPUT_ID);
+        for n in &self.nodes {
+            if !ids.insert(n.id.as_str()) {
+                return Err(GraphError::DuplicateId(n.id.clone()));
+            }
+        }
+        // Every edge must resolve before scheduling, so a dangling input
+        // reports as such rather than as a bogus cycle.
+        for n in &self.nodes {
+            for input in &n.inputs {
+                if !ids.contains(input.as_str()) {
+                    return Err(GraphError::DanglingEdge {
+                        node: n.id.clone(),
+                        input: input.clone(),
+                    });
+                }
+            }
+            n.op.check_arity(&n.id, n.inputs.len())?;
+        }
+
+        let mut b = NetworkBuilder::new(self.name.clone(), shape);
+        let mut placed: HashMap<&str, crate::LayerId> = HashMap::new();
+        placed.insert(INPUT_ID, b.input_id());
+
+        // Earliest-ready topological schedule, stable in document order:
+        // a pass places every node whose operands are all placed; no
+        // progress in a full pass means a cycle.
+        let mut remaining: Vec<&GraphNode> = self.nodes.iter().collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            let mut next = Vec::with_capacity(remaining.len());
+            for n in remaining {
+                if n.inputs.iter().all(|i| placed.contains_key(i.as_str())) {
+                    let ops: Vec<crate::LayerId> =
+                        n.inputs.iter().map(|i| placed[i.as_str()]).collect();
+                    let id = lower_node(&mut b, n, &ops)?;
+                    placed.insert(n.id.as_str(), id);
+                } else {
+                    next.push(n);
+                }
+            }
+            if next.len() == before {
+                return Err(GraphError::Cycle {
+                    node: next[0].id.clone(),
+                });
+            }
+            remaining = next;
+        }
+        b.finish().map_err(|e| build_err(INPUT_ID, e))
+    }
+}
+
+impl GraphOp {
+    /// The wire tag of this op.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GraphOp::Conv { .. } => "conv",
+            GraphOp::DepthwiseConv { .. } => "dwconv",
+            GraphOp::MaxPool { .. } => "maxpool",
+            GraphOp::AvgPool { .. } => "avgpool",
+            GraphOp::GlobalAvgPool => "gap",
+            GraphOp::Fc { .. } => "fc",
+            GraphOp::EltwiseAdd { .. } => "add",
+            GraphOp::Concat => "concat",
+        }
+    }
+
+    fn check_arity(&self, node: &str, got: usize) -> Result<(), GraphError> {
+        let expected = match self {
+            GraphOp::EltwiseAdd { .. } => ("exactly 2", got == 2),
+            GraphOp::Concat => ("at least 2", got >= 2),
+            _ => ("exactly 1", got == 1),
+        };
+        if expected.1 {
+            Ok(())
+        } else {
+            Err(GraphError::Arity {
+                node: node.to_string(),
+                expected: expected.0,
+                got,
+            })
+        }
+    }
+}
+
+fn lower_node(
+    b: &mut NetworkBuilder,
+    n: &GraphNode,
+    ops: &[crate::LayerId],
+) -> Result<crate::LayerId, GraphError> {
+    let name = n.id.clone();
+    let r = match n.op {
+        GraphOp::Conv {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            relu,
+        } => b.conv(
+            name,
+            ops[0],
+            ConvSpec {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+                relu,
+            },
+        ),
+        GraphOp::DepthwiseConv {
+            kernel,
+            stride,
+            pad,
+            relu,
+        } => b.depthwise_conv(
+            name,
+            ops[0],
+            DwConvSpec {
+                kernel,
+                stride,
+                pad,
+                relu,
+            },
+        ),
+        GraphOp::MaxPool {
+            kernel,
+            stride,
+            pad,
+        } => b.pool(name, ops[0], PoolSpec::max(kernel, stride, pad)),
+        GraphOp::AvgPool {
+            kernel,
+            stride,
+            pad,
+        } => b.pool(name, ops[0], PoolSpec::avg(kernel, stride, pad)),
+        GraphOp::GlobalAvgPool => b.global_avg_pool(name, ops[0]),
+        GraphOp::Fc { out_features } => b.fc(name, ops[0], out_features),
+        GraphOp::EltwiseAdd { relu } => b.eltwise_add(name, ops[0], ops[1], relu),
+        GraphOp::Concat => b.concat(name, ops),
+    };
+    r.map_err(|e| build_err(&n.id, e))
+}
+
+fn build_err(node: &str, e: BuildError) -> GraphError {
+    match e {
+        BuildError::Shape(message) => GraphError::Shape {
+            node: node.to_string(),
+            message,
+        },
+        // Duplicate ids and unknown layers are pre-checked against the
+        // document, and `Empty` against the node list; reaching here means
+        // the builder found something the prechecks missed — surface it
+        // with the same typed shape rather than panicking.
+        other => GraphError::Shape {
+            node: node.to_string(),
+            message: other.to_string(),
+        },
+    }
+}
+
+/// Rejects unrecognized op kinds with a typed error *before* the derived
+/// deserializer runs, so "unknown layer kind" is distinguishable from a
+/// generic schema mismatch. Structure that does not even reach the op
+/// level is left for the derived deserializer to report.
+fn precheck_ops(value: &Value) -> Result<(), GraphError> {
+    let Value::Map(entries) = value else {
+        return Ok(());
+    };
+    let Some((_, Value::Seq(nodes))) = entries.iter().find(|(k, _)| k == "nodes") else {
+        return Ok(());
+    };
+    for node in nodes {
+        let Value::Map(fields) = node else { continue };
+        let id = fields
+            .iter()
+            .find(|(k, _)| k == "id")
+            .and_then(|(_, v)| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let Some((_, op)) = fields.iter().find(|(k, _)| k == "op") else {
+            continue;
+        };
+        let kind = match op {
+            Value::Str(s) => Some(s.as_str()),
+            Value::Map(m) if m.len() == 1 => Some(m[0].0.as_str()),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            if !OP_KINDS.contains(&kind) {
+                return Err(GraphError::UnknownOp {
+                    node: id,
+                    op: kind.to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses and lowers a JSON graph document in one step.
+///
+/// # Errors
+///
+/// Any [`GraphError`]; see [`GraphDoc::from_json`] and [`GraphDoc::lower`].
+///
+/// # Example
+///
+/// ```
+/// use sm_model::graph;
+///
+/// let net = graph::load(
+///     r#"{"format":"sm-graph-v1","name":"t","input":{"n":1,"c":3,"h":8,"w":8},
+///         "nodes":[{"id":"c1","op":{"conv":{"out_channels":4,"kernel":3,
+///                                           "stride":1,"pad":1,"relu":true}},
+///                   "inputs":["input"]}]}"#,
+/// )
+/// .unwrap();
+/// assert_eq!(net.name(), "t");
+/// assert_eq!(net.len(), 2);
+/// ```
+pub fn load(input: &str) -> Result<Network, GraphError> {
+    GraphDoc::from_json(input)?.lower()
+}
+
+/// Exports any network — zoo-built or ingested — to a graph document.
+///
+/// Nodes are emitted in schedule order, which [`GraphDoc::lower`] keeps,
+/// so `lower(export(net))` reproduces `net` exactly (same layer ids, same
+/// schedule, hence byte-identical simulation stats).
+pub fn export(net: &Network) -> GraphDoc {
+    let nodes = net
+        .layers()
+        .iter()
+        .skip(1) // the input pseudo-layer is implicit in the format
+        .map(|l| GraphNode {
+            id: l.name.clone(),
+            op: op_of(&l.kind),
+            inputs: l
+                .inputs
+                .iter()
+                .map(|&i| net.layer(i).name.clone())
+                .collect(),
+        })
+        .collect();
+    GraphDoc {
+        format: FORMAT.to_string(),
+        name: net.name().to_string(),
+        input: net.input().out_shape.into(),
+        nodes,
+    }
+}
+
+/// [`export`] straight to a JSON string.
+pub fn export_json(net: &Network) -> String {
+    export(net).to_json()
+}
+
+fn op_of(kind: &LayerKind) -> GraphOp {
+    match *kind {
+        // The input pseudo-layer never reaches here (skipped by `export`),
+        // but lowering it as a 1×1 identity would also be wrong — keep the
+        // exhaustive match so a new LayerKind fails to compile instead.
+        LayerKind::Input => unreachable!("input pseudo-layer is implicit"),
+        LayerKind::Conv(s) => GraphOp::Conv {
+            out_channels: s.out_channels,
+            kernel: s.kernel,
+            stride: s.stride,
+            pad: s.pad,
+            relu: s.relu,
+        },
+        LayerKind::DepthwiseConv(s) => GraphOp::DepthwiseConv {
+            kernel: s.kernel,
+            stride: s.stride,
+            pad: s.pad,
+            relu: s.relu,
+        },
+        LayerKind::Pool(s) => match s.kind {
+            crate::PoolKind::Max => GraphOp::MaxPool {
+                kernel: s.kernel,
+                stride: s.stride,
+                pad: s.pad,
+            },
+            crate::PoolKind::Avg => GraphOp::AvgPool {
+                kernel: s.kernel,
+                stride: s.stride,
+                pad: s.pad,
+            },
+        },
+        LayerKind::GlobalAvgPool => GraphOp::GlobalAvgPool,
+        LayerKind::Fc { out_features } => GraphOp::Fc { out_features },
+        LayerKind::EltwiseAdd { relu } => GraphOp::EltwiseAdd { relu },
+        LayerKind::ConcatChannels => GraphOp::Concat,
+    }
+}
+
+/// How a detected shortcut edge is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JunctionKind {
+    /// Residual element-wise addition.
+    #[serde(rename = "add")]
+    Add,
+    /// Channel concatenation (bypass / dense connectivity).
+    #[serde(rename = "concat")]
+    Concat,
+    /// Any other consumer reaching back across the schedule (e.g. a conv
+    /// reading a map produced several steps earlier).
+    #[serde(rename = "passthrough")]
+    Passthrough,
+}
+
+/// One detected shortcut edge: a feature map consumed more than one
+/// schedule step after its producer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ShortcutHit {
+    /// Producing layer name.
+    pub producer: String,
+    /// Consuming junction layer name.
+    pub consumer: String,
+    /// Layers the map must survive between producer and consumer
+    /// (`0` would be an adjacent edge, which is not a shortcut).
+    pub skip: usize,
+    /// Junction classification.
+    pub junction: JunctionKind,
+}
+
+/// Auto-detected shortcut structure of a network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ShortcutReport {
+    /// Detected shortcut edges in schedule order of the consumer.
+    pub hits: Vec<ShortcutHit>,
+}
+
+impl ShortcutReport {
+    /// Scans `net`'s edges and classifies every shortcut.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sm_model::graph::{JunctionKind, ShortcutReport};
+    /// use sm_model::zoo;
+    ///
+    /// let r = ShortcutReport::of(&zoo::toy_residual(1));
+    /// assert_eq!(r.hits.len(), 1);
+    /// assert_eq!(r.hits[0].junction, JunctionKind::Add);
+    /// assert_eq!(r.hits[0].skip, 2);
+    /// ```
+    pub fn of(net: &Network) -> Self {
+        let hits = net
+            .shortcut_edges()
+            .iter()
+            .map(|e| {
+                let junction = match net.layer(e.to).kind {
+                    LayerKind::EltwiseAdd { .. } => JunctionKind::Add,
+                    LayerKind::ConcatChannels => JunctionKind::Concat,
+                    _ => JunctionKind::Passthrough,
+                };
+                ShortcutHit {
+                    producer: net.layer(e.from).name.clone(),
+                    consumer: net.layer(e.to).name.clone(),
+                    skip: e.skip_distance(),
+                    junction,
+                }
+            })
+            .collect();
+        ShortcutReport { hits }
+    }
+
+    /// Number of add-junction shortcuts.
+    pub fn adds(&self) -> usize {
+        self.count(JunctionKind::Add)
+    }
+
+    /// Number of concat-junction shortcuts.
+    pub fn concats(&self) -> usize {
+        self.count(JunctionKind::Concat)
+    }
+
+    /// Longest skip distance detected, 0 when the network has no shortcuts.
+    pub fn max_skip(&self) -> usize {
+        self.hits.iter().map(|h| h.skip).max().unwrap_or(0)
+    }
+
+    fn count(&self, k: JunctionKind) -> usize {
+        self.hits.iter().filter(|h| h.junction == k).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn zoo_nets_round_trip_to_equal_networks() {
+        for net in [
+            zoo::toy_residual(2),
+            zoo::resnet_tiny(2, 1),
+            zoo::squeezenet_tiny(1),
+            zoo::densenet_tiny(3, 1),
+            zoo::mobilenet_tiny(2),
+        ] {
+            let json = export_json(&net);
+            let back = load(&json).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            assert_eq!(back, net, "{} did not round-trip", net.name());
+        }
+    }
+
+    #[test]
+    fn loader_accepts_out_of_order_documents_deterministically() {
+        let mut doc = export(&zoo::toy_residual(1));
+        doc.nodes.reverse();
+        let net = doc.lower().unwrap();
+        // Same layers, re-sorted into a valid schedule.
+        assert_eq!(net.len(), zoo::toy_residual(1).len());
+        for l in net.layers() {
+            for &i in &l.inputs {
+                assert!(i < l.id, "{} scheduled before an operand", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_documents_yield_typed_errors() {
+        let base = export(&zoo::toy_residual(1));
+
+        let mut cyc = base.clone();
+        cyc.nodes[0].inputs = vec![cyc.nodes[2].id.clone()];
+        assert!(matches!(cyc.lower(), Err(GraphError::Cycle { .. })));
+
+        let mut dup = base.clone();
+        dup.nodes[1].id = dup.nodes[0].id.clone();
+        assert!(matches!(dup.lower(), Err(GraphError::DuplicateId(_))));
+
+        let mut dangling = base.clone();
+        dangling.nodes[0].inputs = vec!["nope".into()];
+        assert_eq!(
+            dangling.lower(),
+            Err(GraphError::DanglingEdge {
+                node: base.nodes[0].id.clone(),
+                input: "nope".into(),
+            })
+        );
+
+        let mut fmt = base.clone();
+        fmt.format = "sm-graph-v0".into();
+        assert_eq!(
+            fmt.lower(),
+            Err(GraphError::UnsupportedFormat("sm-graph-v0".into()))
+        );
+
+        let mut empty = base.clone();
+        empty.nodes.clear();
+        assert_eq!(empty.lower(), Err(GraphError::Empty));
+
+        let mut shadow = base;
+        shadow.nodes[0].id = INPUT_ID.into();
+        assert_eq!(
+            shadow.lower(),
+            Err(GraphError::DuplicateId(INPUT_ID.into()))
+        );
+    }
+
+    #[test]
+    fn unknown_op_is_reported_by_kind() {
+        let json = r#"{"format":"sm-graph-v1","name":"t",
+                       "input":{"n":1,"c":3,"h":8,"w":8},
+                       "nodes":[{"id":"x","op":{"softmax":{}},"inputs":["input"]}]}"#;
+        assert_eq!(
+            GraphDoc::from_json(json),
+            Err(GraphError::UnknownOp {
+                node: "x".into(),
+                op: "softmax".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn parse_and_schema_errors_are_distinct() {
+        assert!(matches!(
+            GraphDoc::from_json("{"),
+            Err(GraphError::Parse(_))
+        ));
+        assert!(matches!(
+            GraphDoc::from_json(r#"{"format":"sm-graph-v1"}"#),
+            Err(GraphError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn detection_classifies_junctions() {
+        let r = ShortcutReport::of(&zoo::squeezenet_tiny(1));
+        assert!(r.concats() > 0);
+        let r = ShortcutReport::of(&zoo::toy_residual(1));
+        assert_eq!((r.adds(), r.concats(), r.max_skip()), (1, 0, 2));
+    }
+}

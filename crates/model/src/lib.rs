@@ -12,6 +12,10 @@
 //! * [`zoo`] — builders for the evaluated networks (ResNet-18/34/50/101/152,
 //!   plain variants, SqueezeNet v1.0/v1.1 with and without bypass, VGG-16,
 //!   AlexNet, plus small CIFAR-scale networks for functional verification).
+//! * [`graph`] — a serializable JSON graph format with a validating loader
+//!   and exporter, so arbitrary user-supplied DAGs (U-Net-style long skips,
+//!   multi-branch concats) enter the same pipeline as the zoo; shortcut
+//!   structure is auto-detected ([`graph::ShortcutReport`]).
 //! * [`liveness`] — feature-map lifetime analysis.
 //! * [`stats`] — feature-map data accounting, including the shortcut share of
 //!   total feature-map data (the paper's ~40% motivation figure).
@@ -39,6 +43,7 @@ mod layer;
 mod network;
 
 pub mod exec;
+pub mod graph;
 pub mod liveness;
 pub mod stats;
 pub mod zoo;

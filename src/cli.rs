@@ -99,6 +99,9 @@ pub enum Command {
         cache_dir: Option<String>,
         /// Ignore the result cache even when `--cache-dir` is given.
         no_cache: bool,
+        /// Load the network from a graph JSON file (`--net-file`) instead of
+        /// the zoo; replaces the network name and fixes the batch.
+        net_file: Option<String>,
         /// Emit the degradation curves as a JSON document instead of text.
         json: bool,
     },
@@ -122,6 +125,18 @@ pub enum Command {
         /// Site-strike rate on the weight SRAM and PE array (ECC-protected,
         /// refetch recovery), populating the per-layer DUE column.
         site_rate: Option<f64>,
+        /// Load the network from a graph JSON file (`--net-file`) instead of
+        /// the zoo; replaces the network name and fixes the batch.
+        net_file: Option<String>,
+    },
+    /// Export a zoo network as a graph JSON document (`sm-graph-v1`).
+    Export {
+        /// Network name.
+        network: String,
+        /// Batch size baked into the exported input shape (default 1).
+        batch: usize,
+        /// Write the document here instead of printing it.
+        out: Option<String>,
     },
     /// Wall-clock timing harness: parallel suite, conv kernels, plan cache.
     Bench {
@@ -172,13 +187,19 @@ USAGE:
   smctl verify  <network> [--seed <n>]
   smctl sweep   <network> [--batch <n>]
   smctl layers  <network> [--batch <n>]
-  smctl chaos   [<network>|headline] [--batch <n>] [--seed <n>] [--dram-rate <p>]
+  smctl chaos   [<network>|headline] [--net-file <path>] [--batch <n>]
+                [--seed <n>] [--dram-rate <p>]
                 [--retry-budget <n>] [--budget-sweep] [--grid]
                 [--site-rate <p,p,...>] [--control-path] [--scheduler]
                 [--cache-dir <path>] [--no-cache] [--json]
                 (network defaults to `headline` = ResNet-34 + SqueezeNet)
-  smctl report  <network> [--batch <n>] [--policy <name>] [--per-layer]
-                [--seed <n>] [--dram-rate <p>] [--site-rate <p>] [--json]
+  smctl report  [<network>] [--net-file <path>] [--batch <n>] [--policy <name>]
+                [--per-layer] [--seed <n>] [--dram-rate <p>] [--site-rate <p>]
+                [--json]
+  smctl export  <network> [--batch <n>] [--out <path>]
+                (emit the network as a graph JSON document; such documents —
+                including hand-written DAGs the zoo cannot express — feed
+                back in through --net-file)
   smctl bench   [--out <path>] [--assert-conv-speedup <x>]
                 [--assert-suite-speedup <x>] [--assert-suite-identical]
                 [--assert-warm-speedup <x>]
@@ -204,6 +225,17 @@ NETWORKS:
 /// the shared registry).
 pub fn network_by_name(name: &str, batch: usize) -> Option<Network> {
     zoo::try_by_name(name, batch).ok()
+}
+
+/// Loads a network from a graph JSON file (`sm-graph-v1`; see
+/// [`sm_model::graph`]). Shortcut structure — adds, concats, arbitrary skip
+/// distances — is detected from the lowered schedule, so an ingested network
+/// behaves exactly like a zoo one downstream.
+pub fn load_net_file(path: &str) -> Result<Network, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read network graph {path}: {e}")))?;
+    sm_model::graph::load(&text)
+        .map_err(|e| CliError(format!("cannot load network graph {path}: {e}")))
 }
 
 /// Resolves a policy by CLI name.
@@ -291,16 +323,50 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 assert_warm_speedup,
             })
         }
+        "export" => {
+            let network = it
+                .next()
+                .ok_or_else(|| CliError("export requires a network name".to_string()))?;
+            let mut batch = 1usize;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--out" => out = Some(take_value(&mut it, flag)?.to_string()),
+                    "--batch" => {
+                        let v = take_value(&mut it, flag)?;
+                        batch = v
+                            .parse()
+                            .ok()
+                            .filter(|&b: &usize| b > 0)
+                            .ok_or_else(|| CliError(format!("invalid batch {v:?}")))?;
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            if network_by_name(network, 1).is_none() {
+                return Err(CliError(format!(
+                    "unknown network {network:?} — run `smctl networks`"
+                )));
+            }
+            Ok(Command::Export {
+                network: network.to_string(),
+                batch,
+                out,
+            })
+        }
         "compare" | "analyze" | "verify" | "sweep" | "layers" | "chaos" | "report" => {
             // `chaos` may omit the network (or lead with a flag): it
-            // defaults to the headline pair.
+            // defaults to the headline pair. `report` may lead with a flag
+            // too, for the `--net-file` form.
             let first = match it.next() {
                 Some(arg) => arg,
                 None if cmd == "chaos" => "headline",
                 None => return Err(CliError(format!("{cmd} requires a network name"))),
             };
-            let (network, pending_flag) = if cmd == "chaos" && first.starts_with("--") {
+            let (network, pending_flag) = if first.starts_with("--") && cmd == "chaos" {
                 ("headline".to_string(), Some(first))
+            } else if first.starts_with("--") && cmd == "report" {
+                (String::new(), Some(first))
             } else {
                 (first.to_string(), None)
             };
@@ -321,12 +387,15 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
             let mut dram_rate_given = false;
             let mut cache_dir = None;
             let mut no_cache = false;
+            let mut net_file = None;
+            let mut batch_given = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
                     "--per-layer" => per_layer = true,
                     "--no-cache" => no_cache = true,
                     "--cache-dir" => cache_dir = Some(take_value(&mut it, flag)?.to_string()),
+                    "--net-file" => net_file = Some(take_value(&mut it, flag)?.to_string()),
                     "--budget-sweep" => budget_sweep = true,
                     "--grid" => grid = true,
                     "--control-path" => control_path = true,
@@ -369,6 +438,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                             .ok()
                             .filter(|&b: &usize| b > 0)
                             .ok_or_else(|| CliError(format!("invalid batch {v:?}")))?;
+                        batch_given = true;
                     }
                     "--policy" => {
                         let v = take_value(&mut it, flag)?;
@@ -392,7 +462,27 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                 }
             }
             let headline = cmd == "chaos" && network == "headline";
-            if !headline && network_by_name(&network, 1).is_none() {
+            if net_file.is_some() {
+                if !matches!(cmd, "chaos" | "report") {
+                    return Err(CliError(
+                        "--net-file is only supported by `report` and `chaos`".into(),
+                    ));
+                }
+                if batch_given {
+                    return Err(CliError(
+                        "--batch cannot be combined with --net-file (the batch is \
+                         part of the graph's input shape)"
+                            .into(),
+                    ));
+                }
+                if !network.is_empty() && !headline {
+                    return Err(CliError(
+                        "--net-file replaces the network name; drop one of the two".into(),
+                    ));
+                }
+            } else if network.is_empty() {
+                return Err(CliError(format!("{cmd} requires a network name")));
+            } else if !headline && network_by_name(&network, 1).is_none() {
                 return Err(CliError(format!(
                     "unknown network {network:?} — run `smctl networks`"
                 )));
@@ -420,6 +510,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                         // (the chaos default of 0.01 does not apply here).
                         dram_rate: if dram_rate_given { dram_rate } else { 0.0 },
                         site_rate,
+                        net_file,
                     }
                 }
                 "compare" => Command::Compare {
@@ -445,6 +536,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
                     scheduler,
                     cache_dir,
                     no_cache,
+                    net_file,
                     json,
                 },
                 _ => Command::Verify { network, seed },
@@ -637,6 +729,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             scheduler,
             cache_dir,
             no_cache,
+            net_file,
             json,
         } => {
             use sm_bench::experiments::{
@@ -646,7 +739,9 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_RETRY_BUDGETS,
                 DEFAULT_SCHEDULER_RATES, SCHEDULER_POLICIES,
             };
-            let nets: Vec<Network> = if network == "headline" {
+            let nets: Vec<Network> = if let Some(path) = net_file {
+                vec![load_net_file(path)?]
+            } else if network == "headline" {
                 vec![
                     zoo::resnet34(*batch),
                     zoo::squeezenet_v10_simple_bypass(*batch),
@@ -858,10 +953,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             seed,
             dram_rate,
             site_rate,
+            net_file,
         } => {
             use sm_core::{FaultPlan, Protection, RecoveryPolicy, SimOptions};
-            let net = network_by_name(network, *batch)
-                .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+            let net = match net_file {
+                Some(path) => load_net_file(path)?,
+                None => network_by_name(network, *batch)
+                    .ok_or_else(|| CliError(format!("unknown network {network:?}")))?,
+            };
             let exp = Experiment::new(AccelConfig::default());
             let faults_active = *dram_rate > 0.0 || site_rate.is_some();
             let stats = if faults_active {
@@ -954,6 +1053,36 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 dues,
                 100.0 * comp as f64 / stats.total_cycles.max(1) as f64,
             );
+        }
+        Command::Export {
+            network,
+            batch,
+            out: path,
+        } => {
+            let net = network_by_name(network, *batch)
+                .ok_or_else(|| CliError(format!("unknown network {network:?}")))?;
+            let body = sm_model::graph::export_json(&net);
+            match path {
+                Some(p) => {
+                    std::fs::write(p, body.as_bytes())
+                        .map_err(|e| CliError(format!("cannot write {p}: {e}")))?;
+                    let report = sm_model::graph::ShortcutReport::of(&net);
+                    let _ = writeln!(
+                        out,
+                        "{}: graph written to {p} ({} layers, {} add / {} concat \
+                         junctions, max skip {})",
+                        net.name(),
+                        net.layers().len() - 1,
+                        report.adds(),
+                        report.concats(),
+                        report.max_skip(),
+                    );
+                }
+                // Bare export prints the document itself so it can be piped.
+                None => {
+                    let _ = writeln!(out, "{body}");
+                }
+            }
         }
         Command::Bench {
             out: path,
@@ -1138,6 +1267,7 @@ mod tests {
                 scheduler: false,
                 cache_dir: None,
                 no_cache: false,
+                net_file: None,
                 json: false,
             }
         );
@@ -1351,6 +1481,7 @@ mod tests {
                 seed: 42,
                 dram_rate: 0.0,
                 site_rate: None,
+                net_file: None,
             }
         );
         let out = execute(&cmd).unwrap();
@@ -1504,5 +1635,55 @@ mod tests {
         ] {
             assert!(policy_by_name(p).is_some(), "{p}");
         }
+    }
+
+    #[test]
+    fn export_and_net_file_round_trip() {
+        // Bare export prints the document itself.
+        let doc = execute(&parse(["export", "toy_residual"]).unwrap()).unwrap();
+        assert!(doc.contains("\"format\":\"sm-graph-v1\""));
+
+        let dir = std::env::temp_dir().join(format!("smctl-export-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.json");
+        let p = path.to_str().unwrap();
+        let msg = execute(&parse(["export", "toy_residual", "--out", p]).unwrap()).unwrap();
+        assert!(msg.contains("graph written"));
+        assert!(msg.contains("junctions"));
+
+        // A report driven by the exported file is byte-identical to the
+        // zoo-driven one: ingestion reproduces the schedule exactly.
+        let via_file = execute(&parse(["report", "--net-file", p, "--json"]).unwrap()).unwrap();
+        let via_zoo = execute(&parse(["report", "toy_residual", "--json"]).unwrap()).unwrap();
+        assert_eq!(via_file, via_zoo);
+
+        // Malformed documents surface as typed CLI errors, not panics.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, b"{\"format\":\"sm-graph-v1\"").unwrap();
+        let err =
+            execute(&parse(["report", "--net-file", bad.to_str().unwrap()]).unwrap()).unwrap_err();
+        assert!(err.0.contains("cannot load network graph"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn net_file_flag_is_guarded() {
+        // --net-file replaces the network name and bakes in the batch.
+        assert!(parse(["report", "toy_residual", "--net-file", "x.json"]).is_err());
+        assert!(parse(["report", "--net-file", "x.json", "--batch", "2"]).is_err());
+        // Only report and chaos take it.
+        assert!(parse(["compare", "toy_residual", "--net-file", "x.json"]).is_err());
+        // chaos takes it in place of the headline default, not alongside a
+        // named network.
+        assert!(parse(["chaos", "--net-file", "x.json"]).is_ok());
+        assert!(parse(["chaos", "toy_residual", "--net-file", "x.json"]).is_err());
+        // export validates its network name up front.
+        assert!(parse(["export"]).is_err());
+        assert!(parse(["export", "notanet"]).is_err());
+        assert!(parse(["export", "toy_residual", "--wat"]).is_err());
+        // A missing file is a CliError, not a panic.
+        let err =
+            execute(&parse(["report", "--net-file", "/nonexistent/x.json"]).unwrap()).unwrap_err();
+        assert!(err.0.contains("cannot read network graph"), "{err}");
     }
 }

@@ -10,13 +10,18 @@
 //!   tree plus a [`de::Deserialize`] trait, enough for config round-trip
 //!   tests without serde's full visitor machinery;
 //! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` re-exported from
-//!   the companion `serde_derive` proc-macro crate (feature `derive`).
+//!   the companion `serde_derive` proc-macro crate (feature `derive`);
+//! * a [`json`] module — upstream serde has no such module (formats live
+//!   in companion crates), but with no network the format engine lives
+//!   here so every crate in the dependency order can read and write JSON
+//!   documents. Swapping the real crates back in means re-pointing the
+//!   few `serde::json::` call sites at `serde_json`.
 //!
 //! The serialization *shapes* (struct → map, unit variant → string,
-//! newtype variant → single-key map, …) match upstream serde's defaults,
-//! so swapping the real crates back in requires no source changes.
+//! newtype variant → single-key map, …) match upstream serde's defaults.
 
 pub mod de;
+pub mod json;
 pub mod ser;
 
 pub use de::Deserialize;

@@ -11,19 +11,28 @@
 //! written before a field existed keep round-tripping — and
 //! `#[serde(rename = "key")]` — the field serializes under `key` and
 //! deserializes from it, so a Rust-side rename can keep the JSON wire name
-//! stable (both may appear in one attribute, comma-separated). Any other
+//! stable (both may appear in one attribute, comma-separated).
+//! `#[serde(rename = "...")]` is also recognised on enum variants — the
+//! variant tag on the wire becomes the renamed string, which is how the
+//! graph format's layer-kind enum uses lowercase mnemonics — and on the
+//! container itself, where it renames the type for the serializer data
+//! model and in `unknown variant` error messages. Any other
 //! `#[serde(...)]` content is a compile error, not a silent no-op.
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
-/// Parsed shape of the deriving item.
+/// Parsed shape of the deriving item. `rename` is the container-level
+/// `#[serde(rename = "...")]` wire name, if any; the Rust name still
+/// anchors the generated `impl`.
 enum Item {
     Struct {
         name: String,
+        rename: Option<String>,
         fields: Fields,
     },
     Enum {
         name: String,
+        rename: Option<String>,
         variants: Vec<Variant>,
     },
 }
@@ -60,7 +69,17 @@ struct FieldAttrs {
 
 struct Variant {
     name: String,
+    /// Wire tag from a variant-level `#[serde(rename = "...")]`.
+    rename: Option<String>,
     fields: Fields,
+}
+
+impl Variant {
+    /// The tag this variant uses on the wire: the rename if given, the
+    /// Rust variant name otherwise.
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -247,7 +266,13 @@ fn parse_serde_attr(attr: &Group, attrs: &mut FieldAttrs) -> Result<(), String> 
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let mut cur = Cursor::new(input);
-    cur.skip_attrs_and_vis();
+    let container = cur.take_attrs_and_vis()?;
+    if container.default {
+        return Err(String::from(
+            "serde_derive (vendored): `#[serde(default)]` is not supported on containers",
+        ));
+    }
+    let rename = container.rename;
     let keyword = cur.expect_ident()?;
     let name = cur.expect_ident()?;
     if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
@@ -267,7 +292,11 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
                 other => return Err(format!("unexpected struct body: {other:?}")),
             };
-            Ok(Item::Struct { name, fields })
+            Ok(Item::Struct {
+                name,
+                rename,
+                fields,
+            })
         }
         "enum" => {
             let body = match cur.next() {
@@ -276,6 +305,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
             };
             Ok(Item::Enum {
                 name,
+                rename,
                 variants: parse_variants(body)?,
             })
         }
@@ -346,7 +376,13 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
     let mut cur = Cursor::new(body);
     let mut variants = Vec::new();
     while !cur.at_end() {
-        cur.skip_attrs_and_vis();
+        let attrs = cur.take_attrs_and_vis()?;
+        if attrs.default {
+            return Err(String::from(
+                "serde_derive (vendored): `#[serde(default)]` is not supported on enum variants",
+            ));
+        }
+        let rename = attrs.rename;
         if cur.at_end() {
             break;
         }
@@ -366,11 +402,19 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
         };
         match cur.next() {
             None => {
-                variants.push(Variant { name, fields });
+                variants.push(Variant {
+                    name,
+                    rename,
+                    fields,
+                });
                 break;
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
-                variants.push(Variant { name, fields });
+                variants.push(Variant {
+                    name,
+                    rename,
+                    fields,
+                });
             }
             other => return Err(format!("expected `,` between variants, found {other:?}")),
         }
@@ -384,8 +428,22 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
 
 fn emit_serialize(item: &Item) -> String {
     let (name, body) = match item {
-        Item::Struct { name, fields } => (name, serialize_struct_body(name, fields)),
-        Item::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+        Item::Struct {
+            name,
+            rename,
+            fields,
+        } => {
+            let wire = rename.as_deref().unwrap_or(name);
+            (name, serialize_struct_body(wire, fields))
+        }
+        Item::Enum {
+            name,
+            rename,
+            variants,
+        } => {
+            let wire = rename.as_deref().unwrap_or(name);
+            (name, serialize_enum_body(name, wire, variants))
+        }
     };
     format!(
         "#[automatically_derived]\n\
@@ -440,26 +498,27 @@ fn serialize_struct_body(name: &str, fields: &Fields) -> String {
     }
 }
 
-fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+fn serialize_enum_body(name: &str, wire: &str, variants: &[Variant]) -> String {
     let mut arms = String::new();
     for (idx, v) in variants.iter().enumerate() {
         let vname = &v.name;
+        let vkey = v.key();
         let arm = match &v.fields {
             Fields::Unit => format!(
                 "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
-                     __serializer, {name:?}, {idx}u32, {vname:?}),\n"
+                     __serializer, {wire:?}, {idx}u32, {vkey:?}),\n"
             ),
             Fields::Tuple(1) => format!(
                 "{name}::{vname}(__f0) => \
                      ::serde::ser::Serializer::serialize_newtype_variant(\
-                         __serializer, {name:?}, {idx}u32, {vname:?}, __f0),\n"
+                         __serializer, {wire:?}, {idx}u32, {vkey:?}, __f0),\n"
             ),
             Fields::Tuple(n) => {
                 let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                 let mut arm = format!(
                     "{name}::{vname}({binds}) => {{\n\
                          let mut __tv = ::serde::ser::Serializer::serialize_tuple_variant(\
-                             __serializer, {name:?}, {idx}u32, {vname:?}, {n}usize)?;\n",
+                             __serializer, {wire:?}, {idx}u32, {vkey:?}, {n}usize)?;\n",
                     binds = binders.join(", ")
                 );
                 for b in &binders {
@@ -474,7 +533,7 @@ fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
                 let mut arm = format!(
                     "{name}::{vname} {{ {binds} }} => {{\n\
                          let mut __sv = ::serde::ser::Serializer::serialize_struct_variant(\
-                             __serializer, {name:?}, {idx}u32, {vname:?}, {len}usize)?;\n",
+                             __serializer, {wire:?}, {idx}u32, {vkey:?}, {len}usize)?;\n",
                     binds = fields
                         .iter()
                         .map(|f| f.name.as_str())
@@ -505,8 +564,19 @@ fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
 
 fn emit_deserialize(item: &Item) -> String {
     let (name, body) = match item {
-        Item::Struct { name, fields } => (name, deserialize_struct_body(name, fields)),
-        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+        Item::Struct {
+            name,
+            rename: _,
+            fields,
+        } => (name, deserialize_struct_body(name, fields)),
+        Item::Enum {
+            name,
+            rename,
+            variants,
+        } => {
+            let wire = rename.as_deref().unwrap_or(name);
+            (name, deserialize_enum_body(name, wire, variants))
+        }
     };
     format!(
         "#[automatically_derived]\n\
@@ -571,30 +641,31 @@ fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
     }
 }
 
-fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+fn deserialize_enum_body(name: &str, wire: &str, variants: &[Variant]) -> String {
     let mut arms = String::new();
     for v in variants {
         let vname = &v.name;
+        let vkey = v.key();
         let path = format!("{name}::{vname}");
         let arm = match &v.fields {
-            Fields::Unit => format!("{vname:?} => ::core::result::Result::Ok({path}),\n"),
+            Fields::Unit => format!("{vkey:?} => ::core::result::Result::Ok({path}),\n"),
             Fields::Tuple(1) => format!(
-                "{vname:?} => {{\n\
-                     let __payload = ::serde::de::Value::variant_payload(__payload, {vname:?})?;\n\
+                "{vkey:?} => {{\n\
+                     let __payload = ::serde::de::Value::variant_payload(__payload, {vkey:?})?;\n\
                      ::core::result::Result::Ok({path}(\
                          ::serde::de::Deserialize::deserialize(__payload)?))\n\
                  }},\n"
             ),
             Fields::Tuple(n) => format!(
-                "{vname:?} => {{\n\
-                     let __payload = ::serde::de::Value::variant_payload(__payload, {vname:?})?;\n\
+                "{vkey:?} => {{\n\
+                     let __payload = ::serde::de::Value::variant_payload(__payload, {vkey:?})?;\n\
                      {}\n\
                  }},\n",
                 construct_tuple(&path, *n, "__payload")
             ),
             Fields::Named(fields) => format!(
-                "{vname:?} => {{\n\
-                     let __payload = ::serde::de::Value::variant_payload(__payload, {vname:?})?;\n\
+                "{vkey:?} => {{\n\
+                     let __payload = ::serde::de::Value::variant_payload(__payload, {vkey:?})?;\n\
                      {}\n\
                  }},\n",
                 construct_named(&path, fields, "__payload")
@@ -607,7 +678,7 @@ fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
          match __variant {{\n\
              {arms}\
              __other => ::core::result::Result::Err(::serde::de::DeError(\
-                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 ::std::format!(\"unknown variant `{{__other}}` for {wire}\"))),\n\
          }}"
     )
 }
