@@ -25,17 +25,52 @@
 //!   [`sm_core::parallel::par_map_weighted_stream`], merging cached and
 //!   computed results back into sweep order. A warm re-run that shares most
 //!   of its cells simulates only the delta and stays byte-identical to a
-//!   cold run at any thread count.
+//!   cold run at any thread count. [`cached_cells_cancellable`] is the same
+//!   driver with a cooperative cancel check — the deadline/abort hook of
+//!   the resident service.
+//!
+//! # Storage faults, health, and bounds
+//!
+//! All disk traffic goes through the [`Disk`] trait, so the store runs
+//! unchanged over [`RealDisk`] or a fault-injecting
+//! [`FaultyDisk`] ([`StoreOptions::faults`]).
+//! Three hardening tiers sit on top:
+//!
+//! * **Evict-and-recompute** — any read failure other than "absent"
+//!   (injected `EIO`, bit-flipped content, torn writes caught by the
+//!   checksum) is treated exactly like media corruption: the entry is
+//!   removed and the cell recomputed. An eviction is *counted* only when
+//!   the removal actually succeeded, so two sessions racing on the same
+//!   corrupt key never double-count it.
+//! * **Health state machine** — consecutive write failures walk the store
+//!   Healthy → Degraded → Offline ([`StoreHealth`]). Degraded is
+//!   read-only: gets still serve hits, and every [`HEALTH_PROBE_EVERY`]-th
+//!   put is attempted as a canary probe whose success restores Healthy.
+//!   Offline is cache-off passthrough — no disk I/O at all — so a dead
+//!   disk degrades the service to uncached serving instead of erroring
+//!   every request. Offline is terminal for the open store; reopening
+//!   starts Healthy.
+//! * **Bounded GC** — with [`StoreOptions::max_bytes`] set, the store
+//!   tracks per-entry sizes and logical access times. A put that pushes
+//!   the total over the bound triggers batch LRU eviction down to a 3/4
+//!   watermark. The survivor set is committed first via a temp+rename
+//!   `manifest.json` (the atime sidecar reloaded at open); victim files
+//!   are removed only after the manifest rename lands, and a manifest
+//!   write failure aborts the GC round entirely — the store never deletes
+//!   entries it hasn't first recorded as evicted.
 
-use std::fs;
+use std::collections::{HashMap, HashSet};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
 use sm_core::hash::{fnv64, Fnv128};
-use sm_core::parallel::{par_map_weighted_stream, threads};
+use sm_core::parallel::{par_map_weighted_stream_cancellable, threads, CancelCheck, Cancelled};
 
+use crate::iofault::{Disk, FaultyDisk, IoFaultPlan, RealDisk};
 use crate::json::{from_json, to_json, JsonError};
 
 /// On-disk schema version. Entries live under a `v{N}/` subdirectory and
@@ -46,6 +81,19 @@ pub const CACHE_SCHEMA_VERSION: u32 = 1;
 
 /// Magic tag opening every cache entry header.
 const CACHE_MAGIC: &str = "smcas";
+
+/// Atime sidecar written by GC rounds (temp+rename, best-effort).
+const MANIFEST_NAME: &str = "manifest.json";
+
+/// Consecutive write failures that demote Healthy → Degraded.
+pub const HEALTH_DEGRADE_AFTER: u32 = 3;
+
+/// Consecutive write failures (including failed probes) that demote
+/// Degraded → Offline.
+pub const HEALTH_OFFLINE_AFTER: u32 = 6;
+
+/// In Degraded, every N-th put is attempted as a canary probe.
+pub const HEALTH_PROBE_EVERY: u32 = 4;
 
 /// A stable 128-bit content key naming one cached result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -107,6 +155,15 @@ pub struct CacheStats {
     pub bytes_read: u64,
     /// Payload bytes written for new entries.
     pub bytes_written: u64,
+    /// Puts whose disk write failed (fed to the health state machine).
+    #[serde(default)]
+    pub write_failures: u64,
+    /// Entries removed by bounded-cache GC rounds (store-wide).
+    #[serde(default)]
+    pub gc_evictions: u64,
+    /// Bytes reclaimed by bounded-cache GC rounds (store-wide).
+    #[serde(default)]
+    pub gc_bytes_freed: u64,
 }
 
 impl CacheStats {
@@ -122,6 +179,15 @@ impl CacheStats {
         counters
             .bytes_written
             .fetch_add(self.bytes_written, Ordering::Relaxed);
+        counters
+            .write_failures
+            .fetch_add(self.write_failures, Ordering::Relaxed);
+        counters
+            .gc_evictions
+            .fetch_add(self.gc_evictions, Ordering::Relaxed);
+        counters
+            .gc_bytes_freed
+            .fetch_add(self.gc_bytes_freed, Ordering::Relaxed);
     }
 }
 
@@ -132,6 +198,9 @@ struct Counters {
     evictions: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    write_failures: AtomicU64,
+    gc_evictions: AtomicU64,
+    gc_bytes_freed: AtomicU64,
 }
 
 impl Counters {
@@ -142,6 +211,9 @@ impl Counters {
             evictions: self.evictions.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            gc_evictions: self.gc_evictions.load(Ordering::Relaxed),
+            gc_bytes_freed: self.gc_bytes_freed.load(Ordering::Relaxed),
         }
     }
 }
@@ -156,6 +228,101 @@ struct EntryHeader {
     checksum: String,
 }
 
+/// Store health, driven by consecutive write failures.
+///
+/// * `Healthy` — reads and writes both go to disk.
+/// * `Degraded` — read-only: gets still serve, puts are skipped except for
+///   a canary probe every [`HEALTH_PROBE_EVERY`]-th put. A successful
+///   probe restores `Healthy`; continued failures demote to `Offline`.
+/// * `Offline` — cache-off passthrough: no disk I/O at all. Terminal for
+///   this open store; reopening the directory starts `Healthy` again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// Reads and writes both enabled.
+    Healthy,
+    /// Read-only with periodic canary write probes.
+    Degraded,
+    /// No disk I/O; every probe is a miss, every put a no-op.
+    Offline,
+}
+
+impl StoreHealth {
+    /// Lowercase wire name, as emitted in service `health` events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StoreHealth::Healthy => "healthy",
+            StoreHealth::Degraded => "degraded",
+            StoreHealth::Offline => "offline",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HealthMachine {
+    state: StoreHealth,
+    /// Consecutive failed write attempts (skipped puts don't count).
+    streak: u32,
+    /// Puts observed while Degraded, for probe cadence.
+    probe_clock: u32,
+    /// Count of state transitions, monotone — lets observers detect
+    /// changes without polling the state itself.
+    transitions: u64,
+}
+
+impl Default for HealthMachine {
+    fn default() -> Self {
+        HealthMachine {
+            state: StoreHealth::Healthy,
+            streak: 0,
+            probe_clock: 0,
+            transitions: 0,
+        }
+    }
+}
+
+/// Per-entry GC metadata: on-disk length and logical access time.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    len: u64,
+    atime: u64,
+}
+
+#[derive(Debug)]
+struct GcState {
+    max_bytes: u64,
+    /// Logical clock; bumped on every tracked access.
+    clock: u64,
+    total_bytes: u64,
+    entries: HashMap<u128, EntryMeta>,
+}
+
+/// Atime sidecar persisted by GC rounds so access recency survives
+/// reopen. `read_dir` is ground truth for *which* entries exist; the
+/// manifest only contributes recency, so a stale or missing manifest is
+/// benign (unknown entries default to atime 0 = oldest).
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    clock: u64,
+    entries: Vec<ManifestEntry>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ManifestEntry {
+    key: String,
+    atime: u64,
+}
+
+/// Construction options for [`ResultCache::open_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// Upper bound on total entry bytes; exceeding it triggers batch LRU
+    /// eviction down to a 3/4 watermark. `None` = unbounded (no GC).
+    pub max_bytes: Option<u64>,
+    /// Disk-fault plan; `Some` routes all store I/O through a
+    /// [`FaultyDisk`].
+    pub faults: Option<IoFaultPlan>,
+}
+
 /// Disk-backed content-addressed result store.
 ///
 /// One entry per [`CacheKey`] under `<dir>/v{N}/<hex>.json`. Entries are
@@ -164,28 +331,94 @@ struct EntryHeader {
 /// wrong-version entry fails its header/checksum validation and is evicted
 /// and silently recomputed. The store is shared: the resident service keeps
 /// one open across all requests, and one-shot `smctl --cache-dir` runs
-/// reopen the same directory.
+/// reopen the same directory. See the module docs for the fault-injection,
+/// health, and GC tiers layered on top.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    disk: Box<dyn Disk>,
     totals: Counters,
+    health: Mutex<HealthMachine>,
+    gc: Option<Mutex<GcState>>,
+    tmp_counter: AtomicU64,
+}
+
+/// Parses an entry file name (`{32 hex}.json`) back to its key.
+fn parse_entry_name(name: &str) -> Option<u128> {
+    let stem = name.strip_suffix(".json")?;
+    if stem.len() != 32 || !stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(stem, 16).ok()
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) the store rooted at `dir`. Entries land
-    /// under the schema-versioned subdirectory, so a version bump starts
-    /// from an empty namespace without touching older entries.
+    /// Opens (creating if needed) the store rooted at `dir` with default
+    /// options: unbounded, no fault injection. Entries land under the
+    /// schema-versioned subdirectory, so a version bump starts from an
+    /// empty namespace without touching older entries.
     ///
     /// # Errors
     ///
     /// Returns the underlying [`std::io::Error`] when the directory cannot
     /// be created.
     pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Opens the store with explicit [`StoreOptions`]. With
+    /// `options.max_bytes` set, the resident entry set is rebuilt from a
+    /// directory listing (ground truth) plus the `manifest.json` atime
+    /// sidecar (recency hint; absent or stale is benign).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`std::io::Error`] when the directory cannot
+    /// be created.
+    pub fn open_with(dir: &Path, options: StoreOptions) -> std::io::Result<ResultCache> {
+        let disk: Box<dyn Disk> = match options.faults {
+            Some(plan) if plan.is_active() => Box::new(FaultyDisk::new(plan)),
+            _ => Box::new(RealDisk),
+        };
         let dir = dir.join(format!("v{CACHE_SCHEMA_VERSION}"));
-        fs::create_dir_all(&dir)?;
+        disk.create_dir_all(&dir)?;
+        let gc = options.max_bytes.map(|max_bytes| {
+            let mut entries = HashMap::new();
+            let mut total_bytes = 0u64;
+            for (name, len) in disk.read_dir_entries(&dir).unwrap_or_default() {
+                if let Some(key) = parse_entry_name(&name) {
+                    entries.insert(key, EntryMeta { len, atime: 0 });
+                    total_bytes += len;
+                }
+            }
+            let mut clock = 1u64;
+            if let Ok(body) = disk.read_to_string(&dir.join(MANIFEST_NAME)) {
+                if let Ok(manifest) = from_json::<Manifest>(&body) {
+                    clock = clock.max(manifest.clock);
+                    for e in manifest.entries {
+                        if let Ok(key) = u128::from_str_radix(&e.key, 16) {
+                            if let Some(meta) = entries.get_mut(&key) {
+                                meta.atime = e.atime;
+                                clock = clock.max(e.atime);
+                            }
+                        }
+                    }
+                }
+            }
+            Mutex::new(GcState {
+                max_bytes,
+                clock,
+                total_bytes,
+                entries,
+            })
+        });
         Ok(ResultCache {
             dir,
+            disk,
             totals: Counters::default(),
+            health: Mutex::new(HealthMachine::default()),
+            gc,
+            tmp_counter: AtomicU64::new(0),
         })
     }
 
@@ -197,6 +430,14 @@ impl ResultCache {
     /// Process-lifetime totals across every session of this store.
     pub fn stats(&self) -> CacheStats {
         self.totals.snapshot()
+    }
+
+    /// Current health state plus the monotone transition counter —
+    /// observers compare the counter against their last-seen value to
+    /// detect state changes without missing or duplicating them.
+    pub fn health_snapshot(&self) -> (StoreHealth, u64) {
+        let h = self.health.lock().expect("health lock");
+        (h.state, h.transitions)
     }
 
     /// Opens a per-request [`CacheSession`] with its own zeroed counters.
@@ -211,12 +452,200 @@ impl ResultCache {
         self.dir.join(format!("{}.json", key.hex()))
     }
 
+    fn health_state(&self) -> StoreHealth {
+        self.health.lock().expect("health lock").state
+    }
+
+    /// Whether the next put should touch the disk at all: always in
+    /// Healthy, never in Offline, every [`HEALTH_PROBE_EVERY`]-th put
+    /// (a canary probe) in Degraded.
+    fn should_attempt_write(&self) -> bool {
+        let mut h = self.health.lock().expect("health lock");
+        match h.state {
+            StoreHealth::Healthy => true,
+            StoreHealth::Offline => false,
+            StoreHealth::Degraded => {
+                h.probe_clock += 1;
+                h.probe_clock.is_multiple_of(HEALTH_PROBE_EVERY)
+            }
+        }
+    }
+
+    /// Feeds one attempted write's outcome to the health machine.
+    fn record_write_result(&self, ok: bool) {
+        let mut h = self.health.lock().expect("health lock");
+        if ok {
+            h.streak = 0;
+            if h.state == StoreHealth::Degraded {
+                h.state = StoreHealth::Healthy;
+                h.transitions += 1;
+            }
+            return;
+        }
+        h.streak += 1;
+        match h.state {
+            StoreHealth::Healthy if h.streak >= HEALTH_DEGRADE_AFTER => {
+                h.state = StoreHealth::Degraded;
+                h.transitions += 1;
+            }
+            StoreHealth::Degraded if h.streak >= HEALTH_OFFLINE_AFTER => {
+                h.state = StoreHealth::Offline;
+                h.transitions += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Removes a corrupt or stale entry, returning whether an eviction
+    /// should be *counted*: only a removal that actually happened counts,
+    /// so two sessions racing on the same bad entry count it once (the
+    /// loser sees `NotFound`).
+    fn evict_entry(&self, key: CacheKey) -> bool {
+        match self.disk.remove_file(&self.entry_path(key)) {
+            Ok(()) => {
+                self.forget_entry(key);
+                true
+            }
+            Err(e) => {
+                if e.kind() == io::ErrorKind::NotFound {
+                    // Already gone (evicted by a concurrent session or GC).
+                    self.forget_entry(key);
+                }
+                false
+            }
+        }
+    }
+
+    /// Drops an entry from GC accounting (if GC is active).
+    fn forget_entry(&self, key: CacheKey) {
+        if let Some(gc) = &self.gc {
+            let mut g = gc.lock().expect("gc lock");
+            if let Some(meta) = g.entries.remove(&key.0) {
+                g.total_bytes = g.total_bytes.saturating_sub(meta.len);
+            }
+        }
+    }
+
+    /// Bumps an entry's logical access time on a hit.
+    fn note_hit(&self, key: CacheKey) {
+        if let Some(gc) = &self.gc {
+            let mut g = gc.lock().expect("gc lock");
+            g.clock += 1;
+            let now = g.clock;
+            if let Some(meta) = g.entries.get_mut(&key.0) {
+                meta.atime = now;
+            }
+        }
+    }
+
+    /// Records a successful put in GC accounting and runs a GC round when
+    /// the bound is exceeded.
+    fn note_put(&self, key: CacheKey, len: u64) {
+        if let Some(gc) = &self.gc {
+            let mut g = gc.lock().expect("gc lock");
+            g.clock += 1;
+            let now = g.clock;
+            if let Some(prev) = g.entries.insert(key.0, EntryMeta { len, atime: now }) {
+                g.total_bytes = g.total_bytes.saturating_sub(prev.len);
+            }
+            g.total_bytes += len;
+            if g.total_bytes > g.max_bytes {
+                self.run_gc(&mut g);
+            }
+        }
+    }
+
+    /// Batch LRU eviction down to a 3/4 watermark. The survivor manifest
+    /// is the commit point: it is written (temp+rename) *before* any
+    /// victim file is removed, and a manifest failure aborts the round —
+    /// at worst the store stays temporarily over budget, never
+    /// inconsistent. Only removals that actually happen are counted.
+    fn run_gc(&self, g: &mut GcState) {
+        let target = g.max_bytes / 4 * 3;
+        let mut order: Vec<(u64, u128)> = g.entries.iter().map(|(&k, m)| (m.atime, k)).collect();
+        order.sort_unstable();
+        let mut victims: Vec<(u128, u64)> = Vec::new();
+        let mut projected = g.total_bytes;
+        for &(_, key) in &order {
+            if projected <= target {
+                break;
+            }
+            let len = g.entries[&key].len;
+            victims.push((key, len));
+            projected = projected.saturating_sub(len);
+        }
+        if victims.is_empty() {
+            return;
+        }
+        let victim_set: HashSet<u128> = victims.iter().map(|&(k, _)| k).collect();
+        let mut survivors: Vec<ManifestEntry> = g
+            .entries
+            .iter()
+            .filter(|(k, _)| !victim_set.contains(k))
+            .map(|(&k, m)| ManifestEntry {
+                key: format!("{k:032x}"),
+                atime: m.atime,
+            })
+            .collect();
+        survivors.sort_by(|a, b| a.key.cmp(&b.key));
+        let manifest = Manifest {
+            clock: g.clock,
+            entries: survivors,
+        };
+        if self.write_manifest(&manifest).is_err() {
+            return;
+        }
+        let mut evicted = 0u64;
+        let mut freed = 0u64;
+        for &(key, len) in &victims {
+            match self.disk.remove_file(&self.entry_path(CacheKey(key))) {
+                Ok(()) => {
+                    evicted += 1;
+                    freed += len;
+                    g.entries.remove(&key);
+                    g.total_bytes = g.total_bytes.saturating_sub(len);
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    g.entries.remove(&key);
+                    g.total_bytes = g.total_bytes.saturating_sub(len);
+                }
+                // Transient removal failure: keep the meta so accounting
+                // stays truthful; the next over-budget put retries.
+                Err(_) => {}
+            }
+        }
+        self.totals
+            .gc_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+        self.totals
+            .gc_bytes_freed
+            .fetch_add(freed, Ordering::Relaxed);
+    }
+
+    fn write_manifest(&self, manifest: &Manifest) -> io::Result<()> {
+        let body = to_json(manifest).map_err(|e| io::Error::other(e.to_string()))?;
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!("manifest.tmp.{}.{n}", std::process::id()));
+        if let Err(e) = self.disk.write(&tmp, &body) {
+            let _ = self.disk.remove_file(&tmp);
+            return Err(e);
+        }
+        self.disk.rename(&tmp, &self.dir.join(MANIFEST_NAME))
+    }
+
     /// Validates and parses one entry file; `None` means "treat as miss"
-    /// with `evict` set when a file existed but failed validation.
+    /// with `evicted` set when a bad entry was actually removed. A read
+    /// failure other than `NotFound` (e.g. an injected transient `EIO`)
+    /// is indistinguishable from media corruption at this layer, so it
+    /// takes the same evict-and-recompute path.
     fn load_payload(&self, key: CacheKey) -> (Option<String>, bool) {
         let path = self.entry_path(key);
-        let Ok(body) = fs::read_to_string(&path) else {
-            return (None, false);
+        let body = match self.disk.read_to_string(&path) {
+            Ok(body) => body,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return (None, false),
+            Err(_) => return (None, self.evict_entry(key)),
         };
         let valid = match body.split_once('\n') {
             Some((header, payload)) => match from_json::<EntryHeader>(header) {
@@ -236,12 +665,15 @@ impl ResultCache {
             (payload, false)
         } else {
             // Corrupt or stale: evict so the recomputed entry replaces it.
-            let _ = fs::remove_file(&path);
-            (None, true)
+            (None, self.evict_entry(key))
         }
     }
 
-    fn write_payload(&self, key: CacheKey, payload: &str) -> std::io::Result<()> {
+    /// Writes one entry via temp+rename, returning the full on-disk entry
+    /// length (header + newline + payload) for GC accounting. The temp
+    /// name folds in pid *and* a process-local counter so concurrent puts
+    /// of the same key from one process can't collide.
+    fn write_payload(&self, key: CacheKey, payload: &str) -> io::Result<u64> {
         let header = to_json(&EntryHeader {
             magic: CACHE_MAGIC.to_string(),
             version: CACHE_SCHEMA_VERSION,
@@ -249,12 +681,21 @@ impl ResultCache {
             len: payload.len() as u64,
             checksum: format!("{:016x}", fnv64(payload.as_bytes())),
         })
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
+        .map_err(|e| io::Error::other(e.to_string()))?;
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .dir
-            .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
-        fs::write(&tmp, format!("{header}\n{payload}"))?;
-        fs::rename(&tmp, self.entry_path(key))
+            .join(format!("{}.tmp.{}.{n}", key.hex(), std::process::id()));
+        let body = format!("{header}\n{payload}");
+        if let Err(e) = self.disk.write(&tmp, &body) {
+            let _ = self.disk.remove_file(&tmp);
+            return Err(e);
+        }
+        if let Err(e) = self.disk.rename(&tmp, &self.entry_path(key)) {
+            let _ = self.disk.remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(body.len() as u64)
     }
 }
 
@@ -274,10 +715,17 @@ pub struct CacheSession<'a> {
 impl CacheSession<'_> {
     /// Looks up and deserializes the entry for `key`. Absent, corrupt, or
     /// stale entries count as misses (plus an eviction when a bad file was
-    /// removed) and return `None` — the caller recomputes.
+    /// actually removed) and return `None` — the caller recomputes. With
+    /// the store Offline, no disk I/O happens and every probe is a miss.
     pub fn get<T: Deserialize>(&self, key: CacheKey) -> Option<T> {
-        let (payload, evicted) = self.store.load_payload(key);
         let mut delta = CacheStats::default();
+        if self.store.health_state() == StoreHealth::Offline {
+            delta.misses = 1;
+            delta.add_to(&self.local);
+            delta.add_to(&self.store.totals);
+            return None;
+        }
+        let (payload, evicted) = self.store.load_payload(key);
         if evicted {
             delta.evictions = 1;
         }
@@ -288,13 +736,15 @@ impl CacheSession<'_> {
             }
             Err(_) => {
                 // Parsed header but payload shape mismatch: stale schema.
-                let _ = fs::remove_file(self.store.entry_path(key));
-                delta.evictions += 1;
+                if self.store.evict_entry(key) {
+                    delta.evictions += 1;
+                }
                 None
             }
         });
         if result.is_some() {
             delta.hits = 1;
+            self.store.note_hit(key);
         } else {
             delta.misses = 1;
         }
@@ -303,21 +753,32 @@ impl CacheSession<'_> {
         result
     }
 
-    /// Serializes and stores `value` under `key`. Write failures are
-    /// swallowed — the cache is an optimization, never load-bearing — but
-    /// successful writes count toward `bytes_written`.
+    /// Serializes and stores `value` under `key`. The cache is an
+    /// optimization, never load-bearing, so a failed write doesn't fail
+    /// the caller — but it *is* counted (`write_failures`) and fed to the
+    /// store's health machine, and in Degraded/Offline states the write
+    /// may be skipped entirely (see [`StoreHealth`]).
     pub fn put<T: Serialize>(&self, key: CacheKey, value: &T) {
         let Ok(payload) = to_json(value) else {
             return;
         };
-        if self.store.write_payload(key, &payload).is_ok() {
-            let delta = CacheStats {
-                bytes_written: payload.len() as u64,
-                ..CacheStats::default()
-            };
-            delta.add_to(&self.local);
-            delta.add_to(&self.store.totals);
+        if !self.store.should_attempt_write() {
+            return;
         }
+        let mut delta = CacheStats::default();
+        match self.store.write_payload(key, &payload) {
+            Ok(entry_len) => {
+                self.store.record_write_result(true);
+                self.store.note_put(key, entry_len);
+                delta.bytes_written = payload.len() as u64;
+            }
+            Err(_) => {
+                self.store.record_write_result(false);
+                delta.write_failures = 1;
+            }
+        }
+        delta.add_to(&self.local);
+        delta.add_to(&self.store.totals);
     }
 
     /// This session's own counters (not smeared by other sessions).
@@ -328,9 +789,9 @@ impl CacheSession<'_> {
 
 /// Runs one sweep with per-cell cache consultation: cached cells are read
 /// back, and **only the missing cells** are dispatched to
-/// [`par_map_weighted_stream`] (largest-cost-first over the configured
-/// worker pool). Results come back in sweep order, byte-identical to the
-/// uncached sweep at any thread count.
+/// [`sm_core::parallel::par_map_weighted_stream`] (largest-cost-first over
+/// the configured worker pool). Results come back in sweep order,
+/// byte-identical to the uncached sweep at any thread count.
 ///
 /// * `keys[i]` must be the [`cell_key`] of `items[i]`.
 /// * `on_cell(i, cached, &result)` fires once per cell in strictly
@@ -347,8 +808,43 @@ pub fn cached_cells<T, U, C, F, G>(
     keys: &[CacheKey],
     cost: C,
     run: F,
-    mut on_cell: G,
+    on_cell: G,
 ) -> Vec<U>
+where
+    T: Sync,
+    U: Serialize + Deserialize + Send,
+    C: Fn(&T) -> u64,
+    F: Fn(&T) -> U + Sync,
+    G: FnMut(usize, bool, &U),
+{
+    cached_cells_cancellable(session, items, keys, cost, run, on_cell, None)
+        .expect("a dispatch without a cancel source cannot be cancelled")
+}
+
+/// [`cached_cells`] with a cooperative cancel check — the hook request
+/// deadlines and client-write failures use to stop a sweep at cell
+/// granularity.
+///
+/// The check is consulted once before dispatch (so an already-expired
+/// deadline cancels even a fully warm request, deterministically emitting
+/// zero cells) and then before each computed cell. On cancellation the
+/// cells already streamed through `on_cell` form a contiguous prefix of
+/// the sweep; no further cells fire and `Err(Cancelled)` is returned.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the cancel check fired before the sweep
+/// completed.
+#[allow(clippy::too_many_arguments)]
+pub fn cached_cells_cancellable<T, U, C, F, G>(
+    session: Option<&CacheSession<'_>>,
+    items: &[T],
+    keys: &[CacheKey],
+    cost: C,
+    run: F,
+    mut on_cell: G,
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<Vec<U>, Cancelled>
 where
     T: Sync,
     U: Serialize + Deserialize + Send,
@@ -361,6 +857,11 @@ where
         Some(s) => keys.iter().map(|&k| s.get::<U>(k)).collect(),
         None => (0..items.len()).map(|_| None).collect(),
     };
+    // Checked once up front so an already-fired cancel (deadline 0, dead
+    // client) yields zero cells even when every cell is a cache hit.
+    if cancel.is_some_and(|c| c()) {
+        return Err(Cancelled);
+    }
     let missing: Vec<usize> = (0..items.len()).filter(|&i| slots[i].is_none()).collect();
     let missing_items: Vec<&T> = missing.iter().map(|&i| &items[i]).collect();
 
@@ -370,7 +871,7 @@ where
     // cached cell is ready by construction, so the gap before it is pure
     // cache hits.
     let mut frontier = 0usize;
-    let computed = par_map_weighted_stream(
+    let computed = par_map_weighted_stream_cancellable(
         &missing_items,
         threads(),
         |item| cost(item),
@@ -390,7 +891,8 @@ where
             on_cell(gi, false, u);
             frontier = gi + 1;
         },
-    );
+        cancel,
+    )?;
     // Trailing cache hits after the last computed cell.
     while frontier < slots.len() {
         let cached = slots[frontier]
@@ -403,15 +905,17 @@ where
     for (j, u) in missing.into_iter().zip(computed) {
         slots[j] = Some(u);
     }
-    slots
+    Ok(slots
         .into_iter()
         .map(|u| u.expect("every cell resolved"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+    use std::sync::atomic::AtomicBool;
 
     #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
     struct Cell {
@@ -496,6 +1000,194 @@ mod tests {
         let s = session.stats();
         assert_eq!(s.evictions, 3, "{s:?}");
         assert_eq!(s.hits, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_corruption_resolves_to_evict_and_recompute() {
+        let dir = tmp_dir("inject-read");
+        // Flip every read: every probe sees corrupt content, so the store
+        // must evict and report a miss — never serve flipped bytes.
+        let store = ResultCache::open_with(
+            &dir,
+            StoreOptions {
+                max_bytes: None,
+                faults: Some(IoFaultPlan::new(11).with_read_flips(1.0)),
+            },
+        )
+        .unwrap();
+        let session = store.session();
+        let key = cell_key("t", &5u64).unwrap();
+        session.put(key, &cell(5));
+        assert!(store.entry_path(key).exists());
+        assert_eq!(session.get::<Cell>(key), None, "flipped bytes rejected");
+        assert!(!store.entry_path(key).exists(), "corrupt entry evicted");
+        let s = session.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 1, 1), "{s:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_storm_walks_health_to_offline_and_back_on_reopen() {
+        let dir = tmp_dir("health");
+        let store = ResultCache::open_with(
+            &dir,
+            StoreOptions {
+                max_bytes: None,
+                faults: Some(IoFaultPlan::new(3).with_enospc(1.0)),
+            },
+        )
+        .unwrap();
+        let session = store.session();
+        assert_eq!(store.health_snapshot(), (StoreHealth::Healthy, 0));
+        let mut states = Vec::new();
+        for i in 0..40u64 {
+            session.put(cell_key("t", &i).unwrap(), &cell(i));
+            states.push(store.health_snapshot().0);
+        }
+        assert_eq!(
+            states[HEALTH_DEGRADE_AFTER as usize - 1],
+            StoreHealth::Degraded
+        );
+        assert_eq!(*states.last().unwrap(), StoreHealth::Offline);
+        let (_, transitions) = store.health_snapshot();
+        assert_eq!(transitions, 2, "healthy->degraded->offline");
+        // Offline probes are misses without disk I/O; puts are no-ops.
+        assert_eq!(session.get::<Cell>(cell_key("t", &0u64).unwrap()), None);
+        assert!(session.stats().write_failures >= HEALTH_DEGRADE_AFTER as u64);
+        // Reopening the directory starts Healthy again.
+        let _ = session;
+        drop(store);
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.health_snapshot(), (StoreHealth::Healthy, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_store_recovers_when_writes_succeed_again() {
+        let dir = tmp_dir("recover");
+        // eio 0.0 -> we drive failures by hand: use a plan whose write
+        // faults stop firing after the RNG stream moves on. Simplest
+        // deterministic route: fail with a real cause — write into a
+        // directory path that exists, so writes succeed, after first
+        // demoting the machine manually via record_write_result.
+        let store = ResultCache::open(&dir).unwrap();
+        for _ in 0..HEALTH_DEGRADE_AFTER {
+            store.record_write_result(false);
+        }
+        assert_eq!(store.health_snapshot().0, StoreHealth::Degraded);
+        let session = store.session();
+        // Degraded skips puts until the probe slot; the probe write
+        // succeeds on the healthy disk and restores Healthy.
+        let mut keys = Vec::new();
+        for i in 100..(100 + HEALTH_PROBE_EVERY as u64) {
+            let k = cell_key("t", &i).unwrap();
+            session.put(k, &cell(i));
+            keys.push(k);
+        }
+        assert_eq!(store.health_snapshot().0, StoreHealth::Healthy);
+        let written: Vec<bool> = keys.iter().map(|&k| store.entry_path(k).exists()).collect();
+        assert_eq!(
+            written.iter().filter(|&&w| w).count(),
+            1,
+            "only the canary probe put landed: {written:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_store_gc_keeps_disk_under_the_limit() {
+        let dir = tmp_dir("gc");
+        let max = 4096u64;
+        let store = ResultCache::open_with(
+            &dir,
+            StoreOptions {
+                max_bytes: Some(max),
+                faults: None,
+            },
+        )
+        .unwrap();
+        let session = store.session();
+        let mut keys = Vec::new();
+        // Write ~8x the bound.
+        for i in 0..128u64 {
+            let k = cell_key("gc", &i).unwrap();
+            session.put(k, &cell(i));
+            keys.push(k);
+        }
+        let on_disk: u64 = fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
+            .filter(|e| parse_entry_name(&e.file_name().to_string_lossy()).is_some())
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(
+            on_disk <= max,
+            "GC must keep entries under the bound: {on_disk} > {max}"
+        );
+        let s = store.stats();
+        assert!(s.gc_evictions > 0, "{s:?}");
+        assert!(s.gc_bytes_freed > 0, "{s:?}");
+        assert!(dir.join("v1").join(MANIFEST_NAME).exists());
+        // Recent entries survive, oldest were evicted.
+        assert!(store.entry_path(*keys.last().unwrap()).exists());
+        assert!(!store.entry_path(keys[0]).exists());
+        // A reopen rebuilds accounting from the directory + manifest and
+        // keeps honoring the bound.
+        let _ = session;
+        drop(store);
+        let reopened = ResultCache::open_with(
+            &dir,
+            StoreOptions {
+                max_bytes: Some(max),
+                faults: None,
+            },
+        )
+        .unwrap();
+        let session = reopened.session();
+        for i in 1000..1064u64 {
+            session.put(cell_key("gc", &i).unwrap(), &cell(i));
+        }
+        let on_disk: u64 = fs::read_dir(reopened.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| parse_entry_name(&e.file_name().to_string_lossy()).is_some())
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(on_disk <= max, "bound still holds after reopen: {on_disk}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_prefers_evicting_least_recently_used_entries() {
+        let dir = tmp_dir("gc-lru");
+        let store = ResultCache::open_with(
+            &dir,
+            StoreOptions {
+                max_bytes: Some(2048),
+                faults: None,
+            },
+        )
+        .unwrap();
+        let session = store.session();
+        let old = cell_key("lru", &0u64).unwrap();
+        session.put(old, &cell(0));
+        let mut later = Vec::new();
+        for i in 1..12u64 {
+            let k = cell_key("lru", &i).unwrap();
+            session.put(k, &cell(i));
+            later.push(k);
+        }
+        // Touch the oldest entry, making a middle one the LRU victim.
+        if store.entry_path(old).exists() {
+            assert_eq!(session.get::<Cell>(old), Some(cell(0)));
+        }
+        for i in 100..140u64 {
+            session.put(cell_key("lru", &i).unwrap(), &cell(i));
+        }
+        // The untouched early entries must be gone before the most recent.
+        assert!(!store.entry_path(later[0]).exists());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -590,6 +1282,66 @@ mod tests {
         );
         assert_eq!(out.len(), 5);
         assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn pre_fired_cancel_emits_zero_cells_even_when_fully_warm() {
+        let dir = tmp_dir("cancel-warm");
+        let store = ResultCache::open(&dir).unwrap();
+        let items: Vec<u64> = (0..6).collect();
+        let keys: Vec<CacheKey> = items.iter().map(|i| cell_key("cw", i).unwrap()).collect();
+        // Warm the store fully.
+        let _ = cached_cells(
+            Some(&store.session()),
+            &items,
+            &keys,
+            |_| 1,
+            |&x| cell(x),
+            |_, _, _| {},
+        );
+        let fired = AtomicBool::new(true);
+        let check = || fired.load(Ordering::Relaxed);
+        let mut emitted = 0usize;
+        let out = cached_cells_cancellable(
+            Some(&store.session()),
+            &items,
+            &keys,
+            |_| 1,
+            |&x| cell(x),
+            |_, _, _| emitted += 1,
+            Some(&check),
+        );
+        assert_eq!(out, Err(Cancelled));
+        assert_eq!(emitted, 0, "a dead request emits nothing, even warm");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancellable_without_cancel_matches_plain_cached_cells() {
+        let dir = tmp_dir("cancel-none");
+        let store = ResultCache::open(&dir).unwrap();
+        let items: Vec<u64> = (0..8).collect();
+        let keys: Vec<CacheKey> = items.iter().map(|i| cell_key("cn", i).unwrap()).collect();
+        let plain = cached_cells(
+            Some(&store.session()),
+            &items,
+            &keys,
+            |_| 1,
+            |&x| cell(x),
+            |_, _, _| {},
+        );
+        let cancellable = cached_cells_cancellable(
+            Some(&store.session()),
+            &items,
+            &keys,
+            |_| 1,
+            |&x| cell(x),
+            |_, _, _| {},
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain, cancellable);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

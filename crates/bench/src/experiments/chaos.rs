@@ -26,7 +26,9 @@ use sm_core::{FaultPlan, Policy, Protection, RecoveryPolicy, SimOptions};
 use sm_mem::TrafficClass;
 use sm_model::Network;
 
-use crate::cas::{cached_cells, cell_key, content_fingerprint, CacheKey, CacheSession};
+use sm_core::parallel::{CancelCheck, Cancelled};
+
+use crate::cas::{cached_cells_cancellable, cell_key, content_fingerprint, CacheKey, CacheSession};
 use crate::report::{pct, Table};
 
 /// Everything a chaos cell's result is a function of, serialized
@@ -197,6 +199,40 @@ pub fn chaos_degradation_with_budget_cached(
     cache: Option<&CacheSession<'_>>,
     on_cell: impl FnMut(usize, bool, &ChaosPoint),
 ) -> ChaosCurve {
+    chaos_degradation_cancellable(
+        net,
+        config,
+        seed,
+        fractions,
+        dram_fault_rate,
+        retry_budget,
+        cache,
+        on_cell,
+        None,
+    )
+    .expect("a sweep without a cancel source cannot be cancelled")
+}
+
+/// [`chaos_degradation_with_budget_cached`] with a cooperative cancel
+/// check (deadlines, dead clients): consulted before dispatch and before
+/// each computed point, so cancellation stops the sweep at cell
+/// granularity after a contiguous streamed prefix.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the check fired before the sweep completed.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_degradation_cancellable(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    dram_fault_rate: f64,
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ChaosPoint),
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<ChaosCurve, Cancelled> {
     let exp = sm_core::Experiment::new(config);
     let base_plan = FaultPlan::new(seed).with_dram_faults(dram_fault_rate);
     let base_plan = match retry_budget {
@@ -215,7 +251,7 @@ pub fn chaos_degradation_with_budget_cached(
     // Cost-aware dispatch: every point replays the same network, so the
     // MAC count is the per-cell cost estimate (uniform here, but the grid
     // variants mix networks upstream and inherit the same call shape).
-    let points = cached_cells(
+    let points = cached_cells_cancellable(
         cache,
         fractions,
         &keys,
@@ -225,14 +261,15 @@ pub fn chaos_degradation_with_budget_cached(
             run_chaos_point(&exp, net, f, &options)
         },
         on_cell,
-    );
-    ChaosCurve {
+        cancel,
+    )?;
+    Ok(ChaosCurve {
         network: net.name().to_string(),
         seed,
         dram_fault_rate,
         max_retries: base_plan.max_retries,
         points,
-    }
+    })
 }
 
 /// Runs one checked Shortcut Mining simulation and folds it into a
@@ -399,6 +436,38 @@ pub fn chaos_grid_cached(
     cache: Option<&CacheSession<'_>>,
     on_cell: impl FnMut(usize, bool, &ChaosGridCell),
 ) -> ChaosGrid {
+    chaos_grid_cancellable(
+        net,
+        config,
+        seed,
+        fractions,
+        rates,
+        retry_budget,
+        cache,
+        on_cell,
+        None,
+    )
+    .expect("a sweep without a cancel source cannot be cancelled")
+}
+
+/// [`chaos_grid_cached`] with a cooperative cancel check (deadlines, dead
+/// clients): consulted before dispatch and before each computed cell.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the check fired before the sweep completed.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_grid_cancellable(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ChaosGridCell),
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<ChaosGrid, Cancelled> {
     let exp = sm_core::Experiment::new(config);
     let pairs: Vec<(f64, f64)> = fractions
         .iter()
@@ -419,7 +488,7 @@ pub fn chaos_grid_cached(
         .iter()
         .map(|&(f, r)| chaos_cell_key("chaos-grid-cell", net, &fp, &config, &plan_for(f, r)))
         .collect();
-    let cells = cached_cells(
+    let cells = cached_cells_cancellable(
         cache,
         &pairs,
         &keys,
@@ -450,14 +519,15 @@ pub fn chaos_grid_cached(
             }
         },
         on_cell,
-    );
-    ChaosGrid {
+        cancel,
+    )?;
+    Ok(ChaosGrid {
         network: net.name().to_string(),
         seed,
         fractions: fractions.to_vec(),
         rates: rates.to_vec(),
         cells,
-    }
+    })
 }
 
 /// Default site-strike rates of the 3-D grid (`smctl chaos --grid
@@ -607,6 +677,40 @@ pub fn chaos_grid3_cached(
     cache: Option<&CacheSession<'_>>,
     on_cell: impl FnMut(usize, bool, &ChaosGrid3Cell),
 ) -> ChaosGrid3 {
+    chaos_grid3_cancellable(
+        net,
+        config,
+        seed,
+        fractions,
+        rates,
+        site_rates,
+        retry_budget,
+        cache,
+        on_cell,
+        None,
+    )
+    .expect("a sweep without a cancel source cannot be cancelled")
+}
+
+/// [`chaos_grid3_cached`] with a cooperative cancel check (deadlines, dead
+/// clients): consulted before dispatch and before each computed cell.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the check fired before the sweep completed.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_grid3_cancellable(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    fractions: &[f64],
+    rates: &[f64],
+    site_rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ChaosGrid3Cell),
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<ChaosGrid3, Cancelled> {
     let exp = sm_core::Experiment::new(config);
     let triples: Vec<(f64, f64, f64)> = fractions
         .iter()
@@ -633,7 +737,7 @@ pub fn chaos_grid3_cached(
         .iter()
         .map(|&(f, r, s)| chaos_cell_key("chaos-grid3-cell", net, &fp, &config, &plan_for(f, r, s)))
         .collect();
-    let cells = cached_cells(
+    let cells = cached_cells_cancellable(
         cache,
         &triples,
         &keys,
@@ -666,15 +770,16 @@ pub fn chaos_grid3_cached(
             }
         },
         on_cell,
-    );
-    ChaosGrid3 {
+        cancel,
+    )?;
+    Ok(ChaosGrid3 {
         network: net.name().to_string(),
         seed,
         fractions: fractions.to_vec(),
         rates: rates.to_vec(),
         site_rates: site_rates.to_vec(),
         cells,
-    }
+    })
 }
 
 /// Default BCU strike rates of the control-path sweep (`smctl chaos
@@ -842,6 +947,39 @@ pub fn control_path_sweep_cached(
     cache: Option<&CacheSession<'_>>,
     on_cell: impl FnMut(usize, bool, &ControlPathPoint),
 ) -> ControlPathStudy {
+    control_path_sweep_cancellable(
+        net,
+        config,
+        seed,
+        policies,
+        rates,
+        retry_budget,
+        cache,
+        on_cell,
+        None,
+    )
+    .expect("a sweep without a cancel source cannot be cancelled")
+}
+
+/// [`control_path_sweep_cached`] with a cooperative cancel check
+/// (deadlines, dead clients): consulted before dispatch and before each
+/// computed point.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the check fired before the sweep completed.
+#[allow(clippy::too_many_arguments)]
+pub fn control_path_sweep_cancellable(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    policies: &[RecoveryPolicy],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ControlPathPoint),
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<ControlPathStudy, Cancelled> {
     let exp = sm_core::Experiment::new(config);
     let pairs: Vec<(RecoveryPolicy, f64)> = policies
         .iter()
@@ -863,7 +1001,7 @@ pub fn control_path_sweep_cached(
         .iter()
         .map(|&(p, r)| chaos_cell_key("control-path-point", net, &fp, &config, &plan_for(p, r)))
         .collect();
-    let points = cached_cells(
+    let points = cached_cells_cancellable(
         cache,
         &pairs,
         &keys,
@@ -904,14 +1042,15 @@ pub fn control_path_sweep_cached(
             }
         },
         on_cell,
-    );
-    ControlPathStudy {
+        cancel,
+    )?;
+    Ok(ControlPathStudy {
         network: net.name().to_string(),
         seed,
         policies: policies.to_vec(),
         rates: rates.to_vec(),
         points,
-    }
+    })
 }
 
 /// Default scheduler-state strike rates of the scheduler sweep (`smctl
@@ -1093,6 +1232,39 @@ pub fn scheduler_sweep_cached(
     cache: Option<&CacheSession<'_>>,
     on_cell: impl FnMut(usize, bool, &SchedulerPoint),
 ) -> SchedulerStudy {
+    scheduler_sweep_cancellable(
+        net,
+        config,
+        seed,
+        policies,
+        rates,
+        retry_budget,
+        cache,
+        on_cell,
+        None,
+    )
+    .expect("a sweep without a cancel source cannot be cancelled")
+}
+
+/// [`scheduler_sweep_cached`] with a cooperative cancel check (deadlines,
+/// dead clients): consulted before dispatch and before each computed
+/// point.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the check fired before the sweep completed.
+#[allow(clippy::too_many_arguments)]
+pub fn scheduler_sweep_cancellable(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    policies: &[RecoveryPolicy],
+    rates: &[f64],
+    retry_budget: Option<u32>,
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &SchedulerPoint),
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<SchedulerStudy, Cancelled> {
     let exp = sm_core::Experiment::new(config);
     let pairs: Vec<(RecoveryPolicy, f64)> = policies
         .iter()
@@ -1114,7 +1286,7 @@ pub fn scheduler_sweep_cached(
         .iter()
         .map(|&(p, r)| chaos_cell_key("scheduler-point", net, &fp, &config, &plan_for(p, r)))
         .collect();
-    let points = cached_cells(
+    let points = cached_cells_cancellable(
         cache,
         &pairs,
         &keys,
@@ -1157,14 +1329,15 @@ pub fn scheduler_sweep_cached(
             }
         },
         on_cell,
-    );
-    SchedulerStudy {
+        cancel,
+    )?;
+    Ok(SchedulerStudy {
         network: net.name().to_string(),
         seed,
         policies: policies.to_vec(),
         rates: rates.to_vec(),
         points,
-    }
+    })
 }
 
 /// The default retry budgets swept by [`retry_budget_sweep`].
@@ -1276,6 +1449,37 @@ pub fn retry_budget_sweep_cached(
     cache: Option<&CacheSession<'_>>,
     on_cell: impl FnMut(usize, bool, &RetryBudgetPoint),
 ) -> RetryBudgetStudy {
+    retry_budget_sweep_cancellable(
+        net,
+        config,
+        seed,
+        dram_fault_rate,
+        budgets,
+        cache,
+        on_cell,
+        None,
+    )
+    .expect("a sweep without a cancel source cannot be cancelled")
+}
+
+/// [`retry_budget_sweep_cached`] with a cooperative cancel check
+/// (deadlines, dead clients): consulted before dispatch and before each
+/// computed point.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the check fired before the sweep completed.
+#[allow(clippy::too_many_arguments)]
+pub fn retry_budget_sweep_cancellable(
+    net: &Network,
+    config: AccelConfig,
+    seed: u64,
+    dram_fault_rate: f64,
+    budgets: &[u32],
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &RetryBudgetPoint),
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<RetryBudgetStudy, Cancelled> {
     let exp = sm_core::Experiment::new(config);
     let plan_for = |budget: u32| {
         let base = FaultPlan::new(seed).with_dram_faults(dram_fault_rate);
@@ -1287,7 +1491,7 @@ pub fn retry_budget_sweep_cached(
         .iter()
         .map(|&b| chaos_cell_key("retry-budget-point", net, &fp, &config, &plan_for(b)))
         .collect();
-    let points = cached_cells(
+    let points = cached_cells_cancellable(
         cache,
         budgets,
         &keys,
@@ -1318,13 +1522,14 @@ pub fn retry_budget_sweep_cached(
             }
         },
         on_cell,
-    );
-    RetryBudgetStudy {
+        cancel,
+    )?;
+    Ok(RetryBudgetStudy {
         network: net.name().to_string(),
         seed,
         dram_fault_rate,
         points,
-    }
+    })
 }
 
 #[cfg(test)]

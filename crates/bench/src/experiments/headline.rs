@@ -15,7 +15,9 @@ use sm_core::{Experiment, Policy};
 use sm_mem::TrafficClass;
 use sm_model::{zoo, Network};
 
-use crate::cas::{cached_cells, cell_key, content_fingerprint, CacheKey, CacheSession};
+use sm_core::parallel::{CancelCheck, Cancelled};
+
+use crate::cas::{cached_cells_cancellable, cell_key, content_fingerprint, CacheKey, CacheSession};
 use crate::paper;
 use crate::report::{geomean, mb, pct, Table};
 
@@ -97,15 +99,33 @@ pub fn compare_cells(
     cache: Option<&CacheSession<'_>>,
     on_cell: impl FnMut(usize, bool, &ComparisonCell),
 ) -> Vec<ComparisonCell> {
+    compare_cells_cancellable(config, nets, cache, on_cell, None)
+        .expect("a sweep without a cancel source cannot be cancelled")
+}
+
+/// [`compare_cells`] with a cooperative cancel check (deadlines, dead
+/// clients): consulted before dispatch and before each computed cell.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the check fired before the sweep completed.
+pub fn compare_cells_cancellable(
+    config: AccelConfig,
+    nets: &[Network],
+    cache: Option<&CacheSession<'_>>,
+    on_cell: impl FnMut(usize, bool, &ComparisonCell),
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<Vec<ComparisonCell>, Cancelled> {
     let exp = Experiment::new(config);
     let keys: Vec<CacheKey> = nets.iter().map(|n| compare_cell_key(n, &config)).collect();
-    cached_cells(
+    cached_cells_cancellable(
         cache,
         nets,
         &keys,
         |net| net.total_macs(),
         |net| run_compare_cell(&exp, net),
         on_cell,
+        cancel,
     )
 }
 

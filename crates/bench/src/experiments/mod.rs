@@ -37,13 +37,15 @@ mod sensitivity;
 
 pub use ablation::{table3_ablation, AblationResult};
 pub use chaos::{
-    chaos_degradation, chaos_degradation_with_budget, chaos_degradation_with_budget_cached,
-    chaos_grid, chaos_grid3, chaos_grid3_cached, chaos_grid_cached, control_path_sweep,
-    control_path_sweep_cached, retry_budget_sweep, retry_budget_sweep_cached, scheduler_sweep,
-    scheduler_sweep_cached, ChaosCurve, ChaosGrid, ChaosGrid3, ChaosGrid3Cell, ChaosGridCell,
-    ChaosPoint, ControlPathPoint, ControlPathStudy, RetryBudgetPoint, RetryBudgetStudy,
-    SchedulerPoint, SchedulerStudy, CONTROL_PATH_DOUBLE_RATE, CONTROL_PATH_POLICIES,
-    CONTROL_PATH_TRIPLE_RATE, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS,
+    chaos_degradation, chaos_degradation_cancellable, chaos_degradation_with_budget,
+    chaos_degradation_with_budget_cached, chaos_grid, chaos_grid3, chaos_grid3_cached,
+    chaos_grid3_cancellable, chaos_grid_cached, chaos_grid_cancellable, control_path_sweep,
+    control_path_sweep_cached, control_path_sweep_cancellable, retry_budget_sweep,
+    retry_budget_sweep_cached, retry_budget_sweep_cancellable, scheduler_sweep,
+    scheduler_sweep_cached, scheduler_sweep_cancellable, ChaosCurve, ChaosGrid, ChaosGrid3,
+    ChaosGrid3Cell, ChaosGridCell, ChaosPoint, ControlPathPoint, ControlPathStudy,
+    RetryBudgetPoint, RetryBudgetStudy, SchedulerPoint, SchedulerStudy, CONTROL_PATH_DOUBLE_RATE,
+    CONTROL_PATH_POLICIES, CONTROL_PATH_TRIPLE_RATE, DEFAULT_CONTROL_PATH_RATES, DEFAULT_FRACTIONS,
     DEFAULT_GRID_FRACTIONS, DEFAULT_GRID_RATES, DEFAULT_GRID_SITE_RATES, DEFAULT_RETRY_BUDGETS,
     DEFAULT_SCHEDULER_RATES, SCHEDULER_DOUBLE_RATE, SCHEDULER_POLICIES, SCHEDULER_TRIPLE_RATE,
 };
@@ -56,9 +58,9 @@ pub use extensions::{
 };
 pub(crate) use headline::{compare_cell_key, run_compare_cell};
 pub use headline::{
-    compare_cells, fig10_traffic_reduction, fig10_traffic_reduction_cached,
-    fig11_traffic_breakdown, fig13_throughput, fig13_throughput_cached, BreakdownResult,
-    ComparisonCell, ThroughputResult, TrafficResult,
+    compare_cells, compare_cells_cancellable, fig10_traffic_reduction,
+    fig10_traffic_reduction_cached, fig11_traffic_breakdown, fig13_throughput,
+    fig13_throughput_cached, BreakdownResult, ComparisonCell, ThroughputResult, TrafficResult,
 };
 pub use motivation::{fig2_shortcut_share, table1_networks, table2_config, ShareResult};
 pub use per_block::{fig12_per_block, PerBlockResult};

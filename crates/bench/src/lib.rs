@@ -18,6 +18,7 @@
 
 pub mod cas;
 pub mod experiments;
+pub mod iofault;
 pub mod json;
 pub mod report;
 pub mod service;

@@ -219,6 +219,27 @@ where
     tagged.into_iter().map(|(_, u)| u).collect()
 }
 
+/// Shared cancellation predicate consulted between work items by the
+/// `*_cancellable` dispatch variants. Returning `true` asks the dispatch to
+/// stop before the next item; items already running complete normally, so
+/// cancellation lands on item boundaries (cell granularity for the sweep
+/// service's deadlines).
+pub type CancelCheck<'a> = &'a (dyn Fn() -> bool + Sync);
+
+/// Typed "the dispatch was cancelled" error returned by the
+/// `*_cancellable` variants when their [`CancelCheck`] fired before every
+/// item completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dispatch cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
 /// [`par_map_weighted`] that additionally streams each result to `on_ready`
 /// **in input order** as soon as the contiguous prefix up to it has
 /// completed — the dispatch behind the resident sweep service, which emits
@@ -237,7 +258,7 @@ pub fn par_map_weighted_stream<T, U, F, C, G>(
     threads: usize,
     cost: C,
     f: F,
-    mut on_ready: G,
+    on_ready: G,
 ) -> Vec<U>
 where
     T: Sync,
@@ -246,17 +267,51 @@ where
     C: Fn(&T) -> u64,
     G: FnMut(usize, &U),
 {
+    par_map_weighted_stream_cancellable(items, threads, cost, f, on_ready, None)
+        .expect("a dispatch without a cancel source cannot be cancelled")
+}
+
+/// [`par_map_weighted_stream`] with cooperative cancellation: workers
+/// consult `cancel` before starting each item and stop claiming new work
+/// once it returns `true`. Results (and `on_ready` calls) for the
+/// contiguous in-order prefix that completed are still delivered; if any
+/// item was abandoned the call returns [`Cancelled`] instead of a result
+/// vector.
+///
+/// With `cancel = None` — or a check that never fires — the behavior and
+/// output are exactly [`par_map_weighted_stream`]: same static LPT
+/// schedule, byte-identical to serial at every thread count. Cancellation
+/// is best-effort on item boundaries: items already executing run to
+/// completion, and a check that first returns `true` after the last item
+/// was claimed yields `Ok` rather than `Err`.
+pub fn par_map_weighted_stream_cancellable<T, U, F, C, G>(
+    items: &[T],
+    threads: usize,
+    cost: C,
+    f: F,
+    mut on_ready: G,
+    cancel: Option<CancelCheck<'_>>,
+) -> Result<Vec<U>, Cancelled>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+    C: Fn(&T) -> u64,
+    G: FnMut(usize, &U),
+{
+    let cancelled = || cancel.is_some_and(|c| c());
     let workers = threads.min(items.len()).max(1);
     if workers == 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| {
-                let u = f(item);
-                on_ready(i, &u);
-                u
-            })
-            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if cancelled() {
+                return Err(Cancelled);
+            }
+            let u = f(item);
+            on_ready(i, &u);
+            out.push(u);
+        }
+        return Ok(out);
     }
 
     // The same deterministic LPT assignment as par_map_weighted.
@@ -273,13 +328,18 @@ where
     }
 
     let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let mut delivered = 0usize;
     std::thread::scope(|scope| {
         let (tx, rx) = std::sync::mpsc::channel::<(usize, U)>();
         let f = &f;
+        let cancelled = &cancelled;
         for queue in &queues {
             let tx = tx.clone();
             scope.spawn(move || {
                 for &i in queue {
+                    if cancelled() {
+                        break;
+                    }
                     // A send only fails when the receiver is gone, which
                     // only happens if this scope is already unwinding.
                     let _ = tx.send((i, f(&items[i])));
@@ -288,7 +348,8 @@ where
         }
         drop(tx);
         // Drain on the calling thread, emitting the in-order frontier as it
-        // becomes contiguous.
+        // becomes contiguous. Under cancellation the channel closes early
+        // and the frontier stops short of the end.
         let mut frontier = 0usize;
         for (i, u) in rx {
             slots[i] = Some(u);
@@ -302,12 +363,16 @@ where
                 }
             }
         }
-        debug_assert_eq!(frontier, slots.len());
+        delivered = frontier;
     });
-    slots
+    if slots.iter().any(|s| s.is_none()) {
+        return Err(Cancelled);
+    }
+    debug_assert_eq!(delivered, slots.len());
+    Ok(slots
         .into_iter()
         .map(|u| u.expect("stream worker completed every item"))
-        .collect()
+        .collect())
 }
 
 /// [`par_map_weighted`] at the configured worker count ([`threads`]).
@@ -465,6 +530,96 @@ mod tests {
             |i, _| seen.push(i),
         );
         assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellable_stream_without_a_source_matches_the_plain_stream() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 5 + 2).collect();
+        for threads in [1usize, 2, 4] {
+            let mut seen = Vec::new();
+            let out = par_map_weighted_stream_cancellable(
+                &items,
+                threads,
+                |&x| x,
+                |x| x * 5 + 2,
+                |i, _| seen.push(i),
+                None,
+            )
+            .unwrap();
+            assert_eq!(out, expect, "{threads} threads");
+            assert_eq!(seen, (0..items.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn never_firing_cancel_check_is_byte_identical_to_uncancellable() {
+        let items: Vec<u64> = (0..29).collect();
+        let never = || false;
+        for threads in [1usize, 3, 8] {
+            let cancellable = par_map_weighted_stream_cancellable(
+                &items,
+                threads,
+                |&x| x,
+                |x| x * 9,
+                |_, _| {},
+                Some(&never),
+            )
+            .unwrap();
+            let plain = par_map_weighted_stream(&items, threads, |&x| x, |x| x * 9, |_, _| {});
+            assert_eq!(cancellable, plain, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn pre_fired_cancel_returns_cancelled_without_running_items() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u64> = (0..16).collect();
+        let ran = AtomicUsize::new(0);
+        let always = || true;
+        for threads in [1usize, 4] {
+            let r = par_map_weighted_stream_cancellable(
+                &items,
+                threads,
+                |_| 1,
+                |&x| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+                |_, _| {},
+                Some(&always),
+            );
+            assert_eq!(r, Err(Cancelled), "{threads} threads");
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no item may start");
+    }
+
+    #[test]
+    fn mid_flight_cancel_stops_on_item_boundaries_and_streams_the_prefix() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u64> = (0..64).collect();
+        let ran = AtomicUsize::new(0);
+        // Fire after the fourth item starts: later items are abandoned.
+        let cancel = || ran.load(Ordering::Relaxed) >= 4;
+        let mut seen = Vec::new();
+        let r = par_map_weighted_stream_cancellable(
+            &items,
+            2,
+            |_| 1,
+            |&x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                x
+            },
+            |i, _| seen.push(i),
+            Some(&cancel),
+        );
+        assert_eq!(r, Err(Cancelled));
+        assert!(
+            ran.load(Ordering::Relaxed) < items.len(),
+            "cancellation must abandon the tail"
+        );
+        // The streamed prefix is contiguous from zero.
+        assert_eq!(seen, (0..seen.len()).collect::<Vec<_>>());
     }
 
     #[test]

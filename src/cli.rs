@@ -161,6 +161,24 @@ pub enum Command {
         /// Result-cache directory shared by every request (default: a
         /// `smctl-cache` directory under the system temp dir).
         cache_dir: Option<String>,
+        /// Maximum concurrently executing requests (`--max-inflight`;
+        /// default: the worker-thread count).
+        max_inflight: Option<usize>,
+        /// Deadline applied to requests without their own `deadline_ms`
+        /// field (`--default-deadline-ms`).
+        default_deadline_ms: Option<u64>,
+        /// Bound on on-disk cache size in bytes (`--cache-max-bytes`);
+        /// least-recently-used entries are evicted past the bound.
+        cache_max_bytes: Option<u64>,
+        /// Uniform injected I/O fault rate for the store
+        /// (`--io-fault-rate`, testing/soak only).
+        io_fault_rate: Option<f64>,
+        /// Seed for the injected-fault plan (`--io-fault-seed`,
+        /// default 42).
+        io_fault_seed: u64,
+        /// Pin `ms` fields to 0 so outputs compare bytewise
+        /// (`--deterministic`).
+        deterministic: bool,
     },
 }
 
@@ -203,7 +221,9 @@ USAGE:
   smctl bench   [--out <path>] [--assert-conv-speedup <x>]
                 [--assert-suite-speedup <x>] [--assert-suite-identical]
                 [--assert-warm-speedup <x>]
-  smctl serve   [--cache-dir <path>]
+  smctl serve   [--cache-dir <path>] [--max-inflight <n>]
+                [--default-deadline-ms <ms>] [--cache-max-bytes <n>]
+                [--io-fault-rate <p>] [--io-fault-seed <n>] [--deterministic]
                 (newline-delimited JSON sweep requests on stdin, streamed
                 JSON events on stdout; see sm_bench::service docs)
 
@@ -275,13 +295,71 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Cli
         "networks" => Ok(Command::Networks),
         "serve" => {
             let mut cache_dir = None;
+            let mut max_inflight = None;
+            let mut default_deadline_ms = None;
+            let mut cache_max_bytes = None;
+            let mut io_fault_rate = None;
+            let mut io_fault_seed = 42;
+            let mut deterministic = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--cache-dir" => cache_dir = Some(take_value(&mut it, flag)?.to_string()),
+                    "--deterministic" => deterministic = true,
+                    "--max-inflight" => {
+                        let v = take_value(&mut it, flag)?;
+                        max_inflight =
+                            Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                CliError(format!(
+                                    "invalid max inflight {v:?} (positive integer expected)"
+                                ))
+                            })?);
+                    }
+                    "--default-deadline-ms" => {
+                        let v = take_value(&mut it, flag)?;
+                        default_deadline_ms = Some(v.parse::<u64>().map_err(|_| {
+                            CliError(format!("invalid deadline {v:?} (milliseconds expected)"))
+                        })?);
+                    }
+                    "--cache-max-bytes" => {
+                        let v = take_value(&mut it, flag)?;
+                        cache_max_bytes =
+                            Some(v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                CliError(format!(
+                                    "invalid cache bound {v:?} (positive byte count expected)"
+                                ))
+                            })?);
+                    }
+                    "--io-fault-rate" => {
+                        let v = take_value(&mut it, flag)?;
+                        io_fault_rate = Some(
+                            v.parse::<f64>()
+                                .ok()
+                                .filter(|r| r.is_finite() && (0.0..=1.0).contains(r))
+                                .ok_or_else(|| {
+                                    CliError(format!(
+                                        "invalid fault rate {v:?} (probability in [0, 1] expected)"
+                                    ))
+                                })?,
+                        );
+                    }
+                    "--io-fault-seed" => {
+                        let v = take_value(&mut it, flag)?;
+                        io_fault_seed = v.parse::<u64>().map_err(|_| {
+                            CliError(format!("invalid fault seed {v:?} (integer expected)"))
+                        })?;
+                    }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
             }
-            Ok(Command::Serve { cache_dir })
+            Ok(Command::Serve {
+                cache_dir,
+                max_inflight,
+                default_deadline_ms,
+                cache_max_bytes,
+                io_fault_rate,
+                io_fault_seed,
+                deterministic,
+            })
         }
         "bench" => {
             let mut out = "BENCH_parallel.json".to_string();
@@ -1114,18 +1192,36 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 let _ = writeln!(out, "all asserted floors hold");
             }
         }
-        Command::Serve { cache_dir } => {
+        Command::Serve {
+            cache_dir,
+            max_inflight,
+            default_deadline_ms,
+            cache_max_bytes,
+            io_fault_rate,
+            io_fault_seed,
+            deterministic,
+        } => {
             let dir = cache_dir
                 .clone()
                 .map(std::path::PathBuf::from)
                 .unwrap_or_else(|| std::env::temp_dir().join("smctl-cache"));
-            let store = sm_bench::cas::ResultCache::open(&dir)
+            let store_options = sm_bench::cas::StoreOptions {
+                max_bytes: *cache_max_bytes,
+                faults: io_fault_rate
+                    .map(|rate| sm_bench::iofault::IoFaultPlan::uniform(*io_fault_seed, rate)),
+            };
+            let store = sm_bench::cas::ResultCache::open_with(&dir, store_options)
                 .map_err(|e| CliError(format!("cannot open cache at {}: {e}", dir.display())))?;
+            let serve_options = sm_bench::service::ServeOptions {
+                max_inflight: max_inflight.unwrap_or(0), // 0 = worker-thread count
+                default_deadline_ms: *default_deadline_ms,
+                deterministic_timing: *deterministic,
+            };
             // Events stream straight to stdout as cells complete; the
-            // returned report stays empty.
+            // returned report stays empty. The unlocked stdout handle is
+            // Send, which the emitter thread requires.
             let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            sm_bench::service::run_serve(stdin.lock(), stdout.lock(), &store)
+            sm_bench::service::run_serve(stdin.lock(), std::io::stdout(), &store, &serve_options)
                 .map_err(|e| CliError(format!("serve failed: {e}")))?;
         }
         Command::Verify { network, seed } => {
@@ -1557,16 +1653,49 @@ mod tests {
     fn serve_and_warm_floor_flags_parse() {
         assert_eq!(
             parse(["serve"]).unwrap(),
-            Command::Serve { cache_dir: None }
+            Command::Serve {
+                cache_dir: None,
+                max_inflight: None,
+                default_deadline_ms: None,
+                cache_max_bytes: None,
+                io_fault_rate: None,
+                io_fault_seed: 42,
+                deterministic: false,
+            }
         );
         assert_eq!(
-            parse(["serve", "--cache-dir", "/tmp/c"]).unwrap(),
+            parse([
+                "serve",
+                "--cache-dir",
+                "/tmp/c",
+                "--max-inflight",
+                "4",
+                "--default-deadline-ms",
+                "500",
+                "--cache-max-bytes",
+                "65536",
+                "--io-fault-rate",
+                "0.2",
+                "--io-fault-seed",
+                "7",
+                "--deterministic",
+            ])
+            .unwrap(),
             Command::Serve {
-                cache_dir: Some("/tmp/c".into())
+                cache_dir: Some("/tmp/c".into()),
+                max_inflight: Some(4),
+                default_deadline_ms: Some(500),
+                cache_max_bytes: Some(65536),
+                io_fault_rate: Some(0.2),
+                io_fault_seed: 7,
+                deterministic: true,
             }
         );
         assert!(parse(["serve", "--wat"]).is_err());
         assert!(parse(["serve", "--cache-dir"]).is_err());
+        assert!(parse(["serve", "--max-inflight", "0"]).is_err());
+        assert!(parse(["serve", "--cache-max-bytes", "0"]).is_err());
+        assert!(parse(["serve", "--io-fault-rate", "1.5"]).is_err());
         match parse(["bench", "--assert-warm-speedup", "3"]).unwrap() {
             Command::Bench {
                 assert_warm_speedup,

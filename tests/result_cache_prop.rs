@@ -22,7 +22,7 @@ use shortcut_mining::accel::AccelConfig;
 use shortcut_mining::bench::cas::{cell_key, ResultCache};
 use shortcut_mining::bench::experiments::{chaos_grid, chaos_grid_cached};
 use shortcut_mining::bench::json::to_json;
-use shortcut_mining::bench::service::run_serve;
+use shortcut_mining::bench::service::{run_serve, ServeOptions};
 use shortcut_mining::core::parallel::set_threads;
 use shortcut_mining::core::{FaultPlan, Policy};
 use shortcut_mining::model::zoo;
@@ -223,6 +223,68 @@ fn warm_runs_are_byte_identical_and_delta_dispatch_only_misses() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Two sessions racing on the same corrupted entry: corruption is evicted
+/// exactly once (the loser's redundant removal is not double-counted), and
+/// neither session ever observes mismatched bytes — only a miss followed by
+/// a clean recompute.
+#[test]
+fn concurrent_sessions_evict_a_corrupt_entry_exactly_once() {
+    let dir = tmp_dir("race");
+    let store = ResultCache::open(&dir).unwrap();
+    let key = cell_key("prop-race", &inputs()).unwrap();
+    let value: Vec<f64> = vec![1.0, 2.5, 4.0];
+    store.session().put(key, &value);
+
+    // Bit-flip the payload so the checksum rejects it.
+    let entry = dir.join("v1").join(format!("{}.json", key.hex()));
+    let mut bytes = fs::read(&entry).unwrap();
+    let last = bytes.len() - 2; // stay off the trailing newline
+    bytes[last] ^= 0x01;
+    fs::write(&entry, bytes).unwrap();
+
+    let barrier = std::sync::Barrier::new(2);
+    let probe = || {
+        let session = store.session();
+        barrier.wait();
+        let got: Option<Vec<f64>> = session.get(key);
+        // Whoever saw the corruption recomputes and republishes.
+        if got.is_none() {
+            session.put(key, &value);
+        }
+        (got, session.stats())
+    };
+    let (got_a, stats_a, got_b, stats_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(probe);
+        let b = scope.spawn(probe);
+        let (got_a, stats_a) = a.join().unwrap();
+        let (got_b, stats_b) = b.join().unwrap();
+        (got_a, stats_a, got_b, stats_b)
+    });
+
+    // Corrupted bytes are never served: each session saw a miss or the
+    // true value (when the other's recompute landed first), never garbage.
+    for got in [&got_a, &got_b] {
+        assert!(got.is_none() || got.as_ref() == Some(&value), "{got:?}");
+    }
+    assert!(
+        got_a.is_none() || got_b.is_none(),
+        "at least one session must have observed the corruption"
+    );
+    // The single corrupt file is evicted exactly once across both sessions.
+    assert_eq!(
+        stats_a.evictions + stats_b.evictions,
+        1,
+        "a: {stats_a:?}, b: {stats_b:?}"
+    );
+
+    // The store converged: a fresh read returns the original bytes.
+    let session = store.session();
+    let after: Option<Vec<f64>> = session.get(key);
+    assert_eq!(after, Some(value));
+    assert_eq!(session.stats().evictions, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_answers_overlapping_requests_from_cache() {
     let dir = tmp_dir("serve");
@@ -231,7 +293,13 @@ fn serve_answers_overlapping_requests_from_cache() {
     // 50% overlap: shares the 0.0/0.3 × 0.0 column, adds a 0.1 rate.
     let r2 = r#"{"id":"b","kind":"chaos-grid","network":"toy_residual","seed":7,"fractions":[0.0,0.3],"rates":[0.0,0.1]}"#;
     let mut out = Vec::new();
-    run_serve(format!("{r1}\n{r2}\n{r1}\n").as_bytes(), &mut out, &store).unwrap();
+    run_serve(
+        format!("{r1}\n{r2}\n{r1}\n").as_bytes(),
+        &mut out,
+        &store,
+        &ServeOptions::default(),
+    )
+    .unwrap();
     let text = String::from_utf8(out).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     let dones: Vec<&&str> = lines

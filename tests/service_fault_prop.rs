@@ -1,0 +1,221 @@
+//! Fault-storm properties for the serve path: injected disk faults
+//! (`sm_bench::iofault`) against the shared store never panic the service,
+//! never change served bytes, and drive the documented health walk.
+//!
+//! Covered properties:
+//!
+//! * storm survival — serving under a uniform injected fault rate
+//!   completes every request, and a faults-off warm rerun returns result
+//!   payloads byte-identical to a pristine cold run;
+//! * health walk — a saturated write storm (ENOSPC on every put) walks the
+//!   store Healthy → Degraded → Offline with in-band `health` events while
+//!   `done` events keep flowing;
+//! * bounded cache — a soak writing ≥4× `max_bytes` of cells stays under
+//!   the bound on disk with consistent GC counters.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use shortcut_mining::bench::cas::{ResultCache, StoreOptions};
+use shortcut_mining::bench::iofault::IoFaultPlan;
+use shortcut_mining::bench::service::{run_serve, ServeOptions};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sm-fault-prop-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn deterministic() -> ServeOptions {
+    ServeOptions {
+        deterministic_timing: true,
+        ..ServeOptions::default()
+    }
+}
+
+fn serve_with(store: &ResultCache, input: &str) -> String {
+    let mut out = Vec::new();
+    run_serve(input.as_bytes(), &mut out, store, &deterministic()).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+/// Per-id `"result":...` payloads from a service transcript.
+fn result_payloads(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter(|l| l.contains(r#""event":"done""#))
+        .map(|l| {
+            let id = l
+                .split(r#""id":""#)
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string();
+            let result = l
+                .split(r#""result":"#)
+                .nth(1)
+                .unwrap()
+                .split(r#","cache":"#)
+                .next()
+                .unwrap()
+                .to_string();
+            (id, result)
+        })
+        .collect()
+}
+
+fn storm_requests() -> String {
+    (0..6)
+        .map(|i| {
+            format!(
+                r#"{{"id":"s{i}","kind":"chaos-grid","network":"toy_residual","seed":{i},"fractions":[0.0,0.3],"rates":[0.0,0.2]}}"#
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fault_storm_never_changes_served_bytes() {
+    let input = storm_requests();
+
+    // Pristine cold run: clean store, no faults.
+    let clean_dir = tmp_dir("storm-clean");
+    let clean = ResultCache::open(&clean_dir).unwrap();
+    let pristine = result_payloads(&serve_with(&clean, &input));
+    assert_eq!(pristine.len(), 6);
+
+    // Storm run: every disk operation rolls against a 20% fault rate.
+    let storm_dir = tmp_dir("storm");
+    let faulty = ResultCache::open_with(
+        &storm_dir,
+        StoreOptions {
+            max_bytes: None,
+            faults: Some(IoFaultPlan::uniform(7, 0.2)),
+        },
+    )
+    .unwrap();
+    let stormed = result_payloads(&serve_with(&faulty, &input));
+    // Every request completed and served the same bytes: injected read
+    // corruption resolves to evict-and-recompute, never to wrong answers.
+    assert_eq!(stormed, pristine);
+    drop(faulty);
+
+    // Faults off, same directory: whatever the storm left behind (missing
+    // entries, torn writes) is recomputed or reused transparently, and the
+    // warm rerun is byte-identical to the pristine cold run.
+    let recovered = ResultCache::open(&storm_dir).unwrap();
+    let warm = result_payloads(&serve_with(&recovered, &input));
+    assert_eq!(warm, pristine);
+
+    let _ = fs::remove_dir_all(&clean_dir);
+    let _ = fs::remove_dir_all(&storm_dir);
+}
+
+#[test]
+fn write_storm_walks_health_to_offline_in_band() {
+    let dir = tmp_dir("enospc");
+    let store = ResultCache::open_with(
+        &dir,
+        StoreOptions {
+            max_bytes: None,
+            faults: Some(IoFaultPlan::new(3).with_enospc(1.0)),
+        },
+    )
+    .unwrap();
+    // A scheduler sweep is 4 policies × 4 rates = 16 cells: enough failed
+    // puts to cross both health thresholds in one request.
+    let text = serve_with(
+        &store,
+        r#"{"id":"h","kind":"scheduler","network":"toy_residual"}"#,
+    );
+    let states: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains(r#""event":"health""#))
+        .map(|l| {
+            l.split(r#""state":""#)
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        states,
+        vec!["degraded", "offline"],
+        "health walk must surface in-band: {text}"
+    );
+    // The sweep itself is unaffected: results stream and `done` arrives
+    // with the write failures on the ledger.
+    assert!(text.contains(r#""id":"h","event":"done""#));
+    assert!(text.matches(r#""event":"cell""#).count() == 16);
+    let stats = store.stats();
+    assert!(stats.write_failures >= 6, "{stats:?}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn entry_bytes(dir: &Path) -> u64 {
+    fs::read_dir(dir.join("v1"))
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
+        .filter(|e| e.file_name().to_string_lossy() != "manifest.json")
+        .map(|e| e.metadata().unwrap().len())
+        .sum()
+}
+
+#[test]
+fn bounded_cache_soak_stays_under_the_bound() {
+    let dir = tmp_dir("gc-soak");
+    let max_bytes = 2048;
+    let store = ResultCache::open_with(
+        &dir,
+        StoreOptions {
+            max_bytes: Some(max_bytes),
+            faults: None,
+        },
+    )
+    .unwrap();
+    // 16 disjoint grids of 4 cells each: far more payload than the bound.
+    let input: String = (0..16)
+        .map(|i| {
+            format!(
+                r#"{{"id":"g{i}","kind":"chaos-grid","network":"toy_residual","seed":{},"fractions":[0.0,0.3],"rates":[0.0,0.2]}}"#,
+                100 + i
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let text = serve_with(&store, &input);
+    assert_eq!(text.matches(r#""event":"done""#).count(), 16);
+
+    let stats = store.stats();
+    assert!(
+        stats.bytes_written >= 4 * max_bytes,
+        "soak must overflow the bound by 4x: {stats:?}"
+    );
+    assert!(stats.gc_evictions > 0, "{stats:?}");
+    assert!(stats.gc_bytes_freed > 0, "{stats:?}");
+    assert!(
+        entry_bytes(&dir) <= max_bytes,
+        "on-disk entries exceed the bound: {} > {max_bytes}",
+        entry_bytes(&dir)
+    );
+
+    // Reopening rebuilds the ledger from disk and keeps honoring the bound.
+    drop(store);
+    let reopened = ResultCache::open_with(
+        &dir,
+        StoreOptions {
+            max_bytes: Some(max_bytes),
+            faults: None,
+        },
+    )
+    .unwrap();
+    let again = serve_with(&reopened, &input);
+    assert_eq!(again.matches(r#""event":"done""#).count(), 16);
+    assert!(entry_bytes(&dir) <= max_bytes);
+    let _ = fs::remove_dir_all(&dir);
+}
